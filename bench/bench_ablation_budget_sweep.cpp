@@ -1,0 +1,66 @@
+// Ablation: the compression/accuracy tradeoff curve, and the paper's
+// central §2.1 claim — with initialization regeneration, MNIST models
+// compress ~60x before degrading; with untracked weights zeroed instead,
+// only ~2x is achievable. Sweeps the budget for both variants.
+#include "bench_common.hpp"
+
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dropback;
+  util::Flags flags(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::mnist(flags);
+  bench::print_scale_banner(
+      "Ablation: budget sweep, regeneration vs zeroing", scale);
+  auto task = bench::make_mnist_task(scale);
+
+  // Baseline for reference.
+  double baseline_error;
+  {
+    auto model = nn::models::make_mnist_100_100(7);
+    optim::SGD sgd(model->collect_parameters(), scale.lr);
+    baseline_error =
+        bench::run_training("Baseline", *model, sgd, *task.train_set,
+                            *task.val_set, scale)
+            .best_val_error;
+  }
+
+  util::Table table({"budget", "compression", "error (regen)",
+                     "error (zeroed)", "regen within 2% of baseline?"});
+  util::CsvWriter csv("ablation_budget_sweep.csv");
+  csv.header({"budget", "compression", "error_regen", "error_zeroed"});
+
+  const std::int64_t budgets[] = {45000, 20000, 10000, 5000, 3000, 1500, 750};
+  for (std::int64_t budget : budgets) {
+    double errors[2];
+    for (int variant = 0; variant < 2; ++variant) {
+      auto model = nn::models::make_mnist_100_100(7);
+      core::DropBackConfig config;
+      config.budget = budget;
+      config.regenerate_untracked = variant == 0;
+      core::DropBackOptimizer opt(model->collect_parameters(), scale.lr,
+                                  config);
+      errors[variant] =
+          bench::run_training("DropBack", *model, opt, *task.train_set,
+                              *task.val_set, scale)
+              .best_val_error;
+    }
+    const double compression = 89610.0 / static_cast<double>(budget);
+    table.add_row({util::Table::count(budget),
+                   util::Table::times(compression, 1),
+                   util::Table::pct(errors[0]), util::Table::pct(errors[1]),
+                   errors[0] < baseline_error + 0.02 ? "yes" : "no"});
+    csv.row(std::vector<double>{static_cast<double>(budget), compression,
+                                errors[0], errors[1]});
+  }
+  std::printf("baseline error: %s\n\n%s\n",
+              util::Table::pct(baseline_error).c_str(),
+              table.render().c_str());
+  std::printf(
+      "Paper claim (§2.1): with regeneration the model compresses ~60x\n"
+      "before collapsing; with zeroed untracked weights even mild budgets\n"
+      "fail (\"60x if initialization values were preserved, but only 2x if\n"
+      "untracked weights were zeroed\").\n"
+      "Series written to ablation_budget_sweep.csv\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: when can the tracked set be frozen?
+//
+// The paper (§2.1, §3 "Tracked weight set freezing" / "Effects of
+// freezing"): freezing after a few epochs saves the selection work and the
+// untracked-gradient traffic, and "for smaller compression ratios freezing
+// early has little effect on the overall accuracy", while at very high
+// compression early freezing costs accuracy. This bench sweeps the freeze
+// epoch at a mild (4.5x) and an extreme (60x) budget.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dropback;
+  util::Flags flags(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::mnist(flags);
+  bench::print_scale_banner("Ablation: freeze-epoch sweep", scale);
+  auto task = bench::make_mnist_task(scale);
+  const std::int64_t steps_per_epoch =
+      (scale.train_n + scale.batch_size - 1) / scale.batch_size;
+
+  util::Table table({"budget", "freeze epoch", "val error", "best epoch"});
+  const std::int64_t budgets[] = {20000, 1500};
+  const std::int64_t freeze_epochs[] = {-1, 1, 2, 5, 10};
+  for (std::int64_t budget : budgets) {
+    for (std::int64_t fe : freeze_epochs) {
+      if (fe > scale.epochs) continue;
+      auto model = nn::models::make_mnist_100_100(7);
+      core::DropBackConfig config;
+      config.budget = budget;
+      config.freeze_after_steps = fe >= 0 ? fe * steps_per_epoch : -1;
+      core::DropBackOptimizer opt(model->collect_parameters(), scale.lr,
+                                  config);
+      const auto result =
+          bench::run_training("DropBack", *model, opt, *task.train_set,
+                              *task.val_set, scale);
+      table.add_row({util::Table::count(budget),
+                     fe >= 0 ? std::to_string(fe) : "never",
+                     util::Table::pct(result.best_val_error),
+                     std::to_string(result.best_epoch)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper shape: at the mild 20k budget the freeze epoch barely matters;\n"
+      "at the extreme 1.5k budget, freezing very early costs accuracy\n"
+      "because the tracked set has not yet stabilized.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation: why the paper trains with momentum-free SGD (§3).
+//
+// "All networks were optimized using stochastic gradient descent without
+// momentum, as all other optimization strategies cost significant extra
+// memory." This bench quantifies the claim: momentum doubles and Adam
+// triples the training-time weight-state footprint, which defeats the
+// pruned weight budget — DropBack 20k with plain SGD stores 20k floats of
+// weight state, while even a *fully pruned* Adam run would still carry
+// 2 floats of optimizer state per dense weight.
+#include "bench_common.hpp"
+
+#include "optim/momentum.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dropback;
+  util::Flags flags(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::mnist(flags);
+  bench::print_scale_banner("Ablation: optimizer memory vs accuracy", scale);
+  auto task = bench::make_mnist_task(scale);
+  const std::int64_t dense = 89610;
+  const std::int64_t budget = flags.get_int("budget", 20000);
+
+  util::Table table({"training scheme", "val error", "weight-state floats",
+                     "vs DropBack budget"});
+  auto add = [&](const std::string& name, double error,
+                 std::int64_t state_floats) {
+    table.add_row({name, util::Table::pct(error),
+                   util::Table::count(state_floats),
+                   util::Table::times(static_cast<double>(state_floats) /
+                                          static_cast<double>(budget),
+                                      1)});
+  };
+
+  {  // DropBack + plain SGD: state = the tracked weights only.
+    auto model = nn::models::make_mnist_100_100(7);
+    core::DropBackConfig config;
+    config.budget = budget;
+    core::DropBackOptimizer opt(model->collect_parameters(), scale.lr,
+                                config);
+    const auto r = bench::run_training("DropBack+SGD", *model, opt,
+                                       *task.train_set, *task.val_set, scale);
+    add("DropBack 20k + SGD", r.best_val_error, budget);
+  }
+  {  // dense SGD: all weights, no extra state.
+    auto model = nn::models::make_mnist_100_100(7);
+    optim::SGD opt(model->collect_parameters(), scale.lr);
+    const auto r = bench::run_training("SGD", *model, opt, *task.train_set,
+                                       *task.val_set, scale);
+    add("Dense + SGD", r.best_val_error, dense);
+  }
+  {  // dense momentum: weights + velocity.
+    auto model = nn::models::make_mnist_100_100(7);
+    optim::MomentumSGD opt(model->collect_parameters(), scale.lr * 0.5F,
+                           0.9F);
+    const auto r = bench::run_training("Momentum", *model, opt,
+                                       *task.train_set, *task.val_set, scale);
+    add("Dense + SGD(momentum .9)", r.best_val_error,
+        dense + opt.state_floats());
+  }
+  {  // dense Adam: weights + m + v.
+    auto model = nn::models::make_mnist_100_100(7);
+    optim::Adam opt(model->collect_parameters(), 0.002F);
+    const auto r = bench::run_training("Adam", *model, opt, *task.train_set,
+                                       *task.val_set, scale);
+    add("Dense + Adam", r.best_val_error, dense + opt.state_floats());
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper rationale: stateful optimizers reach similar accuracy but need\n"
+      "%.0fx-%.0fx more weight-state memory than DropBack's budget — exactly\n"
+      "what an on-device training accelerator cannot afford.\n",
+      2.0 * dense / budget, 3.0 * dense / budget);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Figure 1: kernel-density estimate of the accumulated gradients
+// after standard SGD training of the ~90k-weight MNIST-100-100 MLP.
+//
+// Paper shape: the distribution is sharply peaked at 0 — most weights move
+// very little from their initialization, which is the observation motivating
+// tracking only the top accumulated gradients.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "analysis/kde.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dropback;
+  util::Flags flags(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::mnist(flags);
+  bench::print_scale_banner("Figure 1: accumulated gradient distribution",
+                            scale);
+  auto task = bench::make_mnist_task(scale);
+
+  auto model = nn::models::make_mnist_100_100(7);
+  auto params = model->collect_parameters();
+  // Snapshot w0 so accumulated gradient = w_final - w0.
+  std::vector<std::vector<float>> w0;
+  for (auto* p : params) {
+    const float* w = p->var.value().data();
+    w0.emplace_back(w, w + p->numel());
+  }
+  optim::SGD sgd(params, scale.lr);
+  optim::StepDecay schedule(scale.lr, 0.5F,
+                            std::max<std::int64_t>(1, scale.epochs / 5), 4);
+  bench::run_training("SGD", *model, sgd, *task.train_set, *task.val_set,
+                      scale, &schedule);
+
+  std::vector<float> accumulated;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const float* w = params[p]->var.value().data();
+    for (std::int64_t i = 0; i < params[p]->numel(); ++i) {
+      accumulated.push_back(w[i] - w0[p][static_cast<std::size_t>(i)]);
+    }
+  }
+
+  const auto grid = analysis::linspace(-3.0, 2.0, 51);
+  const auto density = analysis::gaussian_kde(accumulated, grid);
+
+  util::CsvWriter csv("fig1_gradient_kde.csv");
+  csv.header({"accumulated_gradient", "kernel_density"});
+  std::printf("accumulated gradient -> kernel density (ASCII):\n");
+  double max_density = 0.0;
+  for (double d : density) max_density = std::max(max_density, d);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    csv.row(std::vector<double>{grid[i], density[i]});
+    const int bar =
+        static_cast<int>(60.0 * density[i] / std::max(max_density, 1e-12));
+    std::printf("%+6.2f | %s\n", grid[i], std::string(bar, '#').c_str());
+  }
+
+  // Quantify the peak-at-zero shape the paper's Figure 1 shows.
+  std::int64_t near_zero = 0;
+  for (float a : accumulated) {
+    if (std::fabs(a) < 0.05F) ++near_zero;
+  }
+  std::printf(
+      "\n%.1f%% of the %zu accumulated gradients lie within |0.05| of zero\n"
+      "(paper shape: the distribution is sharply peaked at 0).\n"
+      "Series written to fig1_gradient_kde.csv\n",
+      100.0 * near_zero / accumulated.size(), accumulated.size());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Figure 2: the number of weights entering/leaving the top-2k
+// accumulated-gradient set per iteration under standard SGD on
+// MNIST-100-100 — large churn in the first ~10 mini-batches, then a stable
+// set with only noise-level swaps (<0.04% of weights in the paper).
+#include "bench_common.hpp"
+
+#include "analysis/set_stability.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dropback;
+  util::Flags flags(argc, argv);
+  bench::BenchScale scale = bench::BenchScale::mnist(flags);
+  bench::print_scale_banner("Figure 2: top-2k set churn", scale);
+  auto task = bench::make_mnist_task(scale);
+
+  const std::int64_t k = flags.get_int("k", 2000);
+  auto model = nn::models::make_mnist_100_100(7);
+  auto params = model->collect_parameters();
+  optim::SGD sgd(params, scale.lr);
+  analysis::TopKMembershipTracker tracker(params, k);
+
+  train::TrainOptions options;
+  options.epochs = scale.epochs;
+  options.batch_size = scale.batch_size;
+  train::Trainer trainer(*model, sgd, *task.train_set, *task.val_set,
+                         options);
+  trainer.after_step = [&tracker](std::int64_t step) {
+    tracker.update(step);
+  };
+  trainer.run();
+
+  const auto& series = tracker.series();
+  util::CsvWriter csv("fig2_set_churn.csv");
+  csv.header({"iteration", "weights_swapped"});
+  for (const auto& point : series) {
+    csv.row(std::vector<double>{static_cast<double>(point.iteration),
+                                static_cast<double>(point.swapped)});
+  }
+
+  std::printf("first 10 iterations (left panel):\n");
+  std::printf("iter  swapped\n");
+  for (std::size_t i = 0; i < series.size() && i < 10; ++i) {
+    std::printf("%4lld  %lld\n",
+                static_cast<long long>(series[i].iteration),
+                static_cast<long long>(series[i].swapped));
+  }
+  if (series.size() > 10) {
+    std::int64_t max_later = 0;
+    double mean_later = 0.0;
+    for (std::size_t i = 10; i < series.size(); ++i) {
+      max_later = std::max(max_later, series[i].swapped);
+      mean_later += static_cast<double>(series[i].swapped);
+    }
+    mean_later /= static_cast<double>(series.size() - 10);
+    std::printf(
+        "\nremaining %zu iterations (right panel): mean %.1f swapped, max "
+        "%lld\n",
+        series.size() - 10, mean_later, static_cast<long long>(max_later));
+    std::printf(
+        "churn as %% of all %lld weights: %.4f%% mean (paper: <0.04%% after "
+        "the first epochs)\n",
+        static_cast<long long>(89610), 100.0 * mean_later / 89610.0);
+  }
+  std::printf("Series written to fig2_set_churn.csv\n");
+  return 0;
+}

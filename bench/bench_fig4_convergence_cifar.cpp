@@ -1,0 +1,87 @@
+// Reproduces Figure 4: VGG-S on CIFAR-10 — epoch vs validation accuracy for
+// DropBack (5x budget), variational dropout, and the baseline.
+//
+// Paper shape: DropBack learns slightly more slowly than the baseline for
+// ~20 epochs and then matches it; variational dropout starts fast but
+// converges to a substantially lower accuracy.
+#include "bench_common.hpp"
+
+#include "baselines/variational_dropout.hpp"
+#include "nn/models/vgg_s.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dropback;
+  util::Flags flags(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::cifar(flags);
+  bench::print_scale_banner("Figure 4: VGG-S convergence", scale);
+  auto task = bench::make_cifar_task(scale);
+  optim::StepDecay schedule(scale.lr, 0.5F,
+                            std::max<std::int64_t>(1, scale.epochs / 3));
+  const float width = static_cast<float>(flags.get_double("vgg-width", 0.08));
+
+  auto make = [&] {
+    nn::models::VggSOptions opt;
+    opt.width_mult = width;
+    return nn::models::make_vgg_s(opt);
+  };
+
+  bench::MethodResult baseline, dropback, variational;
+  {
+    auto model = make();
+    optim::SGD sgd(model->collect_parameters(), scale.lr);
+    baseline = bench::run_training("Baseline", *model, sgd, *task.train_set,
+                                   *task.val_set, scale, &schedule);
+  }
+  {
+    auto model = make();
+    core::DropBackConfig config;
+    config.budget = std::max<std::int64_t>(1, model->num_params() / 5);
+    core::DropBackOptimizer opt(model->collect_parameters(), scale.lr,
+                                config);
+    dropback = bench::run_training("Ours", *model, opt, *task.train_set,
+                                   *task.val_set, scale, &schedule);
+  }
+  {
+    auto vd = baselines::make_vd_vgg_s(width, 32, 7);
+    optim::SGD sgd(vd.net->collect_parameters(), scale.lr);
+    const float kl_scale = 1.0F / static_cast<float>(scale.train_n);
+    auto* layers = &vd.vd_layers;
+    const double total_batches = static_cast<double>(
+        scale.epochs * ((scale.train_n + scale.batch_size - 1) /
+                        scale.batch_size));
+    auto calls = std::make_shared<double>(0.0);
+    variational = bench::run_training(
+        "Variational", *vd.net, sgd, *task.train_set, *task.val_set, scale,
+        &schedule,
+        [layers, kl_scale, calls, total_batches](train::Trainer& trainer) {
+          // KL warm-up over the first half of training.
+          trainer.loss_transform = [layers, kl_scale, calls, total_batches](
+                                       const autograd::Variable& loss) {
+            *calls += 1.0;
+            const float warmup = static_cast<float>(
+                std::min(1.0, *calls / std::max(1.0, total_batches * 0.5)));
+            return autograd::add(
+                loss, baselines::vd_total_kl(*layers, kl_scale * warmup));
+          };
+        });
+  }
+
+  util::CsvWriter csv("fig4_convergence_cifar.csv");
+  csv.header({"epoch", "variational", "ours", "baseline"});
+  std::printf("epoch  variational  ours     baseline\n");
+  for (std::size_t e = 0; e < baseline.val_acc_per_epoch.size(); ++e) {
+    auto at = [e](const bench::MethodResult& r) {
+      return e < r.val_acc_per_epoch.size() ? r.val_acc_per_epoch[e] : 0.0;
+    };
+    csv.row(std::vector<double>{static_cast<double>(e), at(variational),
+                                at(dropback), at(baseline)});
+    std::printf("%5zu  %10.4f  %8.4f  %8.4f\n", e, at(variational),
+                at(dropback), at(baseline));
+  }
+  std::printf(
+      "\nPaper shape: DropBack tracks the baseline after the early epochs;\n"
+      "variational dropout converges to lower accuracy.\n"
+      "Series written to fig4_convergence_cifar.csv\n");
+  return 0;
+}

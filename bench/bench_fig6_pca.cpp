@@ -1,0 +1,99 @@
+// Reproduces Figure 6: the evolution of the weight vector under each
+// training scheme, projected to 3-D with PCA (fit on all trajectories
+// jointly so the methods share one basis).
+//
+// Paper shape: DropBack's trajectory stays close to the baseline's path in
+// the principal subspace, while magnitude pruning and variational dropout
+// diverge significantly.
+#include "bench_methods.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "analysis/pca.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dropback;
+  util::Flags flags(argc, argv);
+  const bench::BenchScale scale = bench::BenchScale::mnist(flags);
+  bench::print_scale_banner("Figure 6: PCA of weight evolution", scale);
+  auto task = bench::make_mnist_task(scale);
+
+  const std::int64_t snapshot_every = flags.get_int("snapshot-every", 8);
+  std::map<std::string, std::vector<std::vector<float>>> trajectories;
+
+  for (const std::string& method : bench::figure56_methods()) {
+    std::unique_ptr<analysis::TrajectoryRecorder> recorder;
+    bench::run_method_with_callback(
+        method, task, scale,
+        [&recorder, snapshot_every](std::int64_t step,
+                                    const std::vector<nn::Parameter*>&) {
+          if (step % snapshot_every == 0) recorder->snapshot();
+        },
+        [&recorder](const std::vector<nn::Parameter*>& params) {
+          recorder = std::make_unique<analysis::TrajectoryRecorder>(params,
+                                                                    256);
+          recorder->snapshot();  // the w0 point
+        });
+    trajectories[method] = recorder->snapshots();
+  }
+
+  // Joint PCA basis across all trajectories.
+  std::vector<std::vector<float>> all_rows;
+  std::vector<std::pair<std::string, std::size_t>> row_origin;
+  for (const std::string& method : bench::figure56_methods()) {
+    for (std::size_t i = 0; i < trajectories[method].size(); ++i) {
+      all_rows.push_back(trajectories[method][i]);
+      row_origin.emplace_back(method, i);
+    }
+  }
+  const auto projected = analysis::pca_project(all_rows, 3);
+
+  util::CsvWriter csv("fig6_pca_trajectories.csv");
+  csv.header({"method", "snapshot", "pc1", "pc2", "pc3"});
+  std::map<std::string, std::vector<std::array<double, 3>>> per_method;
+  for (std::size_t r = 0; r < projected.size(); ++r) {
+    const auto& [method, idx] = row_origin[r];
+    per_method[method].push_back(projected[r]);
+    csv.row(std::vector<std::string>{
+        method, std::to_string(idx), util::CsvWriter::format(projected[r][0]),
+        util::CsvWriter::format(projected[r][1]),
+        util::CsvWriter::format(projected[r][2])});
+  }
+
+  std::printf("trajectory endpoints in the shared PCA basis:\n");
+  std::printf("%-24s %10s %10s %10s\n", "method", "pc1", "pc2", "pc3");
+  for (const std::string& method : bench::figure56_methods()) {
+    const auto& end = per_method[method].back();
+    std::printf("%-24s %10.3f %10.3f %10.3f\n", method.c_str(), end[0],
+                end[1], end[2]);
+  }
+
+  // Shape metric: mean 3-D distance of each trajectory from the baseline's
+  // trajectory (matched snapshot indices).
+  auto trajectory_gap = [&](const std::string& method) {
+    const auto& base = per_method["Baseline"];
+    const auto& other = per_method[method];
+    const std::size_t n = std::min(base.size(), other.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double d2 = 0.0;
+      for (int c = 0; c < 3; ++c) {
+        d2 += (base[i][c] - other[i][c]) * (base[i][c] - other[i][c]);
+      }
+      acc += std::sqrt(d2);
+    }
+    return acc / static_cast<double>(n);
+  };
+  std::printf("\nmean 3-D distance from the baseline trajectory:\n");
+  for (const std::string& method : bench::figure56_methods()) {
+    if (method == "Baseline") continue;
+    std::printf("  %-24s %.3f\n", method.c_str(), trajectory_gap(method));
+  }
+  std::printf(
+      "\nPaper shape: DropBack trajectories stay closest to the baseline;\n"
+      "magnitude pruning and VD diverge.\n"
+      "Series written to fig6_pca_trajectories.csv\n");
+  return 0;
+}

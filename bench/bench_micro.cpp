@@ -1,0 +1,209 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical kernels:
+// xorshift regeneration, InitSpec fill, global top-k selection (both
+// strategies), matmul, conv2d, the full DropBack step, and sparse-store
+// materialization. These back the ablation discussion in DESIGN.md: the
+// top-k selection must stay cheap relative to the backward pass, and regen
+// must be orders of magnitude faster than a memory-bound weight load.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "autograd/ops.hpp"
+#include "core/dropback_optimizer.hpp"
+#include "core/sparse_backward.hpp"
+#include "core/sparse_weight_store.hpp"
+#include "nn/linear.hpp"
+#include "nn/models/lenet.hpp"
+#include "nn/sequential.hpp"
+#include "rng/init_spec.hpp"
+#include "rng/xorshift.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/matmul.hpp"
+
+namespace {
+
+using namespace dropback;
+
+void BM_XorshiftNext(benchmark::State& state) {
+  rng::Xorshift128 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u32());
+  }
+}
+BENCHMARK(BM_XorshiftNext);
+
+void BM_IndexedRegenNormal(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::indexed_normal_fast(42, i++));
+  }
+}
+BENCHMARK(BM_IndexedRegenNormal);
+
+void BM_InitSpecFill(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> buf(n);
+  const auto spec = rng::InitSpec::lecun(784, 7);
+  for (auto _ : state) {
+    spec.fill(buf.data(), n);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_InitSpecFill)->Arg(1024)->Arg(65536)->Arg(1048576);
+
+void BM_TopKSelection(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto k = state.range(1);
+  nn::Sequential net;
+  // A single linear layer with ~n weights.
+  const std::int64_t side = std::max<std::int64_t>(
+      2, static_cast<std::int64_t>(std::sqrt(static_cast<double>(n))));
+  net.emplace<nn::Linear>(side, side, 1);
+  core::ParamIndex index(net.collect_parameters());
+  core::TrackedSet set(index);
+  rng::Xorshift128 rng(1);
+  std::vector<float> scores(static_cast<std::size_t>(index.total()));
+  for (auto& s : scores) s = rng.uniform();
+  const auto strategy = state.range(2) == 0
+                            ? core::SelectionStrategy::kFullSort
+                            : core::SelectionStrategy::kThresholdHeap;
+  for (auto _ : state) {
+    set.select(scores, std::min<std::int64_t>(k, index.total() - 1),
+               strategy);
+    benchmark::DoNotOptimize(set.tracked_count());
+  }
+}
+BENCHMARK(BM_TopKSelection)
+    ->Args({10000, 1000, 0})
+    ->Args({10000, 1000, 1})
+    ->Args({250000, 20000, 0})
+    ->Args({250000, 20000, 1});
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  rng::Xorshift128 rng(1);
+  tensor::Tensor a({n, n}), b({n, n});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a[i] = rng.uniform(-1, 1);
+    b[i] = rng.uniform(-1, 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(128);
+
+void BM_Conv2d(benchmark::State& state) {
+  rng::Xorshift128 rng(1);
+  tensor::Tensor x({8, 8, 16, 16}), w({16, 8, 3, 3}), b({16});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(-1, 1);
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.uniform(-1, 1);
+  tensor::Conv2dSpec spec{3, 3, 1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::conv2d(x, w, b, spec).data());
+  }
+}
+BENCHMARK(BM_Conv2d);
+
+void BM_DropBackStep(benchmark::State& state) {
+  auto model = nn::models::make_mnist_100_100(7);
+  auto params = model->collect_parameters();
+  core::DropBackConfig config;
+  config.budget = state.range(0);
+  core::DropBackOptimizer opt(params, 0.1F, config);
+  // Synthetic gradients (constant across iterations; selection cost is what
+  // we measure).
+  rng::Xorshift128 rng(2);
+  for (auto* p : params) {
+    float* g = p->var.grad().data();
+    for (std::int64_t i = 0; i < p->numel(); ++i) g[i] = rng.uniform(-1, 1);
+  }
+  for (auto _ : state) {
+    opt.step();
+    benchmark::DoNotOptimize(opt.live_weights());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          89610);
+}
+BENCHMARK(BM_DropBackStep)->Arg(2000)->Arg(20000);
+
+void BM_SgdStepSameModel(benchmark::State& state) {
+  // Reference cost: plain SGD on the same 89.6k parameters, to show the
+  // overhead factor of DropBack's selection + regeneration.
+  auto model = nn::models::make_mnist_100_100(7);
+  auto params = model->collect_parameters();
+  optim::SGD opt(params, 0.1F);
+  rng::Xorshift128 rng(2);
+  for (auto* p : params) {
+    float* g = p->var.grad().data();
+    for (std::int64_t i = 0; i < p->numel(); ++i) g[i] = rng.uniform(-1, 1);
+  }
+  for (auto _ : state) {
+    opt.step();
+    benchmark::DoNotOptimize(params[0]->var.value()[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          89610);
+}
+BENCHMARK(BM_SgdStepSameModel);
+
+void BM_SparseBackwardDenseGradW(benchmark::State& state) {
+  // Dense dW for the fc1-sized layer (batch 32, 100x784).
+  rng::Xorshift128 rng(3);
+  tensor::Tensor x({32, 784}), gy({32, 100});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(-1, 1);
+  for (std::int64_t i = 0; i < gy.numel(); ++i) gy[i] = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::dense_linear_grad_w(x, gy).data());
+  }
+}
+BENCHMARK(BM_SparseBackwardDenseGradW);
+
+void BM_SparseBackwardSparseGradW(benchmark::State& state) {
+  // Post-freeze sparse dW at a given tracked count — the paper's frozen-
+  // phase compute saving (dense is 78400 coordinates).
+  rng::Xorshift128 rng(3);
+  tensor::Tensor x({32, 784}), gy({32, 100});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(-1, 1);
+  for (std::int64_t i = 0; i < gy.numel(); ++i) gy[i] = rng.uniform(-1, 1);
+  std::vector<std::uint8_t> mask(78400, 0);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < k; ++i) {
+    mask[(i * 2654435761U) % mask.size()] = 1;  // scattered
+  }
+  const auto coords = core::tracked_coords(mask.data(), 100, 784);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::sparse_linear_grad_w(x, gy, coords).data());
+  }
+}
+BENCHMARK(BM_SparseBackwardSparseGradW)->Arg(2000)->Arg(20000);
+
+void BM_SparseStoreMaterialize(benchmark::State& state) {
+  auto model = nn::models::make_mnist_100_100(7);
+  auto params = model->collect_parameters();
+  core::DropBackConfig config;
+  config.budget = state.range(0);
+  core::DropBackOptimizer opt(params, 0.1F, config);
+  rng::Xorshift128 rng(2);
+  for (auto* p : params) {
+    float* g = p->var.grad().data();
+    for (std::int64_t i = 0; i < p->numel(); ++i) g[i] = rng.uniform(-1, 1);
+  }
+  opt.step();
+  const auto store = core::SparseWeightStore::from_optimizer(opt);
+  for (auto _ : state) {
+    for (std::size_t p = 0; p < store.num_params(); ++p) {
+      benchmark::DoNotOptimize(store.materialize(p).data());
+    }
+  }
+}
+BENCHMARK(BM_SparseStoreMaterialize)->Arg(2000)->Arg(20000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Accelerator sizing walkthrough — the paper's §6 claim, quantified:
+// "DropBack can be used to train networks 5x-10x larger than currently
+// possible with typical hardware, or to train/retrain standard-size
+// networks on small mobile and embedded devices."
+//
+// Given an on-chip SRAM budget, this example reports which training schemes
+// fit each of the paper's models on-chip and the largest model each scheme
+// can train without spilling weight state to DRAM.
+//
+//   ./accelerator_sizing [--sram-kb=256]
+#include <cstdio>
+
+#include "energy/memory_hierarchy.hpp"
+#include "nn/models/densenet.hpp"
+#include "nn/models/lenet.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dropback;
+  util::Flags flags(argc, argv);
+  energy::AcceleratorSpec accel;
+  accel.sram_bytes = flags.get_int("sram-kb", 256) * 1024;
+
+  std::printf("accelerator: %lld KiB on-chip SRAM (%lld float32 values)\n\n",
+              static_cast<long long>(accel.sram_bytes / 1024),
+              static_cast<long long>(accel.sram_values()));
+
+  struct ModelCase {
+    const char* name;
+    std::int64_t dense_weights;
+    std::int64_t dropback_budget;
+  };
+  // The paper's models with their Table 1/3 budgets.
+  const ModelCase cases[] = {
+      {"MNIST-100-100 (90k) @ 20k", 89610, 20000},
+      {"LeNet-300-100 (267k) @ 50k", 266610, 50000},
+      {"VGG-S (15M) @ 3M", 15000000, 3000000},
+      {"DenseNet (2.7M) @ 600k", 2700000, 600000},
+      {"WRN-28-10 (36M) @ 5M", 36000000, 5000000},
+  };
+  const energy::TrainingScheme schemes[] = {
+      energy::TrainingScheme::kDenseSgd,
+      energy::TrainingScheme::kDenseMomentum,
+      energy::TrainingScheme::kDenseAdam,
+      energy::TrainingScheme::kDropBack,
+  };
+
+  for (const auto& model_case : cases) {
+    util::Table table({"training scheme", "weight-state floats",
+                       "fits on-chip?", "spilled values"});
+    for (const auto scheme : schemes) {
+      const auto report = energy::evaluate_fit(
+          accel, scheme, model_case.dense_weights,
+          model_case.dropback_budget);
+      table.add_row({energy::scheme_name(report.scheme),
+                     util::Table::count(report.state_values),
+                     report.fits_on_chip ? "yes" : "no",
+                     report.fits_on_chip
+                         ? "0"
+                         : util::Table::count(report.spilled_values)});
+    }
+    std::printf("%s\n%s\n", model_case.name, table.render().c_str());
+  }
+
+  std::printf("largest dense-equivalent model trainable fully on-chip:\n");
+  util::Table table({"compression", "DropBack-trainable size",
+                     "vs dense-SGD-trainable"});
+  for (double compression : {2.0, 5.0, 7.3, 13.3, 59.7}) {
+    const double multiplier =
+        energy::trainable_size_multiplier(accel, compression);
+    table.add_row(
+        {util::Table::times(compression, 1),
+         util::Table::count(static_cast<std::int64_t>(
+             static_cast<double>(accel.sram_values()) / 2.0 * compression)),
+         util::Table::times(multiplier, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "At the paper's 13x-60x MNIST compression points the multiplier\n"
+      "lands in (and beyond) the claimed 5x-10x band; at the conservative\n"
+      "5x CIFAR compression it is ~2.5x with index overhead counted.\n");
+  return 0;
+}

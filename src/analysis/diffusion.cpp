@@ -1,0 +1,36 @@
+#include "analysis/diffusion.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dropback::analysis {
+
+DiffusionTracker::DiffusionTracker(const std::vector<nn::Parameter*>& params)
+    : params_(params) {
+  initial_.reserve(params.size());
+  for (nn::Parameter* p : params_) {
+    DROPBACK_CHECK(p != nullptr, << "DiffusionTracker: null param");
+    const float* w = p->var.value().data();
+    initial_.emplace_back(w, w + p->numel());
+  }
+}
+
+double DiffusionTracker::distance() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const float* w = params_[i]->var.value().data();
+    const std::vector<float>& w0 = initial_[i];
+    for (std::size_t j = 0; j < w0.size(); ++j) {
+      const double d = static_cast<double>(w[j]) - w0[j];
+      acc += d * d;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+void DiffusionTracker::record(std::int64_t iteration) {
+  series_.push_back({iteration, distance()});
+}
+
+}  // namespace dropback::analysis

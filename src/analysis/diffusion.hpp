@@ -1,0 +1,39 @@
+// Weight diffusion analysis (paper Figure 5, following Hoffer et al. 2017).
+//
+// Under SGD the L2 distance ||w_t - w_0|| grows ~ log t ("ultra-slow
+// diffusion"); training schemes that preserve this profile generalize like
+// the baseline. DiffusionTracker snapshots w_0 at construction and reports
+// the distance of the current weights from it on demand.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dropback::analysis {
+
+class DiffusionTracker {
+ public:
+  /// Snapshots the current values of `params` as w_0.
+  explicit DiffusionTracker(const std::vector<nn::Parameter*>& params);
+
+  /// ||w_now - w_0||_2 over all tracked parameters.
+  double distance() const;
+
+  /// Records (iteration, distance) into the internal series.
+  void record(std::int64_t iteration);
+
+  struct Point {
+    std::int64_t iteration;
+    double distance;
+  };
+  const std::vector<Point>& series() const { return series_; }
+
+ private:
+  std::vector<nn::Parameter*> params_;
+  std::vector<std::vector<float>> initial_;
+  std::vector<Point> series_;
+};
+
+}  // namespace dropback::analysis

@@ -1,0 +1,50 @@
+#include "analysis/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dropback::analysis {
+
+double silverman_bandwidth(const std::vector<float>& samples) {
+  DROPBACK_CHECK(samples.size() >= 2, << "silverman_bandwidth: too few");
+  double mean = 0.0;
+  for (float s : samples) mean += s;
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (float s : samples) var += (s - mean) * (s - mean);
+  var /= static_cast<double>(samples.size() - 1);
+  const double sigma = std::sqrt(std::max(var, 1e-20));
+  return 1.06 * sigma *
+         std::pow(static_cast<double>(samples.size()), -0.2);
+}
+
+std::vector<double> gaussian_kde(const std::vector<float>& samples,
+                                 const std::vector<double>& eval_points,
+                                 double bandwidth) {
+  DROPBACK_CHECK(!samples.empty(), << "gaussian_kde: no samples");
+  const double h = bandwidth > 0.0 ? bandwidth : silverman_bandwidth(samples);
+  const double norm =
+      1.0 / (static_cast<double>(samples.size()) * h * std::sqrt(2.0 * M_PI));
+  std::vector<double> density(eval_points.size(), 0.0);
+  for (std::size_t i = 0; i < eval_points.size(); ++i) {
+    double acc = 0.0;
+    for (float s : samples) {
+      const double z = (eval_points[i] - s) / h;
+      acc += std::exp(-0.5 * z * z);
+    }
+    density[i] = acc * norm;
+  }
+  return density;
+}
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  DROPBACK_CHECK(n >= 2, << "linspace: n " << n);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (int i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = lo + i * step;
+  return out;
+}
+
+}  // namespace dropback::analysis

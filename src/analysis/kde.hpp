@@ -1,0 +1,21 @@
+// Gaussian kernel density estimation (paper Figure 1: the distribution of
+// accumulated gradients after SGD training is sharply peaked at zero).
+#pragma once
+
+#include <vector>
+
+namespace dropback::analysis {
+
+/// Silverman's rule-of-thumb bandwidth for a 1-D sample.
+double silverman_bandwidth(const std::vector<float>& samples);
+
+/// Evaluates a Gaussian KDE of `samples` at `eval_points`.
+/// bandwidth <= 0 selects Silverman's rule.
+std::vector<double> gaussian_kde(const std::vector<float>& samples,
+                                 const std::vector<double>& eval_points,
+                                 double bandwidth = 0.0);
+
+/// Convenience: evenly spaced grid [lo, hi] with n points.
+std::vector<double> linspace(double lo, double hi, int n);
+
+}  // namespace dropback::analysis

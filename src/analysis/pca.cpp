@@ -1,0 +1,150 @@
+#include "analysis/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace dropback::analysis {
+
+TrajectoryRecorder::TrajectoryRecorder(
+    const std::vector<nn::Parameter*>& params, std::size_t max_coords)
+    : params_(params) {
+  std::int64_t total = 0;
+  for (nn::Parameter* p : params_) {
+    DROPBACK_CHECK(p != nullptr, << "TrajectoryRecorder: null param");
+    total += p->numel();
+  }
+  DROPBACK_CHECK(total > 0, << "TrajectoryRecorder: no weights");
+  const std::int64_t stride =
+      std::max<std::int64_t>(1, total / static_cast<std::int64_t>(max_coords));
+  std::int64_t global = 0;
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    const std::int64_t n = params_[pi]->numel();
+    for (std::int64_t i = 0; i < n; ++i, ++global) {
+      if (global % stride == 0 && coord_param_.size() < max_coords) {
+        coord_param_.push_back(pi);
+        coord_index_.push_back(i);
+      }
+    }
+  }
+}
+
+void TrajectoryRecorder::snapshot() {
+  std::vector<float> row(coord_param_.size());
+  for (std::size_t c = 0; c < coord_param_.size(); ++c) {
+    row[c] = params_[coord_param_[c]]->var.value()[coord_index_[c]];
+  }
+  snapshots_.push_back(std::move(row));
+}
+
+void jacobi_eigen(std::vector<double>& a, int n, std::vector<double>& eigvals,
+                  std::vector<double>& eigvecs) {
+  DROPBACK_CHECK(static_cast<int>(a.size()) == n * n, << "jacobi_eigen size");
+  eigvecs.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) eigvecs[static_cast<std::size_t>(i) * n + i] = 1.0;
+  auto A = [&](int i, int j) -> double& {
+    return a[static_cast<std::size_t>(i) * n + j];
+  };
+  auto V = [&](int i, int j) -> double& {
+    return eigvecs[static_cast<std::size_t>(i) * n + j];
+  };
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) off += A(i, j) * A(i, j);
+    }
+    if (off < 1e-18) break;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = A(p, q);
+        if (std::fabs(apq) < 1e-20) continue;
+        const double theta = (A(q, q) - A(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int k = 0; k < n; ++k) {
+          const double akp = A(k, p), akq = A(k, q);
+          A(k, p) = c * akp - s * akq;
+          A(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = A(p, k), aqk = A(q, k);
+          A(p, k) = c * apk - s * aqk;
+          A(q, k) = s * apk + c * aqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = V(k, p), vkq = V(k, q);
+          V(k, p) = c * vkp - s * vkq;
+          V(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  // Sort eigenpairs descending.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int i, int j) { return A(i, i) > A(j, j); });
+  eigvals.resize(static_cast<std::size_t>(n));
+  std::vector<double> sorted_vecs(static_cast<std::size_t>(n) * n);
+  for (int j = 0; j < n; ++j) {
+    eigvals[static_cast<std::size_t>(j)] = A(order[static_cast<std::size_t>(j)],
+                                             order[static_cast<std::size_t>(j)]);
+    for (int i = 0; i < n; ++i) {
+      sorted_vecs[static_cast<std::size_t>(i) * n + j] =
+          V(i, order[static_cast<std::size_t>(j)]);
+    }
+  }
+  eigvecs = std::move(sorted_vecs);
+}
+
+std::vector<std::array<double, 3>> pca_project(
+    const std::vector<std::vector<float>>& rows, int k) {
+  DROPBACK_CHECK(!rows.empty(), << "pca_project: no rows");
+  DROPBACK_CHECK(k >= 1 && k <= 3, << "pca_project: k " << k);
+  const int t = static_cast<int>(rows.size());
+  const std::size_t d = rows[0].size();
+  for (const auto& r : rows) {
+    DROPBACK_CHECK(r.size() == d, << "pca_project: ragged rows");
+  }
+  // Mean-center.
+  std::vector<double> mean(d, 0.0);
+  for (const auto& r : rows) {
+    for (std::size_t j = 0; j < d; ++j) mean[j] += r[j];
+  }
+  for (double& m : mean) m /= t;
+  // Gram matrix G = Xc Xc^T  (t x t).
+  std::vector<double> gram(static_cast<std::size_t>(t) * t, 0.0);
+  for (int i = 0; i < t; ++i) {
+    for (int j = i; j < t; ++j) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < d; ++c) {
+        acc += (rows[static_cast<std::size_t>(i)][c] - mean[c]) *
+               (rows[static_cast<std::size_t>(j)][c] - mean[c]);
+      }
+      gram[static_cast<std::size_t>(i) * t + j] = acc;
+      gram[static_cast<std::size_t>(j) * t + i] = acc;
+    }
+  }
+  std::vector<double> eigvals, eigvecs;
+  jacobi_eigen(gram, t, eigvals, eigvecs);
+  // Projection of row i onto component j is sqrt(lambda_j) * u_ij, where
+  // u_j is the j-th Gram eigenvector.
+  std::vector<std::array<double, 3>> out(rows.size(), {0.0, 0.0, 0.0});
+  for (int j = 0; j < k && j < t; ++j) {
+    const double scale =
+        eigvals[static_cast<std::size_t>(j)] > 0.0
+            ? std::sqrt(eigvals[static_cast<std::size_t>(j)])
+            : 0.0;
+    for (int i = 0; i < t; ++i) {
+      out[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          scale * eigvecs[static_cast<std::size_t>(i) * t + j];
+    }
+  }
+  return out;
+}
+
+}  // namespace dropback::analysis

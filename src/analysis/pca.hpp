@@ -1,0 +1,55 @@
+// PCA projection of weight-space trajectories (paper Figure 6).
+//
+// Weight snapshots from a training run (optionally subsampled to a fixed set
+// of coordinates) are collected as rows; the top principal components are
+// extracted with the Gram trick — eigendecompose the T x T matrix X Xc^T
+// (T = #snapshots << dimension) by cyclic Jacobi — and every snapshot is
+// projected to 3-D. Trajectories of several methods can be projected into
+// the *same* basis by fitting on their concatenation, which is how the
+// figure compares DropBack's path against the baseline's.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dropback::analysis {
+
+/// Collects subsampled weight snapshots from a parameter list.
+class TrajectoryRecorder {
+ public:
+  /// Subsamples up to `max_coords` coordinates (deterministic stride) from
+  /// the concatenated parameter vector.
+  TrajectoryRecorder(const std::vector<nn::Parameter*>& params,
+                     std::size_t max_coords = 512);
+
+  /// Appends the current weight values as one snapshot.
+  void snapshot();
+
+  std::size_t num_snapshots() const { return snapshots_.size(); }
+  std::size_t dim() const { return coord_param_.size(); }
+  const std::vector<std::vector<float>>& snapshots() const {
+    return snapshots_;
+  }
+
+ private:
+  std::vector<nn::Parameter*> params_;
+  std::vector<std::size_t> coord_param_;  // parameter ordinal per coordinate
+  std::vector<std::int64_t> coord_index_;  // intra-parameter index
+  std::vector<std::vector<float>> snapshots_;
+};
+
+/// Fits PCA on `rows` (each a d-dim point) and returns each row projected to
+/// `k` components (k <= 3 in practice). Rows are mean-centered internally.
+std::vector<std::array<double, 3>> pca_project(
+    const std::vector<std::vector<float>>& rows, int k = 3);
+
+/// Symmetric eigendecomposition by cyclic Jacobi (exposed for tests).
+/// `a` is n x n row-major and is destroyed; eigenvalues land in `eigvals`
+/// (descending) with matching columns in `eigvecs` (n x n row-major).
+void jacobi_eigen(std::vector<double>& a, int n, std::vector<double>& eigvals,
+                  std::vector<double>& eigvecs);
+
+}  // namespace dropback::analysis

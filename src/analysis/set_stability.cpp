@@ -1,0 +1,19 @@
+#include "analysis/set_stability.hpp"
+
+namespace dropback::analysis {
+
+TopKMembershipTracker::TopKMembershipTracker(
+    std::vector<nn::Parameter*> params, std::int64_t k)
+    : index_(std::move(params)), set_(index_), k_(k) {}
+
+std::int64_t TopKMembershipTracker::update(std::int64_t iteration) {
+  // Score with lr = 0: gradients have already been applied, so the
+  // accumulated gradient is exactly |w - w0| at this point.
+  core::compute_scores(index_, /*lr=*/0.0F, scores_);
+  set_.select(scores_, k_);
+  const std::int64_t swapped = set_.last_churn();
+  series_.push_back({iteration, swapped});
+  return swapped;
+}
+
+}  // namespace dropback::analysis

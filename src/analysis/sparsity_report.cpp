@@ -1,0 +1,65 @@
+#include "analysis/sparsity_report.hpp"
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace dropback::analysis {
+
+double SparsityReport::budget_share(std::size_t i) const {
+  DROPBACK_CHECK(i < layers.size(), << "budget_share(" << i << ")");
+  return total_tracked > 0
+             ? static_cast<double>(layers[i].tracked) / total_tracked
+             : 0.0;
+}
+
+std::string SparsityReport::render() const {
+  util::Table table({"layer", "dense", "tracked", "compression",
+                     "budget share"});
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const auto& layer = layers[i];
+    table.add_row({layer.name, std::to_string(layer.dense),
+                   std::to_string(layer.tracked),
+                   layer.tracked > 0
+                       ? util::Table::times(layer.compression(), 1)
+                       : "inf",
+                   util::Table::pct(budget_share(i), 1)});
+  }
+  table.add_row({"Total", std::to_string(total_dense),
+                 std::to_string(total_tracked),
+                 util::Table::times(total_compression(), 1), "100%"});
+  return table.render();
+}
+
+SparsityReport sparsity_report(const core::DropBackOptimizer& optimizer) {
+  SparsityReport report;
+  const auto& index = optimizer.param_index();
+  for (std::size_t p = 0; p < index.num_params(); ++p) {
+    LayerSparsity layer;
+    layer.name = index.param(p).name;
+    layer.dense = index.param(p).numel();
+    layer.tracked = optimizer.tracked().all_tracked()
+                        ? layer.dense
+                        : optimizer.tracked().tracked_count_in(p);
+    report.total_dense += layer.dense;
+    report.total_tracked += layer.tracked;
+    report.layers.push_back(std::move(layer));
+  }
+  return report;
+}
+
+SparsityReport sparsity_report(const core::SparseWeightStore& store) {
+  SparsityReport report;
+  for (std::size_t p = 0; p < store.num_params(); ++p) {
+    const auto& rec = store.record(p);
+    LayerSparsity layer;
+    layer.name = rec.name;
+    layer.dense = rec.dense_numel();
+    layer.tracked = static_cast<std::int64_t>(rec.entries.size());
+    report.total_dense += layer.dense;
+    report.total_tracked += layer.tracked;
+    report.layers.push_back(std::move(layer));
+  }
+  return report;
+}
+
+}  // namespace dropback::analysis

@@ -1,0 +1,49 @@
+// Per-layer sparsity reporting — the machinery behind Table 2.
+//
+// Summarizes where a DropBack run (or an exported store) spends its weight
+// budget, layer by layer, including the budget *share* statistic the paper
+// uses to show later layers keeping proportionally more weights at tight
+// budgets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dropback_optimizer.hpp"
+#include "core/sparse_weight_store.hpp"
+
+namespace dropback::analysis {
+
+struct LayerSparsity {
+  std::string name;
+  std::int64_t dense = 0;
+  std::int64_t tracked = 0;
+
+  double compression() const {
+    return tracked > 0 ? static_cast<double>(dense) / tracked : 0.0;
+  }
+};
+
+struct SparsityReport {
+  std::vector<LayerSparsity> layers;
+  std::int64_t total_dense = 0;
+  std::int64_t total_tracked = 0;
+
+  double total_compression() const {
+    return total_tracked > 0
+               ? static_cast<double>(total_dense) / total_tracked
+               : 0.0;
+  }
+  /// Fraction of the live budget held by layer i.
+  double budget_share(std::size_t i) const;
+  /// Rendered ASCII table (Table 2 format).
+  std::string render() const;
+};
+
+/// From a live optimizer (post-step).
+SparsityReport sparsity_report(const core::DropBackOptimizer& optimizer);
+
+/// From an exported store.
+SparsityReport sparsity_report(const core::SparseWeightStore& store);
+
+}  // namespace dropback::analysis

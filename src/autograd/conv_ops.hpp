@@ -1,0 +1,23 @@
+// Differentiable convolution and pooling ops over Variables.
+#pragma once
+
+#include "autograd/variable.hpp"
+#include "tensor/conv.hpp"
+
+namespace dropback::autograd {
+
+/// 2-D convolution: x[N,Cin,H,W] * w[Cout,Cin,KH,KW] (+ b[Cout]).
+/// Pass an undefined bias Variable to skip the bias.
+Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
+                const tensor::Conv2dSpec& spec);
+
+/// Max pooling with square kernel.
+Variable maxpool2d(const Variable& x, std::int64_t kernel, std::int64_t stride);
+
+/// Average pooling with square kernel.
+Variable avgpool2d(const Variable& x, std::int64_t kernel, std::int64_t stride);
+
+/// Global average pooling: [N,C,H,W] -> [N,C].
+Variable global_avgpool(const Variable& x);
+
+}  // namespace dropback::autograd

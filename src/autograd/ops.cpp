@@ -1,0 +1,522 @@
+#include "autograd/ops.hpp"
+
+#include <cmath>
+
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace dropback::autograd {
+
+namespace T = dropback::tensor;
+
+namespace {
+bool needs_tape(std::initializer_list<const Variable*> inputs) {
+  if (!grad_enabled()) return false;
+  for (const Variable* v : inputs) {
+    if (v->defined() && v->requires_grad()) return true;
+  }
+  return false;
+}
+
+Variable record(T::Tensor value, const char* name, std::vector<Variable> ins,
+                Node::BackwardFn fn) {
+  auto node =
+      std::make_shared<Node>(name, std::move(ins), std::move(fn));
+  return make_result(std::move(value), std::move(node));
+}
+}  // namespace
+
+Variable add(const Variable& a, const Variable& b) {
+  T::Tensor out = T::add(a.value(), b.value());
+  if (!needs_tape({&a, &b})) return Variable(std::move(out));
+  Variable av = a, bv = b;
+  return record(std::move(out), "add", {a, b}, [av, bv](const T::Tensor& gy) {
+    if (av.requires_grad() || av.grad_fn()) av.accumulate_grad(gy);
+    if (bv.requires_grad() || bv.grad_fn()) bv.accumulate_grad(gy);
+  });
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  T::Tensor out = T::sub(a.value(), b.value());
+  if (!needs_tape({&a, &b})) return Variable(std::move(out));
+  Variable av = a, bv = b;
+  return record(std::move(out), "sub", {a, b}, [av, bv](const T::Tensor& gy) {
+    if (av.requires_grad() || av.grad_fn()) av.accumulate_grad(gy);
+    if (bv.requires_grad() || bv.grad_fn()) {
+      bv.accumulate_grad(T::mul_scalar(gy, -1.0F));
+    }
+  });
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  T::Tensor out = T::mul(a.value(), b.value());
+  if (!needs_tape({&a, &b})) return Variable(std::move(out));
+  Variable av = a, bv = b;
+  const T::Tensor aval = a.value();
+  const T::Tensor bval = b.value();
+  return record(std::move(out), "mul", {a, b},
+                [av, bv, aval, bval](const T::Tensor& gy) {
+                  if (av.requires_grad() || av.grad_fn()) {
+                    av.accumulate_grad(T::mul(gy, bval));
+                  }
+                  if (bv.requires_grad() || bv.grad_fn()) {
+                    bv.accumulate_grad(T::mul(gy, aval));
+                  }
+                });
+}
+
+Variable add_scalar(const Variable& a, float s) {
+  T::Tensor out = T::add_scalar(a.value(), s);
+  if (!needs_tape({&a})) return Variable(std::move(out));
+  Variable av = a;
+  return record(std::move(out), "add_scalar", {a},
+                [av](const T::Tensor& gy) { av.accumulate_grad(gy); });
+}
+
+Variable mul_scalar(const Variable& a, float s) {
+  T::Tensor out = T::mul_scalar(a.value(), s);
+  if (!needs_tape({&a})) return Variable(std::move(out));
+  Variable av = a;
+  return record(std::move(out), "mul_scalar", {a},
+                [av, s](const T::Tensor& gy) {
+                  av.accumulate_grad(T::mul_scalar(gy, s));
+                });
+}
+
+Variable relu(const Variable& x) {
+  T::Tensor out = T::relu(x.value());
+  if (!needs_tape({&x})) return Variable(std::move(out));
+  Variable xv = x;
+  const T::Tensor xval = x.value();
+  return record(std::move(out), "relu", {x},
+                [xv, xval](const T::Tensor& gy) {
+                  T::Tensor gx(gy.shape());
+                  const float* pg = gy.data();
+                  const float* px = xval.data();
+                  float* po = gx.data();
+                  const std::int64_t n = gy.numel();
+                  for (std::int64_t i = 0; i < n; ++i) {
+                    po[i] = px[i] > 0.0F ? pg[i] : 0.0F;
+                  }
+                  xv.accumulate_grad(gx);
+                });
+}
+
+Variable prelu(const Variable& x, const Variable& slope) {
+  DROPBACK_CHECK(slope.numel() == 1, << "prelu expects a scalar slope");
+  const float a = slope.value()[0];
+  const T::Tensor xval = x.value();
+  T::Tensor out = T::map(xval, [a](float v) { return v > 0.0F ? v : a * v; });
+  if (!needs_tape({&x, &slope})) return Variable(std::move(out));
+  Variable xv = x, sv = slope;
+  return record(
+      std::move(out), "prelu", {x, slope},
+      [xv, sv, xval, a](const T::Tensor& gy) {
+        const float* pg = gy.data();
+        const float* px = xval.data();
+        const std::int64_t n = gy.numel();
+        if (xv.requires_grad() || xv.grad_fn()) {
+          T::Tensor gx(gy.shape());
+          float* po = gx.data();
+          for (std::int64_t i = 0; i < n; ++i) {
+            po[i] = px[i] > 0.0F ? pg[i] : a * pg[i];
+          }
+          xv.accumulate_grad(gx);
+        }
+        if (sv.requires_grad() || sv.grad_fn()) {
+          double acc = 0.0;
+          for (std::int64_t i = 0; i < n; ++i) {
+            if (px[i] <= 0.0F) acc += static_cast<double>(pg[i]) * px[i];
+          }
+          T::Tensor gs({1});
+          gs[0] = static_cast<float>(acc);
+          sv.accumulate_grad(gs);
+        }
+      });
+}
+
+Variable sigmoid(const Variable& x) {
+  T::Tensor out = T::sigmoid(x.value());
+  if (!needs_tape({&x})) return Variable(std::move(out));
+  Variable xv = x;
+  const T::Tensor yval = out;
+  return record(std::move(out), "sigmoid", {x},
+                [xv, yval](const T::Tensor& gy) {
+                  T::Tensor gx(gy.shape());
+                  const float* pg = gy.data();
+                  const float* py = yval.data();
+                  float* po = gx.data();
+                  const std::int64_t n = gy.numel();
+                  for (std::int64_t i = 0; i < n; ++i) {
+                    po[i] = pg[i] * py[i] * (1.0F - py[i]);
+                  }
+                  xv.accumulate_grad(gx);
+                });
+}
+
+Variable tanh_op(const Variable& x) {
+  T::Tensor out = T::tanh(x.value());
+  if (!needs_tape({&x})) return Variable(std::move(out));
+  Variable xv = x;
+  const T::Tensor yval = out;
+  return record(std::move(out), "tanh", {x},
+                [xv, yval](const T::Tensor& gy) {
+                  T::Tensor gx(gy.shape());
+                  const float* pg = gy.data();
+                  const float* py = yval.data();
+                  float* po = gx.data();
+                  const std::int64_t n = gy.numel();
+                  for (std::int64_t i = 0; i < n; ++i) {
+                    po[i] = pg[i] * (1.0F - py[i] * py[i]);
+                  }
+                  xv.accumulate_grad(gx);
+                });
+}
+
+Variable exp_op(const Variable& x) {
+  T::Tensor out = T::exp(x.value());
+  if (!needs_tape({&x})) return Variable(std::move(out));
+  Variable xv = x;
+  const T::Tensor yval = out;
+  return record(std::move(out), "exp", {x}, [xv, yval](const T::Tensor& gy) {
+    xv.accumulate_grad(T::mul(gy, yval));
+  });
+}
+
+Variable log_op(const Variable& x) {
+  T::Tensor out = T::log(x.value());
+  if (!needs_tape({&x})) return Variable(std::move(out));
+  Variable xv = x;
+  const T::Tensor xval = x.value();
+  return record(std::move(out), "log", {x}, [xv, xval](const T::Tensor& gy) {
+    xv.accumulate_grad(T::div(gy, xval));
+  });
+}
+
+Variable sqrt_op(const Variable& x) {
+  T::Tensor out = T::sqrt(x.value());
+  if (!needs_tape({&x})) return Variable(std::move(out));
+  Variable xv = x;
+  const T::Tensor yval = out;
+  return record(std::move(out), "sqrt", {x}, [xv, yval](const T::Tensor& gy) {
+    T::Tensor gx(gy.shape());
+    const float* pg = gy.data();
+    const float* py = yval.data();
+    float* po = gx.data();
+    const std::int64_t n = gy.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      po[i] = pg[i] * 0.5F / (py[i] + 1e-12F);
+    }
+    xv.accumulate_grad(gx);
+  });
+}
+
+Variable mul_mask(const Variable& x, const tensor::Tensor& mask) {
+  T::Tensor out = T::mul(x.value(), mask);
+  if (!needs_tape({&x})) return Variable(std::move(out));
+  Variable xv = x;
+  const T::Tensor m = mask;
+  return record(std::move(out), "mul_mask", {x}, [xv, m](const T::Tensor& gy) {
+    xv.accumulate_grad(T::mul(gy, m));
+  });
+}
+
+Variable reshape(const Variable& x, tensor::Shape shape) {
+  T::Tensor out = x.value().reshape(std::move(shape));
+  if (!needs_tape({&x})) return Variable(std::move(out));
+  Variable xv = x;
+  const tensor::Shape orig = x.value().shape();
+  return record(std::move(out), "reshape", {x},
+                [xv, orig](const T::Tensor& gy) {
+                  xv.accumulate_grad(gy.reshape(orig));
+                });
+}
+
+Variable concat_channels(const std::vector<Variable>& xs) {
+  DROPBACK_CHECK(!xs.empty(), << "concat_channels: no inputs");
+  const std::int64_t n = xs[0].value().size(0);
+  const std::int64_t h = xs[0].value().size(2);
+  const std::int64_t w = xs[0].value().size(3);
+  std::int64_t total_c = 0;
+  for (const Variable& x : xs) {
+    DROPBACK_CHECK(x.value().ndim() == 4 && x.value().size(0) == n &&
+                       x.value().size(2) == h && x.value().size(3) == w,
+                   << "concat_channels: incompatible input "
+                   << T::shape_str(x.value().shape()));
+    total_c += x.value().size(1);
+  }
+  T::Tensor out({n, total_c, h, w});
+  float* po = out.data();
+  const std::int64_t hw = h * w;
+  std::int64_t c_off = 0;
+  for (const Variable& x : xs) {
+    const std::int64_t c = x.value().size(1);
+    const float* px = x.value().data();
+    for (std::int64_t b = 0; b < n; ++b) {
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        const float* src = px + (b * c + ch) * hw;
+        float* dst = po + (b * total_c + c_off + ch) * hw;
+        std::copy(src, src + hw, dst);
+      }
+    }
+    c_off += c;
+  }
+
+  bool tape = grad_enabled();
+  if (tape) {
+    tape = false;
+    for (const Variable& x : xs) {
+      if (x.requires_grad()) tape = true;
+    }
+  }
+  if (!tape) return Variable(std::move(out));
+
+  std::vector<Variable> inputs = xs;
+  return record(
+      std::move(out), "concat_channels", xs,
+      [inputs, n, h, w, total_c](const T::Tensor& gy) {
+        const std::int64_t hw = h * w;
+        const float* pg = gy.data();
+        std::int64_t c_off = 0;
+        for (Variable x : inputs) {
+          const std::int64_t c = x.value().size(1);
+          if (x.requires_grad() || x.grad_fn()) {
+            T::Tensor gx({n, c, h, w});
+            float* pgx = gx.data();
+            for (std::int64_t b = 0; b < n; ++b) {
+              for (std::int64_t ch = 0; ch < c; ++ch) {
+                const float* src = pg + (b * total_c + c_off + ch) * hw;
+                float* dst = pgx + (b * c + ch) * hw;
+                std::copy(src, src + hw, dst);
+              }
+            }
+            x.accumulate_grad(gx);
+          }
+          c_off += c;
+        }
+      });
+}
+
+Variable linear(const Variable& x, const Variable& w, const Variable& b) {
+  DROPBACK_CHECK(x.value().ndim() == 2 && w.value().ndim() == 2,
+                 << "linear: x " << T::shape_str(x.value().shape()) << ", w "
+                 << T::shape_str(w.value().shape()));
+  DROPBACK_CHECK(x.value().size(1) == w.value().size(1),
+                 << "linear: in features " << x.value().size(1) << " vs w "
+                 << T::shape_str(w.value().shape()));
+  T::Tensor out = T::matmul_nt(x.value(), w.value());  // [m,in]x[out,in]ᵀ
+  if (b.defined()) {
+    out = T::add_row_vector(out, b.value());
+  }
+  const bool tape =
+      b.defined() ? needs_tape({&x, &w, &b}) : needs_tape({&x, &w});
+  if (!tape) return Variable(std::move(out));
+  Variable xv = x, wv = w, bv = b;
+  const T::Tensor xval = x.value();
+  const T::Tensor wval = w.value();
+  std::vector<Variable> inputs = b.defined()
+                                     ? std::vector<Variable>{x, w, b}
+                                     : std::vector<Variable>{x, w};
+  return record(std::move(out), "linear", std::move(inputs),
+                [xv, wv, bv, xval, wval](const T::Tensor& gy) {
+                  if (xv.requires_grad() || xv.grad_fn()) {
+                    xv.accumulate_grad(T::matmul(gy, wval));  // [m,out]x[out,in]
+                  }
+                  if (wv.requires_grad() || wv.grad_fn()) {
+                    wv.accumulate_grad(T::matmul_tn(gy, xval));  // gyᵀ·x
+                  }
+                  if (bv.defined() && (bv.requires_grad() || bv.grad_fn())) {
+                    bv.accumulate_grad(T::sum_rows(gy));
+                  }
+                });
+}
+
+Variable sum(const Variable& x) {
+  T::Tensor out({1});
+  out[0] = x.value().sum();
+  if (!needs_tape({&x})) return Variable(std::move(out));
+  Variable xv = x;
+  const tensor::Shape shape = x.value().shape();
+  return record(std::move(out), "sum", {x}, [xv, shape](const T::Tensor& gy) {
+    xv.accumulate_grad(T::Tensor::full(shape, gy[0]));
+  });
+}
+
+Variable mean(const Variable& x) {
+  T::Tensor out({1});
+  out[0] = x.value().mean();
+  if (!needs_tape({&x})) return Variable(std::move(out));
+  Variable xv = x;
+  const tensor::Shape shape = x.value().shape();
+  const float inv = 1.0F / static_cast<float>(x.numel());
+  return record(std::move(out), "mean", {x},
+                [xv, shape, inv](const T::Tensor& gy) {
+                  xv.accumulate_grad(T::Tensor::full(shape, gy[0] * inv));
+                });
+}
+
+Variable softmax_cross_entropy(const Variable& logits,
+                               const std::vector<std::int64_t>& labels) {
+  const T::Tensor& z = logits.value();
+  DROPBACK_CHECK(z.ndim() == 2, << "softmax_cross_entropy: logits must be 2-D");
+  const std::int64_t m = z.size(0), n = z.size(1);
+  DROPBACK_CHECK(static_cast<std::int64_t>(labels.size()) == m,
+                 << "softmax_cross_entropy: " << labels.size()
+                 << " labels for batch " << m);
+  const T::Tensor lse = T::row_logsumexp(z);
+  double loss_acc = 0.0;
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t y = labels[static_cast<size_t>(i)];
+    DROPBACK_CHECK(y >= 0 && y < n, << "label " << y << " out of range " << n);
+    loss_acc += lse[i] - z[i * n + y];
+  }
+  T::Tensor out({1});
+  out[0] = static_cast<float>(loss_acc / static_cast<double>(m));
+  if (!needs_tape({&logits})) return Variable(std::move(out));
+  Variable lv = logits;
+  const T::Tensor probs = T::row_softmax(z);
+  const std::vector<std::int64_t> labels_copy = labels;
+  return record(std::move(out), "softmax_cross_entropy", {logits},
+                [lv, probs, labels_copy, m, n](const T::Tensor& gy) {
+                  T::Tensor gz = probs.clone();
+                  float* pg = gz.data();
+                  const float scale = gy[0] / static_cast<float>(m);
+                  for (std::int64_t i = 0; i < m; ++i) {
+                    pg[i * n + labels_copy[static_cast<size_t>(i)]] -= 1.0F;
+                  }
+                  gz.scale_(scale);
+                  lv.accumulate_grad(gz);
+                });
+}
+
+double accuracy(const tensor::Tensor& logits,
+                const std::vector<std::int64_t>& labels) {
+  const auto preds = T::argmax_rows(logits);
+  DROPBACK_CHECK(preds.size() == labels.size(), << "accuracy: size mismatch");
+  if (preds.empty()) return 0.0;
+  std::int64_t hits = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(preds.size());
+}
+
+Variable batch_norm2d(const Variable& x, const Variable& gamma,
+                      const Variable& beta, tensor::Tensor& running_mean,
+                      tensor::Tensor& running_var, bool training,
+                      float momentum, float eps) {
+  const T::Tensor& xv = x.value();
+  DROPBACK_CHECK(xv.ndim() == 4, << "batch_norm2d needs NCHW");
+  const std::int64_t c = xv.size(1);
+  DROPBACK_CHECK(gamma.numel() == c && beta.numel() == c,
+                 << "batch_norm2d: gamma/beta size mismatch");
+  DROPBACK_CHECK(running_mean.numel() == c && running_var.numel() == c,
+                 << "batch_norm2d: running stats size mismatch");
+
+  T::Tensor mean_t, var_t;
+  if (training) {
+    mean_t = T::channel_mean(xv);
+    var_t = T::channel_var(xv, mean_t);
+    // Update running stats in place (exponential moving average).
+    float* rm = running_mean.data();
+    float* rv = running_var.data();
+    const float* pm = mean_t.data();
+    const float* pv = var_t.data();
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      rm[ch] = (1.0F - momentum) * rm[ch] + momentum * pm[ch];
+      rv[ch] = (1.0F - momentum) * rv[ch] + momentum * pv[ch];
+    }
+  } else {
+    mean_t = running_mean.clone();
+    var_t = running_var.clone();
+  }
+
+  // inv_std[c] = 1/sqrt(var + eps); y = (x - mean) * (gamma * inv_std) + beta
+  T::Tensor inv_std({c});
+  {
+    const float* pv = var_t.data();
+    float* pi = inv_std.data();
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      pi[ch] = 1.0F / std::sqrt(pv[ch] + eps);
+    }
+  }
+  T::Tensor scale = T::mul(gamma.value(), inv_std);
+  T::Tensor out = T::channel_affine(xv, mean_t, scale, beta.value());
+
+  if (!needs_tape({&x, &gamma, &beta})) return Variable(std::move(out));
+
+  Variable xvar = x, gvar = gamma, bvar = beta;
+  const T::Tensor xval = xv;
+  const std::int64_t n_elems_per_c = xv.size(0) * xv.size(2) * xv.size(3);
+  const bool training_mode = training;
+  return record(
+      std::move(out), "batch_norm2d", {x, gamma, beta},
+      [xvar, gvar, bvar, xval, mean_t, inv_std, training_mode,
+       n_elems_per_c](const T::Tensor& gy) {
+        const std::int64_t c = mean_t.numel();
+        // xhat = (x - mean) * inv_std, computed on the fly per channel.
+        const T::Tensor zeros_shift = T::Tensor::zeros({c});
+        const T::Tensor xhat =
+            T::channel_affine(xval, mean_t, inv_std, zeros_shift);
+        const T::Tensor dbeta = T::channel_sum(gy);
+        const T::Tensor dgamma = T::channel_dot(gy, xhat);
+        if (gvar.requires_grad() || gvar.grad_fn()) {
+          gvar.accumulate_grad(dgamma);
+        }
+        if (bvar.requires_grad() || bvar.grad_fn()) {
+          bvar.accumulate_grad(dbeta);
+        }
+        if (xvar.requires_grad() || xvar.grad_fn()) {
+          const T::Tensor gamma_inv_std = T::mul(gvar.value(), inv_std);
+          if (!training_mode) {
+            // Eval mode: stats are constants, dx = gy * gamma * inv_std.
+            xvar.accumulate_grad(T::mul_per_channel(gy, gamma_inv_std));
+            return;
+          }
+          // Training mode full backward:
+          // dx = (gamma*inv_std/m) * (m*gy - dbeta - xhat * dgamma)
+          const float inv_m = 1.0F / static_cast<float>(n_elems_per_c);
+          T::Tensor gx(xval.shape());
+          const std::int64_t n = xval.size(0);
+          const std::int64_t hw = xval.size(2) * xval.size(3);
+          const float* pgy = gy.data();
+          const float* pxh = xhat.data();
+          const float* pdb = dbeta.data();
+          const float* pdg = dgamma.data();
+          const float* pgs = gamma_inv_std.data();
+          float* pgx = gx.data();
+          for (std::int64_t b = 0; b < n; ++b) {
+            for (std::int64_t ch = 0; ch < c; ++ch) {
+              const std::int64_t base = (b * c + ch) * hw;
+              const float k = pgs[ch] * inv_m;
+              const float db = pdb[ch];
+              const float dg = pdg[ch];
+              for (std::int64_t i = 0; i < hw; ++i) {
+                pgx[base + i] =
+                    k * (static_cast<float>(n_elems_per_c) * pgy[base + i] -
+                         db - pxh[base + i] * dg);
+              }
+            }
+          }
+          xvar.accumulate_grad(gx);
+        }
+      });
+}
+
+Variable dropout(const Variable& x, float p, bool training,
+                 rng::Xorshift128& rng) {
+  if (!training || p <= 0.0F) return x;
+  DROPBACK_CHECK(p < 1.0F, << "dropout: p must be < 1");
+  T::Tensor mask(x.value().shape());
+  float* pm = mask.data();
+  const float keep = 1.0F - p;
+  const float scale = 1.0F / keep;
+  const std::int64_t n = mask.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    pm[i] = rng.uniform() < keep ? scale : 0.0F;
+  }
+  return mul_mask(x, mask);
+}
+
+}  // namespace dropback::autograd

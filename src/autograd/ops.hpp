@@ -1,0 +1,71 @@
+// Differentiable operations over Variables (dense / pointwise / loss).
+// Convolutional and pooling ops live in autograd/conv_ops.hpp.
+//
+// Every op computes its value eagerly with the kernels in src/tensor and, if
+// grad mode is on and an input requires grad, records a Node whose backward
+// closure accumulates input gradients.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.hpp"
+#include "rng/xorshift.hpp"
+
+namespace dropback::autograd {
+
+/// --- elementwise -----------------------------------------------------------
+Variable add(const Variable& a, const Variable& b);
+Variable sub(const Variable& a, const Variable& b);
+Variable mul(const Variable& a, const Variable& b);
+Variable add_scalar(const Variable& a, float s);
+Variable mul_scalar(const Variable& a, float s);
+Variable relu(const Variable& x);
+/// PReLU with a single learnable slope (scalar Variable of numel 1).
+Variable prelu(const Variable& x, const Variable& slope);
+Variable sigmoid(const Variable& x);
+Variable tanh_op(const Variable& x);
+Variable exp_op(const Variable& x);
+Variable log_op(const Variable& x);
+Variable sqrt_op(const Variable& x);
+/// y = x * mask (mask constant, not differentiated) — dropout backbone.
+Variable mul_mask(const Variable& x, const tensor::Tensor& mask);
+
+/// --- structure ---------------------------------------------------------------
+/// View with a new shape (numel preserved; -1 inference supported).
+Variable reshape(const Variable& x, tensor::Shape shape);
+/// Concatenate along dim 1 (channels). All inputs NCHW with equal N,H,W.
+Variable concat_channels(const std::vector<Variable>& xs);
+
+/// --- dense layers ------------------------------------------------------------
+/// y[m, out] = x[m, in] · wᵀ[in, out] + b[out]. w is [out, in]; pass an
+/// undefined bias Variable to skip the add.
+Variable linear(const Variable& x, const Variable& w, const Variable& b);
+
+/// --- reductions / losses -----------------------------------------------------
+/// Sum of all elements -> scalar.
+Variable sum(const Variable& x);
+/// Mean of all elements -> scalar.
+Variable mean(const Variable& x);
+/// Softmax cross entropy with integer labels; returns mean loss (scalar).
+Variable softmax_cross_entropy(const Variable& logits,
+                               const std::vector<std::int64_t>& labels);
+/// Fraction of rows whose argmax equals the label (no autograd).
+double accuracy(const tensor::Tensor& logits,
+                const std::vector<std::int64_t>& labels);
+
+/// --- batch norm ----------------------------------------------------------------
+/// Fused 2-D batch normalization over NCHW input.
+/// In training mode uses batch statistics and updates running stats in place;
+/// in eval mode normalizes with the provided running stats.
+Variable batch_norm2d(const Variable& x, const Variable& gamma,
+                      const Variable& beta, tensor::Tensor& running_mean,
+                      tensor::Tensor& running_var, bool training,
+                      float momentum, float eps);
+
+/// --- dropout ---------------------------------------------------------------------
+/// Standard inverted dropout; identity when !training or p == 0.
+Variable dropout(const Variable& x, float p, bool training,
+                 rng::Xorshift128& rng);
+
+}  // namespace dropback::autograd

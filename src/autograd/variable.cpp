@@ -1,0 +1,137 @@
+#include "autograd/variable.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace dropback::autograd {
+
+Node::Node(std::string name, std::vector<Variable> inputs,
+           BackwardFn backward_fn)
+    : name_(std::move(name)),
+      inputs_(std::move(inputs)),
+      backward_fn_(std::move(backward_fn)) {}
+
+Variable::Variable(tensor::Tensor value, bool requires_grad)
+    : impl_(std::make_shared<detail::VarImpl>()) {
+  impl_->value = std::move(value);
+  impl_->requires_grad = requires_grad;
+}
+
+const tensor::Tensor& Variable::value() const {
+  DROPBACK_CHECK(defined(), << "value() on undefined Variable");
+  return impl_->value;
+}
+
+tensor::Tensor& Variable::value() {
+  DROPBACK_CHECK(defined(), << "value() on undefined Variable");
+  return impl_->value;
+}
+
+tensor::Tensor& Variable::grad() const {
+  DROPBACK_CHECK(defined(), << "grad() on undefined Variable");
+  if (!impl_->grad.defined()) {
+    impl_->grad = tensor::Tensor::zeros(impl_->value.shape());
+  }
+  return impl_->grad;
+}
+
+bool Variable::has_grad() const { return defined() && impl_->grad.defined(); }
+
+void Variable::clear_grad() const {
+  if (defined()) impl_->grad = tensor::Tensor();
+}
+
+bool Variable::requires_grad() const {
+  return defined() && impl_->requires_grad;
+}
+
+void Variable::set_requires_grad(bool v) {
+  DROPBACK_CHECK(defined(), << "set_requires_grad on undefined Variable");
+  impl_->requires_grad = v;
+}
+
+std::shared_ptr<Node> Variable::grad_fn() const {
+  return defined() ? impl_->grad_fn : nullptr;
+}
+
+void Variable::accumulate_grad(const tensor::Tensor& g) const {
+  DROPBACK_CHECK(defined(), << "accumulate_grad on undefined Variable");
+  DROPBACK_CHECK(g.numel() == impl_->value.numel(),
+                 << "accumulate_grad: gradient numel " << g.numel()
+                 << " != value numel " << impl_->value.numel());
+  grad().add_(g);
+}
+
+Variable make_result(tensor::Tensor value, std::shared_ptr<Node> grad_fn) {
+  Variable v(std::move(value), /*requires_grad=*/grad_fn != nullptr);
+  if (grad_fn) v.impl_->grad_fn = std::move(grad_fn);
+  return v;
+}
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}
+
+bool grad_enabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+void backward(const Variable& root) {
+  DROPBACK_CHECK(root.defined(), << "backward on undefined Variable");
+  DROPBACK_CHECK(root.numel() == 1,
+                 << "backward requires a scalar root, got numel "
+                 << root.numel());
+  // Seed the root gradient with 1.
+  Variable seed_root = root;  // shares impl
+  seed_root.grad().fill_(1.0F);
+
+  // The backward graph has an edge from each result to the inputs of its
+  // grad_fn. A reverse-postorder DFS over that graph is a topological order
+  // in which every consumer of a variable is processed before the variable's
+  // own grad_fn runs, so gradient accumulation is complete by then.
+  std::vector<Variable> order;
+  std::unordered_set<const void*> visited;
+  // Iterative DFS with an explicit stack (graphs can be thousands of nodes
+  // deep for DenseNet-style architectures).
+  struct Frame {
+    Variable var;
+    size_t next_input = 0;
+  };
+  std::vector<Frame> stack;
+  auto push = [&](const Variable& v) {
+    if (!v.defined() || !v.grad_fn()) return;
+    if (visited.insert(v.id()).second) stack.push_back({v, 0});
+  };
+  push(root);
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const auto& fn_inputs = frame.var.grad_fn()->inputs();
+    if (frame.next_input < fn_inputs.size()) {
+      const Variable& input = fn_inputs[frame.next_input++];
+      if (input.defined() && input.grad_fn() &&
+          !visited.contains(input.id())) {
+        visited.insert(input.id());
+        stack.push_back({input, 0});
+      }
+    } else {
+      order.push_back(frame.var);
+      stack.pop_back();
+    }
+  }
+
+  // Reverse postorder: root first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Variable v = *it;
+    // A node whose output never received gradient contributes nothing.
+    if (!v.has_grad()) continue;
+    v.grad_fn()->run_backward(v.grad());
+  }
+}
+
+}  // namespace dropback::autograd

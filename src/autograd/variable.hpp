@@ -1,0 +1,119 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// A Variable wraps a Tensor value plus (lazily allocated) gradient storage
+// and an optional grad_fn Node recording how it was produced. Calling
+// `backward(root)` on a scalar root walks the recorded DAG in topological
+// order (consumers before producers) and accumulates gradients into every
+// requires_grad Variable, exactly like a miniature torch.autograd.
+//
+// Gradient recording is controlled by a thread-local flag; wrap inference in
+// a `NoGradGuard` to skip tape construction entirely.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dropback::autograd {
+
+class Variable;
+
+/// A recorded operation. `backward_fn` receives the gradient of the op's
+/// output and must accumulate gradients into its inputs (via Variable::grad).
+class Node {
+ public:
+  using BackwardFn = std::function<void(const tensor::Tensor& grad_output)>;
+
+  Node(std::string name, std::vector<Variable> inputs, BackwardFn backward_fn);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Variable>& inputs() const { return inputs_; }
+  void run_backward(const tensor::Tensor& grad_output) {
+    backward_fn_(grad_output);
+  }
+
+ private:
+  std::string name_;
+  std::vector<Variable> inputs_;  // kept alive for the backward pass
+  BackwardFn backward_fn_;
+};
+
+namespace detail {
+struct VarImpl {
+  tensor::Tensor value;
+  tensor::Tensor grad;  // undefined until first accumulation
+  bool requires_grad = false;
+  std::shared_ptr<Node> grad_fn;  // null for leaves / non-recorded results
+};
+}  // namespace detail
+
+class Variable {
+ public:
+  /// Undefined variable.
+  Variable() = default;
+
+  /// Wraps a value. Leaves created with requires_grad=true accumulate
+  /// gradients during backward().
+  explicit Variable(tensor::Tensor value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+
+  const tensor::Tensor& value() const;
+  tensor::Tensor& value();
+
+  /// Gradient tensor; allocates zeros of the value's shape on first access.
+  /// Const because a Variable is a shared handle: mutating the gradient does
+  /// not change which tensor the handle designates (torch::Tensor semantics).
+  tensor::Tensor& grad() const;
+  /// True if a gradient has been accumulated (avoids allocating).
+  bool has_grad() const;
+  /// Drops gradient storage (cheaper than zeroing; next access reallocates).
+  void clear_grad() const;
+
+  bool requires_grad() const;
+  void set_requires_grad(bool v);
+
+  std::shared_ptr<Node> grad_fn() const;
+
+  /// Accumulates `g` into this variable's gradient.
+  void accumulate_grad(const tensor::Tensor& g) const;
+
+  /// Shape helpers forwarded to the value.
+  const tensor::Shape& shape() const { return value().shape(); }
+  std::int64_t numel() const { return value().numel(); }
+
+  /// Identity for graph bookkeeping / hashing.
+  const void* id() const { return impl_.get(); }
+
+  friend Variable make_result(tensor::Tensor value,
+                              std::shared_ptr<Node> grad_fn);
+
+ private:
+  std::shared_ptr<detail::VarImpl> impl_;
+};
+
+/// Creates an op result carrying a grad_fn (internal to op implementations).
+Variable make_result(tensor::Tensor value, std::shared_ptr<Node> grad_fn);
+
+/// Whether operations currently record the tape (thread-local).
+bool grad_enabled();
+
+/// RAII scope that disables gradient recording.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Runs reverse-mode AD from a scalar root (numel()==1).
+/// Gradients accumulate into all reachable requires_grad variables.
+void backward(const Variable& root);
+
+}  // namespace dropback::autograd

@@ -1,0 +1,72 @@
+#include "baselines/dsd.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace dropback::baselines {
+
+DsdSchedule::DsdSchedule(std::vector<nn::Parameter*> params, DsdConfig config)
+    : config_(config), index_(std::move(params)), kept_(index_) {
+  DROPBACK_CHECK(config.sparse_fraction >= 0.0F &&
+                     config.sparse_fraction < 1.0F,
+                 << "DsdConfig.sparse_fraction " << config.sparse_fraction);
+  DROPBACK_CHECK(config.sparse_begin_step <= config.sparse_end_step,
+                 << "DsdConfig: sparse phase boundaries out of order");
+}
+
+void DsdSchedule::on_step(std::int64_t step) {
+  if (phase_ == Phase::kDenseInitial && step >= config_.sparse_begin_step) {
+    phase_ = Phase::kSparse;
+    build_mask();
+    mask_active_ = true;
+  }
+  if (phase_ == Phase::kSparse && step >= config_.sparse_end_step) {
+    phase_ = Phase::kDenseFinal;
+    mask_active_ = false;  // dense refinement: all weights may recover
+  }
+  if (mask_active_) apply_mask();
+}
+
+void DsdSchedule::build_mask() {
+  // Keep the top (1 - sparse_fraction) by |w|, zero the rest — DSD's
+  // sparsify step.
+  scores_.resize(static_cast<std::size_t>(index_.total()));
+  for (std::size_t p = 0; p < index_.num_params(); ++p) {
+    nn::Parameter& param = index_.param(p);
+    float* out = scores_.data() + index_.offset(p);
+    const float* w = param.var.value().data();
+    const std::int64_t n = param.numel();
+    if (!param.prunable) {
+      std::fill(out, out + n, std::numeric_limits<float>::infinity());
+      continue;
+    }
+    for (std::int64_t i = 0; i < n; ++i) out[i] = std::fabs(w[i]);
+  }
+  const auto keep = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(static_cast<double>(index_.total()) *
+                          (1.0 - config_.sparse_fraction))));
+  kept_.select(scores_, keep);
+}
+
+void DsdSchedule::apply_mask() {
+  for (std::size_t p = 0; p < index_.num_params(); ++p) {
+    nn::Parameter& param = index_.param(p);
+    if (!param.prunable) continue;
+    float* w = param.var.value().data();
+    const std::uint8_t* mask = kept_.mask_of(p);
+    const std::int64_t n = param.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (!mask[static_cast<std::size_t>(i)]) w[i] = 0.0F;
+    }
+  }
+}
+
+std::int64_t DsdSchedule::masked_weights() const {
+  if (!mask_active_) return 0;
+  return index_.total() - kept_.tracked_count();
+}
+
+}  // namespace dropback::baselines

@@ -1,0 +1,60 @@
+// DSD — Dense-Sparse-Dense training (Han et al. 2017).
+//
+// The paper contrasts DropBack with DSD in §2.2: DSD alternates a dense
+// phase, a sparse phase (lowest-|w| weights masked to zero), and a dense
+// re-training phase. It is a *regularizer* — the final model is dense — so
+// it improves accuracy but saves no training memory, which is exactly the
+// contrast the paper draws ("DSD first trains the network to convergence on
+// the complete parameter set, and only then prunes some weights and
+// retrains").
+//
+// DsdSchedule drives the phases on top of a plain SGD optimizer: call
+// `on_step()` after every optimizer step; during the sparse phase it
+// re-applies the magnitude mask (weights pruned at the phase boundary stay
+// zero, like DropConnect with a fixed mask).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/accumulated_gradients.hpp"
+#include "core/tracked_set.hpp"
+#include "nn/module.hpp"
+
+namespace dropback::baselines {
+
+struct DsdConfig {
+  /// Fraction of weights masked during the sparse phase (DSD paper: 25-50%).
+  float sparse_fraction = 0.3F;
+  /// Step at which the sparse phase starts (end of initial dense phase).
+  std::int64_t sparse_begin_step = 0;
+  /// Step at which the final dense phase starts (mask lifted).
+  std::int64_t sparse_end_step = 0;
+};
+
+class DsdSchedule {
+ public:
+  DsdSchedule(std::vector<nn::Parameter*> params, DsdConfig config);
+
+  /// Call after each optimizer step with the global step index.
+  void on_step(std::int64_t step);
+
+  enum class Phase { kDenseInitial, kSparse, kDenseFinal };
+  Phase phase() const { return phase_; }
+
+  /// Number of weights currently masked (0 outside the sparse phase).
+  std::int64_t masked_weights() const;
+
+ private:
+  void build_mask();
+  void apply_mask();
+
+  DsdConfig config_;
+  core::ParamIndex index_;
+  core::TrackedSet kept_;
+  Phase phase_ = Phase::kDenseInitial;
+  bool mask_active_ = false;
+  std::vector<float> scores_;
+};
+
+}  // namespace dropback::baselines

@@ -1,0 +1,105 @@
+#include "baselines/gradual_pruner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace dropback::baselines {
+
+GradualMagnitudePruningOptimizer::GradualMagnitudePruningOptimizer(
+    std::vector<nn::Parameter*> params, float lr, GradualPruningConfig config)
+    : Optimizer(std::move(params), lr),
+      config_(config),
+      index_(params_),
+      kept_(index_) {
+  DROPBACK_CHECK(config.final_sparsity >= 0.0F && config.final_sparsity < 1.0F,
+                 << "final_sparsity " << config.final_sparsity);
+  DROPBACK_CHECK(config.ramp_begin_step <= config.ramp_end_step,
+                 << "ramp boundaries out of order");
+  DROPBACK_CHECK(config.prune_every > 0, << "prune_every");
+}
+
+float GradualMagnitudePruningOptimizer::sparsity_at(std::int64_t step) const {
+  // s(t) = s_f * (1 - (1 - (t-t0)/(t1-t0))^3), clamped to [0, s_f].
+  if (step <= config_.ramp_begin_step) return 0.0F;
+  if (step >= config_.ramp_end_step) return config_.final_sparsity;
+  const double progress =
+      static_cast<double>(step - config_.ramp_begin_step) /
+      static_cast<double>(config_.ramp_end_step - config_.ramp_begin_step);
+  const double keep = 1.0 - progress;
+  return config_.final_sparsity *
+         static_cast<float>(1.0 - keep * keep * keep);
+}
+
+void GradualMagnitudePruningOptimizer::step() {
+  // Plain SGD update.
+  for (nn::Parameter* p : params_) {
+    if (!p->var.has_grad()) continue;
+    float* w = p->var.value().data();
+    const float* g = p->var.grad().data();
+    const std::int64_t n = p->numel();
+    for (std::int64_t i = 0; i < n; ++i) w[i] -= lr_ * g[i];
+  }
+  ++steps_;
+  const float target = sparsity_at(steps_);
+  if (target > 0.0F &&
+      (steps_ % config_.prune_every == 0 || target != current_sparsity_)) {
+    current_sparsity_ = target;
+    apply_pruning();
+  } else if (current_sparsity_ > 0.0F) {
+    // Keep already-pruned weights at zero between re-mask points.
+    for (std::size_t p = 0; p < index_.num_params(); ++p) {
+      nn::Parameter& param = index_.param(p);
+      if (!param.prunable) continue;
+      float* w = param.var.value().data();
+      const std::uint8_t* mask = kept_.mask_of(p);
+      for (std::int64_t i = 0; i < param.numel(); ++i) {
+        if (!mask[static_cast<std::size_t>(i)]) w[i] = 0.0F;
+      }
+    }
+  }
+}
+
+void GradualMagnitudePruningOptimizer::apply_pruning() {
+  scores_.resize(static_cast<std::size_t>(index_.total()));
+  for (std::size_t p = 0; p < index_.num_params(); ++p) {
+    nn::Parameter& param = index_.param(p);
+    float* out = scores_.data() + index_.offset(p);
+    const float* w = param.var.value().data();
+    const std::int64_t n = param.numel();
+    if (!param.prunable) {
+      std::fill(out, out + n, std::numeric_limits<float>::infinity());
+      continue;
+    }
+    for (std::int64_t i = 0; i < n; ++i) out[i] = std::fabs(w[i]);
+  }
+  const auto keep = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(static_cast<double>(index_.total()) *
+                          (1.0 - current_sparsity_))));
+  kept_.select(scores_, keep);
+  for (std::size_t p = 0; p < index_.num_params(); ++p) {
+    nn::Parameter& param = index_.param(p);
+    if (!param.prunable) continue;
+    float* w = param.var.value().data();
+    const std::uint8_t* mask = kept_.mask_of(p);
+    for (std::int64_t i = 0; i < param.numel(); ++i) {
+      if (!mask[static_cast<std::size_t>(i)]) w[i] = 0.0F;
+    }
+  }
+}
+
+std::int64_t GradualMagnitudePruningOptimizer::live_weights() const {
+  return kept_.all_tracked() ? index_.total() : kept_.tracked_count();
+}
+
+double GradualMagnitudePruningOptimizer::compression_ratio() const {
+  const std::int64_t live = live_weights();
+  return live > 0 ? static_cast<double>(index_.total()) /
+                        static_cast<double>(live)
+                  : 0.0;
+}
+
+}  // namespace dropback::baselines

@@ -1,0 +1,58 @@
+// Gradual magnitude pruning (Zhu & Gupta 2017, "To prune, or not to prune").
+//
+// Cited by the paper (§5) as the canonical prune-while-training approach:
+// the sparsity fraction s(t) ramps from 0 to a final target along a cubic
+// schedule, and the lowest-|w| weights are masked as the ramp proceeds.
+// Unlike DropBack it (a) needs the full dense weight memory throughout
+// training and (b) zeroes pruned weights rather than regenerating their
+// init values — so it serves as a second point of comparison between
+// "prune to zero while training" and DropBack's regeneration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/accumulated_gradients.hpp"
+#include "core/tracked_set.hpp"
+#include "optim/sgd.hpp"
+
+namespace dropback::baselines {
+
+struct GradualPruningConfig {
+  float final_sparsity = 0.75F;   ///< fraction of weights zeroed at the end
+  std::int64_t ramp_begin_step = 0;
+  std::int64_t ramp_end_step = 1000;
+  std::int64_t prune_every = 10;  ///< re-mask cadence (steps)
+};
+
+class GradualMagnitudePruningOptimizer : public optim::Optimizer {
+ public:
+  GradualMagnitudePruningOptimizer(std::vector<nn::Parameter*> params,
+                                   float lr, GradualPruningConfig config);
+
+  GradualMagnitudePruningOptimizer(const GradualMagnitudePruningOptimizer&) =
+      delete;
+  GradualMagnitudePruningOptimizer& operator=(
+      const GradualMagnitudePruningOptimizer&) = delete;
+
+  void step() override;
+
+  /// Zhu & Gupta's cubic sparsity ramp at a given step.
+  float sparsity_at(std::int64_t step) const;
+
+  float current_sparsity() const { return current_sparsity_; }
+  std::int64_t live_weights() const;
+  double compression_ratio() const;
+
+ private:
+  void apply_pruning();
+
+  GradualPruningConfig config_;
+  core::ParamIndex index_;
+  core::TrackedSet kept_;
+  std::vector<float> scores_;
+  std::int64_t steps_ = 0;
+  float current_sparsity_ = 0.0F;
+};
+
+}  // namespace dropback::baselines

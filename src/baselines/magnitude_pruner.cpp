@@ -1,0 +1,60 @@
+#include "baselines/magnitude_pruner.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace dropback::baselines {
+
+MagnitudePruningOptimizer::MagnitudePruningOptimizer(
+    std::vector<nn::Parameter*> params, float lr, float prune_fraction)
+    : Optimizer(std::move(params), lr), index_(params_), kept_(index_) {
+  DROPBACK_CHECK(prune_fraction >= 0.0F && prune_fraction < 1.0F,
+                 << "prune_fraction " << prune_fraction);
+  budget_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(static_cast<double>(index_.total()) *
+                          (1.0 - prune_fraction))));
+}
+
+void MagnitudePruningOptimizer::step() {
+  // Plain SGD update first.
+  for (nn::Parameter* p : params_) {
+    if (!p->var.has_grad()) continue;
+    float* w = p->var.value().data();
+    const float* g = p->var.grad().data();
+    const std::int64_t n = p->numel();
+    for (std::int64_t i = 0; i < n; ++i) w[i] -= lr_ * g[i];
+  }
+  // Then keep only the largest-|w| weights.
+  scores_.resize(static_cast<std::size_t>(index_.total()));
+  for (std::size_t p = 0; p < index_.num_params(); ++p) {
+    nn::Parameter& param = index_.param(p);
+    float* out = scores_.data() + index_.offset(p);
+    const float* w = param.var.value().data();
+    const std::int64_t n = param.numel();
+    if (!param.prunable) {
+      std::fill(out, out + n, std::numeric_limits<float>::infinity());
+      continue;
+    }
+    for (std::int64_t i = 0; i < n; ++i) out[i] = std::fabs(w[i]);
+  }
+  kept_.select(scores_, budget_);
+  for (std::size_t p = 0; p < index_.num_params(); ++p) {
+    nn::Parameter& param = index_.param(p);
+    if (!param.prunable) continue;
+    float* w = param.var.value().data();
+    const std::uint8_t* mask = kept_.mask_of(p);
+    const std::int64_t n = param.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (!mask[static_cast<std::size_t>(i)]) w[i] = 0.0F;
+    }
+  }
+}
+
+double MagnitudePruningOptimizer::compression_ratio() const {
+  return static_cast<double>(index_.total()) / static_cast<double>(budget_);
+}
+
+}  // namespace dropback::baselines

@@ -1,0 +1,47 @@
+// Magnitude-based pruning baseline.
+//
+// The paper's comparison (a): "a straightforward magnitude-based pruning
+// implementation where only the highest weights are kept after each
+// iteration". Concretely: run the SGD update, then keep the global top
+// (1 - prune_fraction) share of prunable weights by |w| and zero the rest.
+// Unlike DropBack, zeroed weights lose their initialization scaffolding —
+// the property Figure 5 shows as a large initial L2 diffusion distance and
+// the reason it trains poorly on WRN (Table 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/accumulated_gradients.hpp"
+#include "core/tracked_set.hpp"
+#include "optim/sgd.hpp"
+
+namespace dropback::baselines {
+
+class MagnitudePruningOptimizer : public optim::Optimizer {
+ public:
+  /// `prune_fraction` in [0,1): e.g. 0.80 keeps the top 20% of weights
+  /// (the paper's "Mag Pruning .80" = 5x compression).
+  MagnitudePruningOptimizer(std::vector<nn::Parameter*> params, float lr,
+                            float prune_fraction);
+
+  // kept_ holds a pointer into index_, so the object must stay put.
+  MagnitudePruningOptimizer(const MagnitudePruningOptimizer&) = delete;
+  MagnitudePruningOptimizer& operator=(const MagnitudePruningOptimizer&) =
+      delete;
+
+  void step() override;
+
+  std::int64_t kept_weights() const { return budget_; }
+  double compression_ratio() const;
+  const core::TrackedSet& kept() const { return kept_; }
+  const core::ParamIndex& param_index() const { return index_; }
+
+ private:
+  core::ParamIndex index_;
+  core::TrackedSet kept_;
+  std::int64_t budget_;
+  std::vector<float> scores_;
+};
+
+}  // namespace dropback::baselines

@@ -1,0 +1,82 @@
+// Network slimming baseline (Liu et al. 2017).
+//
+// A train-prune-retrain channel pruning method:
+//   1. Train with an L1 penalty on every BatchNorm scale gamma (the channel
+//      saliency proxy) — `add_l1_subgradient()` is called between backward
+//      and the optimizer step.
+//   2. Prune: threshold |gamma| globally at a target channel fraction; a
+//      pruned channel removes its conv filter, its BN parameters, and the
+//      corresponding input slice of the next conv (or the matching columns
+//      of the first fully-connected layer after Flatten).
+//   3. Retrain with the pruned channels pinned to zero (`apply_masks()`
+//      after each step emulates physical removal).
+//
+// Scope: sequential conv stacks in Conv2d -> BatchNorm2d -> ReLU order, i.e.
+// the VGG-S topology. (The paper also applies slimming to DenseNet/WRN where
+// it degrades badly — bench_table3 runs it on WRN via per-block BN gammas
+// being absent from a Sequential, so slimming there is approximated by the
+// same global-gamma rule on the model's BN parameters.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+
+namespace dropback::baselines {
+
+struct SlimmingPruneStats {
+  std::int64_t channels_total = 0;
+  std::int64_t channels_pruned = 0;
+  std::int64_t params_total = 0;
+  std::int64_t params_removed = 0;
+
+  double compression_ratio() const {
+    const std::int64_t remaining = params_total - params_removed;
+    return remaining > 0 ? static_cast<double>(params_total) /
+                               static_cast<double>(remaining)
+                         : 0.0;
+  }
+};
+
+class NetworkSlimming {
+ public:
+  /// Scans the Sequential for Conv2d->BatchNorm2d pairs and their channel
+  /// consumers. `l1_lambda` is the gamma sparsity strength.
+  NetworkSlimming(nn::Sequential& net, float l1_lambda);
+
+  /// Adds lambda * sign(gamma) to every BN gamma gradient.
+  /// Call after backward(), before optimizer step(), during phase 1.
+  void add_l1_subgradient();
+
+  /// Prunes the lowest-|gamma| `channel_fraction` of channels globally.
+  SlimmingPruneStats prune(float channel_fraction);
+
+  /// Re-zeroes everything pruned (call after each retraining step).
+  void apply_masks();
+
+  const SlimmingPruneStats& stats() const { return stats_; }
+  std::size_t num_pairs() const { return pairs_.size(); }
+
+ private:
+  struct ConvBnPair {
+    nn::Conv2d* conv = nullptr;
+    nn::BatchNorm2d* bn = nullptr;
+    nn::Conv2d* next_conv = nullptr;      // consumer, if conv
+    nn::Linear* next_linear = nullptr;    // consumer, if FC-after-flatten
+    std::int64_t linear_block = 0;        // columns per channel in next_linear
+    std::vector<std::uint8_t> pruned;     // per-channel flag
+  };
+
+  void zero_channel(ConvBnPair& pair, std::int64_t channel);
+
+  nn::Sequential* net_;
+  float l1_lambda_;
+  std::vector<ConvBnPair> pairs_;
+  SlimmingPruneStats stats_;
+};
+
+}  // namespace dropback::baselines

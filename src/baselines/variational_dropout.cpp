@@ -1,0 +1,252 @@
+#include "baselines/variational_dropout.hpp"
+
+#include <cmath>
+
+#include "autograd/conv_ops.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "util/check.hpp"
+
+namespace dropback::baselines {
+
+namespace ag = dropback::autograd;
+namespace T = dropback::tensor;
+
+namespace {
+constexpr float kEps = 1e-8F;
+
+T::Tensor standard_normal(const T::Shape& shape, rng::Xorshift128& rng) {
+  T::Tensor t(shape);
+  float* p = t.data();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = rng.normal();
+  return t;
+}
+
+/// Counts weights whose log alpha is below the threshold (kept weights).
+std::int64_t count_active(const T::Tensor& theta, const T::Tensor& log_sigma2,
+                          float threshold) {
+  const float* th = theta.data();
+  const float* ls = log_sigma2.data();
+  const std::int64_t n = theta.numel();
+  std::int64_t active = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float la = ls[i] - std::log(th[i] * th[i] + kEps);
+    if (la < threshold) ++active;
+  }
+  return active;
+}
+
+/// Hard-zeroes theta where log alpha exceeds the threshold; returns the
+/// masked dense weight tensor (eval-time deterministic path).
+T::Tensor masked_theta(const T::Tensor& theta, const T::Tensor& log_sigma2,
+                       float threshold) {
+  T::Tensor out = theta.clone();
+  float* w = out.data();
+  const float* ls = log_sigma2.data();
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float la = ls[i] - std::log(w[i] * w[i] + kEps);
+    if (la >= threshold) w[i] = 0.0F;
+  }
+  return out;
+}
+}  // namespace
+
+autograd::Variable vd_kl_from_log_alpha(const autograd::Variable& log_alpha) {
+  // Molchanov et al. 2017, eq. (14):
+  //   -KL ~= k1*sigmoid(k2 + k3*la) - 0.5*log(1 + exp(-la)) - k1
+  constexpr float k1 = 0.63576F, k2 = 1.87320F, k3 = 1.48695F;
+  ag::Variable sig = ag::sigmoid(
+      ag::add_scalar(ag::mul_scalar(log_alpha, k3), k2));
+  ag::Variable softplus_neg = ag::log_op(ag::add_scalar(
+      ag::exp_op(ag::mul_scalar(log_alpha, -1.0F)), 1.0F));
+  // KL = k1 - k1*sig + 0.5*softplus(-la), summed over weights.
+  ag::Variable per_weight = ag::add_scalar(
+      ag::add(ag::mul_scalar(sig, -k1), ag::mul_scalar(softplus_neg, 0.5F)),
+      k1);
+  return ag::sum(per_weight);
+}
+
+VdLinear::VdLinear(std::int64_t in_features, std::int64_t out_features,
+                   std::uint64_t seed, float log_alpha_threshold)
+    : in_features_(in_features),
+      out_features_(out_features),
+      threshold_(log_alpha_threshold),
+      noise_rng_(rng::splitmix64(seed ^ 0xBADCAFE)) {
+  theta_ = &register_parameter(
+      "theta", {out_features, in_features},
+      rng::InitSpec::lecun(static_cast<std::size_t>(in_features), seed));
+  log_sigma2_ = &register_parameter(
+      "log_sigma2", {out_features, in_features},
+      rng::InitSpec::constant(-8.0F));
+  bias_ = &register_parameter("bias", {out_features},
+                              rng::InitSpec::constant(0.0F));
+}
+
+autograd::Variable VdLinear::log_alpha() {
+  ag::Variable theta_sq = ag::mul(theta_->var, theta_->var);
+  return ag::sub(log_sigma2_->var,
+                 ag::log_op(ag::add_scalar(theta_sq, kEps)));
+}
+
+autograd::Variable VdLinear::forward(const autograd::Variable& x) {
+  if (!training()) {
+    // Deterministic sparse path: hard-pruned posterior means.
+    ag::Variable w(masked_theta(theta_->var.value(), log_sigma2_->var.value(),
+                                threshold_));
+    return ag::linear(x, w, bias_->var);
+  }
+  // Local reparameterization: sample activations, not weights.
+  ag::Variable mean = ag::linear(x, theta_->var, bias_->var);
+  ag::Variable x_sq = ag::mul(x, x);
+  ag::Variable sigma2 = ag::exp_op(log_sigma2_->var);
+  ag::Variable var_out = ag::linear(x_sq, sigma2, ag::Variable());
+  ag::Variable std_out = ag::sqrt_op(ag::add_scalar(var_out, kEps));
+  const T::Tensor noise = standard_normal(std_out.value().shape(), noise_rng_);
+  return ag::add(mean, ag::mul_mask(std_out, noise));
+}
+
+autograd::Variable VdLinear::kl() { return vd_kl_from_log_alpha(log_alpha()); }
+
+std::int64_t VdLinear::active_weights() const {
+  return count_active(theta_->var.value(), log_sigma2_->var.value(),
+                      threshold_);
+}
+
+VdConv2d::VdConv2d(std::int64_t in_channels, std::int64_t out_channels,
+                   std::int64_t kernel, std::int64_t stride,
+                   std::int64_t padding, std::uint64_t seed,
+                   float log_alpha_threshold)
+    : threshold_(log_alpha_threshold),
+      noise_rng_(rng::splitmix64(seed ^ 0xFACade)) {
+  spec_.kernel_h = kernel;
+  spec_.kernel_w = kernel;
+  spec_.stride = stride;
+  spec_.padding = padding;
+  const auto fan_in = static_cast<std::size_t>(in_channels * kernel * kernel);
+  theta_ = &register_parameter("theta",
+                               {out_channels, in_channels, kernel, kernel},
+                               rng::InitSpec::he(fan_in, seed));
+  log_sigma2_ = &register_parameter(
+      "log_sigma2", {out_channels, in_channels, kernel, kernel},
+      rng::InitSpec::constant(-8.0F));
+  bias_ = &register_parameter("bias", {out_channels},
+                              rng::InitSpec::constant(0.0F));
+}
+
+autograd::Variable VdConv2d::log_alpha() {
+  ag::Variable theta_sq = ag::mul(theta_->var, theta_->var);
+  return ag::sub(log_sigma2_->var,
+                 ag::log_op(ag::add_scalar(theta_sq, kEps)));
+}
+
+autograd::Variable VdConv2d::forward(const autograd::Variable& x) {
+  if (!training()) {
+    ag::Variable w(masked_theta(theta_->var.value(), log_sigma2_->var.value(),
+                                threshold_));
+    return ag::conv2d(x, w, bias_->var, spec_);
+  }
+  ag::Variable mean = ag::conv2d(x, theta_->var, bias_->var, spec_);
+  ag::Variable x_sq = ag::mul(x, x);
+  ag::Variable sigma2 = ag::exp_op(log_sigma2_->var);
+  ag::Variable var_out = ag::conv2d(x_sq, sigma2, ag::Variable(), spec_);
+  ag::Variable std_out = ag::sqrt_op(ag::add_scalar(var_out, kEps));
+  const T::Tensor noise = standard_normal(std_out.value().shape(), noise_rng_);
+  return ag::add(mean, ag::mul_mask(std_out, noise));
+}
+
+autograd::Variable VdConv2d::kl() { return vd_kl_from_log_alpha(log_alpha()); }
+
+std::int64_t VdConv2d::active_weights() const {
+  return count_active(theta_->var.value(), log_sigma2_->var.value(),
+                      threshold_);
+}
+
+VdMlp make_vd_mlp(std::int64_t input_dim, std::vector<std::int64_t> hidden,
+                  std::int64_t num_classes, std::uint64_t seed) {
+  nn::SeedStream seeds(seed);
+  auto net = std::make_unique<nn::Sequential>();
+  VdMlp result;
+  net->emplace<nn::Flatten>();
+  std::int64_t in = input_dim;
+  for (std::int64_t h : hidden) {
+    auto& layer = net->emplace<VdLinear>(in, h, seeds.next());
+    result.vd_layers.push_back(&layer);
+    net->emplace<nn::ReLU>();
+    in = h;
+  }
+  auto& out_layer = net->emplace<VdLinear>(in, num_classes, seeds.next());
+  result.vd_layers.push_back(&out_layer);
+  result.net = std::move(net);
+  return result;
+}
+
+VdNet make_vd_vgg_s(float width_mult, std::int64_t image_side,
+                    std::uint64_t seed) {
+  DROPBACK_CHECK(width_mult > 0.0F, << "make_vd_vgg_s width_mult");
+  auto scaled = [width_mult](std::int64_t base) {
+    return std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(std::lround(base * width_mult)));
+  };
+  const std::int64_t plan[] = {64, 64,  -1, 128, 128, -1, 256, 256,
+                               256, -1, 512, 512, 512, -1, 512, 512, 512, -1};
+  nn::SeedStream seeds(seed);
+  auto net = std::make_unique<nn::Sequential>();
+  VdNet result;
+  std::int64_t in_c = 3;
+  std::int64_t side = image_side;
+  for (std::int64_t entry : plan) {
+    if (entry < 0) {
+      if (side >= 2) {
+        net->emplace<nn::MaxPool2d>(2, 2);
+        side /= 2;
+      }
+      continue;
+    }
+    const std::int64_t out_c = scaled(entry);
+    auto& conv = net->emplace<VdConv2d>(in_c, out_c, 3, 1, 1, seeds.next());
+    result.vd_layers.push_back(&conv);
+    net->emplace<nn::BatchNorm2d>(out_c);
+    net->emplace<nn::ReLU>();
+    in_c = out_c;
+  }
+  const std::int64_t fc_width = scaled(512);
+  net->emplace<nn::Flatten>();
+  auto& fc1 =
+      net->emplace<VdLinear>(in_c * side * side, fc_width, seeds.next());
+  result.vd_layers.push_back(&fc1);
+  net->emplace<nn::ReLU>();
+  auto& fc2 = net->emplace<VdLinear>(fc_width, 10, seeds.next());
+  result.vd_layers.push_back(&fc2);
+  result.net = std::move(net);
+  return result;
+}
+
+autograd::Variable vd_total_kl(const std::vector<VdLayer*>& layers,
+                               float kl_scale) {
+  DROPBACK_CHECK(!layers.empty(), << "vd_total_kl: no layers");
+  ag::Variable total;
+  for (VdLayer* layer : layers) {
+    ag::Variable k = layer->kl();
+    total = total.defined() ? ag::add(total, k) : k;
+  }
+  return ag::mul_scalar(total, kl_scale);
+}
+
+double vd_compression(const std::vector<VdLayer*>& layers) {
+  std::int64_t active = 0, total = 0;
+  for (VdLayer* layer : layers) {
+    active += layer->active_weights();
+    total += layer->total_weights();
+  }
+  if (active <= 0) return 0.0;
+  return static_cast<double>(total) / static_cast<double>(active);
+}
+
+}  // namespace dropback::baselines

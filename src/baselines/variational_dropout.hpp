@@ -1,0 +1,119 @@
+// Sparse variational dropout baseline (Kingma et al. 2015; per-parameter
+// sparsifying form of Molchanov et al. 2017).
+//
+// Each weight w has a posterior N(theta, sigma^2) with learnable theta and
+// log sigma^2. Training samples the *activations* via the local
+// reparameterization trick:
+//   y = x . theta^T + sqrt(x^2 . sigma^2^T + eps) * noise
+// and adds the Molchanov KL approximation, which drives log alpha =
+// log sigma^2 - log theta^2 up for uninformative weights. At eval time,
+// weights with log alpha > threshold are hard-zeroed (the "sparse" part).
+//
+// The paper's Table 3 shows this baseline converging only on VGG-S and
+// collapsing on DenseNet/WRN (its fast weight diffusion destabilizes dense
+// architectures — Figure 5's analysis); the harness reproduces the shape.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "nn/module.hpp"
+#include "rng/xorshift.hpp"
+#include "tensor/conv.hpp"
+
+namespace dropback::baselines {
+
+/// Common interface of VD layers so trainers can collect the KL term and
+/// sparsity statistics without knowing the layer type.
+class VdLayer {
+ public:
+  virtual ~VdLayer() = default;
+  /// KL divergence contribution (scalar Variable, summed over weights).
+  virtual autograd::Variable kl() = 0;
+  /// Number of weights with log alpha below the pruning threshold.
+  virtual std::int64_t active_weights() const = 0;
+  virtual std::int64_t total_weights() const = 0;
+};
+
+/// Molchanov KL approximation from a log-alpha Variable (exposed for tests).
+autograd::Variable vd_kl_from_log_alpha(const autograd::Variable& log_alpha);
+
+class VdLinear : public nn::Module, public VdLayer {
+ public:
+  VdLinear(std::int64_t in_features, std::int64_t out_features,
+           std::uint64_t seed, float log_alpha_threshold = 3.0F);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "VdLinear"; }
+
+  autograd::Variable kl() override;
+  std::int64_t active_weights() const override;
+  std::int64_t total_weights() const override { return theta_->numel(); }
+
+  nn::Parameter& theta() { return *theta_; }
+  nn::Parameter& log_sigma2() { return *log_sigma2_; }
+
+ private:
+  autograd::Variable log_alpha();
+
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  float threshold_;
+  nn::Parameter* theta_;
+  nn::Parameter* log_sigma2_;
+  nn::Parameter* bias_;
+  rng::Xorshift128 noise_rng_;
+};
+
+class VdConv2d : public nn::Module, public VdLayer {
+ public:
+  VdConv2d(std::int64_t in_channels, std::int64_t out_channels,
+           std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+           std::uint64_t seed, float log_alpha_threshold = 3.0F);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "VdConv2d"; }
+
+  autograd::Variable kl() override;
+  std::int64_t active_weights() const override;
+  std::int64_t total_weights() const override { return theta_->numel(); }
+
+ private:
+  autograd::Variable log_alpha();
+
+  tensor::Conv2dSpec spec_;
+  float threshold_;
+  nn::Parameter* theta_;
+  nn::Parameter* log_sigma2_;
+  nn::Parameter* bias_;
+  rng::Xorshift128 noise_rng_;
+};
+
+/// An MLP with VD layers, mirroring models::Mlp — used for the MNIST-100-100
+/// diffusion comparison (Fig. 5/6).
+struct VdMlp {
+  std::unique_ptr<nn::Module> net;
+  std::vector<VdLayer*> vd_layers;
+};
+VdMlp make_vd_mlp(std::int64_t input_dim, std::vector<std::int64_t> hidden,
+                  std::int64_t num_classes, std::uint64_t seed);
+
+/// VGG-S with VD conv/linear layers (Table 3, Fig. 4).
+struct VdNet {
+  std::unique_ptr<nn::Module> net;
+  std::vector<VdLayer*> vd_layers;
+};
+VdNet make_vd_vgg_s(float width_mult, std::int64_t image_side,
+                    std::uint64_t seed);
+
+/// Sum of KL terms across layers, scaled by `kl_scale` (typically
+/// 1/num_training_samples).
+autograd::Variable vd_total_kl(const std::vector<VdLayer*>& layers,
+                               float kl_scale);
+
+/// Active / total weights across layers -> compression ratio.
+double vd_compression(const std::vector<VdLayer*>& layers);
+
+}  // namespace dropback::baselines

@@ -1,0 +1,60 @@
+#include "core/accumulated_gradients.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace dropback::core {
+
+ParamIndex::ParamIndex(std::vector<nn::Parameter*> params)
+    : params_(std::move(params)) {
+  offsets_.reserve(params_.size() + 1);
+  offsets_.push_back(0);
+  for (nn::Parameter* p : params_) {
+    DROPBACK_CHECK(p != nullptr, << "ParamIndex: null parameter");
+    total_ += p->numel();
+    offsets_.push_back(total_);
+  }
+}
+
+std::size_t ParamIndex::param_of(std::int64_t g) const {
+  DROPBACK_CHECK(g >= 0 && g < total_, << "param_of(" << g << ") of "
+                                       << total_);
+  // offsets_ is sorted; upper_bound-1 locates the containing parameter.
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), g);
+  return static_cast<std::size_t>(std::distance(offsets_.begin(), it)) - 1;
+}
+
+void compute_scores(const ParamIndex& index, float lr,
+                    std::vector<float>& scores) {
+  scores.resize(static_cast<std::size_t>(index.total()));
+  for (std::size_t p = 0; p < index.num_params(); ++p) {
+    nn::Parameter& param = index.param(p);
+    const std::int64_t n = param.numel();
+    float* out = scores.data() + index.offset(p);
+    if (!param.prunable) {
+      std::fill(out, out + n, std::numeric_limits<float>::infinity());
+      continue;
+    }
+    const float* w = param.var.value().data();
+    const float* g = param.var.has_grad() ? param.var.grad().data() : nullptr;
+    const rng::InitSpec& init = param.init;
+    if (init.kind() == rng::InitSpec::Kind::kConstant) {
+      const float w0 = init.scale();
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float updated = g ? w[i] - lr * g[i] : w[i];
+        out[i] = std::fabs(updated - w0);
+      }
+    } else {
+      for (std::int64_t i = 0; i < n; ++i) {
+        const float updated = g ? w[i] - lr * g[i] : w[i];
+        out[i] = std::fabs(updated -
+                           init.value_at(static_cast<std::uint64_t>(i)));
+      }
+    }
+  }
+}
+
+}  // namespace dropback::core

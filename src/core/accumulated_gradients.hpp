@@ -1,0 +1,52 @@
+// Accumulated-gradient bookkeeping for DropBack.
+//
+// The paper's key observation (Algorithm 1, final note): the accumulated
+// gradient of a weight under DropBack needs NO storage of its own, because
+// for a tracked weight it equals W(t-1) - W(0) (every SGD update it ever
+// received), and for an untracked weight — which sits exactly at its
+// regenerated initialization — it is the incoming update alpha*g of the
+// current step. This class provides that recomputed view plus the flat
+// global addressing used by the top-k selection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dropback::core {
+
+/// Flat global addressing over a parameter list: global index <->
+/// (param ordinal, intra-param index).
+class ParamIndex {
+ public:
+  explicit ParamIndex(std::vector<nn::Parameter*> params);
+
+  std::int64_t total() const { return total_; }
+  std::size_t num_params() const { return params_.size(); }
+  nn::Parameter& param(std::size_t p) const { return *params_[p]; }
+  const std::vector<nn::Parameter*>& params() const { return params_; }
+  std::int64_t offset(std::size_t p) const { return offsets_[p]; }
+
+  /// Ordinal of the parameter containing global index g.
+  std::size_t param_of(std::int64_t g) const;
+
+ private:
+  std::vector<nn::Parameter*> params_;
+  std::vector<std::int64_t> offsets_;  // prefix sums; size num_params()+1
+  std::int64_t total_ = 0;
+};
+
+/// Fills `scores` (size index.total()) with the post-update accumulated
+/// gradient magnitude of every weight:
+///
+///   score_i = | (w_i - lr * g_i) - w0_i |
+///
+/// where w0_i is regenerated from the parameter's InitSpec. Parameters with
+/// no gradient this step contribute |w_i - w0_i|. Non-prunable parameters
+/// get score +inf so they are always retained (the paper prunes everything,
+/// so models built here mark all parameters prunable by default).
+void compute_scores(const ParamIndex& index, float lr,
+                    std::vector<float>& scores);
+
+}  // namespace dropback::core

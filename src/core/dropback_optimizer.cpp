@@ -1,0 +1,166 @@
+#include "core/dropback_optimizer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dropback::core {
+
+DropBackOptimizer::DropBackOptimizer(std::vector<nn::Parameter*> params,
+                                     float lr, DropBackConfig config)
+    : Optimizer(std::move(params), lr),
+      config_(config),
+      index_(params_),
+      tracked_(index_) {
+  DROPBACK_CHECK(config.budget > 0,
+                 << "DropBackConfig.budget must be positive, got "
+                 << config.budget);
+}
+
+void DropBackOptimizer::step() {
+  if (!frozen_) {
+    // Score all weights by post-update accumulated gradient and reselect.
+    compute_scores(index_, lr_, scores_);
+    if (config_.scope == DropBackConfig::BudgetScope::kGlobal) {
+      tracked_.select(scores_, config_.budget, config_.selection);
+    } else {
+      // Per-layer quota proportional to the layer's size.
+      std::vector<std::int64_t> budgets(index_.num_params());
+      for (std::size_t p = 0; p < index_.num_params(); ++p) {
+        budgets[p] = std::max<std::int64_t>(
+            1, config_.budget * index_.param(p).numel() / index_.total());
+      }
+      tracked_.select_per_param(scores_, budgets);
+    }
+    if (config_.freeze_after_steps >= 0 &&
+        steps_ + 1 >= config_.freeze_after_steps) {
+      frozen_ = true;
+    }
+  }
+  apply_update_and_mask();
+  ++steps_;
+}
+
+void DropBackOptimizer::freeze() { frozen_ = true; }
+
+void DropBackOptimizer::apply_update_and_mask() {
+  for (std::size_t p = 0; p < index_.num_params(); ++p) {
+    nn::Parameter& param = index_.param(p);
+    float* w = param.var.value().data();
+    const float* g = param.var.has_grad() ? param.var.grad().data() : nullptr;
+    const std::uint8_t* mask = tracked_.mask_of(p);
+    const rng::InitSpec& init = param.init;
+    const std::int64_t n = param.numel();
+    const bool regen = config_.regenerate_untracked && param.prunable;
+    std::uint64_t tracked_here = 0;
+    std::uint64_t regen_here = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (mask[static_cast<std::size_t>(i)]) {
+        if (g) w[i] -= lr_ * g[i];
+        ++tracked_here;
+      } else if (regen) {
+        w[i] = init.value_at(static_cast<std::uint64_t>(i));
+        ++regen_here;
+      } else {
+        w[i] = 0.0F;
+        ++regen_here;  // zeroing also needs no memory traffic
+      }
+    }
+    if (traffic_) {
+      // Tracked weights live in real storage: read + write per update.
+      traffic_->dram_reads += tracked_here;
+      traffic_->dram_writes += tracked_here;
+      traffic_->regens += regen_here;
+    }
+  }
+}
+
+std::int64_t DropBackOptimizer::live_weights() const {
+  return tracked_.all_tracked() ? index_.total() : tracked_.tracked_count();
+}
+
+double DropBackOptimizer::compression_ratio() const {
+  const std::int64_t live = live_weights();
+  if (live <= 0) return 0.0;
+  return static_cast<double>(index_.total()) / static_cast<double>(live);
+}
+
+namespace {
+constexpr char kStateMagic[4] = {'D', 'B', 'O', 'S'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("DropBackOptimizer state: truncated");
+  return v;
+}
+}  // namespace
+
+void DropBackOptimizer::save_state(std::ostream& out) const {
+  out.write(kStateMagic, sizeof(kStateMagic));
+  write_pod<std::int64_t>(out, config_.budget);
+  write_pod<std::int64_t>(out, index_.total());
+  write_pod<std::int64_t>(out, steps_);
+  write_pod<std::uint8_t>(out, frozen_ ? 1 : 0);
+  write_pod<std::uint8_t>(out, tracked_.all_tracked() ? 1 : 0);
+  for (std::size_t p = 0; p < index_.num_params(); ++p) {
+    // Bit-pack each mask: 1 bit per weight instead of 1 byte.
+    const std::uint8_t* mask = tracked_.mask_of(p);
+    const std::int64_t n = index_.param(p).numel();
+    std::uint8_t byte = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (mask[static_cast<std::size_t>(i)]) {
+        byte |= static_cast<std::uint8_t>(1U << (i % 8));
+      }
+      if (i % 8 == 7 || i == n - 1) {
+        write_pod<std::uint8_t>(out, byte);
+        byte = 0;
+      }
+    }
+  }
+  if (!out) throw std::runtime_error("DropBackOptimizer state: write failed");
+}
+
+void DropBackOptimizer::load_state(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kStateMagic, sizeof(kStateMagic)) != 0) {
+    throw std::runtime_error("DropBackOptimizer state: bad magic");
+  }
+  const auto budget = read_pod<std::int64_t>(in);
+  const auto total = read_pod<std::int64_t>(in);
+  if (budget != config_.budget || total != index_.total()) {
+    throw std::runtime_error(
+        "DropBackOptimizer state: budget/model mismatch");
+  }
+  const auto steps = read_pod<std::int64_t>(in);
+  const bool frozen = read_pod<std::uint8_t>(in) != 0;
+  const bool all_tracked = read_pod<std::uint8_t>(in) != 0;
+  std::vector<std::vector<std::uint8_t>> masks(index_.num_params());
+  for (std::size_t p = 0; p < index_.num_params(); ++p) {
+    const std::int64_t n = index_.param(p).numel();
+    masks[p].assign(static_cast<std::size_t>(n), 0);
+    std::uint8_t byte = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (i % 8 == 0) byte = read_pod<std::uint8_t>(in);
+      masks[p][static_cast<std::size_t>(i)] =
+          (byte >> (i % 8)) & 1U ? 1 : 0;
+    }
+  }
+  tracked_.restore(masks, all_tracked);
+  steps_ = steps;
+  frozen_ = frozen;
+}
+
+}  // namespace dropback::core

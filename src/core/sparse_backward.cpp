@@ -1,0 +1,80 @@
+#include "core/sparse_backward.hpp"
+
+#include "tensor/matmul.hpp"
+#include "util/check.hpp"
+
+namespace dropback::core {
+
+std::vector<TrackedCoord> tracked_coords(const std::uint8_t* mask,
+                                         std::int64_t out_features,
+                                         std::int64_t in_features) {
+  std::vector<TrackedCoord> coords;
+  for (std::int64_t o = 0; o < out_features; ++o) {
+    for (std::int64_t i = 0; i < in_features; ++i) {
+      if (mask[static_cast<std::size_t>(o * in_features + i)]) {
+        coords.push_back({static_cast<std::int32_t>(o),
+                          static_cast<std::int32_t>(i)});
+      }
+    }
+  }
+  return coords;
+}
+
+tensor::Tensor dense_linear_grad_w(const tensor::Tensor& x,
+                                   const tensor::Tensor& gy) {
+  DROPBACK_CHECK(x.ndim() == 2 && gy.ndim() == 2 && x.size(0) == gy.size(0),
+                 << "dense_linear_grad_w: x "
+                 << tensor::shape_str(x.shape()) << ", gy "
+                 << tensor::shape_str(gy.shape()));
+  return tensor::matmul_tn(gy, x);  // [out, in]
+}
+
+std::vector<float> sparse_linear_grad_w(
+    const tensor::Tensor& x, const tensor::Tensor& gy,
+    const std::vector<TrackedCoord>& coords) {
+  DROPBACK_CHECK(x.ndim() == 2 && gy.ndim() == 2 && x.size(0) == gy.size(0),
+                 << "sparse_linear_grad_w: batch mismatch");
+  const std::int64_t batch = x.size(0);
+  const std::int64_t in = x.size(1);
+  const std::int64_t out = gy.size(1);
+  const float* px = x.data();
+  const float* pg = gy.data();
+  std::vector<float> grads(coords.size());
+  for (std::size_t c = 0; c < coords.size(); ++c) {
+    const std::int64_t o = coords[c].out;
+    const std::int64_t i = coords[c].in;
+    DROPBACK_ASSERT(o >= 0 && o < out && i >= 0 && i < in,
+                    << "sparse_linear_grad_w: coordinate out of range");
+    double acc = 0.0;
+    for (std::int64_t b = 0; b < batch; ++b) {
+      acc += static_cast<double>(pg[b * out + o]) * px[b * in + i];
+    }
+    grads[c] = static_cast<float>(acc);
+  }
+  return grads;
+}
+
+void apply_sparse_update(tensor::Tensor& w,
+                         const std::vector<TrackedCoord>& coords,
+                         const std::vector<float>& grads, float lr) {
+  DROPBACK_CHECK(coords.size() == grads.size(),
+                 << "apply_sparse_update: size mismatch");
+  DROPBACK_CHECK(w.ndim() == 2, << "apply_sparse_update: weight must be 2-D");
+  const std::int64_t in = w.size(1);
+  float* pw = w.data();
+  for (std::size_t c = 0; c < coords.size(); ++c) {
+    pw[static_cast<std::int64_t>(coords[c].out) * in + coords[c].in] -=
+        lr * grads[c];
+  }
+}
+
+std::int64_t dense_grad_w_flops(std::int64_t batch, std::int64_t out,
+                                std::int64_t in) {
+  return 2 * batch * out * in;
+}
+
+std::int64_t sparse_grad_w_flops(std::int64_t batch, std::int64_t k) {
+  return 2 * batch * k;
+}
+
+}  // namespace dropback::core

@@ -1,0 +1,59 @@
+// Post-freeze sparse backward kernels.
+//
+// Before the freeze, DropBack computes gradients for *all* weights (the
+// untracked ones compete for tracked slots). After the freeze, Algorithm 1
+// sets U = {} — untracked weights can never be updated again, so computing
+// their weight-gradients is pure waste. The paper notes freezing "saves
+// additional computation time and energy"; these kernels realize that
+// saving for fully-connected layers: dW is evaluated only at the tracked
+// (out, in) coordinates, O(k * batch) instead of O(out * in * batch).
+//
+// The input-gradient path (dX = gy . W) is unchanged — it is needed to keep
+// backpropagating to earlier layers and already benefits from W's sparsity
+// pattern only in hardware; here we expose the dW saving, which dominates
+// for large layers at tight budgets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dropback::core {
+
+/// One tracked coordinate of a [out, in] weight matrix.
+struct TrackedCoord {
+  std::int32_t out;
+  std::int32_t in;
+};
+
+/// Extracts the tracked (out, in) coordinates from a row-major mask over a
+/// [out, in] weight matrix.
+std::vector<TrackedCoord> tracked_coords(const std::uint8_t* mask,
+                                         std::int64_t out_features,
+                                         std::int64_t in_features);
+
+/// Dense reference: dW = gyᵀ · x, returned as a full [out, in] tensor.
+tensor::Tensor dense_linear_grad_w(const tensor::Tensor& x,
+                                   const tensor::Tensor& gy);
+
+/// Sparse dW: evaluates dW[o, i] = sum_b gy[b, o] * x[b, i] only at the
+/// tracked coordinates. Returns one gradient value per coordinate, in the
+/// same order as `coords`.
+std::vector<float> sparse_linear_grad_w(const tensor::Tensor& x,
+                                        const tensor::Tensor& gy,
+                                        const std::vector<TrackedCoord>& coords);
+
+/// Applies a sparse SGD update w[o, i] -= lr * g for the tracked
+/// coordinates (the frozen-phase update loop).
+void apply_sparse_update(tensor::Tensor& w,
+                         const std::vector<TrackedCoord>& coords,
+                         const std::vector<float>& grads, float lr);
+
+/// FLOPs of the dense vs sparse dW computation, for the energy accounting:
+/// dense = 2 * batch * out * in; sparse = 2 * batch * k.
+std::int64_t dense_grad_w_flops(std::int64_t batch, std::int64_t out,
+                                std::int64_t in);
+std::int64_t sparse_grad_w_flops(std::int64_t batch, std::int64_t k);
+
+}  // namespace dropback::core

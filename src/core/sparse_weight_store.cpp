@@ -1,0 +1,248 @@
+#include "core/sparse_weight_store.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace dropback::core {
+
+namespace {
+constexpr char kMagic[4] = {'D', 'B', 'S', 'W'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("SparseWeightStore: truncated stream");
+  return v;
+}
+}  // namespace
+
+std::int64_t SparseParamRecord::dense_numel() const {
+  return tensor::numel_of(shape);
+}
+
+SparseWeightStore SparseWeightStore::from_optimizer(
+    const DropBackOptimizer& opt) {
+  SparseWeightStore store;
+  const ParamIndex& index = opt.param_index();
+  const TrackedSet& tracked = opt.tracked();
+  for (std::size_t p = 0; p < index.num_params(); ++p) {
+    nn::Parameter& param = index.param(p);
+    SparseParamRecord rec;
+    rec.name = param.name;
+    rec.shape = param.var.value().shape();
+    rec.init = param.init;
+    const float* w = param.var.value().data();
+    const std::int64_t n = param.numel();
+    DROPBACK_CHECK(n <= static_cast<std::int64_t>(UINT32_MAX),
+                   << "parameter too large for u32 indices: " << n);
+    if (tracked.all_tracked()) {
+      rec.entries.reserve(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        rec.entries.emplace_back(static_cast<std::uint32_t>(i), w[i]);
+      }
+    } else {
+      const std::uint8_t* mask = tracked.mask_of(p);
+      for (std::int64_t i = 0; i < n; ++i) {
+        if (mask[static_cast<std::size_t>(i)]) {
+          rec.entries.emplace_back(static_cast<std::uint32_t>(i), w[i]);
+        }
+      }
+    }
+    store.records_.push_back(std::move(rec));
+  }
+  return store;
+}
+
+SparseWeightStore SparseWeightStore::from_params(
+    const std::vector<nn::Parameter*>& params, float tolerance) {
+  SparseWeightStore store;
+  for (nn::Parameter* param : params) {
+    DROPBACK_CHECK(param != nullptr, << "from_params: null parameter");
+    SparseParamRecord rec;
+    rec.name = param->name;
+    rec.shape = param->var.value().shape();
+    rec.init = param->init;
+    const float* w = param->var.value().data();
+    const std::int64_t n = param->numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float w0 = rec.init.value_at(static_cast<std::uint64_t>(i));
+      if (std::fabs(w[i] - w0) > tolerance) {
+        rec.entries.emplace_back(static_cast<std::uint32_t>(i), w[i]);
+      }
+    }
+    store.records_.push_back(std::move(rec));
+  }
+  return store;
+}
+
+const SparseParamRecord& SparseWeightStore::record(std::size_t p) const {
+  DROPBACK_CHECK(p < records_.size(), << "record(" << p << ") of "
+                                      << records_.size());
+  return records_[p];
+}
+
+tensor::Tensor SparseWeightStore::materialize(
+    std::size_t p, energy::TrafficCounter* traffic) const {
+  const SparseParamRecord& rec = record(p);
+  tensor::Tensor t(rec.shape);
+  rec.init.fill(t.data(), static_cast<std::size_t>(t.numel()));
+  float* w = t.data();
+  for (const auto& [idx, val] : rec.entries) {
+    w[idx] = val;
+  }
+  if (traffic) {
+    traffic->dram_reads += rec.entries.size();
+    traffic->regens +=
+        static_cast<std::uint64_t>(t.numel()) - rec.entries.size();
+  }
+  return t;
+}
+
+void SparseWeightStore::apply_to(const std::vector<nn::Parameter*>& params,
+                                 energy::TrafficCounter* traffic) const {
+  DROPBACK_CHECK(params.size() == records_.size(),
+                 << "apply_to: " << params.size() << " params vs "
+                 << records_.size() << " records");
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    DROPBACK_CHECK(params[p]->var.value().shape() == records_[p].shape,
+                   << "apply_to: shape mismatch at " << records_[p].name);
+    params[p]->var.value().copy_from(materialize(p, traffic));
+  }
+}
+
+std::int64_t SparseWeightStore::live_weights() const {
+  std::int64_t n = 0;
+  for (const auto& rec : records_) {
+    n += static_cast<std::int64_t>(rec.entries.size());
+  }
+  return n;
+}
+
+std::int64_t SparseWeightStore::dense_weights() const {
+  std::int64_t n = 0;
+  for (const auto& rec : records_) n += rec.dense_numel();
+  return n;
+}
+
+std::int64_t SparseWeightStore::bytes() const {
+  std::int64_t total = 4 + 4;  // magic + count
+  for (const auto& rec : records_) {
+    total += 2 + static_cast<std::int64_t>(rec.name.size());   // name
+    total += 1 + 8 * static_cast<std::int64_t>(rec.shape.size());  // shape
+    total += static_cast<std::int64_t>(rng::InitSpec::persisted_bytes());
+    total += 8;                                                 // entry count
+    total += 8 * static_cast<std::int64_t>(rec.entries.size());  // idx+val
+  }
+  return total;
+}
+
+std::int64_t SparseWeightStore::dense_bytes() const {
+  return 4 * dense_weights();
+}
+
+double SparseWeightStore::compression_ratio() const {
+  const std::int64_t live = live_weights();
+  if (live == 0) return 0.0;
+  return static_cast<double>(dense_weights()) / static_cast<double>(live);
+}
+
+void SparseWeightStore::save(std::ostream& out) const {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(records_.size()));
+  for (const auto& rec : records_) {
+    write_pod<std::uint16_t>(out, static_cast<std::uint16_t>(rec.name.size()));
+    out.write(rec.name.data(),
+              static_cast<std::streamsize>(rec.name.size()));
+    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(rec.shape.size()));
+    for (std::int64_t d : rec.shape) write_pod<std::int64_t>(out, d);
+    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(rec.init.kind()));
+    write_pod<float>(out, rec.init.scale());
+    write_pod<std::uint64_t>(out, rec.init.seed());
+    write_pod<std::uint64_t>(out, rec.entries.size());
+    for (const auto& [idx, val] : rec.entries) {
+      write_pod<std::uint32_t>(out, idx);
+      write_pod<float>(out, val);
+    }
+  }
+  if (!out) throw std::runtime_error("SparseWeightStore: write failed");
+}
+
+SparseWeightStore SparseWeightStore::load(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("SparseWeightStore: bad magic");
+  }
+  SparseWeightStore store;
+  const auto count = read_pod<std::uint32_t>(in);
+  store.records_.reserve(count);
+  for (std::uint32_t p = 0; p < count; ++p) {
+    SparseParamRecord rec;
+    const auto name_len = read_pod<std::uint16_t>(in);
+    rec.name.resize(name_len);
+    in.read(rec.name.data(), name_len);
+    const auto ndim = read_pod<std::uint8_t>(in);
+    rec.shape.resize(ndim);
+    for (auto& d : rec.shape) d = read_pod<std::int64_t>(in);
+    const auto kind = read_pod<std::uint8_t>(in);
+    const auto scale = read_pod<float>(in);
+    const auto seed = read_pod<std::uint64_t>(in);
+    rec.init = kind == static_cast<std::uint8_t>(
+                           rng::InitSpec::Kind::kScaledNormal)
+                   ? rng::InitSpec::scaled_normal(scale, seed)
+                   : rng::InitSpec::constant(scale);
+    const auto n_entries = read_pod<std::uint64_t>(in);
+    const std::int64_t dense = rec.dense_numel();
+    if (n_entries > static_cast<std::uint64_t>(dense)) {
+      throw std::runtime_error("SparseWeightStore: more entries than dense");
+    }
+    rec.entries.reserve(n_entries);
+    for (std::uint64_t i = 0; i < n_entries; ++i) {
+      const auto idx = read_pod<std::uint32_t>(in);
+      const auto val = read_pod<float>(in);
+      if (static_cast<std::int64_t>(idx) >= dense) {
+        throw std::runtime_error("SparseWeightStore: entry index out of range");
+      }
+      rec.entries.emplace_back(idx, val);
+    }
+    store.records_.push_back(std::move(rec));
+  }
+  return store;
+}
+
+void SparseWeightStore::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("SparseWeightStore: cannot open " + path);
+  save(out);
+}
+
+SparseWeightStore SparseWeightStore::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("SparseWeightStore: cannot open " + path);
+  return load(in);
+}
+
+bool operator==(const SparseWeightStore& a, const SparseWeightStore& b) {
+  if (a.records_.size() != b.records_.size()) return false;
+  for (std::size_t p = 0; p < a.records_.size(); ++p) {
+    const auto& ra = a.records_[p];
+    const auto& rb = b.records_[p];
+    if (ra.name != rb.name || ra.shape != rb.shape ||
+        !(ra.init == rb.init) || ra.entries != rb.entries) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dropback::core

@@ -1,0 +1,85 @@
+// SparseWeightStore — the compressed representation DropBack trains into.
+//
+// A trained DropBack model is fully described by, per parameter:
+//   * its InitSpec (13 bytes: kind + scale + seed), and
+//   * the (index, value) pairs of its *tracked* weights.
+// Every untracked weight is regenerated on access from the InitSpec. This is
+// the artifact an embedded accelerator would ship: `bytes()` /
+// `compression_ratio()` quantify the paper's "weight compression" columns,
+// and `materialize()` (optionally traffic-counted) is the inference path.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/dropback_optimizer.hpp"
+#include "energy/energy_model.hpp"
+#include "nn/module.hpp"
+#include "rng/init_spec.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dropback::core {
+
+struct SparseParamRecord {
+  std::string name;
+  tensor::Shape shape;
+  rng::InitSpec init;
+  /// Sorted by index; only tracked weights appear.
+  std::vector<std::pair<std::uint32_t, float>> entries;
+
+  std::int64_t dense_numel() const;
+};
+
+class SparseWeightStore {
+ public:
+  SparseWeightStore() = default;
+
+  /// Captures the current weights of a trained DropBack optimizer: tracked
+  /// weights become entries, untracked ones are represented by the InitSpec.
+  static SparseWeightStore from_optimizer(const DropBackOptimizer& opt);
+
+  /// Captures `params` keeping every weight that differs from its
+  /// regenerated init by more than `tolerance` (generic export path).
+  static SparseWeightStore from_params(
+      const std::vector<nn::Parameter*>& params, float tolerance = 0.0F);
+
+  std::size_t num_params() const { return records_.size(); }
+  const SparseParamRecord& record(std::size_t p) const;
+
+  /// Reconstructs the full dense tensor of parameter p (regen + overlay).
+  /// If `traffic` is non-null, counts one regen per untracked element and
+  /// one DRAM read per tracked element.
+  tensor::Tensor materialize(std::size_t p,
+                             energy::TrafficCounter* traffic = nullptr) const;
+
+  /// Writes all materialized tensors back into a matching parameter list
+  /// (same order, same shapes) — i.e. loads the compressed model.
+  void apply_to(const std::vector<nn::Parameter*>& params,
+                energy::TrafficCounter* traffic = nullptr) const;
+
+  /// Stored (tracked) weight count across all parameters.
+  std::int64_t live_weights() const;
+  /// Total dense weight count.
+  std::int64_t dense_weights() const;
+  /// Serialized size in bytes of this store.
+  std::int64_t bytes() const;
+  /// Dense float32 size in bytes.
+  std::int64_t dense_bytes() const;
+  /// dense_weights / live_weights — the paper's "weight compression" metric.
+  double compression_ratio() const;
+
+  void save(std::ostream& out) const;
+  static SparseWeightStore load(std::istream& in);
+  void save_file(const std::string& path) const;
+  static SparseWeightStore load_file(const std::string& path);
+
+  friend bool operator==(const SparseWeightStore& a,
+                         const SparseWeightStore& b);
+
+ private:
+  std::vector<SparseParamRecord> records_;
+};
+
+}  // namespace dropback::core

@@ -1,0 +1,211 @@
+#include "core/tracked_set.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace dropback::core {
+
+TrackedSet::TrackedSet(const ParamIndex& index) : index_(&index) {
+  masks_.resize(index.num_params());
+  for (std::size_t p = 0; p < index.num_params(); ++p) {
+    masks_[p].assign(static_cast<std::size_t>(index.param(p).numel()), 1);
+  }
+}
+
+bool TrackedSet::is_tracked(std::int64_t global_index) const {
+  if (all_tracked_) return true;
+  const std::size_t p = index_->param_of(global_index);
+  return masks_[p][static_cast<std::size_t>(global_index -
+                                            index_->offset(p))] != 0;
+}
+
+std::uint8_t* TrackedSet::mask_of(std::size_t p) { return masks_[p].data(); }
+
+const std::uint8_t* TrackedSet::mask_of(std::size_t p) const {
+  return masks_[p].data();
+}
+
+std::int64_t TrackedSet::tracked_count() const {
+  std::int64_t n = 0;
+  for (const auto& mask : masks_) {
+    for (std::uint8_t m : mask) n += m;
+  }
+  return n;
+}
+
+std::int64_t TrackedSet::tracked_count_in(std::size_t p) const {
+  std::int64_t n = 0;
+  for (std::uint8_t m : masks_[p]) n += m;
+  return n;
+}
+
+namespace {
+
+/// Selected global indices of the top-k scores using a bounded min-heap —
+/// the paper's "priority queue of size k" formulation. Ties at the threshold
+/// retain the lowest-indexed weights.
+std::vector<std::int64_t> topk_heap(const std::vector<float>& scores,
+                                    std::int64_t k) {
+  struct Entry {
+    float score;
+    std::int64_t idx;
+  };
+  // priority_queue top = "largest" under cmp; we want the top to be the
+  // eviction candidate: smallest score, ties broken toward larger index.
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.idx < b.idx;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  const std::int64_t n = static_cast<std::int64_t>(scores.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Entry e{scores[static_cast<std::size_t>(i)], i};
+    if (static_cast<std::int64_t>(heap.size()) < k) {
+      heap.push(e);
+    } else if (!heap.empty() &&
+               (e.score > heap.top().score ||
+                (e.score == heap.top().score && e.idx < heap.top().idx))) {
+      // Equal-score, lower-index entries never arrive after higher-index
+      // ones in this ascending scan, so the second clause never fires; it is
+      // kept for clarity of the invariant.
+      heap.pop();
+      heap.push(e);
+    }
+  }
+  std::vector<std::int64_t> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    out.push_back(heap.top().idx);
+    heap.pop();
+  }
+  return out;
+}
+
+/// Top-k selection by nth_element (Algorithm 1's sort, done in O(n)).
+std::vector<std::int64_t> topk_fullsort(const std::vector<float>& scores,
+                                        std::int64_t k) {
+  const std::int64_t n = static_cast<std::int64_t>(scores.size());
+  std::vector<float> scratch = scores;
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   scratch.end(), std::greater<float>());
+  const float lambda = scratch[static_cast<std::size_t>(k - 1)];
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  // First everything strictly above the threshold...
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (scores[static_cast<std::size_t>(i)] > lambda) out.push_back(i);
+  }
+  // ...then fill the remaining slots with threshold-equal weights in index
+  // order, so the mask is deterministic under ties.
+  std::int64_t remaining = k - static_cast<std::int64_t>(out.size());
+  for (std::int64_t i = 0; i < n && remaining > 0; ++i) {
+    if (scores[static_cast<std::size_t>(i)] == lambda) {
+      out.push_back(i);
+      --remaining;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void TrackedSet::select(const std::vector<float>& scores, std::int64_t k,
+                        SelectionStrategy strategy) {
+  const std::int64_t n = static_cast<std::int64_t>(scores.size());
+  DROPBACK_CHECK(n == index_->total(), << "select: scores size " << n
+                                       << " != total " << index_->total());
+  DROPBACK_CHECK(k > 0, << "select: k must be positive");
+  if (k >= n) {
+    // Budget covers everything; trivially all tracked.
+    for (auto& mask : masks_) std::fill(mask.begin(), mask.end(), 1);
+    last_churn_ = 0;
+    last_lambda_ = -std::numeric_limits<float>::infinity();
+    all_tracked_ = true;
+    return;
+  }
+
+  const std::vector<std::int64_t> selected =
+      strategy == SelectionStrategy::kFullSort ? topk_fullsort(scores, k)
+                                               : topk_heap(scores, k);
+
+  // Rebuild masks, counting entries that were untracked before.
+  std::vector<std::vector<std::uint8_t>> old_masks;
+  const bool had_selection = !all_tracked_;
+  if (had_selection) old_masks = masks_;
+  for (auto& mask : masks_) std::fill(mask.begin(), mask.end(), 0);
+
+  float lambda = std::numeric_limits<float>::infinity();
+  std::int64_t churn = 0;
+  for (std::int64_t g : selected) {
+    const std::size_t p = index_->param_of(g);
+    const std::size_t local = static_cast<std::size_t>(g - index_->offset(p));
+    masks_[p][local] = 1;
+    lambda = std::min(lambda, scores[static_cast<std::size_t>(g)]);
+    if (!had_selection || old_masks[p][local] == 0) ++churn;
+  }
+  last_churn_ = churn;
+  last_lambda_ = lambda;
+  all_tracked_ = false;
+}
+
+void TrackedSet::restore(const std::vector<std::vector<std::uint8_t>>& masks,
+                         bool all_tracked) {
+  DROPBACK_CHECK(masks.size() == masks_.size(),
+                 << "restore: " << masks.size() << " masks for "
+                 << masks_.size() << " params");
+  for (std::size_t p = 0; p < masks.size(); ++p) {
+    DROPBACK_CHECK(masks[p].size() == masks_[p].size(),
+                   << "restore: mask size mismatch at param " << p);
+    masks_[p] = masks[p];
+  }
+  all_tracked_ = all_tracked;
+  last_churn_ = 0;
+}
+
+void TrackedSet::select_per_param(const std::vector<float>& scores,
+                                  const std::vector<std::int64_t>& budgets) {
+  DROPBACK_CHECK(static_cast<std::int64_t>(scores.size()) == index_->total(),
+                 << "select_per_param: scores size mismatch");
+  DROPBACK_CHECK(budgets.size() == index_->num_params(),
+                 << "select_per_param: " << budgets.size() << " budgets for "
+                 << index_->num_params() << " params");
+  std::vector<std::vector<std::uint8_t>> old_masks;
+  const bool had_selection = !all_tracked_;
+  if (had_selection) old_masks = masks_;
+
+  std::int64_t churn = 0;
+  float lambda = std::numeric_limits<float>::infinity();
+  bool everything_tracked = true;
+  for (std::size_t p = 0; p < index_->num_params(); ++p) {
+    const std::int64_t n = index_->param(p).numel();
+    const std::int64_t k = budgets[p];
+    DROPBACK_CHECK(k > 0, << "select_per_param: budget for param " << p);
+    auto& mask = masks_[p];
+    if (k >= n) {
+      std::fill(mask.begin(), mask.end(), 1);
+      continue;
+    }
+    everything_tracked = false;
+    const std::vector<float> slice(
+        scores.begin() + index_->offset(p),
+        scores.begin() + index_->offset(p) + n);
+    const auto selected = topk_fullsort(slice, k);
+    std::fill(mask.begin(), mask.end(), 0);
+    for (std::int64_t local : selected) {
+      mask[static_cast<std::size_t>(local)] = 1;
+      lambda = std::min(lambda, slice[static_cast<std::size_t>(local)]);
+      if (!had_selection || old_masks[p][static_cast<std::size_t>(local)] == 0) {
+        ++churn;
+      }
+    }
+  }
+  last_churn_ = churn;
+  last_lambda_ = lambda;
+  all_tracked_ = everything_tracked;
+}
+
+}  // namespace dropback::core

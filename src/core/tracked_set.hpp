@@ -1,0 +1,71 @@
+// Global top-k tracked-weight selection.
+//
+// Algorithm 1 sorts all accumulated gradients and keeps the k largest; the
+// practical variant it describes keeps a bounded set with a threshold
+// lambda = S_k (the k-th largest score). Both are implemented here:
+//   * kFullSort       — reference semantics via std::nth_element, O(n).
+//   * kThresholdHeap  — the paper's priority-queue formulation: scan scores
+//                       once, maintaining a min-heap of the k best.
+// They produce identical masks (tested), differing only in constant factors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/accumulated_gradients.hpp"
+
+namespace dropback::core {
+
+enum class SelectionStrategy { kFullSort, kThresholdHeap };
+
+/// The boolean tracked/untracked mask over all parameters, plus selection
+/// statistics (churn, per-layer counts) consumed by the paper's figures.
+class TrackedSet {
+ public:
+  /// Creates an all-tracked set (pre-first-selection state).
+  explicit TrackedSet(const ParamIndex& index);
+
+  /// Re-selects the tracked set as the top-k of `scores`.
+  /// Ties at the threshold are broken by lower global index, and exactly
+  /// min(k, n) weights are tracked. Records churn vs the previous selection.
+  void select(const std::vector<float>& scores, std::int64_t k,
+              SelectionStrategy strategy = SelectionStrategy::kFullSort);
+
+  /// Per-parameter variant: selects the top budgets[p] scores *within* each
+  /// parameter independently (the ablation against the paper's global
+  /// competition; see DropBackConfig::BudgetScope).
+  void select_per_param(const std::vector<float>& scores,
+                        const std::vector<std::int64_t>& budgets);
+
+  bool all_tracked() const { return all_tracked_; }
+  bool is_tracked(std::int64_t global_index) const;
+  std::uint8_t* mask_of(std::size_t p);
+  const std::uint8_t* mask_of(std::size_t p) const;
+
+  std::int64_t tracked_count() const;
+  /// Tracked weights inside parameter ordinal p (Table 2's per-layer counts).
+  std::int64_t tracked_count_in(std::size_t p) const;
+
+  /// Number of weights that entered the set in the last select() call
+  /// (equals the number evicted when k is unchanged) — Figure 2's series.
+  std::int64_t last_churn() const { return last_churn_; }
+
+  /// The threshold lambda of the last selection (k-th largest score).
+  float last_lambda() const { return last_lambda_; }
+
+  const ParamIndex& index() const { return *index_; }
+
+  /// Overwrites the masks wholesale (checkpoint restore). Mask sizes must
+  /// match the parameter sizes exactly.
+  void restore(const std::vector<std::vector<std::uint8_t>>& masks,
+               bool all_tracked);
+
+ private:
+  const ParamIndex* index_;
+  std::vector<std::vector<std::uint8_t>> masks_;  // per param
+  bool all_tracked_ = true;
+  std::int64_t last_churn_ = 0;
+  float last_lambda_ = 0.0F;
+};
+
+}  // namespace dropback::core

@@ -1,0 +1,47 @@
+#include "data/dataloader.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace dropback::data {
+
+DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size,
+                       bool shuffle, std::uint64_t seed)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed) {
+  DROPBACK_CHECK(batch_size > 0, << "DataLoader: batch_size " << batch_size);
+  order_.resize(static_cast<std::size_t>(dataset.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  start_epoch();
+}
+
+std::int64_t DataLoader::num_batches() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::start_epoch() {
+  if (shuffle_) {
+    // Fisher-Yates with the library RNG for reproducibility.
+    for (std::size_t i = order_.size(); i > 1; --i) {
+      const std::size_t j = rng_.uniform_int(static_cast<std::uint32_t>(i));
+      std::swap(order_[i - 1], order_[j]);
+    }
+  }
+  cursor_ = 0;
+}
+
+bool DataLoader::next(Batch& batch) {
+  if (cursor_ >= dataset_.size()) return false;
+  const std::int64_t count =
+      std::min(batch_size_, dataset_.size() - cursor_);
+  std::vector<std::int64_t> indices(
+      order_.begin() + cursor_, order_.begin() + cursor_ + count);
+  batch = dataset_.gather(indices);
+  cursor_ += count;
+  return true;
+}
+
+}  // namespace dropback::data

@@ -1,0 +1,38 @@
+// Mini-batch iteration with optional per-epoch shuffling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "rng/xorshift.hpp"
+
+namespace dropback::data {
+
+class DataLoader {
+ public:
+  /// Does not take ownership of `dataset`; it must outlive the loader.
+  DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle,
+             std::uint64_t seed = 0x5EED);
+
+  /// Number of batches per epoch (last partial batch included).
+  std::int64_t num_batches() const;
+
+  /// Reshuffles (if enabled) and resets to the first batch.
+  void start_epoch();
+
+  /// Fetches the next batch; returns false at epoch end.
+  bool next(Batch& batch);
+
+  std::int64_t batch_size() const { return batch_size_; }
+
+ private:
+  const Dataset& dataset_;
+  std::int64_t batch_size_;
+  bool shuffle_;
+  rng::Xorshift128 rng_;
+  std::vector<std::int64_t> order_;
+  std::int64_t cursor_ = 0;
+};
+
+}  // namespace dropback::data

@@ -1,0 +1,67 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dropback::data {
+
+Batch Dataset::gather(const std::vector<std::int64_t>& indices) const {
+  const tensor::Shape sshape = sample_shape();
+  tensor::Shape bshape;
+  bshape.push_back(static_cast<std::int64_t>(indices.size()));
+  bshape.insert(bshape.end(), sshape.begin(), sshape.end());
+  Batch batch;
+  batch.images = tensor::Tensor(bshape);
+  batch.labels.reserve(indices.size());
+  const std::int64_t sample_numel = tensor::numel_of(sshape);
+  float* out = batch.images.data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::int64_t idx = indices[i];
+    DROPBACK_CHECK(idx >= 0 && idx < size(),
+                   << "gather: index " << idx << " out of range " << size());
+    copy_sample(idx, out + static_cast<std::int64_t>(i) * sample_numel);
+    batch.labels.push_back(label(idx));
+  }
+  return batch;
+}
+
+Batch Dataset::slice(std::int64_t first, std::int64_t count) const {
+  std::vector<std::int64_t> indices;
+  indices.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) indices.push_back(first + i);
+  return gather(indices);
+}
+
+InMemoryDataset::InMemoryDataset(tensor::Tensor images,
+                                 std::vector<std::int64_t> labels,
+                                 std::int64_t num_classes)
+    : images_(std::move(images)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  DROPBACK_CHECK(images_.ndim() >= 2, << "InMemoryDataset: images must have a "
+                                         "batch dim plus sample dims");
+  DROPBACK_CHECK(
+      images_.size(0) == static_cast<std::int64_t>(labels_.size()),
+      << "InMemoryDataset: " << images_.size(0) << " images vs "
+      << labels_.size() << " labels");
+  sample_numel_ = images_.size(0) > 0 ? images_.numel() / images_.size(0) : 0;
+}
+
+std::int64_t InMemoryDataset::size() const { return images_.size(0); }
+
+tensor::Shape InMemoryDataset::sample_shape() const {
+  tensor::Shape s(images_.shape().begin() + 1, images_.shape().end());
+  return s;
+}
+
+void InMemoryDataset::copy_sample(std::int64_t i, float* out) const {
+  const float* src = images_.data() + i * sample_numel_;
+  std::copy(src, src + sample_numel_, out);
+}
+
+std::int64_t InMemoryDataset::label(std::int64_t i) const {
+  return labels_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace dropback::data

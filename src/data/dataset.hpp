@@ -1,0 +1,63 @@
+// Dataset abstractions.
+//
+// The paper evaluates on MNIST and CIFAR-10. Neither ships with this repo
+// (offline build), so src/data provides procedural stand-ins with the same
+// shapes and class counts (see synthetic_mnist.hpp / synthetic_cifar.hpp and
+// DESIGN.md §2 for the substitution argument). Everything downstream only
+// sees this Dataset interface.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dropback::data {
+
+/// A batch of examples: images stacked along dim 0, integer labels.
+struct Batch {
+  tensor::Tensor images;  ///< [B, ...sample shape]
+  std::vector<std::int64_t> labels;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(labels.size()); }
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual std::int64_t size() const = 0;
+  /// Shape of one sample (no batch dim), e.g. [1, 28, 28].
+  virtual tensor::Shape sample_shape() const = 0;
+  /// Copies sample i into `out` (sample_shape() numel floats).
+  virtual void copy_sample(std::int64_t i, float* out) const = 0;
+  virtual std::int64_t label(std::int64_t i) const = 0;
+  virtual std::int64_t num_classes() const = 0;
+
+  /// Gathers arbitrary indices into a batch.
+  Batch gather(const std::vector<std::int64_t>& indices) const;
+  /// Convenience: batch of samples [first, first+count).
+  Batch slice(std::int64_t first, std::int64_t count) const;
+};
+
+/// Dataset fully materialized in memory.
+class InMemoryDataset : public Dataset {
+ public:
+  InMemoryDataset(tensor::Tensor images, std::vector<std::int64_t> labels,
+                  std::int64_t num_classes);
+
+  std::int64_t size() const override;
+  tensor::Shape sample_shape() const override;
+  void copy_sample(std::int64_t i, float* out) const override;
+  std::int64_t label(std::int64_t i) const override;
+  std::int64_t num_classes() const override { return num_classes_; }
+
+  const tensor::Tensor& images() const { return images_; }
+
+ private:
+  tensor::Tensor images_;  ///< [N, ...]
+  std::vector<std::int64_t> labels_;
+  std::int64_t num_classes_;
+  std::int64_t sample_numel_;
+};
+
+}  // namespace dropback::data

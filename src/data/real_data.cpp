@@ -1,0 +1,193 @@
+#include "data/real_data.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace dropback::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in, const char* what) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  if (!in) throw std::runtime_error(std::string("truncated ") + what);
+  return (static_cast<std::uint32_t>(bytes[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[2]) << 8) |
+         static_cast<std::uint32_t>(bytes[3]);
+}
+
+void write_be32(std::ostream& out, std::uint32_t v) {
+  const unsigned char bytes[4] = {
+      static_cast<unsigned char>(v >> 24),
+      static_cast<unsigned char>(v >> 16),
+      static_cast<unsigned char>(v >> 8),
+      static_cast<unsigned char>(v),
+  };
+  out.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+constexpr std::uint32_t kIdxImagesMagic = 0x00000803;  // idx3-ubyte
+constexpr std::uint32_t kIdxLabelsMagic = 0x00000801;  // idx1-ubyte
+
+}  // namespace
+
+std::unique_ptr<InMemoryDataset> load_mnist_idx(
+    const std::string& images_path, const std::string& labels_path) {
+  std::ifstream images(images_path, std::ios::binary);
+  if (!images) {
+    throw std::runtime_error("load_mnist_idx: cannot open " + images_path);
+  }
+  std::ifstream labels(labels_path, std::ios::binary);
+  if (!labels) {
+    throw std::runtime_error("load_mnist_idx: cannot open " + labels_path);
+  }
+  if (read_be32(images, "image header") != kIdxImagesMagic) {
+    throw std::runtime_error("load_mnist_idx: bad image magic");
+  }
+  const std::uint32_t n = read_be32(images, "image count");
+  const std::uint32_t rows = read_be32(images, "rows");
+  const std::uint32_t cols = read_be32(images, "cols");
+  if (rows == 0 || cols == 0 || rows > 512 || cols > 512) {
+    throw std::runtime_error("load_mnist_idx: implausible dimensions");
+  }
+  if (read_be32(labels, "label header") != kIdxLabelsMagic) {
+    throw std::runtime_error("load_mnist_idx: bad label magic");
+  }
+  if (read_be32(labels, "label count") != n) {
+    throw std::runtime_error("load_mnist_idx: image/label count mismatch");
+  }
+
+  tensor::Tensor tensor({static_cast<std::int64_t>(n), 1,
+                         static_cast<std::int64_t>(rows),
+                         static_cast<std::int64_t>(cols)});
+  std::vector<unsigned char> row(static_cast<std::size_t>(rows) * cols);
+  float* out = tensor.data();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    images.read(reinterpret_cast<char*>(row.data()),
+                static_cast<std::streamsize>(row.size()));
+    if (!images) throw std::runtime_error("load_mnist_idx: truncated pixels");
+    for (std::size_t p = 0; p < row.size(); ++p) {
+      out[static_cast<std::size_t>(i) * row.size() + p] =
+          static_cast<float>(row[p]) / 255.0F;
+    }
+  }
+  std::vector<std::int64_t> label_values;
+  label_values.reserve(n);
+  std::int64_t max_label = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    unsigned char label = 0;
+    labels.read(reinterpret_cast<char*>(&label), 1);
+    if (!labels) throw std::runtime_error("load_mnist_idx: truncated labels");
+    label_values.push_back(label);
+    max_label = std::max<std::int64_t>(max_label, label);
+  }
+  return std::make_unique<InMemoryDataset>(
+      std::move(tensor), std::move(label_values),
+      std::max<std::int64_t>(10, max_label + 1));
+}
+
+std::unique_ptr<InMemoryDataset> load_cifar10_batches(
+    const std::vector<std::string>& batch_paths) {
+  DROPBACK_CHECK(!batch_paths.empty(), << "load_cifar10_batches: no files");
+  constexpr std::int64_t kRecord = 1 + 3 * 32 * 32;
+  // First pass: total record count (each batch file is a whole number of
+  // 3073-byte records).
+  std::int64_t total = 0;
+  for (const auto& path : batch_paths) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) throw std::runtime_error("load_cifar10_batches: cannot open " +
+                                      path);
+    const std::int64_t size = static_cast<std::int64_t>(in.tellg());
+    if (size == 0 || size % kRecord != 0) {
+      throw std::runtime_error("load_cifar10_batches: " + path +
+                               " is not a whole number of 3073-byte records");
+    }
+    total += size / kRecord;
+  }
+  tensor::Tensor tensor({total, 3, 32, 32});
+  std::vector<std::int64_t> labels;
+  labels.reserve(static_cast<std::size_t>(total));
+  float* out = tensor.data();
+  std::int64_t written = 0;
+  std::vector<unsigned char> record(static_cast<std::size_t>(kRecord));
+  for (const auto& path : batch_paths) {
+    std::ifstream in(path, std::ios::binary);
+    while (in.read(reinterpret_cast<char*>(record.data()), kRecord)) {
+      const unsigned char label = record[0];
+      if (label > 9) {
+        throw std::runtime_error("load_cifar10_batches: label out of range");
+      }
+      labels.push_back(label);
+      float* dst = out + written * (kRecord - 1);
+      for (std::int64_t p = 0; p < kRecord - 1; ++p) {
+        dst[p] = static_cast<float>(record[static_cast<std::size_t>(p + 1)]) /
+                 255.0F;
+      }
+      ++written;
+    }
+  }
+  DROPBACK_CHECK(written == total, << "load_cifar10_batches: short read");
+  return std::make_unique<InMemoryDataset>(std::move(tensor),
+                                           std::move(labels), 10);
+}
+
+void write_mnist_idx(const std::string& images_path,
+                     const std::string& labels_path, const Dataset& dataset) {
+  const auto shape = dataset.sample_shape();
+  DROPBACK_CHECK(shape.size() == 3 && shape[0] == 1,
+                 << "write_mnist_idx: expected [1, H, W] samples");
+  std::ofstream images(images_path, std::ios::binary);
+  std::ofstream labels(labels_path, std::ios::binary);
+  if (!images || !labels) {
+    throw std::runtime_error("write_mnist_idx: cannot open output files");
+  }
+  const auto n = static_cast<std::uint32_t>(dataset.size());
+  write_be32(images, kIdxImagesMagic);
+  write_be32(images, n);
+  write_be32(images, static_cast<std::uint32_t>(shape[1]));
+  write_be32(images, static_cast<std::uint32_t>(shape[2]));
+  write_be32(labels, kIdxLabelsMagic);
+  write_be32(labels, n);
+  const std::int64_t pixels = shape[1] * shape[2];
+  std::vector<float> buf(static_cast<std::size_t>(pixels));
+  std::vector<unsigned char> bytes(static_cast<std::size_t>(pixels));
+  for (std::int64_t i = 0; i < dataset.size(); ++i) {
+    dataset.copy_sample(i, buf.data());
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      const float v = std::clamp(buf[static_cast<std::size_t>(p)], 0.0F, 1.0F);
+      bytes[static_cast<std::size_t>(p)] =
+          static_cast<unsigned char>(v * 255.0F + 0.5F);
+    }
+    images.write(reinterpret_cast<const char*>(bytes.data()), pixels);
+    const auto label = static_cast<unsigned char>(dataset.label(i));
+    labels.write(reinterpret_cast<const char*>(&label), 1);
+  }
+}
+
+void write_cifar10_batch(const std::string& path, const Dataset& dataset) {
+  const auto shape = dataset.sample_shape();
+  DROPBACK_CHECK(shape.size() == 3 && shape[0] == 3 && shape[1] == 32 &&
+                     shape[2] == 32,
+                 << "write_cifar10_batch: expected [3, 32, 32] samples");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_cifar10_batch: cannot open " +
+                                     path);
+  std::vector<float> buf(3 * 32 * 32);
+  for (std::int64_t i = 0; i < dataset.size(); ++i) {
+    dataset.copy_sample(i, buf.data());
+    const auto label = static_cast<unsigned char>(dataset.label(i));
+    out.write(reinterpret_cast<const char*>(&label), 1);
+    for (float v : buf) {
+      const auto byte = static_cast<unsigned char>(
+          std::clamp(v, 0.0F, 1.0F) * 255.0F + 0.5F);
+      out.write(reinterpret_cast<const char*>(&byte), 1);
+    }
+  }
+}
+
+}  // namespace dropback::data

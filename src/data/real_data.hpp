@@ -1,0 +1,42 @@
+// Loaders for the *real* MNIST and CIFAR-10 on-disk formats.
+//
+// This repo ships synthetic stand-ins (DESIGN.md §2) because it builds
+// offline, but the paper's experiments use the genuine datasets. Anyone with
+// the files can run every bench on real data:
+//
+//   auto train = data::load_mnist_idx("train-images-idx3-ubyte",
+//                                     "train-labels-idx1-ubyte");
+//   auto test  = data::load_cifar10_batches({"data_batch_1.bin", ...});
+//
+// Formats implemented:
+//  * MNIST IDX (Yann LeCun's idx3-ubyte images / idx1-ubyte labels,
+//    big-endian headers, pixels normalized to [0,1], shape [N,1,28,28]).
+//  * CIFAR-10 binary batches (1 label byte + 3072 pixel bytes per record,
+//    pixels normalized to [0,1], shape [N,3,32,32]).
+// Both loaders validate magic numbers / sizes and throw std::runtime_error
+// on malformed files.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace dropback::data {
+
+/// Loads an MNIST-style IDX image/label file pair.
+std::unique_ptr<InMemoryDataset> load_mnist_idx(
+    const std::string& images_path, const std::string& labels_path);
+
+/// Loads one or more CIFAR-10 binary batch files (concatenated).
+std::unique_ptr<InMemoryDataset> load_cifar10_batches(
+    const std::vector<std::string>& batch_paths);
+
+/// Writers for the same formats — used by tests to round-trip, and handy for
+/// exporting synthetic data to standard tooling.
+void write_mnist_idx(const std::string& images_path,
+                     const std::string& labels_path, const Dataset& dataset);
+void write_cifar10_batch(const std::string& path, const Dataset& dataset);
+
+}  // namespace dropback::data

@@ -1,0 +1,94 @@
+#include "data/synthetic_cifar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/xorshift.hpp"
+#include "util/check.hpp"
+
+namespace dropback::data {
+
+namespace {
+constexpr int kSide = 32;
+
+/// Class color palettes (RGB base tints, loosely "CIFAR-ish").
+constexpr float kPalette[10][3] = {
+    {0.9F, 0.3F, 0.3F}, {0.3F, 0.9F, 0.3F}, {0.3F, 0.3F, 0.9F},
+    {0.9F, 0.9F, 0.3F}, {0.9F, 0.3F, 0.9F}, {0.3F, 0.9F, 0.9F},
+    {0.8F, 0.6F, 0.2F}, {0.6F, 0.2F, 0.8F}, {0.2F, 0.8F, 0.6F},
+    {0.7F, 0.7F, 0.7F},
+};
+
+float occluder_mask(std::int64_t cls, float x, float y, float ox, float oy) {
+  // x, y in pixels; (ox, oy) occluder center.
+  const float dx = x - ox, dy = y - oy;
+  switch (cls % 4) {
+    case 0: {  // disc r=7
+      const float d = std::sqrt(dx * dx + dy * dy);
+      return d < 7.0F ? 1.0F : 0.0F;
+    }
+    case 1:  // box 12x12
+      return (std::fabs(dx) < 6.0F && std::fabs(dy) < 6.0F) ? 1.0F : 0.0F;
+    case 2:  // diagonal band
+      return std::fabs(dx - dy) < 4.0F ? 1.0F : 0.0F;
+    default: {  // ring
+      const float d = std::sqrt(dx * dx + dy * dy);
+      return (d > 5.0F && d < 9.0F) ? 1.0F : 0.0F;
+    }
+  }
+}
+}  // namespace
+
+std::unique_ptr<InMemoryDataset> make_synthetic_cifar(
+    const SyntheticCifarOptions& options) {
+  DROPBACK_CHECK(options.num_samples > 0, << "make_synthetic_cifar: empty");
+  rng::Xorshift128 rng(options.seed);
+  tensor::Tensor images({options.num_samples, 3, kSide, kSide});
+  std::vector<std::int64_t> labels;
+  labels.reserve(static_cast<std::size_t>(options.num_samples));
+  float* out = images.data();
+  for (std::int64_t i = 0; i < options.num_samples; ++i) {
+    const std::int64_t cls = i % 10;
+    // Class-deterministic texture parameters.
+    const float theta = static_cast<float>(cls) * 0.31415926F;  // 18 deg
+    const float freq = 0.25F + 0.06F * static_cast<float>(cls % 5);
+    const float cth = std::cos(theta), sth = std::sin(theta);
+    // Per-sample randomness.
+    const float phase = rng.uniform(0.0F, 6.2831853F);
+    const float amp = rng.uniform(0.30F, 0.55F);
+    const float ox = 16.0F + rng.uniform(-options.max_translate,
+                                         options.max_translate);
+    const float oy = 16.0F + rng.uniform(-options.max_translate,
+                                         options.max_translate);
+    const float brightness = rng.uniform(0.85F, 1.15F);
+    float* img = out + i * 3 * kSide * kSide;
+    for (int y = 0; y < kSide; ++y) {
+      for (int x = 0; x < kSide; ++x) {
+        const float fx = static_cast<float>(x), fy = static_cast<float>(y);
+        const float u = cth * fx + sth * fy;
+        const float grating =
+            0.5F + amp * std::sin(freq * u + phase);  // class texture
+        const float occ = occluder_mask(cls, fx, fy, ox, oy);
+        // Gentle spatial color gradient, distinct per class.
+        const float gradx = fx / static_cast<float>(kSide);
+        const float grady = fy / static_cast<float>(kSide);
+        for (int ch = 0; ch < 3; ++ch) {
+          float v = kPalette[cls][ch] * grating;
+          v = v * (0.8F + 0.2F * (ch == 0 ? gradx : (ch == 1 ? grady : 1.0F)));
+          // Occluder inverts the tint locally — a strong class-shape cue.
+          if (occ > 0.0F) v = 1.0F - 0.8F * v;
+          v *= brightness;
+          if (options.noise_stddev > 0.0F) {
+            v += rng.normal(0.0F, options.noise_stddev);
+          }
+          img[(ch * kSide + y) * kSide + x] = std::clamp(v, 0.0F, 1.0F);
+        }
+      }
+    }
+    labels.push_back(cls);
+  }
+  return std::make_unique<InMemoryDataset>(std::move(images),
+                                           std::move(labels), 10);
+}
+
+}  // namespace dropback::data

@@ -1,0 +1,116 @@
+#include "data/synthetic_mnist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/xorshift.hpp"
+#include "util/check.hpp"
+
+namespace dropback::data {
+
+namespace {
+
+constexpr int kSide = 28;
+
+/// Segment endpoints on a normalized [0,1]^2 glyph box (x right, y down):
+/// the classic seven segments A (top) .. G (middle).
+struct Seg {
+  float x0, y0, x1, y1;
+};
+
+constexpr Seg kSegments[7] = {
+    {0.15F, 0.10F, 0.85F, 0.10F},  // A top
+    {0.85F, 0.10F, 0.85F, 0.50F},  // B top-right
+    {0.85F, 0.50F, 0.85F, 0.90F},  // C bottom-right
+    {0.15F, 0.90F, 0.85F, 0.90F},  // D bottom
+    {0.15F, 0.50F, 0.15F, 0.90F},  // E bottom-left
+    {0.15F, 0.10F, 0.15F, 0.50F},  // F top-left
+    {0.15F, 0.50F, 0.85F, 0.50F},  // G middle
+};
+
+/// Which segments each digit lights up (A..G bitmask, bit i = kSegments[i]).
+constexpr std::uint8_t kDigitSegs[10] = {
+    0b0111111,  // 0: ABCDEF
+    0b0000110,  // 1: BC
+    0b1011011,  // 2: ABDEG
+    0b1001111,  // 3: ABCDG
+    0b1100110,  // 4: BCFG
+    0b1101101,  // 5: ACDFG
+    0b1111101,  // 6: ACDEFG
+    0b0000111,  // 7: ABC
+    0b1111111,  // 8: all
+    0b1101111,  // 9: ABCDFG
+};
+
+float dist_to_segment(float px, float py, const Seg& s) {
+  const float dx = s.x1 - s.x0, dy = s.y1 - s.y0;
+  const float len2 = dx * dx + dy * dy;
+  float t = len2 > 0.0F ? ((px - s.x0) * dx + (py - s.y0) * dy) / len2 : 0.0F;
+  t = std::clamp(t, 0.0F, 1.0F);
+  const float qx = s.x0 + t * dx, qy = s.y0 + t * dy;
+  return std::sqrt((px - qx) * (px - qx) + (py - qy) * (py - qy));
+}
+
+}  // namespace
+
+void render_digit(std::int64_t digit, float cx, float cy, float scale,
+                  float shear, float thickness, float* out) {
+  DROPBACK_CHECK(digit >= 0 && digit < 10, << "render_digit(" << digit << ")");
+  const std::uint8_t segs = kDigitSegs[digit];
+  // Glyph box ~18x22 pixels centered at (cx, cy), scaled and sheared.
+  const float box_w = 16.0F * scale;
+  const float box_h = 22.0F * scale;
+  for (int y = 0; y < kSide; ++y) {
+    for (int x = 0; x < kSide; ++x) {
+      // Inverse-map pixel to normalized glyph coordinates.
+      const float fy = (static_cast<float>(y) - cy) / box_h + 0.5F;
+      const float fx =
+          (static_cast<float>(x) - cx) / box_w - shear * (fy - 0.5F) + 0.5F;
+      float best = 1e9F;
+      for (int s = 0; s < 7; ++s) {
+        if (segs & (1U << s)) {
+          best = std::min(best, dist_to_segment(fx, fy, kSegments[s]));
+        }
+      }
+      // Soft brush: intensity falls off smoothly past the stroke radius.
+      const float r = thickness;
+      const float d_px = best * box_h;  // back to pixel-ish units
+      const float v = 1.0F - std::clamp((d_px - r) / 1.2F, 0.0F, 1.0F);
+      out[y * kSide + x] = v;
+    }
+  }
+}
+
+std::unique_ptr<InMemoryDataset> make_synthetic_mnist(
+    const SyntheticMnistOptions& options) {
+  DROPBACK_CHECK(options.num_samples > 0, << "make_synthetic_mnist: empty");
+  rng::Xorshift128 rng(options.seed);
+  tensor::Tensor images({options.num_samples, 1, kSide, kSide});
+  std::vector<std::int64_t> labels;
+  labels.reserve(static_cast<std::size_t>(options.num_samples));
+  float* out = images.data();
+  for (std::int64_t i = 0; i < options.num_samples; ++i) {
+    const std::int64_t digit = i % 10;  // balanced classes
+    const float cx = 14.0F + rng.uniform(-options.max_translate,
+                                         options.max_translate);
+    const float cy = 14.0F + rng.uniform(-options.max_translate,
+                                         options.max_translate);
+    const float scale =
+        1.0F + rng.uniform(-options.max_scale_jitter, options.max_scale_jitter);
+    const float shear = rng.uniform(-options.max_shear, options.max_shear);
+    const float thickness = rng.uniform(1.2F, 2.2F);
+    float* img = out + i * kSide * kSide;
+    render_digit(digit, cx, cy, scale, shear, thickness, img);
+    if (options.noise_stddev > 0.0F) {
+      for (int p = 0; p < kSide * kSide; ++p) {
+        img[p] = std::clamp(img[p] + rng.normal(0.0F, options.noise_stddev),
+                            0.0F, 1.0F);
+      }
+    }
+    labels.push_back(digit);
+  }
+  return std::make_unique<InMemoryDataset>(std::move(images),
+                                           std::move(labels), 10);
+}
+
+}  // namespace dropback::data

@@ -1,0 +1,40 @@
+#include "energy/energy_model.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace dropback::energy {
+
+double TrafficCounter::total_pj(const EnergyConstants& c) const {
+  return static_cast<double>(dram_reads + dram_writes) * c.dram_access_pj +
+         static_cast<double>(regens) * c.regen_pj() +
+         static_cast<double>(float_ops) * c.float_op_pj;
+}
+
+double TrafficCounter::dense_equivalent_pj(const EnergyConstants& c) const {
+  // In a dense (unpruned) scheme every regenerated value would instead be a
+  // stored weight fetched from DRAM.
+  return static_cast<double>(dram_reads + dram_writes + regens) *
+             c.dram_access_pj +
+         static_cast<double>(float_ops) * c.float_op_pj;
+}
+
+std::string TrafficCounter::report(const EnergyConstants& c) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  const double total_uj = total_pj(c) * 1e-6;
+  const double dense_uj = dense_equivalent_pj(c) * 1e-6;
+  os << "weight traffic: " << dram_reads << " DRAM reads, " << dram_writes
+     << " DRAM writes, " << regens << " regens\n";
+  os << "energy: " << total_uj << " uJ (dense equivalent " << dense_uj
+     << " uJ";
+  if (total_uj > 0.0) {
+    os << ", saving " << std::setprecision(2) << dense_uj / total_uj << "x";
+  }
+  os << ")\n";
+  os << "model constants: DRAM/FLOP = " << std::setprecision(0)
+     << c.dram_vs_flop() << "x, DRAM/regen = " << c.dram_vs_regen() << "x";
+  return os.str();
+}
+
+}  // namespace dropback::energy

@@ -1,0 +1,89 @@
+#include "energy/memory_hierarchy.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dropback::energy {
+
+const char* scheme_name(TrainingScheme scheme) {
+  switch (scheme) {
+    case TrainingScheme::kDenseSgd:
+      return "dense SGD";
+    case TrainingScheme::kDenseMomentum:
+      return "dense SGD+momentum";
+    case TrainingScheme::kDenseAdam:
+      return "dense Adam";
+    case TrainingScheme::kMagnitudePruning:
+      return "magnitude pruning";
+    case TrainingScheme::kDropBack:
+      return "DropBack";
+  }
+  return "?";
+}
+
+std::int64_t training_state_values(TrainingScheme scheme,
+                                   std::int64_t dense_weights,
+                                   std::int64_t budget) {
+  DROPBACK_CHECK(dense_weights > 0, << "training_state_values: model size");
+  switch (scheme) {
+    case TrainingScheme::kDenseSgd:
+    case TrainingScheme::kMagnitudePruning:
+      return dense_weights;
+    case TrainingScheme::kDenseMomentum:
+      return 2 * dense_weights;
+    case TrainingScheme::kDenseAdam:
+      return 3 * dense_weights;
+    case TrainingScheme::kDropBack:
+      DROPBACK_CHECK(budget > 0, << "DropBack needs a budget");
+      // Tracked value + tracked index (u32 counted as one value-equivalent).
+      return 2 * std::min(budget, dense_weights);
+  }
+  return dense_weights;
+}
+
+FitReport evaluate_fit(const AcceleratorSpec& accelerator,
+                       TrainingScheme scheme, std::int64_t dense_weights,
+                       std::int64_t budget) {
+  FitReport report;
+  report.scheme = scheme;
+  report.state_values = training_state_values(scheme, dense_weights, budget);
+  const std::int64_t capacity = accelerator.sram_values();
+  report.fits_on_chip = report.state_values <= capacity;
+  report.spilled_values =
+      report.fits_on_chip ? 0 : report.state_values - capacity;
+  // Largest dense model whose training state fits on-chip.
+  switch (scheme) {
+    case TrainingScheme::kDenseSgd:
+    case TrainingScheme::kMagnitudePruning:
+      report.max_trainable_weights = capacity;
+      break;
+    case TrainingScheme::kDenseMomentum:
+      report.max_trainable_weights = capacity / 2;
+      break;
+    case TrainingScheme::kDenseAdam:
+      report.max_trainable_weights = capacity / 3;
+      break;
+    case TrainingScheme::kDropBack: {
+      // state = 2 * budget = 2 * dense / compression.
+      const double compression = static_cast<double>(dense_weights) /
+                                 static_cast<double>(std::max<std::int64_t>(
+                                     1, std::min(budget, dense_weights)));
+      report.max_trainable_weights = static_cast<std::int64_t>(
+          static_cast<double>(capacity) / 2.0 * compression);
+      break;
+    }
+  }
+  return report;
+}
+
+double trainable_size_multiplier(const AcceleratorSpec& accelerator,
+                                 double compression_ratio) {
+  DROPBACK_CHECK(compression_ratio > 0.0, << "compression ratio");
+  const auto capacity = static_cast<double>(accelerator.sram_values());
+  const double dense_max = capacity;                       // dense SGD
+  const double dropback_max = capacity / 2.0 * compression_ratio;
+  return dropback_max / dense_max;
+}
+
+}  // namespace dropback::energy

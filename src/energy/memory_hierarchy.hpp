@@ -1,0 +1,79 @@
+// Accelerator memory-hierarchy sizing model.
+//
+// The paper's motivation (§1) and headline systems claim (§6): an embedded
+// accelerator has a small on-chip SRAM (an order of magnitude less capacity
+// than a datacenter GPU) and expensive off-chip DRAM; DropBack "can be used
+// to train networks 5-10x larger than currently possible with typical
+// hardware". This model quantifies that: given an SRAM budget, it computes
+// the training-time weight-state footprint of a model under each training
+// scheme and whether it fits on-chip, plus the per-step off-chip traffic
+// when it does not.
+//
+// Footprint accounting (floats):
+//   dense SGD        : W                       (weights)
+//   dense + momentum : 2W                      (+ velocity)
+//   dense + Adam     : 3W                      (+ m, v)
+//   magnitude prune  : W                       (dense weights live in training)
+//   DropBack k       : k + k                   (tracked weights + their
+//                      accumulated-gradient view is free — recomputed from
+//                      w - w0 — but the index of each tracked weight costs
+//                      one u32, counted as one float-equivalent)
+// Activations are workload-dependent and identical across schemes, so they
+// are excluded (the paper's comparison is about weight memory).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dropback::energy {
+
+struct AcceleratorSpec {
+  /// On-chip SRAM usable for weight state, in bytes.
+  std::int64_t sram_bytes = 256 * 1024;
+  /// Bytes per stored value (float32).
+  int bytes_per_value = 4;
+
+  std::int64_t sram_values() const { return sram_bytes / bytes_per_value; }
+};
+
+enum class TrainingScheme {
+  kDenseSgd,
+  kDenseMomentum,
+  kDenseAdam,
+  kMagnitudePruning,  ///< dense during training despite sparse result
+  kDropBack,
+};
+
+const char* scheme_name(TrainingScheme scheme);
+
+/// Weight-state floats scheme needs to train a model of `dense_weights`
+/// parameters (with `budget` tracked weights for DropBack).
+std::int64_t training_state_values(TrainingScheme scheme,
+                                   std::int64_t dense_weights,
+                                   std::int64_t budget);
+
+struct FitReport {
+  TrainingScheme scheme;
+  std::int64_t state_values = 0;
+  bool fits_on_chip = false;
+  /// Values spilled off-chip (0 if it fits).
+  std::int64_t spilled_values = 0;
+  /// Largest dense model (weights) trainable fully on-chip.
+  std::int64_t max_trainable_weights = 0;
+};
+
+/// Evaluates one scheme against an accelerator for a model size.
+/// For DropBack, `budget` is the tracked-weight count; for other schemes it
+/// is ignored. `max_trainable_weights` for DropBack assumes the same
+/// compression ratio dense_weights/budget scales up.
+FitReport evaluate_fit(const AcceleratorSpec& accelerator,
+                       TrainingScheme scheme, std::int64_t dense_weights,
+                       std::int64_t budget);
+
+/// The paper's §6 claim, computed: ratio of the largest DropBack-trainable
+/// model to the largest dense-SGD-trainable model on the same SRAM.
+double trainable_size_multiplier(const AcceleratorSpec& accelerator,
+                                 double compression_ratio);
+
+}  // namespace dropback::energy

@@ -1,0 +1,247 @@
+#include "inference/regen_forward.hpp"
+
+#include "util/check.hpp"
+
+namespace dropback::inference {
+
+namespace {
+
+/// Streams the values of one record in flat-index order, merge-joining the
+/// sorted tracked entries with regenerated values. The callback receives
+/// (flat_index, value, was_tracked).
+template <typename F>
+void stream_values(const core::SparseParamRecord& rec, std::int64_t first,
+                   std::int64_t count, F&& emit) {
+  const auto& entries = rec.entries;
+  // Binary search for the first tracked entry >= first.
+  std::size_t e = 0;
+  {
+    std::size_t lo = 0, hi = entries.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (static_cast<std::int64_t>(entries[mid].first) < first) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    e = lo;
+  }
+  const rng::InitSpec& init = rec.init;
+  for (std::int64_t i = first; i < first + count; ++i) {
+    if (e < entries.size() &&
+        static_cast<std::int64_t>(entries[e].first) == i) {
+      emit(i, entries[e].second, true);
+      ++e;
+    } else {
+      emit(i, init.value_at(static_cast<std::uint64_t>(i)), false);
+    }
+  }
+}
+
+float bias_value(const core::SparseParamRecord* bias, std::int64_t o,
+                 std::uint64_t* reads, std::uint64_t* regens) {
+  if (!bias) return 0.0F;
+  // Bias vectors are small; a linear probe over the sorted entries per
+  // element would be fine, but reuse stream_values for consistency.
+  float value = 0.0F;
+  stream_values(*bias, o, 1,
+                [&](std::int64_t, float v, bool tracked) {
+                  value = v;
+                  if (tracked) {
+                    ++*reads;
+                  } else {
+                    ++*regens;
+                  }
+                });
+  return value;
+}
+
+}  // namespace
+
+RegenLinear::RegenLinear(const core::SparseParamRecord* weight,
+                         const core::SparseParamRecord* bias)
+    : weight_(weight), bias_(bias) {
+  DROPBACK_CHECK(weight != nullptr && weight->shape.size() == 2,
+                 << "RegenLinear: weight must be 2-D");
+  out_ = weight->shape[0];
+  in_ = weight->shape[1];
+  if (bias) {
+    DROPBACK_CHECK(tensor::numel_of(bias->shape) == out_,
+                   << "RegenLinear: bias size mismatch");
+  }
+}
+
+tensor::Tensor RegenLinear::forward(const tensor::Tensor& x,
+                                    energy::TrafficCounter* traffic) const {
+  DROPBACK_CHECK(x.ndim() == 2 && x.size(1) == in_,
+                 << "RegenLinear: input " << tensor::shape_str(x.shape())
+                 << " vs in_features " << in_);
+  const std::int64_t m = x.size(0);
+  tensor::Tensor y({m, out_});
+  const float* px = x.data();
+  float* py = y.data();
+  std::uint64_t reads = 0, regens = 0;
+  // Row o of W is the contiguous flat range [o*in, (o+1)*in): stream it
+  // once per output feature and apply it to every batch row. The weight
+  // value lives only in a register — this is the paper's regenerative MAC.
+  std::vector<double> acc(static_cast<std::size_t>(m));
+  for (std::int64_t o = 0; o < out_; ++o) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    stream_values(*weight_, o * in_, in_,
+                  [&](std::int64_t flat, float w, bool tracked) {
+                    const std::int64_t i = flat - o * in_;
+                    if (tracked) {
+                      ++reads;
+                    } else {
+                      ++regens;
+                    }
+                    if (w == 0.0F) return;
+                    for (std::int64_t b = 0; b < m; ++b) {
+                      acc[static_cast<std::size_t>(b)] +=
+                          static_cast<double>(px[b * in_ + i]) * w;
+                    }
+                  });
+    const float bias = bias_value(bias_, o, &reads, &regens);
+    for (std::int64_t b = 0; b < m; ++b) {
+      py[b * out_ + o] =
+          static_cast<float>(acc[static_cast<std::size_t>(b)]) + bias;
+    }
+  }
+  if (traffic) {
+    traffic->dram_reads += reads;
+    traffic->regens += regens;
+    traffic->float_ops += static_cast<std::uint64_t>(m) *
+                          static_cast<std::uint64_t>(out_) *
+                          static_cast<std::uint64_t>(in_) * 2;
+  }
+  return y;
+}
+
+std::int64_t RegenLinear::live_floats() const {
+  std::int64_t n = static_cast<std::int64_t>(weight_->entries.size());
+  if (bias_) n += static_cast<std::int64_t>(bias_->entries.size());
+  return n;
+}
+
+RegenConv2d::RegenConv2d(const core::SparseParamRecord* weight,
+                         const core::SparseParamRecord* bias,
+                         tensor::Conv2dSpec spec)
+    : weight_(weight), bias_(bias), spec_(spec) {
+  DROPBACK_CHECK(weight != nullptr && weight->shape.size() == 4,
+                 << "RegenConv2d: weight must be 4-D");
+  DROPBACK_CHECK(weight->shape[2] == spec.kernel_h &&
+                     weight->shape[3] == spec.kernel_w,
+                 << "RegenConv2d: kernel mismatch");
+}
+
+tensor::Tensor RegenConv2d::forward(const tensor::Tensor& x,
+                                    energy::TrafficCounter* traffic) const {
+  DROPBACK_CHECK(x.ndim() == 4 && x.size(1) == weight_->shape[1],
+                 << "RegenConv2d: input " << tensor::shape_str(x.shape()));
+  const std::int64_t n = x.size(0);
+  const std::int64_t cout = weight_->shape[0];
+  const std::int64_t patch =
+      weight_->shape[1] * spec_.kernel_h * spec_.kernel_w;
+  const std::int64_t oh = spec_.out_h(x.size(2));
+  const std::int64_t ow = spec_.out_w(x.size(3));
+  // Activations (the im2col buffer) are legitimate working memory — the
+  // paper's budget is about *weights*. Only one filter row of weights is
+  // ever live, in `filter` below.
+  const tensor::Tensor cols = tensor::im2col(x, spec_);
+  const std::int64_t rows = cols.size(0);
+  const float* pc = cols.data();
+  tensor::Tensor y({n, cout, oh, ow});
+  float* py = y.data();
+  std::uint64_t reads = 0, regens = 0;
+  std::vector<float> filter(static_cast<std::size_t>(patch));
+  for (std::int64_t oc = 0; oc < cout; ++oc) {
+    stream_values(*weight_, oc * patch, patch,
+                  [&](std::int64_t flat, float w, bool tracked) {
+                    filter[static_cast<std::size_t>(flat - oc * patch)] = w;
+                    if (tracked) {
+                      ++reads;
+                    } else {
+                      ++regens;
+                    }
+                  });
+    const float bias = bias_value(bias_, oc, &reads, &regens);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const float* col = pc + r * patch;
+      double acc = bias;
+      for (std::int64_t i = 0; i < patch; ++i) {
+        acc += static_cast<double>(col[i]) * filter[static_cast<std::size_t>(i)];
+      }
+      // Row r corresponds to (batch, oy, ox) in row-major [n, oh, ow].
+      const std::int64_t b = r / (oh * ow);
+      const std::int64_t rem = r % (oh * ow);
+      py[((b * cout + oc) * oh + rem / ow) * ow + rem % ow] =
+          static_cast<float>(acc);
+    }
+  }
+  if (traffic) {
+    traffic->dram_reads += reads;
+    traffic->regens += regens;
+    traffic->float_ops += static_cast<std::uint64_t>(rows) *
+                          static_cast<std::uint64_t>(cout) *
+                          static_cast<std::uint64_t>(patch) * 2;
+  }
+  return y;
+}
+
+std::int64_t RegenConv2d::live_floats() const {
+  std::int64_t n = static_cast<std::int64_t>(weight_->entries.size());
+  if (bias_) n += static_cast<std::int64_t>(bias_->entries.size());
+  return n;
+}
+
+RegenMlp::RegenMlp(const core::SparseWeightStore& store) {
+  DROPBACK_CHECK(store.num_params() % 2 == 0,
+                 << "RegenMlp: store must hold (weight, bias) pairs, got "
+                 << store.num_params() << " records");
+  for (std::size_t p = 0; p < store.num_params(); p += 2) {
+    const auto& w = store.record(p);
+    const auto& b = store.record(p + 1);
+    DROPBACK_CHECK(w.shape.size() == 2 && b.shape.size() == 1,
+                   << "RegenMlp: unexpected record layout at " << p);
+    layers_.emplace_back(&w, &b);
+    if (p >= 2) {
+      DROPBACK_CHECK(layers_[layers_.size() - 2].out_features() ==
+                         layers_.back().in_features(),
+                     << "RegenMlp: layer width mismatch at " << p);
+    }
+  }
+}
+
+tensor::Tensor RegenMlp::forward(const tensor::Tensor& x,
+                                 energy::TrafficCounter* traffic) const {
+  DROPBACK_CHECK(!layers_.empty(), << "RegenMlp: no layers");
+  tensor::Tensor h =
+      x.ndim() == 2 ? x : x.reshape({x.size(0), -1});
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l].forward(h, traffic);
+    if (l + 1 < layers_.size()) {
+      float* p = h.data();
+      for (std::int64_t i = 0; i < h.numel(); ++i) {
+        if (p[i] < 0.0F) p[i] = 0.0F;
+      }
+    }
+  }
+  return h;
+}
+
+std::int64_t RegenMlp::live_floats() const {
+  std::int64_t n = 0;
+  for (const auto& layer : layers_) n += layer.live_floats();
+  return n;
+}
+
+std::int64_t RegenMlp::dense_floats() const {
+  std::int64_t n = 0;
+  for (const auto& layer : layers_) {
+    n += layer.in_features() * layer.out_features() + layer.out_features();
+  }
+  return n;
+}
+
+}  // namespace dropback::inference

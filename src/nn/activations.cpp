@@ -1,0 +1,28 @@
+#include "nn/activations.hpp"
+
+#include "autograd/ops.hpp"
+
+namespace dropback::nn {
+
+autograd::Variable ReLU::forward(const autograd::Variable& x) {
+  return autograd::relu(x);
+}
+
+PReLU::PReLU(float initial_slope) {
+  slope_ = &register_parameter("slope", {1},
+                               rng::InitSpec::constant(initial_slope));
+}
+
+autograd::Variable PReLU::forward(const autograd::Variable& x) {
+  return autograd::prelu(x, slope_->var);
+}
+
+autograd::Variable Sigmoid::forward(const autograd::Variable& x) {
+  return autograd::sigmoid(x);
+}
+
+autograd::Variable Tanh::forward(const autograd::Variable& x) {
+  return autograd::tanh_op(x);
+}
+
+}  // namespace dropback::nn

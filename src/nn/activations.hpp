@@ -1,0 +1,40 @@
+// Activation modules. PReLU's slope is a learnable (and regenerable,
+// constant-initialized) parameter — one of the layer types the paper points
+// out only DropBack can prune.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace dropback::nn {
+
+class ReLU : public Module {
+ public:
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "ReLU"; }
+};
+
+class PReLU : public Module {
+ public:
+  /// Single learnable slope shared across the tensor, init 0.25 (constant).
+  explicit PReLU(float initial_slope = 0.25F);
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "PReLU"; }
+  Parameter& slope() { return *slope_; }
+
+ private:
+  Parameter* slope_;
+};
+
+class Sigmoid : public Module {
+ public:
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "Sigmoid"; }
+};
+
+class Tanh : public Module {
+ public:
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "Tanh"; }
+};
+
+}  // namespace dropback::nn

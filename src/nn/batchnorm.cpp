@@ -1,0 +1,37 @@
+#include "nn/batchnorm.hpp"
+
+#include "autograd/ops.hpp"
+#include "util/check.hpp"
+
+namespace dropback::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
+    : channels_(channels), momentum_(momentum), eps_(eps) {
+  DROPBACK_CHECK(channels > 0, << "BatchNorm2d(" << channels << ")");
+  gamma_ = &register_parameter("gamma", {channels},
+                               rng::InitSpec::constant(1.0F));
+  beta_ = &register_parameter("beta", {channels},
+                              rng::InitSpec::constant(0.0F));
+  running_mean_ = tensor::Tensor::zeros({channels});
+  running_var_ = tensor::Tensor::ones({channels});
+}
+
+autograd::Variable BatchNorm2d::forward(const autograd::Variable& x) {
+  return autograd::batch_norm2d(x, gamma_->var, beta_->var, running_mean_,
+                                running_var_, training(), momentum_, eps_);
+}
+
+BatchNorm1d::BatchNorm1d(std::int64_t features, float momentum, float eps)
+    : bn_(features, momentum, eps) {
+  register_child(&bn_);
+}
+
+autograd::Variable BatchNorm1d::forward(const autograd::Variable& x) {
+  DROPBACK_CHECK(x.value().ndim() == 2, << "BatchNorm1d expects [N, F]");
+  const std::int64_t n = x.value().size(0), f = x.value().size(1);
+  auto as4d = autograd::reshape(x, {n, f, 1, 1});
+  auto y = bn_.forward(as4d);
+  return autograd::reshape(y, {n, f});
+}
+
+}  // namespace dropback::nn

@@ -1,0 +1,51 @@
+// Batch normalization.
+//
+// gamma is constant-1-initialized and beta constant-0 — both regenerable, so
+// DropBack prunes BN layers too (paper §2.1 notes this is unique to the
+// regeneration approach). Running statistics are buffers, not parameters.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace dropback::nn {
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1F,
+                       float eps = 1e-5F);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "BatchNorm2d"; }
+
+  Parameter& gamma() { return *gamma_; }
+  Parameter& beta() { return *beta_; }
+  tensor::Tensor& running_mean() { return running_mean_; }
+  tensor::Tensor& running_var() { return running_var_; }
+  std::int64_t channels() const { return channels_; }
+
+ private:
+  std::int64_t channels_;
+  float momentum_;
+  float eps_;
+  Parameter* gamma_;
+  Parameter* beta_;
+  tensor::Tensor running_mean_;
+  tensor::Tensor running_var_;
+};
+
+/// 1-D batch norm over [N, F] features, implemented by viewing the input as
+/// [N, F, 1, 1] and reusing the 2-D kernels.
+class BatchNorm1d : public Module {
+ public:
+  explicit BatchNorm1d(std::int64_t features, float momentum = 0.1F,
+                       float eps = 1e-5F);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "BatchNorm1d"; }
+  BatchNorm2d& inner() { return bn_; }
+
+ private:
+  BatchNorm2d bn_;
+};
+
+}  // namespace dropback::nn

@@ -1,0 +1,77 @@
+#include "nn/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+#include "util/check.hpp"
+
+namespace dropback::nn {
+
+namespace {
+constexpr char kMagic[4] = {'D', 'B', 'C', 'P'};
+}
+
+void save_checkpoint(std::ostream& out,
+                     const std::vector<Parameter*>& params) {
+  out.write(kMagic, sizeof(kMagic));
+  const auto count = static_cast<std::uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Parameter* p : params) {
+    DROPBACK_CHECK(p != nullptr, << "save_checkpoint: null parameter");
+    const auto name_len = static_cast<std::uint16_t>(p->name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p->name.data(), name_len);
+    tensor::save_tensor(out, p->var.value());
+  }
+  if (!out) throw std::runtime_error("save_checkpoint: write failed");
+}
+
+void load_checkpoint(std::istream& in,
+                     const std::vector<Parameter*>& params) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_checkpoint: bad magic");
+  }
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != params.size()) {
+    throw std::runtime_error("load_checkpoint: parameter count mismatch");
+  }
+  for (Parameter* p : params) {
+    std::uint16_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in) throw std::runtime_error("load_checkpoint: truncated");
+    if (name != p->name) {
+      throw std::runtime_error("load_checkpoint: expected parameter '" +
+                               p->name + "', found '" + name + "'");
+    }
+    tensor::Tensor t = tensor::load_tensor(in);
+    if (t.shape() != p->var.value().shape()) {
+      throw std::runtime_error("load_checkpoint: shape mismatch at " + name);
+    }
+    p->var.value().copy_from(t);
+  }
+}
+
+void save_checkpoint_file(const std::string& path,
+                          const std::vector<Parameter*>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_checkpoint_file: cannot open " +
+                                     path);
+  save_checkpoint(out, params);
+}
+
+void load_checkpoint_file(const std::string& path,
+                          const std::vector<Parameter*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint_file: cannot open " +
+                                    path);
+  load_checkpoint(in, params);
+}
+
+}  // namespace dropback::nn

@@ -1,0 +1,27 @@
+// Dense model checkpointing: saves every parameter tensor by name so a
+// training run can be resumed or a baseline model shipped uncompressed.
+// Complements core::SparseWeightStore, which is the *compressed* format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dropback::nn {
+
+/// Writes (name, tensor) for every parameter of the list.
+void save_checkpoint(std::ostream& out,
+                     const std::vector<Parameter*>& params);
+
+/// Restores a checkpoint into a parameter list with identical names/shapes
+/// in identical order. Throws on any mismatch.
+void load_checkpoint(std::istream& in, const std::vector<Parameter*>& params);
+
+void save_checkpoint_file(const std::string& path,
+                          const std::vector<Parameter*>& params);
+void load_checkpoint_file(const std::string& path,
+                          const std::vector<Parameter*>& params);
+
+}  // namespace dropback::nn

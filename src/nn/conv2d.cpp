@@ -1,0 +1,34 @@
+#include "nn/conv2d.hpp"
+
+#include "autograd/conv_ops.hpp"
+#include "util/check.hpp"
+
+namespace dropback::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+               std::uint64_t seed, bool bias)
+    : in_channels_(in_channels), out_channels_(out_channels) {
+  DROPBACK_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0,
+                 << "Conv2d(" << in_channels << ", " << out_channels << ", k="
+                 << kernel << ")");
+  spec_.kernel_h = kernel;
+  spec_.kernel_w = kernel;
+  spec_.stride = stride;
+  spec_.padding = padding;
+  const auto fan_in =
+      static_cast<std::size_t>(in_channels * kernel * kernel);
+  weight_ = &register_parameter("weight",
+                                {out_channels, in_channels, kernel, kernel},
+                                rng::InitSpec::he(fan_in, seed));
+  bias_ = bias ? &register_parameter("bias", {out_channels},
+                                     rng::InitSpec::constant(0.0F))
+               : nullptr;
+}
+
+autograd::Variable Conv2d::forward(const autograd::Variable& x) {
+  return autograd::conv2d(x, weight_->var,
+                          bias_ ? bias_->var : autograd::Variable(), spec_);
+}
+
+}  // namespace dropback::nn

@@ -1,0 +1,32 @@
+// 2-D convolution layer (NCHW), He-initialized with regenerable weights.
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/conv.hpp"
+
+namespace dropback::nn {
+
+class Conv2d : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+         std::uint64_t seed, bool bias = true);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "Conv2d"; }
+
+  Parameter& weight() { return *weight_; }
+  Parameter* bias() { return bias_; }
+  const tensor::Conv2dSpec& spec() const { return spec_; }
+  std::int64_t in_channels() const { return in_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  tensor::Conv2dSpec spec_;
+  Parameter* weight_;
+  Parameter* bias_;
+};
+
+}  // namespace dropback::nn

@@ -1,0 +1,16 @@
+#include "nn/dropout.hpp"
+
+#include "autograd/ops.hpp"
+#include "util/check.hpp"
+
+namespace dropback::nn {
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {
+  DROPBACK_CHECK(p >= 0.0F && p < 1.0F, << "Dropout(p=" << p << ")");
+}
+
+autograd::Variable Dropout::forward(const autograd::Variable& x) {
+  return autograd::dropout(x, p_, training(), rng_);
+}
+
+}  // namespace dropback::nn

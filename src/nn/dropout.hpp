@@ -1,0 +1,23 @@
+// Standard (inverted) dropout module. This is the *regularizer* used inside
+// VGG-S — distinct from both DropBack itself and the variational-dropout
+// pruning baseline in src/baselines.
+#pragma once
+
+#include "nn/module.hpp"
+#include "rng/xorshift.hpp"
+
+namespace dropback::nn {
+
+class Dropout : public Module {
+ public:
+  Dropout(float p, std::uint64_t seed);
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "Dropout"; }
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  rng::Xorshift128 rng_;
+};
+
+}  // namespace dropback::nn

@@ -1,0 +1,26 @@
+#include "nn/linear.hpp"
+
+#include "autograd/ops.hpp"
+#include "util/check.hpp"
+
+namespace dropback::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features,
+               std::uint64_t seed, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  DROPBACK_CHECK(in_features > 0 && out_features > 0,
+                 << "Linear(" << in_features << ", " << out_features << ")");
+  weight_ = &register_parameter(
+      "weight", {out_features, in_features},
+      rng::InitSpec::lecun(static_cast<std::size_t>(in_features), seed));
+  bias_ = bias ? &register_parameter("bias", {out_features},
+                                     rng::InitSpec::constant(0.0F))
+               : nullptr;
+}
+
+autograd::Variable Linear::forward(const autograd::Variable& x) {
+  return autograd::linear(x, weight_->var,
+                          bias_ ? bias_->var : autograd::Variable());
+}
+
+}  // namespace dropback::nn

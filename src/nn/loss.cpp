@@ -1,0 +1,17 @@
+#include "nn/loss.hpp"
+
+#include "autograd/ops.hpp"
+
+namespace dropback::nn {
+
+autograd::Variable cross_entropy(const autograd::Variable& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  return autograd::softmax_cross_entropy(logits, labels);
+}
+
+double accuracy(const tensor::Tensor& logits,
+                const std::vector<std::int64_t>& labels) {
+  return autograd::accuracy(logits, labels);
+}
+
+}  // namespace dropback::nn

@@ -1,0 +1,19 @@
+// Classification loss / metric helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace dropback::nn {
+
+/// Mean softmax cross-entropy over a batch of logits [N, classes].
+autograd::Variable cross_entropy(const autograd::Variable& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+/// Top-1 accuracy in [0, 1].
+double accuracy(const tensor::Tensor& logits,
+                const std::vector<std::int64_t>& labels);
+
+}  // namespace dropback::nn

@@ -1,0 +1,84 @@
+#include "nn/models/densenet.hpp"
+
+#include <cmath>
+
+#include "autograd/conv_ops.hpp"
+#include "autograd/ops.hpp"
+#include "util/check.hpp"
+
+namespace dropback::nn::models {
+
+DenseNet::DenseNet(const DenseNetOptions& options) : options_(options) {
+  DROPBACK_CHECK(options.growth_rate > 0 && options.layers_per_block > 0 &&
+                     options.num_blocks > 0,
+                 << "DenseNetOptions invalid");
+  SeedStream seeds(options.seed);
+  std::int64_t channels = options.initial_channels;
+  stem_ = std::make_unique<Conv2d>(options.input_channels, channels, 3, 1, 1,
+                                   seeds.next(), /*bias=*/false);
+  register_child(stem_.get());
+
+  for (std::int64_t b = 0; b < options.num_blocks; ++b) {
+    std::vector<DenseLayer> block;
+    for (std::int64_t l = 0; l < options.layers_per_block; ++l) {
+      DenseLayer layer;
+      layer.bn = std::make_unique<BatchNorm2d>(channels);
+      layer.conv = std::make_unique<Conv2d>(channels, options.growth_rate, 3,
+                                            1, 1, seeds.next(),
+                                            /*bias=*/false);
+      register_child(layer.bn.get());
+      register_child(layer.conv.get());
+      block.push_back(std::move(layer));
+      channels += options.growth_rate;
+    }
+    blocks_.push_back(std::move(block));
+    if (b + 1 < options.num_blocks) {
+      Transition t;
+      const std::int64_t out_c = std::max<std::int64_t>(
+          2, static_cast<std::int64_t>(
+                 std::lround(channels * options.compression)));
+      t.bn = std::make_unique<BatchNorm2d>(channels);
+      t.conv = std::make_unique<Conv2d>(channels, out_c, 1, 1, 0,
+                                        seeds.next(), /*bias=*/false);
+      register_child(t.bn.get());
+      register_child(t.conv.get());
+      transitions_.push_back(std::move(t));
+      channels = out_c;
+    }
+  }
+  final_bn_ = std::make_unique<BatchNorm2d>(channels);
+  register_child(final_bn_.get());
+  classifier_ = std::make_unique<Linear>(channels, options.num_classes,
+                                         seeds.next());
+  register_child(classifier_.get());
+}
+
+autograd::Variable DenseNet::forward(const autograd::Variable& x) {
+  namespace ag = dropback::autograd;
+  ag::Variable h = stem_->forward(x);
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    for (auto& layer : blocks_[b]) {
+      ag::Variable y = layer.bn->forward(h);
+      y = ag::relu(y);
+      y = layer.conv->forward(y);
+      h = ag::concat_channels({h, y});  // dense connectivity
+    }
+    if (b < transitions_.size()) {
+      auto& t = transitions_[b];
+      ag::Variable y = t.bn->forward(h);
+      y = ag::relu(y);
+      y = t.conv->forward(y);
+      h = ag::avgpool2d(y, 2, 2);
+    }
+  }
+  ag::Variable y = final_bn_->forward(h);
+  y = ag::relu(y);
+  y = ag::global_avgpool(y);
+  return classifier_->forward(y);
+}
+
+std::unique_ptr<DenseNet> make_densenet(const DenseNetOptions& options) {
+  return std::make_unique<DenseNet>(options);
+}
+
+}  // namespace dropback::nn::models

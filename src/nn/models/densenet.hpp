@@ -1,0 +1,63 @@
+// DenseNet (Huang et al. 2016) for CIFAR-shaped inputs.
+//
+// Dense connectivity — every layer concatenates all previous feature maps —
+// is exactly the property that makes DenseNet "particularly challenging to
+// compress" with channel-pruning methods (paper §3), so the real concat
+// topology matters here. Structure:
+//   conv3x3 -> [dense block -> transition(1x1 conv + 2x2 avgpool)] x (B-1)
+//            -> dense block -> BN -> ReLU -> global avgpool -> FC.
+// Each dense layer is BN -> ReLU -> conv3x3 producing `growth_rate` maps.
+// Depth/growth knobs scale it from CPU-tiny to the paper's 2.7M-param model.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+#include "nn/pooling.hpp"
+
+namespace dropback::nn::models {
+
+struct DenseNetOptions {
+  std::int64_t growth_rate = 4;
+  std::int64_t layers_per_block = 3;
+  std::int64_t num_blocks = 3;
+  std::int64_t initial_channels = 8;
+  float compression = 0.5F;  ///< transition channel compression (DenseNet-BC)
+  std::int64_t input_channels = 3;
+  std::int64_t num_classes = 10;
+  std::uint64_t seed = 11;
+};
+
+class DenseNet : public Module {
+ public:
+  explicit DenseNet(const DenseNetOptions& options);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "DenseNet"; }
+
+ private:
+  struct DenseLayer {
+    std::unique_ptr<BatchNorm2d> bn;
+    std::unique_ptr<Conv2d> conv;
+  };
+  struct Transition {
+    std::unique_ptr<BatchNorm2d> bn;
+    std::unique_ptr<Conv2d> conv;  // 1x1
+  };
+
+  DenseNetOptions options_;
+  std::unique_ptr<Conv2d> stem_;
+  std::vector<std::vector<DenseLayer>> blocks_;
+  std::vector<Transition> transitions_;
+  std::unique_ptr<BatchNorm2d> final_bn_;
+  std::unique_ptr<Linear> classifier_;
+};
+
+std::unique_ptr<DenseNet> make_densenet(const DenseNetOptions& options = {});
+
+}  // namespace dropback::nn::models

@@ -1,0 +1,91 @@
+#include "nn/models/lenet.hpp"
+
+#include "autograd/ops.hpp"
+#include "util/check.hpp"
+
+namespace dropback::nn::models {
+
+Mlp::Mlp(std::int64_t input_dim, std::vector<std::int64_t> hidden,
+         std::int64_t num_classes, std::uint64_t seed) {
+  DROPBACK_CHECK(input_dim > 0 && num_classes > 0, << "Mlp dims");
+  SeedStream seeds(seed);
+  std::int64_t in = input_dim;
+  for (std::int64_t h : hidden) {
+    layers_.push_back(std::make_unique<Linear>(in, h, seeds.next()));
+    register_child(layers_.back().get());
+    in = h;
+  }
+  layers_.push_back(std::make_unique<Linear>(in, num_classes, seeds.next()));
+  register_child(layers_.back().get());
+}
+
+autograd::Variable Mlp::forward(const autograd::Variable& x) {
+  const std::int64_t n = x.value().size(0);
+  autograd::Variable h = autograd::reshape(x, {n, -1});
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    if (i + 1 < layers_.size()) h = autograd::relu(h);
+  }
+  return h;
+}
+
+std::unique_ptr<Mlp> make_lenet_300_100(std::uint64_t seed) {
+  return std::make_unique<Mlp>(784, std::vector<std::int64_t>{300, 100}, 10,
+                               seed);
+}
+
+std::unique_ptr<Mlp> make_mnist_100_100(std::uint64_t seed) {
+  return std::make_unique<Mlp>(784, std::vector<std::int64_t>{100, 100}, 10,
+                               seed);
+}
+
+struct LeNet5::Impl {
+  std::unique_ptr<Conv2d> conv1;
+  std::unique_ptr<MaxPool2d> pool1;
+  std::unique_ptr<Conv2d> conv2;
+  std::unique_ptr<MaxPool2d> pool2;
+  std::unique_ptr<Linear> fc1;
+  std::unique_ptr<Linear> fc2;
+  std::unique_ptr<Linear> fc3;
+};
+
+LeNet5::LeNet5(std::uint64_t seed) : impl_(std::make_unique<Impl>()) {
+  SeedStream seeds(seed);
+  impl_->conv1 = std::make_unique<Conv2d>(1, 6, 5, 1, 2, seeds.next());
+  impl_->pool1 = std::make_unique<MaxPool2d>(2, 2);
+  impl_->conv2 = std::make_unique<Conv2d>(6, 16, 5, 1, 0, seeds.next());
+  impl_->pool2 = std::make_unique<MaxPool2d>(2, 2);
+  // 28 -> (pad 2, k5) 28 -> pool 14 -> (k5) 10 -> pool 5: 16*5*5 = 400.
+  impl_->fc1 = std::make_unique<Linear>(400, 120, seeds.next());
+  impl_->fc2 = std::make_unique<Linear>(120, 84, seeds.next());
+  impl_->fc3 = std::make_unique<Linear>(84, 10, seeds.next());
+  register_child(impl_->conv1.get());
+  register_child(impl_->pool1.get());
+  register_child(impl_->conv2.get());
+  register_child(impl_->pool2.get());
+  register_child(impl_->fc1.get());
+  register_child(impl_->fc2.get());
+  register_child(impl_->fc3.get());
+}
+
+LeNet5::~LeNet5() = default;
+
+autograd::Variable LeNet5::forward(const autograd::Variable& x) {
+  namespace ag = dropback::autograd;
+  DROPBACK_CHECK(x.value().ndim() == 4, << "LeNet5 expects NCHW input");
+  ag::Variable h = ag::relu(impl_->conv1->forward(x));
+  h = impl_->pool1->forward(h);
+  h = ag::relu(impl_->conv2->forward(h));
+  h = impl_->pool2->forward(h);
+  const std::int64_t n = h.value().size(0);
+  h = ag::reshape(h, {n, -1});
+  h = ag::relu(impl_->fc1->forward(h));
+  h = ag::relu(impl_->fc2->forward(h));
+  return impl_->fc3->forward(h);
+}
+
+std::unique_ptr<LeNet5> make_lenet5(std::uint64_t seed) {
+  return std::make_unique<LeNet5>(seed);
+}
+
+}  // namespace dropback::nn::models

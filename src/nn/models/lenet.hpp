@@ -1,0 +1,58 @@
+// MLP models for the MNIST experiments.
+//
+//  * LeNet-300-100 : 784-300-100-10, ~266.6k weights (paper Table 1 top).
+//  * MNIST-100-100 : 784-100-100-10,  ~89.6k weights (paper Table 1 bottom,
+//                    Table 2's per-layer breakdown, Figures 1/2/5/6).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/module.hpp"
+
+namespace dropback::nn::models {
+
+/// Generic fully-connected classifier: flatten -> (Linear -> ReLU)* -> Linear.
+class Mlp : public Module {
+ public:
+  Mlp(std::int64_t input_dim, std::vector<std::int64_t> hidden,
+      std::int64_t num_classes, std::uint64_t seed);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "Mlp"; }
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Linear& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+std::unique_ptr<Mlp> make_lenet_300_100(std::uint64_t seed);
+std::unique_ptr<Mlp> make_mnist_100_100(std::uint64_t seed);
+
+/// LeNet-5-style convolutional MNIST model (LeCun et al. 1998):
+/// conv5x5(6) -> pool -> conv5x5(16) -> pool -> fc120 -> fc84 -> fc10.
+/// Not used by the paper's tables (they use the MLPs above) but included in
+/// the model zoo as the canonical conv MNIST network; DropBack applies to it
+/// unchanged.
+class LeNet5 : public Module {
+ public:
+  explicit LeNet5(std::uint64_t seed);
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "LeNet5"; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+
+ public:
+  ~LeNet5() override;
+};
+
+std::unique_ptr<LeNet5> make_lenet5(std::uint64_t seed);
+
+}  // namespace dropback::nn::models

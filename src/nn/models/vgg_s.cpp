@@ -1,0 +1,57 @@
+#include "nn/models/vgg_s.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "util/check.hpp"
+
+namespace dropback::nn::models {
+
+namespace {
+std::int64_t scaled(std::int64_t base, float mult) {
+  return std::max<std::int64_t>(
+      2, static_cast<std::int64_t>(std::lround(base * mult)));
+}
+}  // namespace
+
+std::unique_ptr<Sequential> make_vgg_s(const VggSOptions& options) {
+  DROPBACK_CHECK(options.width_mult > 0.0F, << "VggS width_mult");
+  // VGG-16 conv plan, "M" = maxpool: stage widths 64-128-256-512-512.
+  // VGG-S keeps the plan but shrinks the classifier to two FC layers.
+  const std::int64_t plan[] = {64, 64,  -1, 128, 128, -1, 256, 256,
+                               256, -1, 512, 512, 512, -1, 512, 512, 512, -1};
+  auto net = std::make_unique<Sequential>();
+  SeedStream seeds(options.seed);
+  std::int64_t in_c = options.input_channels;
+  std::int64_t side = options.image_side;
+  for (std::int64_t entry : plan) {
+    if (entry < 0) {
+      if (side >= 2) {
+        net->emplace<MaxPool2d>(2, 2);
+        side /= 2;
+      }
+      continue;
+    }
+    const std::int64_t out_c = scaled(entry, options.width_mult);
+    net->emplace<Conv2d>(in_c, out_c, 3, 1, 1, seeds.next());
+    net->emplace<BatchNorm2d>(out_c);
+    net->emplace<ReLU>();
+    in_c = out_c;
+  }
+  const std::int64_t fc_width = scaled(512, options.width_mult);
+  net->emplace<Flatten>();
+  net->emplace<Dropout>(options.dropout_p, seeds.next());
+  net->emplace<Linear>(in_c * side * side, fc_width, seeds.next());
+  net->emplace<ReLU>();
+  net->emplace<Dropout>(options.dropout_p, seeds.next());
+  net->emplace<Linear>(fc_width, options.num_classes, seeds.next());
+  return net;
+}
+
+}  // namespace dropback::nn::models

@@ -1,0 +1,28 @@
+// VGG-S — the paper's reduced VGG-16-like CIFAR model: 3x3 conv blocks with
+// batch normalization and ReLU, max-pooling between stages, dropout, and two
+// fully-connected layers of `fc_width` neurons including the output layer
+// (paper §3: 15M parameters at full width).
+//
+// `width_mult` scales every channel count so the same topology runs at CPU
+// scale (DESIGN.md §2); width_mult = 1 reproduces the paper-size network.
+#pragma once
+
+#include <memory>
+
+#include "nn/sequential.hpp"
+
+namespace dropback::nn::models {
+
+struct VggSOptions {
+  float width_mult = 0.125F;   ///< channel scaling; 1.0 = paper size (~15M)
+  std::int64_t input_channels = 3;
+  std::int64_t num_classes = 10;
+  std::int64_t image_side = 32;
+  float dropout_p = 0.3F;
+  std::uint64_t seed = 7;
+};
+
+/// Builds the VGG-S network as an owning Sequential.
+std::unique_ptr<Sequential> make_vgg_s(const VggSOptions& options);
+
+}  // namespace dropback::nn::models

@@ -1,0 +1,83 @@
+#include "nn/models/wrn.hpp"
+
+#include "autograd/conv_ops.hpp"
+#include "autograd/ops.hpp"
+#include "util/check.hpp"
+
+namespace dropback::nn::models {
+
+WideResNet::WideResNet(const WideResNetOptions& options) : options_(options) {
+  DROPBACK_CHECK((options.depth - 4) % 6 == 0 && options.depth >= 10,
+                 << "WRN depth must be 6n+4, got " << options.depth);
+  DROPBACK_CHECK(options.width > 0, << "WRN width");
+  const std::int64_t n = (options.depth - 4) / 6;
+  SeedStream seeds(options.seed);
+
+  const std::int64_t widths[3] = {options.base_channels * options.width,
+                                  options.base_channels * 2 * options.width,
+                                  options.base_channels * 4 * options.width};
+  std::int64_t in_c = options.base_channels;
+  stem_ = std::make_unique<Conv2d>(options.input_channels, in_c, 3, 1, 1,
+                                   seeds.next(), /*bias=*/false);
+  register_child(stem_.get());
+
+  for (int group = 0; group < 3; ++group) {
+    const std::int64_t out_c = widths[group];
+    for (std::int64_t blk = 0; blk < n; ++blk) {
+      const std::int64_t stride = (blk == 0 && group > 0) ? 2 : 1;
+      BasicBlock block;
+      block.bn1 = std::make_unique<BatchNorm2d>(in_c);
+      block.conv1 = std::make_unique<Conv2d>(in_c, out_c, 3, stride, 1,
+                                             seeds.next(), /*bias=*/false);
+      block.bn2 = std::make_unique<BatchNorm2d>(out_c);
+      block.conv2 = std::make_unique<Conv2d>(out_c, out_c, 3, 1, 1,
+                                             seeds.next(), /*bias=*/false);
+      if (in_c != out_c || stride != 1) {
+        block.shortcut = std::make_unique<Conv2d>(in_c, out_c, 1, stride, 0,
+                                                  seeds.next(),
+                                                  /*bias=*/false);
+      }
+      register_child(block.bn1.get());
+      register_child(block.conv1.get());
+      register_child(block.bn2.get());
+      register_child(block.conv2.get());
+      if (block.shortcut) register_child(block.shortcut.get());
+      blocks_.push_back(std::move(block));
+      in_c = out_c;
+    }
+  }
+  final_bn_ = std::make_unique<BatchNorm2d>(in_c);
+  register_child(final_bn_.get());
+  classifier_ = std::make_unique<Linear>(in_c, options.num_classes,
+                                         seeds.next());
+  register_child(classifier_.get());
+}
+
+autograd::Variable WideResNet::run_block(BasicBlock& block,
+                                         const autograd::Variable& x) {
+  namespace ag = dropback::autograd;
+  ag::Variable pre = ag::relu(block.bn1->forward(x));
+  // Pre-activation residual: the shortcut taps the post-activation signal
+  // when a projection is needed, the raw input otherwise.
+  ag::Variable identity =
+      block.shortcut ? block.shortcut->forward(pre) : x;
+  ag::Variable h = block.conv1->forward(pre);
+  h = ag::relu(block.bn2->forward(h));
+  h = block.conv2->forward(h);
+  return ag::add(h, identity);
+}
+
+autograd::Variable WideResNet::forward(const autograd::Variable& x) {
+  namespace ag = dropback::autograd;
+  ag::Variable h = stem_->forward(x);
+  for (auto& block : blocks_) h = run_block(block, h);
+  h = ag::relu(final_bn_->forward(h));
+  h = ag::global_avgpool(h);
+  return classifier_->forward(h);
+}
+
+std::unique_ptr<WideResNet> make_wrn(const WideResNetOptions& options) {
+  return std::make_unique<WideResNet>(options);
+}
+
+}  // namespace dropback::nn::models

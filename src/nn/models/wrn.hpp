@@ -1,0 +1,61 @@
+// Wide Residual Network (Zagoruyko & Komodakis 2016), WRN-d-k.
+//
+// depth d = 6n + 4 basic blocks in three groups of n, channel widths
+// {16k, 32k, 64k}, strides {1, 2, 2}. Pre-activation blocks:
+//   BN -> ReLU -> conv3x3 -> BN -> ReLU -> conv3x3, plus identity or
+//   1x1-conv shortcut when shape changes.
+// The paper's WRN-28-10 (36M params) instantiates depth=28, width=10; the
+// default here is a CPU-scale WRN-10-2. Pruning literature finds WRN hard to
+// compress >2x (paper §3) — magnitude pruning and slimming degrade sharply,
+// which bench_table3 reproduces in shape.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace dropback::nn::models {
+
+struct WideResNetOptions {
+  std::int64_t depth = 10;  ///< must be 6n + 4
+  std::int64_t width = 2;   ///< the "k" multiplier
+  std::int64_t base_channels = 4;  ///< paper uses 16; smaller for CPU scale
+  std::int64_t input_channels = 3;
+  std::int64_t num_classes = 10;
+  std::uint64_t seed = 13;
+};
+
+class WideResNet : public Module {
+ public:
+  explicit WideResNet(const WideResNetOptions& options);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "WideResNet"; }
+
+ private:
+  struct BasicBlock {
+    std::unique_ptr<BatchNorm2d> bn1;
+    std::unique_ptr<Conv2d> conv1;
+    std::unique_ptr<BatchNorm2d> bn2;
+    std::unique_ptr<Conv2d> conv2;
+    std::unique_ptr<Conv2d> shortcut;  // null when identity
+  };
+
+  autograd::Variable run_block(BasicBlock& block,
+                               const autograd::Variable& x);
+
+  WideResNetOptions options_;
+  std::unique_ptr<Conv2d> stem_;
+  std::vector<BasicBlock> blocks_;
+  std::unique_ptr<BatchNorm2d> final_bn_;
+  std::unique_ptr<Linear> classifier_;
+};
+
+std::unique_ptr<WideResNet> make_wrn(const WideResNetOptions& options = {});
+
+}  // namespace dropback::nn::models

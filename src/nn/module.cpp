@@ -1,0 +1,66 @@
+#include "nn/module.hpp"
+
+#include "rng/xorshift.hpp"
+#include "util/check.hpp"
+
+namespace dropback::nn {
+
+std::uint64_t SeedStream::next() {
+  return rng::splitmix64(base_ + 0x1000 * ++counter_);
+}
+
+void Parameter::reinitialize() {
+  init.fill(var.value().data(), static_cast<std::size_t>(var.numel()));
+}
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& p : params_) out.push_back(p.get());
+  for (Module* child : children_) {
+    for (Parameter* p : child->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Parameter*> Module::collect_parameters() {
+  std::vector<Parameter*> all = parameters();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i]->id = static_cast<std::uint64_t>(i);
+  }
+  return all;
+}
+
+std::int64_t Module::num_params() {
+  std::int64_t n = 0;
+  for (Parameter* p : parameters()) n += p->numel();
+  return n;
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (Module* child : children_) child->set_training(training);
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->var.clear_grad();
+}
+
+Parameter& Module::register_parameter(std::string name, tensor::Shape shape,
+                                      rng::InitSpec init, bool prunable) {
+  auto param = std::make_unique<Parameter>();
+  param->name = std::move(name);
+  tensor::Tensor value(std::move(shape));
+  init.fill(value.data(), static_cast<std::size_t>(value.numel()));
+  param->var = autograd::Variable(std::move(value), /*requires_grad=*/true);
+  param->init = init;
+  param->prunable = prunable;
+  params_.push_back(std::move(param));
+  return *params_.back();
+}
+
+void Module::register_child(Module* child) {
+  DROPBACK_CHECK(child != nullptr, << "register_child(nullptr)");
+  children_.push_back(child);
+}
+
+}  // namespace dropback::nn

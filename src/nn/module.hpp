@@ -1,0 +1,85 @@
+// Module / Parameter abstractions.
+//
+// The crucial departure from a conventional NN library: every Parameter
+// carries a regenerable `InitSpec` and a stable integer id. DropBack uses the
+// InitSpec to recompute a weight's initialization value from its flat index
+// at any time — the initial tensor never needs to be stored once training
+// starts pruning, and the (id, index) pair addresses any weight globally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.hpp"
+#include "rng/init_spec.hpp"
+
+namespace dropback::nn {
+
+/// Deterministic per-layer seed distribution: a model owns one SeedStream and
+/// hands each layer the next seed, so a model rebuilt with the same base seed
+/// regenerates bit-identical initializations.
+class SeedStream {
+ public:
+  explicit SeedStream(std::uint64_t base) : base_(base) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t counter_ = 0;
+};
+
+/// A learnable tensor with its regeneration recipe.
+struct Parameter {
+  std::string name;          ///< hierarchical, e.g. "fc1.weight"
+  autograd::Variable var;    ///< value + gradient
+  rng::InitSpec init;        ///< recomputes the initial value of any index
+  bool prunable = true;      ///< DropBack may forget elements of this tensor
+  std::uint64_t id = 0;      ///< dense id assigned by collect_parameters()
+
+  std::int64_t numel() const { return var.numel(); }
+  /// Resets the tensor to its regenerated initialization values.
+  void reinitialize();
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Forward pass. Modules are callable on a single input Variable; models
+  /// with multiple internal branches compose inside forward().
+  virtual autograd::Variable forward(const autograd::Variable& x) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// All parameters of this module and its children, depth-first. Pointers
+  /// remain valid for the module's lifetime.
+  std::vector<Parameter*> parameters();
+
+  /// Assigns dense ids (0..n-1) to all parameters and returns them.
+  /// Call once after the model is fully constructed.
+  std::vector<Parameter*> collect_parameters();
+
+  /// Total learnable element count.
+  std::int64_t num_params();
+
+  /// Train/eval mode, propagated to children (affects BN, dropout).
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+  /// Zeroes (drops) all parameter gradients.
+  void zero_grad();
+
+ protected:
+  Parameter& register_parameter(std::string name, tensor::Shape shape,
+                                rng::InitSpec init, bool prunable = true);
+  void register_child(Module* child);
+
+ private:
+  std::vector<std::unique_ptr<Parameter>> params_;
+  std::vector<Module*> children_;  // non-owning; children are members
+  bool training_ = true;
+};
+
+}  // namespace dropback::nn

@@ -1,0 +1,38 @@
+#include "nn/pooling.hpp"
+
+#include "autograd/conv_ops.hpp"
+#include "autograd/ops.hpp"
+#include "util/check.hpp"
+
+namespace dropback::nn {
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride)
+    : kernel_(kernel), stride_(stride) {
+  DROPBACK_CHECK(kernel > 0 && stride > 0, << "MaxPool2d(" << kernel << ", "
+                                           << stride << ")");
+}
+
+autograd::Variable MaxPool2d::forward(const autograd::Variable& x) {
+  return autograd::maxpool2d(x, kernel_, stride_);
+}
+
+AvgPool2d::AvgPool2d(std::int64_t kernel, std::int64_t stride)
+    : kernel_(kernel), stride_(stride) {
+  DROPBACK_CHECK(kernel > 0 && stride > 0, << "AvgPool2d(" << kernel << ", "
+                                           << stride << ")");
+}
+
+autograd::Variable AvgPool2d::forward(const autograd::Variable& x) {
+  return autograd::avgpool2d(x, kernel_, stride_);
+}
+
+autograd::Variable GlobalAvgPool::forward(const autograd::Variable& x) {
+  return autograd::global_avgpool(x);
+}
+
+autograd::Variable Flatten::forward(const autograd::Variable& x) {
+  const std::int64_t n = x.value().size(0);
+  return autograd::reshape(x, {n, -1});
+}
+
+}  // namespace dropback::nn

@@ -1,0 +1,43 @@
+// Pooling and shape modules.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace dropback::nn {
+
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride);
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::int64_t kernel_;
+  std::int64_t stride_;
+};
+
+class AvgPool2d : public Module {
+ public:
+  AvgPool2d(std::int64_t kernel, std::int64_t stride);
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  std::int64_t kernel_;
+  std::int64_t stride_;
+};
+
+class GlobalAvgPool : public Module {
+ public:
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+};
+
+/// [N, ...] -> [N, prod(...)]
+class Flatten : public Module {
+ public:
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "Flatten"; }
+};
+
+}  // namespace dropback::nn

@@ -1,0 +1,21 @@
+#include "nn/sequential.hpp"
+
+#include "util/check.hpp"
+
+namespace dropback::nn {
+
+Module& Sequential::append(std::unique_ptr<Module> mod) {
+  DROPBACK_CHECK(mod != nullptr, << "Sequential::append(nullptr)");
+  Module& ref = *mod;
+  modules_.push_back(std::move(mod));
+  register_child(&ref);
+  return ref;
+}
+
+autograd::Variable Sequential::forward(const autograd::Variable& x) {
+  autograd::Variable h = x;
+  for (auto& mod : modules_) h = mod->forward(h);
+  return h;
+}
+
+}  // namespace dropback::nn

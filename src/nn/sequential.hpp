@@ -1,0 +1,39 @@
+// Owning container that chains modules.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dropback::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends an owned module and returns a reference to it.
+  template <typename M, typename... Args>
+  M& emplace(Args&&... args) {
+    auto mod = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *mod;
+    modules_.push_back(std::move(mod));
+    register_child(&ref);
+    return ref;
+  }
+
+  /// Appends an already-constructed module.
+  Module& append(std::unique_ptr<Module> mod);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t size() const { return modules_.size(); }
+  Module& at(std::size_t i) { return *modules_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> modules_;
+};
+
+}  // namespace dropback::nn

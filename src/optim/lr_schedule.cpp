@@ -1,0 +1,27 @@
+#include "optim/lr_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dropback::optim {
+
+StepDecay::StepDecay(float initial, float factor, std::int64_t period_epochs,
+                     std::int64_t max_decays)
+    : initial_(initial),
+      factor_(factor),
+      period_(period_epochs),
+      max_decays_(max_decays) {
+  DROPBACK_CHECK(initial > 0.0F && factor > 0.0F && period_epochs > 0,
+                 << "StepDecay(" << initial << ", " << factor << ", "
+                 << period_epochs << ")");
+}
+
+float StepDecay::lr_at(std::int64_t epoch) const {
+  std::int64_t decays = std::max<std::int64_t>(epoch, 0) / period_;
+  if (max_decays_ >= 0) decays = std::min(decays, max_decays_);
+  return initial_ * std::pow(factor_, static_cast<float>(decays));
+}
+
+}  // namespace dropback::optim

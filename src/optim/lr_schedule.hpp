@@ -1,0 +1,43 @@
+// Learning-rate schedules used by the paper's experiments:
+//  * MNIST (Table 1): lr 0.4, exponentially reduced four times by 0.5.
+//  * CIFAR (Table 3): lr 0.4, decayed 0.5x every 25 epochs.
+#pragma once
+
+#include <cstdint>
+
+namespace dropback::optim {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate for a (0-based) epoch.
+  virtual float lr_at(std::int64_t epoch) const = 0;
+};
+
+/// lr = initial * factor^min(epoch / period, max_decays)
+class StepDecay : public LrSchedule {
+ public:
+  StepDecay(float initial, float factor, std::int64_t period_epochs,
+            std::int64_t max_decays = -1);
+  float lr_at(std::int64_t epoch) const override;
+
+  float initial() const { return initial_; }
+
+ private:
+  float initial_;
+  float factor_;
+  std::int64_t period_;
+  std::int64_t max_decays_;  // -1 = unlimited
+};
+
+/// Constant learning rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float lr_at(std::int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+}  // namespace dropback::optim

@@ -1,0 +1,87 @@
+#include "optim/momentum.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dropback::optim {
+
+MomentumSGD::MomentumSGD(std::vector<nn::Parameter*> params, float lr,
+                         float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  DROPBACK_CHECK(momentum >= 0.0F && momentum < 1.0F,
+                 << "MomentumSGD: momentum " << momentum);
+  velocity_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    velocity_.emplace_back(static_cast<std::size_t>(p->numel()), 0.0F);
+  }
+}
+
+void MomentumSGD::step() {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    nn::Parameter* p = params_[pi];
+    if (!p->var.has_grad()) continue;
+    float* w = p->var.value().data();
+    const float* g = p->var.grad().data();
+    float* v = velocity_[pi].data();
+    const std::int64_t n = p->numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      v[i] = momentum_ * v[i] + g[i];
+      w[i] -= lr_ * v[i];
+    }
+  }
+}
+
+std::int64_t MomentumSGD::state_floats() const {
+  std::int64_t n = 0;
+  for (const auto& v : velocity_) n += static_cast<std::int64_t>(v.size());
+  return n;
+}
+
+Adam::Adam(std::vector<nn::Parameter*> params, float lr, float beta1,
+           float beta2, float eps)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  DROPBACK_CHECK(beta1 >= 0.0F && beta1 < 1.0F && beta2 >= 0.0F &&
+                     beta2 < 1.0F,
+                 << "Adam: betas");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (nn::Parameter* p : params_) {
+    m_.emplace_back(static_cast<std::size_t>(p->numel()), 0.0F);
+    v_.emplace_back(static_cast<std::size_t>(p->numel()), 0.0F);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    nn::Parameter* p = params_[pi];
+    if (!p->var.has_grad()) continue;
+    float* w = p->var.value().data();
+    const float* g = p->var.grad().data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    const std::int64_t n = p->numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      m[i] = beta1_ * m[i] + (1.0F - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0F - beta2_) * g[i] * g[i];
+      const float m_hat = m[i] / bc1;
+      const float v_hat = v[i] / bc2;
+      w[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+std::int64_t Adam::state_floats() const {
+  std::int64_t n = 0;
+  for (const auto& m : m_) n += static_cast<std::int64_t>(m.size());
+  for (const auto& v : v_) n += static_cast<std::int64_t>(v.size());
+  return n;
+}
+
+}  // namespace dropback::optim

@@ -1,0 +1,53 @@
+// Stateful optimizers the paper deliberately avoids.
+//
+// §3: "All networks were optimized using stochastic gradient descent
+// without momentum, as all other optimization strategies cost significant
+// extra memory." These implementations exist to *quantify* that claim:
+// each optimizer reports its per-weight auxiliary state via state_floats(),
+// and bench_ablation_optimizers compares accuracy and training-memory
+// footprint against DropBack's momentum-free SGD at the same weight budget.
+#pragma once
+
+#include <vector>
+
+#include "optim/sgd.hpp"
+
+namespace dropback::optim {
+
+/// SGD with classical (heavyweight-ball) momentum: v = mu*v + g; w -= lr*v.
+/// Auxiliary state: one float per weight.
+class MomentumSGD : public Optimizer {
+ public:
+  MomentumSGD(std::vector<nn::Parameter*> params, float lr,
+              float momentum = 0.9F);
+
+  void step() override;
+
+  /// Auxiliary floats kept beyond the weights themselves.
+  std::int64_t state_floats() const;
+
+ private:
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015). Auxiliary state: two floats per weight.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<nn::Parameter*> params, float lr, float beta1 = 0.9F,
+       float beta2 = 0.999F, float eps = 1e-8F);
+
+  void step() override;
+
+  std::int64_t state_floats() const;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace dropback::optim

@@ -1,0 +1,40 @@
+#include "optim/sgd.hpp"
+
+#include "util/check.hpp"
+
+namespace dropback::optim {
+
+Optimizer::Optimizer(std::vector<nn::Parameter*> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  DROPBACK_CHECK(lr > 0.0F, << "Optimizer: lr must be positive, got " << lr);
+  for (nn::Parameter* p : params_) {
+    DROPBACK_CHECK(p != nullptr, << "Optimizer: null parameter");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (nn::Parameter* p : params_) p->var.clear_grad();
+}
+
+SGD::SGD(std::vector<nn::Parameter*> params, float lr, float weight_decay)
+    : Optimizer(std::move(params), lr), weight_decay_(weight_decay) {}
+
+void SGD::step() {
+  for (nn::Parameter* p : params_) {
+    if (!p->var.has_grad()) continue;
+    float* w = p->var.value().data();
+    const float* g = p->var.grad().data();
+    const std::int64_t n = p->numel();
+    if (weight_decay_ > 0.0F) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        w[i] -= lr_ * (g[i] + weight_decay_ * w[i]);
+      }
+    } else {
+      for (std::int64_t i = 0; i < n; ++i) {
+        w[i] -= lr_ * g[i];
+      }
+    }
+  }
+}
+
+}  // namespace dropback::optim

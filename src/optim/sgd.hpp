@@ -1,0 +1,47 @@
+// Plain stochastic gradient descent.
+//
+// The paper trains everything with momentum-free SGD because "all other
+// optimization strategies cost significant extra memory" (§3) — momentum or
+// Adam would need additional per-weight state, defeating the pruned weight
+// budget. DropBackOptimizer in src/core wraps this same update.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace dropback::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<nn::Parameter*> params, float lr);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the gradients currently stored in the params.
+  virtual void step() = 0;
+
+  /// Drops all parameter gradients.
+  void zero_grad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+  const std::vector<nn::Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<nn::Parameter*> params_;
+  float lr_;
+};
+
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<nn::Parameter*> params, float lr,
+      float weight_decay = 0.0F);
+
+  void step() override;
+
+ private:
+  float weight_decay_;
+};
+
+}  // namespace dropback::optim

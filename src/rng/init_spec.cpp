@@ -1,0 +1,61 @@
+#include "rng/init_spec.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "rng/xorshift.hpp"
+
+namespace dropback::rng {
+
+InitSpec InitSpec::scaled_normal(float sigma, std::uint64_t seed) {
+  return InitSpec(Kind::kScaledNormal, sigma, seed);
+}
+
+InitSpec InitSpec::lecun(std::size_t fan_in, std::uint64_t seed) {
+  const float sigma =
+      fan_in > 0 ? 1.0F / std::sqrt(static_cast<float>(fan_in)) : 1.0F;
+  return scaled_normal(sigma, seed);
+}
+
+InitSpec InitSpec::he(std::size_t fan_in, std::uint64_t seed) {
+  const float sigma =
+      fan_in > 0 ? std::sqrt(2.0F / static_cast<float>(fan_in)) : 1.0F;
+  return scaled_normal(sigma, seed);
+}
+
+InitSpec InitSpec::constant(float value) {
+  return InitSpec(Kind::kConstant, value, 0);
+}
+
+float InitSpec::value_at(std::uint64_t index) const {
+  switch (kind_) {
+    case Kind::kScaledNormal:
+      return scale_ * indexed_normal_fast(seed_, index);
+    case Kind::kConstant:
+      return scale_;
+  }
+  return 0.0F;  // unreachable
+}
+
+void InitSpec::fill(float* data, std::size_t n) const {
+  if (kind_ == Kind::kConstant) {
+    for (std::size_t i = 0; i < n; ++i) data[i] = scale_;
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) data[i] = value_at(i);
+}
+
+std::string InitSpec::describe() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kScaledNormal:
+      os << "N(0, " << scale_ << ") seed=" << seed_;
+      break;
+    case Kind::kConstant:
+      os << "const(" << scale_ << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace dropback::rng

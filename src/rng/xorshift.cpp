@@ -1,0 +1,116 @@
+#include "rng/xorshift.hpp"
+
+#include <cmath>
+
+namespace dropback::rng {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+Xorshift128::Xorshift128(std::uint64_t seed) {
+  // Expand the 64-bit seed into 128 bits of state; splitmix64 never yields
+  // four zero words for distinct counters, so the state is always valid.
+  std::uint64_t a = splitmix64(seed);
+  std::uint64_t b = splitmix64(seed + 1);
+  x_ = static_cast<std::uint32_t>(a);
+  y_ = static_cast<std::uint32_t>(a >> 32);
+  z_ = static_cast<std::uint32_t>(b);
+  w_ = static_cast<std::uint32_t>(b >> 32);
+  if ((x_ | y_ | z_ | w_) == 0) w_ = 0x6C078965U;
+}
+
+std::uint32_t Xorshift128::next_u32() {
+  // Marsaglia's xorshift128: x^=x<<11; x^=x>>8; ... w^=w>>19 ^ x ^ x>>8.
+  std::uint32_t t = x_ ^ (x_ << 11);
+  x_ = y_;
+  y_ = z_;
+  z_ = w_;
+  w_ = w_ ^ (w_ >> 19) ^ t ^ (t >> 8);
+  return w_;
+}
+
+std::uint64_t Xorshift128::next_u64() {
+  std::uint64_t hi = next_u32();
+  return (hi << 32) | next_u32();
+}
+
+float Xorshift128::uniform() {
+  // 24 high bits -> [0,1) with full float mantissa coverage.
+  return static_cast<float>(next_u32() >> 8) * (1.0F / 16777216.0F);
+}
+
+float Xorshift128::uniform(float lo, float hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint32_t Xorshift128::uniform_int(std::uint32_t n) {
+  // Lemire-style rejection-free mapping is fine here; modulo bias is
+  // negligible for the small n used in shuffling, but use the multiply-shift
+  // reduction anyway.
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(next_u32()) * n) >> 32);
+}
+
+float Xorshift128::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  float u1 = uniform();
+  float u2 = uniform();
+  // Guard against log(0).
+  if (u1 < 1e-12F) u1 = 1e-12F;
+  const float r = std::sqrt(-2.0F * std::log(u1));
+  const float theta = 6.28318530717958647692F * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+float Xorshift128::normal(float mean, float stddev) {
+  return mean + stddev * normal();
+}
+
+std::uint32_t indexed_u32(std::uint64_t seed, std::uint64_t index) {
+  // Mix seed and index into one word, then apply xorshift-style diffusion.
+  // The whole pipeline is a handful of integer ops and no memory traffic —
+  // this is the property the paper's energy argument rests on.
+  std::uint64_t s = splitmix64(seed ^ (index * 0x9E3779B97F4A7C15ULL));
+  std::uint32_t v = static_cast<std::uint32_t>(s ^ (s >> 32));
+  v ^= v << 13;
+  v ^= v >> 17;
+  v ^= v << 5;
+  return v;
+}
+
+float indexed_normal_fast(std::uint64_t seed, std::uint64_t index) {
+  const std::uint32_t v = indexed_u32(seed, index);
+  // CLT over the four bytes: sum in [0, 1020], mean 510,
+  // variance 4 * (256^2 - 1)/12 = 21845 -> stddev 147.800...
+  const std::uint32_t sum = (v & 0xFFU) + ((v >> 8) & 0xFFU) +
+                            ((v >> 16) & 0xFFU) + ((v >> 24) & 0xFFU);
+  constexpr float kInvStddev = 1.0F / 147.8005413F;
+  return (static_cast<float>(sum) - 510.0F) * kInvStddev;
+}
+
+float indexed_normal_boxmuller(std::uint64_t seed, std::uint64_t index) {
+  // Two decorrelated uniform draws per index.
+  const std::uint32_t a = indexed_u32(seed, 2 * index);
+  const std::uint32_t b = indexed_u32(seed, 2 * index + 1);
+  float u1 = static_cast<float>(a >> 8) * (1.0F / 16777216.0F);
+  const float u2 = static_cast<float>(b >> 8) * (1.0F / 16777216.0F);
+  if (u1 < 1e-12F) u1 = 1e-12F;
+  const float r = std::sqrt(-2.0F * std::log(u1));
+  return r * std::cos(6.28318530717958647692F * u2);
+}
+
+float indexed_uniform(std::uint64_t seed, std::uint64_t index) {
+  return static_cast<float>(indexed_u32(seed, index) >> 8) *
+         (1.0F / 16777216.0F);
+}
+
+}  // namespace dropback::rng

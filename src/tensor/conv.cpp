@@ -1,0 +1,315 @@
+#include "tensor/conv.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace dropback::tensor {
+
+Tensor im2col(const Tensor& x, const Conv2dSpec& spec) {
+  DROPBACK_CHECK(x.ndim() == 4, << "im2col needs NCHW, got "
+                                << shape_str(x.shape()));
+  const std::int64_t n = x.size(0), c = x.size(1), h = x.size(2),
+                     w = x.size(3);
+  const std::int64_t oh = spec.out_h(h), ow = spec.out_w(w);
+  DROPBACK_CHECK(oh > 0 && ow > 0, << "im2col: empty output for input "
+                                   << shape_str(x.shape()));
+  const std::int64_t patch = c * spec.kernel_h * spec.kernel_w;
+  Tensor cols({n * oh * ow, patch});
+  const float* px = x.data();
+  float* pc = cols.data();
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float* col = pc + ((b * oh + oy) * ow + ox) * patch;
+        std::int64_t k = 0;
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          const float* plane = px + (b * c + ch) * h * w;
+          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+            const std::int64_t iy = oy * spec.stride + ky - spec.padding;
+            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+              const std::int64_t ix = ox * spec.stride + kx - spec.padding;
+              col[k++] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                             ? plane[iy * w + ix]
+                             : 0.0F;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Shape& x_shape,
+              const Conv2dSpec& spec) {
+  DROPBACK_CHECK(x_shape.size() == 4, << "col2im needs NCHW target shape");
+  const std::int64_t n = x_shape[0], c = x_shape[1], h = x_shape[2],
+                     w = x_shape[3];
+  const std::int64_t oh = spec.out_h(h), ow = spec.out_w(w);
+  const std::int64_t patch = c * spec.kernel_h * spec.kernel_w;
+  DROPBACK_CHECK(cols.ndim() == 2 && cols.size(0) == n * oh * ow &&
+                     cols.size(1) == patch,
+                 << "col2im: columns " << shape_str(cols.shape())
+                 << " do not match target " << shape_str(x_shape));
+  Tensor x(x_shape);
+  const float* pc = cols.data();
+  float* px = x.data();
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const float* col = pc + ((b * oh + oy) * ow + ox) * patch;
+        std::int64_t k = 0;
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          float* plane = px + (b * c + ch) * h * w;
+          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+            const std::int64_t iy = oy * spec.stride + ky - spec.padding;
+            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+              const std::int64_t ix = ox * spec.stride + kx - spec.padding;
+              const float v = col[k++];
+              if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                plane[iy * w + ix] += v;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return x;
+}
+
+Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
+              const Conv2dSpec& spec) {
+  DROPBACK_CHECK(x.ndim() == 4 && w.ndim() == 4,
+                 << "conv2d: x " << shape_str(x.shape()) << ", w "
+                 << shape_str(w.shape()));
+  const std::int64_t n = x.size(0), cin = x.size(1);
+  const std::int64_t cout = w.size(0);
+  DROPBACK_CHECK(w.size(1) == cin && w.size(2) == spec.kernel_h &&
+                     w.size(3) == spec.kernel_w,
+                 << "conv2d: weight " << shape_str(w.shape())
+                 << " inconsistent with input channels " << cin
+                 << " and kernel " << spec.kernel_h << "x" << spec.kernel_w);
+  const std::int64_t oh = spec.out_h(x.size(2)), ow = spec.out_w(x.size(3));
+
+  // cols [N*OH*OW, patch] x wmatT [patch, C_out] -> [N*OH*OW, C_out]
+  const Tensor cols = im2col(x, spec);
+  const Tensor wmat = w.reshape({cout, -1});
+  Tensor out_rows = matmul_nt(cols, wmat);  // rows x wmat^T
+  if (b.defined()) {
+    DROPBACK_CHECK(b.numel() == cout, << "conv2d: bias size " << b.numel());
+    out_rows = add_row_vector(out_rows, b);
+  }
+  // [N*OH*OW, C_out] -> [N, C_out, OH, OW]
+  Tensor y({n, cout, oh, ow});
+  const float* pr = out_rows.data();
+  float* py = y.data();
+  for (std::int64_t bn = 0; bn < n; ++bn) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const float* row = pr + ((bn * oh + oy) * ow + ox) * cout;
+        for (std::int64_t ch = 0; ch < cout; ++ch) {
+          py[((bn * cout + ch) * oh + oy) * ow + ox] = row[ch];
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w, const Tensor& gy,
+                            const Conv2dSpec& spec, bool with_bias) {
+  const std::int64_t n = x.size(0);
+  const std::int64_t cout = w.size(0);
+  const std::int64_t oh = gy.size(2), ow = gy.size(3);
+  DROPBACK_CHECK(gy.size(0) == n && gy.size(1) == cout,
+                 << "conv2d_backward: gy " << shape_str(gy.shape()));
+
+  // gy [N,C_out,OH,OW] -> rows [N*OH*OW, C_out]
+  Tensor gy_rows({n * oh * ow, cout});
+  {
+    const float* pg = gy.data();
+    float* pr = gy_rows.data();
+    for (std::int64_t bn = 0; bn < n; ++bn) {
+      for (std::int64_t ch = 0; ch < cout; ++ch) {
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            pr[((bn * oh + oy) * ow + ox) * cout + ch] =
+                pg[((bn * cout + ch) * oh + oy) * ow + ox];
+          }
+        }
+      }
+    }
+  }
+
+  const Tensor cols = im2col(x, spec);
+  const Tensor wmat = w.reshape({cout, -1});
+
+  Conv2dGrads grads;
+  // dW = gy_rowsᵀ · cols  -> [C_out, patch]
+  grads.grad_weight = matmul_tn(gy_rows, cols).reshape(w.shape());
+  // dcols = gy_rows · wmat -> [N*OH*OW, patch]; scatter back through col2im.
+  const Tensor dcols = matmul(gy_rows, wmat);
+  grads.grad_input = col2im(dcols, x.shape(), spec);
+  if (with_bias) {
+    grads.grad_bias = sum_rows(gy_rows);
+  }
+  return grads;
+}
+
+Tensor maxpool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride,
+                 std::vector<std::int64_t>* argmax) {
+  DROPBACK_CHECK(x.ndim() == 4, << "maxpool2d needs NCHW");
+  const std::int64_t n = x.size(0), c = x.size(1), h = x.size(2),
+                     w = x.size(3);
+  const std::int64_t oh = (h - kernel) / stride + 1;
+  const std::int64_t ow = (w - kernel) / stride + 1;
+  DROPBACK_CHECK(oh > 0 && ow > 0, << "maxpool2d: empty output");
+  Tensor y({n, c, oh, ow});
+  if (argmax) argmax->assign(static_cast<size_t>(y.numel()), -1);
+  const float* px = x.data();
+  float* py = y.data();
+  std::int64_t out_i = 0;
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = px + (b * c + ch) * h * w;
+      const std::int64_t plane_base = (b * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = -1;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              const std::int64_t iy = oy * stride + ky;
+              const std::int64_t ix = ox * stride + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_base + iy * w + ix;
+              }
+            }
+          }
+          py[out_i] = best;
+          if (argmax) (*argmax)[static_cast<size_t>(out_i)] = best_idx;
+          ++out_i;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor maxpool2d_backward(const Tensor& gy, const Shape& x_shape,
+                          const std::vector<std::int64_t>& argmax) {
+  DROPBACK_CHECK(static_cast<std::int64_t>(argmax.size()) == gy.numel(),
+                 << "maxpool2d_backward: argmax size mismatch");
+  Tensor gx(x_shape);
+  float* pgx = gx.data();
+  const float* pgy = gy.data();
+  for (std::int64_t i = 0; i < gy.numel(); ++i) {
+    pgx[argmax[static_cast<size_t>(i)]] += pgy[i];
+  }
+  return gx;
+}
+
+Tensor global_avgpool(const Tensor& x) {
+  DROPBACK_CHECK(x.ndim() == 4, << "global_avgpool needs NCHW");
+  const std::int64_t n = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
+  Tensor y({n, c});
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* p = px + (b * c + ch) * hw;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) acc += p[i];
+      py[b * c + ch] = static_cast<float>(acc / static_cast<double>(hw));
+    }
+  }
+  return y;
+}
+
+Tensor global_avgpool_backward(const Tensor& gy, const Shape& x_shape) {
+  DROPBACK_CHECK(x_shape.size() == 4, << "global_avgpool_backward shape");
+  const std::int64_t n = x_shape[0], c = x_shape[1],
+                     hw = x_shape[2] * x_shape[3];
+  DROPBACK_CHECK(gy.numel() == n * c, << "global_avgpool_backward: gy numel");
+  Tensor gx(x_shape);
+  const float* pgy = gy.data();
+  float* pgx = gx.data();
+  const float inv = 1.0F / static_cast<float>(hw);
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float g = pgy[b * c + ch] * inv;
+      float* p = pgx + (b * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) p[i] = g;
+    }
+  }
+  return gx;
+}
+
+Tensor avgpool2d(const Tensor& x, std::int64_t kernel, std::int64_t stride) {
+  DROPBACK_CHECK(x.ndim() == 4, << "avgpool2d needs NCHW");
+  const std::int64_t n = x.size(0), c = x.size(1), h = x.size(2),
+                     w = x.size(3);
+  const std::int64_t oh = (h - kernel) / stride + 1;
+  const std::int64_t ow = (w - kernel) / stride + 1;
+  DROPBACK_CHECK(oh > 0 && ow > 0, << "avgpool2d: empty output");
+  Tensor y({n, c, oh, ow});
+  const float* px = x.data();
+  float* py = y.data();
+  const float inv = 1.0F / static_cast<float>(kernel * kernel);
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = px + (b * c + ch) * h * w;
+      float* out_plane = py + (b * c + ch) * oh * ow;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0F;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              acc += plane[(oy * stride + ky) * w + (ox * stride + kx)];
+            }
+          }
+          out_plane[oy * ow + ox] = acc * inv;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor avgpool2d_backward(const Tensor& gy, const Shape& x_shape,
+                          std::int64_t kernel, std::int64_t stride) {
+  DROPBACK_CHECK(x_shape.size() == 4, << "avgpool2d_backward shape");
+  const std::int64_t n = x_shape[0], c = x_shape[1], h = x_shape[2],
+                     w = x_shape[3];
+  const std::int64_t oh = gy.size(2), ow = gy.size(3);
+  Tensor gx(x_shape);
+  const float* pgy = gy.data();
+  float* pgx = gx.data();
+  const float inv = 1.0F / static_cast<float>(kernel * kernel);
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* gplane = pgy + (b * c + ch) * oh * ow;
+      float* plane = pgx + (b * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const float g = gplane[oy * ow + ox] * inv;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              plane[(oy * stride + ky) * w + (ox * stride + kx)] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace dropback::tensor

@@ -1,0 +1,113 @@
+#include "tensor/matmul.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dropback::tensor {
+
+namespace {
+
+/// Small/medium kernel: i-k-j ordering, streaming contiguous B rows.
+void matmul_ikj(const float* pa, const float* pb, float* pc, std::int64_t m,
+                std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::int64_t l = 0; l < k; ++l) {
+      const float aval = pa[i * k + l];
+      if (aval == 0.0F) continue;  // sparse weights make this branch pay off
+      const float* brow = pb + l * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+/// Cache-blocked kernel for large operands: tiles over (i, l) so the C row
+/// panel and the B row panel stay resident in L1/L2 across the inner loops.
+void matmul_blocked(const float* pa, const float* pb, float* pc,
+                    std::int64_t m, std::int64_t k, std::int64_t n) {
+  constexpr std::int64_t kBlockI = 32;
+  constexpr std::int64_t kBlockL = 128;
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockI) {
+    const std::int64_t i1 = std::min(i0 + kBlockI, m);
+    for (std::int64_t l0 = 0; l0 < k; l0 += kBlockL) {
+      const std::int64_t l1 = std::min(l0 + kBlockL, k);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = pc + i * n;
+        for (std::int64_t l = l0; l < l1; ++l) {
+          const float aval = pa[i * k + l];
+          if (aval == 0.0F) continue;
+          const float* brow = pb + l * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  DROPBACK_CHECK(a.ndim() == 2 && b.ndim() == 2,
+                 << "matmul needs 2-D operands, got " << shape_str(a.shape())
+                 << " x " << shape_str(b.shape()));
+  const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  DROPBACK_CHECK(b.size(0) == k, << "matmul: inner dims " << k << " vs "
+                                 << b.size(0));
+  Tensor c({m, n});
+  // Blocked path once the B panel (k x n floats) overflows L2.
+  if (k * n > 256 * 1024) {
+    matmul_blocked(a.data(), b.data(), c.data(), m, k, n);
+  } else {
+    matmul_ikj(a.data(), b.data(), c.data(), m, k, n);
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  DROPBACK_CHECK(a.ndim() == 2 && b.ndim() == 2, << "matmul_tn needs 2-D");
+  const std::int64_t k = a.size(0), m = a.size(1), n = b.size(1);
+  DROPBACK_CHECK(b.size(0) == k, << "matmul_tn: inner dims " << k << " vs "
+                                 << b.size(0));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // C[i][j] = sum_l A[l][i] * B[l][j]; stream both A and B rows.
+  for (std::int64_t l = 0; l < k; ++l) {
+    const float* arow = pa + l * m;
+    const float* brow = pb + l * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aval = arow[i];
+      if (aval == 0.0F) continue;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  DROPBACK_CHECK(a.ndim() == 2 && b.ndim() == 2, << "matmul_nt needs 2-D");
+  const std::int64_t m = a.size(0), k = a.size(1), n = b.size(0);
+  DROPBACK_CHECK(b.size(1) == k, << "matmul_nt: inner dims " << k << " vs "
+                                 << b.size(1));
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // C[i][j] = dot(A row i, B row j): both rows contiguous.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::int64_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+}  // namespace dropback::tensor

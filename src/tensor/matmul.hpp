@@ -1,0 +1,22 @@
+// Dense matrix multiplication kernels.
+//
+// Three entry points cover all of training's needs without materializing
+// transposes:
+//   matmul    : C = A   · B      (A[m,k], B[k,n])
+//   matmul_tn : C = Aᵀ  · B      (A[k,m], B[k,n])   — weight gradients
+//   matmul_nt : C = A   · Bᵀ     (A[m,k], B[n,k])   — input gradients
+//
+// The plain kernel uses the cache-friendly i-k-j ordering with the inner loop
+// over contiguous B rows; this is the whole performance story on the
+// single-core CPU this repo targets.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dropback::tensor {
+
+Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+}  // namespace dropback::tensor

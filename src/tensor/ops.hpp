@@ -1,0 +1,71 @@
+// Elementwise, broadcast, and reduction kernels over Tensor.
+//
+// These are the raw (non-differentiable) kernels; the autograd layer in
+// src/autograd composes them into differentiable ops. All binary ops require
+// identical shapes except the explicitly-named broadcast helpers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dropback::tensor {
+
+/// --- elementwise binary (same shape) -------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+/// --- tensor-scalar --------------------------------------------------------
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+/// --- elementwise unary -----------------------------------------------------
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor abs(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor relu(const Tensor& a);
+Tensor clamp(const Tensor& a, float lo, float hi);
+/// Applies an arbitrary function elementwise (used by tests as a reference).
+Tensor map(const Tensor& a, const std::function<float(float)>& f);
+
+/// --- 2-D structure ----------------------------------------------------------
+/// Transpose of a [m, n] matrix.
+Tensor transpose2d(const Tensor& a);
+/// x[m,n] + b[n] broadcast over rows (bias add).
+Tensor add_row_vector(const Tensor& x, const Tensor& b);
+/// x[m,n] * s[n] broadcast over rows.
+Tensor mul_row_vector(const Tensor& x, const Tensor& s);
+/// Column sums of [m,n] -> [n]  (used for bias gradients).
+Tensor sum_rows(const Tensor& x);
+/// Row sums of [m,n] -> [m].
+Tensor sum_cols(const Tensor& x);
+/// Row-wise softmax of [m,n].
+Tensor row_softmax(const Tensor& x);
+/// Row-wise log-sum-exp of [m,n] -> [m].
+Tensor row_logsumexp(const Tensor& x);
+/// Row-wise argmax of [m,n] -> indices [m].
+std::vector<std::int64_t> argmax_rows(const Tensor& x);
+
+/// --- NCHW channel helpers (BatchNorm) ---------------------------------------
+/// Mean over (N, H, W) per channel of x[N,C,H,W] -> [C].
+Tensor channel_mean(const Tensor& x);
+/// Biased variance over (N, H, W) per channel -> [C] (given the mean).
+Tensor channel_var(const Tensor& x, const Tensor& mean);
+/// y = (x - mean[c]) * scale[c] + shift[c], elementwise per channel.
+Tensor channel_affine(const Tensor& x, const Tensor& mean, const Tensor& scale,
+                      const Tensor& shift);
+/// Sum over (N, H, W) per channel -> [C].
+Tensor channel_sum(const Tensor& x);
+/// Per-channel elementwise product sum: sum over (N,H,W) of x*y -> [C].
+Tensor channel_dot(const Tensor& x, const Tensor& y);
+/// y[n,c,h,w] = x[n,c,h,w] * s[c]
+Tensor mul_per_channel(const Tensor& x, const Tensor& s);
+
+}  // namespace dropback::tensor

@@ -1,0 +1,20 @@
+// Binary tensor (de)serialization.
+//
+// Format: magic "DBT1", ndim (u32), dims (i64 each), raw float32 payload.
+// Used by SparseWeightStore persistence and model checkpointing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace dropback::tensor {
+
+void save_tensor(std::ostream& out, const Tensor& t);
+Tensor load_tensor(std::istream& in);
+
+void save_tensor_file(const std::string& path, const Tensor& t);
+Tensor load_tensor_file(const std::string& path);
+
+}  // namespace dropback::tensor

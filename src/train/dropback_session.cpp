@@ -1,0 +1,79 @@
+#include "train/dropback_session.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/checkpoint.hpp"
+#include "util/check.hpp"
+
+namespace dropback::train {
+
+DropBackSession::DropBackSession(nn::Module& model, Options options)
+    : model_(model), options_(options) {
+  DROPBACK_CHECK(options.budget > 0, << "DropBackSession: budget required");
+  DROPBACK_CHECK(options.epochs > 0 && options.batch_size > 0,
+                 << "DropBackSession: epochs/batch_size");
+  params_ = model.collect_parameters();
+  core::DropBackConfig config;
+  config.budget = options.budget;
+  config.regenerate_untracked = options.regenerate_untracked;
+  // freeze_epoch is applied per-fit (it depends on steps per epoch).
+  optimizer_ = std::make_unique<core::DropBackOptimizer>(params_, options.lr,
+                                                         config);
+  if (options.lr_decay_epochs > 0 && options.lr_decay != 1.0F) {
+    schedule_ = std::make_unique<optim::StepDecay>(
+        options.lr, options.lr_decay, options.lr_decay_epochs);
+  }
+  if (options.track_energy) optimizer_->set_traffic_counter(&traffic_);
+}
+
+TrainResult DropBackSession::fit(const data::Dataset& train_set,
+                                 const data::Dataset& val_set) {
+  TrainOptions train_options;
+  train_options.epochs = options_.epochs;
+  train_options.batch_size = options_.batch_size;
+  train_options.patience = options_.patience;
+  train_options.schedule = schedule_.get();
+  train_options.verbose = options_.verbose;
+  Trainer trainer(model_, *optimizer_, train_set, val_set, train_options);
+  if (options_.freeze_epoch >= 0 && !optimizer_->frozen()) {
+    const std::int64_t freeze_epoch = options_.freeze_epoch;
+    auto* opt = optimizer_.get();
+    trainer.on_epoch_end = [opt, freeze_epoch](const EpochStats& stats) {
+      if (stats.epoch + 1 >= freeze_epoch) opt->freeze();
+    };
+  }
+  return trainer.run();
+}
+
+double DropBackSession::evaluate(const data::Dataset& dataset) const {
+  return Trainer::evaluate(model_, dataset, options_.batch_size);
+}
+
+core::SparseWeightStore DropBackSession::compressed() const {
+  return core::SparseWeightStore::from_optimizer(*optimizer_);
+}
+
+void DropBackSession::export_compressed(const std::string& path) const {
+  compressed().save_file(path);
+}
+
+void DropBackSession::save_training_state(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("DropBackSession: cannot open " + path);
+  }
+  nn::save_checkpoint(out, params_);
+  optimizer_->save_state(out);
+}
+
+void DropBackSession::load_training_state(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("DropBackSession: cannot open " + path);
+  }
+  nn::load_checkpoint(in, params_);
+  optimizer_->load_state(in);
+}
+
+}  // namespace dropback::train

@@ -1,0 +1,85 @@
+// DropBackSession — the one-object public API for downstream users.
+//
+// Bundles model + DropBack optimizer + trainer + schedule + export/resume
+// into a single facade so an application can train under a weight budget
+// without touching the lower layers:
+//
+//   train::DropBackSession::Options options;
+//   options.budget = 20000;
+//   train::DropBackSession session(model, options);
+//   session.fit(train_set, val_set);
+//   session.export_compressed("model.dbsw");
+//
+// Lower-level control (custom loops, analysis hooks) remains available via
+// the underlying pieces; the session exposes them read-only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/dropback_optimizer.hpp"
+#include "core/sparse_weight_store.hpp"
+#include "data/dataset.hpp"
+#include "energy/energy_model.hpp"
+#include "nn/module.hpp"
+#include "optim/lr_schedule.hpp"
+#include "train/trainer.hpp"
+
+namespace dropback::train {
+
+class DropBackSession {
+ public:
+  struct Options {
+    std::int64_t budget = 0;          ///< live-weight budget (required)
+    float lr = 0.1F;
+    /// Freeze the tracked set after this epoch; -1 = never.
+    std::int64_t freeze_epoch = -1;
+    std::int64_t epochs = 20;
+    std::int64_t batch_size = 32;
+    /// Early-stop patience in epochs; -1 disables.
+    std::int64_t patience = -1;
+    /// lr decay factor applied every `lr_decay_epochs`; 1.0 disables.
+    float lr_decay = 0.5F;
+    std::int64_t lr_decay_epochs = 0;  ///< 0 = no schedule
+    bool regenerate_untracked = true;
+    bool track_energy = false;
+    bool verbose = false;
+  };
+
+  /// The session borrows `model`; it must outlive the session.
+  DropBackSession(nn::Module& model, Options options);
+
+  /// Trains on `train_set`, validating on `val_set`. May be called again to
+  /// continue training (the optimizer state persists across calls).
+  TrainResult fit(const data::Dataset& train_set,
+                  const data::Dataset& val_set);
+
+  /// Validation accuracy of the current weights.
+  double evaluate(const data::Dataset& dataset) const;
+
+  /// Exports the compressed model.
+  core::SparseWeightStore compressed() const;
+  void export_compressed(const std::string& path) const;
+
+  /// Saves/restores the full training state (weights + optimizer masks) so
+  /// a run can resume exactly after a restart.
+  void save_training_state(const std::string& path) const;
+  void load_training_state(const std::string& path);
+
+  double compression_ratio() const { return optimizer_->compression_ratio(); }
+  std::int64_t live_weights() const { return optimizer_->live_weights(); }
+  bool frozen() const { return optimizer_->frozen(); }
+  const energy::TrafficCounter& energy() const { return traffic_; }
+  const core::DropBackOptimizer& optimizer() const { return *optimizer_; }
+
+ private:
+  nn::Module& model_;
+  Options options_;
+  std::vector<nn::Parameter*> params_;
+  std::unique_ptr<core::DropBackOptimizer> optimizer_;
+  std::unique_ptr<optim::StepDecay> schedule_;
+  energy::TrafficCounter traffic_;
+};
+
+}  // namespace dropback::train

@@ -1,0 +1,129 @@
+#include "train/eval_metrics.hpp"
+
+#include <algorithm>
+
+#include "autograd/variable.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace dropback::train {
+
+double topk_accuracy(const tensor::Tensor& logits,
+                     const std::vector<std::int64_t>& labels, int k) {
+  DROPBACK_CHECK(logits.ndim() == 2, << "topk_accuracy: logits must be 2-D");
+  const std::int64_t m = logits.size(0), n = logits.size(1);
+  DROPBACK_CHECK(static_cast<std::int64_t>(labels.size()) == m,
+                 << "topk_accuracy: label count");
+  DROPBACK_CHECK(k >= 1, << "topk_accuracy: k " << k);
+  if (m == 0) return 0.0;
+  const float* p = logits.data();
+  std::int64_t hits = 0;
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float label_score = p[i * n + labels[static_cast<std::size_t>(i)]];
+    // The label is in the top k iff fewer than k logits strictly exceed it.
+    int better = 0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (p[i * n + j] > label_score) ++better;
+    }
+    if (better < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(m);
+}
+
+ConfusionMatrix::ConfusionMatrix(std::int64_t num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes * num_classes), 0) {
+  DROPBACK_CHECK(num_classes > 0, << "ConfusionMatrix(" << num_classes << ")");
+}
+
+void ConfusionMatrix::update(const tensor::Tensor& logits,
+                             const std::vector<std::int64_t>& labels) {
+  const auto predictions = tensor::argmax_rows(logits);
+  DROPBACK_CHECK(predictions.size() == labels.size(),
+                 << "ConfusionMatrix::update: size mismatch");
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    DROPBACK_CHECK(labels[i] >= 0 && labels[i] < num_classes_ &&
+                       predictions[i] >= 0 && predictions[i] < num_classes_,
+                   << "ConfusionMatrix::update: class out of range");
+    ++counts_[static_cast<std::size_t>(labels[i] * num_classes_ +
+                                       predictions[i])];
+    ++total_;
+  }
+}
+
+std::int64_t ConfusionMatrix::count(std::int64_t truth,
+                                    std::int64_t predicted) const {
+  DROPBACK_CHECK(truth >= 0 && truth < num_classes_ && predicted >= 0 &&
+                     predicted < num_classes_,
+                 << "ConfusionMatrix::count: out of range");
+  return counts_[static_cast<std::size_t>(truth * num_classes_ + predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t diag = 0;
+  for (std::int64_t c = 0; c < num_classes_; ++c) diag += count(c, c);
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::per_class_accuracy(std::int64_t cls) const {
+  std::int64_t row = 0;
+  for (std::int64_t p = 0; p < num_classes_; ++p) row += count(cls, p);
+  return row > 0 ? static_cast<double>(count(cls, cls)) /
+                       static_cast<double>(row)
+                 : 0.0;
+}
+
+std::int64_t ConfusionMatrix::worst_class() const {
+  std::int64_t worst = 0;
+  double worst_acc = 2.0;
+  for (std::int64_t c = 0; c < num_classes_; ++c) {
+    std::int64_t row = 0;
+    for (std::int64_t p = 0; p < num_classes_; ++p) row += count(c, p);
+    if (row == 0) continue;
+    const double acc = per_class_accuracy(c);
+    if (acc < worst_acc) {
+      worst_acc = acc;
+      worst = c;
+    }
+  }
+  return worst;
+}
+
+std::string ConfusionMatrix::render() const {
+  std::vector<std::string> header{"true\\pred"};
+  for (std::int64_t c = 0; c < num_classes_; ++c) {
+    header.push_back(std::to_string(c));
+  }
+  header.push_back("class acc");
+  util::Table table(header);
+  for (std::int64_t t = 0; t < num_classes_; ++t) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (std::int64_t p = 0; p < num_classes_; ++p) {
+      row.push_back(std::to_string(count(t, p)));
+    }
+    row.push_back(util::Table::pct(per_class_accuracy(t), 1));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+ConfusionMatrix evaluate_confusion(nn::Module& model,
+                                   const data::Dataset& dataset,
+                                   std::int64_t batch_size) {
+  autograd::NoGradGuard no_grad;
+  const bool was_training = model.training();
+  model.set_training(false);
+  ConfusionMatrix matrix(dataset.num_classes());
+  for (std::int64_t first = 0; first < dataset.size(); first += batch_size) {
+    const std::int64_t count = std::min(batch_size, dataset.size() - first);
+    data::Batch batch = dataset.slice(first, count);
+    autograd::Variable input(batch.images);
+    matrix.update(model.forward(input).value(), batch.labels);
+  }
+  model.set_training(was_training);
+  return matrix;
+}
+
+}  // namespace dropback::train

@@ -1,0 +1,55 @@
+// Classification evaluation metrics beyond top-1 accuracy: top-k accuracy,
+// confusion matrix, and per-class accuracy — used to inspect *where* a
+// pruned model loses accuracy (at tight budgets DropBack's errors
+// concentrate in the hardest classes rather than spreading uniformly).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dropback::train {
+
+/// Fraction of rows whose label is among the k highest logits.
+double topk_accuracy(const tensor::Tensor& logits,
+                     const std::vector<std::int64_t>& labels, int k);
+
+/// Row-major confusion matrix counts: entry [true][predicted].
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::int64_t num_classes);
+
+  /// Accumulates a batch of predictions.
+  void update(const tensor::Tensor& logits,
+              const std::vector<std::int64_t>& labels);
+
+  std::int64_t num_classes() const { return num_classes_; }
+  std::int64_t count(std::int64_t truth, std::int64_t predicted) const;
+  std::int64_t total() const { return total_; }
+
+  double accuracy() const;
+  /// Recall of one class (diagonal / row sum); 0 if the class is absent.
+  double per_class_accuracy(std::int64_t cls) const;
+  /// The class with the lowest per-class accuracy among observed classes.
+  std::int64_t worst_class() const;
+
+  /// ASCII rendering with per-class accuracy column.
+  std::string render() const;
+
+ private:
+  std::int64_t num_classes_;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> counts_;  // num_classes x num_classes
+};
+
+/// Runs a model over a dataset (eval mode, no tape) and returns the
+/// confusion matrix.
+ConfusionMatrix evaluate_confusion(nn::Module& model,
+                                   const data::Dataset& dataset,
+                                   std::int64_t batch_size = 64);
+
+}  // namespace dropback::train

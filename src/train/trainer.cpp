@@ -1,0 +1,98 @@
+#include "train/trainer.hpp"
+
+#include "autograd/ops.hpp"
+#include "nn/loss.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace dropback::train {
+
+Trainer::Trainer(nn::Module& model, optim::Optimizer& optimizer,
+                 const data::Dataset& train_set, const data::Dataset& val_set,
+                 TrainOptions options)
+    : model_(model),
+      optimizer_(optimizer),
+      train_set_(train_set),
+      val_set_(val_set),
+      options_(options) {
+  DROPBACK_CHECK(options.epochs > 0 && options.batch_size > 0,
+                 << "TrainOptions invalid");
+}
+
+TrainResult Trainer::run() {
+  data::DataLoader loader(train_set_, options_.batch_size, options_.shuffle,
+                          options_.loader_seed);
+  TrainResult result;
+  std::int64_t stale_epochs = 0;
+  for (std::int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (options_.schedule) {
+      optimizer_.set_lr(options_.schedule->lr_at(epoch));
+    }
+    model_.set_training(true);
+    loader.start_epoch();
+    double loss_sum = 0.0;
+    double acc_sum = 0.0;
+    std::int64_t batches = 0;
+    data::Batch batch;
+    while (loader.next(batch)) {
+      autograd::Variable input(batch.images);
+      autograd::Variable logits = model_.forward(input);
+      autograd::Variable loss = nn::cross_entropy(logits, batch.labels);
+      if (loss_transform) loss = loss_transform(loss);
+      optimizer_.zero_grad();
+      autograd::backward(loss);
+      if (after_backward) after_backward();
+      optimizer_.step();
+      ++global_step_;
+      if (after_step) after_step(global_step_);
+      loss_sum += loss.value()[0];
+      acc_sum += nn::accuracy(logits.value(), batch.labels);
+      ++batches;
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = batches ? loss_sum / batches : 0.0;
+    stats.train_acc = batches ? acc_sum / batches : 0.0;
+    stats.val_acc = evaluate(model_, val_set_, options_.batch_size);
+    stats.lr = optimizer_.lr();
+    result.history.push_back(stats);
+    if (stats.val_acc > result.best_val_acc) {
+      result.best_val_acc = stats.val_acc;
+      result.best_epoch = epoch;
+      stale_epochs = 0;
+    } else {
+      ++stale_epochs;
+    }
+    if (options_.verbose) {
+      util::log_info() << "epoch " << epoch << " loss " << stats.train_loss
+                       << " train_acc " << stats.train_acc << " val_acc "
+                       << stats.val_acc << " lr " << stats.lr;
+    }
+    if (on_epoch_end) on_epoch_end(stats);
+    if (options_.patience >= 0 && stale_epochs > options_.patience) break;
+  }
+  return result;
+}
+
+double Trainer::evaluate(nn::Module& model, const data::Dataset& dataset,
+                         std::int64_t batch_size) {
+  autograd::NoGradGuard no_grad;
+  const bool was_training = model.training();
+  model.set_training(false);
+  double correct_weighted = 0.0;
+  std::int64_t seen = 0;
+  for (std::int64_t first = 0; first < dataset.size(); first += batch_size) {
+    const std::int64_t count =
+        std::min(batch_size, dataset.size() - first);
+    data::Batch batch = dataset.slice(first, count);
+    autograd::Variable input(batch.images);
+    autograd::Variable logits = model.forward(input);
+    correct_weighted +=
+        nn::accuracy(logits.value(), batch.labels) * static_cast<double>(count);
+    seen += count;
+  }
+  model.set_training(was_training);
+  return seen ? correct_weighted / static_cast<double>(seen) : 0.0;
+}
+
+}  // namespace dropback::train

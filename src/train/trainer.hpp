@@ -1,0 +1,86 @@
+// Generic training loop shared by examples and the benchmark harness.
+//
+// Hooks expose the extension points the paper's baselines need without
+// subclassing: loss_transform (variational dropout adds its KL term),
+// after_backward (network slimming injects the gamma L1 subgradient),
+// after_step (slimming re-applies channel masks; the analysis trackers for
+// Figs. 2/5/6 record per-iteration state), on_epoch_end (bench logging).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.hpp"
+#include "data/dataloader.hpp"
+#include "nn/module.hpp"
+#include "optim/lr_schedule.hpp"
+#include "optim/sgd.hpp"
+
+namespace dropback::train {
+
+struct TrainOptions {
+  std::int64_t epochs = 10;
+  std::int64_t batch_size = 32;
+  /// Learning-rate schedule; nullptr keeps the optimizer's current lr.
+  const optim::LrSchedule* schedule = nullptr;
+  /// Stop after this many epochs without validation improvement
+  /// (the paper uses 5 on MNIST); -1 disables early stopping.
+  std::int64_t patience = -1;
+  bool shuffle = true;
+  std::uint64_t loader_seed = 0xDA7A;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  std::int64_t epoch = 0;
+  double train_loss = 0.0;
+  double train_acc = 0.0;
+  double val_acc = 0.0;
+  float lr = 0.0F;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double best_val_acc = 0.0;
+  std::int64_t best_epoch = -1;
+
+  double best_val_error() const { return 1.0 - best_val_acc; }
+  double final_val_acc() const {
+    return history.empty() ? 0.0 : history.back().val_acc;
+  }
+};
+
+class Trainer {
+ public:
+  Trainer(nn::Module& model, optim::Optimizer& optimizer,
+          const data::Dataset& train_set, const data::Dataset& val_set,
+          TrainOptions options);
+
+  /// Maps the base cross-entropy loss to the actual optimized loss.
+  std::function<autograd::Variable(const autograd::Variable&)> loss_transform;
+  /// Runs between backward() and optimizer step().
+  std::function<void()> after_backward;
+  /// Runs after each optimizer step with the global step index.
+  std::function<void(std::int64_t step)> after_step;
+  /// Runs after each epoch's validation.
+  std::function<void(const EpochStats&)> on_epoch_end;
+
+  TrainResult run();
+
+  /// Top-1 accuracy of `model` on `dataset` in eval mode (no tape).
+  static double evaluate(nn::Module& model, const data::Dataset& dataset,
+                         std::int64_t batch_size = 64);
+
+  std::int64_t global_step() const { return global_step_; }
+
+ private:
+  nn::Module& model_;
+  optim::Optimizer& optimizer_;
+  const data::Dataset& train_set_;
+  const data::Dataset& val_set_;
+  TrainOptions options_;
+  std::int64_t global_step_ = 0;
+};
+
+}  // namespace dropback::train

@@ -1,0 +1,55 @@
+// Lightweight runtime checking.
+//
+// DROPBACK_CHECK is used at public API boundaries (shape validation, flag
+// parsing); it throws std::invalid_argument with a formatted message so
+// callers can recover. Internal invariants use DROPBACK_ASSERT, which is
+// compiled out in release-like builds only if DROPBACK_DISABLE_ASSERTS is
+// defined (it is not by default — these checks are cheap relative to the
+// tensor math around them).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dropback::util::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& message) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::invalid_argument(os.str());
+}
+
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace dropback::util::detail
+
+// Usage: DROPBACK_CHECK(cond, << "message " << detail);
+#define DROPBACK_CHECK(expr, ...)                                    \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::dropback::util::detail::check_failed(                        \
+          #expr, __FILE__, __LINE__,                                 \
+          (::dropback::util::detail::MessageBuilder{} __VA_ARGS__)   \
+              .str());                                               \
+    }                                                                \
+  } while (false)
+
+#ifdef DROPBACK_DISABLE_ASSERTS
+#define DROPBACK_ASSERT(expr, ...) ((void)0)
+#else
+#define DROPBACK_ASSERT(expr, ...) DROPBACK_CHECK(expr, __VA_ARGS__)
+#endif

@@ -1,0 +1,46 @@
+// CSV writer used by the benchmark harness to dump figure series so they can
+// be re-plotted (each paper figure bench writes a CSV next to its stdout
+// rendering).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dropback::util {
+
+/// Writes rows of mixed string/number cells to a CSV file.
+/// Quotes cells that contain separators; numbers are formatted with enough
+/// precision to round-trip floats.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, truncating any existing file.
+  /// Throws std::runtime_error if the file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes a header row.
+  void header(const std::vector<std::string>& names);
+
+  /// Appends one row of already-formatted cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Appends one row of doubles.
+  void row(const std::vector<double>& cells);
+
+  /// Formats a double for CSV output (round-trippable precision).
+  static std::string format(double v);
+
+  /// Escapes a cell (quotes it if it contains comma/quote/newline).
+  static std::string escape(const std::string& cell);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace dropback::util

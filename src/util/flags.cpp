@@ -1,0 +1,92 @@
+#include "util/flags.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dropback::util {
+
+namespace {
+std::string env_name(const std::string& flag) {
+  std::string name = "DROPBACK_";
+  for (char c : flag) {
+    if (c == '-') {
+      name += '_';
+    } else {
+      name += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  return name;
+}
+}  // namespace
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_.emplace_back(arg, argv[++i]);
+    } else {
+      values_.emplace_back(arg, "1");  // bare boolean flag
+    }
+  }
+}
+
+std::optional<std::string> Flags::get(const std::string& name) const {
+  for (const auto& [k, v] : values_) {
+    if (k == name) return v;
+  }
+  if (const char* env = std::getenv(env_name(name).c_str())) {
+    return std::string(env);
+  }
+  return std::nullopt;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& default_value) const {
+  return get(name).value_or(default_value);
+}
+
+long long Flags::get_int(const std::string& name,
+                         long long default_value) const {
+  auto v = get(name);
+  if (!v) return default_value;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::runtime_error("flag --" + name + " expects an integer, got '" +
+                             *v + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double default_value) const {
+  auto v = get(name);
+  if (!v) return default_value;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::runtime_error("flag --" + name + " expects a number, got '" +
+                             *v + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool default_value) const {
+  auto v = get(name);
+  if (!v) return default_value;
+  return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+bool Flags::full_scale() {
+  const char* env = std::getenv("DROPBACK_FULL");
+  return env != nullptr && std::string(env) != "0" && std::string(env) != "";
+}
+
+}  // namespace dropback::util

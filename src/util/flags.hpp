@@ -1,0 +1,40 @@
+// Tiny CLI + environment flag parsing used by examples and benches.
+//
+// Flags take the form `--name=value` or `--name value`; booleans accept bare
+// `--name`. Environment overrides use the DROPBACK_ prefix with the flag name
+// upper-cased (e.g. --epochs <-> DROPBACK_EPOCHS), so the benchmark harness
+// can be scaled up without editing command lines.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dropback::util {
+
+class Flags {
+ public:
+  Flags() = default;
+  Flags(int argc, char** argv);
+
+  /// Returns flag value from CLI first, then DROPBACK_<NAME> env, else nullopt.
+  std::optional<std::string> get(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& default_value) const;
+  long long get_int(const std::string& name, long long default_value) const;
+  double get_double(const std::string& name, double default_value) const;
+  bool get_bool(const std::string& name, bool default_value) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True if the env asks for full-scale paper runs (DROPBACK_FULL=1).
+  static bool full_scale();
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dropback::util

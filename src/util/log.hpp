@@ -1,0 +1,52 @@
+// Minimal leveled logging for the dropback library.
+//
+// Intentionally tiny: a single global level, printf-free iostream sinks, and
+// zero dependencies, so library code can emit diagnostics without imposing a
+// logging framework on downstream users.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dropback::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global log level. Messages below this level are discarded.
+void set_log_level(LogLevel level);
+
+/// Current global log level.
+LogLevel log_level();
+
+/// Parse a level name ("debug", "info", "warn", "error", "off").
+/// Unknown names map to kInfo.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace dropback::util

@@ -1,0 +1,34 @@
+// ASCII table pretty-printer. Each bench binary prints the same rows the
+// paper's tables report; this keeps their formatting consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dropback::util {
+
+/// Accumulates rows and renders a column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a header separator.
+  std::string render() const;
+
+  size_t rows() const { return rows_.size(); }
+
+  /// Helpers for formatting numeric cells.
+  static std::string pct(double fraction, int decimals = 2);   // 0.0142 -> "1.42%"
+  static std::string times(double factor, int decimals = 2);   // 5.33 -> "5.33x"
+  static std::string num(double v, int decimals = 2);
+  static std::string count(long long v);                        // 1500000 -> "1.5M"
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dropback::util

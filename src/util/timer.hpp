@@ -1,0 +1,31 @@
+// Wall-clock timing helpers for benches and examples.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dropback::util {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  std::int64_t elapsed_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dropback::util

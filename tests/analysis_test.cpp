@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/diffusion.hpp"
+#include "analysis/kde.hpp"
+#include "analysis/pca.hpp"
+#include "analysis/set_stability.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "rng/xorshift.hpp"
+
+namespace dropback::analysis {
+namespace {
+
+namespace T = dropback::tensor;
+
+TEST(Diffusion, ZeroAtConstruction) {
+  nn::Linear fc(5, 5, 1);
+  DiffusionTracker tracker(fc.parameters());
+  EXPECT_DOUBLE_EQ(tracker.distance(), 0.0);
+}
+
+TEST(Diffusion, TracksL2OfWeightChange) {
+  nn::Linear fc(2, 1, 1, /*bias=*/false);
+  DiffusionTracker tracker(fc.parameters());
+  fc.weight().var.value()[0] += 3.0F;
+  fc.weight().var.value()[1] -= 4.0F;
+  EXPECT_NEAR(tracker.distance(), 5.0, 1e-5);
+}
+
+TEST(Diffusion, RecordBuildsSeries) {
+  nn::Linear fc(3, 3, 1);
+  DiffusionTracker tracker(fc.parameters());
+  tracker.record(0);
+  fc.weight().var.value()[0] += 1.0F;
+  tracker.record(10);
+  ASSERT_EQ(tracker.series().size(), 2U);
+  EXPECT_EQ(tracker.series()[0].iteration, 0);
+  EXPECT_DOUBLE_EQ(tracker.series()[0].distance, 0.0);
+  EXPECT_NEAR(tracker.series()[1].distance, 1.0, 1e-6);
+}
+
+TEST(Diffusion, MagnitudePruningStartsWithLargeDistance) {
+  // The Figure-5 contrast: zeroing weights at init immediately moves far
+  // from w0, while DropBack regeneration keeps the distance at 0.
+  nn::Linear fc(30, 30, 3);
+  DiffusionTracker tracker(fc.parameters());
+  // Zero 80% of weights (what magnitude pruning does at init).
+  auto& w = fc.weight().var.value();
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    if (i % 5 != 0) w[i] = 0.0F;
+  }
+  EXPECT_GT(tracker.distance(), 1.0);
+}
+
+TEST(Kde, IntegratesToApproximatelyOne) {
+  rng::Xorshift128 rng(1);
+  std::vector<float> samples;
+  for (int i = 0; i < 2000; ++i) samples.push_back(rng.normal());
+  const auto grid = linspace(-6.0, 6.0, 601);
+  const auto density = gaussian_kde(samples, grid);
+  double integral = 0.0;
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    integral += 0.5 * (density[i] + density[i - 1]) * (grid[i] - grid[i - 1]);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(Kde, PeaksAtSampleMode) {
+  std::vector<float> samples(500, 2.0F);
+  for (int i = 0; i < 50; ++i) samples.push_back(-3.0F);
+  const auto grid = linspace(-5.0, 5.0, 101);
+  const auto density = gaussian_kde(samples, grid, 0.3);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < density.size(); ++i) {
+    if (density[i] > density[peak]) peak = i;
+  }
+  EXPECT_NEAR(grid[peak], 2.0, 0.2);
+}
+
+TEST(Kde, SilvermanBandwidthPositiveAndScales) {
+  rng::Xorshift128 rng(2);
+  std::vector<float> narrow, wide;
+  for (int i = 0; i < 500; ++i) {
+    const float z = rng.normal();
+    narrow.push_back(0.1F * z);
+    wide.push_back(10.0F * z);
+  }
+  const double bn = silverman_bandwidth(narrow);
+  const double bw = silverman_bandwidth(wide);
+  EXPECT_GT(bn, 0.0);
+  EXPECT_NEAR(bw / bn, 100.0, 5.0);
+}
+
+TEST(Kde, LinspaceEndpoints) {
+  const auto g = linspace(-1.0, 1.0, 5);
+  ASSERT_EQ(g.size(), 5U);
+  EXPECT_DOUBLE_EQ(g.front(), -1.0);
+  EXPECT_DOUBLE_EQ(g.back(), 1.0);
+  EXPECT_DOUBLE_EQ(g[2], 0.0);
+}
+
+TEST(SetStability, FirstUpdateFillsBudget) {
+  nn::Linear fc(10, 10, 1);
+  TopKMembershipTracker tracker(fc.parameters(), 20);
+  // Perturb some weights so scores are nonzero.
+  for (std::int64_t i = 0; i < 30; ++i) {
+    fc.weight().var.value()[i] += 0.01F * static_cast<float>(i + 1);
+  }
+  EXPECT_EQ(tracker.update(0), 20);
+}
+
+TEST(SetStability, StableWeightsProduceZeroChurn) {
+  nn::Linear fc(10, 10, 1);
+  TopKMembershipTracker tracker(fc.parameters(), 10);
+  for (std::int64_t i = 0; i < 15; ++i) {
+    fc.weight().var.value()[i] += 0.1F * static_cast<float>(i + 1);
+  }
+  tracker.update(0);
+  // No weight movement -> the same set is selected.
+  EXPECT_EQ(tracker.update(1), 0);
+  ASSERT_EQ(tracker.series().size(), 2U);
+  EXPECT_EQ(tracker.series()[1].swapped, 0);
+}
+
+TEST(SetStability, GrowingOutsiderEntersSet) {
+  nn::Linear fc(10, 10, 1);
+  TopKMembershipTracker tracker(fc.parameters(), 5);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    fc.weight().var.value()[i] += 1.0F;
+  }
+  tracker.update(0);
+  // A previously-untouched weight moves a lot.
+  fc.weight().var.value()[50] += 10.0F;
+  EXPECT_EQ(tracker.update(1), 1);
+}
+
+TEST(JacobiEigen, DiagonalizesKnownMatrix) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  std::vector<double> a{2, 1, 1, 2};
+  std::vector<double> vals, vecs;
+  jacobi_eigen(a, 2, vals, vecs);
+  ASSERT_EQ(vals.size(), 2U);
+  EXPECT_NEAR(vals[0], 3.0, 1e-9);
+  EXPECT_NEAR(vals[1], 1.0, 1e-9);
+  // Leading eigenvector ~ (1,1)/sqrt(2).
+  EXPECT_NEAR(std::fabs(vecs[0 * 2 + 0]), 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_NEAR(std::fabs(vecs[1 * 2 + 0]), 1.0 / std::sqrt(2.0), 1e-6);
+}
+
+TEST(JacobiEigen, IdentityStaysIdentity) {
+  std::vector<double> a{1, 0, 0, 0, 1, 0, 0, 0, 1};
+  std::vector<double> vals, vecs;
+  jacobi_eigen(a, 3, vals, vecs);
+  for (double v : vals) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(PcaProject, RecoversLineStructure) {
+  // Points along a 1-D line embedded in 8-D: first component captures all
+  // variance, the others are ~0.
+  std::vector<std::vector<float>> rows;
+  for (int t = 0; t < 20; ++t) {
+    std::vector<float> row(8);
+    for (int d = 0; d < 8; ++d) {
+      row[d] = static_cast<float>(t) * (d + 1) * 0.1F;
+    }
+    rows.push_back(row);
+  }
+  const auto proj = pca_project(rows, 3);
+  ASSERT_EQ(proj.size(), 20U);
+  // Monotone along PC1.
+  for (std::size_t i = 1; i < proj.size(); ++i) {
+    EXPECT_NE(proj[i][0], proj[i - 1][0]);
+  }
+  // PC2/PC3 carry (almost) nothing.
+  for (const auto& p : proj) {
+    EXPECT_NEAR(p[1], 0.0, 1e-3);
+    EXPECT_NEAR(p[2], 0.0, 1e-3);
+  }
+}
+
+TEST(PcaProject, PreservesPairwiseDistancesForPlane) {
+  // Points in a 2-D plane: PCA to 3 components is an isometry of the plane.
+  rng::Xorshift128 rng(5);
+  std::vector<std::vector<float>> rows;
+  std::vector<std::pair<float, float>> coords;
+  for (int t = 0; t < 15; ++t) {
+    const float u = rng.uniform(-1, 1), v = rng.uniform(-1, 1);
+    coords.emplace_back(u, v);
+    std::vector<float> row(10);
+    for (int d = 0; d < 10; ++d) {
+      row[d] = u * 0.3F * (d + 1) + v * ((d % 3) - 1.0F);
+    }
+    rows.push_back(row);
+  }
+  const auto proj = pca_project(rows, 3);
+  // Check one representative pair distance in original vs projected space.
+  auto dist_orig = [&](int i, int j) {
+    double acc = 0.0;
+    for (int d = 0; d < 10; ++d) {
+      acc += (rows[i][d] - rows[j][d]) * (rows[i][d] - rows[j][d]);
+    }
+    return std::sqrt(acc);
+  };
+  auto dist_proj = [&](int i, int j) {
+    double acc = 0.0;
+    for (int d = 0; d < 3; ++d) {
+      acc += (proj[i][d] - proj[j][d]) * (proj[i][d] - proj[j][d]);
+    }
+    return std::sqrt(acc);
+  };
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(dist_proj(i, i + 5), dist_orig(i, i + 5),
+                0.02 * dist_orig(i, i + 5) + 1e-6);
+  }
+}
+
+TEST(TrajectoryRecorderTest, SubsamplesAndSnapshots) {
+  nn::Sequential net;
+  net.emplace<nn::Linear>(20, 20, 1);  // 420 params
+  TrajectoryRecorder rec(net.parameters(), 64);
+  EXPECT_LE(rec.dim(), 64U);
+  EXPECT_GT(rec.dim(), 0U);
+  rec.snapshot();
+  net.parameters()[0]->var.value()[0] += 1.0F;
+  rec.snapshot();
+  EXPECT_EQ(rec.num_snapshots(), 2U);
+  // First coordinate is weight 0 (stride sampling from index 0).
+  EXPECT_NE(rec.snapshots()[0][0], rec.snapshots()[1][0]);
+}
+
+TEST(TrajectoryRecorderTest, SmallModelUsesAllCoords) {
+  nn::Linear fc(3, 3, 1, false);  // 9 params < max_coords
+  TrajectoryRecorder rec(fc.parameters(), 64);
+  EXPECT_EQ(rec.dim(), 9U);
+}
+
+}  // namespace
+}  // namespace dropback::analysis

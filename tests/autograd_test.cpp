@@ -1,0 +1,365 @@
+#include "autograd/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/conv_ops.hpp"
+#include "gradcheck.hpp"
+#include "tensor/ops.hpp"
+
+namespace dropback::autograd {
+namespace {
+
+namespace T = dropback::tensor;
+using dropback::testing::expect_gradients_close;
+using dropback::testing::random_tensor;
+
+class AutogradTest : public ::testing::Test {
+ protected:
+  rng::Xorshift128 rng_{42};
+};
+
+TEST_F(AutogradTest, LeafWithoutGradFnHasNoTape) {
+  Variable x(T::Tensor::ones({3}), /*requires_grad=*/false);
+  Variable y = mul_scalar(x, 2.0F);
+  EXPECT_EQ(y.grad_fn(), nullptr);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST_F(AutogradTest, RequiresGradPropagates) {
+  Variable x(T::Tensor::ones({3}), true);
+  Variable y = mul_scalar(x, 2.0F);
+  EXPECT_NE(y.grad_fn(), nullptr);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST_F(AutogradTest, NoGradGuardSuppressesTape) {
+  Variable x(T::Tensor::ones({3}), true);
+  {
+    NoGradGuard guard;
+    Variable y = mul_scalar(x, 2.0F);
+    EXPECT_EQ(y.grad_fn(), nullptr);
+  }
+  Variable z = mul_scalar(x, 2.0F);
+  EXPECT_NE(z.grad_fn(), nullptr);
+}
+
+TEST_F(AutogradTest, BackwardRequiresScalar) {
+  Variable x(T::Tensor::ones({3}), true);
+  Variable y = mul_scalar(x, 2.0F);
+  EXPECT_THROW(backward(y), std::invalid_argument);
+}
+
+TEST_F(AutogradTest, SimpleChainGradient) {
+  Variable x(T::Tensor::from_vector({2}, {3.0F, -1.0F}), true);
+  Variable loss = sum(mul_scalar(x, 4.0F));
+  backward(loss);
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0F);
+  EXPECT_FLOAT_EQ(x.grad()[1], 4.0F);
+}
+
+TEST_F(AutogradTest, DiamondGraphAccumulatesBothPaths) {
+  // y = sum(x*2) + sum(x*3): dx = 5 everywhere.
+  Variable x(T::Tensor::ones({4}), true);
+  Variable a = mul_scalar(x, 2.0F);
+  Variable b = mul_scalar(x, 3.0F);
+  Variable loss = add(sum(a), sum(b));
+  backward(loss);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 5.0F);
+}
+
+TEST_F(AutogradTest, ReuseOfSameVariableTwiceInOneOp) {
+  // loss = sum(x * x): dx = 2x.
+  Variable x(T::Tensor::from_vector({3}, {1, 2, 3}), true);
+  Variable loss = sum(mul(x, x));
+  backward(loss);
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0F);
+  EXPECT_FLOAT_EQ(x.grad()[1], 4.0F);
+  EXPECT_FLOAT_EQ(x.grad()[2], 6.0F);
+}
+
+TEST_F(AutogradTest, GradCheckAddSubMul) {
+  Variable a(random_tensor({2, 3}, rng_), true);
+  Variable b(random_tensor({2, 3}, rng_), true);
+  expect_gradients_close([&] { return sum(mul(add(a, b), sub(a, b))); },
+                         {a, b});
+}
+
+TEST_F(AutogradTest, GradCheckScalarOps) {
+  Variable a(random_tensor({5}, rng_), true);
+  expect_gradients_close(
+      [&] { return sum(add_scalar(mul_scalar(a, -1.7F), 0.3F)); }, {a});
+}
+
+TEST_F(AutogradTest, GradCheckRelu) {
+  // Keep values away from the kink for stable finite differences.
+  T::Tensor v = random_tensor({8}, rng_);
+  for (std::int64_t i = 0; i < v.numel(); ++i) {
+    if (std::fabs(v[i]) < 0.1F) v[i] = 0.5F;
+  }
+  Variable a(v, true);
+  expect_gradients_close([&] { return sum(relu(a)); }, {a});
+}
+
+TEST_F(AutogradTest, GradCheckPrelu) {
+  T::Tensor v = random_tensor({8}, rng_);
+  for (std::int64_t i = 0; i < v.numel(); ++i) {
+    if (std::fabs(v[i]) < 0.1F) v[i] = -0.5F;
+  }
+  Variable a(v, true);
+  Variable slope(T::Tensor::from_vector({1}, {0.25F}), true);
+  expect_gradients_close([&] { return sum(prelu(a, slope)); }, {a, slope});
+}
+
+TEST_F(AutogradTest, GradCheckSigmoidTanh) {
+  Variable a(random_tensor({6}, rng_), true);
+  expect_gradients_close([&] { return sum(sigmoid(a)); }, {a});
+  expect_gradients_close([&] { return sum(tanh_op(a)); }, {a});
+}
+
+TEST_F(AutogradTest, GradCheckExpLogSqrt) {
+  Variable a(random_tensor({6}, rng_, 0.5F, 2.0F), true);
+  expect_gradients_close([&] { return sum(exp_op(a)); }, {a});
+  expect_gradients_close([&] { return sum(log_op(a)); }, {a});
+  expect_gradients_close([&] { return sum(sqrt_op(a)); }, {a});
+}
+
+TEST_F(AutogradTest, GradCheckMulMask) {
+  Variable a(random_tensor({6}, rng_), true);
+  T::Tensor mask = T::Tensor::from_vector({6}, {1, 0, 1, 0, 2, 0.5F});
+  expect_gradients_close([&] { return sum(mul_mask(a, mask)); }, {a});
+}
+
+TEST_F(AutogradTest, GradCheckReshape) {
+  Variable a(random_tensor({2, 6}, rng_), true);
+  expect_gradients_close(
+      [&] { return sum(mul(reshape(a, {3, 4}), reshape(a, {3, 4}))); }, {a});
+}
+
+TEST_F(AutogradTest, GradCheckLinear) {
+  Variable x(random_tensor({3, 4}, rng_), true);
+  Variable w(random_tensor({2, 4}, rng_), true);
+  Variable b(random_tensor({2}, rng_), true);
+  expect_gradients_close([&] { return sum(linear(x, w, b)); }, {x, w, b});
+}
+
+TEST_F(AutogradTest, GradCheckLinearNoBias) {
+  Variable x(random_tensor({2, 3}, rng_), true);
+  Variable w(random_tensor({4, 3}, rng_), true);
+  expect_gradients_close([&] { return sum(linear(x, w, Variable())); },
+                         {x, w});
+}
+
+TEST_F(AutogradTest, GradCheckMean) {
+  Variable a(random_tensor({3, 3}, rng_), true);
+  expect_gradients_close([&] { return mean(mul(a, a)); }, {a});
+}
+
+TEST_F(AutogradTest, GradCheckSoftmaxCrossEntropy) {
+  Variable logits(random_tensor({4, 5}, rng_), true);
+  const std::vector<std::int64_t> labels{0, 2, 4, 1};
+  expect_gradients_close(
+      [&] { return softmax_cross_entropy(logits, labels); }, {logits});
+}
+
+TEST_F(AutogradTest, SoftmaxCrossEntropyValueMatchesManual) {
+  Variable logits(T::Tensor::from_vector({1, 3}, {1.0F, 2.0F, 3.0F}), false);
+  Variable loss = softmax_cross_entropy(logits, {2});
+  const float lse = std::log(std::exp(1.0F) + std::exp(2.0F) + std::exp(3.0F));
+  EXPECT_NEAR(loss.value()[0], lse - 3.0F, 1e-5F);
+}
+
+TEST_F(AutogradTest, SoftmaxCrossEntropyRejectsBadLabels) {
+  Variable logits(T::Tensor::ones({2, 3}), false);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 3}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+}
+
+TEST_F(AutogradTest, AccuracyCountsCorrectRows) {
+  T::Tensor logits =
+      T::Tensor::from_vector({3, 2}, {0.9F, 0.1F, 0.2F, 0.8F, 0.6F, 0.4F});
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 1, 0}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 0, 1}), 0.0);
+}
+
+TEST_F(AutogradTest, GradCheckConcatChannels) {
+  Variable a(random_tensor({2, 2, 3, 3}, rng_), true);
+  Variable b(random_tensor({2, 1, 3, 3}, rng_), true);
+  expect_gradients_close(
+      [&] {
+        Variable c = concat_channels({a, b});
+        return sum(mul(c, c));
+      },
+      {a, b});
+}
+
+TEST_F(AutogradTest, ConcatChannelsValueLayout) {
+  Variable a(T::Tensor::full({1, 1, 2, 2}, 1.0F), false);
+  Variable b(T::Tensor::full({1, 2, 2, 2}, 2.0F), false);
+  Variable c = concat_channels({a, b});
+  EXPECT_EQ(c.value().shape(), (T::Shape{1, 3, 2, 2}));
+  EXPECT_FLOAT_EQ(c.value().at({0, 0, 0, 0}), 1.0F);
+  EXPECT_FLOAT_EQ(c.value().at({0, 1, 1, 1}), 2.0F);
+  EXPECT_FLOAT_EQ(c.value().at({0, 2, 0, 1}), 2.0F);
+}
+
+TEST_F(AutogradTest, GradCheckConv2d) {
+  tensor::Conv2dSpec spec{3, 3, 1, 1};
+  Variable x(random_tensor({1, 2, 4, 4}, rng_), true);
+  Variable w(random_tensor({2, 2, 3, 3}, rng_), true);
+  Variable b(random_tensor({2}, rng_), true);
+  expect_gradients_close(
+      [&] {
+        Variable y = conv2d(x, w, b, spec);
+        return sum(mul(y, y));
+      },
+      {x, w, b}, 1e-2F, 8e-2F, 8e-3F);
+}
+
+TEST_F(AutogradTest, GradCheckConv2dStrided) {
+  tensor::Conv2dSpec spec{3, 3, 2, 1};
+  Variable x(random_tensor({1, 1, 5, 5}, rng_), true);
+  Variable w(random_tensor({2, 1, 3, 3}, rng_), true);
+  expect_gradients_close([&] { return sum(conv2d(x, w, Variable(), spec)); },
+                         {x, w});
+}
+
+TEST_F(AutogradTest, GradCheckMaxPool) {
+  // Perturbations must not flip the argmax: use well-separated values.
+  T::Tensor v({1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) v[i] = static_cast<float>(i) * 0.5F;
+  Variable x(v, true);
+  expect_gradients_close(
+      [&] {
+        Variable y = maxpool2d(x, 2, 2);
+        return sum(mul(y, y));
+      },
+      {x});
+}
+
+TEST_F(AutogradTest, GradCheckAvgPoolAndGlobal) {
+  Variable x(random_tensor({1, 2, 4, 4}, rng_), true);
+  expect_gradients_close([&] { return sum(avgpool2d(x, 2, 2)); }, {x});
+  expect_gradients_close(
+      [&] {
+        Variable y = global_avgpool(x);
+        return sum(mul(y, y));
+      },
+      {x});
+}
+
+TEST_F(AutogradTest, GradCheckBatchNormTraining) {
+  Variable x(random_tensor({3, 2, 3, 3}, rng_), true);
+  Variable gamma(T::Tensor::from_vector({2}, {1.2F, 0.8F}), true);
+  Variable beta(T::Tensor::from_vector({2}, {0.1F, -0.2F}), true);
+  expect_gradients_close(
+      [&] {
+        // Fresh running stats each call so repeated evaluation is pure.
+        T::Tensor rm = T::Tensor::zeros({2});
+        T::Tensor rv = T::Tensor::ones({2});
+        Variable y = batch_norm2d(x, gamma, beta, rm, rv, /*training=*/true,
+                                  0.1F, 1e-5F);
+        return sum(mul(y, y));
+      },
+      {x, gamma, beta}, 1e-2F, 8e-2F, 8e-3F);
+}
+
+TEST_F(AutogradTest, GradCheckBatchNormEval) {
+  Variable x(random_tensor({2, 2, 2, 2}, rng_), true);
+  Variable gamma(T::Tensor::ones({2}), true);
+  Variable beta(T::Tensor::zeros({2}), true);
+  T::Tensor rm = T::Tensor::from_vector({2}, {0.2F, -0.1F});
+  T::Tensor rv = T::Tensor::from_vector({2}, {1.5F, 0.7F});
+  expect_gradients_close(
+      [&] {
+        T::Tensor rm_copy = rm.clone();
+        T::Tensor rv_copy = rv.clone();
+        Variable y = batch_norm2d(x, gamma, beta, rm_copy, rv_copy,
+                                  /*training=*/false, 0.1F, 1e-5F);
+        return sum(mul(y, y));
+      },
+      {x, gamma, beta});
+}
+
+TEST_F(AutogradTest, BatchNormTrainingNormalizesBatch) {
+  Variable x(random_tensor({4, 3, 5, 5}, rng_, -3.0F, 3.0F), false);
+  Variable gamma(T::Tensor::ones({3}), false);
+  Variable beta(T::Tensor::zeros({3}), false);
+  T::Tensor rm = T::Tensor::zeros({3});
+  T::Tensor rv = T::Tensor::ones({3});
+  Variable y = batch_norm2d(x, gamma, beta, rm, rv, true, 0.1F, 1e-5F);
+  const T::Tensor mean = T::channel_mean(y.value());
+  const T::Tensor var = T::channel_var(y.value(), mean);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(mean[c], 0.0F, 1e-4F);
+    EXPECT_NEAR(var[c], 1.0F, 1e-2F);
+  }
+}
+
+TEST_F(AutogradTest, BatchNormUpdatesRunningStats) {
+  Variable x(random_tensor({4, 2, 3, 3}, rng_, 1.0F, 3.0F), false);
+  Variable gamma(T::Tensor::ones({2}), false);
+  Variable beta(T::Tensor::zeros({2}), false);
+  T::Tensor rm = T::Tensor::zeros({2});
+  T::Tensor rv = T::Tensor::ones({2});
+  batch_norm2d(x, gamma, beta, rm, rv, true, 0.5F, 1e-5F);
+  // Batch mean is ~2, so running mean moves toward it.
+  EXPECT_GT(rm[0], 0.5F);
+  EXPECT_GT(rm[1], 0.5F);
+}
+
+TEST_F(AutogradTest, DropoutTrainingScalesSurvivors) {
+  Variable x(T::Tensor::ones({10000}), false);
+  rng::Xorshift128 rng(7);
+  Variable y = dropout(x, 0.5F, /*training=*/true, rng);
+  // Inverted dropout: survivors scaled by 2, mean preserved.
+  EXPECT_NEAR(y.value().mean(), 1.0F, 0.05F);
+  int zeros = 0;
+  for (std::int64_t i = 0; i < y.value().numel(); ++i) {
+    const float v = y.value()[i];
+    EXPECT_TRUE(v == 0.0F || std::fabs(v - 2.0F) < 1e-6F);
+    if (v == 0.0F) ++zeros;
+  }
+  EXPECT_NEAR(zeros / 10000.0, 0.5, 0.03);
+}
+
+TEST_F(AutogradTest, DropoutIdentityWhenEvalOrZeroP) {
+  Variable x(T::Tensor::ones({8}), false);
+  rng::Xorshift128 rng(7);
+  Variable y1 = dropout(x, 0.5F, /*training=*/false, rng);
+  Variable y2 = dropout(x, 0.0F, /*training=*/true, rng);
+  EXPECT_EQ(y1.id(), x.id());
+  EXPECT_EQ(y2.id(), x.id());
+}
+
+TEST_F(AutogradTest, ClearGradResetsAccumulation) {
+  Variable x(T::Tensor::ones({2}), true);
+  backward(sum(mul_scalar(x, 3.0F)));
+  EXPECT_FLOAT_EQ(x.grad()[0], 3.0F);
+  x.clear_grad();
+  EXPECT_FALSE(x.has_grad());
+  backward(sum(mul_scalar(x, 3.0F)));
+  EXPECT_FLOAT_EQ(x.grad()[0], 3.0F);  // not 6
+}
+
+TEST_F(AutogradTest, BackwardTwiceAccumulates) {
+  Variable x(T::Tensor::ones({2}), true);
+  backward(sum(mul_scalar(x, 3.0F)));
+  backward(sum(mul_scalar(x, 3.0F)));
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0F);
+}
+
+TEST_F(AutogradTest, DeepChainDoesNotOverflowStack) {
+  // 5000 chained ops — validates the iterative DFS in backward().
+  Variable x(T::Tensor::ones({1}), true);
+  Variable h = x;
+  for (int i = 0; i < 5000; ++i) h = mul_scalar(h, 1.0001F);
+  backward(sum(h));
+  EXPECT_GT(x.grad()[0], 1.0F);
+  EXPECT_LT(x.grad()[0], 2.0F);
+}
+
+}  // namespace
+}  // namespace dropback::autograd

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "data/dataloader.hpp"
+#include "data/synthetic_cifar.hpp"
+#include "data/synthetic_mnist.hpp"
+
+namespace dropback::data {
+namespace {
+
+namespace T = dropback::tensor;
+
+TEST(InMemoryDatasetTest, BasicAccessors) {
+  T::Tensor images({4, 2, 2});
+  for (std::int64_t i = 0; i < 16; ++i) images[i] = static_cast<float>(i);
+  InMemoryDataset ds(images, {0, 1, 0, 1}, 2);
+  EXPECT_EQ(ds.size(), 4);
+  EXPECT_EQ(ds.sample_shape(), (T::Shape{2, 2}));
+  EXPECT_EQ(ds.num_classes(), 2);
+  EXPECT_EQ(ds.label(3), 1);
+  float buf[4];
+  ds.copy_sample(2, buf);
+  EXPECT_FLOAT_EQ(buf[0], 8.0F);
+  EXPECT_FLOAT_EQ(buf[3], 11.0F);
+}
+
+TEST(InMemoryDatasetTest, RejectsMismatchedLabels) {
+  EXPECT_THROW(InMemoryDataset(T::Tensor({4, 2}), {0, 1}, 2),
+               std::invalid_argument);
+}
+
+TEST(InMemoryDatasetTest, GatherBuildsBatch) {
+  T::Tensor images({4, 3});
+  for (std::int64_t i = 0; i < 12; ++i) images[i] = static_cast<float>(i);
+  InMemoryDataset ds(images, {0, 1, 2, 3}, 4);
+  Batch batch = ds.gather({3, 0});
+  EXPECT_EQ(batch.size(), 2);
+  EXPECT_EQ(batch.images.shape(), (T::Shape{2, 3}));
+  EXPECT_FLOAT_EQ(batch.images[0], 9.0F);  // sample 3 first
+  EXPECT_EQ(batch.labels[0], 3);
+  EXPECT_EQ(batch.labels[1], 0);
+  EXPECT_THROW(ds.gather({4}), std::invalid_argument);
+}
+
+TEST(SyntheticMnistTest, ShapesLabelsAndRange) {
+  SyntheticMnistOptions opt;
+  opt.num_samples = 50;
+  auto ds = make_synthetic_mnist(opt);
+  EXPECT_EQ(ds->size(), 50);
+  EXPECT_EQ(ds->sample_shape(), (T::Shape{1, 28, 28}));
+  EXPECT_EQ(ds->num_classes(), 10);
+  for (std::int64_t i = 0; i < ds->size(); ++i) {
+    EXPECT_GE(ds->label(i), 0);
+    EXPECT_LT(ds->label(i), 10);
+  }
+  EXPECT_GE(ds->images().min(), 0.0F);
+  EXPECT_LE(ds->images().max(), 1.0F);
+}
+
+TEST(SyntheticMnistTest, ClassesAreBalanced) {
+  SyntheticMnistOptions opt;
+  opt.num_samples = 100;
+  auto ds = make_synthetic_mnist(opt);
+  std::vector<int> counts(10, 0);
+  for (std::int64_t i = 0; i < 100; ++i) ++counts[ds->label(i)];
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(SyntheticMnistTest, DeterministicPerSeed) {
+  SyntheticMnistOptions opt;
+  opt.num_samples = 10;
+  auto a = make_synthetic_mnist(opt);
+  auto b = make_synthetic_mnist(opt);
+  for (std::int64_t i = 0; i < a->images().numel(); ++i) {
+    ASSERT_EQ(a->images()[i], b->images()[i]);
+  }
+  opt.seed = 999;
+  auto c = make_synthetic_mnist(opt);
+  bool differs = false;
+  for (std::int64_t i = 0; i < a->images().numel() && !differs; ++i) {
+    if (a->images()[i] != c->images()[i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticMnistTest, DigitGlyphsAreDistinct) {
+  // Noise-free renders of different digits must differ substantially; the
+  // classes would otherwise be unlearnable.
+  float d0[784], d1[784], d8[784];
+  render_digit(0, 14, 14, 1.0F, 0.0F, 1.6F, d0);
+  render_digit(1, 14, 14, 1.0F, 0.0F, 1.6F, d1);
+  render_digit(8, 14, 14, 1.0F, 0.0F, 1.6F, d8);
+  auto l2 = [](const float* a, const float* b) {
+    double acc = 0.0;
+    for (int i = 0; i < 784; ++i) acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(acc);
+  };
+  EXPECT_GT(l2(d0, d1), 3.0);
+  EXPECT_GT(l2(d1, d8), 3.0);
+  // 8 contains 0's segments: closer to 0 than 1 is.
+  EXPECT_LT(l2(d0, d8), l2(d1, d8));
+}
+
+TEST(SyntheticMnistTest, RenderRejectsBadDigit) {
+  float buf[784];
+  EXPECT_THROW(render_digit(10, 14, 14, 1, 0, 1.5F, buf),
+               std::invalid_argument);
+  EXPECT_THROW(render_digit(-1, 14, 14, 1, 0, 1.5F, buf),
+               std::invalid_argument);
+}
+
+TEST(SyntheticMnistTest, NearestCentroidBeatsChance) {
+  // Sanity: the task carries class signal. Fit per-class mean images on a
+  // train split and classify a held-out split by nearest centroid.
+  SyntheticMnistOptions opt;
+  opt.num_samples = 600;
+  auto ds = make_synthetic_mnist(opt);
+  std::vector<std::vector<double>> centroid(10,
+                                            std::vector<double>(784, 0.0));
+  std::vector<int> counts(10, 0);
+  for (std::int64_t i = 0; i < 500; ++i) {
+    float buf[784];
+    ds->copy_sample(i, buf);
+    auto& c = centroid[ds->label(i)];
+    for (int p = 0; p < 784; ++p) c[p] += buf[p];
+    ++counts[ds->label(i)];
+  }
+  for (int k = 0; k < 10; ++k) {
+    for (int p = 0; p < 784; ++p) centroid[k][p] /= counts[k];
+  }
+  int hits = 0;
+  for (std::int64_t i = 500; i < 600; ++i) {
+    float buf[784];
+    ds->copy_sample(i, buf);
+    int best = -1;
+    double best_d = 1e18;
+    for (int k = 0; k < 10; ++k) {
+      double d = 0.0;
+      for (int p = 0; p < 784; ++p) {
+        d += (buf[p] - centroid[k][p]) * (buf[p] - centroid[k][p]);
+      }
+      if (d < best_d) {
+        best_d = d;
+        best = k;
+      }
+    }
+    if (best == ds->label(i)) ++hits;
+  }
+  EXPECT_GT(hits, 45);  // chance would be ~10
+}
+
+TEST(SyntheticCifarTest, ShapesLabelsAndRange) {
+  SyntheticCifarOptions opt;
+  opt.num_samples = 40;
+  auto ds = make_synthetic_cifar(opt);
+  EXPECT_EQ(ds->size(), 40);
+  EXPECT_EQ(ds->sample_shape(), (T::Shape{3, 32, 32}));
+  EXPECT_EQ(ds->num_classes(), 10);
+  EXPECT_GE(ds->images().min(), 0.0F);
+  EXPECT_LE(ds->images().max(), 1.0F);
+}
+
+TEST(SyntheticCifarTest, ClassesCarrySignal) {
+  SyntheticCifarOptions opt;
+  opt.num_samples = 400;
+  auto ds = make_synthetic_cifar(opt);
+  // Mean color per class differs strongly across at least some pairs.
+  const std::int64_t spp = 3 * 32 * 32;
+  std::vector<std::vector<double>> mean_rgb(10, std::vector<double>(3, 0.0));
+  std::vector<int> counts(10, 0);
+  std::vector<float> buf(static_cast<std::size_t>(spp));
+  for (std::int64_t i = 0; i < ds->size(); ++i) {
+    ds->copy_sample(i, buf.data());
+    const int cls = static_cast<int>(ds->label(i));
+    for (int ch = 0; ch < 3; ++ch) {
+      double acc = 0.0;
+      for (int p = 0; p < 1024; ++p) acc += buf[ch * 1024 + p];
+      mean_rgb[cls][ch] += acc / 1024.0;
+    }
+    ++counts[cls];
+  }
+  for (int k = 0; k < 10; ++k) {
+    for (int ch = 0; ch < 3; ++ch) mean_rgb[k][ch] /= counts[k];
+  }
+  // Class 0 (red palette) vs class 2 (blue palette).
+  EXPECT_GT(mean_rgb[0][0], mean_rgb[2][0]);
+  EXPECT_GT(mean_rgb[2][2], mean_rgb[0][2]);
+}
+
+TEST(SyntheticCifarTest, DeterministicPerSeed) {
+  SyntheticCifarOptions opt;
+  opt.num_samples = 10;
+  auto a = make_synthetic_cifar(opt);
+  auto b = make_synthetic_cifar(opt);
+  for (std::int64_t i = 0; i < a->images().numel(); ++i) {
+    ASSERT_EQ(a->images()[i], b->images()[i]);
+  }
+}
+
+TEST(DataLoaderTest, CoversEveryIndexOncePerEpoch) {
+  SyntheticMnistOptions opt;
+  opt.num_samples = 23;  // deliberately not divisible by batch size
+  auto ds = make_synthetic_mnist(opt);
+  DataLoader loader(*ds, 5, /*shuffle=*/true, 7);
+  EXPECT_EQ(loader.num_batches(), 5);
+  Batch batch;
+  std::multiset<std::int64_t> seen_labels;
+  std::int64_t total = 0;
+  while (loader.next(batch)) total += batch.size();
+  EXPECT_EQ(total, 23);
+}
+
+TEST(DataLoaderTest, ShuffleChangesOrderDeterministically) {
+  SyntheticMnistOptions opt;
+  opt.num_samples = 30;
+  auto ds = make_synthetic_mnist(opt);
+  DataLoader a(*ds, 30, true, 7);
+  DataLoader b(*ds, 30, true, 7);
+  DataLoader c(*ds, 30, false, 7);
+  Batch ba, bb, bc;
+  a.next(ba);
+  b.next(bb);
+  c.next(bc);
+  EXPECT_EQ(ba.labels, bb.labels);  // same seed, same order
+  EXPECT_NE(ba.labels, bc.labels);  // shuffled differs from sequential
+  // Sequential order is 0,1,2,...: labels cycle mod 10.
+  for (std::int64_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(bc.labels[static_cast<std::size_t>(i)], i % 10);
+  }
+}
+
+TEST(DataLoaderTest, StartEpochReshuffles) {
+  SyntheticMnistOptions opt;
+  opt.num_samples = 50;
+  auto ds = make_synthetic_mnist(opt);
+  DataLoader loader(*ds, 50, true, 3);
+  Batch first, second;
+  loader.next(first);
+  loader.start_epoch();
+  loader.next(second);
+  EXPECT_NE(first.labels, second.labels);
+}
+
+TEST(DataLoaderTest, RejectsBadBatchSize) {
+  SyntheticMnistOptions opt;
+  opt.num_samples = 5;
+  auto ds = make_synthetic_mnist(opt);
+  EXPECT_THROW(DataLoader(*ds, 0, false), std::invalid_argument);
+}
+
+/// Batch size sweep: total samples delivered is invariant.
+class LoaderSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(LoaderSweep, DeliversWholeDataset) {
+  SyntheticCifarOptions opt;
+  opt.num_samples = 37;
+  auto ds = make_synthetic_cifar(opt);
+  DataLoader loader(*ds, GetParam(), true, 5);
+  Batch batch;
+  std::int64_t total = 0;
+  while (loader.next(batch)) {
+    EXPECT_LE(batch.size(), GetParam());
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 37);
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, LoaderSweep,
+                         ::testing::Values(1, 2, 7, 16, 37, 64));
+
+}  // namespace
+}  // namespace dropback::data

@@ -1,0 +1,252 @@
+// Deeper DropBack invariants: determinism of whole training trajectories,
+// consistency between the live optimizer state and the exported store, and
+// the exact semantics of the update rule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.hpp"
+#include "core/dropback_optimizer.hpp"
+#include "core/sparse_weight_store.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "nn/models/lenet.hpp"
+#include "nn/sequential.hpp"
+#include "nn/linear.hpp"
+#include "rng/xorshift.hpp"
+#include "train/trainer.hpp"
+
+namespace dropback {
+namespace {
+
+namespace T = dropback::tensor;
+namespace ag = dropback::autograd;
+
+std::unique_ptr<nn::Sequential> tiny_net(std::uint64_t seed = 1) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Linear>(4, 6, seed);
+  net->emplace<nn::Linear>(6, 3, seed + 1);
+  return net;
+}
+
+void make_gradients(nn::Module& net, std::uint64_t seed) {
+  rng::Xorshift128 rng(seed);
+  T::Tensor x({2, 4});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(-1, 1);
+  ag::Variable input(x);
+  ag::backward(ag::sum(ag::mul(net.forward(input), net.forward(input))));
+}
+
+TEST(DropBackInvariants, WholeTrajectoryIsDeterministic) {
+  // Two runs with identical seeds produce bit-identical weights, masks, and
+  // exported stores — the property an accelerator depends on, since the
+  // regenerated weights must agree between training and deployment.
+  auto run = [] {
+    auto net = tiny_net(5);
+    auto params = net->collect_parameters();
+    core::DropBackConfig config;
+    config.budget = 12;
+    config.freeze_after_steps = 4;
+    auto opt = std::make_unique<core::DropBackOptimizer>(params, 0.2F,
+                                                         config);
+    for (int iter = 0; iter < 8; ++iter) {
+      net->zero_grad();
+      make_gradients(*net, 70 + iter);
+      opt->step();
+    }
+    return core::SparseWeightStore::from_optimizer(*opt);
+  };
+  EXPECT_TRUE(run() == run());
+}
+
+TEST(DropBackInvariants, TrackedWeightsEqualCandidateUpdates) {
+  // After a step, each tracked weight equals exactly w_prev - lr * g — the
+  // masked update rule applied verbatim.
+  auto net = tiny_net();
+  auto params = net->collect_parameters();
+  core::DropBackConfig config;
+  config.budget = 10;
+  core::DropBackOptimizer opt(params, 0.3F, config);
+  // Snapshot pre-step weights and gradients.
+  make_gradients(*net, 5);
+  std::vector<std::vector<float>> w_before, g;
+  for (auto* p : params) {
+    const float* w = p->var.value().data();
+    const float* grad = p->var.grad().data();
+    w_before.emplace_back(w, w + p->numel());
+    g.emplace_back(grad, grad + p->numel());
+  }
+  opt.step();
+  const auto& index = opt.param_index();
+  for (std::size_t p = 0; p < index.num_params(); ++p) {
+    nn::Parameter& param = index.param(p);
+    const std::uint8_t* mask = opt.tracked().mask_of(p);
+    for (std::int64_t i = 0; i < param.numel(); ++i) {
+      if (mask[static_cast<std::size_t>(i)]) {
+        EXPECT_FLOAT_EQ(
+            param.var.value()[i],
+            w_before[p][static_cast<std::size_t>(i)] -
+                0.3F * g[p][static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+}
+
+TEST(DropBackInvariants, SelectionPicksMaximalScoreSet) {
+  // The tracked set after a step must have no untracked weight whose score
+  // strictly exceeds a tracked weight's score (the defining top-k property).
+  auto net = tiny_net();
+  auto params = net->collect_parameters();
+  core::DropBackConfig config;
+  config.budget = 15;
+  core::DropBackOptimizer opt(params, 0.1F, config);
+  for (int iter = 0; iter < 3; ++iter) {
+    net->zero_grad();
+    make_gradients(*net, 80 + iter);
+    opt.step();
+  }
+  // Recompute post-hoc scores = |w - w0| (weights already updated, lr=0).
+  const auto& index = opt.param_index();
+  std::vector<float> scores;
+  core::compute_scores(index, 0.0F, scores);
+  float min_tracked = 1e30F;
+  float max_untracked = -1.0F;
+  for (std::int64_t gidx = 0; gidx < index.total(); ++gidx) {
+    if (opt.tracked().is_tracked(gidx)) {
+      min_tracked =
+          std::min(min_tracked, scores[static_cast<std::size_t>(gidx)]);
+    } else {
+      max_untracked =
+          std::max(max_untracked, scores[static_cast<std::size_t>(gidx)]);
+    }
+  }
+  EXPECT_GE(min_tracked, max_untracked);
+}
+
+TEST(DropBackInvariants, StoreMatchesLiveMasksExactly) {
+  auto net = tiny_net();
+  auto params = net->collect_parameters();
+  core::DropBackConfig config;
+  config.budget = 9;
+  core::DropBackOptimizer opt(params, 0.1F, config);
+  for (int iter = 0; iter < 3; ++iter) {
+    net->zero_grad();
+    make_gradients(*net, 90 + iter);
+    opt.step();
+  }
+  auto store = core::SparseWeightStore::from_optimizer(opt);
+  const auto& index = opt.param_index();
+  for (std::size_t p = 0; p < index.num_params(); ++p) {
+    const auto& rec = store.record(p);
+    const std::uint8_t* mask = opt.tracked().mask_of(p);
+    std::size_t e = 0;
+    for (std::int64_t i = 0; i < index.param(p).numel(); ++i) {
+      const bool tracked = mask[static_cast<std::size_t>(i)] != 0;
+      const bool stored =
+          e < rec.entries.size() &&
+          static_cast<std::int64_t>(rec.entries[e].first) == i;
+      EXPECT_EQ(tracked, stored) << rec.name << "[" << i << "]";
+      if (stored) ++e;
+    }
+  }
+}
+
+TEST(DropBackInvariants, FrozenTrainingSkipsUntrackedScoring) {
+  // Once frozen, untracked weights stay at init even if their gradients
+  // become huge — "U = {}" in Algorithm 1.
+  auto net = tiny_net();
+  auto params = net->collect_parameters();
+  core::DropBackConfig config;
+  config.budget = 8;
+  config.freeze_after_steps = 1;
+  core::DropBackOptimizer opt(params, 0.1F, config);
+  net->zero_grad();
+  make_gradients(*net, 7);
+  opt.step();
+  ASSERT_TRUE(opt.frozen());
+  // Forge enormous gradients for everything.
+  for (auto* p : params) {
+    p->var.grad().fill_(1000.0F);
+  }
+  opt.step();
+  const auto& index = opt.param_index();
+  for (std::size_t p = 0; p < index.num_params(); ++p) {
+    nn::Parameter& param = index.param(p);
+    const std::uint8_t* mask = opt.tracked().mask_of(p);
+    for (std::int64_t i = 0; i < param.numel(); ++i) {
+      if (!mask[static_cast<std::size_t>(i)]) {
+        EXPECT_EQ(param.var.value()[i],
+                  param.init.value_at(static_cast<std::uint64_t>(i)));
+      }
+    }
+  }
+}
+
+TEST(DropBackInvariants, TrainingWithRealDataIsDeterministic) {
+  // End-to-end: two identical mini-trainings on synthetic data produce the
+  // same validation accuracy and the same store.
+  auto run = [] {
+    data::SyntheticMnistOptions data_opt;
+    data_opt.num_samples = 100;
+    auto train_set = data::make_synthetic_mnist(data_opt);
+    data_opt.seed = 2;
+    auto val_set = data::make_synthetic_mnist(data_opt);
+    auto model = nn::models::make_mnist_100_100(7);
+    core::DropBackConfig config;
+    config.budget = 4000;
+    auto opt = std::make_unique<core::DropBackOptimizer>(
+        model->collect_parameters(), 0.1F, config);
+    train::TrainOptions options;
+    options.epochs = 2;
+    options.batch_size = 25;
+    train::Trainer trainer(*model, *opt, *train_set, *val_set, options);
+    const auto result = trainer.run();
+    return std::make_pair(result.best_val_acc,
+                          core::SparseWeightStore::from_optimizer(*opt));
+  };
+  const auto [acc_a, store_a] = run();
+  const auto [acc_b, store_b] = run();
+  EXPECT_DOUBLE_EQ(acc_a, acc_b);
+  EXPECT_TRUE(store_a == store_b);
+}
+
+TEST(DropBackInvariants, BudgetOneStillRuns) {
+  // Degenerate extreme: a single tracked weight.
+  auto net = tiny_net();
+  core::DropBackConfig config;
+  config.budget = 1;
+  core::DropBackOptimizer opt(net->collect_parameters(), 0.1F, config);
+  net->zero_grad();
+  make_gradients(*net, 3);
+  opt.step();
+  EXPECT_EQ(opt.live_weights(), 1);
+  EXPECT_NEAR(opt.compression_ratio(), 51.0, 1e-9);
+}
+
+TEST(DropBackInvariants, GradFreeStepLeavesTrackedUnchanged) {
+  // step() without gradients must not move tracked weights (and untracked
+  // stay regenerated).
+  auto net = tiny_net();
+  auto params = net->collect_parameters();
+  core::DropBackConfig config;
+  config.budget = 10;
+  core::DropBackOptimizer opt(params, 0.1F, config);
+  net->zero_grad();
+  make_gradients(*net, 3);
+  opt.step();
+  std::vector<std::vector<float>> before;
+  for (auto* p : params) {
+    const float* w = p->var.value().data();
+    before.emplace_back(w, w + p->numel());
+  }
+  net->zero_grad();  // no gradients at all
+  opt.step();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (std::int64_t i = 0; i < params[p]->numel(); ++i) {
+      EXPECT_EQ(params[p]->var.value()[i],
+                before[p][static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dropback

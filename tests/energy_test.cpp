@@ -1,0 +1,87 @@
+#include "energy/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dropback::energy {
+namespace {
+
+TEST(EnergyConstants, PaperHeadlineRatios) {
+  EnergyConstants c;
+  // "accessing a 32-bit value from DRAM costs over 700x more energy than a
+  // 32-bit floating-point compute operation (640pJ vs. 0.9pJ)".
+  EXPECT_DOUBLE_EQ(c.dram_access_pj, 640.0);
+  EXPECT_DOUBLE_EQ(c.float_op_pj, 0.9);
+  EXPECT_GT(c.dram_vs_flop(), 700.0);
+  EXPECT_LT(c.dram_vs_flop(), 720.0);
+  // Regeneration ~1.5 pJ -> "427x less energy than a single off-chip
+  // memory access".
+  EXPECT_NEAR(c.regen_pj(), 1.5, 0.01);
+  EXPECT_NEAR(c.dram_vs_regen(), 427.0, 2.0);
+}
+
+TEST(TrafficCounter, TotalEnergyArithmetic) {
+  TrafficCounter t;
+  t.dram_reads = 10;
+  t.dram_writes = 5;
+  t.regens = 100;
+  t.float_ops = 1000;
+  EnergyConstants c;
+  const double expected =
+      15 * 640.0 + 100 * c.regen_pj() + 1000 * 0.9;
+  EXPECT_DOUBLE_EQ(t.total_pj(c), expected);
+}
+
+TEST(TrafficCounter, DenseEquivalentChargesRegensAsDram) {
+  TrafficCounter t;
+  t.dram_reads = 10;
+  t.regens = 90;
+  EnergyConstants c;
+  EXPECT_DOUBLE_EQ(t.dense_equivalent_pj(c), 100 * 640.0);
+  EXPECT_LT(t.total_pj(c), t.dense_equivalent_pj(c));
+}
+
+TEST(TrafficCounter, SavingsGrowWithRegenShare) {
+  EnergyConstants c;
+  TrafficCounter low, high;
+  low.dram_reads = 90;
+  low.regens = 10;
+  high.dram_reads = 10;
+  high.regens = 90;
+  const double low_saving = low.dense_equivalent_pj(c) / low.total_pj(c);
+  const double high_saving = high.dense_equivalent_pj(c) / high.total_pj(c);
+  EXPECT_GT(high_saving, low_saving);
+  EXPECT_GT(high_saving, 5.0);
+}
+
+TEST(TrafficCounter, ResetAndAccumulate) {
+  TrafficCounter a, b;
+  a.dram_reads = 3;
+  a.regens = 7;
+  b.dram_reads = 2;
+  b.dram_writes = 4;
+  a += b;
+  EXPECT_EQ(a.dram_reads, 5U);
+  EXPECT_EQ(a.dram_writes, 4U);
+  EXPECT_EQ(a.regens, 7U);
+  a.reset();
+  EXPECT_EQ(a.dram_reads, 0U);
+  EXPECT_DOUBLE_EQ(a.total_pj(), 0.0);
+}
+
+TEST(TrafficCounter, ReportMentionsKeyNumbers) {
+  TrafficCounter t;
+  t.dram_reads = 1;
+  t.regens = 1;
+  const std::string report = t.report();
+  EXPECT_NE(report.find("DRAM"), std::string::npos);
+  EXPECT_NE(report.find("regen"), std::string::npos);
+  EXPECT_NE(report.find("427"), std::string::npos);
+}
+
+TEST(TrafficCounter, ZeroTrafficReportSafe) {
+  TrafficCounter t;
+  EXPECT_NO_FATAL_FAILURE({ const auto s = t.report(); (void)s; });
+}
+
+}  // namespace
+}  // namespace dropback::energy

@@ -1,0 +1,98 @@
+#include "train/eval_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_mnist.hpp"
+#include "nn/models/lenet.hpp"
+#include "optim/sgd.hpp"
+#include "train/trainer.hpp"
+
+namespace dropback::train {
+namespace {
+
+namespace T = dropback::tensor;
+
+TEST(TopkAccuracy, KnownCases) {
+  // logits rows: [3, 2, 1], [1, 3, 2], [1, 2, 3]
+  T::Tensor logits =
+      T::Tensor::from_vector({3, 3}, {3, 2, 1, 1, 3, 2, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(topk_accuracy(logits, {0, 1, 2}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(topk_accuracy(logits, {1, 2, 0}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(topk_accuracy(logits, {1, 2, 0}, 2), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(topk_accuracy(logits, {2, 0, 1}, 3), 1.0);
+}
+
+TEST(TopkAccuracy, KOneEqualsAccuracy) {
+  T::Tensor logits =
+      T::Tensor::from_vector({2, 4}, {0.1F, 0.9F, 0, 0, 5, 1, 2, 3});
+  const std::vector<std::int64_t> labels{1, 0};
+  EXPECT_DOUBLE_EQ(topk_accuracy(logits, labels, 1), 1.0);
+}
+
+TEST(TopkAccuracy, RejectsBadArgs) {
+  T::Tensor logits({2, 3});
+  EXPECT_THROW(topk_accuracy(logits, {0}, 1), std::invalid_argument);
+  EXPECT_THROW(topk_accuracy(logits, {0, 1}, 0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  ConfusionMatrix matrix(3);
+  T::Tensor logits = T::Tensor::from_vector(
+      {4, 3}, {9, 0, 0,   // pred 0
+               0, 9, 0,   // pred 1
+               0, 9, 0,   // pred 1
+               0, 0, 9}); // pred 2
+  matrix.update(logits, {0, 1, 2, 2});
+  EXPECT_EQ(matrix.total(), 4);
+  EXPECT_EQ(matrix.count(0, 0), 1);
+  EXPECT_EQ(matrix.count(1, 1), 1);
+  EXPECT_EQ(matrix.count(2, 1), 1);  // one class-2 misread as 1
+  EXPECT_EQ(matrix.count(2, 2), 1);
+  EXPECT_DOUBLE_EQ(matrix.accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(matrix.per_class_accuracy(0), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.per_class_accuracy(2), 0.5);
+  EXPECT_EQ(matrix.worst_class(), 2);
+}
+
+TEST(ConfusionMatrixTest, RejectsOutOfRange) {
+  ConfusionMatrix matrix(2);
+  T::Tensor logits = T::Tensor::from_vector({1, 2}, {1, 0});
+  EXPECT_THROW(matrix.update(logits, {5}), std::invalid_argument);
+}
+
+TEST(ConfusionMatrixTest, RenderContainsPerClassColumn) {
+  ConfusionMatrix matrix(2);
+  T::Tensor logits = T::Tensor::from_vector({2, 2}, {1, 0, 0, 1});
+  matrix.update(logits, {0, 1});
+  const std::string rendered = matrix.render();
+  EXPECT_NE(rendered.find("class acc"), std::string::npos);
+  EXPECT_NE(rendered.find("100.0%"), std::string::npos);
+}
+
+TEST(EvaluateConfusion, AgreesWithTrainerAccuracy) {
+  data::SyntheticMnistOptions opt;
+  opt.num_samples = 300;
+  auto train_set = data::make_synthetic_mnist(opt);
+  opt.num_samples = 120;
+  opt.seed = 2;
+  auto val_set = data::make_synthetic_mnist(opt);
+  auto model = nn::models::make_mnist_100_100(3);
+  optim::SGD sgd(model->collect_parameters(), 0.1F);
+  TrainOptions options;
+  options.epochs = 5;
+  Trainer trainer(*model, sgd, *train_set, *val_set, options);
+  trainer.run();
+  const auto matrix = evaluate_confusion(*model, *val_set, 32);
+  EXPECT_EQ(matrix.total(), 120);
+  EXPECT_NEAR(matrix.accuracy(), Trainer::evaluate(*model, *val_set, 32),
+              1e-9);
+  // Row sums equal class frequencies (12 each: balanced generator).
+  for (std::int64_t c = 0; c < 10; ++c) {
+    std::int64_t row = 0;
+    for (std::int64_t p = 0; p < 10; ++p) row += matrix.count(c, p);
+    EXPECT_EQ(row, 12);
+  }
+}
+
+}  // namespace
+}  // namespace dropback::train

@@ -1,0 +1,91 @@
+// Golden-value regression tests for the regeneration functions.
+//
+// The indexed xorshift draws are not merely a convenience RNG: they ARE the
+// persistence format. Every SparseWeightStore on disk encodes its untracked
+// weights as "whatever indexed_normal_fast(seed, i) returns", so any change
+// to these functions silently corrupts every stored model and breaks
+// training/deployment agreement. These tests pin the exact current outputs;
+// if one fails, either revert the RNG change or version the store format.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/init_spec.hpp"
+#include "rng/xorshift.hpp"
+
+namespace dropback::rng {
+namespace {
+
+TEST(GoldenRng, IndexedU32PinnedValues) {
+  // Values captured from the initial release; format-stability contract.
+  EXPECT_EQ(indexed_u32(0, 0), 2222478705U);
+  EXPECT_EQ(indexed_u32(1, 0), 3549863259U);
+  EXPECT_EQ(indexed_u32(1, 1), 3131716144U);
+  EXPECT_EQ(indexed_u32(42, 1337), 3622382452U);
+  EXPECT_EQ(indexed_u32(0xDEADBEEF, 0xCAFE), 102503971U);
+}
+
+TEST(GoldenRng, IndexedNormalPinnedValues) {
+  EXPECT_FLOAT_EQ(indexed_normal_fast(0, 0), -0.405952543F);
+  EXPECT_FLOAT_EQ(indexed_normal_fast(1, 0), 0.66982168F);
+  EXPECT_FLOAT_EQ(indexed_normal_fast(42, 1337), 0.656289935F);
+}
+
+TEST(GoldenRng, InitSpecPinnedValues) {
+  // LeCun init of a 784-fan-in layer with seed 7 — the exact values every
+  // MNIST model in this repo regenerates for its untracked weights.
+  const InitSpec spec = InitSpec::lecun(784, 7);
+  EXPECT_FLOAT_EQ(spec.value_at(0), 0.000483276846F);
+  EXPECT_FLOAT_EQ(spec.value_at(1), -0.059926331F);
+  EXPECT_FLOAT_EQ(spec.value_at(99999), -0.0744246393F);
+}
+
+TEST(GoldenRng, StreamGeneratorPinnedValues) {
+  // The sequential stream seeds data generation; pin it too so synthetic
+  // datasets stay reproducible across releases.
+  Xorshift128 rng(42);
+  EXPECT_EQ(rng.next_u32(), 3464667790U);
+  EXPECT_EQ(rng.next_u32(), 3401645946U);
+  EXPECT_EQ(rng.next_u32(), 1583839749U);
+}
+
+TEST(GoldenRng, IndexedDrawsAreStableAcrossCalls) {
+  // Stronger than determinism: snapshot a block of draws, recompute them in
+  // a different order and via fill(), and compare elementwise.
+  const InitSpec spec = InitSpec::scaled_normal(1.0F, 0xFEEDULL);
+  std::vector<float> direct(4096);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    direct[i] = spec.value_at(i);
+  }
+  std::vector<float> filled(4096);
+  spec.fill(filled.data(), filled.size());
+  EXPECT_EQ(direct, filled);
+  // Reversed-order recomputation.
+  for (std::size_t i = direct.size(); i-- > 0;) {
+    ASSERT_EQ(spec.value_at(i), direct[i]);
+  }
+}
+
+TEST(GoldenRng, LargeIndicesDoNotCollide) {
+  // Indices beyond 2^32 (future big models) must keep producing distinct,
+  // well-mixed values — the mixing is 64-bit.
+  const std::uint64_t base = 1ULL << 40;
+  std::uint32_t prev = indexed_u32(7, base);
+  int same = 0;
+  for (std::uint64_t i = 1; i < 1000; ++i) {
+    const std::uint32_t v = indexed_u32(7, base + i);
+    if (v == prev) ++same;
+    prev = v;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(GoldenRng, SeedZeroAndIndexZeroWellDefined) {
+  // The all-zero corner must not degenerate (xorshift of 0 stays 0 without
+  // the splitmix pre-mix).
+  EXPECT_NE(indexed_u32(0, 0), 0U);
+  EXPECT_NE(indexed_normal_fast(0, 0), indexed_normal_fast(0, 1));
+}
+
+}  // namespace
+}  // namespace dropback::rng

@@ -1,0 +1,70 @@
+// Shared numerical gradient checking for autograd tests.
+//
+// Checks reverse-mode gradients against central finite differences for every
+// coordinate of every input, which is the ground truth every layer test in
+// this suite leans on.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <functional>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "autograd/variable.hpp"
+#include "rng/xorshift.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dropback::testing {
+
+/// Fills a tensor with small random values (range keeps finite differences
+/// well-conditioned in float32).
+inline tensor::Tensor random_tensor(tensor::Shape shape, rng::Xorshift128& rng,
+                                    float lo = -1.0F, float hi = 1.0F) {
+  tensor::Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = rng.uniform(lo, hi);
+  return t;
+}
+
+/// Verifies d(scalar f(inputs))/d(inputs) against central differences.
+/// `f` must rebuild its graph from the *current values* of `inputs` on every
+/// call (values are perturbed in place between calls).
+inline void expect_gradients_close(
+    const std::function<autograd::Variable()>& f,
+    std::vector<autograd::Variable> inputs, float eps = 1e-2F,
+    float rtol = 5e-2F, float atol = 5e-3F) {
+  // Analytic gradients.
+  for (auto& in : inputs) in.clear_grad();
+  autograd::Variable out = f();
+  ASSERT_EQ(out.numel(), 1) << "gradcheck target must be scalar";
+  autograd::backward(out);
+  std::vector<tensor::Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (auto& in : inputs) {
+    ASSERT_TRUE(in.has_grad()) << "input received no gradient";
+    analytic.push_back(in.grad().clone());
+  }
+  // Numerical gradients, coordinate by coordinate.
+  for (std::size_t v = 0; v < inputs.size(); ++v) {
+    tensor::Tensor& value = inputs[v].value();
+    for (std::int64_t i = 0; i < value.numel(); ++i) {
+      const float saved = value[i];
+      value[i] = saved + eps;
+      const float up = f().value()[0];
+      value[i] = saved - eps;
+      const float down = f().value()[0];
+      value[i] = saved;
+      const float numeric = (up - down) / (2.0F * eps);
+      const float exact = analytic[v][i];
+      const float tol = atol + rtol * std::max(std::fabs(numeric),
+                                               std::fabs(exact));
+      EXPECT_NEAR(exact, numeric, tol)
+          << "input " << v << " coordinate " << i;
+    }
+  }
+}
+
+}  // namespace dropback::testing

@@ -1,0 +1,186 @@
+#include "inference/regen_forward.hpp"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/models/lenet.hpp"
+#include "rng/xorshift.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "train/trainer.hpp"
+
+namespace dropback::inference {
+namespace {
+
+namespace T = dropback::tensor;
+namespace ag = dropback::autograd;
+
+T::Tensor random_tensor(T::Shape shape, std::uint64_t seed) {
+  rng::Xorshift128 rng(seed);
+  T::Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform(-1, 1);
+  return t;
+}
+
+/// Trains a small MLP briefly with DropBack and returns its store.
+core::SparseWeightStore small_trained_store(std::int64_t budget) {
+  auto model = nn::models::Mlp(12, {8}, 4, /*seed=*/5);
+  auto params = model.collect_parameters();
+  core::DropBackConfig config;
+  config.budget = budget;
+  core::DropBackOptimizer opt(params, 0.1F, config);
+  for (int iter = 0; iter < 6; ++iter) {
+    model.zero_grad();
+    ag::Variable x(random_tensor({4, 12}, 100 + iter));
+    ag::backward(ag::sum(ag::mul(model.forward(x), model.forward(x))));
+    opt.step();
+  }
+  return core::SparseWeightStore::from_optimizer(opt);
+}
+
+TEST(RegenLinear, MatchesDenseMaterializedForward) {
+  auto store = small_trained_store(30);
+  RegenLinear layer(&store.record(0), &store.record(1));
+  const T::Tensor x = random_tensor({5, 12}, 9);
+  const T::Tensor streamed = layer.forward(x);
+  // Dense reference: materialize + matmul_nt + bias.
+  const T::Tensor w = store.materialize(0);
+  const T::Tensor b = store.materialize(1);
+  const T::Tensor dense =
+      T::add_row_vector(T::matmul_nt(x, w.reshape({8, 12})), b);
+  ASSERT_EQ(streamed.shape(), dense.shape());
+  for (std::int64_t i = 0; i < dense.numel(); ++i) {
+    EXPECT_NEAR(streamed[i], dense[i], 1e-5F) << i;
+  }
+}
+
+TEST(RegenLinear, TrafficSplitsTrackedVsRegenerated) {
+  auto store = small_trained_store(30);
+  RegenLinear layer(&store.record(0), &store.record(1));
+  energy::TrafficCounter traffic;
+  layer.forward(random_tensor({1, 12}, 3), &traffic);
+  const auto w_entries = store.record(0).entries.size();
+  const auto b_entries = store.record(1).entries.size();
+  EXPECT_EQ(traffic.dram_reads, w_entries + b_entries);
+  EXPECT_EQ(traffic.dram_reads + traffic.regens,
+            static_cast<std::uint64_t>(12 * 8 + 8));
+  EXPECT_GT(traffic.float_ops, 0U);
+}
+
+TEST(RegenLinear, LiveFloatsIsEntryCount) {
+  auto store = small_trained_store(20);
+  RegenLinear layer(&store.record(0), &store.record(1));
+  EXPECT_EQ(layer.live_floats(),
+            static_cast<std::int64_t>(store.record(0).entries.size() +
+                                      store.record(1).entries.size()));
+}
+
+TEST(RegenLinear, RejectsWrongInputWidth) {
+  auto store = small_trained_store(20);
+  RegenLinear layer(&store.record(0), &store.record(1));
+  EXPECT_THROW(layer.forward(T::Tensor({2, 5})), std::invalid_argument);
+}
+
+TEST(RegenMlp, EndToEndMatchesMaterializedModel) {
+  // Train MNIST-100-100 briefly, then compare the streaming engine against
+  // the dense model on a batch of real inputs.
+  auto model = nn::models::make_mnist_100_100(7);
+  auto params = model->collect_parameters();
+  core::DropBackConfig config;
+  config.budget = 5000;
+  core::DropBackOptimizer opt(params, 0.1F, config);
+  for (int iter = 0; iter < 4; ++iter) {
+    model->zero_grad();
+    ag::Variable x(random_tensor({8, 784}, 200 + iter));
+    std::vector<std::int64_t> labels(8);
+    for (int i = 0; i < 8; ++i) labels[static_cast<std::size_t>(i)] = i % 10;
+    ag::Variable loss =
+        ag::softmax_cross_entropy(model->forward(x), labels);
+    ag::backward(loss);
+    opt.step();
+  }
+  auto store = core::SparseWeightStore::from_optimizer(opt);
+  RegenMlp engine(store);
+  EXPECT_EQ(engine.num_layers(), 3U);
+  EXPECT_EQ(engine.dense_floats(), 89610);
+  EXPECT_EQ(engine.live_floats(), 5000);
+
+  const T::Tensor x = random_tensor({4, 784}, 77);
+  const T::Tensor streamed = engine.forward(x);
+  autograd::NoGradGuard no_grad;
+  model->set_training(false);
+  const T::Tensor dense = model->forward(ag::Variable(x)).value();
+  ASSERT_EQ(streamed.shape(), dense.shape());
+  for (std::int64_t i = 0; i < dense.numel(); ++i) {
+    EXPECT_NEAR(streamed[i], dense[i], 1e-3F) << i;
+  }
+}
+
+TEST(RegenMlp, RejectsOddRecordCounts) {
+  core::SparseWeightStore empty;
+  EXPECT_NO_THROW(RegenMlp engine(empty));  // zero layers is degenerate but valid shape-wise
+}
+
+TEST(RegenConv2d, MatchesDenseConvolution) {
+  // Build a conv layer, capture it through from_params, and compare the
+  // streaming conv against the tensor-kernel conv.
+  nn::Conv2d conv(2, 3, 3, 1, 1, /*seed=*/11);
+  // Perturb some weights so the store has nontrivial entries.
+  conv.weight().var.value()[5] += 0.7F;
+  conv.weight().var.value()[20] -= 0.4F;
+  conv.bias()->var.value()[1] = 0.25F;
+  auto store = core::SparseWeightStore::from_params(
+      {&conv.weight(), conv.bias()});
+  RegenConv2d streaming(&store.record(0), &store.record(1), conv.spec());
+  const T::Tensor x = random_tensor({2, 2, 6, 6}, 13);
+  const T::Tensor streamed = streaming.forward(x);
+  const T::Tensor dense = T::conv2d(x, store.materialize(0),
+                                    store.materialize(1), conv.spec());
+  ASSERT_EQ(streamed.shape(), dense.shape());
+  for (std::int64_t i = 0; i < dense.numel(); ++i) {
+    EXPECT_NEAR(streamed[i], dense[i], 1e-4F) << i;
+  }
+}
+
+TEST(RegenConv2d, TrafficCoversEveryWeightOnce) {
+  nn::Conv2d conv(2, 3, 3, 1, 1, 11);
+  auto store = core::SparseWeightStore::from_params(
+      {&conv.weight(), conv.bias()});
+  RegenConv2d streaming(&store.record(0), &store.record(1), conv.spec());
+  energy::TrafficCounter traffic;
+  streaming.forward(random_tensor({1, 2, 4, 4}, 3), &traffic);
+  // All weights + biases touched exactly once (filters streamed per output
+  // channel, not per pixel — the engine caches one filter row at a time).
+  EXPECT_EQ(traffic.dram_reads + traffic.regens,
+            static_cast<std::uint64_t>(3 * 2 * 9 + 3));
+}
+
+/// Budget sweep: streaming inference must be exact at every budget.
+class RegenBudgetSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(RegenBudgetSweep, StreamedEqualsMaterialized) {
+  auto store = small_trained_store(GetParam());
+  RegenMlp engine(store);
+  const T::Tensor x = random_tensor({3, 12}, 21);
+  const T::Tensor streamed = engine.forward(x);
+  // Reference via materialized tensors.
+  T::Tensor h = x;
+  for (std::size_t p = 0; p < store.num_params(); p += 2) {
+    const auto& wshape = store.record(p).shape;
+    h = T::add_row_vector(
+        T::matmul_nt(h, store.materialize(p).reshape(wshape)),
+        store.materialize(p + 1));
+    if (p + 2 < store.num_params()) h = T::relu(h);
+  }
+  for (std::int64_t i = 0; i < h.numel(); ++i) {
+    ASSERT_NEAR(streamed[i], h[i], 1e-4F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, RegenBudgetSweep,
+                         ::testing::Values(1, 10, 50, 136));
+
+}  // namespace
+}  // namespace dropback::inference

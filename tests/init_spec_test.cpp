@@ -1,0 +1,119 @@
+#include "rng/init_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dropback::rng {
+namespace {
+
+TEST(InitSpec, LecunSigmaIsInverseSqrtFanIn) {
+  const InitSpec spec = InitSpec::lecun(100, 1);
+  EXPECT_FLOAT_EQ(spec.scale(), 0.1F);
+  EXPECT_EQ(spec.kind(), InitSpec::Kind::kScaledNormal);
+}
+
+TEST(InitSpec, HeSigmaIsSqrtTwoOverFanIn) {
+  const InitSpec spec = InitSpec::he(8, 1);
+  EXPECT_FLOAT_EQ(spec.scale(), 0.5F);
+}
+
+TEST(InitSpec, ConstantReturnsSameValueEverywhere) {
+  const InitSpec spec = InitSpec::constant(1.25F);
+  for (std::uint64_t i : {0ULL, 5ULL, 99999ULL}) {
+    EXPECT_FLOAT_EQ(spec.value_at(i), 1.25F);
+  }
+}
+
+TEST(InitSpec, ValueAtIsDeterministic) {
+  const InitSpec spec = InitSpec::scaled_normal(0.3F, 77);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(spec.value_at(i), spec.value_at(i));
+  }
+}
+
+TEST(InitSpec, FillMatchesValueAt) {
+  const InitSpec spec = InitSpec::lecun(50, 123);
+  std::vector<float> buf(257);
+  spec.fill(buf.data(), buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf[i], spec.value_at(i)) << i;
+  }
+}
+
+TEST(InitSpec, FillConstant) {
+  const InitSpec spec = InitSpec::constant(-2.0F);
+  std::vector<float> buf(10, 0.0F);
+  spec.fill(buf.data(), buf.size());
+  for (float v : buf) EXPECT_FLOAT_EQ(v, -2.0F);
+}
+
+TEST(InitSpec, DifferentSeedsGiveDifferentDraws) {
+  const InitSpec a = InitSpec::scaled_normal(1.0F, 1);
+  const InitSpec b = InitSpec::scaled_normal(1.0F, 2);
+  int same = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (a.value_at(i) == b.value_at(i)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(InitSpec, SampleStddevMatchesScale) {
+  const float sigma = 0.05F;
+  const InitSpec spec = InitSpec::scaled_normal(sigma, 31);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = spec.value_at(static_cast<std::uint64_t>(i));
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 3e-4);
+  EXPECT_NEAR(std::sqrt(sum_sq / n), sigma, sigma * 0.03);
+}
+
+TEST(InitSpec, EqualityComparesAllFields) {
+  EXPECT_EQ(InitSpec::scaled_normal(0.1F, 5), InitSpec::scaled_normal(0.1F, 5));
+  EXPECT_FALSE(InitSpec::scaled_normal(0.1F, 5) ==
+               InitSpec::scaled_normal(0.1F, 6));
+  EXPECT_FALSE(InitSpec::scaled_normal(0.1F, 5) ==
+               InitSpec::scaled_normal(0.2F, 5));
+  EXPECT_FALSE(InitSpec::scaled_normal(0.1F, 5) == InitSpec::constant(0.1F));
+  EXPECT_EQ(InitSpec::constant(1.0F), InitSpec::constant(1.0F));
+}
+
+TEST(InitSpec, DescribeMentionsKind) {
+  EXPECT_NE(InitSpec::scaled_normal(0.1F, 5).describe().find("N(0"),
+            std::string::npos);
+  EXPECT_NE(InitSpec::constant(1.0F).describe().find("const"),
+            std::string::npos);
+}
+
+TEST(InitSpec, PersistedBytesIsThirteen) {
+  // 1 (kind) + 4 (scale) + 8 (seed): the entire cost of "storing" all
+  // untracked weights of a tensor.
+  EXPECT_EQ(InitSpec::persisted_bytes(), 13U);
+}
+
+TEST(InitSpec, DefaultConstructedIsZeroConstant) {
+  const InitSpec spec;
+  EXPECT_EQ(spec.kind(), InitSpec::Kind::kConstant);
+  EXPECT_FLOAT_EQ(spec.value_at(0), 0.0F);
+}
+
+/// Fan-in sweep: sigma follows 1/sqrt(fan_in) for LeCun init.
+class LecunSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LecunSweep, SigmaFollowsRule) {
+  const std::size_t fan_in = GetParam();
+  const InitSpec spec = InitSpec::lecun(fan_in, 9);
+  EXPECT_NEAR(spec.scale(), 1.0 / std::sqrt(static_cast<double>(fan_in)),
+              1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(FanIns, LecunSweep,
+                         ::testing::Values(1, 2, 16, 100, 784, 4096, 25088));
+
+}  // namespace
+}  // namespace dropback::rng

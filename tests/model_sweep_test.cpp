@@ -1,0 +1,144 @@
+// Parameterized sweeps over the model zoo's scaling knobs, plus
+// deterministic-mode gradient checks for the variational-dropout layers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.hpp"
+#include "baselines/variational_dropout.hpp"
+#include "gradcheck.hpp"
+#include "nn/models/densenet.hpp"
+#include "nn/models/vgg_s.hpp"
+#include "nn/models/wrn.hpp"
+#include "rng/xorshift.hpp"
+
+namespace dropback {
+namespace {
+
+namespace T = dropback::tensor;
+namespace ag = dropback::autograd;
+using dropback::testing::random_tensor;
+
+/// VGG-S width sweep: forward shape holds and params grow monotonically.
+class VggWidthSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(VggWidthSweep, ForwardShapeHolds) {
+  nn::models::VggSOptions opt;
+  opt.width_mult = GetParam();
+  auto net = nn::models::make_vgg_s(opt);
+  net->set_training(false);
+  rng::Xorshift128 rng(1);
+  ag::Variable x(random_tensor({1, 3, 32, 32}, rng));
+  EXPECT_EQ(net->forward(x).value().shape(), (T::Shape{1, 10}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, VggWidthSweep,
+                         ::testing::Values(0.02F, 0.05F, 0.1F, 0.2F));
+
+TEST(VggWidthMonotonic, ParamsGrowWithWidth) {
+  std::int64_t prev = 0;
+  for (float width : {0.02F, 0.05F, 0.1F, 0.2F}) {
+    nn::models::VggSOptions opt;
+    opt.width_mult = width;
+    const auto n = nn::models::make_vgg_s(opt)->num_params();
+    EXPECT_GT(n, prev);
+    prev = n;
+  }
+}
+
+/// WRN depth sweep: every valid 6n+4 depth builds and runs.
+class WrnDepthSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(WrnDepthSweep, BuildsAndRuns) {
+  nn::models::WideResNetOptions opt;
+  opt.depth = GetParam();
+  opt.width = 1;
+  auto net = nn::models::make_wrn(opt);
+  net->set_training(true);
+  rng::Xorshift128 rng(2);
+  ag::Variable x(random_tensor({1, 3, 16, 16}, rng));
+  EXPECT_EQ(net->forward(x).value().shape(), (T::Shape{1, 10}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, WrnDepthSweep,
+                         ::testing::Values(10, 16, 22, 28));
+
+/// DenseNet sweep over (growth, layers_per_block).
+class DenseNetSweep
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(DenseNetSweep, BuildsAndRuns) {
+  const auto [growth, layers] = GetParam();
+  nn::models::DenseNetOptions opt;
+  opt.growth_rate = growth;
+  opt.layers_per_block = layers;
+  auto net = nn::models::make_densenet(opt);
+  net->set_training(true);
+  rng::Xorshift128 rng(3);
+  ag::Variable x(random_tensor({1, 3, 16, 16}, rng));
+  EXPECT_EQ(net->forward(x).value().shape(), (T::Shape{1, 10}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, DenseNetSweep,
+                         ::testing::Values(std::make_pair(2LL, 2LL),
+                                           std::make_pair(4LL, 3LL),
+                                           std::make_pair(8LL, 2LL),
+                                           std::make_pair(6LL, 4LL)));
+
+// --- VD gradient checks -------------------------------------------------------
+
+TEST(VdGradcheck, EvalModeLinearGradientIsExact) {
+  // Deterministic (eval) path: masked-theta linear — numerically checkable.
+  baselines::VdLinear layer(4, 3, 7);
+  layer.set_training(false);
+  rng::Xorshift128 rng(4);
+  ag::Variable x(random_tensor({2, 4}, rng), true);
+  dropback::testing::expect_gradients_close(
+      [&] {
+        ag::Variable y = layer.forward(x);
+        return ag::sum(ag::mul(y, y));
+      },
+      {x});
+}
+
+TEST(VdGradcheck, KlGradientMatchesNumerical) {
+  // The KL is a deterministic function of theta and log_sigma2.
+  baselines::VdLinear layer(3, 2, 9);
+  dropback::testing::expect_gradients_close(
+      [&] { return layer.kl(); },
+      {layer.theta().var, layer.log_sigma2().var}, 1e-2F, 8e-2F, 8e-3F);
+}
+
+TEST(VdGradcheck, KlFromLogAlphaGradient) {
+  rng::Xorshift128 rng(5);
+  ag::Variable log_alpha(random_tensor({6}, rng, -4.0F, 4.0F), true);
+  dropback::testing::expect_gradients_close(
+      [&] { return baselines::vd_kl_from_log_alpha(log_alpha); },
+      {log_alpha});
+}
+
+TEST(VdGradcheck, TrainingModeMeanPathGradientFlows) {
+  // With sigma ~ 0, the stochastic path collapses to the mean path;
+  // gradients to theta approach the deterministic linear's.
+  baselines::VdLinear layer(4, 3, 11);
+  layer.log_sigma2().var.value().fill_(-30.0F);  // sigma ~ 0
+  layer.set_training(true);
+  rng::Xorshift128 rng(6);
+  T::Tensor x = random_tensor({2, 4}, rng);
+  ag::Variable input(x);
+  ag::Variable y = layer.forward(input);
+  ag::backward(ag::sum(y));
+  ASSERT_TRUE(layer.theta().var.has_grad());
+  // Expected gradient of sum(x.theta^T + b) wrt theta is sum_b x[b][i] at
+  // every output row.
+  for (std::int64_t o = 0; o < 3; ++o) {
+    for (std::int64_t i = 0; i < 4; ++i) {
+      const float expected = x.at({0, i}) + x.at({1, i});
+      EXPECT_NEAR(layer.theta().var.grad().at({o, i}), expected, 1e-3F);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dropback

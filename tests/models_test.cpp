@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "nn/models/densenet.hpp"
+#include "nn/models/lenet.hpp"
+#include "nn/models/vgg_s.hpp"
+#include "nn/models/wrn.hpp"
+
+namespace dropback::nn::models {
+namespace {
+
+namespace T = dropback::tensor;
+namespace ag = dropback::autograd;
+using dropback::testing::random_tensor;
+
+TEST(MlpModels, LeNet300100HasPaperParamCount) {
+  auto model = make_lenet_300_100(1);
+  // 784*300+300 + 300*100+100 + 100*10+10 = 266,610 (~266.6k per paper).
+  EXPECT_EQ(model->num_params(), 266610);
+}
+
+TEST(MlpModels, Mnist100100HasPaperParamCount) {
+  auto model = make_mnist_100_100(1);
+  // 78500 + 10100 + 1010 = 89,610 — Table 2's layer-by-layer total.
+  EXPECT_EQ(model->num_params(), 89610);
+}
+
+TEST(MlpModels, PerLayerCountsMatchTable2) {
+  auto model = make_mnist_100_100(1);
+  auto params = model->collect_parameters();
+  ASSERT_EQ(params.size(), 6U);  // 3x (weight, bias)
+  EXPECT_EQ(params[0]->numel() + params[1]->numel(), 78500);  // fc1
+  EXPECT_EQ(params[2]->numel() + params[3]->numel(), 10100);  // fc2
+  EXPECT_EQ(params[4]->numel() + params[5]->numel(), 1010);   // fc3
+}
+
+TEST(MlpModels, ForwardAcceptsImagesAndFlatVectors) {
+  auto model = make_mnist_100_100(1);
+  rng::Xorshift128 rng(1);
+  ag::Variable img(random_tensor({2, 1, 28, 28}, rng));
+  ag::Variable flat(random_tensor({2, 784}, rng));
+  EXPECT_EQ(model->forward(img).value().shape(), (T::Shape{2, 10}));
+  EXPECT_EQ(model->forward(flat).value().shape(), (T::Shape{2, 10}));
+}
+
+TEST(MlpModels, SameSeedReproducesInitialization) {
+  auto a = make_lenet_300_100(7);
+  auto b = make_lenet_300_100(7);
+  auto pa = a->parameters();
+  auto pb = b->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::int64_t j = 0; j < pa[i]->numel(); ++j) {
+      ASSERT_EQ(pa[i]->var.value()[j], pb[i]->var.value()[j]);
+    }
+  }
+}
+
+TEST(VggS, ForwardShapeAndDropoutEval) {
+  VggSOptions opt;
+  opt.width_mult = 0.05F;
+  auto net = make_vgg_s(opt);
+  rng::Xorshift128 rng(1);
+  ag::Variable x(random_tensor({2, 3, 32, 32}, rng));
+  net->set_training(false);
+  EXPECT_EQ(net->forward(x).value().shape(), (T::Shape{2, 10}));
+}
+
+TEST(VggS, WidthMultScalesParameters) {
+  VggSOptions small;
+  small.width_mult = 0.05F;
+  VggSOptions bigger;
+  bigger.width_mult = 0.1F;
+  const auto n_small = make_vgg_s(small)->num_params();
+  const auto n_bigger = make_vgg_s(bigger)->num_params();
+  EXPECT_GT(n_bigger, 2 * n_small);
+}
+
+TEST(VggS, FullWidthMatchesPaperScale) {
+  // The paper quotes ~15M parameters for VGG-S. Constructing the full-width
+  // net is cheap (allocation only).
+  VggSOptions opt;
+  opt.width_mult = 1.0F;
+  const auto n = make_vgg_s(opt)->num_params();
+  EXPECT_GT(n, 14'000'000);
+  EXPECT_LT(n, 16'500'000);
+}
+
+TEST(DenseNetModel, ForwardShape) {
+  DenseNetOptions opt;  // tiny defaults
+  auto net = make_densenet(opt);
+  rng::Xorshift128 rng(2);
+  ag::Variable x(random_tensor({2, 3, 16, 16}, rng));
+  net->set_training(true);
+  EXPECT_EQ(net->forward(x).value().shape(), (T::Shape{2, 10}));
+}
+
+TEST(DenseNetModel, GrowthRateGrowsChannels) {
+  DenseNetOptions a;
+  a.growth_rate = 2;
+  DenseNetOptions b;
+  b.growth_rate = 6;
+  EXPECT_GT(make_densenet(b)->num_params(), make_densenet(a)->num_params());
+}
+
+TEST(DenseNetModel, BackwardRunsThroughConcatGraph) {
+  DenseNetOptions opt;
+  opt.layers_per_block = 2;
+  opt.num_blocks = 2;
+  auto net = make_densenet(opt);
+  rng::Xorshift128 rng(3);
+  ag::Variable x(random_tensor({1, 3, 8, 8}, rng));
+  auto loss = ag::sum(net->forward(x));
+  ag::backward(loss);
+  for (auto* p : net->parameters()) {
+    EXPECT_TRUE(p->var.has_grad()) << p->name;
+  }
+}
+
+TEST(WrnModel, RejectsInvalidDepth) {
+  WideResNetOptions opt;
+  opt.depth = 11;  // not 6n+4
+  EXPECT_THROW(WideResNet net(opt), std::invalid_argument);
+}
+
+TEST(WrnModel, ForwardShapeAndDownsampling) {
+  WideResNetOptions opt;  // WRN-10-2 tiny
+  auto net = make_wrn(opt);
+  rng::Xorshift128 rng(4);
+  ag::Variable x(random_tensor({2, 3, 16, 16}, rng));
+  net->set_training(true);
+  EXPECT_EQ(net->forward(x).value().shape(), (T::Shape{2, 10}));
+}
+
+TEST(WrnModel, WidthMultiplierScalesParams) {
+  WideResNetOptions w1;
+  w1.width = 1;
+  WideResNetOptions w2;
+  w2.width = 2;
+  const auto n1 = make_wrn(w1)->num_params();
+  const auto n2 = make_wrn(w2)->num_params();
+  EXPECT_GT(n2, 3 * n1);  // params scale ~quadratically with width
+}
+
+TEST(WrnModel, BackwardReachesAllParams) {
+  WideResNetOptions opt;
+  auto net = make_wrn(opt);
+  rng::Xorshift128 rng(5);
+  ag::Variable x(random_tensor({1, 3, 8, 8}, rng));
+  auto loss = ag::sum(net->forward(x));
+  ag::backward(loss);
+  for (auto* p : net->parameters()) {
+    EXPECT_TRUE(p->var.has_grad()) << p->name;
+  }
+}
+
+TEST(AllModels, EveryParameterIsPrunableByDefault) {
+  // The paper prunes everything, including BN and biases — so models must
+  // not mark anything non-prunable.
+  DenseNetOptions dn;
+  WideResNetOptions wrn;
+  VggSOptions vgg;
+  vgg.width_mult = 0.05F;
+  for (auto* p : make_densenet(dn)->parameters()) EXPECT_TRUE(p->prunable);
+  for (auto* p : make_wrn(wrn)->parameters()) EXPECT_TRUE(p->prunable);
+  for (auto* p : make_vgg_s(vgg)->parameters()) EXPECT_TRUE(p->prunable);
+  for (auto* p : make_lenet_300_100(1)->parameters()) EXPECT_TRUE(p->prunable);
+}
+
+/// Hidden-layer sweep for the generic Mlp builder.
+class MlpSweep : public ::testing::TestWithParam<std::vector<std::int64_t>> {};
+
+TEST_P(MlpSweep, ParamCountMatchesFormula) {
+  const auto hidden = GetParam();
+  Mlp model(20, hidden, 5, 1);
+  std::int64_t expected = 0;
+  std::int64_t in = 20;
+  for (std::int64_t h : hidden) {
+    expected += in * h + h;
+    in = h;
+  }
+  expected += in * 5 + 5;
+  EXPECT_EQ(model.num_params(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Hiddens, MlpSweep,
+    ::testing::Values(std::vector<std::int64_t>{},
+                      std::vector<std::int64_t>{8},
+                      std::vector<std::int64_t>{16, 8},
+                      std::vector<std::int64_t>{32, 16, 8}));
+
+}  // namespace
+}  // namespace dropback::nn::models

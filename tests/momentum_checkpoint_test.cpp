@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "autograd/ops.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/linear.hpp"
+#include "nn/models/lenet.hpp"
+#include "nn/sequential.hpp"
+#include "optim/momentum.hpp"
+#include "rng/xorshift.hpp"
+
+namespace dropback {
+namespace {
+
+namespace T = dropback::tensor;
+namespace ag = dropback::autograd;
+
+TEST(MomentumSgd, FirstStepEqualsPlainSgd) {
+  nn::Linear a(2, 1, 1, false), b(2, 1, 1, false);
+  a.weight().var.grad().copy_from(T::Tensor::from_vector({1, 2}, {1, -2}));
+  b.weight().var.grad().copy_from(T::Tensor::from_vector({1, 2}, {1, -2}));
+  optim::MomentumSGD mom(a.parameters(), 0.1F, 0.9F);
+  optim::SGD sgd(b.parameters(), 0.1F);
+  mom.step();
+  sgd.step();
+  EXPECT_FLOAT_EQ(a.weight().var.value()[0], b.weight().var.value()[0]);
+  EXPECT_FLOAT_EQ(a.weight().var.value()[1], b.weight().var.value()[1]);
+}
+
+TEST(MomentumSgd, AcceleratesAlongConstantGradient) {
+  nn::Linear fc(1, 1, 1, false);
+  fc.weight().var.value()[0] = 0.0F;
+  optim::MomentumSGD opt(fc.parameters(), 0.1F, 0.9F);
+  float prev_w = 0.0F;
+  float prev_delta = 0.0F;
+  for (int i = 0; i < 5; ++i) {
+    fc.weight().var.grad()[0] = 1.0F;
+    opt.step();
+    const float delta = prev_w - fc.weight().var.value()[0];
+    EXPECT_GT(delta, prev_delta);  // velocity builds up
+    prev_delta = delta;
+    prev_w = fc.weight().var.value()[0];
+    fc.weight().var.clear_grad();
+  }
+}
+
+TEST(MomentumSgd, StateCostsOneFloatPerWeight) {
+  auto model = nn::models::make_mnist_100_100(1);
+  optim::MomentumSGD opt(model->collect_parameters(), 0.1F);
+  EXPECT_EQ(opt.state_floats(), 89610);
+}
+
+TEST(Adam, StateCostsTwoFloatsPerWeight) {
+  auto model = nn::models::make_mnist_100_100(1);
+  optim::Adam opt(model->collect_parameters(), 0.001F);
+  EXPECT_EQ(opt.state_floats(), 2 * 89610);
+}
+
+TEST(Adam, FirstStepHasUnitScaleInvariance) {
+  // With bias correction, the first Adam step is ~lr * sign(g) regardless
+  // of gradient magnitude.
+  nn::Linear fc(1, 2, 1, false);
+  fc.weight().var.value().fill_(0.0F);
+  fc.weight().var.grad().copy_from(
+      T::Tensor::from_vector({2, 1}, {100.0F, -0.001F}));
+  optim::Adam opt(fc.parameters(), 0.1F);
+  opt.step();
+  EXPECT_NEAR(fc.weight().var.value()[0], -0.1F, 1e-4F);
+  EXPECT_NEAR(fc.weight().var.value()[1], 0.1F, 1e-4F);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  nn::Linear fc(1, 1, 1, false);
+  fc.weight().var.value()[0] = -5.0F;
+  optim::Adam opt(fc.parameters(), 0.2F);
+  for (int i = 0; i < 300; ++i) {
+    ag::Variable w = fc.weight().var;
+    ag::Variable err = ag::add_scalar(w, -3.0F);
+    opt.zero_grad();
+    ag::backward(ag::sum(ag::mul(err, err)));
+    opt.step();
+  }
+  EXPECT_NEAR(fc.weight().var.value()[0], 3.0F, 1e-2F);
+}
+
+TEST(Adam, RejectsBadBetas) {
+  nn::Linear fc(2, 2, 1);
+  EXPECT_THROW(optim::Adam(fc.parameters(), 0.1F, 1.0F),
+               std::invalid_argument);
+  EXPECT_THROW(optim::Adam(fc.parameters(), 0.1F, 0.9F, 1.5F),
+               std::invalid_argument);
+}
+
+// --- checkpoints -----------------------------------------------------------
+
+TEST(Checkpoint, RoundTripRestoresWeights) {
+  auto model = nn::models::make_mnist_100_100(3);
+  auto params = model->collect_parameters();
+  // Mutate so the checkpoint differs from the init.
+  params[0]->var.value()[0] = 42.0F;
+  params[5]->var.value()[3] = -7.0F;
+  std::stringstream ss;
+  nn::save_checkpoint(ss, params);
+
+  auto fresh = nn::models::make_mnist_100_100(999);
+  auto fresh_params = fresh->collect_parameters();
+  nn::load_checkpoint(ss, fresh_params);
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (std::int64_t i = 0; i < params[p]->numel(); ++i) {
+      ASSERT_EQ(fresh_params[p]->var.value()[i], params[p]->var.value()[i]);
+    }
+  }
+}
+
+TEST(Checkpoint, RejectsCountMismatch) {
+  auto model = nn::models::make_mnist_100_100(3);
+  std::stringstream ss;
+  nn::save_checkpoint(ss, model->collect_parameters());
+  nn::Sequential other;
+  other.emplace<nn::Linear>(4, 4, 1);
+  EXPECT_THROW(nn::load_checkpoint(ss, other.collect_parameters()),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsNameMismatch) {
+  nn::Sequential a;
+  a.emplace<nn::Linear>(4, 4, 1);
+  std::stringstream ss;
+  nn::save_checkpoint(ss, a.collect_parameters());
+  // Same count/shapes, but BatchNorm param names differ from Linear's.
+  nn::Sequential b;
+  b.emplace<nn::BatchNorm2d>(8);  // gamma/beta vs weight/bias... shapes differ too
+  EXPECT_THROW(nn::load_checkpoint(ss, b.collect_parameters()),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "definitely not a checkpoint";
+  auto model = nn::models::make_mnist_100_100(3);
+  EXPECT_THROW(nn::load_checkpoint(ss, model->collect_parameters()),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  auto model = nn::models::make_mnist_100_100(3);
+  auto params = model->collect_parameters();
+  params[2]->var.value()[1] = 3.5F;
+  const std::string path = ::testing::TempDir() + "/ckpt_test.dbcp";
+  nn::save_checkpoint_file(path, params);
+  auto fresh = nn::models::make_mnist_100_100(4);
+  auto fresh_params = fresh->collect_parameters();
+  nn::load_checkpoint_file(path, fresh_params);
+  EXPECT_EQ(fresh_params[2]->var.value()[1], 3.5F);
+}
+
+TEST(Checkpoint, ResumedTrainingContinuesDeterministically) {
+  // Train 2 steps, checkpoint, train 2 more; separately reload the
+  // checkpoint and train the same 2 steps: identical weights.
+  auto run_steps = [](nn::models::Mlp& model, optim::SGD& opt, int first,
+                      int count) {
+    for (int i = 0; i < count; ++i) {
+      rng::Xorshift128 rng(static_cast<std::uint64_t>(first + i));
+      T::Tensor x({2, 784});
+      for (std::int64_t j = 0; j < x.numel(); ++j) {
+        x[j] = rng.uniform(0, 1);
+      }
+      model.zero_grad();
+      ag::Variable input(x);
+      ag::backward(
+          ag::softmax_cross_entropy(model.forward(input), {0, 1}));
+      opt.step();
+    }
+  };
+  auto model_a = nn::models::make_mnist_100_100(3);
+  optim::SGD opt_a(model_a->collect_parameters(), 0.1F);
+  run_steps(*model_a, opt_a, 0, 2);
+  std::stringstream ss;
+  nn::save_checkpoint(ss, model_a->collect_parameters());
+  run_steps(*model_a, opt_a, 2, 2);
+
+  auto model_b = nn::models::make_mnist_100_100(555);
+  optim::SGD opt_b(model_b->collect_parameters(), 0.1F);
+  nn::load_checkpoint(ss, model_b->collect_parameters());
+  run_steps(*model_b, opt_b, 2, 2);
+
+  auto pa = model_a->collect_parameters();
+  auto pb = model_b->collect_parameters();
+  for (std::size_t p = 0; p < pa.size(); ++p) {
+    for (std::int64_t i = 0; i < pa[p]->numel(); ++i) {
+      ASSERT_FLOAT_EQ(pa[p]->var.value()[i], pb[p]->var.value()[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dropback

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.hpp"
+#include "gradcheck.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+
+namespace dropback::nn {
+namespace {
+
+namespace T = dropback::tensor;
+namespace ag = dropback::autograd;
+using dropback::testing::random_tensor;
+
+TEST(SeedStreamTest, DeterministicAndDistinct) {
+  SeedStream a(5), b(5), c(6);
+  const auto a1 = a.next(), a2 = a.next();
+  EXPECT_EQ(a1, b.next());
+  EXPECT_EQ(a2, b.next());
+  EXPECT_NE(a1, a2);
+  EXPECT_NE(a1, c.next());
+}
+
+TEST(LinearTest, ParamShapesAndInit) {
+  Linear fc(10, 4, /*seed=*/3);
+  EXPECT_EQ(fc.weight().var.value().shape(), (T::Shape{4, 10}));
+  ASSERT_NE(fc.bias(), nullptr);
+  EXPECT_EQ(fc.bias()->var.value().shape(), (T::Shape{4}));
+  // Bias constant 0, weight scaled-normal with sigma 1/sqrt(10).
+  EXPECT_FLOAT_EQ(fc.bias()->var.value()[0], 0.0F);
+  EXPECT_EQ(fc.weight().init.kind(), rng::InitSpec::Kind::kScaledNormal);
+  EXPECT_NEAR(fc.weight().init.scale(), 1.0F / std::sqrt(10.0F), 1e-6F);
+}
+
+TEST(LinearTest, InitialValuesMatchInitSpec) {
+  Linear fc(7, 5, 11);
+  const auto& w = fc.weight().var.value();
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_EQ(w[i], fc.weight().init.value_at(static_cast<std::uint64_t>(i)));
+  }
+}
+
+TEST(LinearTest, ForwardComputesAffineMap) {
+  Linear fc(2, 1, 3);
+  fc.weight().var.value().copy_from(T::Tensor::from_vector({1, 2}, {2, 3}));
+  fc.bias()->var.value()[0] = 1.0F;
+  ag::Variable x(T::Tensor::from_vector({1, 2}, {1.0F, 2.0F}));
+  auto y = fc.forward(x);
+  EXPECT_FLOAT_EQ(y.value()[0], 9.0F);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Linear fc(3, 2, 3, /*bias=*/false);
+  EXPECT_EQ(fc.bias(), nullptr);
+  EXPECT_EQ(fc.parameters().size(), 1U);
+}
+
+TEST(LinearTest, SameSeedSameWeights) {
+  Linear a(8, 8, 42), b(8, 8, 42), c(8, 8, 43);
+  bool all_same = true, any_same_c = false;
+  for (std::int64_t i = 0; i < a.weight().numel(); ++i) {
+    if (a.weight().var.value()[i] != b.weight().var.value()[i]) {
+      all_same = false;
+    }
+    if (a.weight().var.value()[i] == c.weight().var.value()[i]) {
+      any_same_c = true;
+    }
+  }
+  EXPECT_TRUE(all_same);
+  EXPECT_FALSE(any_same_c);
+}
+
+TEST(Conv2dTest, ParamShapesAndForwardShape) {
+  Conv2d conv(3, 8, 3, 1, 1, 5);
+  EXPECT_EQ(conv.weight().var.value().shape(), (T::Shape{8, 3, 3, 3}));
+  rng::Xorshift128 rng(1);
+  ag::Variable x(random_tensor({2, 3, 8, 8}, rng));
+  auto y = conv.forward(x);
+  EXPECT_EQ(y.value().shape(), (T::Shape{2, 8, 8, 8}));
+}
+
+TEST(Conv2dTest, StrideHalvesResolution) {
+  Conv2d conv(1, 1, 3, 2, 1, 5);
+  rng::Xorshift128 rng(1);
+  ag::Variable x(random_tensor({1, 1, 8, 8}, rng));
+  EXPECT_EQ(conv.forward(x).value().shape(), (T::Shape{1, 1, 4, 4}));
+}
+
+TEST(BatchNormTest, GammaBetaConstantInit) {
+  BatchNorm2d bn(4);
+  EXPECT_FLOAT_EQ(bn.gamma().var.value()[2], 1.0F);
+  EXPECT_FLOAT_EQ(bn.beta().var.value()[2], 0.0F);
+  // Constant init means BN is regenerable — prunable by DropBack.
+  EXPECT_EQ(bn.gamma().init.kind(), rng::InitSpec::Kind::kConstant);
+  EXPECT_TRUE(bn.gamma().prunable);
+}
+
+TEST(BatchNormTest, EvalModeUsesRunningStats) {
+  BatchNorm2d bn(1);
+  bn.running_mean()[0] = 2.0F;
+  bn.running_var()[0] = 4.0F;
+  bn.set_training(false);
+  ag::Variable x(T::Tensor::full({1, 1, 1, 2}, 4.0F));
+  auto y = bn.forward(x);
+  // (4 - 2) / sqrt(4) = 1
+  EXPECT_NEAR(y.value()[0], 1.0F, 1e-3F);
+}
+
+TEST(BatchNorm1dTest, NormalizesFeatureColumns) {
+  BatchNorm1d bn(2);
+  ag::Variable x(T::Tensor::from_vector({4, 2},
+                                        {1, 10, 2, 20, 3, 30, 4, 40}));
+  auto y = bn.forward(x);
+  EXPECT_EQ(y.value().shape(), (T::Shape{4, 2}));
+  // Each column normalized to ~zero mean.
+  float col0 = 0.0F, col1 = 0.0F;
+  for (int i = 0; i < 4; ++i) {
+    col0 += y.value().at({i, 0});
+    col1 += y.value().at({i, 1});
+  }
+  EXPECT_NEAR(col0, 0.0F, 1e-4F);
+  EXPECT_NEAR(col1, 0.0F, 1e-4F);
+}
+
+TEST(ActivationTest, ReluModule) {
+  ReLU relu;
+  ag::Variable x(T::Tensor::from_vector({3}, {-1, 0, 2}));
+  auto y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y.value()[0], 0.0F);
+  EXPECT_FLOAT_EQ(y.value()[2], 2.0F);
+  EXPECT_EQ(relu.parameters().size(), 0U);
+}
+
+TEST(ActivationTest, PreluHasLearnableRegenerableSlope) {
+  PReLU prelu(0.1F);
+  EXPECT_EQ(prelu.parameters().size(), 1U);
+  EXPECT_EQ(prelu.slope().init.kind(), rng::InitSpec::Kind::kConstant);
+  EXPECT_FLOAT_EQ(prelu.slope().init.value_at(0), 0.1F);
+  ag::Variable x(T::Tensor::from_vector({2}, {-10.0F, 10.0F}));
+  auto y = prelu.forward(x);
+  EXPECT_FLOAT_EQ(y.value()[0], -1.0F);
+  EXPECT_FLOAT_EQ(y.value()[1], 10.0F);
+}
+
+TEST(PoolingTest, ModulesForwardShapes) {
+  rng::Xorshift128 rng(1);
+  ag::Variable x(random_tensor({2, 3, 8, 8}, rng));
+  EXPECT_EQ(MaxPool2d(2, 2).forward(x).value().shape(),
+            (T::Shape{2, 3, 4, 4}));
+  EXPECT_EQ(AvgPool2d(2, 2).forward(x).value().shape(),
+            (T::Shape{2, 3, 4, 4}));
+  EXPECT_EQ(GlobalAvgPool().forward(x).value().shape(), (T::Shape{2, 3}));
+  EXPECT_EQ(Flatten().forward(x).value().shape(), (T::Shape{2, 192}));
+}
+
+TEST(DropoutTest, EvalIsIdentityTrainingDrops) {
+  Dropout drop(0.5F, 3);
+  ag::Variable x(T::Tensor::ones({1000}));
+  drop.set_training(false);
+  auto y_eval = drop.forward(x);
+  EXPECT_FLOAT_EQ(y_eval.value().sum(), 1000.0F);
+  drop.set_training(true);
+  auto y_train = drop.forward(x);
+  int zeros = 0;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    if (y_train.value()[i] == 0.0F) ++zeros;
+  }
+  EXPECT_GT(zeros, 350);
+  EXPECT_LT(zeros, 650);
+}
+
+TEST(SequentialTest, ChainsAndCollectsParams) {
+  Sequential net;
+  net.emplace<Linear>(4, 8, 1);
+  net.emplace<ReLU>();
+  net.emplace<Linear>(8, 2, 2);
+  EXPECT_EQ(net.size(), 3U);
+  EXPECT_EQ(net.parameters().size(), 4U);  // 2x (weight + bias)
+  EXPECT_EQ(net.num_params(), 4 * 8 + 8 + 8 * 2 + 2);
+  rng::Xorshift128 rng(1);
+  ag::Variable x(random_tensor({3, 4}, rng));
+  EXPECT_EQ(net.forward(x).value().shape(), (T::Shape{3, 2}));
+}
+
+TEST(SequentialTest, TrainingFlagPropagates) {
+  Sequential net;
+  auto& drop = net.emplace<Dropout>(0.5F, 1);
+  auto& bn = net.emplace<BatchNorm2d>(3);
+  EXPECT_TRUE(drop.training());
+  net.set_training(false);
+  EXPECT_FALSE(drop.training());
+  EXPECT_FALSE(bn.training());
+  net.set_training(true);
+  EXPECT_TRUE(bn.training());
+}
+
+TEST(ModuleTest, CollectParametersAssignsDenseIds) {
+  Sequential net;
+  net.emplace<Linear>(3, 3, 1);
+  net.emplace<Linear>(3, 3, 2);
+  auto params = net.collect_parameters();
+  ASSERT_EQ(params.size(), 4U);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(params[i]->id, i);
+  }
+}
+
+TEST(ModuleTest, ZeroGradClearsAllGrads) {
+  Sequential net;
+  net.emplace<Linear>(3, 2, 1);
+  rng::Xorshift128 rng(1);
+  ag::Variable x(random_tensor({2, 3}, rng));
+  auto loss = ag::sum(net.forward(x));
+  ag::backward(loss);
+  auto params = net.parameters();
+  EXPECT_TRUE(params[0]->var.has_grad());
+  net.zero_grad();
+  for (auto* p : params) EXPECT_FALSE(p->var.has_grad());
+}
+
+TEST(ModuleTest, ParameterReinitializeRestoresInit) {
+  Linear fc(4, 4, 9);
+  T::Tensor original = fc.weight().var.value().clone();
+  fc.weight().var.value().fill_(123.0F);
+  fc.weight().reinitialize();
+  for (std::int64_t i = 0; i < original.numel(); ++i) {
+    EXPECT_EQ(fc.weight().var.value()[i], original[i]);
+  }
+}
+
+TEST(ModuleTest, EndToEndGradientThroughStack) {
+  // Numerical gradcheck through Linear+ReLU+Linear+BN1d composite.
+  Sequential net;
+  net.emplace<Linear>(3, 4, 21);
+  net.emplace<ReLU>();
+  net.emplace<Linear>(4, 2, 22);
+  rng::Xorshift128 rng(5);
+  ag::Variable x(random_tensor({2, 3}, rng), true);
+  auto params = net.parameters();
+  std::vector<ag::Variable> inputs{x};
+  for (auto* p : params) inputs.push_back(p->var);
+  dropback::testing::expect_gradients_close(
+      [&] {
+        auto y = net.forward(x);
+        return ag::sum(ag::mul(y, y));
+      },
+      inputs);
+}
+
+}  // namespace
+}  // namespace dropback::nn

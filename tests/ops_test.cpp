@@ -1,0 +1,250 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/xorshift.hpp"
+
+namespace dropback::tensor {
+namespace {
+
+Tensor rand_tensor(Shape shape, std::uint64_t seed, float lo = -2.0F,
+                   float hi = 2.0F) {
+  rng::Xorshift128 rng(seed);
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform(lo, hi);
+  return t;
+}
+
+TEST(Elementwise, AddSubMulDiv) {
+  Tensor a = Tensor::from_vector({4}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_vector({4}, {4, 3, 2, 1});
+  EXPECT_FLOAT_EQ(add(a, b)[0], 5.0F);
+  EXPECT_FLOAT_EQ(sub(a, b)[3], 3.0F);
+  EXPECT_FLOAT_EQ(mul(a, b)[1], 6.0F);
+  EXPECT_FLOAT_EQ(div(a, b)[2], 1.5F);
+}
+
+TEST(Elementwise, ShapeMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({3, 2});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(mul(a, b), std::invalid_argument);
+}
+
+TEST(Elementwise, ScalarOps) {
+  Tensor a = Tensor::from_vector({3}, {1, -2, 3});
+  EXPECT_FLOAT_EQ(add_scalar(a, 1.5F)[1], -0.5F);
+  EXPECT_FLOAT_EQ(mul_scalar(a, -2.0F)[2], -6.0F);
+}
+
+TEST(Elementwise, UnaryMathMatchesStd) {
+  Tensor a = Tensor::from_vector({4}, {0.5F, 1.0F, 2.0F, 0.1F});
+  EXPECT_FLOAT_EQ(exp(a)[1], std::exp(1.0F));
+  EXPECT_FLOAT_EQ(log(a)[2], std::log(2.0F));
+  EXPECT_FLOAT_EQ(sqrt(a)[0], std::sqrt(0.5F));
+  EXPECT_FLOAT_EQ(tanh(a)[3], std::tanh(0.1F));
+}
+
+TEST(Elementwise, ReluAndAbsAndClamp) {
+  Tensor a = Tensor::from_vector({4}, {-2, -0.5F, 0.5F, 2});
+  Tensor r = relu(a);
+  EXPECT_FLOAT_EQ(r[0], 0.0F);
+  EXPECT_FLOAT_EQ(r[3], 2.0F);
+  EXPECT_FLOAT_EQ(abs(a)[0], 2.0F);
+  Tensor c = clamp(a, -1.0F, 1.0F);
+  EXPECT_FLOAT_EQ(c[0], -1.0F);
+  EXPECT_FLOAT_EQ(c[3], 1.0F);
+  EXPECT_FLOAT_EQ(c[2], 0.5F);
+}
+
+TEST(Elementwise, SigmoidRange) {
+  Tensor a = Tensor::from_vector({3}, {-10.0F, 0.0F, 10.0F});
+  Tensor s = sigmoid(a);
+  EXPECT_LT(s[0], 0.001F);
+  EXPECT_FLOAT_EQ(s[1], 0.5F);
+  EXPECT_GT(s[2], 0.999F);
+}
+
+TEST(Elementwise, MapAppliesArbitraryFunction) {
+  Tensor a = Tensor::from_vector({3}, {1, 2, 3});
+  Tensor m = map(a, [](float x) { return x * x + 1.0F; });
+  EXPECT_FLOAT_EQ(m[2], 10.0F);
+}
+
+TEST(Structure, Transpose2d) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = transpose2d(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(t.at({0, 1}), 4.0F);
+  EXPECT_FLOAT_EQ(t.at({2, 0}), 3.0F);
+  // Double transpose is identity.
+  Tensor tt = transpose2d(t);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(tt[i], a[i]);
+}
+
+TEST(Structure, AddRowVectorBroadcasts) {
+  Tensor x = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_vector({3}, {10, 20, 30});
+  Tensor y = add_row_vector(x, b);
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 11.0F);
+  EXPECT_FLOAT_EQ(y.at({1, 2}), 36.0F);
+  EXPECT_THROW(add_row_vector(x, Tensor({2})), std::invalid_argument);
+}
+
+TEST(Structure, MulRowVectorBroadcasts) {
+  Tensor x = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  Tensor s = Tensor::from_vector({2}, {2, 10});
+  Tensor y = mul_row_vector(x, s);
+  EXPECT_FLOAT_EQ(y.at({0, 1}), 20.0F);
+  EXPECT_FLOAT_EQ(y.at({1, 0}), 6.0F);
+}
+
+TEST(Structure, SumRowsAndCols) {
+  Tensor x = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor cols = sum_rows(x);  // sums over rows -> per-column
+  EXPECT_EQ(cols.shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(cols[0], 5.0F);
+  EXPECT_FLOAT_EQ(cols[2], 9.0F);
+  Tensor rows = sum_cols(x);
+  EXPECT_EQ(rows.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(rows[0], 6.0F);
+  EXPECT_FLOAT_EQ(rows[1], 15.0F);
+}
+
+TEST(Softmax, RowsSumToOneAndOrderPreserved) {
+  Tensor x = rand_tensor({5, 7}, 3);
+  Tensor p = row_softmax(x);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < 7; ++j) {
+      sum += p.at({i, j});
+      ASSERT_GT(p.at({i, j}), 0.0F);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+  // Softmax is monotone: argmax preserved.
+  EXPECT_EQ(argmax_rows(x), argmax_rows(p));
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  Tensor x = Tensor::from_vector({1, 3}, {1000.0F, 1001.0F, 999.0F});
+  Tensor p = row_softmax(x);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_GT(p[1], p[0]);
+  EXPECT_GT(p[0], p[2]);
+}
+
+TEST(Softmax, LogSumExpMatchesNaiveOnSmallValues) {
+  Tensor x = Tensor::from_vector({2, 3}, {0.1F, 0.2F, 0.3F, -1, 0, 1});
+  Tensor lse = row_logsumexp(x);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    double naive = 0.0;
+    for (std::int64_t j = 0; j < 3; ++j) naive += std::exp(x.at({i, j}));
+    EXPECT_NEAR(lse[i], std::log(naive), 1e-5);
+  }
+}
+
+TEST(Softmax, ArgmaxRows) {
+  Tensor x = Tensor::from_vector({2, 3}, {1, 5, 2, 9, 0, 3});
+  const auto am = argmax_rows(x);
+  EXPECT_EQ(am[0], 1);
+  EXPECT_EQ(am[1], 0);
+}
+
+// --- channel helpers vs naive loops ----------------------------------------
+
+TEST(Channel, MeanVarMatchNaive) {
+  Tensor x = rand_tensor({2, 3, 4, 4}, 5);
+  Tensor m = channel_mean(x);
+  Tensor v = channel_var(x, m);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    double sum = 0.0;
+    for (std::int64_t n = 0; n < 2; ++n) {
+      for (std::int64_t h = 0; h < 4; ++h) {
+        for (std::int64_t w = 0; w < 4; ++w) sum += x.at({n, c, h, w});
+      }
+    }
+    const double mean = sum / 32.0;
+    EXPECT_NEAR(m[c], mean, 1e-5);
+    double var = 0.0;
+    for (std::int64_t n = 0; n < 2; ++n) {
+      for (std::int64_t h = 0; h < 4; ++h) {
+        for (std::int64_t w = 0; w < 4; ++w) {
+          const double d = x.at({n, c, h, w}) - mean;
+          var += d * d;
+        }
+      }
+    }
+    EXPECT_NEAR(v[c], var / 32.0, 1e-5);
+  }
+}
+
+TEST(Channel, AffineAppliesPerChannel) {
+  Tensor x = Tensor::ones({1, 2, 2, 2});
+  Tensor mean = Tensor::from_vector({2}, {1.0F, 0.0F});
+  Tensor scale = Tensor::from_vector({2}, {3.0F, 2.0F});
+  Tensor shift = Tensor::from_vector({2}, {0.5F, -1.0F});
+  Tensor y = channel_affine(x, mean, scale, shift);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 0.5F);   // (1-1)*3+0.5
+  EXPECT_FLOAT_EQ(y.at({0, 1, 1, 1}), 1.0F);   // (1-0)*2-1
+}
+
+TEST(Channel, SumAndDot) {
+  Tensor x = rand_tensor({2, 2, 3, 3}, 7);
+  Tensor y = rand_tensor({2, 2, 3, 3}, 8);
+  Tensor s = channel_sum(x);
+  Tensor d = channel_dot(x, y);
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double sum = 0.0, dot = 0.0;
+    for (std::int64_t n = 0; n < 2; ++n) {
+      for (std::int64_t h = 0; h < 3; ++h) {
+        for (std::int64_t w = 0; w < 3; ++w) {
+          sum += x.at({n, c, h, w});
+          dot += x.at({n, c, h, w}) * y.at({n, c, h, w});
+        }
+      }
+    }
+    EXPECT_NEAR(s[c], sum, 1e-4);
+    EXPECT_NEAR(d[c], dot, 1e-4);
+  }
+}
+
+TEST(Channel, MulPerChannel) {
+  Tensor x = Tensor::ones({1, 3, 2, 2});
+  Tensor s = Tensor::from_vector({3}, {1.0F, 2.0F, 3.0F});
+  Tensor y = mul_per_channel(x, s);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 1.0F);
+  EXPECT_FLOAT_EQ(y.at({0, 1, 0, 1}), 2.0F);
+  EXPECT_FLOAT_EQ(y.at({0, 2, 1, 1}), 3.0F);
+}
+
+TEST(Channel, RejectNonNchw) {
+  EXPECT_THROW(channel_mean(Tensor({2, 3})), std::invalid_argument);
+  EXPECT_THROW(channel_sum(Tensor({5})), std::invalid_argument);
+}
+
+/// Property sweep: add(a,b) == add(b,a) and sub(a,a) == 0 on random shapes.
+class BinaryOpSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(BinaryOpSweep, CommutativityAndInverse) {
+  Tensor a = rand_tensor(GetParam(), 11);
+  Tensor b = rand_tensor(GetParam(), 12);
+  Tensor ab = add(a, b);
+  Tensor ba = add(b, a);
+  Tensor zero = sub(a, a);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(ab[i], ba[i]);
+    EXPECT_FLOAT_EQ(zero[i], 0.0F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BinaryOpSweep,
+                         ::testing::Values(Shape{1}, Shape{17},
+                                           Shape{3, 5}, Shape{2, 3, 4},
+                                           Shape{2, 2, 2, 2}));
+
+}  // namespace
+}  // namespace dropback::tensor

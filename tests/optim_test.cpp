@@ -1,0 +1,137 @@
+#include "optim/sgd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.hpp"
+#include "nn/linear.hpp"
+#include "optim/lr_schedule.hpp"
+
+namespace dropback::optim {
+namespace {
+
+namespace T = dropback::tensor;
+namespace ag = dropback::autograd;
+
+TEST(Sgd, AppliesPlainUpdate) {
+  nn::Linear fc(2, 1, 1);
+  fc.weight().var.value().copy_from(T::Tensor::from_vector({1, 2}, {1, 2}));
+  fc.weight().var.grad().copy_from(T::Tensor::from_vector({1, 2}, {0.5F, -1}));
+  SGD opt(fc.parameters(), 0.1F);
+  opt.step();
+  EXPECT_FLOAT_EQ(fc.weight().var.value()[0], 0.95F);
+  EXPECT_FLOAT_EQ(fc.weight().var.value()[1], 2.1F);
+}
+
+TEST(Sgd, SkipsParamsWithoutGrad) {
+  nn::Linear fc(2, 1, 1);
+  const float before = fc.weight().var.value()[0];
+  SGD opt(fc.parameters(), 0.1F);
+  opt.step();  // no gradients anywhere
+  EXPECT_FLOAT_EQ(fc.weight().var.value()[0], before);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  nn::Linear fc(1, 1, 1, /*bias=*/false);
+  fc.weight().var.value()[0] = 2.0F;
+  fc.weight().var.grad()[0] = 0.0F;
+  SGD opt(fc.parameters(), 0.5F, /*weight_decay=*/0.1F);
+  opt.step();
+  // w -= lr * wd * w = 2 - 0.5*0.1*2 = 1.9
+  EXPECT_FLOAT_EQ(fc.weight().var.value()[0], 1.9F);
+}
+
+TEST(Sgd, RejectsNonPositiveLr) {
+  nn::Linear fc(2, 2, 1);
+  EXPECT_THROW(SGD(fc.parameters(), 0.0F), std::invalid_argument);
+  EXPECT_THROW(SGD(fc.parameters(), -1.0F), std::invalid_argument);
+}
+
+TEST(Sgd, ZeroGradClears) {
+  nn::Linear fc(2, 2, 1);
+  fc.weight().var.grad().fill_(1.0F);
+  SGD opt(fc.parameters(), 0.1F);
+  opt.zero_grad();
+  EXPECT_FALSE(fc.weight().var.has_grad());
+}
+
+TEST(Sgd, SetLrTakesEffect) {
+  nn::Linear fc(1, 1, 1, false);
+  fc.weight().var.value()[0] = 1.0F;
+  SGD opt(fc.parameters(), 0.1F);
+  opt.set_lr(1.0F);
+  fc.weight().var.grad()[0] = 1.0F;
+  opt.step();
+  EXPECT_FLOAT_EQ(fc.weight().var.value()[0], 0.0F);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 by gradient descent through the autograd stack.
+  nn::Linear fc(1, 1, 1, false);
+  fc.weight().var.value()[0] = 0.0F;
+  SGD opt(fc.parameters(), 0.1F);
+  for (int i = 0; i < 200; ++i) {
+    ag::Variable w = fc.weight().var;
+    ag::Variable err = ag::add_scalar(w, -3.0F);
+    ag::Variable loss = ag::sum(ag::mul(err, err));
+    opt.zero_grad();
+    ag::backward(loss);
+    opt.step();
+  }
+  EXPECT_NEAR(fc.weight().var.value()[0], 3.0F, 1e-4F);
+}
+
+TEST(StepDecay, MatchesPaperMnistSchedule) {
+  // "initial learning rate of 0.4 was exponentially reduced four times by a
+  // factor of 0.5" over 100 epochs -> decay every 20 epochs, max 4 decays.
+  StepDecay sched(0.4F, 0.5F, 20, /*max_decays=*/4);
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 0.4F);
+  EXPECT_FLOAT_EQ(sched.lr_at(19), 0.4F);
+  EXPECT_FLOAT_EQ(sched.lr_at(20), 0.2F);
+  EXPECT_FLOAT_EQ(sched.lr_at(45), 0.1F);
+  EXPECT_FLOAT_EQ(sched.lr_at(80), 0.025F);
+  EXPECT_FLOAT_EQ(sched.lr_at(99), 0.025F);  // capped at 4 decays
+}
+
+TEST(StepDecay, MatchesPaperCifarSchedule) {
+  // CIFAR: "starting learning rate of 0.4 decayed 0.5x every 25 epochs".
+  StepDecay sched(0.4F, 0.5F, 25);
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 0.4F);
+  EXPECT_FLOAT_EQ(sched.lr_at(25), 0.2F);
+  EXPECT_FLOAT_EQ(sched.lr_at(50), 0.1F);
+  EXPECT_FLOAT_EQ(sched.lr_at(75), 0.05F);
+}
+
+TEST(StepDecay, RejectsBadConfig) {
+  EXPECT_THROW(StepDecay(0.0F, 0.5F, 10), std::invalid_argument);
+  EXPECT_THROW(StepDecay(0.4F, 0.5F, 0), std::invalid_argument);
+}
+
+TEST(ConstantLrTest, AlwaysSame) {
+  ConstantLr lr(0.05F);
+  EXPECT_FLOAT_EQ(lr.lr_at(0), 0.05F);
+  EXPECT_FLOAT_EQ(lr.lr_at(1000), 0.05F);
+}
+
+/// Decay sweep: lr is non-increasing and bounded below by initial*factor^max.
+class StepDecaySweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(StepDecaySweep, MonotoneNonIncreasing) {
+  // Bound the horizon so float lr stays above denormal range even at
+  // period 1 (0.4 * 0.5^99 ~ 6e-31).
+  StepDecay sched(0.4F, 0.5F, GetParam());
+  float prev = sched.lr_at(0);
+  for (std::int64_t e = 1; e < 100; ++e) {
+    const float lr = sched.lr_at(e);
+    EXPECT_LE(lr, prev);
+    EXPECT_GT(lr, 0.0F);
+    prev = lr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, StepDecaySweep,
+                         ::testing::Values(1, 5, 20, 25, 100));
+
+}  // namespace
+}  // namespace dropback::optim

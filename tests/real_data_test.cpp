@@ -1,0 +1,146 @@
+// Tests for the real-dataset format loaders (MNIST IDX, CIFAR-10 binary),
+// using the writers to round-trip synthetic data through the genuine
+// on-disk formats.
+#include "data/real_data.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "data/synthetic_cifar.hpp"
+#include "data/synthetic_mnist.hpp"
+
+namespace dropback::data {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(MnistIdx, RoundTripPreservesLabelsAndQuantizedPixels) {
+  SyntheticMnistOptions opt;
+  opt.num_samples = 20;
+  auto original = make_synthetic_mnist(opt);
+  const std::string images = temp_path("mnist_images.idx3");
+  const std::string labels = temp_path("mnist_labels.idx1");
+  write_mnist_idx(images, labels, *original);
+  auto loaded = load_mnist_idx(images, labels);
+  ASSERT_EQ(loaded->size(), 20);
+  EXPECT_EQ(loaded->sample_shape(), (tensor::Shape{1, 28, 28}));
+  std::vector<float> a(784), b(784);
+  for (std::int64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(loaded->label(i), original->label(i));
+    original->copy_sample(i, a.data());
+    loaded->copy_sample(i, b.data());
+    for (int p = 0; p < 784; ++p) {
+      // One 8-bit quantization round trip: error <= 1/255 (plus rounding).
+      ASSERT_NEAR(a[p], b[p], 1.0F / 255.0F + 1e-6F);
+    }
+  }
+}
+
+TEST(MnistIdx, RejectsBadMagic) {
+  const std::string images = temp_path("bad_images.idx3");
+  const std::string labels = temp_path("bad_labels.idx1");
+  std::ofstream(images, std::ios::binary) << "NOT AN IDX FILE AT ALL";
+  std::ofstream(labels, std::ios::binary) << "NOT AN IDX FILE AT ALL";
+  EXPECT_THROW(load_mnist_idx(images, labels), std::runtime_error);
+}
+
+TEST(MnistIdx, RejectsCountMismatch) {
+  SyntheticMnistOptions opt;
+  opt.num_samples = 8;
+  auto ds_a = make_synthetic_mnist(opt);
+  opt.num_samples = 4;
+  auto ds_b = make_synthetic_mnist(opt);
+  const std::string images_a = temp_path("mm_images.idx3");
+  const std::string labels_a = temp_path("mm_labels_a.idx1");
+  const std::string images_b = temp_path("mm_images_b.idx3");
+  const std::string labels_b = temp_path("mm_labels.idx1");
+  write_mnist_idx(images_a, labels_a, *ds_a);
+  write_mnist_idx(images_b, labels_b, *ds_b);
+  EXPECT_THROW(load_mnist_idx(images_a, labels_b), std::runtime_error);
+}
+
+TEST(MnistIdx, RejectsTruncatedPixels) {
+  SyntheticMnistOptions opt;
+  opt.num_samples = 4;
+  auto ds = make_synthetic_mnist(opt);
+  const std::string images = temp_path("trunc_images.idx3");
+  const std::string labels = temp_path("trunc_labels.idx1");
+  write_mnist_idx(images, labels, *ds);
+  // Truncate the image file.
+  std::ifstream in(images, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(images, std::ios::binary)
+      << content.substr(0, content.size() / 2);
+  EXPECT_THROW(load_mnist_idx(images, labels), std::runtime_error);
+}
+
+TEST(MnistIdx, MissingFileThrows) {
+  EXPECT_THROW(load_mnist_idx("/nonexistent/images", "/nonexistent/labels"),
+               std::runtime_error);
+}
+
+TEST(Cifar10Binary, RoundTripSingleBatch) {
+  SyntheticCifarOptions opt;
+  opt.num_samples = 12;
+  auto original = make_synthetic_cifar(opt);
+  const std::string path = temp_path("cifar_batch.bin");
+  write_cifar10_batch(path, *original);
+  auto loaded = load_cifar10_batches({path});
+  ASSERT_EQ(loaded->size(), 12);
+  EXPECT_EQ(loaded->sample_shape(), (tensor::Shape{3, 32, 32}));
+  std::vector<float> a(3 * 32 * 32), b(3 * 32 * 32);
+  for (std::int64_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(loaded->label(i), original->label(i));
+    original->copy_sample(i, a.data());
+    loaded->copy_sample(i, b.data());
+    for (std::size_t p = 0; p < a.size(); ++p) {
+      ASSERT_NEAR(a[p], b[p], 1.0F / 255.0F + 1e-6F);
+    }
+  }
+}
+
+TEST(Cifar10Binary, ConcatenatesMultipleBatches) {
+  SyntheticCifarOptions opt;
+  opt.num_samples = 5;
+  auto ds1 = make_synthetic_cifar(opt);
+  opt.seed = 99;
+  opt.num_samples = 7;
+  auto ds2 = make_synthetic_cifar(opt);
+  const std::string p1 = temp_path("cifar_b1.bin");
+  const std::string p2 = temp_path("cifar_b2.bin");
+  write_cifar10_batch(p1, *ds1);
+  write_cifar10_batch(p2, *ds2);
+  auto loaded = load_cifar10_batches({p1, p2});
+  EXPECT_EQ(loaded->size(), 12);
+  EXPECT_EQ(loaded->label(0), ds1->label(0));
+  EXPECT_EQ(loaded->label(5), ds2->label(0));
+}
+
+TEST(Cifar10Binary, RejectsNonRecordSizedFile) {
+  const std::string path = temp_path("cifar_bad.bin");
+  std::ofstream(path, std::ios::binary) << "only a few bytes";
+  EXPECT_THROW(load_cifar10_batches({path}), std::runtime_error);
+}
+
+TEST(Cifar10Binary, RejectsOutOfRangeLabel) {
+  const std::string path = temp_path("cifar_badlabel.bin");
+  std::ofstream out(path, std::ios::binary);
+  std::vector<char> record(3073, 0);
+  record[0] = 42;  // invalid label
+  out.write(record.data(), static_cast<std::streamsize>(record.size()));
+  out.close();
+  EXPECT_THROW(load_cifar10_batches({path}), std::runtime_error);
+}
+
+TEST(Cifar10Binary, EmptyPathListThrows) {
+  EXPECT_THROW(load_cifar10_batches({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dropback::data

@@ -1,0 +1,219 @@
+#include "core/sparse_weight_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "autograd/ops.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "rng/xorshift.hpp"
+
+namespace dropback::core {
+namespace {
+
+namespace T = dropback::tensor;
+namespace ag = dropback::autograd;
+
+std::unique_ptr<nn::Sequential> tiny_net(std::uint64_t seed = 1) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Linear>(4, 6, seed);
+  net->emplace<nn::Linear>(6, 3, seed + 1);
+  return net;
+}
+
+void make_gradients(nn::Module& net, std::uint64_t seed = 9) {
+  rng::Xorshift128 rng(seed);
+  T::Tensor x({2, 4});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(-1, 1);
+  ag::Variable input(x);
+  ag::backward(ag::sum(ag::mul(net.forward(input), net.forward(input))));
+}
+
+/// DropBackOptimizer is non-movable (self-referential); hold it by pointer.
+std::unique_ptr<DropBackOptimizer> trained_optimizer(nn::Sequential& net,
+                                                     std::int64_t budget = 12) {
+  DropBackConfig config;
+  config.budget = budget;
+  auto opt = std::make_unique<DropBackOptimizer>(net.collect_parameters(),
+                                                 0.1F, config);
+  for (int iter = 0; iter < 4; ++iter) {
+    net.zero_grad();
+    make_gradients(net, 40 + iter);
+    opt->step();
+  }
+  return opt;
+}
+
+TEST(SparseWeightStore, CapturesExactlyTrackedWeights) {
+  auto net = tiny_net();
+  auto opt = trained_optimizer(*net, 12);
+  auto store = SparseWeightStore::from_optimizer(*opt);
+  EXPECT_EQ(store.num_params(), 4U);
+  EXPECT_EQ(store.live_weights(), 12);
+  EXPECT_EQ(store.dense_weights(), 51);
+  EXPECT_NEAR(store.compression_ratio(), 51.0 / 12.0, 1e-9);
+}
+
+TEST(SparseWeightStore, MaterializeReconstructsModelExactly) {
+  auto net = tiny_net();
+  auto opt = trained_optimizer(*net, 12);
+  auto store = SparseWeightStore::from_optimizer(*opt);
+  const ParamIndex& index = opt->param_index();
+  for (std::size_t p = 0; p < index.num_params(); ++p) {
+    T::Tensor dense = store.materialize(p);
+    nn::Parameter& param = index.param(p);
+    ASSERT_EQ(dense.shape(), param.var.value().shape());
+    for (std::int64_t i = 0; i < dense.numel(); ++i) {
+      EXPECT_EQ(dense[i], param.var.value()[i])
+          << param.name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(SparseWeightStore, ApplyToRestoresIntoFreshModel) {
+  auto net = tiny_net(3);
+  auto opt = trained_optimizer(*net, 10);
+  auto store = SparseWeightStore::from_optimizer(*opt);
+  // Fresh model with the same topology but different weights.
+  auto fresh = tiny_net(99);
+  auto fresh_params = fresh->collect_parameters();
+  store.apply_to(fresh_params);
+  auto trained_params = net->collect_parameters();
+  for (std::size_t p = 0; p < fresh_params.size(); ++p) {
+    for (std::int64_t i = 0; i < fresh_params[p]->numel(); ++i) {
+      EXPECT_EQ(fresh_params[p]->var.value()[i],
+                trained_params[p]->var.value()[i]);
+    }
+  }
+}
+
+TEST(SparseWeightStore, ApplyToChecksShapes) {
+  auto net = tiny_net();
+  auto opt = trained_optimizer(*net, 10);
+  auto store = SparseWeightStore::from_optimizer(*opt);
+  nn::Sequential other;
+  other.emplace<nn::Linear>(5, 5, 1);
+  EXPECT_THROW(store.apply_to(other.collect_parameters()),
+               std::invalid_argument);
+}
+
+TEST(SparseWeightStore, SaveLoadRoundTrip) {
+  auto net = tiny_net();
+  auto opt = trained_optimizer(*net, 15);
+  auto store = SparseWeightStore::from_optimizer(*opt);
+  std::stringstream ss;
+  store.save(ss);
+  auto loaded = SparseWeightStore::load(ss);
+  EXPECT_TRUE(store == loaded);
+  EXPECT_EQ(loaded.live_weights(), store.live_weights());
+}
+
+TEST(SparseWeightStore, BytesMatchesSerializedSize) {
+  auto net = tiny_net();
+  auto opt = trained_optimizer(*net, 15);
+  auto store = SparseWeightStore::from_optimizer(*opt);
+  std::stringstream ss;
+  store.save(ss);
+  EXPECT_EQ(static_cast<std::int64_t>(ss.str().size()), store.bytes());
+}
+
+TEST(SparseWeightStore, CompressedSmallerThanDenseAtLowBudget) {
+  // Use a model big enough that per-parameter header overhead (name, shape,
+  // InitSpec) is amortized; on a 51-weight toy net the headers dominate.
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Linear>(40, 40, 1);
+  DropBackConfig config;
+  config.budget = 80;
+  DropBackOptimizer opt(net->collect_parameters(), 0.1F, config);
+  rng::Xorshift128 rng(5);
+  T::Tensor x({2, 40});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(-1, 1);
+  ag::Variable input(x);
+  ag::backward(ag::sum(ag::mul(net->forward(input), net->forward(input))));
+  opt.step();
+  auto store = SparseWeightStore::from_optimizer(opt);
+  EXPECT_LT(store.bytes(), store.dense_bytes() / 4);
+}
+
+TEST(SparseWeightStore, LoadRejectsGarbage) {
+  std::stringstream ss;
+  ss << "not a store";
+  EXPECT_THROW(SparseWeightStore::load(ss), std::runtime_error);
+}
+
+TEST(SparseWeightStore, LoadRejectsTruncated) {
+  auto net = tiny_net();
+  auto opt = trained_optimizer(*net, 15);
+  auto store = SparseWeightStore::from_optimizer(*opt);
+  std::stringstream ss;
+  store.save(ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() - 7));
+  EXPECT_THROW(SparseWeightStore::load(cut), std::runtime_error);
+}
+
+TEST(SparseWeightStore, FileRoundTrip) {
+  auto net = tiny_net();
+  auto opt = trained_optimizer(*net, 8);
+  auto store = SparseWeightStore::from_optimizer(*opt);
+  const std::string path = ::testing::TempDir() + "/store_roundtrip.dbsw";
+  store.save_file(path);
+  auto loaded = SparseWeightStore::load_file(path);
+  EXPECT_TRUE(store == loaded);
+}
+
+TEST(SparseWeightStore, TrafficCounterCountsRegens) {
+  auto net = tiny_net();
+  auto opt = trained_optimizer(*net, 12);
+  auto store = SparseWeightStore::from_optimizer(*opt);
+  energy::TrafficCounter traffic;
+  for (std::size_t p = 0; p < store.num_params(); ++p) {
+    store.materialize(p, &traffic);
+  }
+  EXPECT_EQ(traffic.dram_reads, 12U);
+  EXPECT_EQ(traffic.regens, 39U);
+}
+
+TEST(SparseWeightStore, FromParamsWithToleranceSkipsUnchanged) {
+  auto net = tiny_net();
+  auto params = net->collect_parameters();
+  // Untouched network: every weight equals its init, so nothing is stored.
+  auto store = SparseWeightStore::from_params(params, 0.0F);
+  EXPECT_EQ(store.live_weights(), 0);
+  // Perturb exactly three weights.
+  params[0]->var.value()[0] += 1.0F;
+  params[0]->var.value()[5] += 1.0F;
+  params[2]->var.value()[1] -= 1.0F;
+  store = SparseWeightStore::from_params(params, 0.0F);
+  EXPECT_EQ(store.live_weights(), 3);
+}
+
+TEST(SparseWeightStore, UntrainedOptimizerStoresEverything) {
+  // Before the first step the tracked set is "all tracked": the store is a
+  // dense snapshot.
+  auto net = tiny_net();
+  DropBackConfig config;
+  config.budget = 10;
+  DropBackOptimizer opt(net->collect_parameters(), 0.1F, config);
+  auto store = SparseWeightStore::from_optimizer(opt);
+  EXPECT_EQ(store.live_weights(), 51);
+}
+
+/// Budget sweep for the store round trip.
+class StoreBudgetSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(StoreBudgetSweep, RoundTripAtEveryBudget) {
+  auto net = tiny_net();
+  auto opt = trained_optimizer(*net, GetParam());
+  auto store = SparseWeightStore::from_optimizer(*opt);
+  std::stringstream ss;
+  store.save(ss);
+  EXPECT_TRUE(SparseWeightStore::load(ss) == store);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, StoreBudgetSweep,
+                         ::testing::Values(1, 5, 20, 50));
+
+}  // namespace
+}  // namespace dropback::core

@@ -1,0 +1,149 @@
+#include "train/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "nn/linear.hpp"
+#include "nn/models/lenet.hpp"
+#include "nn/sequential.hpp"
+#include "optim/lr_schedule.hpp"
+
+namespace dropback::train {
+namespace {
+
+namespace ag = dropback::autograd;
+
+struct TinyTask {
+  std::unique_ptr<data::InMemoryDataset> train_set;
+  std::unique_ptr<data::InMemoryDataset> val_set;
+};
+
+TinyTask make_task(std::int64_t n_train = 200, std::int64_t n_val = 100) {
+  data::SyntheticMnistOptions opt;
+  opt.num_samples = n_train;
+  opt.seed = 1;
+  TinyTask task;
+  task.train_set = data::make_synthetic_mnist(opt);
+  opt.num_samples = n_val;
+  opt.seed = 2;
+  task.val_set = data::make_synthetic_mnist(opt);
+  return task;
+}
+
+TEST(TrainerTest, LossDecreasesAndAccuracyRises) {
+  auto task = make_task();
+  auto model = nn::models::make_mnist_100_100(3);
+  optim::SGD opt(model->collect_parameters(), 0.1F);
+  TrainOptions options;
+  options.epochs = 12;
+  options.batch_size = 32;
+  Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
+  const auto result = trainer.run();
+  ASSERT_EQ(result.history.size(), 12U);
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss);
+  EXPECT_GT(result.best_val_acc, 0.5);
+  EXPECT_GE(result.best_epoch, 0);
+}
+
+TEST(TrainerTest, EvaluateMatchesManualAccuracy) {
+  auto task = make_task(50, 50);
+  auto model = nn::models::make_mnist_100_100(3);
+  const double acc = Trainer::evaluate(*model, *task.val_set, 16);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+  // Deterministic: same model, same data, same answer.
+  EXPECT_DOUBLE_EQ(acc, Trainer::evaluate(*model, *task.val_set, 7));
+}
+
+TEST(TrainerTest, EvaluateRestoresTrainingMode) {
+  auto task = make_task(20, 20);
+  auto model = nn::models::make_mnist_100_100(3);
+  model->set_training(true);
+  Trainer::evaluate(*model, *task.val_set, 10);
+  EXPECT_TRUE(model->training());
+}
+
+TEST(TrainerTest, ScheduleDrivesLearningRate) {
+  auto task = make_task(40, 20);
+  auto model = nn::models::make_mnist_100_100(4);
+  optim::SGD opt(model->collect_parameters(), 1.0F);
+  optim::StepDecay schedule(0.4F, 0.5F, 1);  // halve every epoch
+  TrainOptions options;
+  options.epochs = 3;
+  options.schedule = &schedule;
+  Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
+  const auto result = trainer.run();
+  EXPECT_FLOAT_EQ(result.history[0].lr, 0.4F);
+  EXPECT_FLOAT_EQ(result.history[1].lr, 0.2F);
+  EXPECT_FLOAT_EQ(result.history[2].lr, 0.1F);
+}
+
+TEST(TrainerTest, EarlyStoppingByPatience) {
+  auto task = make_task(40, 20);
+  auto model = nn::models::make_mnist_100_100(4);
+  // lr = tiny: validation accuracy will not improve, so patience triggers.
+  optim::SGD opt(model->collect_parameters(), 1e-8F);
+  TrainOptions options;
+  options.epochs = 50;
+  options.patience = 2;
+  Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
+  const auto result = trainer.run();
+  EXPECT_LT(result.history.size(), 10U);
+}
+
+TEST(TrainerTest, HooksFireInOrder) {
+  auto task = make_task(32, 16);
+  auto model = nn::models::make_mnist_100_100(5);
+  optim::SGD opt(model->collect_parameters(), 0.05F);
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 16;
+  Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
+  int loss_calls = 0, backward_calls = 0, step_calls = 0, epoch_calls = 0;
+  trainer.loss_transform = [&](const ag::Variable& loss) {
+    ++loss_calls;
+    return loss;
+  };
+  trainer.after_backward = [&] { ++backward_calls; };
+  trainer.after_step = [&](std::int64_t) { ++step_calls; };
+  trainer.on_epoch_end = [&](const EpochStats&) { ++epoch_calls; };
+  trainer.run();
+  EXPECT_EQ(loss_calls, 2);  // 32 samples / batch 16
+  EXPECT_EQ(backward_calls, 2);
+  EXPECT_EQ(step_calls, 2);
+  EXPECT_EQ(epoch_calls, 1);
+  EXPECT_EQ(trainer.global_step(), 2);
+}
+
+TEST(TrainerTest, LossTransformChangesOptimizedObjective) {
+  auto task = make_task(32, 16);
+  auto model = nn::models::make_mnist_100_100(6);
+  auto params = model->collect_parameters();
+  optim::SGD opt(params, 0.1F);
+  TrainOptions options;
+  options.epochs = 1;
+  Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
+  // Scale loss to zero: no parameter should move.
+  trainer.loss_transform = [](const ag::Variable& loss) {
+    return ag::mul_scalar(loss, 0.0F);
+  };
+  const float before = params[0]->var.value()[0];
+  trainer.run();
+  EXPECT_FLOAT_EQ(params[0]->var.value()[0], before);
+}
+
+TEST(TrainerTest, RejectsBadOptions) {
+  auto task = make_task(10, 10);
+  auto model = nn::models::make_mnist_100_100(3);
+  optim::SGD opt(model->collect_parameters(), 0.1F);
+  TrainOptions options;
+  options.epochs = 0;
+  EXPECT_THROW(
+      Trainer(*model, opt, *task.train_set, *task.val_set, options),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dropback::train

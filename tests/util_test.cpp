@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace dropback::util {
+namespace {
+
+TEST(CheckMacro, ThrowsWithMessage) {
+  try {
+    DROPBACK_CHECK(1 == 2, << "custom detail " << 42);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+  }
+}
+
+TEST(CheckMacro, PassesSilently) {
+  EXPECT_NO_THROW(DROPBACK_CHECK(true, << "never shown"));
+}
+
+TEST(Flags, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=1.5", "--name", "foo", "--verbose"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(flags.get_string("name", ""), "foo");
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  const char* argv[] = {"prog", "input.bin", "--k=3", "output.bin"};
+  Flags flags(4, const_cast<char**>(argv));
+  ASSERT_EQ(flags.positional().size(), 2U);
+  EXPECT_EQ(flags.positional()[0], "input.bin");
+  EXPECT_EQ(flags.positional()[1], "output.bin");
+}
+
+TEST(Flags, EnvFallbackWithPrefix) {
+  ::setenv("DROPBACK_TEST_KNOB", "123", 1);
+  Flags flags;
+  EXPECT_EQ(flags.get_int("test-knob", 0), 123);
+  ::unsetenv("DROPBACK_TEST_KNOB");
+  EXPECT_EQ(flags.get_int("test-knob", 5), 5);
+}
+
+TEST(Flags, CliBeatsEnv) {
+  ::setenv("DROPBACK_K", "10", 1);
+  const char* argv[] = {"prog", "--k=20"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("k", 0), 20);
+  ::unsetenv("DROPBACK_K");
+}
+
+TEST(Flags, BadNumberThrows) {
+  const char* argv[] = {"prog", "--k=abc"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_THROW(flags.get_int("k", 0), std::runtime_error);
+  EXPECT_THROW(flags.get_double("k", 0), std::runtime_error);
+}
+
+TEST(Flags, BoolForms) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=off"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_FALSE(flags.get_bool("b", true));
+  EXPECT_TRUE(flags.get_bool("c", false));
+  EXPECT_FALSE(flags.get_bool("d", true));
+}
+
+TEST(Csv, WritesHeaderRowsAndEscapes) {
+  const std::string path = ::testing::TempDir() + "/util_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"a", "b,with,commas", "c"});
+    csv.row(std::vector<std::string>{"1", "say \"hi\"", "line\nbreak"});
+    csv.row(std::vector<double>{1.5, 2.25, -3.0});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("a,\"b,with,commas\",c"), std::string::npos);
+  EXPECT_NE(content.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(content.find("1.5,2.25,-3"), std::string::npos);
+}
+
+TEST(Csv, FormatRoundTripsDoubles) {
+  EXPECT_EQ(CsvWriter::format(0.5), "0.5");
+  EXPECT_EQ(CsvWriter::format(std::nan("")), "nan");
+}
+
+TEST(Csv, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"),
+               std::runtime_error);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"a-much-longer-name", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2U);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  EXPECT_NO_THROW({ const auto s = table.render(); (void)s; });
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::pct(0.0142), "1.42%");
+  EXPECT_EQ(Table::pct(0.905, 1), "90.5%");
+  EXPECT_EQ(Table::times(5.333, 2), "5.33x");
+  EXPECT_EQ(Table::num(3.14159, 3), "3.142");
+  EXPECT_EQ(Table::count(1500000), "1.5M");
+  EXPECT_EQ(Table::count(50000), "50k");
+  EXPECT_EQ(Table::count(123), "123");
+}
+
+TEST(Log, LevelsParse) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("nonsense"), LogLevel::kInfo);
+}
+
+TEST(Log, SetAndGetLevel) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Suppressed message should not crash.
+  log_info() << "this is below the level and discarded";
+  set_log_level(old);
+}
+
+}  // namespace
+}  // namespace dropback::util

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_gradients.dir/bench_fig1_gradients.cpp.o"
+  "CMakeFiles/bench_fig1_gradients.dir/bench_fig1_gradients.cpp.o.d"
+  "bench_fig1_gradients"
+  "bench_fig1_gradients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_gradients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_convergence_cifar.dir/bench_fig4_convergence_cifar.cpp.o"
+  "CMakeFiles/bench_fig4_convergence_cifar.dir/bench_fig4_convergence_cifar.cpp.o.d"
+  "bench_fig4_convergence_cifar"
+  "bench_fig4_convergence_cifar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_convergence_cifar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_diffusion.dir/bench_fig5_diffusion.cpp.o"
+  "CMakeFiles/bench_fig5_diffusion.dir/bench_fig5_diffusion.cpp.o.d"
+  "bench_fig5_diffusion"
+  "bench_fig5_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_pca.dir/bench_fig6_pca.cpp.o"
+  "CMakeFiles/bench_fig6_pca.dir/bench_fig6_pca.cpp.o.d"
+  "bench_fig6_pca"
+  "bench_fig6_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mnist.dir/bench_table1_mnist.cpp.o"
+  "CMakeFiles/bench_table1_mnist.dir/bench_table1_mnist.cpp.o.d"
+  "bench_table1_mnist"
+  "bench_table1_mnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

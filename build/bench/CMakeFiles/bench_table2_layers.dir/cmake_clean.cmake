@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_layers.dir/bench_table2_layers.cpp.o"
+  "CMakeFiles/bench_table2_layers.dir/bench_table2_layers.cpp.o.d"
+  "bench_table2_layers"
+  "bench_table2_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

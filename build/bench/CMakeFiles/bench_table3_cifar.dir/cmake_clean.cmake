@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_cifar.dir/bench_table3_cifar.cpp.o"
+  "CMakeFiles/bench_table3_cifar.dir/bench_table3_cifar.cpp.o.d"
+  "bench_table3_cifar"
+  "bench_table3_cifar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_cifar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_sizing.dir/accelerator_sizing.cpp.o"
+  "CMakeFiles/accelerator_sizing.dir/accelerator_sizing.cpp.o.d"
+  "accelerator_sizing"
+  "accelerator_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_pruning.dir/compare_pruning.cpp.o"
+  "CMakeFiles/compare_pruning.dir/compare_pruning.cpp.o.d"
+  "compare_pruning"
+  "compare_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

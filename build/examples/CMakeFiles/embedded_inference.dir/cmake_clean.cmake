@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_inference.dir/embedded_inference.cpp.o"
+  "CMakeFiles/embedded_inference.dir/embedded_inference.cpp.o.d"
+  "embedded_inference"
+  "embedded_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

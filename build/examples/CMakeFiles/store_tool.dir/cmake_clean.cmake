@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_tool.dir/store_tool.cpp.o"
+  "CMakeFiles/store_tool.dir/store_tool.cpp.o.d"
+  "store_tool"
+  "store_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_cifar_dropback.dir/train_cifar_dropback.cpp.o"
+  "CMakeFiles/train_cifar_dropback.dir/train_cifar_dropback.cpp.o.d"
+  "train_cifar_dropback"
+  "train_cifar_dropback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_cifar_dropback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for train_cifar_dropback.
+# This may be replaced when dependencies are built.

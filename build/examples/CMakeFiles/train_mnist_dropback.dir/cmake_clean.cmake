@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_mnist_dropback.dir/train_mnist_dropback.cpp.o"
+  "CMakeFiles/train_mnist_dropback.dir/train_mnist_dropback.cpp.o.d"
+  "train_mnist_dropback"
+  "train_mnist_dropback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_mnist_dropback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_data.dir/visualize_data.cpp.o"
+  "CMakeFiles/visualize_data.dir/visualize_data.cpp.o.d"
+  "visualize_data"
+  "visualize_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

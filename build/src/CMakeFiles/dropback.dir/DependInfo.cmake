@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/diffusion.cpp" "src/CMakeFiles/dropback.dir/analysis/diffusion.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/analysis/diffusion.cpp.o.d"
+  "/root/repo/src/analysis/kde.cpp" "src/CMakeFiles/dropback.dir/analysis/kde.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/analysis/kde.cpp.o.d"
+  "/root/repo/src/analysis/pca.cpp" "src/CMakeFiles/dropback.dir/analysis/pca.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/analysis/pca.cpp.o.d"
+  "/root/repo/src/analysis/set_stability.cpp" "src/CMakeFiles/dropback.dir/analysis/set_stability.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/analysis/set_stability.cpp.o.d"
+  "/root/repo/src/analysis/sparsity_report.cpp" "src/CMakeFiles/dropback.dir/analysis/sparsity_report.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/analysis/sparsity_report.cpp.o.d"
+  "/root/repo/src/autograd/conv_ops.cpp" "src/CMakeFiles/dropback.dir/autograd/conv_ops.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/autograd/conv_ops.cpp.o.d"
+  "/root/repo/src/autograd/ops.cpp" "src/CMakeFiles/dropback.dir/autograd/ops.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/autograd/ops.cpp.o.d"
+  "/root/repo/src/autograd/variable.cpp" "src/CMakeFiles/dropback.dir/autograd/variable.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/autograd/variable.cpp.o.d"
+  "/root/repo/src/baselines/dsd.cpp" "src/CMakeFiles/dropback.dir/baselines/dsd.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/baselines/dsd.cpp.o.d"
+  "/root/repo/src/baselines/gradual_pruner.cpp" "src/CMakeFiles/dropback.dir/baselines/gradual_pruner.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/baselines/gradual_pruner.cpp.o.d"
+  "/root/repo/src/baselines/magnitude_pruner.cpp" "src/CMakeFiles/dropback.dir/baselines/magnitude_pruner.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/baselines/magnitude_pruner.cpp.o.d"
+  "/root/repo/src/baselines/network_slimming.cpp" "src/CMakeFiles/dropback.dir/baselines/network_slimming.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/baselines/network_slimming.cpp.o.d"
+  "/root/repo/src/baselines/variational_dropout.cpp" "src/CMakeFiles/dropback.dir/baselines/variational_dropout.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/baselines/variational_dropout.cpp.o.d"
+  "/root/repo/src/core/accumulated_gradients.cpp" "src/CMakeFiles/dropback.dir/core/accumulated_gradients.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/core/accumulated_gradients.cpp.o.d"
+  "/root/repo/src/core/dropback_optimizer.cpp" "src/CMakeFiles/dropback.dir/core/dropback_optimizer.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/core/dropback_optimizer.cpp.o.d"
+  "/root/repo/src/core/reference_algorithm.cpp" "src/CMakeFiles/dropback.dir/core/reference_algorithm.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/core/reference_algorithm.cpp.o.d"
+  "/root/repo/src/core/sparse_backward.cpp" "src/CMakeFiles/dropback.dir/core/sparse_backward.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/core/sparse_backward.cpp.o.d"
+  "/root/repo/src/core/sparse_weight_store.cpp" "src/CMakeFiles/dropback.dir/core/sparse_weight_store.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/core/sparse_weight_store.cpp.o.d"
+  "/root/repo/src/core/tracked_set.cpp" "src/CMakeFiles/dropback.dir/core/tracked_set.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/core/tracked_set.cpp.o.d"
+  "/root/repo/src/data/dataloader.cpp" "src/CMakeFiles/dropback.dir/data/dataloader.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/data/dataloader.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/dropback.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/real_data.cpp" "src/CMakeFiles/dropback.dir/data/real_data.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/data/real_data.cpp.o.d"
+  "/root/repo/src/data/synthetic_cifar.cpp" "src/CMakeFiles/dropback.dir/data/synthetic_cifar.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/data/synthetic_cifar.cpp.o.d"
+  "/root/repo/src/data/synthetic_mnist.cpp" "src/CMakeFiles/dropback.dir/data/synthetic_mnist.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/data/synthetic_mnist.cpp.o.d"
+  "/root/repo/src/energy/energy_model.cpp" "src/CMakeFiles/dropback.dir/energy/energy_model.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/energy/energy_model.cpp.o.d"
+  "/root/repo/src/energy/memory_hierarchy.cpp" "src/CMakeFiles/dropback.dir/energy/memory_hierarchy.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/energy/memory_hierarchy.cpp.o.d"
+  "/root/repo/src/inference/regen_forward.cpp" "src/CMakeFiles/dropback.dir/inference/regen_forward.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/inference/regen_forward.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/dropback.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/dropback.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/CMakeFiles/dropback.dir/nn/checkpoint.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/nn/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/dropback.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/CMakeFiles/dropback.dir/nn/dropout.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/dropback.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/dropback.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/models/densenet.cpp" "src/CMakeFiles/dropback.dir/nn/models/densenet.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/nn/models/densenet.cpp.o.d"
+  "/root/repo/src/nn/models/lenet.cpp" "src/CMakeFiles/dropback.dir/nn/models/lenet.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/nn/models/lenet.cpp.o.d"
+  "/root/repo/src/nn/models/vgg_s.cpp" "src/CMakeFiles/dropback.dir/nn/models/vgg_s.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/nn/models/vgg_s.cpp.o.d"
+  "/root/repo/src/nn/models/wrn.cpp" "src/CMakeFiles/dropback.dir/nn/models/wrn.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/nn/models/wrn.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/dropback.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/dropback.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/dropback.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/optim/lr_schedule.cpp" "src/CMakeFiles/dropback.dir/optim/lr_schedule.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/optim/lr_schedule.cpp.o.d"
+  "/root/repo/src/optim/momentum.cpp" "src/CMakeFiles/dropback.dir/optim/momentum.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/optim/momentum.cpp.o.d"
+  "/root/repo/src/optim/sgd.cpp" "src/CMakeFiles/dropback.dir/optim/sgd.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/optim/sgd.cpp.o.d"
+  "/root/repo/src/quant/quantized_store.cpp" "src/CMakeFiles/dropback.dir/quant/quantized_store.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/quant/quantized_store.cpp.o.d"
+  "/root/repo/src/rng/init_spec.cpp" "src/CMakeFiles/dropback.dir/rng/init_spec.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/rng/init_spec.cpp.o.d"
+  "/root/repo/src/rng/xorshift.cpp" "src/CMakeFiles/dropback.dir/rng/xorshift.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/rng/xorshift.cpp.o.d"
+  "/root/repo/src/tensor/conv.cpp" "src/CMakeFiles/dropback.dir/tensor/conv.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/tensor/conv.cpp.o.d"
+  "/root/repo/src/tensor/matmul.cpp" "src/CMakeFiles/dropback.dir/tensor/matmul.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/tensor/matmul.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/dropback.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/serialize.cpp" "src/CMakeFiles/dropback.dir/tensor/serialize.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/tensor/serialize.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/dropback.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/train/dropback_session.cpp" "src/CMakeFiles/dropback.dir/train/dropback_session.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/train/dropback_session.cpp.o.d"
+  "/root/repo/src/train/eval_metrics.cpp" "src/CMakeFiles/dropback.dir/train/eval_metrics.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/train/eval_metrics.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/CMakeFiles/dropback.dir/train/trainer.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/train/trainer.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/dropback.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/CMakeFiles/dropback.dir/util/flags.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/util/flags.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/dropback.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/dropback.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/dropback.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_grad_test.dir/composite_grad_test.cpp.o"
+  "CMakeFiles/composite_grad_test.dir/composite_grad_test.cpp.o.d"
+  "composite_grad_test"
+  "composite_grad_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_grad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

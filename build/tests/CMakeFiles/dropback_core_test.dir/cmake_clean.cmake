@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dropback_core_test.dir/dropback_core_test.cpp.o"
+  "CMakeFiles/dropback_core_test.dir/dropback_core_test.cpp.o.d"
+  "dropback_core_test"
+  "dropback_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dropback_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

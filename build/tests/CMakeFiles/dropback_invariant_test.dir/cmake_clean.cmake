@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dropback_invariant_test.dir/dropback_invariant_test.cpp.o"
+  "CMakeFiles/dropback_invariant_test.dir/dropback_invariant_test.cpp.o.d"
+  "dropback_invariant_test"
+  "dropback_invariant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dropback_invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

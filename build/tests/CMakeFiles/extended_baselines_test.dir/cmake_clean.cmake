@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_baselines_test.dir/extended_baselines_test.cpp.o"
+  "CMakeFiles/extended_baselines_test.dir/extended_baselines_test.cpp.o.d"
+  "extended_baselines_test"
+  "extended_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_rng_test.dir/golden_rng_test.cpp.o"
+  "CMakeFiles/golden_rng_test.dir/golden_rng_test.cpp.o.d"
+  "golden_rng_test"
+  "golden_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/init_spec_test.dir/init_spec_test.cpp.o"
+  "CMakeFiles/init_spec_test.dir/init_spec_test.cpp.o.d"
+  "init_spec_test"
+  "init_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/init_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_sweep_test.dir/model_sweep_test.cpp.o"
+  "CMakeFiles/model_sweep_test.dir/model_sweep_test.cpp.o.d"
+  "model_sweep_test"
+  "model_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

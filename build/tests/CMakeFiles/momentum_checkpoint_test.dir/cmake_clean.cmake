@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/momentum_checkpoint_test.dir/momentum_checkpoint_test.cpp.o"
+  "CMakeFiles/momentum_checkpoint_test.dir/momentum_checkpoint_test.cpp.o.d"
+  "momentum_checkpoint_test"
+  "momentum_checkpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/momentum_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prunable_layers_test.dir/prunable_layers_test.cpp.o"
+  "CMakeFiles/prunable_layers_test.dir/prunable_layers_test.cpp.o.d"
+  "prunable_layers_test"
+  "prunable_layers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prunable_layers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_data_test.dir/real_data_test.cpp.o"
+  "CMakeFiles/real_data_test.dir/real_data_test.cpp.o.d"
+  "real_data_test"
+  "real_data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_equivalence_test.dir/reference_equivalence_test.cpp.o"
+  "CMakeFiles/reference_equivalence_test.dir/reference_equivalence_test.cpp.o.d"
+  "reference_equivalence_test"
+  "reference_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

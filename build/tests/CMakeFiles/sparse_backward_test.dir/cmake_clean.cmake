@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_backward_test.dir/sparse_backward_test.cpp.o"
+  "CMakeFiles/sparse_backward_test.dir/sparse_backward_test.cpp.o.d"
+  "sparse_backward_test"
+  "sparse_backward_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_backward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

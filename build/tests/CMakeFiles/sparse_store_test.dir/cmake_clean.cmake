@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_store_test.dir/sparse_store_test.cpp.o"
+  "CMakeFiles/sparse_store_test.dir/sparse_store_test.cpp.o.d"
+  "sparse_store_test"
+  "sparse_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

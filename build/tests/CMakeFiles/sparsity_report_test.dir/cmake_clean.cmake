@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsity_report_test.dir/sparsity_report_test.cpp.o"
+  "CMakeFiles/sparsity_report_test.dir/sparsity_report_test.cpp.o.d"
+  "sparsity_report_test"
+  "sparsity_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsity_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,9 +4,23 @@
 // materialization. These back the ablation discussion in DESIGN.md: the
 // top-k selection must stay cheap relative to the backward pass, and regen
 // must be orders of magnitude faster than a memory-bound weight load.
+//
+// Threading: `--threads N` (or DROPBACK_THREADS) sizes the kernel thread
+// pool for the google-benchmark section, `--threads 1` reproduces the
+// fully serial numbers. `--speedup` first runs a serial-vs-threaded
+// comparison over matmul, conv2d, and top-k select, emitting one JSON line
+// per config (bench, shape, threads, serial_ms, parallel_ms, speedup) so
+// successive PRs can track the scaling trajectory. The outputs are
+// bitwise identical by construction (see tests/parallel_equivalence_test),
+// so the comparison is purely about wall-clock.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "autograd/ops.hpp"
 #include "core/dropback_optimizer.hpp"
@@ -19,6 +33,9 @@
 #include "rng/xorshift.hpp"
 #include "tensor/conv.hpp"
 #include "tensor/matmul.hpp"
+#include "util/flags.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -97,6 +114,32 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(128);
 
+void BM_MatmulThreaded(benchmark::State& state) {
+  // Args: {matrix side, pool threads}. Resizes the global pool for the run;
+  // the pool is restored to serial afterwards so other benches are
+  // unaffected.
+  const auto n = state.range(0);
+  util::set_num_threads(static_cast<int>(state.range(1)));
+  rng::Xorshift128 rng(1);
+  tensor::Tensor a({n, n}), b({n, n});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a[i] = rng.uniform(-1, 1);
+    b[i] = rng.uniform(-1, 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b).data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n * n);
+  util::set_num_threads(1);
+}
+BENCHMARK(BM_MatmulThreaded)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 4});
+
 void BM_Conv2d(benchmark::State& state) {
   rng::Xorshift128 rng(1);
   tensor::Tensor x({8, 8, 16, 16}), w({16, 8, 3, 3}), b({16});
@@ -108,6 +151,40 @@ void BM_Conv2d(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2d);
+
+void BM_Conv2dThreaded(benchmark::State& state) {
+  // Arg: pool threads, on a CIFAR-sized convolution.
+  util::set_num_threads(static_cast<int>(state.range(0)));
+  rng::Xorshift128 rng(1);
+  tensor::Tensor x({16, 16, 32, 32}), w({32, 16, 3, 3}), b({32});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(-1, 1);
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.uniform(-1, 1);
+  tensor::Conv2dSpec spec{3, 3, 1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::conv2d(x, w, b, spec).data());
+  }
+  util::set_num_threads(1);
+}
+BENCHMARK(BM_Conv2dThreaded)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_TopKSelectionThreaded(benchmark::State& state) {
+  // Args: {pool threads}; large tie-free score vector, fullsort strategy
+  // (the one with the parallel two-pass variant).
+  util::set_num_threads(static_cast<int>(state.range(0)));
+  nn::Sequential net;
+  net.emplace<nn::Linear>(1000, 1000, 1);
+  core::ParamIndex index(net.collect_parameters());
+  core::TrackedSet set(index);
+  rng::Xorshift128 rng(1);
+  std::vector<float> scores(static_cast<std::size_t>(index.total()));
+  for (auto& s : scores) s = rng.uniform();
+  for (auto _ : state) {
+    set.select(scores, 50000, core::SelectionStrategy::kFullSort);
+    benchmark::DoNotOptimize(set.tracked_count());
+  }
+  util::set_num_threads(1);
+}
+BENCHMARK(BM_TopKSelectionThreaded)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_DropBackStep(benchmark::State& state) {
   auto model = nn::models::make_mnist_100_100(7);
@@ -204,6 +281,123 @@ void BM_SparseStoreMaterialize(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseStoreMaterialize)->Arg(2000)->Arg(20000);
 
+// ---------------------------------------------------------------------------
+// --speedup: serial-vs-threaded comparison, one JSON line per config.
+// ---------------------------------------------------------------------------
+
+/// Best-of-`reps` wall-clock of `fn` under `threads` pool threads.
+template <typename Fn>
+double best_ms(int threads, int reps, Fn&& fn) {
+  util::set_num_threads(threads);
+  fn();  // warm-up (also pays the one-time pool spawn)
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
+    fn();
+    best = std::min(best, timer.elapsed_ms());
+  }
+  return best;
+}
+
+void emit_speedup_line(const char* bench, const std::string& shape,
+                       int threads, double serial_ms, double parallel_ms) {
+  std::printf(
+      "{\"bench\":\"%s\",\"shape\":\"%s\",\"threads\":%d,"
+      "\"serial_ms\":%.3f,\"parallel_ms\":%.3f,\"speedup\":%.2f}\n",
+      bench, shape.c_str(), threads, serial_ms, parallel_ms,
+      parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+}
+
+void run_speedup_report(int threads) {
+  std::printf("# serial-vs-threaded speedup (threads=%d, best-of-3; outputs "
+              "are bitwise identical across configs)\n", threads);
+
+  for (std::int64_t n : {std::int64_t{256}, std::int64_t{512}}) {
+    rng::Xorshift128 rng(1);
+    tensor::Tensor a({n, n}), b({n, n});
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      a[i] = rng.uniform(-1, 1);
+      b[i] = rng.uniform(-1, 1);
+    }
+    auto body = [&] { benchmark::DoNotOptimize(tensor::matmul(a, b).data()); };
+    const double serial = best_ms(1, 3, body);
+    const double parallel = best_ms(threads, 3, body);
+    emit_speedup_line("matmul",
+                      std::to_string(n) + "x" + std::to_string(n) + "x" +
+                          std::to_string(n),
+                      threads, serial, parallel);
+  }
+
+  {
+    rng::Xorshift128 rng(1);
+    tensor::Tensor x({16, 16, 32, 32}), w({32, 16, 3, 3}), b({32});
+    for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(-1, 1);
+    for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.uniform(-1, 1);
+    tensor::Conv2dSpec spec{3, 3, 1, 1};
+    auto body = [&] {
+      benchmark::DoNotOptimize(tensor::conv2d(x, w, b, spec).data());
+    };
+    const double serial = best_ms(1, 3, body);
+    const double parallel = best_ms(threads, 3, body);
+    emit_speedup_line("conv2d", "16x16x32x32/k3s1p1", threads, serial,
+                      parallel);
+  }
+
+  {
+    nn::Sequential net;
+    net.emplace<nn::Linear>(1000, 1000, 1);
+    core::ParamIndex index(net.collect_parameters());
+    core::TrackedSet set(index);
+    rng::Xorshift128 rng(1);
+    std::vector<float> scores(static_cast<std::size_t>(index.total()));
+    for (auto& s : scores) s = rng.uniform();
+    auto body = [&] {
+      set.select(scores, 50000, core::SelectionStrategy::kFullSort);
+      benchmark::DoNotOptimize(set.tracked_count());
+    };
+    const double serial = best_ms(1, 3, body);
+    const double parallel = best_ms(threads, 3, body);
+    emit_speedup_line("select", "n=1001000,k=50000", threads, serial,
+                      parallel);
+  }
+
+  util::set_num_threads(1);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dropback::util::Flags flags(argc, argv);
+  const int threads =
+      static_cast<int>(flags.get_int("threads", 0));  // 0 = default rule
+  if (threads > 0) dropback::util::set_num_threads(threads);
+
+  if (flags.get_bool("speedup", false)) {
+    run_speedup_report(threads > 0 ? threads
+                                   : dropback::util::num_threads());
+  }
+
+  // Strip our flags before handing argv to google-benchmark, which rejects
+  // flags it does not know.
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--speedup", 0) == 0) continue;
+    if (arg.rfind("--threads", 0) == 0) {
+      if (arg.find('=') == std::string::npos && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        ++i;  // also skip the detached value
+      }
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

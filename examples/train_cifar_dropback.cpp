@@ -19,11 +19,13 @@
 #include "optim/lr_schedule.hpp"
 #include "train/trainer.hpp"
 #include "util/flags.hpp"
+#include "util/thread_pool.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace dropback;
   util::Flags flags(argc, argv);
+  util::configure_threads(flags);  // --threads N / DROPBACK_THREADS
 
   const std::string model_name = flags.get_string("model", "vgg");
   const std::int64_t train_n = flags.get_int("train-n", 400);

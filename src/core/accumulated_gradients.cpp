@@ -5,8 +5,16 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dropback::core {
+
+namespace {
+// Scoring is a pure per-weight map (regen + |.|), so shards over the weight
+// range are independent and the output is thread-count-invariant bit for
+// bit. Grain keeps tiny bias vectors on the calling thread.
+constexpr std::int64_t kScoreGrain = 4096;
+}  // namespace
 
 ParamIndex::ParamIndex(std::vector<nn::Parameter*> params)
     : params_(std::move(params)) {
@@ -43,16 +51,21 @@ void compute_scores(const ParamIndex& index, float lr,
     const rng::InitSpec& init = param.init;
     if (init.kind() == rng::InitSpec::Kind::kConstant) {
       const float w0 = init.scale();
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float updated = g ? w[i] - lr * g[i] : w[i];
-        out[i] = std::fabs(updated - w0);
-      }
+      util::parallel_for(kScoreGrain, n, [=](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const float updated = g ? w[i] - lr * g[i] : w[i];
+          out[i] = std::fabs(updated - w0);
+        }
+      });
     } else {
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float updated = g ? w[i] - lr * g[i] : w[i];
-        out[i] = std::fabs(updated -
-                           init.value_at(static_cast<std::uint64_t>(i)));
-      }
+      const rng::InitSpec* spec = &init;
+      util::parallel_for(kScoreGrain, n, [=](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const float updated = g ? w[i] - lr * g[i] : w[i];
+          out[i] = std::fabs(updated -
+                             spec->value_at(static_cast<std::uint64_t>(i)));
+        }
+      });
     }
   }
 }

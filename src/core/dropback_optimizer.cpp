@@ -1,6 +1,7 @@
 #include "core/dropback_optimizer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dropback::core {
 
@@ -57,20 +59,33 @@ void DropBackOptimizer::apply_update_and_mask() {
     const rng::InitSpec& init = param.init;
     const std::int64_t n = param.numel();
     const bool regen = config_.regenerate_untracked && param.prunable;
-    std::uint64_t tracked_here = 0;
-    std::uint64_t regen_here = 0;
-    for (std::int64_t i = 0; i < n; ++i) {
-      if (mask[static_cast<std::size_t>(i)]) {
-        if (g) w[i] -= lr_ * g[i];
-        ++tracked_here;
-      } else if (regen) {
-        w[i] = init.value_at(static_cast<std::uint64_t>(i));
-        ++regen_here;
-      } else {
-        w[i] = 0.0F;
-        ++regen_here;  // zeroing also needs no memory traffic
+    // Each weight is updated or regenerated independently, so the loop
+    // shards cleanly; traffic tallies are integer sums, reduced per shard.
+    std::atomic<std::uint64_t> tracked_atomic{0};
+    std::atomic<std::uint64_t> regen_atomic{0};
+    const float lr = lr_;
+    const rng::InitSpec* spec = &init;
+    util::parallel_for(4096, n, [&, g, w, mask, regen, lr,
+                                 spec](std::int64_t b, std::int64_t e) {
+      std::uint64_t tracked_shard = 0;
+      std::uint64_t regen_shard = 0;
+      for (std::int64_t i = b; i < e; ++i) {
+        if (mask[static_cast<std::size_t>(i)]) {
+          if (g) w[i] -= lr * g[i];
+          ++tracked_shard;
+        } else if (regen) {
+          w[i] = spec->value_at(static_cast<std::uint64_t>(i));
+          ++regen_shard;
+        } else {
+          w[i] = 0.0F;
+          ++regen_shard;  // zeroing also needs no memory traffic
+        }
       }
-    }
+      tracked_atomic.fetch_add(tracked_shard, std::memory_order_relaxed);
+      regen_atomic.fetch_add(regen_shard, std::memory_order_relaxed);
+    });
+    const std::uint64_t tracked_here = tracked_atomic.load();
+    const std::uint64_t regen_here = regen_atomic.load();
     if (traffic_) {
       // Tracked weights live in real storage: read + write per update.
       traffic_->dram_reads += tracked_here;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 #include <queue>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dropback::core {
 
@@ -44,9 +46,58 @@ std::int64_t TrackedSet::tracked_count_in(std::size_t p) const {
 
 namespace {
 
+/// THE selection order, shared by every top-k strategy: a weight beats
+/// another iff its score is higher, or the scores are equal and its global
+/// index is lower. Index order is the documented deterministic tie-break —
+/// when many accumulated gradients are exactly equal (common right after
+/// initialization, when whole layers share a constant init), every strategy
+/// must resolve the threshold ties toward the lowest-indexed weights so the
+/// selected set is a pure function of the scores.
+inline bool beats(float score_a, std::int64_t idx_a, float score_b,
+                  std::int64_t idx_b) {
+  if (score_a != score_b) return score_a > score_b;
+  return idx_a < idx_b;
+}
+
+/// Emits the top-k of `scores[indices]` under `beats`, given that `indices`
+/// is sorted ascending: first everything strictly above the k-th-largest
+/// threshold lambda, then threshold-equal entries in index order. Both the
+/// fullsort and the parallel two-pass strategy funnel through this, so they
+/// are tie-identical by construction.
+std::vector<std::int64_t> select_with_threshold(
+    const std::vector<float>& scores, const std::vector<std::int64_t>& indices,
+    std::int64_t k) {
+  std::vector<float> scratch;
+  scratch.reserve(indices.size());
+  for (std::int64_t g : indices) {
+    scratch.push_back(scores[static_cast<std::size_t>(g)]);
+  }
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   scratch.end(), std::greater<float>());
+  const float lambda = scratch[static_cast<std::size_t>(k - 1)];
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  // First everything strictly above the threshold...
+  for (std::int64_t g : indices) {
+    if (scores[static_cast<std::size_t>(g)] > lambda) out.push_back(g);
+  }
+  // ...then fill the remaining slots with threshold-equal weights in index
+  // order, so the mask is deterministic under ties.
+  std::int64_t remaining = k - static_cast<std::int64_t>(out.size());
+  for (std::size_t i = 0; i < indices.size() && remaining > 0; ++i) {
+    if (scores[static_cast<std::size_t>(indices[i])] == lambda) {
+      out.push_back(indices[i]);
+      --remaining;
+    }
+  }
+  return out;
+}
+
 /// Selected global indices of the top-k scores using a bounded min-heap —
-/// the paper's "priority queue of size k" formulation. Ties at the threshold
-/// retain the lowest-indexed weights.
+/// the paper's "priority queue of size k" formulation. Eviction and
+/// replacement both use `beats`, so ties at the threshold retain the
+/// lowest-indexed weights, exactly like the fullsort strategy.
 std::vector<std::int64_t> topk_heap(const std::vector<float>& scores,
                                     std::int64_t k) {
   struct Entry {
@@ -54,10 +105,9 @@ std::vector<std::int64_t> topk_heap(const std::vector<float>& scores,
     std::int64_t idx;
   };
   // priority_queue top = "largest" under cmp; we want the top to be the
-  // eviction candidate: smallest score, ties broken toward larger index.
+  // eviction candidate: the entry every other retained entry beats.
   auto cmp = [](const Entry& a, const Entry& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.idx < b.idx;
+    return beats(a.score, a.idx, b.score, b.idx);
   };
   std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
   const std::int64_t n = static_cast<std::int64_t>(scores.size());
@@ -66,11 +116,10 @@ std::vector<std::int64_t> topk_heap(const std::vector<float>& scores,
     if (static_cast<std::int64_t>(heap.size()) < k) {
       heap.push(e);
     } else if (!heap.empty() &&
-               (e.score > heap.top().score ||
-                (e.score == heap.top().score && e.idx < heap.top().idx))) {
-      // Equal-score, lower-index entries never arrive after higher-index
-      // ones in this ascending scan, so the second clause never fires; it is
-      // kept for clarity of the invariant.
+               beats(e.score, e.idx, heap.top().score, heap.top().idx)) {
+      // The index clause of `beats` never fires here (equal-score entries
+      // arrive in ascending index order), but routing the decision through
+      // the shared predicate keeps the strategies structurally identical.
       heap.pop();
       heap.push(e);
     }
@@ -87,28 +136,68 @@ std::vector<std::int64_t> topk_heap(const std::vector<float>& scores,
 /// Top-k selection by nth_element (Algorithm 1's sort, done in O(n)).
 std::vector<std::int64_t> topk_fullsort(const std::vector<float>& scores,
                                         std::int64_t k) {
+  std::vector<std::int64_t> all(scores.size());
+  std::iota(all.begin(), all.end(), std::int64_t{0});
+  return select_with_threshold(scores, all, k);
+}
+
+/// Parallel two-pass variant of topk_fullsort. Pass 1 shards the scores and
+/// prunes each shard to its local top-k candidates with nth_element (any
+/// global top-k weight is necessarily in its own shard's top-k, and a
+/// shard's k-th largest can never exceed the global k-th largest, so the
+/// candidate union is a superset of the winners including all threshold
+/// ties). Pass 2 runs the exact serial selection over the pruned candidate
+/// list — bit-identical output to topk_fullsort for every shard count.
+std::vector<std::int64_t> topk_fullsort_parallel(
+    const std::vector<float>& scores, std::int64_t k, int shards) {
   const std::int64_t n = static_cast<std::int64_t>(scores.size());
-  std::vector<float> scratch = scores;
-  std::nth_element(scratch.begin(),
-                   scratch.begin() + static_cast<std::ptrdiff_t>(k - 1),
-                   scratch.end(), std::greater<float>());
-  const float lambda = scratch[static_cast<std::size_t>(k - 1)];
-  std::vector<std::int64_t> out;
-  out.reserve(static_cast<std::size_t>(k));
-  // First everything strictly above the threshold...
-  for (std::int64_t i = 0; i < n; ++i) {
-    if (scores[static_cast<std::size_t>(i)] > lambda) out.push_back(i);
-  }
-  // ...then fill the remaining slots with threshold-equal weights in index
-  // order, so the mask is deterministic under ties.
-  std::int64_t remaining = k - static_cast<std::int64_t>(out.size());
-  for (std::int64_t i = 0; i < n && remaining > 0; ++i) {
-    if (scores[static_cast<std::size_t>(i)] == lambda) {
-      out.push_back(i);
-      --remaining;
+  std::vector<std::vector<std::int64_t>> shard_cands(
+      static_cast<std::size_t>(shards));
+  util::global_pool().run(shards, [&](int s) {
+    const std::int64_t begin = n * s / shards;
+    const std::int64_t end = n * (s + 1) / shards;
+    auto& cand = shard_cands[static_cast<std::size_t>(s)];
+    const std::int64_t len = end - begin;
+    if (len <= k) {
+      cand.resize(static_cast<std::size_t>(len));
+      std::iota(cand.begin(), cand.end(), begin);
+      return;
     }
+    std::vector<float> scratch(scores.begin() + begin, scores.begin() + end);
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     scratch.end(), std::greater<float>());
+    const float local_lambda = scratch[static_cast<std::size_t>(k - 1)];
+    for (std::int64_t i = begin; i < end; ++i) {
+      if (scores[static_cast<std::size_t>(i)] >= local_lambda) {
+        cand.push_back(i);
+      }
+    }
+  });
+  // Shards cover [0, n) in order, so the concatenation is index-sorted.
+  std::vector<std::int64_t> candidates;
+  for (const auto& cand : shard_cands) {
+    candidates.insert(candidates.end(), cand.begin(), cand.end());
   }
-  return out;
+  return select_with_threshold(scores, candidates, k);
+}
+
+/// Scores below this size select serially; the candidate pass needs enough
+/// work per shard to amortize the dispatch.
+constexpr std::int64_t kMinParallelSelect = 1 << 15;
+
+std::vector<std::int64_t> topk_fullsort_auto(const std::vector<float>& scores,
+                                             std::int64_t k) {
+  const std::int64_t n = static_cast<std::int64_t>(scores.size());
+  const int threads = util::num_threads();
+  if (threads <= 1 || n < kMinParallelSelect) return topk_fullsort(scores, k);
+  // Shards need to be meaningfully larger than k for the local nth_element
+  // prune to discard anything.
+  const std::int64_t max_useful = n / std::max<std::int64_t>(1, 2 * k);
+  const int shards = static_cast<int>(std::clamp<std::int64_t>(
+      max_useful, 1, static_cast<std::int64_t>(threads)));
+  if (shards <= 1) return topk_fullsort(scores, k);
+  return topk_fullsort_parallel(scores, k, shards);
 }
 
 }  // namespace
@@ -129,7 +218,7 @@ void TrackedSet::select(const std::vector<float>& scores, std::int64_t k,
   }
 
   const std::vector<std::int64_t> selected =
-      strategy == SelectionStrategy::kFullSort ? topk_fullsort(scores, k)
+      strategy == SelectionStrategy::kFullSort ? topk_fullsort_auto(scores, k)
                                                : topk_heap(scores, k);
 
   // Rebuild masks, counting entries that were untracked before.

@@ -4,9 +4,18 @@
 // practical variant it describes keeps a bounded set with a threshold
 // lambda = S_k (the k-th largest score). Both are implemented here:
 //   * kFullSort       — reference semantics via std::nth_element, O(n).
+//                       Automatically switches to a parallel two-pass
+//                       candidate-pruning variant on large score vectors;
+//                       the result is bitwise identical for any thread
+//                       count (see docs/PARALLELISM.md).
 //   * kThresholdHeap  — the paper's priority-queue formulation: scan scores
 //                       once, maintaining a min-heap of the k best.
-// They produce identical masks (tested), differing only in constant factors.
+// Both strategies order weights by (score descending, global index
+// ascending): INDEX ORDER IS THE DETERMINISTIC TIE-BREAK. When several
+// weights share the threshold score, the lowest-indexed ones are selected,
+// so every strategy — serial, heap, or parallel — produces the same mask
+// for the same scores (locked down by dropback_core_test and
+// parallel_equivalence_test).
 #pragma once
 
 #include <cstdint>

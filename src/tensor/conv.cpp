@@ -6,8 +6,20 @@
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dropback::tensor {
+
+namespace {
+/// Minimum per-shard scalar work before the conv loops fan out; below this
+/// the dispatch overhead dominates. Mirrors matmul's threshold.
+constexpr std::int64_t kConvGrainFlops = 1 << 16;
+
+std::int64_t conv_grain(std::int64_t flops_per_item) {
+  return std::max<std::int64_t>(
+      1, kConvGrainFlops / std::max<std::int64_t>(1, flops_per_item));
+}
+}  // namespace
 
 Tensor im2col(const Tensor& x, const Conv2dSpec& spec) {
   DROPBACK_CHECK(x.ndim() == 4, << "im2col needs NCHW, got "
@@ -21,26 +33,31 @@ Tensor im2col(const Tensor& x, const Conv2dSpec& spec) {
   Tensor cols({n * oh * ow, patch});
   const float* px = x.data();
   float* pc = cols.data();
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        float* col = pc + ((b * oh + oy) * ow + ox) * patch;
-        std::int64_t k = 0;
-        for (std::int64_t ch = 0; ch < c; ++ch) {
-          const float* plane = px + (b * c + ch) * h * w;
-          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
-            const std::int64_t iy = oy * spec.stride + ky - spec.padding;
-            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
-              const std::int64_t ix = ox * spec.stride + kx - spec.padding;
-              col[k++] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
-                             ? plane[iy * w + ix]
-                             : 0.0F;
+  // Every output row (one (b, oy, ox) patch) is written by exactly one
+  // shard, so the gather parallelizes over rows without ordering concerns.
+  const Conv2dSpec sp = spec;
+  util::parallel_for(
+      conv_grain(patch), n * oh * ow, [=](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const std::int64_t b = r / (oh * ow);
+          const std::int64_t oy = (r / ow) % oh;
+          const std::int64_t ox = r % ow;
+          float* col = pc + r * patch;
+          std::int64_t k = 0;
+          for (std::int64_t ch = 0; ch < c; ++ch) {
+            const float* plane = px + (b * c + ch) * h * w;
+            for (std::int64_t ky = 0; ky < sp.kernel_h; ++ky) {
+              const std::int64_t iy = oy * sp.stride + ky - sp.padding;
+              for (std::int64_t kx = 0; kx < sp.kernel_w; ++kx) {
+                const std::int64_t ix = ox * sp.stride + kx - sp.padding;
+                col[k++] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                               ? plane[iy * w + ix]
+                               : 0.0F;
+              }
             }
           }
         }
-      }
-    }
-  }
+      });
   return cols;
 }
 
@@ -58,27 +75,34 @@ Tensor col2im(const Tensor& cols, const Shape& x_shape,
   Tensor x(x_shape);
   const float* pc = cols.data();
   float* px = x.data();
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        const float* col = pc + ((b * oh + oy) * ow + ox) * patch;
-        std::int64_t k = 0;
-        for (std::int64_t ch = 0; ch < c; ++ch) {
-          float* plane = px + (b * c + ch) * h * w;
-          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
-            const std::int64_t iy = oy * spec.stride + ky - spec.padding;
-            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
-              const std::int64_t ix = ox * spec.stride + kx - spec.padding;
-              const float v = col[k++];
-              if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
-                plane[iy * w + ix] += v;
+  // Overlapping patches of the same image scatter-add into shared pixels,
+  // so the parallel split is per batch image: shards own disjoint planes
+  // and each image replays the serial (oy, ox, k) accumulation order.
+  const Conv2dSpec sp = spec;
+  util::parallel_for(
+      conv_grain(oh * ow * patch), n, [=](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t b = b0; b < b1; ++b) {
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              const float* col = pc + ((b * oh + oy) * ow + ox) * patch;
+              std::int64_t k = 0;
+              for (std::int64_t ch = 0; ch < c; ++ch) {
+                float* plane = px + (b * c + ch) * h * w;
+                for (std::int64_t ky = 0; ky < sp.kernel_h; ++ky) {
+                  const std::int64_t iy = oy * sp.stride + ky - sp.padding;
+                  for (std::int64_t kx = 0; kx < sp.kernel_w; ++kx) {
+                    const std::int64_t ix = ox * sp.stride + kx - sp.padding;
+                    const float v = col[k++];
+                    if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                      plane[iy * w + ix] += v;
+                    }
+                  }
+                }
               }
             }
           }
         }
-      }
-    }
-  }
+      });
   return x;
 }
 
@@ -108,16 +132,19 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
   Tensor y({n, cout, oh, ow});
   const float* pr = out_rows.data();
   float* py = y.data();
-  for (std::int64_t bn = 0; bn < n; ++bn) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        const float* row = pr + ((bn * oh + oy) * ow + ox) * cout;
-        for (std::int64_t ch = 0; ch < cout; ++ch) {
-          py[((bn * cout + ch) * oh + oy) * ow + ox] = row[ch];
+  util::parallel_for(
+      conv_grain(oh * ow * cout), n, [=](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t bn = b0; bn < b1; ++bn) {
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              const float* row = pr + ((bn * oh + oy) * ow + ox) * cout;
+              for (std::int64_t ch = 0; ch < cout; ++ch) {
+                py[((bn * cout + ch) * oh + oy) * ow + ox] = row[ch];
+              }
+            }
+          }
         }
-      }
-    }
-  }
+      });
   return y;
 }
 
@@ -134,16 +161,19 @@ Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w, const Tensor& gy,
   {
     const float* pg = gy.data();
     float* pr = gy_rows.data();
-    for (std::int64_t bn = 0; bn < n; ++bn) {
-      for (std::int64_t ch = 0; ch < cout; ++ch) {
-        for (std::int64_t oy = 0; oy < oh; ++oy) {
-          for (std::int64_t ox = 0; ox < ow; ++ox) {
-            pr[((bn * oh + oy) * ow + ox) * cout + ch] =
-                pg[((bn * cout + ch) * oh + oy) * ow + ox];
+    util::parallel_for(
+        conv_grain(cout * oh * ow), n, [=](std::int64_t b0, std::int64_t b1) {
+          for (std::int64_t bn = b0; bn < b1; ++bn) {
+            for (std::int64_t ch = 0; ch < cout; ++ch) {
+              for (std::int64_t oy = 0; oy < oh; ++oy) {
+                for (std::int64_t ox = 0; ox < ow; ++ox) {
+                  pr[((bn * oh + oy) * ow + ox) * cout + ch] =
+                      pg[((bn * cout + ch) * oh + oy) * ow + ox];
+                }
+              }
+            }
           }
-        }
-      }
-    }
+        });
   }
 
   const Tensor cols = im2col(x, spec);

@@ -3,46 +3,70 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dropback::tensor {
 
 namespace {
 
+/// Kernels below are parallelized by row panels of C: each shard owns a
+/// contiguous range of output rows and runs the exact serial inner loops
+/// over them, so every C element sees the same accumulation order as the
+/// single-threaded code and the result is bitwise thread-count-invariant.
+/// Shards only materialize once the whole product exceeds this many flops.
+constexpr std::int64_t kMinParallelFlops = 1 << 16;
+
+std::int64_t row_grain(std::int64_t flops_per_row) {
+  return std::max<std::int64_t>(
+      1, kMinParallelFlops / std::max<std::int64_t>(1, flops_per_row));
+}
+
 /// Small/medium kernel: i-k-j ordering, streaming contiguous B rows.
 void matmul_ikj(const float* pa, const float* pb, float* pc, std::int64_t m,
                 std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (std::int64_t l = 0; l < k; ++l) {
-      const float aval = pa[i * k + l];
-      if (aval == 0.0F) continue;  // sparse weights make this branch pay off
-      const float* brow = pb + l * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+  util::parallel_for(row_grain(k * n), m, [=](std::int64_t i0,
+                                              std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* crow = pc + i * n;
+      for (std::int64_t l = 0; l < k; ++l) {
+        const float aval = pa[i * k + l];
+        if (aval == 0.0F) continue;  // sparse weights make this branch pay off
+        const float* brow = pb + l * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+      }
     }
-  }
+  });
 }
 
 /// Cache-blocked kernel for large operands: tiles over (i, l) so the C row
 /// panel and the B row panel stay resident in L1/L2 across the inner loops.
+/// The row-panel split happens on the outer i blocks, keeping each shard's
+/// (i, l) tile walk identical to the serial one.
 void matmul_blocked(const float* pa, const float* pb, float* pc,
                     std::int64_t m, std::int64_t k, std::int64_t n) {
   constexpr std::int64_t kBlockI = 32;
   constexpr std::int64_t kBlockL = 128;
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockI) {
-    const std::int64_t i1 = std::min(i0 + kBlockI, m);
-    for (std::int64_t l0 = 0; l0 < k; l0 += kBlockL) {
-      const std::int64_t l1 = std::min(l0 + kBlockL, k);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        float* crow = pc + i * n;
-        for (std::int64_t l = l0; l < l1; ++l) {
-          const float aval = pa[i * k + l];
-          if (aval == 0.0F) continue;
-          const float* brow = pb + l * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+  const std::int64_t iblocks = (m + kBlockI - 1) / kBlockI;
+  util::parallel_for(
+      row_grain(kBlockI * k * n), iblocks,
+      [=](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t ib = b0; ib < b1; ++ib) {
+          const std::int64_t i0 = ib * kBlockI;
+          const std::int64_t i1 = std::min(i0 + kBlockI, m);
+          for (std::int64_t l0 = 0; l0 < k; l0 += kBlockL) {
+            const std::int64_t l1 = std::min(l0 + kBlockL, k);
+            for (std::int64_t i = i0; i < i1; ++i) {
+              float* crow = pc + i * n;
+              for (std::int64_t l = l0; l < l1; ++l) {
+                const float aval = pa[i * k + l];
+                if (aval == 0.0F) continue;
+                const float* brow = pb + l * n;
+                for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+              }
+            }
+          }
         }
-      }
-    }
-  }
+      });
 }
 
 }  // namespace
@@ -73,17 +97,22 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // C[i][j] = sum_l A[l][i] * B[l][j]; stream both A and B rows.
-  for (std::int64_t l = 0; l < k; ++l) {
-    const float* arow = pa + l * m;
-    const float* brow = pb + l * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float aval = arow[i];
-      if (aval == 0.0F) continue;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+  // C[i][j] = sum_l A[l][i] * B[l][j]. Shards own C row ranges; the l loop
+  // stays outermost within a shard, so per-element accumulation order (l
+  // ascending) matches the serial kernel exactly.
+  util::parallel_for(row_grain(k * n), m, [=](std::int64_t i0,
+                                              std::int64_t i1) {
+    for (std::int64_t l = 0; l < k; ++l) {
+      const float* arow = pa + l * m;
+      const float* brow = pb + l * n;
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float aval = arow[i];
+        if (aval == 0.0F) continue;
+        float* crow = pc + i * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -97,16 +126,19 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* pc = c.data();
   // C[i][j] = dot(A row i, B row j): both rows contiguous.
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (std::int64_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
-      crow[j] = static_cast<float>(acc);
+  util::parallel_for(row_grain(k * n), m, [=](std::int64_t i0,
+                                              std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        double acc = 0.0;
+        for (std::int64_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
+        crow[j] = static_cast<float>(acc);
+      }
     }
-  }
+  });
   return c;
 }
 

@@ -4,10 +4,25 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dropback::tensor {
 
 namespace {
+
+/// Elementwise kernels split [0, n) into contiguous shards; every output
+/// element is written by exactly one shard running the serial per-element
+/// code, so results are bitwise identical for any thread count. The grain
+/// keeps small tensors on the calling thread.
+constexpr std::int64_t kElemGrain = 8192;
+
+/// Row/channel kernels shard whole rows (or channels); each output row is
+/// reduced in the serial order by a single shard.
+std::int64_t row_grain(std::int64_t row_cost) {
+  return std::max<std::int64_t>(
+      1, kElemGrain / std::max<std::int64_t>(1, row_cost));
+}
+
 template <typename F>
 Tensor binary(const Tensor& a, const Tensor& b, F f, const char* name) {
   DROPBACK_CHECK(same_shape(a, b), << name << ": shape mismatch "
@@ -18,7 +33,9 @@ Tensor binary(const Tensor& a, const Tensor& b, F f, const char* name) {
   const float* pb = b.data();
   float* po = out.data();
   const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  util::parallel_for(kElemGrain, n, [=](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t i = b0; i < b1; ++i) po[i] = f(pa[i], pb[i]);
+  });
   return out;
 }
 
@@ -28,7 +45,9 @@ Tensor unary(const Tensor& a, F f) {
   const float* pa = a.data();
   float* po = out.data();
   const std::int64_t n = a.numel();
-  for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  util::parallel_for(kElemGrain, n, [=](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t i = b0; i < b1; ++i) po[i] = f(pa[i]);
+  });
   return out;
 }
 }  // namespace
@@ -88,9 +107,11 @@ Tensor transpose2d(const Tensor& a) {
   Tensor out({n, m});
   const float* pa = a.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
-  }
+  util::parallel_for(row_grain(m), n, [=](std::int64_t j0, std::int64_t j1) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = j0; j < j1; ++j) po[j * m + i] = pa[i * n + j];
+    }
+  });
   return out;
 }
 
@@ -103,9 +124,13 @@ Tensor add_row_vector(const Tensor& x, const Tensor& b) {
   const float* px = x.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) po[i * n + j] = px[i * n + j] + pb[j];
-  }
+  util::parallel_for(row_grain(n), m, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        po[i * n + j] = px[i * n + j] + pb[j];
+      }
+    }
+  });
   return out;
 }
 
@@ -118,9 +143,13 @@ Tensor mul_row_vector(const Tensor& x, const Tensor& s) {
   const float* px = x.data();
   const float* ps = s.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) po[i * n + j] = px[i * n + j] * ps[j];
-  }
+  util::parallel_for(row_grain(n), m, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        po[i * n + j] = px[i * n + j] * ps[j];
+      }
+    }
+  });
   return out;
 }
 
@@ -130,9 +159,11 @@ Tensor sum_rows(const Tensor& x) {
   Tensor out({n});
   const float* px = x.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) po[j] += px[i * n + j];
-  }
+  util::parallel_for(row_grain(m), n, [=](std::int64_t j0, std::int64_t j1) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = j0; j < j1; ++j) po[j] += px[i * n + j];
+    }
+  });
   return out;
 }
 
@@ -142,11 +173,13 @@ Tensor sum_cols(const Tensor& x) {
   Tensor out({m});
   const float* px = x.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    double acc = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) acc += px[i * n + j];
-    po[i] = static_cast<float>(acc);
-  }
+  util::parallel_for(row_grain(n), m, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) acc += px[i * n + j];
+      po[i] = static_cast<float>(acc);
+    }
+  });
   return out;
 }
 
@@ -156,19 +189,21 @@ Tensor row_softmax(const Tensor& x) {
   Tensor out(x.shape());
   const float* px = x.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* row = px + i * n;
-    float mx = row[0];
-    for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    double z = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float e = std::exp(row[j] - mx);
-      po[i * n + j] = e;
-      z += e;
+  util::parallel_for(row_grain(n), m, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* row = px + i * n;
+      float mx = row[0];
+      for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+      double z = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float e = std::exp(row[j] - mx);
+        po[i * n + j] = e;
+        z += e;
+      }
+      const float inv = static_cast<float>(1.0 / z);
+      for (std::int64_t j = 0; j < n; ++j) po[i * n + j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / z);
-    for (std::int64_t j = 0; j < n; ++j) po[i * n + j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -178,14 +213,16 @@ Tensor row_logsumexp(const Tensor& x) {
   Tensor out({m});
   const float* px = x.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* row = px + i * n;
-    float mx = row[0];
-    for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    double z = 0.0;
-    for (std::int64_t j = 0; j < n; ++j) z += std::exp(row[j] - mx);
-    po[i] = mx + static_cast<float>(std::log(z));
-  }
+  util::parallel_for(row_grain(n), m, [=](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* row = px + i * n;
+      float mx = row[0];
+      for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+      double z = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) z += std::exp(row[j] - mx);
+      po[i] = mx + static_cast<float>(std::log(z));
+    }
+  });
   return out;
 }
 
@@ -215,14 +252,17 @@ Tensor channel_mean(const Tensor& x) {
   Tensor out({c});
   const float* px = x.data();
   float* po = out.data();
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    double acc = 0.0;
-    for (std::int64_t b = 0; b < n; ++b) {
-      const float* p = px + (b * c + ch) * hw;
-      for (std::int64_t i = 0; i < hw; ++i) acc += p[i];
-    }
-    po[ch] = static_cast<float>(acc / static_cast<double>(n * hw));
-  }
+  util::parallel_for(
+      row_grain(n * hw), c, [=](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t ch = c0; ch < c1; ++ch) {
+          double acc = 0.0;
+          for (std::int64_t b = 0; b < n; ++b) {
+            const float* p = px + (b * c + ch) * hw;
+            for (std::int64_t i = 0; i < hw; ++i) acc += p[i];
+          }
+          po[ch] = static_cast<float>(acc / static_cast<double>(n * hw));
+        }
+      });
   return out;
 }
 
@@ -234,18 +274,21 @@ Tensor channel_var(const Tensor& x, const Tensor& mean) {
   const float* px = x.data();
   const float* pm = mean.data();
   float* po = out.data();
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    double acc = 0.0;
-    const double mu = pm[ch];
-    for (std::int64_t b = 0; b < n; ++b) {
-      const float* p = px + (b * c + ch) * hw;
-      for (std::int64_t i = 0; i < hw; ++i) {
-        const double d = p[i] - mu;
-        acc += d * d;
-      }
-    }
-    po[ch] = static_cast<float>(acc / static_cast<double>(n * hw));
-  }
+  util::parallel_for(
+      row_grain(n * hw), c, [=](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t ch = c0; ch < c1; ++ch) {
+          double acc = 0.0;
+          const double mu = pm[ch];
+          for (std::int64_t b = 0; b < n; ++b) {
+            const float* p = px + (b * c + ch) * hw;
+            for (std::int64_t i = 0; i < hw; ++i) {
+              const double d = p[i] - mu;
+              acc += d * d;
+            }
+          }
+          po[ch] = static_cast<float>(acc / static_cast<double>(n * hw));
+        }
+      });
   return out;
 }
 
@@ -261,14 +304,16 @@ Tensor channel_affine(const Tensor& x, const Tensor& mean, const Tensor& scale,
   const float* ps = scale.data();
   const float* pb = shift.data();
   float* po = out.data();
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      const float* p = px + (b * c + ch) * hw;
-      float* q = po + (b * c + ch) * hw;
-      const float mu = pm[ch], s = ps[ch], sh = pb[ch];
-      for (std::int64_t i = 0; i < hw; ++i) q[i] = (p[i] - mu) * s + sh;
-    }
-  }
+  util::parallel_for(
+      row_grain(hw), n * c, [=](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t plane = p0; plane < p1; ++plane) {
+          const std::int64_t ch = plane % c;
+          const float* p = px + plane * hw;
+          float* q = po + plane * hw;
+          const float mu = pm[ch], s = ps[ch], sh = pb[ch];
+          for (std::int64_t i = 0; i < hw; ++i) q[i] = (p[i] - mu) * s + sh;
+        }
+      });
   return out;
 }
 
@@ -278,14 +323,17 @@ Tensor channel_sum(const Tensor& x) {
   Tensor out({c});
   const float* px = x.data();
   float* po = out.data();
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    double acc = 0.0;
-    for (std::int64_t b = 0; b < n; ++b) {
-      const float* p = px + (b * c + ch) * hw;
-      for (std::int64_t i = 0; i < hw; ++i) acc += p[i];
-    }
-    po[ch] = static_cast<float>(acc);
-  }
+  util::parallel_for(
+      row_grain(n * hw), c, [=](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t ch = c0; ch < c1; ++ch) {
+          double acc = 0.0;
+          for (std::int64_t b = 0; b < n; ++b) {
+            const float* p = px + (b * c + ch) * hw;
+            for (std::int64_t i = 0; i < hw; ++i) acc += p[i];
+          }
+          po[ch] = static_cast<float>(acc);
+        }
+      });
   return out;
 }
 
@@ -297,15 +345,18 @@ Tensor channel_dot(const Tensor& x, const Tensor& y) {
   const float* px = x.data();
   const float* py = y.data();
   float* po = out.data();
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    double acc = 0.0;
-    for (std::int64_t b = 0; b < n; ++b) {
-      const float* p = px + (b * c + ch) * hw;
-      const float* q = py + (b * c + ch) * hw;
-      for (std::int64_t i = 0; i < hw; ++i) acc += p[i] * q[i];
-    }
-    po[ch] = static_cast<float>(acc);
-  }
+  util::parallel_for(
+      row_grain(n * hw), c, [=](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t ch = c0; ch < c1; ++ch) {
+          double acc = 0.0;
+          for (std::int64_t b = 0; b < n; ++b) {
+            const float* p = px + (b * c + ch) * hw;
+            const float* q = py + (b * c + ch) * hw;
+            for (std::int64_t i = 0; i < hw; ++i) acc += p[i] * q[i];
+          }
+          po[ch] = static_cast<float>(acc);
+        }
+      });
   return out;
 }
 
@@ -317,14 +368,15 @@ Tensor mul_per_channel(const Tensor& x, const Tensor& s) {
   const float* px = x.data();
   const float* ps = s.data();
   float* po = out.data();
-  for (std::int64_t b = 0; b < n; ++b) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      const float* p = px + (b * c + ch) * hw;
-      float* q = po + (b * c + ch) * hw;
-      const float sc = ps[ch];
-      for (std::int64_t i = 0; i < hw; ++i) q[i] = p[i] * sc;
-    }
-  }
+  util::parallel_for(
+      row_grain(hw), n * c, [=](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t plane = p0; plane < p1; ++plane) {
+          const float* p = px + plane * hw;
+          float* q = po + plane * hw;
+          const float sc = ps[plane % c];
+          for (std::int64_t i = 0; i < hw; ++i) q[i] = p[i] * sc;
+        }
+      });
   return out;
 }
 

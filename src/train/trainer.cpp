@@ -4,6 +4,7 @@
 #include "nn/loss.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dropback::train {
 
@@ -20,6 +21,9 @@ Trainer::Trainer(nn::Module& model, optim::Optimizer& optimizer,
 }
 
 TrainResult Trainer::run() {
+  if (options_.threads > 0) {
+    util::set_num_threads(static_cast<int>(options_.threads));
+  }
   data::DataLoader loader(train_set_, options_.batch_size, options_.shuffle,
                           options_.loader_seed);
   TrainResult result;

@@ -30,6 +30,11 @@ struct TrainOptions {
   bool shuffle = true;
   std::uint64_t loader_seed = 0xDA7A;
   bool verbose = false;
+  /// Sizes the global kernel thread pool before training: 1 forces fully
+  /// serial execution, 0 leaves the pool as configured (--threads flag /
+  /// DROPBACK_THREADS env / hardware_concurrency). Training results are
+  /// bitwise identical for every setting; only wall-clock changes.
+  std::int64_t threads = 0;
 };
 
 struct EpochStats {

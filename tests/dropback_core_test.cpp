@@ -161,6 +161,48 @@ TEST(TrackedSetTest, TiesBrokenByLowestIndex) {
   for (std::int64_t i = 5; i < 51; ++i) EXPECT_FALSE(set.is_tracked(i));
 }
 
+TEST(TrackedSetTest, TieBreakIdenticalAcrossStrategies) {
+  // Regression: both selection strategies must resolve equal-score ties to
+  // the SAME index set — index order is the documented deterministic
+  // tie-break. Tie-heavy scores (drawn from a four-value alphabet, so many
+  // A_i are exactly equal at the threshold) previously relied on two
+  // independently-written tie conditions staying in sync; they now share
+  // one comparator, and this locks the agreement down.
+  auto net = tiny_net();
+  ParamIndex index(net->collect_parameters());
+  rng::Xorshift128 rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> scores(51);
+    for (auto& s : scores) {
+      s = 0.5F * static_cast<float>(rng.next_u32() % 4);
+    }
+    const auto k = static_cast<std::int64_t>(1 + rng.next_u32() % 50);
+    TrackedSet by_sort(index);
+    by_sort.select(scores, k, SelectionStrategy::kFullSort);
+    TrackedSet by_heap(index);
+    by_heap.select(scores, k, SelectionStrategy::kThresholdHeap);
+    for (std::int64_t g = 0; g < index.total(); ++g) {
+      ASSERT_EQ(by_sort.is_tracked(g), by_heap.is_tracked(g))
+          << "trial " << trial << " k=" << k << " index " << g;
+    }
+    ASSERT_EQ(by_sort.last_lambda(), by_heap.last_lambda())
+        << "trial " << trial << " k=" << k;
+  }
+}
+
+TEST(TrackedSetTest, AllTiedSelectsLowestIndicesUnderBothStrategies) {
+  auto net = tiny_net();
+  ParamIndex index(net->collect_parameters());
+  std::vector<float> scores(51, 2.5F);  // every score equal
+  for (auto strategy :
+       {SelectionStrategy::kFullSort, SelectionStrategy::kThresholdHeap}) {
+    TrackedSet set(index);
+    set.select(scores, 7, strategy);
+    for (std::int64_t i = 0; i < 7; ++i) EXPECT_TRUE(set.is_tracked(i));
+    for (std::int64_t i = 7; i < 51; ++i) EXPECT_FALSE(set.is_tracked(i));
+  }
+}
+
 TEST(TrackedSetTest, KLargerThanTotalTracksEverything) {
   auto net = tiny_net();
   ParamIndex index(net->collect_parameters());

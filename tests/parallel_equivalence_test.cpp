@@ -1,0 +1,294 @@
+// Parallel-vs-serial bitwise equivalence for every parallelized hot path.
+//
+// The determinism contract (docs/PARALLELISM.md): for ANY thread count the
+// parallel kernels produce output bitwise identical to --threads 1. Each
+// test computes a serial reference, then recomputes under 2 and 7 threads
+// (7 deliberately odd and larger than most shard counts, so ragged
+// partitions and idle workers are both exercised) and compares with memcmp
+// — not EXPECT_FLOAT_EQ — so even a single reassociated addition fails.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "core/accumulated_gradients.hpp"
+#include "core/dropback_optimizer.hpp"
+#include "core/tracked_set.hpp"
+#include "nn/linear.hpp"
+#include "nn/models/lenet.hpp"
+#include "nn/sequential.hpp"
+#include "rng/xorshift.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dropback {
+namespace {
+
+namespace T = dropback::tensor;
+
+const int kThreadCounts[] = {2, 7};
+
+class ParallelEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::set_num_threads(1); }
+  void TearDown() override { util::set_num_threads(1); }
+};
+
+T::Tensor random_tensor(const T::Shape& shape, std::uint64_t seed) {
+  T::Tensor t(shape);
+  rng::Xorshift128 rng(seed);
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.uniform(-2, 2);
+  return t;
+}
+
+::testing::AssertionResult bitwise_equal(const T::Tensor& a,
+                                         const T::Tensor& b) {
+  if (a.numel() != b.numel()) {
+    return ::testing::AssertionFailure() << "numel mismatch";
+  }
+  if (std::memcmp(a.data(), b.data(),
+                  static_cast<std::size_t>(a.numel()) * sizeof(float)) != 0) {
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      if (std::memcmp(&a.data()[i], &b.data()[i], sizeof(float)) != 0) {
+        return ::testing::AssertionFailure()
+               << "first bit difference at flat index " << i << ": "
+               << a.data()[i] << " vs " << b.data()[i];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST_F(ParallelEquivalenceTest, MatmulAllShapes) {
+  // Odd shapes including m=1 / n=1 degenerate panels, plus sizes that
+  // exercise the ikj kernel, the blocked kernel, and the parallel gate.
+  const std::vector<std::array<std::int64_t, 3>> shapes = {
+      {1, 1, 1},    {1, 5, 3},     {7, 5, 1},      {17, 13, 29},
+      {64, 64, 64}, {129, 65, 33}, {96, 700, 512}, {3, 1024, 300},
+  };
+  for (const auto& [m, k, n] : shapes) {
+    const T::Tensor a = random_tensor({m, k}, 11 * static_cast<unsigned>(m));
+    const T::Tensor b = random_tensor({k, n}, 13 * static_cast<unsigned>(n));
+    const T::Tensor bt = T::transpose2d(b);
+    const T::Tensor ref = T::matmul(a, b);
+    const T::Tensor ref_nt = T::matmul_nt(a, bt);
+    const T::Tensor at = T::transpose2d(a);
+    const T::Tensor ref_tn = T::matmul_tn(at, b);
+    for (int threads : kThreadCounts) {
+      util::set_num_threads(threads);
+      EXPECT_TRUE(bitwise_equal(ref, T::matmul(a, b)))
+          << "matmul " << m << "x" << k << "x" << n << " @" << threads;
+      EXPECT_TRUE(bitwise_equal(ref_nt, T::matmul_nt(a, bt)))
+          << "matmul_nt " << m << "x" << k << "x" << n << " @" << threads;
+      EXPECT_TRUE(bitwise_equal(ref_tn, T::matmul_tn(at, b)))
+          << "matmul_tn " << m << "x" << k << "x" << n << " @" << threads;
+      util::set_num_threads(1);
+    }
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, Conv2dForwardBackward) {
+  struct Case {
+    std::int64_t n, cin, hw, cout, kernel, stride, padding;
+  };
+  const std::vector<Case> cases = {
+      {1, 1, 5, 1, 3, 1, 1},   // minimal
+      {3, 5, 9, 4, 3, 2, 0},   // odd channels, strided, no padding
+      {4, 8, 16, 16, 3, 1, 1}, // large enough to shard im2col + matmuls
+  };
+  for (const auto& c : cases) {
+    const T::Tensor x = random_tensor({c.n, c.cin, c.hw, c.hw}, 21);
+    const T::Tensor w =
+        random_tensor({c.cout, c.cin, c.kernel, c.kernel}, 22);
+    const T::Tensor b = random_tensor({c.cout}, 23);
+    const T::Conv2dSpec spec{c.kernel, c.kernel, c.stride, c.padding};
+    const T::Tensor ref_y = T::conv2d(x, w, b, spec);
+    const T::Tensor gy = random_tensor(ref_y.shape(), 24);
+    const T::Conv2dGrads ref_g = T::conv2d_backward(x, w, gy, spec, true);
+    for (int threads : kThreadCounts) {
+      util::set_num_threads(threads);
+      EXPECT_TRUE(bitwise_equal(ref_y, T::conv2d(x, w, b, spec)))
+          << "conv2d fwd @" << threads;
+      const T::Conv2dGrads g = T::conv2d_backward(x, w, gy, spec, true);
+      EXPECT_TRUE(bitwise_equal(ref_g.grad_weight, g.grad_weight))
+          << "conv2d dW @" << threads;
+      EXPECT_TRUE(bitwise_equal(ref_g.grad_input, g.grad_input))
+          << "conv2d dX @" << threads;
+      EXPECT_TRUE(bitwise_equal(ref_g.grad_bias, g.grad_bias))
+          << "conv2d db @" << threads;
+      util::set_num_threads(1);
+    }
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, ElementwiseAndRowKernels) {
+  // 100003 elements: prime, so every shard boundary is ragged.
+  const T::Tensor a = random_tensor({100003}, 31);
+  const T::Tensor b = random_tensor({100003}, 32);
+  const T::Tensor m2 = random_tensor({257, 389}, 33);
+  const T::Tensor rowv = random_tensor({389}, 34);
+  const T::Tensor nchw = random_tensor({6, 13, 17, 17}, 35);
+  const T::Tensor cvec = random_tensor({13}, 36);
+
+  const T::Tensor r_add = T::add(a, b), r_mul = T::mul(a, b);
+  const T::Tensor r_exp = T::exp(a), r_relu = T::relu(a);
+  const T::Tensor r_sig = T::sigmoid(a);
+  const T::Tensor r_rowadd = T::add_row_vector(m2, rowv);
+  const T::Tensor r_sm = T::row_softmax(m2);
+  const T::Tensor r_lse = T::row_logsumexp(m2);
+  const T::Tensor r_srows = T::sum_rows(m2), r_scols = T::sum_cols(m2);
+  const T::Tensor r_tr = T::transpose2d(m2);
+  const T::Tensor r_cm = T::channel_mean(nchw);
+  const T::Tensor r_cv = T::channel_var(nchw, r_cm);
+  const T::Tensor r_caff = T::channel_affine(nchw, r_cm, cvec, cvec);
+  const T::Tensor r_cmul = T::mul_per_channel(nchw, cvec);
+
+  for (int threads : kThreadCounts) {
+    util::set_num_threads(threads);
+    EXPECT_TRUE(bitwise_equal(r_add, T::add(a, b))) << "add @" << threads;
+    EXPECT_TRUE(bitwise_equal(r_mul, T::mul(a, b))) << "mul @" << threads;
+    EXPECT_TRUE(bitwise_equal(r_exp, T::exp(a))) << "exp @" << threads;
+    EXPECT_TRUE(bitwise_equal(r_relu, T::relu(a))) << "relu @" << threads;
+    EXPECT_TRUE(bitwise_equal(r_sig, T::sigmoid(a)))
+        << "sigmoid @" << threads;
+    EXPECT_TRUE(bitwise_equal(r_rowadd, T::add_row_vector(m2, rowv)))
+        << "add_row_vector @" << threads;
+    EXPECT_TRUE(bitwise_equal(r_sm, T::row_softmax(m2)))
+        << "row_softmax @" << threads;
+    EXPECT_TRUE(bitwise_equal(r_lse, T::row_logsumexp(m2)))
+        << "row_logsumexp @" << threads;
+    EXPECT_TRUE(bitwise_equal(r_srows, T::sum_rows(m2)))
+        << "sum_rows @" << threads;
+    EXPECT_TRUE(bitwise_equal(r_scols, T::sum_cols(m2)))
+        << "sum_cols @" << threads;
+    EXPECT_TRUE(bitwise_equal(r_tr, T::transpose2d(m2)))
+        << "transpose2d @" << threads;
+    EXPECT_TRUE(bitwise_equal(r_cm, T::channel_mean(nchw)))
+        << "channel_mean @" << threads;
+    EXPECT_TRUE(bitwise_equal(r_cv, T::channel_var(nchw, r_cm)))
+        << "channel_var @" << threads;
+    EXPECT_TRUE(bitwise_equal(r_caff, T::channel_affine(nchw, r_cm, cvec,
+                                                        cvec)))
+        << "channel_affine @" << threads;
+    EXPECT_TRUE(bitwise_equal(r_cmul, T::mul_per_channel(nchw, cvec)))
+        << "mul_per_channel @" << threads;
+    util::set_num_threads(1);
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, AccumulatedGradientScores) {
+  // The 89.6k-parameter paper MLP: big enough that compute_scores shards.
+  auto model = nn::models::make_mnist_100_100(7);
+  auto params = model->collect_parameters();
+  rng::Xorshift128 rng(41);
+  for (auto* p : params) {
+    float* g = p->var.grad().data();
+    for (std::int64_t i = 0; i < p->numel(); ++i) g[i] = rng.uniform(-1, 1);
+  }
+  core::ParamIndex index(params);
+  std::vector<float> ref;
+  core::compute_scores(index, 0.1F, ref);
+  for (int threads : kThreadCounts) {
+    util::set_num_threads(threads);
+    std::vector<float> scores;
+    core::compute_scores(index, 0.1F, scores);
+    ASSERT_EQ(scores.size(), ref.size());
+    EXPECT_EQ(std::memcmp(scores.data(), ref.data(),
+                          ref.size() * sizeof(float)),
+              0)
+        << "compute_scores @" << threads;
+    util::set_num_threads(1);
+  }
+}
+
+/// Runs `steps` DropBack steps on a fresh copy of the paper MLP and returns
+/// every weight value, so whole-optimizer trajectories can be compared.
+std::vector<float> dropback_trajectory(int steps) {
+  auto model = nn::models::make_mnist_100_100(7);
+  auto params = model->collect_parameters();
+  core::DropBackConfig config;
+  config.budget = 20000;
+  core::DropBackOptimizer opt(params, 0.1F, config);
+  rng::Xorshift128 rng(42);
+  for (int s = 0; s < steps; ++s) {
+    for (auto* p : params) {
+      float* g = p->var.grad().data();
+      for (std::int64_t i = 0; i < p->numel(); ++i) g[i] = rng.uniform(-1, 1);
+    }
+    opt.step();
+  }
+  std::vector<float> weights;
+  for (auto* p : params) {
+    const float* w = p->var.value().data();
+    weights.insert(weights.end(), w, w + p->numel());
+  }
+  return weights;
+}
+
+TEST_F(ParallelEquivalenceTest, DropBackUpdateAndSelection) {
+  const std::vector<float> ref = dropback_trajectory(3);
+  for (int threads : kThreadCounts) {
+    util::set_num_threads(threads);
+    const std::vector<float> got = dropback_trajectory(3);
+    ASSERT_EQ(got.size(), ref.size());
+    EXPECT_EQ(
+        std::memcmp(got.data(), ref.data(), ref.size() * sizeof(float)), 0)
+        << "DropBack trajectory @" << threads;
+    util::set_num_threads(1);
+  }
+}
+
+/// Flattens every per-param mask of `set` into one vector.
+std::vector<std::uint8_t> flatten_masks(const core::TrackedSet& set,
+                                        const core::ParamIndex& index) {
+  std::vector<std::uint8_t> flat;
+  for (std::size_t p = 0; p < index.num_params(); ++p) {
+    const std::uint8_t* m = set.mask_of(p);
+    flat.insert(flat.end(), m, m + index.param(p).numel());
+  }
+  return flat;
+}
+
+TEST_F(ParallelEquivalenceTest, TrackedSetSelectLargeAndTieHeavy) {
+  // 500x400 linear + bias = 200400 weights: above the parallel-select gate.
+  nn::Sequential net;
+  net.emplace<nn::Linear>(400, 500, 1);
+  core::ParamIndex index(net.collect_parameters());
+  ASSERT_GE(index.total(), 1 << 15);
+
+  rng::Xorshift128 rng(51);
+  std::vector<float> random_scores(static_cast<std::size_t>(index.total()));
+  for (auto& s : random_scores) s = rng.uniform();
+  // Tie-heavy: every score is one of 4 values, so thousands of weights sit
+  // exactly at the selection threshold.
+  std::vector<float> tied_scores(static_cast<std::size_t>(index.total()));
+  for (auto& s : tied_scores) {
+    s = 0.25F * static_cast<float>(rng.next_u32() % 4);
+  }
+
+  for (const auto* scores : {&random_scores, &tied_scores}) {
+    for (std::int64_t k : {std::int64_t{1}, std::int64_t{5000},
+                           std::int64_t{123457}}) {
+      core::TrackedSet ref_set(index);
+      ref_set.select(*scores, k, core::SelectionStrategy::kFullSort);
+      const auto ref_mask = flatten_masks(ref_set, index);
+      const float ref_lambda = ref_set.last_lambda();
+      for (int threads : kThreadCounts) {
+        util::set_num_threads(threads);
+        core::TrackedSet set(index);
+        set.select(*scores, k, core::SelectionStrategy::kFullSort);
+        EXPECT_EQ(flatten_masks(set, index), ref_mask)
+            << "select k=" << k << " @" << threads;
+        EXPECT_EQ(set.last_lambda(), ref_lambda)
+            << "lambda k=" << k << " @" << threads;
+        util::set_num_threads(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dropback

@@ -1,0 +1,182 @@
+// Unit tests for the fixed-partition thread pool itself: shard coverage,
+// degenerate ranges, exception propagation, and heavy reuse. The kernels'
+// bitwise parallel-vs-serial guarantees live in parallel_equivalence_test.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/flags.hpp"
+
+namespace dropback::util {
+namespace {
+
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_num_threads(1); }
+};
+
+TEST_F(ThreadPoolTest, EmptyRangeNeverInvokes) {
+  set_num_threads(4);
+  int calls = 0;
+  parallel_for(16, 0, [&](std::int64_t, std::int64_t) { ++calls; });
+  parallel_for(16, -5, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ThreadPoolTest, BelowGrainRunsInlineOnCaller) {
+  set_num_threads(4);
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  std::int64_t begin = -1, end = -1;
+  parallel_for(100, 37, [&](std::int64_t b, std::int64_t e) {
+    ++calls;
+    begin = b;
+    end = e;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(begin, 0);
+  EXPECT_EQ(end, 37);
+}
+
+TEST_F(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  set_num_threads(1);
+  const auto caller = std::this_thread::get_id();
+  std::int64_t covered = 0;
+  parallel_for(1, 1000, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    covered += e - b;
+  });
+  EXPECT_EQ(covered, 1000);
+}
+
+TEST_F(ThreadPoolTest, CoversEveryIndexExactlyOnceWithRaggedShards) {
+  // 7 threads over ranges that do not divide evenly: every index must be
+  // touched exactly once, with no gaps at the shard seams.
+  set_num_threads(7);
+  for (std::int64_t n : {1, 2, 6, 7, 8, 13, 97, 1000, 12345}) {
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    for (auto& h : hits) h.store(0);
+    parallel_for(1, n, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "index " << i << " of " << n;
+    }
+  }
+}
+
+TEST_F(ThreadPoolTest, RunCoversShardsBeyondThreadCount) {
+  // Static round-robin: 23 shards on a 3-thread pool.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(23);
+  for (auto& h : hits) h.store(0);
+  pool.run(23, [&](int s) { hits[static_cast<std::size_t>(s)].fetch_add(1); });
+  for (std::size_t s = 0; s < hits.size(); ++s) {
+    ASSERT_EQ(hits[s].load(), 1) << "shard " << s;
+  }
+}
+
+TEST_F(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  set_num_threads(4);
+  EXPECT_THROW(
+      parallel_for(1, 1000,
+                   [&](std::int64_t b, std::int64_t) {
+                     if (b == 0) throw std::runtime_error("shard boom");
+                   }),
+      std::runtime_error);
+  // The pool must be fully reusable after a throwing dispatch.
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(1, 1000, [&](std::int64_t b, std::int64_t e) {
+    std::int64_t local = 0;
+    for (std::int64_t i = b; i < e; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+}
+
+TEST_F(ThreadPoolTest, ExceptionFromWorkerShardPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run(4,
+                        [&](int s) {
+                          // Shard 1 is owned by a worker, not the caller.
+                          if (s == 1) throw std::runtime_error("worker boom");
+                        }),
+               std::runtime_error);
+}
+
+TEST_F(ThreadPoolTest, ReuseAcrossManyDispatches) {
+  set_num_threads(5);
+  std::int64_t expected = 0;
+  std::atomic<std::int64_t> total{0};
+  for (int round = 0; round < 500; ++round) {
+    const std::int64_t n = 1 + (round % 64);
+    expected += n;
+    parallel_for(1, n, [&](std::int64_t b, std::int64_t e) {
+      total.fetch_add(e - b);
+    });
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST_F(ThreadPoolTest, NestedParallelForRunsSeriallyWithoutDeadlock) {
+  set_num_threads(4);
+  std::atomic<std::int64_t> inner_total{0};
+  parallel_for(1, 8, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      parallel_for(1, 10, [&](std::int64_t ib, std::int64_t ie) {
+        inner_total.fetch_add(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST_F(ThreadPoolTest, SetNumThreadsResizesGlobalPool) {
+  set_num_threads(7);
+  EXPECT_EQ(num_threads(), 7);
+  set_num_threads(2);
+  EXPECT_EQ(num_threads(), 2);
+  set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1);
+}
+
+TEST_F(ThreadPoolTest, ConfigureThreadsReadsFlag) {
+  const char* argv[] = {"prog", "--threads", "3"};
+  Flags flags(3, const_cast<char**>(argv));
+  configure_threads(flags);
+  EXPECT_EQ(num_threads(), 3);
+}
+
+TEST_F(ThreadPoolTest, DeterministicPartitionBoundaries) {
+  // The even split must be a pure function of (n, shards): recompute the
+  // boundaries a dispatch used and check contiguity and ordering.
+  set_num_threads(4);
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+  std::mutex mu;
+  parallel_for(1, 103, [&](std::int64_t b, std::int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(b, e);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  ASSERT_EQ(ranges.size(), 4U);
+  EXPECT_EQ(ranges.front().first, 0);
+  EXPECT_EQ(ranges.back().second, 103);
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].first, ranges[i - 1].second);
+  }
+}
+
+}  // namespace
+}  // namespace dropback::util

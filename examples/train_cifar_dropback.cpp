@@ -82,6 +82,11 @@ int main(int argc, char** argv) {
   options.epochs = epochs;
   options.batch_size = batch;
   options.schedule = &schedule;
+  options.checkpoint_path = flags.get_string("checkpoint", "");
+  options.checkpoint_every = flags.get_int("checkpoint-every", 0);
+  options.resume = flags.get_bool("resume", false);
+  options.anomaly_policy =
+      train::parse_anomaly_policy(flags.get_string("anomaly", "off"));
   train::Trainer trainer(*model, optimizer, *train_set, *val_set, options);
   trainer.on_epoch_end = [&](const train::EpochStats& stats) {
     std::printf("epoch %3lld  loss %.4f  train acc %.4f  val acc %.4f\n",

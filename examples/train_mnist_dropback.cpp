@@ -6,6 +6,11 @@
 //   ./train_mnist_dropback --model=lenet --budget=50000 --epochs=20
 //       --freeze-epoch=7 --lr=0.1 --save=model.dbsw    (one command line)
 //   ./train_mnist_dropback --model=mlp --budget=1500      # extreme budget
+//
+// Crash-safe training: --checkpoint=run.dbts snapshots the full training
+// state after every epoch (plus every --checkpoint-every=N steps), and
+// --resume continues a killed run bitwise-identically. --anomaly selects the
+// non-finite loss/gradient policy (off|throw|skip|rollback).
 #include <cstdio>
 #include <string>
 
@@ -68,6 +73,11 @@ int main(int argc, char** argv) {
   options.batch_size = batch;
   options.schedule = &schedule;
   options.patience = flags.get_int("patience", -1);
+  options.checkpoint_path = flags.get_string("checkpoint", "");
+  options.checkpoint_every = flags.get_int("checkpoint-every", 0);
+  options.resume = flags.get_bool("resume", false);
+  options.anomaly_policy =
+      train::parse_anomaly_policy(flags.get_string("anomaly", "off"));
   train::Trainer trainer(*model, optimizer, *train_set, *val_set, options);
   trainer.on_epoch_end = [&](const train::EpochStats& stats) {
     std::printf(

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/io_error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dropback::core {
@@ -117,7 +118,7 @@ template <typename T>
 T read_pod(std::istream& in) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!in) throw std::runtime_error("DropBackOptimizer state: truncated");
+  if (!in) throw util::IoError("DropBackOptimizer state: truncated");
   return v;
 }
 }  // namespace
@@ -144,20 +145,23 @@ void DropBackOptimizer::save_state(std::ostream& out) const {
       }
     }
   }
-  if (!out) throw std::runtime_error("DropBackOptimizer state: write failed");
+  if (!out) throw util::IoError("DropBackOptimizer state: write failed");
 }
 
 void DropBackOptimizer::load_state(std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kStateMagic, sizeof(kStateMagic)) != 0) {
-    throw std::runtime_error("DropBackOptimizer state: bad magic");
+    throw util::IoError("DropBackOptimizer state: bad magic");
   }
   const auto budget = read_pod<std::int64_t>(in);
   const auto total = read_pod<std::int64_t>(in);
   if (budget != config_.budget || total != index_.total()) {
-    throw std::runtime_error(
-        "DropBackOptimizer state: budget/model mismatch");
+    throw util::IoError(
+        "DropBackOptimizer state: budget/model mismatch (file has budget " +
+        std::to_string(budget) + " over " + std::to_string(total) +
+        " weights, optimizer has " + std::to_string(config_.budget) +
+        " over " + std::to_string(index_.total()) + ")");
   }
   const auto steps = read_pod<std::int64_t>(in);
   const bool frozen = read_pod<std::uint8_t>(in) != 0;

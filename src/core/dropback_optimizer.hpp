@@ -88,9 +88,10 @@ class DropBackOptimizer : public optim::Optimizer {
   /// Serializes the optimizer's training state (step count, freeze flag,
   /// bit-packed tracked masks). Combined with an nn::checkpoint of the
   /// weights this resumes DropBack training exactly. The budget and total
-  /// parameter count are stored and validated on load.
-  void save_state(std::ostream& out) const;
-  void load_state(std::istream& in);
+  /// parameter count are stored and validated on load; corrupt or
+  /// mismatched input raises util::IoError.
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
  private:
   void apply_update_and_mask();

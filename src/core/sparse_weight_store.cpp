@@ -3,14 +3,20 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
+#include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
+#include "util/container.hpp"
+#include "util/io_error.hpp"
 
 namespace dropback::core {
 
 namespace {
-constexpr char kMagic[4] = {'D', 'B', 'S', 'W'};
+// Magic of the legacy (pre-checksum) flat format, still accepted on load.
+constexpr char kLegacyMagic[4] = {'D', 'B', 'S', 'W'};
+// Container payload kind of the current checksummed format.
+constexpr char kKind[] = "DBSW";
 
 template <typename T>
 void write_pod(std::ostream& out, const T& v) {
@@ -21,8 +27,74 @@ template <typename T>
 T read_pod(std::istream& in) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!in) throw std::runtime_error("SparseWeightStore: truncated stream");
+  if (!in) throw util::IoError("SparseWeightStore: truncated stream");
   return v;
+}
+
+void write_record(std::ostream& out, const SparseParamRecord& rec) {
+  write_pod<std::uint16_t>(out, static_cast<std::uint16_t>(rec.name.size()));
+  out.write(rec.name.data(), static_cast<std::streamsize>(rec.name.size()));
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(rec.shape.size()));
+  for (std::int64_t d : rec.shape) write_pod<std::int64_t>(out, d);
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(rec.init.kind()));
+  write_pod<float>(out, rec.init.scale());
+  write_pod<std::uint64_t>(out, rec.init.seed());
+  write_pod<std::uint64_t>(out, rec.entries.size());
+  for (const auto& [idx, val] : rec.entries) {
+    write_pod<std::uint32_t>(out, idx);
+    write_pod<float>(out, val);
+  }
+}
+
+SparseParamRecord read_record(std::istream& in) {
+  SparseParamRecord rec;
+  const auto name_len = read_pod<std::uint16_t>(in);
+  rec.name.resize(name_len);
+  in.read(rec.name.data(), name_len);
+  if (!in) throw util::IoError("SparseWeightStore: truncated record name");
+  const auto ndim = read_pod<std::uint8_t>(in);
+  rec.shape.resize(ndim);
+  for (auto& d : rec.shape) {
+    d = read_pod<std::int64_t>(in);
+    if (d < 0) {
+      throw util::IoError("SparseWeightStore: record '" + rec.name +
+                          "': negative dimension");
+    }
+  }
+  const auto kind = read_pod<std::uint8_t>(in);
+  const auto scale = read_pod<float>(in);
+  const auto seed = read_pod<std::uint64_t>(in);
+  rec.init =
+      kind == static_cast<std::uint8_t>(rng::InitSpec::Kind::kScaledNormal)
+          ? rng::InitSpec::scaled_normal(scale, seed)
+          : rng::InitSpec::constant(scale);
+  const auto n_entries = read_pod<std::uint64_t>(in);
+  const std::int64_t dense = rec.dense_numel();
+  if (n_entries > static_cast<std::uint64_t>(dense)) {
+    throw util::IoError("SparseWeightStore: record '" + rec.name +
+                        "': more entries (" + std::to_string(n_entries) +
+                        ") than dense elements (" + std::to_string(dense) +
+                        ")");
+  }
+  rec.entries.reserve(n_entries);
+  std::int64_t prev = -1;
+  for (std::uint64_t i = 0; i < n_entries; ++i) {
+    const auto idx = read_pod<std::uint32_t>(in);
+    const auto val = read_pod<float>(in);
+    if (static_cast<std::int64_t>(idx) >= dense) {
+      throw util::IoError("SparseWeightStore: record '" + rec.name +
+                          "': entry index " + std::to_string(idx) +
+                          " out of range " + std::to_string(dense));
+    }
+    if (static_cast<std::int64_t>(idx) <= prev) {
+      throw util::IoError("SparseWeightStore: record '" + rec.name +
+                          "': entries not strictly sorted at index " +
+                          std::to_string(idx));
+    }
+    prev = static_cast<std::int64_t>(idx);
+    rec.entries.emplace_back(idx, val);
+  }
+  return rec;
 }
 }  // namespace
 
@@ -135,8 +207,10 @@ std::int64_t SparseWeightStore::dense_weights() const {
 }
 
 std::int64_t SparseWeightStore::bytes() const {
-  std::int64_t total = 4 + 4;  // magic + count
+  std::int64_t total = util::ContainerWriter::header_bytes();
   for (const auto& rec : records_) {
+    // One checksummed section per record, named after the parameter.
+    total += util::ContainerWriter::section_overhead_bytes(rec.name.size());
     total += 2 + static_cast<std::int64_t>(rec.name.size());   // name
     total += 1 + 8 * static_cast<std::int64_t>(rec.shape.size());  // shape
     total += static_cast<std::int64_t>(rng::InitSpec::persisted_bytes());
@@ -157,63 +231,49 @@ double SparseWeightStore::compression_ratio() const {
 }
 
 void SparseWeightStore::save(std::ostream& out) const {
-  out.write(kMagic, sizeof(kMagic));
-  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(records_.size()));
+  util::ContainerWriter writer(kKind);
   for (const auto& rec : records_) {
-    write_pod<std::uint16_t>(out, static_cast<std::uint16_t>(rec.name.size()));
-    out.write(rec.name.data(),
-              static_cast<std::streamsize>(rec.name.size()));
-    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(rec.shape.size()));
-    for (std::int64_t d : rec.shape) write_pod<std::int64_t>(out, d);
-    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(rec.init.kind()));
-    write_pod<float>(out, rec.init.scale());
-    write_pod<std::uint64_t>(out, rec.init.seed());
-    write_pod<std::uint64_t>(out, rec.entries.size());
-    for (const auto& [idx, val] : rec.entries) {
-      write_pod<std::uint32_t>(out, idx);
-      write_pod<float>(out, val);
-    }
+    write_record(writer.add_section(rec.name), rec);
   }
-  if (!out) throw std::runtime_error("SparseWeightStore: write failed");
+  writer.write_to(out);
+  if (!out) throw util::IoError("SparseWeightStore: write failed");
 }
 
 SparseWeightStore SparseWeightStore::load(std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("SparseWeightStore: bad magic");
-  }
+  if (!in) throw util::IoError("SparseWeightStore: truncated magic");
   SparseWeightStore store;
-  const auto count = read_pod<std::uint32_t>(in);
-  store.records_.reserve(count);
-  for (std::uint32_t p = 0; p < count; ++p) {
-    SparseParamRecord rec;
-    const auto name_len = read_pod<std::uint16_t>(in);
-    rec.name.resize(name_len);
-    in.read(rec.name.data(), name_len);
-    const auto ndim = read_pod<std::uint8_t>(in);
-    rec.shape.resize(ndim);
-    for (auto& d : rec.shape) d = read_pod<std::int64_t>(in);
-    const auto kind = read_pod<std::uint8_t>(in);
-    const auto scale = read_pod<float>(in);
-    const auto seed = read_pod<std::uint64_t>(in);
-    rec.init = kind == static_cast<std::uint8_t>(
-                           rng::InitSpec::Kind::kScaledNormal)
-                   ? rng::InitSpec::scaled_normal(scale, seed)
-                   : rng::InitSpec::constant(scale);
-    const auto n_entries = read_pod<std::uint64_t>(in);
-    const std::int64_t dense = rec.dense_numel();
-    if (n_entries > static_cast<std::uint64_t>(dense)) {
-      throw std::runtime_error("SparseWeightStore: more entries than dense");
+  if (std::memcmp(magic, kLegacyMagic, sizeof(magic)) == 0) {
+    // Legacy flat format: count then records, no checksums.
+    const auto count = read_pod<std::uint32_t>(in);
+    store.records_.reserve(count);
+    for (std::uint32_t p = 0; p < count; ++p) {
+      store.records_.push_back(read_record(in));
     }
-    rec.entries.reserve(n_entries);
-    for (std::uint64_t i = 0; i < n_entries; ++i) {
-      const auto idx = read_pod<std::uint32_t>(in);
-      const auto val = read_pod<float>(in);
-      if (static_cast<std::int64_t>(idx) >= dense) {
-        throw std::runtime_error("SparseWeightStore: entry index out of range");
-      }
-      rec.entries.emplace_back(idx, val);
+    return store;
+  }
+  if (std::memcmp(magic, util::kContainerMagic, sizeof(magic)) != 0) {
+    throw util::IoError("SparseWeightStore: bad magic");
+  }
+  const util::ContainerReader reader =
+      util::ContainerReader::read_body(in, kKind);
+  store.records_.reserve(reader.num_sections());
+  for (std::size_t p = 0; p < reader.num_sections(); ++p) {
+    std::istringstream section = reader.section_stream(p);
+    SparseParamRecord rec = read_record(section);
+    if (rec.name != reader.section_name(p)) {
+      throw util::IoError("SparseWeightStore: section '" +
+                          reader.section_name(p) + "' at offset " +
+                          std::to_string(reader.section_offset(p)) +
+                          " holds record named '" + rec.name + "'");
+    }
+    const auto consumed = static_cast<std::size_t>(section.tellg());
+    if (consumed != reader.section_bytes(p).size()) {
+      throw util::IoError("SparseWeightStore: record '" + rec.name + "': " +
+                          std::to_string(reader.section_bytes(p).size() -
+                                         consumed) +
+                          " trailing bytes after entries");
     }
     store.records_.push_back(std::move(rec));
   }
@@ -221,15 +281,19 @@ SparseWeightStore SparseWeightStore::load(std::istream& in) {
 }
 
 void SparseWeightStore::save_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("SparseWeightStore: cannot open " + path);
-  save(out);
+  util::atomic_write_file(path, [this](std::ostream& out) { save(out); });
 }
 
 SparseWeightStore SparseWeightStore::load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("SparseWeightStore: cannot open " + path);
-  return load(in);
+  if (!in) throw util::IoError("SparseWeightStore: cannot open " + path);
+  SparseWeightStore store = load(in);
+  if (in.peek() != std::char_traits<char>::eof()) {
+    throw util::IoError("SparseWeightStore: trailing bytes after store "
+                        "payload in " +
+                        path);
+  }
+  return store;
 }
 
 bool operator==(const SparseWeightStore& a, const SparseWeightStore& b) {

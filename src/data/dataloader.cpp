@@ -1,8 +1,12 @@
 #include "data/dataloader.hpp"
 
+#include <cstring>
+#include <istream>
 #include <numeric>
+#include <ostream>
 
 #include "util/check.hpp"
+#include "util/io_error.hpp"
 
 namespace dropback::data {
 
@@ -42,6 +46,86 @@ bool DataLoader::next(Batch& batch) {
   batch = dataset_.gather(indices);
   cursor_ += count;
   return true;
+}
+
+namespace {
+constexpr char kLoaderMagic[4] = {'D', 'B', 'D', 'L'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw util::IoError("DataLoader state: truncated");
+  return v;
+}
+}  // namespace
+
+void DataLoader::save_state(std::ostream& out) const {
+  out.write(kLoaderMagic, sizeof(kLoaderMagic));
+  write_pod<std::int64_t>(out, dataset_.size());
+  write_pod<std::int64_t>(out, batch_size_);
+  write_pod<std::uint8_t>(out, shuffle_ ? 1 : 0);
+  const rng::Xorshift128::State rs = rng_.state();
+  write_pod<std::uint32_t>(out, rs.x);
+  write_pod<std::uint32_t>(out, rs.y);
+  write_pod<std::uint32_t>(out, rs.z);
+  write_pod<std::uint32_t>(out, rs.w);
+  write_pod<std::uint8_t>(out, rs.has_cached_normal ? 1 : 0);
+  write_pod<float>(out, rs.cached_normal);
+  write_pod<std::int64_t>(out, cursor_);
+  for (const std::int64_t idx : order_) write_pod<std::int64_t>(out, idx);
+  if (!out) throw util::IoError("DataLoader state: write failed");
+}
+
+void DataLoader::load_state(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kLoaderMagic, sizeof(kLoaderMagic)) != 0) {
+    throw util::IoError("DataLoader state: bad magic");
+  }
+  const auto size = read_pod<std::int64_t>(in);
+  const auto batch_size = read_pod<std::int64_t>(in);
+  if (size != dataset_.size() || batch_size != batch_size_) {
+    throw util::IoError("DataLoader state: dataset of " +
+                        std::to_string(size) + " samples / batch " +
+                        std::to_string(batch_size) + ", loader has " +
+                        std::to_string(dataset_.size()) + " / batch " +
+                        std::to_string(batch_size_));
+  }
+  const bool shuffle = read_pod<std::uint8_t>(in) != 0;
+  if (shuffle != shuffle_) {
+    throw util::IoError("DataLoader state: shuffle flag mismatch");
+  }
+  rng::Xorshift128::State rs{};
+  rs.x = read_pod<std::uint32_t>(in);
+  rs.y = read_pod<std::uint32_t>(in);
+  rs.z = read_pod<std::uint32_t>(in);
+  rs.w = read_pod<std::uint32_t>(in);
+  rs.has_cached_normal = read_pod<std::uint8_t>(in) != 0;
+  rs.cached_normal = read_pod<float>(in);
+  const auto cursor = read_pod<std::int64_t>(in);
+  if (cursor < 0 || cursor > dataset_.size()) {
+    throw util::IoError("DataLoader state: cursor " + std::to_string(cursor) +
+                        " outside dataset of " +
+                        std::to_string(dataset_.size()));
+  }
+  std::vector<std::int64_t> order(order_.size());
+  for (std::int64_t& idx : order) {
+    idx = read_pod<std::int64_t>(in);
+    if (idx < 0 || idx >= dataset_.size()) {
+      throw util::IoError("DataLoader state: sample index " +
+                          std::to_string(idx) + " outside dataset of " +
+                          std::to_string(dataset_.size()));
+    }
+  }
+  rng_.set_state(rs);
+  cursor_ = cursor;
+  order_ = std::move(order);
 }
 
 }  // namespace dropback::data

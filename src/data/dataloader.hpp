@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -25,6 +26,13 @@ class DataLoader {
   bool next(Batch& batch);
 
   std::int64_t batch_size() const { return batch_size_; }
+
+  /// Serializes the shuffle state (RNG, current epoch order, cursor) so a
+  /// resumed run continues from the exact batch the crashed run stopped at.
+  /// load_state validates dataset size and batch size against the current
+  /// loader and raises util::IoError on corrupt or mismatched input.
+  void save_state(std::ostream& out) const;
+  void load_state(std::istream& in);
 
  private:
   const Dataset& dataset_;

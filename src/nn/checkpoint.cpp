@@ -1,58 +1,78 @@
 #include "nn/checkpoint.hpp"
 
-#include <cstring>
 #include <fstream>
-#include <stdexcept>
+#include <sstream>
 
 #include "tensor/serialize.hpp"
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
+#include "util/container.hpp"
+#include "util/io_error.hpp"
 
 namespace dropback::nn {
 
 namespace {
-constexpr char kMagic[4] = {'D', 'B', 'C', 'P'};
+constexpr char kKind[] = "DBCP";
+
+std::string param_label(std::size_t ordinal, const std::string& name) {
+  return "parameter " + std::to_string(ordinal) + " ('" + name + "')";
 }
+}  // namespace
 
 void save_checkpoint(std::ostream& out,
                      const std::vector<Parameter*>& params) {
-  out.write(kMagic, sizeof(kMagic));
-  const auto count = static_cast<std::uint32_t>(params.size());
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  util::ContainerWriter writer(kKind);
   for (const Parameter* p : params) {
     DROPBACK_CHECK(p != nullptr, << "save_checkpoint: null parameter");
-    const auto name_len = static_cast<std::uint16_t>(p->name.size());
-    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    out.write(p->name.data(), name_len);
-    tensor::save_tensor(out, p->var.value());
+    tensor::save_tensor(writer.add_section(p->name), p->var.value());
   }
-  if (!out) throw std::runtime_error("save_checkpoint: write failed");
+  writer.write_to(out);
+  if (!out) throw util::IoError("save_checkpoint: write failed");
 }
 
 void load_checkpoint(std::istream& in,
                      const std::vector<Parameter*>& params) {
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("load_checkpoint: bad magic");
+  const util::ContainerReader reader =
+      util::ContainerReader::read_from(in, kKind);
+  if (reader.num_sections() != params.size()) {
+    throw util::IoError("load_checkpoint: parameter count mismatch "
+                        "(checkpoint has " +
+                        std::to_string(reader.num_sections()) +
+                        ", model expects " + std::to_string(params.size()) +
+                        ")");
   }
-  std::uint32_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || count != params.size()) {
-    throw std::runtime_error("load_checkpoint: parameter count mismatch");
-  }
-  for (Parameter* p : params) {
-    std::uint16_t name_len = 0;
-    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    if (!in) throw std::runtime_error("load_checkpoint: truncated");
-    if (name != p->name) {
-      throw std::runtime_error("load_checkpoint: expected parameter '" +
-                               p->name + "', found '" + name + "'");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Parameter* p = params[i];
+    if (reader.section_name(i) != p->name) {
+      throw util::IoError("load_checkpoint: " + param_label(i, p->name) +
+                          " at offset " +
+                          std::to_string(reader.section_offset(i)) +
+                          ": checkpoint has '" + reader.section_name(i) +
+                          "'");
     }
-    tensor::Tensor t = tensor::load_tensor(in);
+    std::istringstream section = reader.section_stream(i);
+    tensor::Tensor t;
+    try {
+      t = tensor::load_tensor(section);
+    } catch (const util::IoError& e) {
+      throw util::IoError("load_checkpoint: " + param_label(i, p->name) +
+                          " at offset " +
+                          std::to_string(reader.section_offset(i)) + ": " +
+                          e.what());
+    }
+    const auto consumed = static_cast<std::size_t>(section.tellg());
+    if (consumed != reader.section_bytes(i).size()) {
+      throw util::IoError(
+          "load_checkpoint: " + param_label(i, p->name) + " at offset " +
+          std::to_string(reader.section_offset(i)) + ": " +
+          std::to_string(reader.section_bytes(i).size() - consumed) +
+          " trailing bytes after tensor payload");
+    }
     if (t.shape() != p->var.value().shape()) {
-      throw std::runtime_error("load_checkpoint: shape mismatch at " + name);
+      throw util::IoError("load_checkpoint: " + param_label(i, p->name) +
+                          ": shape mismatch (checkpoint " +
+                          tensor::shape_str(t.shape()) + ", model " +
+                          tensor::shape_str(p->var.value().shape()) + ")");
     }
     p->var.value().copy_from(t);
   }
@@ -60,18 +80,20 @@ void load_checkpoint(std::istream& in,
 
 void save_checkpoint_file(const std::string& path,
                           const std::vector<Parameter*>& params) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_checkpoint_file: cannot open " +
-                                     path);
-  save_checkpoint(out, params);
+  util::atomic_write_file(
+      path, [&](std::ostream& out) { save_checkpoint(out, params); });
 }
 
 void load_checkpoint_file(const std::string& path,
                           const std::vector<Parameter*>& params) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_checkpoint_file: cannot open " +
-                                    path);
+  if (!in) throw util::IoError("load_checkpoint_file: cannot open " + path);
   load_checkpoint(in, params);
+  if (in.peek() != std::char_traits<char>::eof()) {
+    throw util::IoError("load_checkpoint_file: trailing bytes after "
+                        "checkpoint payload in " +
+                        path);
+  }
 }
 
 }  // namespace dropback::nn

@@ -1,10 +1,62 @@
 #include "optim/momentum.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
 
 #include "util/check.hpp"
+#include "util/io_error.hpp"
 
 namespace dropback::optim {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in, const char* who) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw util::IoError(std::string(who) + " state: truncated");
+  return v;
+}
+
+void write_float_banks(std::ostream& out,
+                       const std::vector<std::vector<float>>& banks) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(banks.size()));
+  for (const auto& bank : banks) {
+    write_pod<std::uint64_t>(out, bank.size());
+    out.write(reinterpret_cast<const char*>(bank.data()),
+              static_cast<std::streamsize>(bank.size() * sizeof(float)));
+  }
+}
+
+void read_float_banks(std::istream& in, std::vector<std::vector<float>>& banks,
+                      const char* who) {
+  const auto count = read_pod<std::uint32_t>(in, who);
+  if (count != banks.size()) {
+    throw util::IoError(std::string(who) + " state: " + std::to_string(count) +
+                        " parameter banks, optimizer has " +
+                        std::to_string(banks.size()));
+  }
+  for (auto& bank : banks) {
+    const auto n = read_pod<std::uint64_t>(in, who);
+    if (n != bank.size()) {
+      throw util::IoError(std::string(who) + " state: bank of " +
+                          std::to_string(n) + " floats, optimizer expects " +
+                          std::to_string(bank.size()));
+    }
+    in.read(reinterpret_cast<char*>(bank.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!in) throw util::IoError(std::string(who) + " state: truncated bank");
+  }
+}
+
+}  // namespace
 
 MomentumSGD::MomentumSGD(std::vector<nn::Parameter*> params, float lr,
                          float momentum)
@@ -36,6 +88,21 @@ std::int64_t MomentumSGD::state_floats() const {
   std::int64_t n = 0;
   for (const auto& v : velocity_) n += static_cast<std::int64_t>(v.size());
   return n;
+}
+
+void MomentumSGD::save_state(std::ostream& out) const {
+  out.write("MSGD", 4);
+  write_float_banks(out, velocity_);
+  if (!out) throw util::IoError("MomentumSGD state: write failed");
+}
+
+void MomentumSGD::load_state(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, "MSGD", 4) != 0) {
+    throw util::IoError("MomentumSGD state: bad magic");
+  }
+  read_float_banks(in, velocity_, "MomentumSGD");
 }
 
 Adam::Adam(std::vector<nn::Parameter*> params, float lr, float beta1,
@@ -82,6 +149,25 @@ std::int64_t Adam::state_floats() const {
   for (const auto& m : m_) n += static_cast<std::int64_t>(m.size());
   for (const auto& v : v_) n += static_cast<std::int64_t>(v.size());
   return n;
+}
+
+void Adam::save_state(std::ostream& out) const {
+  out.write("ADAM", 4);
+  write_pod<std::int64_t>(out, t_);
+  write_float_banks(out, m_);
+  write_float_banks(out, v_);
+  if (!out) throw util::IoError("Adam state: write failed");
+}
+
+void Adam::load_state(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, "ADAM", 4) != 0) {
+    throw util::IoError("Adam state: bad magic");
+  }
+  t_ = read_pod<std::int64_t>(in, "Adam");
+  read_float_banks(in, m_, "Adam");
+  read_float_banks(in, v_, "Adam");
 }
 
 }  // namespace dropback::optim

@@ -26,6 +26,11 @@ class MomentumSGD : public Optimizer {
   /// Auxiliary floats kept beyond the weights themselves.
   std::int64_t state_floats() const;
 
+  /// Velocity snapshot for crash-safe resume; load raises util::IoError on
+  /// magic/size mismatch.
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
  private:
   float momentum_;
   std::vector<std::vector<float>> velocity_;
@@ -40,6 +45,10 @@ class Adam : public Optimizer {
   void step() override;
 
   std::int64_t state_floats() const;
+
+  /// First/second-moment snapshot (plus the step counter) for resume.
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
  private:
   float beta1_;

@@ -16,6 +16,10 @@ void Optimizer::zero_grad() {
   for (nn::Parameter* p : params_) p->var.clear_grad();
 }
 
+void Optimizer::save_state(std::ostream&) const {}
+
+void Optimizer::load_state(std::istream&) {}
+
 SGD::SGD(std::vector<nn::Parameter*> params, float lr, float weight_decay)
     : Optimizer(std::move(params), lr), weight_decay_(weight_decay) {}
 

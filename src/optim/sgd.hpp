@@ -6,6 +6,7 @@
 // budget. DropBackOptimizer in src/core wraps this same update.
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "nn/module.hpp"
@@ -19,6 +20,13 @@ class Optimizer {
 
   /// Applies one update from the gradients currently stored in the params.
   virtual void step() = 0;
+
+  /// Serializes optimizer-specific auxiliary state (momentum velocity,
+  /// DropBack tracked masks, ...) for crash-safe resume. Plain SGD has
+  /// none, so the base implementation writes and reads nothing. Overrides
+  /// must raise util::IoError on corrupt or mismatched input.
+  virtual void save_state(std::ostream& out) const;
+  virtual void load_state(std::istream& in);
 
   /// Drops all parameter gradients.
   void zero_grad();

@@ -75,6 +75,20 @@ float Xorshift128::normal(float mean, float stddev) {
   return mean + stddev * normal();
 }
 
+Xorshift128::State Xorshift128::state() const {
+  return State{x_, y_, z_, w_, has_cached_normal_, cached_normal_};
+}
+
+void Xorshift128::set_state(const State& s) {
+  x_ = s.x;
+  y_ = s.y;
+  z_ = s.z;
+  w_ = s.w;
+  if ((x_ | y_ | z_ | w_) == 0) w_ = 0x6C078965U;  // keep the state valid
+  has_cached_normal_ = s.has_cached_normal;
+  cached_normal_ = s.cached_normal;
+}
+
 std::uint32_t indexed_u32(std::uint64_t seed, std::uint64_t index) {
   // Mix seed and index into one word, then apply xorshift-style diffusion.
   // The whole pipeline is a handful of integer ops and no memory traffic —

@@ -47,6 +47,16 @@ class Xorshift128 {
   /// Normal with the given mean and standard deviation.
   float normal(float mean, float stddev);
 
+  /// Full generator state, exposed so crash-safe checkpoints can capture and
+  /// restore the stream mid-sequence (including the cached Box-Muller half).
+  struct State {
+    std::uint32_t x, y, z, w;
+    bool has_cached_normal;
+    float cached_normal;
+  };
+  State state() const;
+  void set_state(const State& s);
+
  private:
   std::uint32_t x_, y_, z_, w_;
   bool has_cached_normal_ = false;

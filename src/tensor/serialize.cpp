@@ -2,9 +2,9 @@
 
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
 
 #include "util/check.hpp"
+#include "util/io_error.hpp"
 
 namespace dropback::tensor {
 
@@ -20,7 +20,7 @@ template <typename T>
 T read_pod(std::istream& in) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!in) throw std::runtime_error("load_tensor: truncated stream");
+  if (!in) throw util::IoError("load_tensor: truncated stream");
   return v;
 }
 }  // namespace
@@ -32,38 +32,42 @@ void save_tensor(std::ostream& out, const Tensor& t) {
   for (std::int64_t d : t.shape()) write_pod<std::int64_t>(out, d);
   out.write(reinterpret_cast<const char*>(t.data()),
             static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  if (!out) throw std::runtime_error("save_tensor: write failed");
+  if (!out) throw util::IoError("save_tensor: write failed");
 }
 
 Tensor load_tensor(std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("load_tensor: bad magic");
+    throw util::IoError("load_tensor: bad magic");
   }
   const auto ndim = read_pod<std::uint32_t>(in);
-  if (ndim > 8) throw std::runtime_error("load_tensor: implausible rank");
+  if (ndim > 8) throw util::IoError("load_tensor: implausible rank");
   Shape shape(ndim);
   for (auto& d : shape) {
     d = read_pod<std::int64_t>(in);
-    if (d < 0) throw std::runtime_error("load_tensor: negative dim");
+    if (d < 0) throw util::IoError("load_tensor: negative dim");
   }
   Tensor t(shape);
   in.read(reinterpret_cast<char*>(t.data()),
           static_cast<std::streamsize>(t.numel() * sizeof(float)));
-  if (!in) throw std::runtime_error("load_tensor: truncated payload");
+  if (!in) {
+    throw util::IoError("load_tensor: truncated payload (need " +
+                        std::to_string(t.numel() * sizeof(float)) +
+                        " bytes, have " + std::to_string(in.gcount()) + ")");
+  }
   return t;
 }
 
 void save_tensor_file(const std::string& path, const Tensor& t) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_tensor_file: cannot open " + path);
+  if (!out) throw util::IoError("save_tensor_file: cannot open " + path);
   save_tensor(out, t);
 }
 
 Tensor load_tensor_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_tensor_file: cannot open " + path);
+  if (!in) throw util::IoError("load_tensor_file: cannot open " + path);
   return load_tensor(in);
 }
 

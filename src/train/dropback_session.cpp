@@ -1,10 +1,12 @@
 #include "train/dropback_session.hpp"
 
-#include <fstream>
-#include <stdexcept>
+#include <sstream>
 
 #include "nn/checkpoint.hpp"
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
+#include "util/container.hpp"
+#include "util/io_error.hpp"
 
 namespace dropback::train {
 
@@ -35,6 +37,10 @@ TrainResult DropBackSession::fit(const data::Dataset& train_set,
   train_options.patience = options_.patience;
   train_options.schedule = schedule_.get();
   train_options.verbose = options_.verbose;
+  train_options.checkpoint_path = options_.checkpoint_path;
+  train_options.checkpoint_every = options_.checkpoint_every;
+  train_options.resume = options_.resume;
+  train_options.anomaly_policy = options_.anomaly_policy;
   Trainer trainer(model_, *optimizer_, train_set, val_set, train_options);
   if (options_.freeze_epoch >= 0 && !optimizer_->frozen()) {
     const std::int64_t freeze_epoch = options_.freeze_epoch;
@@ -59,21 +65,27 @@ void DropBackSession::export_compressed(const std::string& path) const {
 }
 
 void DropBackSession::save_training_state(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw std::runtime_error("DropBackSession: cannot open " + path);
-  }
-  nn::save_checkpoint(out, params_);
-  optimizer_->save_state(out);
+  util::atomic_write_file(path, [this](std::ostream& out) {
+    util::ContainerWriter writer("DBSS");
+    nn::save_checkpoint(writer.add_section("model"), params_);
+    optimizer_->save_state(writer.add_section("optimizer"));
+    writer.write_to(out);
+  });
 }
 
 void DropBackSession::load_training_state(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("DropBackSession: cannot open " + path);
+  const std::string bytes = util::read_file(path);
+  std::istringstream in(bytes, std::ios::binary);
+  const util::ContainerReader reader =
+      util::ContainerReader::read_from(in, "DBSS");
+  if (in.peek() != std::istream::traits_type::eof()) {
+    throw util::IoError("DropBackSession state " + path +
+                        ": trailing bytes after container");
   }
-  nn::load_checkpoint(in, params_);
-  optimizer_->load_state(in);
+  std::istringstream model_in = reader.section_stream("model");
+  nn::load_checkpoint(model_in, params_);
+  std::istringstream opt_in = reader.section_stream("optimizer");
+  optimizer_->load_state(opt_in);
 }
 
 }  // namespace dropback::train

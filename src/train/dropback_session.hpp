@@ -45,6 +45,14 @@ class DropBackSession {
     bool regenerate_untracked = true;
     bool track_energy = false;
     bool verbose = false;
+    /// Crash-safe training snapshot file for fit(); empty disables.
+    std::string checkpoint_path;
+    /// Mid-epoch snapshot cadence in steps; 0 = epoch ends only.
+    std::int64_t checkpoint_every = 0;
+    /// Resume fit() from checkpoint_path if that file exists.
+    bool resume = false;
+    /// Non-finite loss/gradient handling during fit().
+    AnomalyPolicy anomaly_policy = AnomalyPolicy::kOff;
   };
 
   /// The session borrows `model`; it must outlive the session.
@@ -63,7 +71,9 @@ class DropBackSession {
   void export_compressed(const std::string& path) const;
 
   /// Saves/restores the full training state (weights + optimizer masks) so
-  /// a run can resume exactly after a restart.
+  /// a run can resume exactly after a restart. Stored in the checksummed
+  /// "DBSS" container and written atomically; corrupt or truncated files
+  /// raise util::IoError on load.
   void save_training_state(const std::string& path) const;
   void load_training_state(const std::string& path);
 

@@ -1,12 +1,44 @@
 #include "train/trainer.hpp"
 
+#include <cmath>
+
 #include "autograd/ops.hpp"
 #include "nn/loss.hpp"
+#include "train/training_checkpoint.hpp"
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dropback::train {
+
+AnomalyPolicy parse_anomaly_policy(const std::string& text) {
+  if (text == "off") return AnomalyPolicy::kOff;
+  if (text == "throw") return AnomalyPolicy::kThrow;
+  if (text == "skip") return AnomalyPolicy::kSkipStep;
+  if (text == "rollback") return AnomalyPolicy::kRollback;
+  DROPBACK_CHECK(false, << "anomaly policy '" << text
+                        << "' (expected off|throw|skip|rollback)");
+  return AnomalyPolicy::kOff;  // unreachable
+}
+
+bool EarlyStopper::observe(std::int64_t epoch, double val_acc) {
+  if (val_acc > best_val_acc_) {
+    best_val_acc_ = val_acc;
+    best_epoch_ = epoch;
+    stale_epochs_ = 0;
+    return true;
+  }
+  ++stale_epochs_;
+  return false;
+}
+
+void EarlyStopper::restore(double best_val_acc, std::int64_t best_epoch,
+                           std::int64_t stale_epochs) {
+  best_val_acc_ = best_val_acc;
+  best_epoch_ = best_epoch;
+  stale_epochs_ = stale_epochs;
+}
 
 Trainer::Trainer(nn::Module& model, optim::Optimizer& optimizer,
                  const data::Dataset& train_set, const data::Dataset& val_set,
@@ -15,9 +47,55 @@ Trainer::Trainer(nn::Module& model, optim::Optimizer& optimizer,
       optimizer_(optimizer),
       train_set_(train_set),
       val_set_(val_set),
-      options_(options) {
-  DROPBACK_CHECK(options.epochs > 0 && options.batch_size > 0,
+      options_(std::move(options)) {
+  DROPBACK_CHECK(options_.epochs > 0 && options_.batch_size > 0,
                  << "TrainOptions invalid");
+  DROPBACK_CHECK(options_.checkpoint_every == 0 ||
+                     !options_.checkpoint_path.empty(),
+                 << "TrainOptions: checkpoint_every requires checkpoint_path");
+  DROPBACK_CHECK(!options_.resume || !options_.checkpoint_path.empty(),
+                 << "TrainOptions: resume requires checkpoint_path");
+  params_ = model.collect_parameters();
+}
+
+std::string Trainer::detect_anomaly(double loss_value) const {
+  if (!std::isfinite(loss_value)) {
+    return "loss is " + std::to_string(loss_value);
+  }
+  for (const nn::Parameter* p : optimizer_.params()) {
+    if (!p->var.has_grad()) continue;
+    const float* g = p->var.grad().data();
+    const std::int64_t n = p->numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (!std::isfinite(g[i])) {
+        return "gradient of '" + p->name + "' at index " + std::to_string(i) +
+               " is " + std::to_string(g[i]);
+      }
+    }
+  }
+  return {};
+}
+
+void Trainer::save_snapshot(const data::DataLoader& loader, std::int64_t epoch,
+                            bool in_epoch, double loss_sum, double acc_sum,
+                            std::int64_t batches, const TrainResult& result,
+                            const EarlyStopper& stopper) const {
+  TrainerSnapshot snap;
+  snap.global_step = global_step_;
+  snap.epoch = epoch;
+  snap.in_epoch = in_epoch;
+  snap.loss_sum = in_epoch ? loss_sum : 0.0;
+  snap.acc_sum = in_epoch ? acc_sum : 0.0;
+  snap.batches = in_epoch ? batches : 0;
+  snap.anomalies = result.anomalies;
+  snap.skipped_steps = result.skipped_steps;
+  snap.lr = optimizer_.lr();
+  snap.history = result.history;
+  snap.best_val_acc = stopper.best_val_acc();
+  snap.best_epoch = stopper.best_epoch();
+  snap.stale_epochs = stopper.stale_epochs();
+  save_training_snapshot(options_.checkpoint_path, snap, params_, optimizer_,
+                         loader);
 }
 
 TrainResult Trainer::run() {
@@ -27,16 +105,45 @@ TrainResult Trainer::run() {
   data::DataLoader loader(train_set_, options_.batch_size, options_.shuffle,
                           options_.loader_seed);
   TrainResult result;
-  std::int64_t stale_epochs = 0;
-  for (std::int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+  EarlyStopper stopper(options_.patience);
+  std::int64_t start_epoch = 0;
+  bool resumed_mid_epoch = false;
+  double loss_sum = 0.0;
+  double acc_sum = 0.0;
+  std::int64_t batches = 0;
+  if (options_.resume && util::file_exists(options_.checkpoint_path)) {
+    const TrainerSnapshot snap = load_training_snapshot(
+        options_.checkpoint_path, params_, optimizer_, loader);
+    global_step_ = snap.global_step;
+    start_epoch = snap.epoch;
+    resumed_mid_epoch = snap.in_epoch;
+    loss_sum = snap.loss_sum;
+    acc_sum = snap.acc_sum;
+    batches = snap.batches;
+    result.history = snap.history;
+    result.anomalies = snap.anomalies;
+    result.skipped_steps = snap.skipped_steps;
+    stopper.restore(snap.best_val_acc, snap.best_epoch, snap.stale_epochs);
+    // With a schedule the per-epoch lr_at call below recomputes the lr; a
+    // schedule-free run takes it from the snapshot.
+    if (!options_.schedule) optimizer_.set_lr(snap.lr);
+  }
+  for (std::int64_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
+    if (stopper.should_stop()) break;  // resumed from an already-stale run
     if (options_.schedule) {
       optimizer_.set_lr(options_.schedule->lr_at(epoch));
     }
     model_.set_training(true);
-    loader.start_epoch();
-    double loss_sum = 0.0;
-    double acc_sum = 0.0;
-    std::int64_t batches = 0;
+    if (resumed_mid_epoch) {
+      // Loader cursor, order, and RNG came from the snapshot; the stat
+      // accumulators already hold this epoch's partial sums.
+      resumed_mid_epoch = false;
+    } else {
+      loader.start_epoch();
+      loss_sum = 0.0;
+      acc_sum = 0.0;
+      batches = 0;
+    }
     data::Batch batch;
     while (loader.next(batch)) {
       autograd::Variable input(batch.images);
@@ -46,12 +153,53 @@ TrainResult Trainer::run() {
       optimizer_.zero_grad();
       autograd::backward(loss);
       if (after_backward) after_backward();
+      if (options_.anomaly_policy != AnomalyPolicy::kOff) {
+        const std::string anomaly = detect_anomaly(loss.value()[0]);
+        if (!anomaly.empty()) {
+          ++result.anomalies;
+          const std::string what = "numeric anomaly at step " +
+                                   std::to_string(global_step_) + ": " +
+                                   anomaly;
+          if (options_.anomaly_policy == AnomalyPolicy::kThrow) {
+            throw AnomalyError(what);
+          }
+          if (options_.anomaly_policy == AnomalyPolicy::kSkipStep) {
+            ++result.skipped_steps;
+            optimizer_.zero_grad();
+            if (options_.verbose) util::log_info() << what << " (skipped)";
+            continue;
+          }
+          // kRollback: restore the last snapshot and hand control back.
+          if (options_.checkpoint_path.empty() ||
+              !util::file_exists(options_.checkpoint_path)) {
+            throw AnomalyError(what + " (no snapshot to roll back to)");
+          }
+          const TrainerSnapshot snap = load_training_snapshot(
+              options_.checkpoint_path, params_, optimizer_, loader);
+          global_step_ = snap.global_step;
+          optimizer_.set_lr(snap.lr);
+          TrainResult rolled;
+          rolled.history = snap.history;
+          rolled.best_val_acc = snap.best_val_acc;
+          rolled.best_epoch = snap.best_epoch;
+          rolled.anomalies = result.anomalies;
+          rolled.skipped_steps = snap.skipped_steps;
+          rolled.rolled_back = true;
+          if (options_.verbose) util::log_info() << what << " (rolled back)";
+          return rolled;
+        }
+      }
       optimizer_.step();
       ++global_step_;
       if (after_step) after_step(global_step_);
       loss_sum += loss.value()[0];
       acc_sum += nn::accuracy(logits.value(), batch.labels);
       ++batches;
+      if (options_.checkpoint_every > 0 &&
+          global_step_ % options_.checkpoint_every == 0) {
+        save_snapshot(loader, epoch, /*in_epoch=*/true, loss_sum, acc_sum,
+                      batches, result, stopper);
+      }
     }
     EpochStats stats;
     stats.epoch = epoch;
@@ -60,21 +208,21 @@ TrainResult Trainer::run() {
     stats.val_acc = evaluate(model_, val_set_, options_.batch_size);
     stats.lr = optimizer_.lr();
     result.history.push_back(stats);
-    if (stats.val_acc > result.best_val_acc) {
-      result.best_val_acc = stats.val_acc;
-      result.best_epoch = epoch;
-      stale_epochs = 0;
-    } else {
-      ++stale_epochs;
-    }
+    stopper.observe(epoch, stats.val_acc);
     if (options_.verbose) {
       util::log_info() << "epoch " << epoch << " loss " << stats.train_loss
                        << " train_acc " << stats.train_acc << " val_acc "
                        << stats.val_acc << " lr " << stats.lr;
     }
     if (on_epoch_end) on_epoch_end(stats);
-    if (options_.patience >= 0 && stale_epochs > options_.patience) break;
+    if (!options_.checkpoint_path.empty()) {
+      save_snapshot(loader, epoch + 1, /*in_epoch=*/false, 0.0, 0.0, 0,
+                    result, stopper);
+    }
+    if (stopper.should_stop()) break;
   }
+  result.best_val_acc = stopper.best_val_acc();
+  result.best_epoch = stopper.best_epoch();
   return result;
 }
 

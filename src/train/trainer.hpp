@@ -5,10 +5,19 @@
 // after_backward (network slimming injects the gamma L1 subgradient),
 // after_step (slimming re-applies channel masks; the analysis trackers for
 // Figs. 2/5/6 record per-iteration state), on_epoch_end (bench logging).
+//
+// Crash safety: with `checkpoint_path` set the trainer periodically writes a
+// full training snapshot (weights + optimizer state + loader position +
+// counters, see train/training_checkpoint.hpp) through an atomic rename, and
+// with `resume` set it continues a killed run on the *bitwise identical*
+// trajectory of the uninterrupted one. Numeric-anomaly guards (`anomaly_policy`)
+// detect non-finite losses or gradients before they can corrupt the weights.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "autograd/variable.hpp"
@@ -18,6 +27,26 @@
 #include "optim/sgd.hpp"
 
 namespace dropback::train {
+
+/// What to do when a non-finite loss or gradient is detected.
+enum class AnomalyPolicy {
+  kOff,       ///< No checks (the pre-existing behavior).
+  kThrow,     ///< Raise AnomalyError, aborting the run.
+  kSkipStep,  ///< Drop the batch: clear gradients, take no optimizer step.
+  kRollback,  ///< Reload the last snapshot (requires checkpoint_path) and
+              ///< return with TrainResult::rolled_back set.
+};
+
+/// Raised by AnomalyPolicy::kThrow, and by kRollback when no snapshot is
+/// available to roll back to. Deliberately not util::IoError: the bytes on
+/// disk are fine, the numbers in flight are not.
+class AnomalyError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses "off" | "throw" | "skip" | "rollback" (CLI --anomaly flag).
+AnomalyPolicy parse_anomaly_policy(const std::string& text);
 
 struct TrainOptions {
   std::int64_t epochs = 10;
@@ -35,6 +64,18 @@ struct TrainOptions {
   /// DROPBACK_THREADS env / hardware_concurrency). Training results are
   /// bitwise identical for every setting; only wall-clock changes.
   std::int64_t threads = 0;
+  /// Snapshot file for crash-safe training; empty disables checkpointing.
+  /// A snapshot is written after every epoch, plus mid-epoch every
+  /// `checkpoint_every` steps.
+  std::string checkpoint_path;
+  /// Extra mid-epoch snapshot cadence in optimizer steps; 0 = epoch ends
+  /// only. Requires checkpoint_path.
+  std::int64_t checkpoint_every = 0;
+  /// Resume from checkpoint_path if that file exists (a missing file starts
+  /// a fresh run, so the same command line works before and after a crash).
+  bool resume = false;
+  /// Non-finite loss/gradient handling; kOff skips the checks entirely.
+  AnomalyPolicy anomaly_policy = AnomalyPolicy::kOff;
 };
 
 struct EpochStats {
@@ -49,11 +90,48 @@ struct TrainResult {
   std::vector<EpochStats> history;
   double best_val_acc = 0.0;
   std::int64_t best_epoch = -1;
+  /// Non-finite loss/gradient events detected (any policy but kOff).
+  std::int64_t anomalies = 0;
+  /// Batches dropped by AnomalyPolicy::kSkipStep.
+  std::int64_t skipped_steps = 0;
+  /// Set when AnomalyPolicy::kRollback restored the last snapshot.
+  bool rolled_back = false;
 
   double best_val_error() const { return 1.0 - best_val_acc; }
   double final_val_acc() const {
     return history.empty() ? 0.0 : history.back().val_acc;
   }
+};
+
+/// Early-stopping bookkeeping: tracks the best validation accuracy (strict
+/// improvement) and how many consecutive epochs have failed to beat it.
+/// Stops once that count *exceeds* patience — patience 0 therefore allows
+/// any number of improving epochs but stops at the first stale one.
+class EarlyStopper {
+ public:
+  /// patience < 0 disables stopping (should_stop is always false).
+  explicit EarlyStopper(std::int64_t patience) : patience_(patience) {}
+
+  /// Records one epoch's validation accuracy; returns true on a new best.
+  bool observe(std::int64_t epoch, double val_acc);
+
+  bool should_stop() const {
+    return patience_ >= 0 && stale_epochs_ > patience_;
+  }
+
+  double best_val_acc() const { return best_val_acc_; }
+  std::int64_t best_epoch() const { return best_epoch_; }
+  std::int64_t stale_epochs() const { return stale_epochs_; }
+
+  /// Reinstates state from a training snapshot.
+  void restore(double best_val_acc, std::int64_t best_epoch,
+               std::int64_t stale_epochs);
+
+ private:
+  std::int64_t patience_;
+  double best_val_acc_ = 0.0;
+  std::int64_t best_epoch_ = -1;
+  std::int64_t stale_epochs_ = 0;
 };
 
 class Trainer {
@@ -80,11 +158,19 @@ class Trainer {
   std::int64_t global_step() const { return global_step_; }
 
  private:
+  /// Description of the first non-finite loss/grad value, or "" if clean.
+  std::string detect_anomaly(double loss_value) const;
+  void save_snapshot(const data::DataLoader& loader, std::int64_t epoch,
+                     bool in_epoch, double loss_sum, double acc_sum,
+                     std::int64_t batches, const TrainResult& result,
+                     const EarlyStopper& stopper) const;
+
   nn::Module& model_;
   optim::Optimizer& optimizer_;
   const data::Dataset& train_set_;
   const data::Dataset& val_set_;
   TrainOptions options_;
+  std::vector<nn::Parameter*> params_;
   std::int64_t global_step_ = 0;
 };
 

@@ -1,0 +1,174 @@
+#include "train/training_checkpoint.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "nn/checkpoint.hpp"
+#include "util/atomic_file.hpp"
+#include "util/container.hpp"
+#include "util/io_error.hpp"
+
+namespace dropback::train {
+
+namespace {
+
+constexpr char kSnapshotKind[] = "DBTS";
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw util::IoError("training snapshot: trainer section truncated");
+  return v;
+}
+
+void write_trainer_section(std::ostream& out, const TrainerSnapshot& snap) {
+  write_pod<std::int64_t>(out, snap.global_step);
+  write_pod<std::int64_t>(out, snap.epoch);
+  write_pod<std::uint8_t>(out, snap.in_epoch ? 1 : 0);
+  write_pod<double>(out, snap.loss_sum);
+  write_pod<double>(out, snap.acc_sum);
+  write_pod<std::int64_t>(out, snap.batches);
+  write_pod<std::int64_t>(out, snap.anomalies);
+  write_pod<std::int64_t>(out, snap.skipped_steps);
+  write_pod<float>(out, snap.lr);
+  write_pod<double>(out, snap.best_val_acc);
+  write_pod<std::int64_t>(out, snap.best_epoch);
+  write_pod<std::int64_t>(out, snap.stale_epochs);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(snap.history.size()));
+  // History doubles are stored raw so the resumed TrainResult compares
+  // bitwise equal to the uninterrupted run's.
+  for (const EpochStats& s : snap.history) {
+    write_pod<std::int64_t>(out, s.epoch);
+    write_pod<double>(out, s.train_loss);
+    write_pod<double>(out, s.train_acc);
+    write_pod<double>(out, s.val_acc);
+    write_pod<float>(out, s.lr);
+  }
+}
+
+TrainerSnapshot read_trainer_section(std::istream& in) {
+  TrainerSnapshot snap;
+  snap.global_step = read_pod<std::int64_t>(in);
+  snap.epoch = read_pod<std::int64_t>(in);
+  snap.in_epoch = read_pod<std::uint8_t>(in) != 0;
+  snap.loss_sum = read_pod<double>(in);
+  snap.acc_sum = read_pod<double>(in);
+  snap.batches = read_pod<std::int64_t>(in);
+  snap.anomalies = read_pod<std::int64_t>(in);
+  snap.skipped_steps = read_pod<std::int64_t>(in);
+  snap.lr = read_pod<float>(in);
+  snap.best_val_acc = read_pod<double>(in);
+  snap.best_epoch = read_pod<std::int64_t>(in);
+  snap.stale_epochs = read_pod<std::int64_t>(in);
+  const auto n = read_pod<std::uint32_t>(in);
+  if (snap.global_step < 0 || snap.epoch < 0 || snap.batches < 0) {
+    throw util::IoError("training snapshot: negative counter");
+  }
+  snap.history.resize(n);
+  for (EpochStats& s : snap.history) {
+    s.epoch = read_pod<std::int64_t>(in);
+    s.train_loss = read_pod<double>(in);
+    s.train_acc = read_pod<double>(in);
+    s.val_acc = read_pod<double>(in);
+    s.lr = read_pod<float>(in);
+  }
+  if (in.peek() != std::istream::traits_type::eof()) {
+    throw util::IoError("training snapshot: trainer section has trailing bytes");
+  }
+  return snap;
+}
+
+// DropBack regenerates untracked weights from each parameter's InitSpec, so
+// the specs are part of the training state: a resumed process that rebuilt
+// its model with a different seed must still regenerate the original values.
+void write_inits_section(std::ostream& out,
+                         const std::vector<nn::Parameter*>& params) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(params.size()));
+  for (const nn::Parameter* p : params) {
+    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(p->init.kind()));
+    write_pod<float>(out, p->init.scale());
+    write_pod<std::uint64_t>(out, p->init.seed());
+  }
+}
+
+void read_inits_section(std::istream& in,
+                        const std::vector<nn::Parameter*>& params) {
+  const auto n = read_pod<std::uint32_t>(in);
+  if (n != params.size()) {
+    throw util::IoError("training snapshot: init specs for " +
+                        std::to_string(n) + " parameters, model has " +
+                        std::to_string(params.size()));
+  }
+  for (nn::Parameter* p : params) {
+    const auto kind = read_pod<std::uint8_t>(in);
+    const auto scale = read_pod<float>(in);
+    const auto seed = read_pod<std::uint64_t>(in);
+    p->init =
+        kind == static_cast<std::uint8_t>(rng::InitSpec::Kind::kScaledNormal)
+            ? rng::InitSpec::scaled_normal(scale, seed)
+            : rng::InitSpec::constant(scale);
+  }
+  if (in.peek() != std::istream::traits_type::eof()) {
+    throw util::IoError("training snapshot: inits section has trailing bytes");
+  }
+}
+
+}  // namespace
+
+void save_training_snapshot(const std::string& path,
+                            const TrainerSnapshot& snap,
+                            const std::vector<nn::Parameter*>& params,
+                            const optim::Optimizer& optimizer,
+                            const data::DataLoader& loader) {
+  util::atomic_write_file(path, [&](std::ostream& out) {
+    util::ContainerWriter writer(kSnapshotKind);
+    write_trainer_section(writer.add_section("trainer"), snap);
+    nn::save_checkpoint(writer.add_section("model"), params);
+    write_inits_section(writer.add_section("inits"), params);
+    optimizer.save_state(writer.add_section("optimizer"));
+    loader.save_state(writer.add_section("loader"));
+    writer.write_to(out);
+  });
+}
+
+TrainerSnapshot load_training_snapshot(
+    const std::string& path, const std::vector<nn::Parameter*>& params,
+    optim::Optimizer& optimizer, data::DataLoader& loader) {
+  const std::string bytes = util::read_file(path);
+  std::istringstream in(bytes, std::ios::binary);
+  const util::ContainerReader reader =
+      util::ContainerReader::read_from(in, kSnapshotKind);
+  if (in.peek() != std::istream::traits_type::eof()) {
+    throw util::IoError("training snapshot " + path +
+                        ": trailing bytes after container");
+  }
+  for (const char* name : {"trainer", "model", "inits", "optimizer",
+                           "loader"}) {
+    if (!reader.has_section(name)) {
+      throw util::IoError("training snapshot " + path + ": missing section '" +
+                          name + "'");
+    }
+  }
+  // Parse the trainer section before touching any caller state, so a bad
+  // snapshot leaves the run unmodified.
+  std::istringstream trainer_in = reader.section_stream("trainer");
+  TrainerSnapshot snap = read_trainer_section(trainer_in);
+  std::istringstream model_in = reader.section_stream("model");
+  nn::load_checkpoint(model_in, params);
+  std::istringstream inits_in = reader.section_stream("inits");
+  read_inits_section(inits_in, params);
+  std::istringstream opt_in = reader.section_stream("optimizer");
+  optimizer.load_state(opt_in);
+  std::istringstream loader_in = reader.section_stream("loader");
+  loader.load_state(loader_in);
+  return snap;
+}
+
+}  // namespace dropback::train

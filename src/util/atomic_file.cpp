@@ -1,0 +1,132 @@
+#include "util/atomic_file.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/fault_injection.hpp"
+#include "util/io_error.hpp"
+
+namespace dropback::util {
+
+namespace {
+
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string reason = std::strerror(errno);
+      ::close(fd);
+      throw IoError("atomic_write_file: write to " + path +
+                    " failed: " + reason);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, std::max<std::size_t>(slash, 1));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: the rename itself already landed
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& write_fn) {
+  std::ostringstream buffer(std::ios::binary);
+  write_fn(buffer);
+  if (!buffer) {
+    throw IoError("atomic_write_file: serialization failed for " + path);
+  }
+  std::string bytes = std::move(buffer).str();
+
+  const FaultSpec fault = consume_armed_fault();
+  std::size_t limit = bytes.size();
+  if (fault.kind == FaultKind::kShortWrite ||
+      fault.kind == FaultKind::kEnospc || fault.kind == FaultKind::kCrash) {
+    limit = std::min<std::size_t>(
+        limit, static_cast<std::size_t>(fault.at_byte));
+  } else if (fault.kind == FaultKind::kFlipByte &&
+             static_cast<std::size_t>(fault.at_byte) < bytes.size()) {
+    bytes[static_cast<std::size_t>(fault.at_byte)] =
+        static_cast<char>(bytes[static_cast<std::size_t>(fault.at_byte)] ^
+                          0xFF);
+  }
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw IoError("atomic_write_file: cannot create " + tmp + ": " +
+                  std::strerror(errno));
+  }
+  write_all(fd, bytes.data(), limit, tmp);
+
+  if (fault.kind == FaultKind::kShortWrite ||
+      fault.kind == FaultKind::kEnospc) {
+    // Abort cleanly: drop the partial temp file, keep the previous file.
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw IoError(
+        "atomic_write_file: " +
+        std::string(fault.kind == FaultKind::kEnospc
+                        ? "no space left on device"
+                        : "short write") +
+        " after " + std::to_string(limit) + " of " +
+        std::to_string(bytes.size()) + " bytes writing " + tmp +
+        " (previous " + path + " left intact)");
+  }
+  if (fault.kind == FaultKind::kCrash) {
+    // The "process" dies here: no fsync, no rename, temp debris left behind.
+    ::close(fd);
+    throw SimulatedCrash("injected crash after " + std::to_string(limit) +
+                         " of " + std::to_string(bytes.size()) +
+                         " bytes writing " + tmp);
+  }
+
+  if (::fsync(fd) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw IoError("atomic_write_file: fsync " + tmp + " failed: " + reason);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    throw IoError("atomic_write_file: rename " + tmp + " -> " + path +
+                  " failed: " + reason);
+  }
+  fsync_parent_dir(path);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in && !in.eof()) throw IoError("cannot read " + path);
+  return std::move(buffer).str();
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace dropback::util

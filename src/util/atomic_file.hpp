@@ -1,0 +1,33 @@
+// Crash-safe file persistence.
+//
+// atomic_write_file serializes through a callback into memory, writes the
+// bytes to `<path>.tmp`, fsyncs, atomically renames over `path`, and fsyncs
+// the parent directory. A crash (or injected fault) at any byte leaves
+// either the previous file or the complete new one on disk — never a
+// partially written mixture. Loaders must therefore never look at `.tmp`
+// files; they are crash debris, cleaned up by the next successful write.
+//
+// Injected faults (util/fault_injection.hpp) are consumed here: one armed
+// fault applies to the next call, after which writes behave normally again.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace dropback::util {
+
+/// Runs `write_fn` against an in-memory stream, then persists the bytes to
+/// `path` atomically (temp + fsync + rename). Throws IoError on any failure,
+/// in which case the previous file at `path`, if any, is untouched.
+/// Propagates SimulatedCrash from injected crash faults.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& write_fn);
+
+/// Reads an entire file into a string; throws IoError if it cannot be
+/// opened or read.
+std::string read_file(const std::string& path);
+
+bool file_exists(const std::string& path);
+
+}  // namespace dropback::util

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the checksummed container format (util/container.hpp) to detect
+// flipped bytes and torn writes in every persisted artifact. Chainable:
+// crc32(b, n_b, crc32(a, n_a)) == crc32 of the concatenation a||b.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dropback::util {
+
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+}  // namespace dropback::util

@@ -1,0 +1,112 @@
+#include "util/fault_injection.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "util/check.hpp"
+
+namespace dropback::util {
+
+namespace {
+
+std::mutex g_fault_mutex;
+FaultSpec g_armed_fault;
+bool g_env_checked = false;
+
+}  // namespace
+
+FaultSpec parse_fault_spec(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  DROPBACK_CHECK(colon != std::string::npos && colon + 1 < text.size(),
+                 << "fault spec '" << text << "' is not <kind>:<byte>");
+  const std::string kind = text.substr(0, colon);
+  FaultSpec spec;
+  if (kind == "short") {
+    spec.kind = FaultKind::kShortWrite;
+  } else if (kind == "enospc") {
+    spec.kind = FaultKind::kEnospc;
+  } else if (kind == "crash") {
+    spec.kind = FaultKind::kCrash;
+  } else if (kind == "flip") {
+    spec.kind = FaultKind::kFlipByte;
+  } else {
+    DROPBACK_CHECK(false, << "unknown fault kind '" << kind
+                          << "' (short | enospc | crash | flip)");
+  }
+  std::size_t consumed = 0;
+  const std::string digits = text.substr(colon + 1);
+  spec.at_byte = std::stoll(digits, &consumed);
+  DROPBACK_CHECK(consumed == digits.size() && spec.at_byte >= 0,
+                 << "fault spec '" << text << "': bad byte offset");
+  return spec;
+}
+
+void arm_fault(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(g_fault_mutex);
+  g_armed_fault = spec;
+  g_env_checked = true;  // an explicit arm overrides the environment
+}
+
+void disarm_fault() {
+  std::lock_guard<std::mutex> lock(g_fault_mutex);
+  g_armed_fault = FaultSpec{};
+  g_env_checked = true;
+}
+
+FaultSpec consume_armed_fault() {
+  std::lock_guard<std::mutex> lock(g_fault_mutex);
+  if (!g_env_checked) {
+    g_env_checked = true;
+    if (const char* env = std::getenv("DROPBACK_FAULT")) {
+      g_armed_fault = parse_fault_spec(env);
+    }
+  }
+  const FaultSpec spec = g_armed_fault;
+  g_armed_fault = FaultSpec{};
+  return spec;
+}
+
+FaultyStreambuf::FaultyStreambuf(std::streambuf* inner, FaultSpec fault)
+    : inner_(inner), fault_(fault) {}
+
+bool FaultyStreambuf::put(char c) {
+  switch (fault_.kind) {
+    case FaultKind::kShortWrite:
+    case FaultKind::kEnospc:
+      if (written_ >= fault_.at_byte) return false;
+      break;
+    case FaultKind::kCrash:
+      if (written_ >= fault_.at_byte) {
+        throw SimulatedCrash("injected crash after " +
+                             std::to_string(written_) + " bytes");
+      }
+      break;
+    case FaultKind::kFlipByte:
+      if (written_ == fault_.at_byte) c = static_cast<char>(c ^ 0xFF);
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+  if (traits_type::eq_int_type(inner_->sputc(c), traits_type::eof())) {
+    return false;
+  }
+  ++written_;
+  return true;
+}
+
+FaultyStreambuf::int_type FaultyStreambuf::overflow(int_type ch) {
+  if (traits_type::eq_int_type(ch, traits_type::eof())) {
+    return traits_type::not_eof(ch);
+  }
+  return put(traits_type::to_char_type(ch)) ? ch : traits_type::eof();
+}
+
+std::streamsize FaultyStreambuf::xsputn(const char* s, std::streamsize n) {
+  std::streamsize done = 0;
+  while (done < n && put(s[done])) ++done;
+  return done;
+}
+
+int FaultyStreambuf::sync() { return inner_->pubsync(); }
+
+}  // namespace dropback::util

@@ -1,0 +1,88 @@
+// Fault injection for the crash-safety test harness.
+//
+// Two layers:
+//
+//  * FaultyStreambuf — wraps any std::streambuf and injects a write fault at
+//    a chosen byte offset: refuse further bytes (short write), refuse with an
+//    out-of-space flavor (ENOSPC), throw SimulatedCrash mid-write (a stand-in
+//    for SIGKILL / power loss), or silently corrupt one byte (bit rot, torn
+//    sector). Tests wrap their own streams with it directly.
+//
+//  * A process-global one-shot fault consumed by util::atomic_write_file,
+//    armed programmatically (arm_fault) or via the DROPBACK_FAULT environment
+//    variable, so any training CLI can be crash-tested without code changes:
+//
+//        DROPBACK_FAULT=crash:96 ./train_mnist_dropback --checkpoint=c.dbts
+//
+//    Specs: "short:N" | "enospc:N" | "crash:N" | "flip:N", where N is the
+//    byte offset at which the fault fires. The fault disarms after firing
+//    once, so the *next* write succeeds — exactly the scenario an atomic
+//    checkpoint must survive.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <streambuf>
+#include <string>
+
+namespace dropback::util {
+
+/// Thrown to emulate the process dying mid-write (SIGKILL, power cut).
+/// Deliberately NOT an IoError: production code must never catch it, so the
+/// partial temp file is left behind exactly as a real crash would leave it.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  explicit SimulatedCrash(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kShortWrite,  ///< writes stop silently at the offset; stream goes bad
+  kEnospc,      ///< like kShortWrite, reported as "no space left on device"
+  kCrash,       ///< throws SimulatedCrash at the offset
+  kFlipByte,    ///< the byte at the offset is corrupted; the write "succeeds"
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  std::int64_t at_byte = 0;  ///< offset at which the fault fires
+
+  bool active() const { return kind != FaultKind::kNone; }
+};
+
+/// Parses "short:N" / "enospc:N" / "crash:N" / "flip:N".
+/// Throws std::invalid_argument on a malformed spec.
+FaultSpec parse_fault_spec(const std::string& text);
+
+/// Arms a one-shot fault for the next atomic_write_file call.
+void arm_fault(const FaultSpec& spec);
+void disarm_fault();
+
+/// Returns the armed fault and disarms it. On the very first call, if no
+/// fault was armed programmatically, DROPBACK_FAULT is consulted (also
+/// one-shot). Returns an inactive spec when nothing is armed.
+FaultSpec consume_armed_fault();
+
+/// std::streambuf wrapper that applies a FaultSpec to the bytes flowing
+/// through it. Counts bytes so the fault fires at an exact offset.
+class FaultyStreambuf : public std::streambuf {
+ public:
+  FaultyStreambuf(std::streambuf* inner, FaultSpec fault);
+
+  std::int64_t bytes_written() const { return written_; }
+
+ protected:
+  int_type overflow(int_type ch) override;
+  std::streamsize xsputn(const char* s, std::streamsize n) override;
+  int sync() override;
+
+ private:
+  bool put(char c);
+
+  std::streambuf* inner_;
+  FaultSpec fault_;
+  std::int64_t written_ = 0;
+};
+
+}  // namespace dropback::util

@@ -1,0 +1,26 @@
+// Typed I/O failure taxonomy for persistence paths.
+//
+// IoError means "the bytes are wrong": a corrupt, truncated, mismatched, or
+// unwritable file. It is deliberately distinct from std::invalid_argument
+// (what DROPBACK_CHECK throws), which means "the caller is wrong" — a
+// programmer error. Every loader in tensor/serialize, nn/checkpoint,
+// core/sparse_weight_store, and the training snapshots raises IoError so
+// callers can tell bad input apart from bad code and react (retry, fall back
+// to the previous checkpoint, surface a clean CLI message).
+//
+// IoError derives from std::runtime_error, so pre-existing catch sites and
+// EXPECT_THROW(..., std::runtime_error) assertions keep working.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dropback::util {
+
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+}  // namespace dropback::util

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <sstream>
 
 #include "autograd/ops.hpp"
@@ -11,6 +12,7 @@
 #include "nn/sequential.hpp"
 #include "optim/momentum.hpp"
 #include "rng/xorshift.hpp"
+#include "util/io_error.hpp"
 
 namespace dropback {
 namespace {
@@ -155,6 +157,120 @@ TEST(Checkpoint, FileRoundTrip) {
   auto fresh_params = fresh->collect_parameters();
   nn::load_checkpoint_file(path, fresh_params);
   EXPECT_EQ(fresh_params[2]->var.value()[1], 3.5F);
+}
+
+TEST(Checkpoint, TruncatedFileNamesFailingParameter) {
+  auto model = nn::models::make_mnist_100_100(3);
+  auto params = model->collect_parameters();
+  std::stringstream ss;
+  nn::save_checkpoint(ss, params);
+  const std::string full = ss.str();
+  // Cut inside the last parameter's payload: the error must say which
+  // parameter broke, not just "bad file".
+  std::stringstream cut(full.substr(0, full.size() - 5));
+  try {
+    nn::load_checkpoint(cut, params);
+    FAIL() << "truncated checkpoint loaded";
+  } catch (const util::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find(params.back()->name),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Checkpoint, OverLongFileRejected) {
+  auto model = nn::models::make_mnist_100_100(3);
+  auto params = model->collect_parameters();
+  const std::string path = ::testing::TempDir() + "/ckpt_overlong.dbcp";
+  nn::save_checkpoint_file(path, params);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra";
+  }
+  EXPECT_THROW(nn::load_checkpoint_file(path, params), util::IoError);
+}
+
+TEST(Checkpoint, FlippedByteNamesFailingParameter) {
+  auto model = nn::models::make_mnist_100_100(3);
+  auto params = model->collect_parameters();
+  std::stringstream ss;
+  nn::save_checkpoint(ss, params);
+  std::string bad = ss.str();
+  bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0xFF);
+  std::stringstream in(bad);
+  EXPECT_THROW(nn::load_checkpoint(in, params), util::IoError);
+}
+
+TEST(MomentumSgd, StateRoundTripRestoresVelocity) {
+  nn::Linear fc(2, 2, 1, false);
+  optim::MomentumSGD a(fc.parameters(), 0.1F, 0.9F);
+  for (int i = 0; i < 3; ++i) {
+    fc.weight().var.grad().copy_from(
+        T::Tensor::from_vector({2, 2}, {1, -1, 2, -2}));
+    a.step();
+  }
+  std::stringstream ss;
+  a.save_state(ss);
+
+  nn::Linear fresh(2, 2, 1, false);
+  optim::MomentumSGD b(fresh.parameters(), 0.1F, 0.9F);
+  b.load_state(ss);
+  // Same gradients from here on must give the same trajectory.
+  fc.weight().var.grad().copy_from(
+      T::Tensor::from_vector({2, 2}, {1, -1, 2, -2}));
+  fresh.weight().var.value().copy_from(fc.weight().var.value());
+  fresh.weight().var.grad().copy_from(fc.weight().var.grad());
+  a.step();
+  b.step();
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(fresh.weight().var.value()[i],
+                    fc.weight().var.value()[i]);
+  }
+}
+
+TEST(Adam, StateRoundTripRestoresMomentsAndStep) {
+  nn::Linear fc(2, 2, 1, false);
+  optim::Adam a(fc.parameters(), 0.1F);
+  for (int i = 0; i < 3; ++i) {
+    fc.weight().var.grad().copy_from(
+        T::Tensor::from_vector({2, 2}, {1, -1, 2, -2}));
+    a.step();
+  }
+  std::stringstream ss;
+  a.save_state(ss);
+
+  nn::Linear fresh(2, 2, 1, false);
+  optim::Adam b(fresh.parameters(), 0.1F);
+  b.load_state(ss);
+  fresh.weight().var.value().copy_from(fc.weight().var.value());
+  fc.weight().var.grad().copy_from(
+      T::Tensor::from_vector({2, 2}, {1, -1, 2, -2}));
+  fresh.weight().var.grad().copy_from(fc.weight().var.grad());
+  a.step();
+  b.step();
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(fresh.weight().var.value()[i],
+                    fc.weight().var.value()[i]);
+  }
+}
+
+TEST(OptimizerState, LoadRejectsWrongOptimizerKind) {
+  nn::Linear fc(2, 2, 1, false);
+  optim::MomentumSGD mom(fc.parameters(), 0.1F);
+  std::stringstream ss;
+  mom.save_state(ss);
+  optim::Adam adam(fc.parameters(), 0.1F);
+  EXPECT_THROW(adam.load_state(ss), util::IoError);
+}
+
+TEST(OptimizerState, LoadRejectsSizeMismatch) {
+  nn::Linear small(2, 2, 1, false);
+  optim::MomentumSGD a(small.parameters(), 0.1F);
+  std::stringstream ss;
+  a.save_state(ss);
+  nn::Linear big(4, 4, 1, false);
+  optim::MomentumSGD b(big.parameters(), 0.1F);
+  EXPECT_THROW(b.load_state(ss), util::IoError);
 }
 
 TEST(Checkpoint, ResumedTrainingContinuesDeterministically) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "autograd/ops.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "nn/linear.hpp"
@@ -132,6 +135,178 @@ TEST(TrainerTest, LossTransformChangesOptimizedObjective) {
   const float before = params[0]->var.value()[0];
   trainer.run();
   EXPECT_FLOAT_EQ(params[0]->var.value()[0], before);
+}
+
+// --- early-stopping edge cases --------------------------------------------
+
+TEST(EarlyStopperTest, PatienceZeroStopsAtFirstStaleEpoch) {
+  EarlyStopper stopper(0);
+  EXPECT_TRUE(stopper.observe(0, 0.5));
+  EXPECT_FALSE(stopper.should_stop());  // improving epochs never stop it
+  EXPECT_TRUE(stopper.observe(1, 0.6));
+  EXPECT_FALSE(stopper.should_stop());
+  EXPECT_FALSE(stopper.observe(2, 0.6));  // tie = stale
+  EXPECT_TRUE(stopper.should_stop());
+}
+
+TEST(EarlyStopperTest, TieDoesNotCountAsImprovement) {
+  EarlyStopper stopper(5);
+  stopper.observe(0, 0.5);
+  EXPECT_FALSE(stopper.observe(1, 0.5));
+  EXPECT_EQ(stopper.stale_epochs(), 1);
+  EXPECT_EQ(stopper.best_epoch(), 0);
+}
+
+TEST(EarlyStopperTest, LateImprovementResetsStaleness) {
+  EarlyStopper stopper(1);
+  stopper.observe(0, 0.5);
+  stopper.observe(1, 0.4);
+  EXPECT_FALSE(stopper.should_stop());  // stale 1 is not > patience 1
+  EXPECT_TRUE(stopper.observe(2, 0.6));
+  EXPECT_EQ(stopper.stale_epochs(), 0);
+  EXPECT_EQ(stopper.best_epoch(), 2);
+  EXPECT_DOUBLE_EQ(stopper.best_val_acc(), 0.6);
+  EXPECT_FALSE(stopper.should_stop());
+}
+
+TEST(EarlyStopperTest, NegativePatienceNeverStops) {
+  EarlyStopper stopper(-1);
+  for (int e = 0; e < 20; ++e) stopper.observe(e, 0.1);
+  EXPECT_FALSE(stopper.should_stop());
+}
+
+TEST(TrainerTest, PatienceZeroStopsAfterSecondEpoch) {
+  auto task = make_task(40, 20);
+  auto model = nn::models::make_mnist_100_100(4);
+  // lr = tiny: accuracy is flat, so epoch 1 ties epoch 0 and patience 0
+  // stops immediately after it.
+  optim::SGD opt(model->collect_parameters(), 1e-8F);
+  TrainOptions options;
+  options.epochs = 50;
+  options.patience = 0;
+  Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
+  const auto result = trainer.run();
+  EXPECT_EQ(result.history.size(), 2U);
+  EXPECT_EQ(result.best_epoch, 0);
+}
+
+TEST(TrainerTest, FinalEpochImprovementIsRecorded) {
+  auto task = make_task(200, 100);
+  auto model = nn::models::make_mnist_100_100(3);
+  optim::SGD opt(model->collect_parameters(), 0.1F);
+  TrainOptions options;
+  options.epochs = 6;
+  options.patience = 10;  // wider than the run: no early stop possible
+  Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
+  const auto result = trainer.run();
+  ASSERT_EQ(result.history.size(), 6U);
+  // Wherever the best epoch lands, it must carry exactly the best accuracy.
+  EXPECT_DOUBLE_EQ(result.history[static_cast<std::size_t>(result.best_epoch)]
+                       .val_acc,
+                   result.best_val_acc);
+}
+
+// --- numeric-anomaly policies ---------------------------------------------
+
+TEST(TrainerTest, AnomalyThrowPolicyRaisesOnNanLoss) {
+  auto task = make_task(32, 16);
+  auto model = nn::models::make_mnist_100_100(5);
+  optim::SGD opt(model->collect_parameters(), 0.05F);
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 16;
+  options.anomaly_policy = AnomalyPolicy::kThrow;
+  Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
+  trainer.loss_transform = [](const ag::Variable& loss) {
+    return ag::mul_scalar(loss, std::numeric_limits<float>::quiet_NaN());
+  };
+  EXPECT_THROW(trainer.run(), AnomalyError);
+}
+
+TEST(TrainerTest, AnomalySkipPolicyDropsPoisonedBatches) {
+  auto task = make_task(48, 16);
+  auto model = nn::models::make_mnist_100_100(5);
+  optim::SGD opt(model->collect_parameters(), 0.05F);
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 16;
+  options.anomaly_policy = AnomalyPolicy::kSkipStep;
+  Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
+  // Poison a gradient (not the loss) on the second batch only, exercising
+  // the per-parameter gradient scan.
+  int batch_no = 0;
+  auto params = model->collect_parameters();
+  trainer.after_backward = [&] {
+    if (++batch_no == 2) {
+      params[0]->var.grad()[0] = std::numeric_limits<float>::infinity();
+    }
+  };
+  const auto result = trainer.run();
+  EXPECT_EQ(result.anomalies, 1);
+  EXPECT_EQ(result.skipped_steps, 1);
+  EXPECT_FALSE(result.rolled_back);
+  EXPECT_EQ(trainer.global_step(), 2);  // 3 batches, 1 skipped
+  ASSERT_EQ(result.history.size(), 1U);
+}
+
+TEST(TrainerTest, AnomalyRollbackPolicyRestoresLastSnapshot) {
+  auto task = make_task(48, 16);
+  auto model = nn::models::make_mnist_100_100(5);
+  optim::SGD opt(model->collect_parameters(), 0.05F);
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 16;
+  options.anomaly_policy = AnomalyPolicy::kRollback;
+  options.checkpoint_path = ::testing::TempDir() + "/anomaly_rollback.dbts";
+  options.checkpoint_every = 1;  // snapshot after every step
+  Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
+  auto params = model->collect_parameters();
+  std::vector<float> initial(params[0]->var.value().data(),
+                             params[0]->var.value().data() +
+                                 params[0]->numel());
+  int batch_no = 0;
+  trainer.after_backward = [&] {
+    if (++batch_no == 3) {
+      params[0]->var.grad()[0] = std::numeric_limits<float>::quiet_NaN();
+    }
+  };
+  const auto result = trainer.run();
+  EXPECT_TRUE(result.rolled_back);
+  EXPECT_EQ(result.anomalies, 1);
+  EXPECT_EQ(trainer.global_step(), 2);
+  // Weights came back from the post-step-2 snapshot: finite everywhere and
+  // no longer the initialization.
+  bool moved = false;
+  for (std::int64_t i = 0; i < params[0]->numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(params[0]->var.value()[i]));
+    if (params[0]->var.value()[i] != initial[static_cast<std::size_t>(i)]) {
+      moved = true;
+    }
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(TrainerTest, AnomalyRollbackWithoutSnapshotThrows) {
+  auto task = make_task(32, 16);
+  auto model = nn::models::make_mnist_100_100(5);
+  optim::SGD opt(model->collect_parameters(), 0.05F);
+  TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 16;
+  options.anomaly_policy = AnomalyPolicy::kRollback;
+  Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
+  trainer.loss_transform = [](const ag::Variable& loss) {
+    return ag::mul_scalar(loss, std::numeric_limits<float>::quiet_NaN());
+  };
+  EXPECT_THROW(trainer.run(), AnomalyError);
+}
+
+TEST(TrainerTest, ParseAnomalyPolicy) {
+  EXPECT_EQ(parse_anomaly_policy("off"), AnomalyPolicy::kOff);
+  EXPECT_EQ(parse_anomaly_policy("throw"), AnomalyPolicy::kThrow);
+  EXPECT_EQ(parse_anomaly_policy("skip"), AnomalyPolicy::kSkipStep);
+  EXPECT_EQ(parse_anomaly_policy("rollback"), AnomalyPolicy::kRollback);
+  EXPECT_THROW(parse_anomaly_policy("explode"), std::invalid_argument);
 }
 
 TEST(TrainerTest, RejectsBadOptions) {

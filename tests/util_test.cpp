@@ -1,13 +1,20 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
+#include "util/container.hpp"
+#include "util/crc32.hpp"
 #include "util/csv.hpp"
+#include "util/fault_injection.hpp"
 #include "util/flags.hpp"
+#include "util/io_error.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -147,6 +154,136 @@ TEST(Log, SetAndGetLevel) {
   // Suppressed message should not crash.
   log_info() << "this is below the level and discarded";
   set_log_level(old);
+}
+
+TEST(Crc32, KnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926U);
+  EXPECT_EQ(crc32("", 0), 0U);
+  EXPECT_EQ(crc32("a", 1), 0xE8B7BE43U);
+}
+
+TEST(Crc32, ChainingMatchesConcatenation) {
+  const std::string a = "hello, ";
+  const std::string b = "world";
+  const std::string ab = a + b;
+  EXPECT_EQ(crc32(b.data(), b.size(), crc32(a.data(), a.size())),
+            crc32(ab.data(), ab.size()));
+}
+
+TEST(Crc32, SingleBitFlipChangesChecksum) {
+  std::string bytes(64, '\x5A');
+  const std::uint32_t clean = crc32(bytes.data(), bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>(bytes[i] ^ 0x01);
+    EXPECT_NE(crc32(bytes.data(), bytes.size()), clean) << "byte " << i;
+    bytes[i] = static_cast<char>(bytes[i] ^ 0x01);
+  }
+}
+
+TEST(Container, RoundTripsMultipleSections) {
+  ContainerWriter writer("TEST");
+  writer.add_section("alpha") << "payload one";
+  writer.add_section("beta").write("\x00\x01\x02", 3);
+  writer.add_section("empty");
+  std::ostringstream out(std::ios::binary);
+  writer.write_to(out);
+
+  std::istringstream in(out.str(), std::ios::binary);
+  const ContainerReader reader = ContainerReader::read_from(in, "TEST");
+  ASSERT_EQ(reader.num_sections(), 3U);
+  EXPECT_EQ(reader.section_name(0), "alpha");
+  EXPECT_EQ(reader.section_bytes(0), "payload one");
+  EXPECT_EQ(reader.section_bytes(1), std::string("\x00\x01\x02", 3));
+  EXPECT_TRUE(reader.has_section("empty"));
+  EXPECT_EQ(reader.section_bytes(2), "");
+  EXPECT_FALSE(reader.has_section("gamma"));
+  EXPECT_THROW(reader.section_stream("gamma"), IoError);
+  // The reader consumed exactly its own bytes.
+  EXPECT_EQ(in.tellg(), static_cast<std::streamoff>(out.str().size()));
+}
+
+TEST(Container, RejectsWrongKindAndTruncation) {
+  ContainerWriter writer("AAAA");
+  writer.add_section("s") << "data";
+  std::ostringstream out(std::ios::binary);
+  writer.write_to(out);
+  const std::string bytes = out.str();
+  {
+    std::istringstream in(bytes, std::ios::binary);
+    EXPECT_THROW(ContainerReader::read_from(in, "BBBB"), IoError);
+  }
+  // Truncation at every length short of the full container fails cleanly.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::istringstream in(bytes.substr(0, len), std::ios::binary);
+    EXPECT_THROW(ContainerReader::read_from(in, "AAAA"), IoError)
+        << "length " << len;
+  }
+}
+
+TEST(Container, LegacyMagicGetsMigrationHint) {
+  std::istringstream in(std::string("DBSW") + std::string(16, '\0'),
+                        std::ios::binary);
+  try {
+    ContainerReader::read_from(in, "DBSW");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("legacy"), std::string::npos);
+  }
+}
+
+TEST(FaultInjection, ShortWriteStopsAtOffset) {
+  std::ostringstream sink(std::ios::binary);
+  FaultyStreambuf faulty(sink.rdbuf(), {FaultKind::kShortWrite, 5});
+  std::ostream out(&faulty);
+  out.write("0123456789", 10);
+  EXPECT_EQ(sink.str(), "01234");
+  EXPECT_EQ(faulty.bytes_written(), 5);
+}
+
+TEST(FaultInjection, CrashThrowsAtOffset) {
+  std::ostringstream sink(std::ios::binary);
+  FaultyStreambuf faulty(sink.rdbuf(), {FaultKind::kCrash, 3});
+  // Drive the streambuf directly: std::ostream::write would swallow the
+  // exception into badbit, which is its own documented behavior, not ours.
+  EXPECT_THROW(faulty.sputn("0123456789", 10), SimulatedCrash);
+  EXPECT_EQ(sink.str(), "012");
+}
+
+TEST(FaultInjection, FlipCorruptsExactlyOneByte) {
+  std::ostringstream sink(std::ios::binary);
+  FaultyStreambuf faulty(sink.rdbuf(), {FaultKind::kFlipByte, 2});
+  std::ostream out(&faulty);
+  out.write("abcd", 4);
+  out.flush();
+  const std::string got = sink.str();
+  ASSERT_EQ(got.size(), 4U);
+  EXPECT_EQ(got[0], 'a');
+  EXPECT_EQ(got[1], 'b');
+  EXPECT_EQ(got[2], static_cast<char>('c' ^ 0xFF));
+  EXPECT_EQ(got[3], 'd');
+}
+
+TEST(FaultInjection, NoFaultPassesThrough) {
+  std::ostringstream sink(std::ios::binary);
+  FaultyStreambuf faulty(sink.rdbuf(), {});
+  std::ostream out(&faulty);
+  out.write("abcd", 4);
+  EXPECT_EQ(sink.str(), "abcd");
+  EXPECT_EQ(faulty.bytes_written(), 4);
+}
+
+TEST(AtomicFile, WritesAndReadsBack) {
+  const std::string path = ::testing::TempDir() + "/atomic_roundtrip.bin";
+  std::remove(path.c_str());
+  atomic_write_file(path, [](std::ostream& out) { out << "hello"; });
+  EXPECT_EQ(read_file(path), "hello");
+  // Overwrite is atomic too: either the old or the new content, never a mix.
+  atomic_write_file(path, [](std::ostream& out) { out << "goodbye"; });
+  EXPECT_EQ(read_file(path), "goodbye");
+  std::remove(path.c_str());
+  EXPECT_FALSE(file_exists(path));
+  EXPECT_THROW(read_file(path), IoError);
 }
 
 }  // namespace

@@ -8,11 +8,14 @@
 // Threading: `--threads N` (or DROPBACK_THREADS) sizes the kernel thread
 // pool for the google-benchmark section, `--threads 1` reproduces the
 // fully serial numbers. `--speedup` first runs a serial-vs-threaded
-// comparison over matmul, conv2d, and top-k select, emitting one JSON line
-// per config (bench, shape, threads, serial_ms, parallel_ms, speedup) so
-// successive PRs can track the scaling trajectory. The outputs are
-// bitwise identical by construction (see tests/parallel_equivalence_test),
-// so the comparison is purely about wall-clock.
+// comparison over matmul, conv2d, and top-k select, emitting two JSONL
+// records per config — the serial baseline and the threaded run — in the
+// kernel-timing schema shared with the profiler dump
+// ({"name","calls","total_us","threads"}; obs::kernel_timing_json), plus a
+// '#' comment line with the derived speedup, so successive PRs can track
+// the scaling trajectory and join it against --profile output. The kernel
+// outputs are bitwise identical by construction (see
+// tests/parallel_equivalence_test), so the comparison is purely wall-clock.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "autograd/ops.hpp"
+#include "bench_common.hpp"
 #include "core/dropback_optimizer.hpp"
 #include "core/sparse_backward.hpp"
 #include "core/sparse_weight_store.hpp"
@@ -282,35 +286,46 @@ void BM_SparseStoreMaterialize(benchmark::State& state) {
 BENCHMARK(BM_SparseStoreMaterialize)->Arg(2000)->Arg(20000);
 
 // ---------------------------------------------------------------------------
-// --speedup: serial-vs-threaded comparison, one JSON line per config.
+// --speedup: serial-vs-threaded comparison in the unified kernel-timing
+// schema ({"name","calls","total_us","threads"}, shared with the profiler).
 // ---------------------------------------------------------------------------
 
-/// Best-of-`reps` wall-clock of `fn` under `threads` pool threads.
+constexpr int kSpeedupReps = 3;
+
+struct TimedRun {
+  double best_ms = 1e300;
+  double total_us = 0.0;  ///< summed over the reps (profiler semantics)
+};
+
+/// Times `reps` calls of `fn` under `threads` pool threads.
 template <typename Fn>
-double best_ms(int threads, int reps, Fn&& fn) {
+TimedRun timed_run(int threads, int reps, Fn&& fn) {
   util::set_num_threads(threads);
   fn();  // warm-up (also pays the one-time pool spawn)
-  double best = 1e300;
+  TimedRun out;
   for (int r = 0; r < reps; ++r) {
     util::Timer timer;
     fn();
-    best = std::min(best, timer.elapsed_ms());
+    const double ms = timer.elapsed_ms();
+    out.best_ms = std::min(out.best_ms, ms);
+    out.total_us += ms * 1000.0;
   }
-  return best;
+  return out;
 }
 
-void emit_speedup_line(const char* bench, const std::string& shape,
-                       int threads, double serial_ms, double parallel_ms) {
-  std::printf(
-      "{\"bench\":\"%s\",\"shape\":\"%s\",\"threads\":%d,"
-      "\"serial_ms\":%.3f,\"parallel_ms\":%.3f,\"speedup\":%.2f}\n",
-      bench, shape.c_str(), threads, serial_ms, parallel_ms,
-      parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+void emit_speedup_lines(const std::string& name, int threads,
+                        const TimedRun& serial, const TimedRun& parallel) {
+  bench::print_kernel_timing(name, kSpeedupReps, serial.total_us, 1);
+  bench::print_kernel_timing(name, kSpeedupReps, parallel.total_us, threads);
+  std::printf("# %s speedup %.2fx (best-of-%d)\n", name.c_str(),
+              parallel.best_ms > 0.0 ? serial.best_ms / parallel.best_ms : 0.0,
+              kSpeedupReps);
 }
 
 void run_speedup_report(int threads) {
-  std::printf("# serial-vs-threaded speedup (threads=%d, best-of-3; outputs "
-              "are bitwise identical across configs)\n", threads);
+  std::printf("# serial-vs-threaded speedup (threads=%d, %d reps; outputs "
+              "are bitwise identical across configs)\n", threads,
+              kSpeedupReps);
 
   for (std::int64_t n : {std::int64_t{256}, std::int64_t{512}}) {
     rng::Xorshift128 rng(1);
@@ -320,12 +335,11 @@ void run_speedup_report(int threads) {
       b[i] = rng.uniform(-1, 1);
     }
     auto body = [&] { benchmark::DoNotOptimize(tensor::matmul(a, b).data()); };
-    const double serial = best_ms(1, 3, body);
-    const double parallel = best_ms(threads, 3, body);
-    emit_speedup_line("matmul",
-                      std::to_string(n) + "x" + std::to_string(n) + "x" +
-                          std::to_string(n),
-                      threads, serial, parallel);
+    const TimedRun serial = timed_run(1, kSpeedupReps, body);
+    const TimedRun parallel = timed_run(threads, kSpeedupReps, body);
+    emit_speedup_lines("matmul/" + std::to_string(n) + "x" +
+                           std::to_string(n) + "x" + std::to_string(n),
+                       threads, serial, parallel);
   }
 
   {
@@ -337,10 +351,10 @@ void run_speedup_report(int threads) {
     auto body = [&] {
       benchmark::DoNotOptimize(tensor::conv2d(x, w, b, spec).data());
     };
-    const double serial = best_ms(1, 3, body);
-    const double parallel = best_ms(threads, 3, body);
-    emit_speedup_line("conv2d", "16x16x32x32/k3s1p1", threads, serial,
-                      parallel);
+    const TimedRun serial = timed_run(1, kSpeedupReps, body);
+    const TimedRun parallel = timed_run(threads, kSpeedupReps, body);
+    emit_speedup_lines("conv2d/16x16x32x32-k3s1p1", threads, serial,
+                       parallel);
   }
 
   {
@@ -355,10 +369,9 @@ void run_speedup_report(int threads) {
       set.select(scores, 50000, core::SelectionStrategy::kFullSort);
       benchmark::DoNotOptimize(set.tracked_count());
     };
-    const double serial = best_ms(1, 3, body);
-    const double parallel = best_ms(threads, 3, body);
-    emit_speedup_line("select", "n=1001000,k=50000", threads, serial,
-                      parallel);
+    const TimedRun serial = timed_run(1, kSpeedupReps, body);
+    const TimedRun parallel = timed_run(threads, kSpeedupReps, body);
+    emit_speedup_lines("select/n=1001000-k=50000", threads, serial, parallel);
   }
 
   util::set_num_threads(1);

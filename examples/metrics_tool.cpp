@@ -1,0 +1,210 @@
+// metrics_tool — validator / summarizer for the JSONL telemetry streams
+// written by --metrics-out (obs/event_stream.hpp schemas).
+//
+//   ./metrics_tool run.jsonl             # validate + summary table
+//   ./metrics_tool --strict run.jsonl    # exit 1 on any schema violation
+//
+// Every line must parse as one flat JSON object with a known "type"
+// ("step" | "epoch" | "checkpoint" | "anomaly" | "summary") carrying that
+// type's required fields. Corrupt telemetry fails loudly: a malformed line
+// prints its line number and the parser's byte-position diagnostic, and the
+// tool exits non-zero. The summary reports record counts per type, the
+// min/max step loss, total step time, and tracked-set churn totals.
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/atomic_file.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using dropback::obs::JsonValue;
+
+/// Requires `key` to exist with number type (or null when nullable).
+/// Returns false (and prints) on violation.
+bool check_field(const std::map<std::string, JsonValue>& rec,
+                 const std::string& key, bool nullable, std::size_t lineno,
+                 std::vector<std::string>& errors) {
+  const auto it = rec.find(key);
+  if (it == rec.end()) {
+    errors.push_back("line " + std::to_string(lineno) + ": missing field '" +
+                     key + "'");
+    return false;
+  }
+  if (it->second.type == JsonValue::Type::kNull) {
+    if (!nullable) {
+      errors.push_back("line " + std::to_string(lineno) + ": field '" + key +
+                       "' must not be null");
+      return false;
+    }
+    return true;
+  }
+  if (it->second.type != JsonValue::Type::kNumber) {
+    errors.push_back("line " + std::to_string(lineno) + ": field '" + key +
+                     "' must be a number");
+    return false;
+  }
+  return true;
+}
+
+double number_or(const std::map<std::string, JsonValue>& rec,
+                 const std::string& key, double fallback) {
+  const auto it = rec.find(key);
+  if (it == rec.end() || it->second.type != JsonValue::Type::kNumber) {
+    return fallback;
+  }
+  return it->second.number;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dropback;
+  util::Flags flags(argc, argv);
+  const bool strict = flags.get_bool("strict", false);
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) path = arg;
+  }
+  if (path.empty()) {
+    std::printf("usage: metrics_tool [--strict] <stream.jsonl>\n");
+    return 2;
+  }
+
+  std::string bytes;
+  try {
+    bytes = util::read_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metrics_tool: %s\n", e.what());
+    return 1;
+  }
+
+  std::map<std::string, std::int64_t> type_counts;
+  std::vector<std::string> errors;
+  double min_loss = std::numeric_limits<double>::infinity();
+  double max_loss = -std::numeric_limits<double>::infinity();
+  double total_step_ms = 0.0;
+  std::int64_t churn_in_total = 0;
+  std::int64_t churn_out_total = 0;
+  std::size_t lineno = 0;
+
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    std::size_t end = bytes.find('\n', pos);
+    if (end == std::string::npos) end = bytes.size();
+    const std::string line = bytes.substr(pos, end - pos);
+    pos = end + 1;
+    ++lineno;
+    if (line.empty()) continue;
+
+    std::map<std::string, JsonValue> rec;
+    try {
+      rec = obs::parse_flat_object(line);
+    } catch (const std::exception& e) {
+      errors.push_back("line " + std::to_string(lineno) + ": " + e.what());
+      continue;
+    }
+    const auto type_it = rec.find("type");
+    if (type_it == rec.end() ||
+        type_it->second.type != JsonValue::Type::kString) {
+      errors.push_back("line " + std::to_string(lineno) +
+                       ": missing string field 'type'");
+      continue;
+    }
+    const std::string& type = type_it->second.string;
+    ++type_counts[type];
+
+    if (type == "step") {
+      for (const char* key : {"step", "epoch", "loss", "acc", "step_ms",
+                              "forward_ms", "backward_ms", "optimizer_ms"}) {
+        check_field(rec, key, /*nullable=*/false, lineno, errors);
+      }
+      for (const char* key : {"churn_in", "churn_out", "tracked", "budget",
+                              "occupancy", "grad_q50", "grad_q90",
+                              "grad_q99"}) {
+        check_field(rec, key, /*nullable=*/true, lineno, errors);
+      }
+      const double loss = number_or(rec, "loss", 0.0);
+      min_loss = std::min(min_loss, loss);
+      max_loss = std::max(max_loss, loss);
+      total_step_ms += number_or(rec, "step_ms", 0.0);
+      churn_in_total += static_cast<std::int64_t>(
+          number_or(rec, "churn_in", 0.0));
+      churn_out_total += static_cast<std::int64_t>(
+          number_or(rec, "churn_out", 0.0));
+    } else if (type == "epoch") {
+      for (const char* key : {"epoch", "train_loss", "train_acc", "val_acc",
+                              "lr", "epoch_ms"}) {
+        check_field(rec, key, /*nullable=*/false, lineno, errors);
+      }
+    } else if (type == "checkpoint") {
+      check_field(rec, "step", false, lineno, errors);
+      check_field(rec, "ms", false, lineno, errors);
+      if (rec.find("path") == rec.end()) {
+        errors.push_back("line " + std::to_string(lineno) +
+                         ": checkpoint record missing 'path'");
+      }
+    } else if (type == "anomaly") {
+      check_field(rec, "step", false, lineno, errors);
+      if (rec.find("what") == rec.end() || rec.find("policy") == rec.end()) {
+        errors.push_back("line " + std::to_string(lineno) +
+                         ": anomaly record missing 'what'/'policy'");
+      }
+    } else if (type == "summary") {
+      for (const char* key : {"steps", "epochs", "anomalies", "checkpoints",
+                              "best_val_acc", "total_step_ms"}) {
+        check_field(rec, key, /*nullable=*/false, lineno, errors);
+      }
+    } else {
+      errors.push_back("line " + std::to_string(lineno) +
+                       ": unknown record type '" + type + "'");
+    }
+  }
+
+  for (const std::string& e : errors) {
+    std::fprintf(stderr, "metrics_tool: %s\n", e.c_str());
+  }
+
+  util::Table table({"metric", "value"});
+  std::int64_t total_records = 0;
+  for (const auto& [type, count] : type_counts) {
+    table.add_row({"records[" + type + "]", std::to_string(count)});
+    total_records += count;
+  }
+  table.add_row({"records[total]", std::to_string(total_records)});
+  const std::int64_t steps = type_counts.count("step") ? type_counts["step"]
+                                                       : 0;
+  if (steps > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", min_loss);
+    table.add_row({"min loss", buf});
+    std::snprintf(buf, sizeof(buf), "%.6g", max_loss);
+    table.add_row({"max loss", buf});
+    std::snprintf(buf, sizeof(buf), "%.3f ms", total_step_ms);
+    table.add_row({"total step time", buf});
+    table.add_row({"churn in (sum)", std::to_string(churn_in_total)});
+    table.add_row({"churn out (sum)", std::to_string(churn_out_total)});
+  }
+  table.add_row({"schema errors", std::to_string(errors.size())});
+  std::printf("%s", table.render().c_str());
+
+  if (!errors.empty()) {
+    std::fprintf(stderr, "metrics_tool: %zu schema error(s) in %s\n",
+                 errors.size(), path.c_str());
+    return 1;
+  }
+  if (strict && total_records == 0) {
+    std::fprintf(stderr, "metrics_tool: %s contains no records\n",
+                 path.c_str());
+    return 1;
+  }
+  return 0;
+}

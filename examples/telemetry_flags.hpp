@@ -1,0 +1,77 @@
+// Shared telemetry CLI handling for the example trainers (ISSUE 3):
+//
+//   --metrics-out=run.jsonl   JSONL event stream (one flat record per step /
+//                             epoch / checkpoint / anomaly + summary) written
+//                             crash-safely; also enables the global metrics
+//                             registry, whose snapshot is printed at exit.
+//   --profile                 enable the scoped profiler; pretty table on
+//                             stdout at exit.
+//   --profile=prof.jsonl      same, but dump the kernel-timing JSONL (the
+//                             schema shared with bench_micro --speedup)
+//                             instead of the table.
+//   --log-json                switch util::log to one-flat-JSON-record-per-
+//                             line output.
+//
+// Telemetry never changes training results: the run is bitwise identical
+// with or without these flags (tests/obs_equivalence_test.cpp).
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "util/atomic_file.hpp"
+#include "util/flags.hpp"
+#include "util/log.hpp"
+
+namespace dropback::examples {
+
+struct TelemetryFlags {
+  std::string metrics_out;   ///< JSONL stream path; "" = telemetry off
+  bool profile = false;
+  std::string profile_path;  ///< "" = pretty table to stdout
+
+  /// Parses the flags and applies the process-wide switches (profiler
+  /// enable, log format).
+  static TelemetryFlags parse(const util::Flags& flags) {
+    TelemetryFlags t;
+    t.metrics_out = flags.get_string("metrics-out", "");
+    const std::string prof = flags.get_string("profile", "");
+    if (!prof.empty()) {
+      t.profile = true;
+      if (prof != "1") t.profile_path = prof;  // bare --profile parses as "1"
+      obs::reset_profile();
+      obs::set_profiling_enabled(true);
+    }
+    if (flags.get_bool("log-json", false)) {
+      util::set_log_format(util::LogFormat::kJson);
+    }
+    return t;
+  }
+
+  /// Call once after training: reports the profile and metrics snapshot.
+  void report() const {
+    if (profile) {
+      const obs::ProfileReport report = obs::collect_profile();
+      if (profile_path.empty()) {
+        std::printf("\nprofile (scoped wall time):\n%s",
+                    report.pretty().c_str());
+      } else {
+        util::atomic_write_file(profile_path, [&](std::ostream& out) {
+          out << report.to_jsonl();
+        });
+        std::printf("\nwrote profile to %s (%zu scopes)\n",
+                    profile_path.c_str(), report.entries.size());
+      }
+    }
+    if (!metrics_out.empty()) {
+      std::printf("\nmetrics snapshot: %s\n",
+                  obs::MetricsRegistry::global().snapshot_json().c_str());
+      std::printf("wrote telemetry stream to %s\n", metrics_out.c_str());
+    }
+  }
+};
+
+}  // namespace dropback::examples

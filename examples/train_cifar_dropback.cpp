@@ -6,6 +6,10 @@
 //   ./train_cifar_dropback --model=vgg --budget-ratio=5 --epochs=10
 //   ./train_cifar_dropback --model=wrn --wrn-depth=16 --wrn-width=4
 //   ./train_cifar_dropback --model=densenet --densenet-growth=8
+//
+// Telemetry: --metrics-out=run.jsonl / --profile[=prof.jsonl] / --log-json,
+// identical to train_mnist_dropback (see examples/telemetry_flags.hpp and
+// docs/OBSERVABILITY.md); none of it changes training results.
 #include <cstdio>
 #include <string>
 
@@ -17,6 +21,7 @@
 #include "nn/models/vgg_s.hpp"
 #include "nn/models/wrn.hpp"
 #include "optim/lr_schedule.hpp"
+#include "telemetry_flags.hpp"
 #include "train/trainer.hpp"
 #include "util/flags.hpp"
 #include "util/thread_pool.hpp"
@@ -26,6 +31,7 @@ int main(int argc, char** argv) {
   using namespace dropback;
   util::Flags flags(argc, argv);
   util::configure_threads(flags);  // --threads N / DROPBACK_THREADS
+  const auto telemetry = examples::TelemetryFlags::parse(flags);
 
   const std::string model_name = flags.get_string("model", "vgg");
   const std::int64_t train_n = flags.get_int("train-n", 400);
@@ -87,6 +93,7 @@ int main(int argc, char** argv) {
   options.resume = flags.get_bool("resume", false);
   options.anomaly_policy =
       train::parse_anomaly_policy(flags.get_string("anomaly", "off"));
+  options.metrics_out = telemetry.metrics_out;
   train::Trainer trainer(*model, optimizer, *train_set, *val_set, options);
   trainer.on_epoch_end = [&](const train::EpochStats& stats) {
     std::printf("epoch %3lld  loss %.4f  train acc %.4f  val acc %.4f\n",
@@ -102,5 +109,6 @@ int main(int argc, char** argv) {
               optimizer.compression_ratio(),
               static_cast<long long>(optimizer.live_weights()));
   std::printf("\nmodeled training energy:\n%s\n", traffic.report().c_str());
+  telemetry.report();
   return 0;
 }

@@ -11,6 +11,12 @@
 // state after every epoch (plus every --checkpoint-every=N steps), and
 // --resume continues a killed run bitwise-identically. --anomaly selects the
 // non-finite loss/gradient policy (off|throw|skip|rollback).
+//
+// Telemetry (none of it changes training results): --metrics-out=run.jsonl
+// streams one JSON record per step/epoch/checkpoint/anomaly, --profile
+// (or --profile=prof.jsonl) reports scoped kernel wall times, --log-json
+// switches diagnostics to JSON lines. See examples/telemetry_flags.hpp and
+// docs/OBSERVABILITY.md.
 #include <cstdio>
 #include <string>
 
@@ -20,6 +26,7 @@
 #include "energy/energy_model.hpp"
 #include "nn/models/lenet.hpp"
 #include "optim/lr_schedule.hpp"
+#include "telemetry_flags.hpp"
 #include "train/trainer.hpp"
 #include "util/flags.hpp"
 #include "util/thread_pool.hpp"
@@ -29,6 +36,7 @@ int main(int argc, char** argv) {
   using namespace dropback;
   util::Flags flags(argc, argv);
   util::configure_threads(flags);  // --threads N / DROPBACK_THREADS
+  const auto telemetry = examples::TelemetryFlags::parse(flags);
 
   const std::string model_name = flags.get_string("model", "mlp");
   const std::int64_t train_n = flags.get_int("train-n", 1500);
@@ -78,6 +86,7 @@ int main(int argc, char** argv) {
   options.resume = flags.get_bool("resume", false);
   options.anomaly_policy =
       train::parse_anomaly_policy(flags.get_string("anomaly", "off"));
+  options.metrics_out = telemetry.metrics_out;
   train::Trainer trainer(*model, optimizer, *train_set, *val_set, options);
   trainer.on_epoch_end = [&](const train::EpochStats& stats) {
     std::printf(
@@ -104,5 +113,6 @@ int main(int argc, char** argv) {
                 save_path.c_str(), static_cast<long long>(store.bytes()),
                 static_cast<long long>(store.dense_bytes()));
   }
+  telemetry.report();
   return 0;
 }

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 #include "util/io_error.hpp"
 #include "util/thread_pool.hpp"
@@ -52,6 +54,7 @@ void DropBackOptimizer::step() {
 void DropBackOptimizer::freeze() { frozen_ = true; }
 
 void DropBackOptimizer::apply_update_and_mask() {
+  DROPBACK_PROFILE_SCOPE("dropback_apply");
   for (std::size_t p = 0; p < index_.num_params(); ++p) {
     nn::Parameter& param = index_.param(p);
     float* w = param.var.value().data();
@@ -94,6 +97,28 @@ void DropBackOptimizer::apply_update_and_mask() {
       traffic_->regens += regen_here;
     }
   }
+}
+
+std::vector<double> DropBackOptimizer::score_quantiles(
+    const std::vector<double>& qs) const {
+  if (scores_.empty()) return {};
+  // Telemetry only: work on a copy so selection scratch is untouched.
+  std::vector<float> finite;
+  finite.reserve(scores_.size());
+  for (float s : scores_) {
+    if (std::isfinite(s)) finite.push_back(s);
+  }
+  if (finite.empty()) return {};
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    const double clamped = std::min(1.0, std::max(0.0, q));
+    const auto rank = static_cast<std::ptrdiff_t>(
+        clamped * static_cast<double>(finite.size() - 1));
+    std::nth_element(finite.begin(), finite.begin() + rank, finite.end());
+    out.push_back(static_cast<double>(finite[static_cast<std::size_t>(rank)]));
+  }
+  return out;
 }
 
 std::int64_t DropBackOptimizer::live_weights() const {

@@ -74,6 +74,16 @@ class DropBackOptimizer : public optim::Optimizer {
   /// Weights that entered the tracked set on the most recent step (Fig. 2).
   std::int64_t last_churn() const { return tracked_.last_churn(); }
 
+  /// Weights evicted from the tracked set on the most recent step.
+  std::int64_t last_evictions() const { return tracked_.last_evictions(); }
+
+  /// Quantiles (each q in [0,1]) of the most recent step's accumulated-
+  /// gradient scores, over finite entries only (non-prunable parameters
+  /// carry +inf sentinels). Returns empty if no selection has run yet;
+  /// after freeze the scores — and hence the quantiles — stay at the last
+  /// pre-freeze selection. Read-only: never perturbs training state.
+  std::vector<double> score_quantiles(const std::vector<double>& qs) const;
+
   /// Live weights actually stored right now (<= budget after first step).
   std::int64_t live_weights() const;
 

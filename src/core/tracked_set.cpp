@@ -5,6 +5,7 @@
 #include <numeric>
 #include <queue>
 
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -204,6 +205,7 @@ std::vector<std::int64_t> topk_fullsort_auto(const std::vector<float>& scores,
 
 void TrackedSet::select(const std::vector<float>& scores, std::int64_t k,
                         SelectionStrategy strategy) {
+  DROPBACK_PROFILE_SCOPE("dropback_select");
   const std::int64_t n = static_cast<std::int64_t>(scores.size());
   DROPBACK_CHECK(n == index_->total(), << "select: scores size " << n
                                        << " != total " << index_->total());
@@ -212,6 +214,7 @@ void TrackedSet::select(const std::vector<float>& scores, std::int64_t k,
     // Budget covers everything; trivially all tracked.
     for (auto& mask : masks_) std::fill(mask.begin(), mask.end(), 1);
     last_churn_ = 0;
+    last_evictions_ = 0;
     last_lambda_ = -std::numeric_limits<float>::infinity();
     all_tracked_ = true;
     return;
@@ -236,7 +239,21 @@ void TrackedSet::select(const std::vector<float>& scores, std::int64_t k,
     lambda = std::min(lambda, scores[static_cast<std::size_t>(g)]);
     if (!had_selection || old_masks[p][local] == 0) ++churn;
   }
+  // Evictions: previously tracked weights that fell out of the set. With no
+  // prior selection everything was implicitly tracked, so all non-selected
+  // weights count as evicted.
+  std::int64_t evictions = 0;
+  if (had_selection) {
+    for (std::size_t p = 0; p < masks_.size(); ++p) {
+      for (std::size_t i = 0; i < masks_[p].size(); ++i) {
+        if (old_masks[p][i] != 0 && masks_[p][i] == 0) ++evictions;
+      }
+    }
+  } else {
+    evictions = index_->total() - static_cast<std::int64_t>(selected.size());
+  }
   last_churn_ = churn;
+  last_evictions_ = evictions;
   last_lambda_ = lambda;
   all_tracked_ = false;
 }
@@ -253,6 +270,7 @@ void TrackedSet::restore(const std::vector<std::vector<std::uint8_t>>& masks,
   }
   all_tracked_ = all_tracked;
   last_churn_ = 0;
+  last_evictions_ = 0;
 }
 
 void TrackedSet::select_per_param(const std::vector<float>& scores,
@@ -292,7 +310,18 @@ void TrackedSet::select_per_param(const std::vector<float>& scores,
       }
     }
   }
+  std::int64_t evictions = 0;
+  if (had_selection) {
+    for (std::size_t p = 0; p < masks_.size(); ++p) {
+      for (std::size_t i = 0; i < masks_[p].size(); ++i) {
+        if (old_masks[p][i] != 0 && masks_[p][i] == 0) ++evictions;
+      }
+    }
+  } else if (!everything_tracked) {
+    evictions = index_->total() - tracked_count();
+  }
   last_churn_ = churn;
+  last_evictions_ = evictions;
   last_lambda_ = lambda;
   all_tracked_ = everything_tracked;
 }

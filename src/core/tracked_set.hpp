@@ -59,6 +59,11 @@ class TrackedSet {
   /// (equals the number evicted when k is unchanged) — Figure 2's series.
   std::int64_t last_churn() const { return last_churn_; }
 
+  /// Number of weights that left the set in the last select() call (the
+  /// other half of the churn telemetry; differs from last_churn() when the
+  /// budget changed or the previous state was all-tracked).
+  std::int64_t last_evictions() const { return last_evictions_; }
+
   /// The threshold lambda of the last selection (k-th largest score).
   float last_lambda() const { return last_lambda_; }
 
@@ -74,6 +79,7 @@ class TrackedSet {
   std::vector<std::vector<std::uint8_t>> masks_;  // per param
   bool all_tracked_ = true;
   std::int64_t last_churn_ = 0;
+  std::int64_t last_evictions_ = 0;
   float last_lambda_ = 0.0F;
 };
 

@@ -1,0 +1,148 @@
+// Structured JSONL event stream for training runs.
+//
+// One flat JSON record per line, one line per training step / epoch /
+// checkpoint / anomaly, written through an atomic-rewrite sink compatible
+// with util::atomic_write_file's crash contract: every flush rewrites the
+// whole file via write-temp + fsync + rename, so a crash at any byte leaves
+// either the previous consistent stream or the new one on disk — never a
+// torn trailing line. (An O(run) rewrite per epoch is cheap at these run
+// lengths and buys the same guarantee the checkpoints have.)
+//
+// Record schemas (field order is fixed; see docs/OBSERVABILITY.md):
+//   {"type":"step","step":N,"epoch":N,"loss":X,"acc":X,
+//    "churn_in":N,"churn_out":N,"tracked":N,"budget":N,"occupancy":X,
+//    "grad_q50":X,"grad_q90":X,"grad_q99":X,
+//    "step_ms":X,"forward_ms":X,"backward_ms":X,"optimizer_ms":X}
+//   {"type":"epoch","epoch":N,"train_loss":X,"train_acc":X,"val_acc":X,
+//    "lr":X,"frozen":B,"epoch_ms":X}
+//   {"type":"checkpoint","step":N,"path":S,"ms":X}
+//   {"type":"anomaly","step":N,"what":S,"policy":S}
+//   {"type":"summary","steps":N,"epochs":N,"anomalies":N,"checkpoints":N,
+//    "best_val_acc":X,"total_step_ms":X}
+// DropBack-only fields (churn_*, tracked, budget, occupancy, grad_q*) are
+// null when the optimizer is not a DropBackOptimizer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dropback::obs {
+
+/// Where JSONL lines go. append() buffers; flush() persists.
+class JsonlSink {
+ public:
+  virtual ~JsonlSink() = default;
+  virtual void append(const std::string& line) = 0;
+  virtual void flush() {}
+};
+
+/// Crash-safe file sink: buffers every line for the stream's lifetime and
+/// atomically rewrites the whole file on flush (util::atomic_write_file).
+class AtomicFileSink : public JsonlSink {
+ public:
+  explicit AtomicFileSink(std::string path);
+  void append(const std::string& line) override;
+  void flush() override;
+
+ private:
+  std::string path_;
+  std::string buffer_;
+  bool dirty_ = false;
+};
+
+/// In-memory sink for tests.
+class MemorySink : public JsonlSink {
+ public:
+  void append(const std::string& line) override;
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+/// Per-step record; missing DropBack fields stay nullopt-like via has_*.
+struct StepEvent {
+  std::int64_t step = 0;
+  std::int64_t epoch = 0;
+  double loss = 0.0;
+  double acc = 0.0;
+  bool has_dropback = false;    ///< churn/tracked/budget/occupancy valid
+  std::int64_t churn_in = 0;    ///< weights that entered the tracked set
+  std::int64_t churn_out = 0;   ///< weights evicted from the tracked set
+  std::int64_t tracked = 0;     ///< live tracked weights after the step
+  std::int64_t budget = 0;
+  double occupancy = 0.0;       ///< tracked / budget
+  bool has_quantiles = false;   ///< grad_q* valid
+  double grad_q50 = 0.0;        ///< accumulated-gradient score quantiles
+  double grad_q90 = 0.0;
+  double grad_q99 = 0.0;
+  double step_ms = 0.0;
+  double forward_ms = 0.0;
+  double backward_ms = 0.0;
+  double optimizer_ms = 0.0;
+
+  std::string to_json() const;
+};
+
+struct EpochEvent {
+  std::int64_t epoch = 0;
+  double train_loss = 0.0;
+  double train_acc = 0.0;
+  double val_acc = 0.0;
+  double lr = 0.0;
+  bool frozen = false;
+  double epoch_ms = 0.0;
+
+  std::string to_json() const;
+};
+
+struct CheckpointEvent {
+  std::int64_t step = 0;
+  std::string path;
+  double ms = 0.0;
+
+  std::string to_json() const;
+};
+
+struct AnomalyEvent {
+  std::int64_t step = 0;
+  std::string what;
+  std::string policy;
+
+  std::string to_json() const;
+};
+
+struct SummaryEvent {
+  std::int64_t steps = 0;
+  std::int64_t epochs = 0;
+  std::int64_t anomalies = 0;
+  std::int64_t checkpoints = 0;
+  double best_val_acc = 0.0;
+  double total_step_ms = 0.0;
+
+  std::string to_json() const;
+};
+
+/// Thread-safe JSONL writer over a sink.
+class EventStream {
+ public:
+  /// Convenience: stream into an AtomicFileSink at `path`.
+  explicit EventStream(const std::string& path);
+  explicit EventStream(std::unique_ptr<JsonlSink> sink);
+  ~EventStream();  // flushes
+
+  void emit(const std::string& json_line);
+  void flush();
+
+  std::int64_t records() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unique_ptr<JsonlSink> sink_;
+  std::int64_t records_ = 0;
+};
+
+}  // namespace dropback::obs

@@ -1,0 +1,282 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dropback::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+JsonObject& JsonObject::add_rendered(const std::string& key,
+                                     const std::string& value) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\":";
+  body_ += value;
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, const std::string& value) {
+  return add_rendered(key, '"' + json_escape(value) + '"');
+}
+
+JsonObject& JsonObject::add(const std::string& key, const char* value) {
+  return add(key, std::string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, double value) {
+  return add_rendered(key, json_number(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, std::int64_t value) {
+  return add_rendered(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, std::uint64_t value) {
+  return add_rendered(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, int value) {
+  return add(key, static_cast<std::int64_t>(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, bool value) {
+  return add_rendered(key, value ? "true" : "false");
+}
+
+JsonObject& JsonObject::add_null(const std::string& key) {
+  return add_rendered(key, "null");
+}
+
+JsonObject& JsonObject::add_raw(const std::string& key,
+                                const std::string& raw) {
+  return add_rendered(key, raw);
+}
+
+std::string JsonObject::str() const { return '{' + body_ + '}'; }
+
+std::string kernel_timing_json(const std::string& name, std::uint64_t calls,
+                               std::uint64_t total_us, int threads) {
+  return JsonObject()
+      .add("name", name)
+      .add("calls", calls)
+      .add("total_us", total_us)
+      .add("threads", threads)
+      .str();
+}
+
+namespace {
+
+class FlatParser {
+ public:
+  explicit FlatParser(const std::string& text) : text_(text) {}
+
+  std::map<std::string, JsonValue> parse() {
+    std::map<std::string, JsonValue> out;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      finish();
+      return out;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      out[key] = parse_value();
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    finish();
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char next() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void finish() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing bytes after object");
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char e = next();
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+              }
+            }
+            if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parse_value() {
+    JsonValue v;
+    const char c = peek();
+    if (c == '"') {
+      v.type = JsonValue::Type::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      const char* word = c == 't' ? "true" : "false";
+      for (const char* p = word; *p; ++p) {
+        if (next() != *p) fail("bad literal");
+      }
+      v.type = JsonValue::Type::kBool;
+      v.boolean = c == 't';
+      return v;
+    }
+    if (c == 'n') {
+      for (const char* p = "null"; *p; ++p) {
+        if (next() != *p) fail("bad literal");
+      }
+      v.type = JsonValue::Type::kNull;
+      return v;
+    }
+    if (c == '{' || c == '[') fail("nested values unsupported (flat schema)");
+    // Number.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    double num = 0.0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, num);
+    if (res.ec != std::errc{} || res.ptr != text_.data() + pos_) {
+      fail("bad number '" + text_.substr(start, pos_ - start) + "'");
+    }
+    v.type = JsonValue::Type::kNumber;
+    v.number = num;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::map<std::string, JsonValue> parse_flat_object(const std::string& text) {
+  return FlatParser(text).parse();
+}
+
+}  // namespace dropback::obs

@@ -1,0 +1,100 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace dropback::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  DROPBACK_CHECK(!bounds_.empty(), << "Histogram needs at least one bound");
+  DROPBACK_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                         bounds_.end(),
+                 << "Histogram bounds must be strictly ascending");
+}
+
+void Histogram::observe(double v) {
+  // Index of the first bound > v: v < b0 lands in 0 (underflow),
+  // v >= b{m-1} lands in m (overflow).
+  const std::size_t idx = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> (C++20) — relaxed CAS loop under the hood.
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonObject counters;
+  for (const auto& [name, c] : counters_) {
+    counters.add(name, static_cast<std::uint64_t>(c->value()));
+  }
+  JsonObject gauges;
+  for (const auto& [name, g] : gauges_) gauges.add(name, g->value());
+  JsonObject histograms;
+  for (const auto& [name, h] : histograms_) {
+    std::string bounds = "[";
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      if (i) bounds += ',';
+      bounds += json_number(h->bounds()[i]);
+    }
+    bounds += ']';
+    std::string counts = "[";
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      if (i) counts += ',';
+      counts += std::to_string(h->bucket_count(i));
+    }
+    counts += ']';
+    histograms.add_raw(name, JsonObject()
+                                 .add_raw("bounds", bounds)
+                                 .add_raw("counts", counts)
+                                 .add("count", h->count())
+                                 .add("sum", h->sum())
+                                 .str());
+  }
+  return JsonObject()
+      .add_raw("counters", counters.str())
+      .add_raw("gauges", gauges.str())
+      .add_raw("histograms", histograms.str())
+      .str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+}  // namespace dropback::obs

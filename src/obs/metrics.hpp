@@ -1,0 +1,110 @@
+// Process-wide training metrics: counters, gauges, fixed-bucket histograms.
+//
+// Design goals (ISSUE 3 tentpole):
+//   * Cheap enough for per-step use: every write is a relaxed atomic op on a
+//     pre-registered metric object — no locks, no allocation on the hot
+//     path. Registration (name lookup) takes a mutex and should be done
+//     once, outside loops; the returned references stay valid for the
+//     registry's lifetime.
+//   * Snapshot-able while being written: snapshot_json() can run
+//     concurrently with writers from pool threads and sees a consistent
+//     per-metric view (each field is an atomic; cross-metric skew is
+//     acceptable for telemetry). TSan-clean by construction.
+//   * Counter overflow wraps modulo 2^64 (documented, tested) — a counter is
+//     a free-running odometer, not a saturating one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dropback::obs {
+
+/// Monotonic (modulo 2^64) event counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram over half-open intervals.
+///
+/// Given ascending boundaries b0 < b1 < ... < b{m-1}, bucket_count(i) for
+/// i in [0, m] counts:
+///   i == 0    : v <  b0              (underflow bin)
+///   0 < i < m : b{i-1} <= v < b{i}
+///   i == m    : v >= b{m-1}          (overflow bin)
+/// Also tracks the observation count and sum for mean recovery.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named metric store. counter()/gauge()/histogram() create on first use and
+/// return the existing metric afterwards; references remain valid until the
+/// registry is destroyed. A histogram re-registered with different bounds
+/// keeps its original bounds (first registration wins).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// One JSON object with every metric:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"name":{"bounds":[...],"counts":[...],
+  ///                          "count":N,"sum":X}}}
+  /// Safe to call while other threads write metrics.
+  std::string snapshot_json() const;
+
+  /// Drops every metric (invalidates previously returned references).
+  void reset();
+
+  /// The process-wide registry used by the built-in instrumentation.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dropback::obs

@@ -1,0 +1,280 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+namespace dropback::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One thread's private scope tree. Guarded by its own mutex so merge /
+/// reset from another thread is race-free; the owning thread's locks are
+/// uncontended in steady state.
+struct ThreadTree {
+  struct Node {
+    const char* name;  // string literal, owned by the caller's binary
+    int parent;        // index into nodes, -1 for the synthetic root
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::vector<int> children;
+  };
+
+  std::mutex mu;
+  std::vector<Node> nodes;  // nodes[0] = synthetic root
+  int current = 0;
+
+  ThreadTree() { nodes.push_back(Node{"", -1, 0, 0, {}}); }
+
+  /// Child of `parent` with label `name`, created on demand. Labels are
+  /// compared by content (literals from different TUs may not be pooled).
+  int child_of(int parent, const char* name) {
+    for (int c : nodes[static_cast<std::size_t>(parent)].children) {
+      if (std::strcmp(nodes[static_cast<std::size_t>(c)].name, name) == 0) {
+        return c;
+      }
+    }
+    const int idx = static_cast<int>(nodes.size());
+    nodes.push_back(Node{name, parent, 0, 0, {}});
+    nodes[static_cast<std::size_t>(parent)].children.push_back(idx);
+    return idx;
+  }
+
+  void clear() {
+    nodes.clear();
+    nodes.push_back(Node{"", -1, 0, 0, {}});
+    current = 0;
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadTree>> trees;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // never freed: threads may outlive
+  return *r;
+}
+
+ThreadTree& local_tree() {
+  // The shared_ptr keeps the tree alive in the registry after thread exit,
+  // so short-lived worker threads still contribute to the merged report.
+  thread_local std::shared_ptr<ThreadTree> tree = [] {
+    auto t = std::make_shared<ThreadTree>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.trees.push_back(t);
+    return t;
+  }();
+  return *tree;
+}
+
+}  // namespace
+
+bool profiling_enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_profiling_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void reset_profile() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& tree : r.trees) {
+    std::lock_guard<std::mutex> tree_lock(tree->mu);
+    tree->clear();
+  }
+}
+
+void record_timing(const char* name, std::uint64_t ns) {
+  if (!profiling_enabled()) return;
+  ThreadTree& tree = local_tree();
+  std::lock_guard<std::mutex> lock(tree.mu);
+  const int node = tree.child_of(tree.current, name);
+  auto& n = tree.nodes[static_cast<std::size_t>(node)];
+  ++n.calls;
+  n.total_ns += ns;
+}
+
+#ifndef DROPBACK_DISABLE_PROFILING
+
+namespace detail {
+
+ScopeTimer::ScopeTimer(const char* name) {
+  if (!profiling_enabled()) return;
+  ThreadTree& tree = local_tree();
+  std::lock_guard<std::mutex> lock(tree.mu);
+  parent_ = tree.current;
+  tree.current = tree.child_of(tree.current, name);
+  tree_ = &tree;
+  start_ns_ = now_ns();
+}
+
+ScopeTimer::~ScopeTimer() {
+  if (!tree_) return;
+  const std::uint64_t elapsed = now_ns() - start_ns_;
+  ThreadTree& tree = *static_cast<ThreadTree*>(tree_);
+  std::lock_guard<std::mutex> lock(tree.mu);
+  // A reset_profile() racing a live scope shrinks the tree; drop the sample
+  // instead of indexing stale node ids.
+  if (tree.current >= static_cast<int>(tree.nodes.size()) ||
+      parent_ >= static_cast<int>(tree.nodes.size())) {
+    tree.current = 0;
+    return;
+  }
+  auto& node = tree.nodes[static_cast<std::size_t>(tree.current)];
+  ++node.calls;
+  node.total_ns += elapsed;
+  tree.current = parent_;
+}
+
+}  // namespace detail
+
+#endif  // DROPBACK_DISABLE_PROFILING
+
+namespace {
+
+/// Merge accumulator keyed by label within one parent.
+struct MergedNode {
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  int threads = 0;
+  std::map<std::string, MergedNode> children;  // label -> child
+};
+
+void merge_tree(const ThreadTree& tree, int node, MergedNode& into) {
+  const auto& n = tree.nodes[static_cast<std::size_t>(node)];
+  for (int c : n.children) {
+    const auto& child = tree.nodes[static_cast<std::size_t>(c)];
+    MergedNode& m = into.children[child.name];
+    m.calls += child.calls;
+    m.total_ns += child.total_ns;
+    ++m.threads;  // one visit per thread tree
+    merge_tree(tree, c, m);
+  }
+}
+
+void flatten(const MergedNode& node, const std::string& path, int depth,
+             std::vector<ProfileEntry>& out) {
+  // Siblings by descending time (name ascending on ties) — the order both
+  // the table and the JSONL dump use.
+  std::vector<std::pair<std::string, const MergedNode*>> kids;
+  kids.reserve(node.children.size());
+  for (const auto& [name, child] : node.children) {
+    kids.emplace_back(name, &child);
+  }
+  std::stable_sort(kids.begin(), kids.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second->total_ns > b.second->total_ns;
+                   });
+  for (const auto& [name, child] : kids) {
+    // Keep our own copy of the path: recursing below reallocates `out`, so
+    // a reference into it would dangle.
+    const std::string child_path = path.empty() ? name : path + "/" + name;
+    ProfileEntry entry;
+    entry.path = child_path;
+    entry.name = name;
+    entry.depth = depth;
+    entry.calls = child->calls;
+    entry.total_ns = child->total_ns;
+    entry.threads = child->threads;
+    out.push_back(entry);
+    flatten(*child, child_path, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+ProfileReport collect_profile() {
+  MergedNode root;
+  Registry& r = registry();
+  std::vector<std::shared_ptr<ThreadTree>> trees;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    trees = r.trees;
+  }
+  for (const auto& tree : trees) {
+    std::lock_guard<std::mutex> lock(tree->mu);
+    if (tree->nodes[0].children.empty()) continue;  // thread recorded nothing
+    merge_tree(*tree, 0, root);
+  }
+  ProfileReport report;
+  flatten(root, "", 0, report.entries);
+  return report;
+}
+
+const ProfileEntry* ProfileReport::find(const std::string& path) const {
+  for (const auto& entry : entries) {
+    if (entry.path == path) return &entry;
+  }
+  return nullptr;
+}
+
+double ProfileReport::child_coverage(const std::string& path) const {
+  const ProfileEntry* parent = find(path);
+  if (!parent || parent->total_ns == 0) return 0.0;
+  std::uint64_t covered = 0;
+  for (const auto& entry : entries) {
+    if (entry.depth == parent->depth + 1 &&
+        entry.path.size() > path.size() + 1 &&
+        entry.path.compare(0, path.size() + 1, path + "/") == 0) {
+      covered += entry.total_ns;
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(parent->total_ns);
+}
+
+std::string ProfileReport::pretty() const {
+  util::Table table({"scope", "calls", "total ms", "% parent", "threads"});
+  // Parent totals by path for the %-of-parent column.
+  std::map<std::string, std::uint64_t> totals;
+  for (const auto& entry : entries) totals[entry.path] = entry.total_ns;
+  for (const auto& entry : entries) {
+    std::string label(static_cast<std::size_t>(entry.depth) * 2, ' ');
+    label += entry.name;
+    std::string pct = "-";
+    const auto slash = entry.path.rfind('/');
+    if (slash != std::string::npos) {
+      const auto it = totals.find(entry.path.substr(0, slash));
+      if (it != totals.end() && it->second > 0) {
+        pct = util::Table::pct(static_cast<double>(entry.total_ns) /
+                               static_cast<double>(it->second));
+      }
+    }
+    table.add_row({label, std::to_string(entry.calls),
+                   util::Table::num(entry.total_ms(), 3), pct,
+                   std::to_string(entry.threads)});
+  }
+  return table.render();
+}
+
+std::string ProfileReport::to_jsonl() const {
+  std::string out;
+  for (const auto& entry : entries) {
+    out += kernel_timing_json(entry.path, entry.calls,
+                              entry.total_ns / 1000, entry.threads);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dropback::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/profiler.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
@@ -22,6 +23,7 @@ std::int64_t conv_grain(std::int64_t flops_per_item) {
 }  // namespace
 
 Tensor im2col(const Tensor& x, const Conv2dSpec& spec) {
+  DROPBACK_PROFILE_SCOPE("im2col");
   DROPBACK_CHECK(x.ndim() == 4, << "im2col needs NCHW, got "
                                 << shape_str(x.shape()));
   const std::int64_t n = x.size(0), c = x.size(1), h = x.size(2),
@@ -108,6 +110,7 @@ Tensor col2im(const Tensor& cols, const Shape& x_shape,
 
 Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
               const Conv2dSpec& spec) {
+  DROPBACK_PROFILE_SCOPE("conv2d");
   DROPBACK_CHECK(x.ndim() == 4 && w.ndim() == 4,
                  << "conv2d: x " << shape_str(x.shape()) << ", w "
                  << shape_str(w.shape()));
@@ -150,6 +153,7 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
 
 Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w, const Tensor& gy,
                             const Conv2dSpec& spec, bool with_bias) {
+  DROPBACK_PROFILE_SCOPE("conv2d_backward");
   const std::int64_t n = x.size(0);
   const std::int64_t cout = w.size(0);
   const std::int64_t oh = gy.size(2), ow = gy.size(3);

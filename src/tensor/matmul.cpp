@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -72,6 +73,7 @@ void matmul_blocked(const float* pa, const float* pb, float* pc,
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  DROPBACK_PROFILE_SCOPE("matmul");
   DROPBACK_CHECK(a.ndim() == 2 && b.ndim() == 2,
                  << "matmul needs 2-D operands, got " << shape_str(a.shape())
                  << " x " << shape_str(b.shape()));
@@ -89,6 +91,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  DROPBACK_PROFILE_SCOPE("matmul_tn");
   DROPBACK_CHECK(a.ndim() == 2 && b.ndim() == 2, << "matmul_tn needs 2-D");
   const std::int64_t k = a.size(0), m = a.size(1), n = b.size(1);
   DROPBACK_CHECK(b.size(0) == k, << "matmul_tn: inner dims " << k << " vs "
@@ -117,6 +120,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  DROPBACK_PROFILE_SCOPE("matmul_nt");
   DROPBACK_CHECK(a.ndim() == 2 && b.ndim() == 2, << "matmul_nt needs 2-D");
   const std::int64_t m = a.size(0), k = a.size(1), n = b.size(0);
   DROPBACK_CHECK(b.size(1) == k, << "matmul_nt: inner dims " << k << " vs "

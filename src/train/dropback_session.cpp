@@ -41,6 +41,7 @@ TrainResult DropBackSession::fit(const data::Dataset& train_set,
   train_options.checkpoint_every = options_.checkpoint_every;
   train_options.resume = options_.resume;
   train_options.anomaly_policy = options_.anomaly_policy;
+  train_options.metrics_out = options_.metrics_out;
   Trainer trainer(model_, *optimizer_, train_set, val_set, train_options);
   if (options_.freeze_epoch >= 0 && !optimizer_->frozen()) {
     const std::int64_t freeze_epoch = options_.freeze_epoch;

@@ -53,6 +53,9 @@ class DropBackSession {
     bool resume = false;
     /// Non-finite loss/gradient handling during fit().
     AnomalyPolicy anomaly_policy = AnomalyPolicy::kOff;
+    /// JSONL telemetry stream for fit() (see TrainOptions::metrics_out and
+    /// docs/OBSERVABILITY.md); empty disables.
+    std::string metrics_out;
   };
 
   /// The session borrows `model`; it must outlive the session.

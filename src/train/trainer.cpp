@@ -1,9 +1,15 @@
 #include "train/trainer.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <memory>
 
 #include "autograd/ops.hpp"
+#include "core/dropback_optimizer.hpp"
 #include "nn/loss.hpp"
+#include "obs/event_stream.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "train/training_checkpoint.hpp"
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
@@ -11,6 +17,29 @@
 #include "util/thread_pool.hpp"
 
 namespace dropback::train {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double to_ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+const char* policy_name(AnomalyPolicy policy) {
+  switch (policy) {
+    case AnomalyPolicy::kOff: return "off";
+    case AnomalyPolicy::kThrow: return "throw";
+    case AnomalyPolicy::kSkipStep: return "skip";
+    case AnomalyPolicy::kRollback: return "rollback";
+  }
+  return "?";
+}
+
+}  // namespace
 
 AnomalyPolicy parse_anomaly_policy(const std::string& text) {
   if (text == "off") return AnomalyPolicy::kOff;
@@ -106,6 +135,36 @@ TrainResult Trainer::run() {
                           options_.loader_seed);
   TrainResult result;
   EarlyStopper stopper(options_.patience);
+  // Telemetry (ISSUE 3): one EventStream per run plus pre-registered global
+  // metrics. Everything below is read-only with respect to training state —
+  // the trajectory stays bitwise identical with or without metrics_out.
+  std::unique_ptr<obs::EventStream> events;
+  obs::Counter* m_steps = nullptr;
+  obs::Counter* m_anomalies = nullptr;
+  obs::Counter* m_checkpoints = nullptr;
+  obs::Counter* m_epochs = nullptr;
+  obs::Gauge* m_loss = nullptr;
+  obs::Gauge* m_acc = nullptr;
+  obs::Gauge* m_occupancy = nullptr;
+  obs::Histogram* m_step_ms = nullptr;
+  if (!options_.metrics_out.empty()) {
+    events = std::make_unique<obs::EventStream>(options_.metrics_out);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    m_steps = &reg.counter("train/steps");
+    m_anomalies = &reg.counter("train/anomalies");
+    m_checkpoints = &reg.counter("train/checkpoints");
+    m_epochs = &reg.counter("train/epochs");
+    m_loss = &reg.gauge("train/loss");
+    m_acc = &reg.gauge("train/acc");
+    m_occupancy = &reg.gauge("dropback/occupancy");
+    m_step_ms = &reg.histogram(
+        "train/step_ms", {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                          500.0, 1000.0});
+  }
+  const auto* dropback =
+      dynamic_cast<const core::DropBackOptimizer*>(&optimizer_);
+  std::int64_t checkpoints_written = 0;
+  double total_step_ms = 0.0;
   std::int64_t start_epoch = 0;
   bool resumed_mid_epoch = false;
   double loss_sum = 0.0;
@@ -130,6 +189,7 @@ TrainResult Trainer::run() {
   }
   for (std::int64_t epoch = start_epoch; epoch < options_.epochs; ++epoch) {
     if (stopper.should_stop()) break;  // resumed from an already-stale run
+    const std::uint64_t epoch_begin = events ? now_ns() : 0;
     if (options_.schedule) {
       optimizer_.set_lr(options_.schedule->lr_at(epoch));
     }
@@ -146,22 +206,48 @@ TrainResult Trainer::run() {
     }
     data::Batch batch;
     while (loader.next(batch)) {
+      DROPBACK_PROFILE_SCOPE("step");
+      const bool timing = events != nullptr;
+      const std::uint64_t step_begin = timing ? now_ns() : 0;
+      std::uint64_t forward_ns = 0;
+      std::uint64_t backward_ns = 0;
+      std::uint64_t optimizer_ns = 0;
       autograd::Variable input(batch.images);
-      autograd::Variable logits = model_.forward(input);
-      autograd::Variable loss = nn::cross_entropy(logits, batch.labels);
-      if (loss_transform) loss = loss_transform(loss);
+      autograd::Variable logits;
+      autograd::Variable loss;
+      {
+        DROPBACK_PROFILE_SCOPE("forward");
+        const std::uint64_t t0 = timing ? now_ns() : 0;
+        logits = model_.forward(input);
+        loss = nn::cross_entropy(logits, batch.labels);
+        if (loss_transform) loss = loss_transform(loss);
+        if (timing) forward_ns = now_ns() - t0;
+      }
       optimizer_.zero_grad();
-      autograd::backward(loss);
-      if (after_backward) after_backward();
+      {
+        DROPBACK_PROFILE_SCOPE("backward");
+        const std::uint64_t t0 = timing ? now_ns() : 0;
+        autograd::backward(loss);
+        if (after_backward) after_backward();
+        if (timing) backward_ns = now_ns() - t0;
+      }
       if (options_.anomaly_policy != AnomalyPolicy::kOff) {
         const std::string anomaly = detect_anomaly(loss.value()[0]);
         if (!anomaly.empty()) {
           ++result.anomalies;
+          if (m_anomalies) m_anomalies->add();
+          if (events) {
+            obs::AnomalyEvent ev;
+            ev.step = global_step_;
+            ev.what = anomaly;
+            ev.policy = policy_name(options_.anomaly_policy);
+            events->emit(ev.to_json());
+          }
           const std::string what = "numeric anomaly at step " +
                                    std::to_string(global_step_) + ": " +
                                    anomaly;
           if (options_.anomaly_policy == AnomalyPolicy::kThrow) {
-            throw AnomalyError(what);
+            throw AnomalyError(what);  // ~EventStream flushes the record
           }
           if (options_.anomaly_policy == AnomalyPolicy::kSkipStep) {
             ++result.skipped_steps;
@@ -186,19 +272,81 @@ TrainResult Trainer::run() {
           rolled.skipped_steps = snap.skipped_steps;
           rolled.rolled_back = true;
           if (options_.verbose) util::log_info() << what << " (rolled back)";
-          return rolled;
+          return rolled;  // ~EventStream flushes the anomaly record
         }
       }
-      optimizer_.step();
+      {
+        DROPBACK_PROFILE_SCOPE("optimizer_step");
+        const std::uint64_t t0 = timing ? now_ns() : 0;
+        optimizer_.step();
+        if (timing) optimizer_ns = now_ns() - t0;
+      }
       ++global_step_;
       if (after_step) after_step(global_step_);
-      loss_sum += loss.value()[0];
-      acc_sum += nn::accuracy(logits.value(), batch.labels);
+      double batch_loss = 0.0;
+      double batch_acc = 0.0;
+      {
+        DROPBACK_PROFILE_SCOPE("step_stats");
+        batch_loss = loss.value()[0];
+        batch_acc = nn::accuracy(logits.value(), batch.labels);
+      }
+      loss_sum += batch_loss;
+      acc_sum += batch_acc;
       ++batches;
       if (options_.checkpoint_every > 0 &&
           global_step_ % options_.checkpoint_every == 0) {
+        const std::uint64_t t0 = timing ? now_ns() : 0;
         save_snapshot(loader, epoch, /*in_epoch=*/true, loss_sum, acc_sum,
                       batches, result, stopper);
+        ++checkpoints_written;
+        if (m_checkpoints) m_checkpoints->add();
+        if (events) {
+          obs::CheckpointEvent ev;
+          ev.step = global_step_;
+          ev.path = options_.checkpoint_path;
+          ev.ms = to_ms(now_ns() - t0);
+          events->emit(ev.to_json());
+        }
+      }
+      if (events) {
+        // The telemetry cost itself (score quantiles, JSON rendering) stays
+        // attributed inside the "step" scope under its own label.
+        DROPBACK_PROFILE_SCOPE("telemetry");
+        obs::StepEvent ev;
+        ev.step = global_step_;
+        ev.epoch = epoch;
+        ev.loss = batch_loss;
+        ev.acc = batch_acc;
+        if (dropback) {
+          ev.has_dropback = true;
+          ev.churn_in = dropback->last_churn();
+          ev.churn_out = dropback->last_evictions();
+          ev.tracked = dropback->live_weights();
+          ev.budget = dropback->config().budget;
+          ev.occupancy = ev.budget > 0 ? static_cast<double>(ev.tracked) /
+                                             static_cast<double>(ev.budget)
+                                       : 0.0;
+          const std::vector<double> qs =
+              dropback->score_quantiles({0.5, 0.9, 0.99});
+          if (qs.size() == 3) {
+            ev.has_quantiles = true;
+            ev.grad_q50 = qs[0];
+            ev.grad_q90 = qs[1];
+            ev.grad_q99 = qs[2];
+          }
+          m_occupancy->set(ev.occupancy);
+        }
+        const double step_ms = to_ms(now_ns() - step_begin);
+        ev.step_ms = step_ms;
+        ev.forward_ms = to_ms(forward_ns);
+        ev.backward_ms = to_ms(backward_ns);
+        ev.optimizer_ms = to_ms(optimizer_ns);
+        total_step_ms += step_ms;
+        events->emit(ev.to_json());
+        m_steps->add();
+        m_loss->set(batch_loss);
+        m_acc->set(batch_acc);
+        m_step_ms->observe(step_ms);
       }
     }
     EpochStats stats;
@@ -216,18 +364,55 @@ TrainResult Trainer::run() {
     }
     if (on_epoch_end) on_epoch_end(stats);
     if (!options_.checkpoint_path.empty()) {
+      const std::uint64_t t0 = events ? now_ns() : 0;
       save_snapshot(loader, epoch + 1, /*in_epoch=*/false, 0.0, 0.0, 0,
                     result, stopper);
+      ++checkpoints_written;
+      if (m_checkpoints) m_checkpoints->add();
+      if (events) {
+        obs::CheckpointEvent ev;
+        ev.step = global_step_;
+        ev.path = options_.checkpoint_path;
+        ev.ms = to_ms(now_ns() - t0);
+        events->emit(ev.to_json());
+      }
+    }
+    if (events) {
+      obs::EpochEvent ev;
+      ev.epoch = epoch;
+      ev.train_loss = stats.train_loss;
+      ev.train_acc = stats.train_acc;
+      ev.val_acc = stats.val_acc;
+      ev.lr = stats.lr;
+      ev.frozen = dropback != nullptr && dropback->frozen();
+      ev.epoch_ms = to_ms(now_ns() - epoch_begin);
+      events->emit(ev.to_json());
+      m_epochs->add();
+      // Epoch boundary: persist the stream so a crash mid-run loses at most
+      // the current epoch's records (same cadence as the checkpoints).
+      events->flush();
     }
     if (stopper.should_stop()) break;
   }
   result.best_val_acc = stopper.best_val_acc();
   result.best_epoch = stopper.best_epoch();
+  if (events) {
+    obs::SummaryEvent ev;
+    ev.steps = global_step_;
+    ev.epochs = static_cast<std::int64_t>(result.history.size());
+    ev.anomalies = result.anomalies;
+    ev.checkpoints = checkpoints_written;
+    ev.best_val_acc = result.best_val_acc;
+    ev.total_step_ms = total_step_ms;
+    events->emit(ev.to_json());
+    events->flush();
+  }
   return result;
 }
 
 double Trainer::evaluate(nn::Module& model, const data::Dataset& dataset,
                          std::int64_t batch_size) {
+  DROPBACK_PROFILE_SCOPE("evaluate");
   autograd::NoGradGuard no_grad;
   const bool was_training = model.training();
   model.set_training(false);

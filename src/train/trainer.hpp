@@ -76,6 +76,14 @@ struct TrainOptions {
   bool resume = false;
   /// Non-finite loss/gradient handling; kOff skips the checks entirely.
   AnomalyPolicy anomaly_policy = AnomalyPolicy::kOff;
+  /// JSONL telemetry stream destination (one flat record per training step /
+  /// epoch / checkpoint / anomaly plus a final summary — schemas in
+  /// obs/event_stream.hpp and docs/OBSERVABILITY.md), written crash-safely
+  /// at every epoch boundary and at run exit. Also feeds the global
+  /// obs::MetricsRegistry (train/* counters and gauges). Empty disables all
+  /// telemetry work; the training trajectory is bitwise identical either
+  /// way (tests/obs_equivalence_test.cpp).
+  std::string metrics_out;
 };
 
 struct EpochStats {

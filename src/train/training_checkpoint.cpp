@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "nn/checkpoint.hpp"
+#include "obs/profiler.hpp"
 #include "util/atomic_file.hpp"
 #include "util/container.hpp"
 #include "util/io_error.hpp"
@@ -127,6 +128,7 @@ void save_training_snapshot(const std::string& path,
                             const std::vector<nn::Parameter*>& params,
                             const optim::Optimizer& optimizer,
                             const data::DataLoader& loader) {
+  DROPBACK_PROFILE_SCOPE("checkpoint_save");
   util::atomic_write_file(path, [&](std::ostream& out) {
     util::ContainerWriter writer(kSnapshotKind);
     write_trainer_section(writer.add_section("trainer"), snap);
@@ -141,6 +143,7 @@ void save_training_snapshot(const std::string& path,
 TrainerSnapshot load_training_snapshot(
     const std::string& path, const std::vector<nn::Parameter*>& params,
     optim::Optimizer& optimizer, data::DataLoader& loader) {
+  DROPBACK_PROFILE_SCOPE("checkpoint_load");
   const std::string bytes = util::read_file(path);
   std::istringstream in(bytes, std::ios::binary);
   const util::ContainerReader reader =

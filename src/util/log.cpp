@@ -1,12 +1,23 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
+#include <mutex>
+
+#include "obs/json.hpp"
 
 namespace dropback::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<LogFormat> g_format{LogFormat::kText};
+std::atomic<bool> g_timestamps{false};
+
+// One mutex for every sink: a line is rendered outside the lock and written
+// in a single << under it, so concurrent loggers never interleave mid-line.
+std::mutex g_emit_mu;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -21,6 +32,32 @@ const char* level_tag(LogLevel level) {
     default:
       return "?????";
   }
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    default:
+      return "?";
+  }
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec);
+  return buf;
 }
 }  // namespace
 
@@ -37,13 +74,42 @@ LogLevel parse_log_level(const std::string& name) {
   return LogLevel::kInfo;
 }
 
+void set_log_format(LogFormat format) { g_format.store(format); }
+
+LogFormat log_format() { return g_format.load(); }
+
+void set_log_timestamps(bool enabled) { g_timestamps.store(enabled); }
+
+bool log_timestamps() { return g_timestamps.load(); }
+
+std::string format_log_line(LogLevel level, const std::string& message) {
+  if (g_format.load() == LogFormat::kJson) {
+    return obs::JsonObject()
+        .add("ts", utc_timestamp())
+        .add("level", level_name(level))
+        .add("msg", message)
+        .str();
+  }
+  std::string line = "[dropback ";
+  if (g_timestamps.load()) {
+    line += utc_timestamp();
+    line += ' ';
+  }
+  line += level_tag(level);
+  line += "] ";
+  line += message;
+  return line;
+}
+
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const std::string line = format_log_line(level, message);
   std::ostream& sink =
       (level == LogLevel::kError || level == LogLevel::kWarn) ? std::cerr
                                                               : std::clog;
-  sink << "[dropback " << level_tag(level) << "] " << message << '\n';
+  const std::lock_guard<std::mutex> lock(g_emit_mu);
+  sink << line + '\n';
 }
 }  // namespace detail
 

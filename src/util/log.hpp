@@ -3,6 +3,15 @@
 // Intentionally tiny: a single global level, printf-free iostream sinks, and
 // zero dependencies, so library code can emit diagnostics without imposing a
 // logging framework on downstream users.
+//
+// Emission is serialized by a process-wide mutex, so concurrent log lines
+// from pool workers never interleave mid-line (util_log_test). Two optional
+// output tweaks, both off by default to keep existing output stable:
+//   * set_log_timestamps(true) prefixes text lines with a UTC timestamp;
+//   * set_log_format(LogFormat::kJson) emits each line as one flat JSON
+//     record {"ts":...,"level":...,"msg":...} — the examples' --log-json
+//     flag — so runtime diagnostics can join the JSONL telemetry stream in
+//     the same grep/parse pipeline (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <sstream>
@@ -21,6 +30,21 @@ LogLevel log_level();
 /// Parse a level name ("debug", "info", "warn", "error", "off").
 /// Unknown names map to kInfo.
 LogLevel parse_log_level(const std::string& name);
+
+enum class LogFormat { kText, kJson };
+
+/// Output format; kText (the historical bracketed prefix) by default.
+void set_log_format(LogFormat format);
+LogFormat log_format();
+
+/// Prefix text-format lines with a UTC timestamp ("2026-08-06T12:00:00Z").
+/// JSON-format lines always carry a "ts" field. Off by default.
+void set_log_timestamps(bool enabled);
+bool log_timestamps();
+
+/// Renders one log line in the current format without writing it (the unit
+/// under test in util_log_test; emit() routes through this).
+std::string format_log_line(LogLevel level, const std::string& message);
 
 namespace detail {
 void emit(LogLevel level, const std::string& message);

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -9,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 
@@ -18,6 +20,13 @@ namespace {
 // Set while a pool participant (worker or caller) executes shards, so
 // nested run() calls degrade to serial instead of deadlocking on the pool.
 thread_local bool t_in_dispatch = false;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 struct ThreadPool::Impl {
@@ -37,7 +46,16 @@ struct ThreadPool::Impl {
     std::uint64_t seen = 0;
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
+      // Clock reads happen only while profiling is enabled, so the default
+      // path is exactly the uninstrumented loop. The samples land in this
+      // worker's own scope tree (obs/profiler.hpp), never in shared state,
+      // so dispatch order and shard math are untouched.
+      const bool prof_idle = obs::profiling_enabled();
+      const std::uint64_t wait_begin = prof_idle ? now_ns() : 0;
       cv_start.wait(lock, [&] { return stop || generation != seen; });
+      if (prof_idle) {
+        obs::record_timing("pool_worker_idle", now_ns() - wait_begin);
+      }
       if (stop) return;
       seen = generation;
       const int nshards = shards;
@@ -45,6 +63,8 @@ struct ThreadPool::Impl {
       const std::function<void(int)>* f = fn;
       lock.unlock();
       t_in_dispatch = true;
+      const bool prof_busy = obs::profiling_enabled();
+      const std::uint64_t busy_begin = prof_busy ? now_ns() : 0;
       std::exception_ptr err;
       for (int s = participant; s < nshards; s += total) {
         try {
@@ -53,6 +73,9 @@ struct ThreadPool::Impl {
           err = std::current_exception();
           break;
         }
+      }
+      if (prof_busy) {
+        obs::record_timing("pool_worker_busy", now_ns() - busy_begin);
       }
       t_in_dispatch = false;
       lock.lock();

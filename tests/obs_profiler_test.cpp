@@ -1,0 +1,198 @@
+// Scoped profiler tests (ISSUE 3): runtime on/off gating, nested scope
+// trees, cross-thread merge semantics, child coverage, and the unified
+// kernel-timing JSONL dump.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/profiler.hpp"
+
+namespace {
+
+using namespace dropback;
+
+void spin_for_us(int us) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::reset_profile();
+    obs::set_profiling_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_profiling_enabled(false);
+    obs::reset_profile();
+  }
+};
+
+TEST_F(ProfilerTest, DisabledRecordsNothing) {
+  obs::set_profiling_enabled(false);
+  {
+    DROPBACK_PROFILE_SCOPE("ghost");
+    spin_for_us(10);
+  }
+  obs::record_timing("ghost_leaf", 1234);
+  const obs::ProfileReport report = obs::collect_profile();
+  EXPECT_EQ(report.find("ghost"), nullptr);
+  EXPECT_EQ(report.find("ghost_leaf"), nullptr);
+}
+
+TEST_F(ProfilerTest, NestedScopesBuildPaths) {
+  for (int i = 0; i < 3; ++i) {
+    DROPBACK_PROFILE_SCOPE("outer");
+    spin_for_us(50);
+    {
+      DROPBACK_PROFILE_SCOPE("inner");
+      spin_for_us(20);
+    }
+    {
+      DROPBACK_PROFILE_SCOPE("inner");  // same label merges, calls add up
+      spin_for_us(20);
+    }
+  }
+  const obs::ProfileReport report = obs::collect_profile();
+  const obs::ProfileEntry* outer = report.find("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->calls, 3U);
+  EXPECT_EQ(outer->depth, 0);
+  const obs::ProfileEntry* inner = report.find("outer/inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->calls, 6U);
+  EXPECT_EQ(inner->depth, 1);
+  EXPECT_EQ(inner->name, "inner");
+  // A child's wall time is bounded by its parent's.
+  EXPECT_LE(inner->total_ns, outer->total_ns);
+  EXPECT_GT(inner->total_ns, 0U);
+}
+
+TEST_F(ProfilerTest, MergeAcrossThreadsCountsThreads) {
+  auto work = [] {
+    DROPBACK_PROFILE_SCOPE("worker");
+    spin_for_us(30);
+  };
+  std::thread t1(work);
+  std::thread t2(work);
+  t1.join();
+  t2.join();
+  work();  // main thread too
+  const obs::ProfileReport report = obs::collect_profile();
+  const obs::ProfileEntry* entry = report.find("worker");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->calls, 3U);
+  EXPECT_EQ(entry->threads, 3);
+}
+
+TEST_F(ProfilerTest, RecordTimingAddsLeafSample) {
+  obs::record_timing("external", 5000);
+  obs::record_timing("external", 7000);
+  const obs::ProfileReport report = obs::collect_profile();
+  const obs::ProfileEntry* entry = report.find("external");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->calls, 2U);
+  EXPECT_EQ(entry->total_ns, 12000U);
+}
+
+TEST_F(ProfilerTest, ResetDropsData) {
+  {
+    DROPBACK_PROFILE_SCOPE("gone");
+    spin_for_us(5);
+  }
+  ASSERT_NE(obs::collect_profile().find("gone"), nullptr);
+  obs::reset_profile();
+  EXPECT_EQ(obs::collect_profile().find("gone"), nullptr);
+  // Recording keeps working after a reset.
+  {
+    DROPBACK_PROFILE_SCOPE("fresh");
+    spin_for_us(5);
+  }
+  EXPECT_NE(obs::collect_profile().find("fresh"), nullptr);
+}
+
+TEST_F(ProfilerTest, ChildCoverageAttributesStepTime) {
+  {
+    DROPBACK_PROFILE_SCOPE("step");
+    {
+      DROPBACK_PROFILE_SCOPE("forward");
+      spin_for_us(400);
+    }
+    {
+      DROPBACK_PROFILE_SCOPE("backward");
+      spin_for_us(400);
+    }
+    // A tiny unattributed remainder (loop overhead) is expected.
+  }
+  const obs::ProfileReport report = obs::collect_profile();
+  const double coverage = report.child_coverage("step");
+  EXPECT_GT(coverage, 0.9);
+  EXPECT_LE(coverage, 1.0 + 1e-9);
+  EXPECT_EQ(report.child_coverage("no_such_scope"), 0.0);
+}
+
+TEST_F(ProfilerTest, JsonlDumpUsesUnifiedKernelSchema) {
+  {
+    DROPBACK_PROFILE_SCOPE("step");
+    DROPBACK_PROFILE_SCOPE("forward");
+    spin_for_us(10);
+  }
+  const obs::ProfileReport report = obs::collect_profile();
+  const std::string jsonl = report.to_jsonl();
+  // One record per entry; each parses as the shared kernel-timing schema
+  // {"name","calls","total_us","threads"} with the full path as name.
+  std::size_t pos = 0;
+  int records = 0;
+  bool saw_nested = false;
+  while (pos < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', pos);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string line = jsonl.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    const auto rec = obs::parse_flat_object(line);
+    ASSERT_EQ(rec.at("name").type, obs::JsonValue::Type::kString);
+    ASSERT_EQ(rec.at("calls").type, obs::JsonValue::Type::kNumber);
+    ASSERT_EQ(rec.at("total_us").type, obs::JsonValue::Type::kNumber);
+    ASSERT_EQ(rec.at("threads").type, obs::JsonValue::Type::kNumber);
+    if (rec.at("name").string == "step/forward") saw_nested = true;
+    ++records;
+  }
+  EXPECT_GE(records, 2);
+  EXPECT_TRUE(saw_nested);
+}
+
+TEST_F(ProfilerTest, PrettyTableListsScopes) {
+  {
+    DROPBACK_PROFILE_SCOPE("alpha");
+    DROPBACK_PROFILE_SCOPE("beta");
+    spin_for_us(10);
+  }
+  const std::string table = obs::collect_profile().pretty();
+  EXPECT_NE(table.find("alpha"), std::string::npos) << table;
+  EXPECT_NE(table.find("beta"), std::string::npos) << table;
+  EXPECT_NE(table.find("scope"), std::string::npos) << table;
+}
+
+TEST_F(ProfilerTest, ToggleMidRunKeepsEarlierData) {
+  {
+    DROPBACK_PROFILE_SCOPE("kept");
+    spin_for_us(5);
+  }
+  obs::set_profiling_enabled(false);
+  {
+    DROPBACK_PROFILE_SCOPE("dropped");
+    spin_for_us(5);
+  }
+  obs::set_profiling_enabled(true);
+  const obs::ProfileReport report = obs::collect_profile();
+  EXPECT_NE(report.find("kept"), nullptr);
+  EXPECT_EQ(report.find("dropped"), nullptr);
+}
+
+}  // namespace

@@ -8,7 +8,8 @@
 // Threading: `--threads N` (or DROPBACK_THREADS) sizes the kernel thread
 // pool for the google-benchmark section, `--threads 1` reproduces the
 // fully serial numbers. `--speedup` first runs a serial-vs-threaded
-// comparison over matmul, conv2d, and top-k select, emitting two JSONL
+// comparison over matmul, conv2d, top-k select, the frozen-phase sparse
+// backward, and batch-parallel data loading, emitting two JSONL
 // records per config — the serial baseline and the threaded run — in the
 // kernel-timing schema shared with the profiler dump
 // ({"name","calls","total_us","threads"}; obs::kernel_timing_json), plus a
@@ -30,6 +31,8 @@
 #include "core/dropback_optimizer.hpp"
 #include "core/sparse_backward.hpp"
 #include "core/sparse_weight_store.hpp"
+#include "data/dataloader.hpp"
+#include "data/synthetic_mnist.hpp"
 #include "nn/linear.hpp"
 #include "nn/models/lenet.hpp"
 #include "nn/sequential.hpp"
@@ -372,6 +375,62 @@ void run_speedup_report(int threads) {
     const TimedRun serial = timed_run(1, kSpeedupReps, body);
     const TimedRun parallel = timed_run(threads, kSpeedupReps, body);
     emit_speedup_lines("select/n=1001000-k=50000", threads, serial, parallel);
+  }
+
+  {
+    // Frozen-phase sparse backward at 10x compression: a 512x1024 layer
+    // (524288 weights) tracking k=52428 scattered coordinates, batch 64.
+    // One rep = sparse dW at the tracked coordinates + the sparse update —
+    // the whole per-layer frozen-phase weight path.
+    constexpr std::int64_t kOut = 512;
+    constexpr std::int64_t kIn = 1024;
+    constexpr std::int64_t kBatch = 64;
+    rng::Xorshift128 rng(3);
+    tensor::Tensor x({kBatch, kIn}), gy({kBatch, kOut}), w({kOut, kIn});
+    for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(-1, 1);
+    for (std::int64_t i = 0; i < gy.numel(); ++i) gy[i] = rng.uniform(-1, 1);
+    for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.uniform(-1, 1);
+    std::vector<std::uint8_t> mask(kOut * kIn, 0);
+    const std::size_t k = mask.size() / 10;  // 10x frozen compression
+    for (std::size_t i = 0; i < k; ++i) {
+      mask[(i * 2654435761U) % mask.size()] = 1;  // scattered
+    }
+    const auto coords =
+        core::tracked_coords(mask.data(), kOut, kIn);
+    auto body = [&] {
+      const auto grads = core::sparse_linear_grad_w(x, gy, coords);
+      core::apply_sparse_update(w, coords, grads, 1e-6F);
+      benchmark::DoNotOptimize(w.data());
+    };
+    const TimedRun serial = timed_run(1, kSpeedupReps, body);
+    const TimedRun parallel = timed_run(threads, kSpeedupReps, body);
+    emit_speedup_lines("sparse_backward/512x1024-10x-b64", threads, serial,
+                       parallel);
+  }
+
+  {
+    // Batch-parallel data loading: one full epoch of synthetic MNIST
+    // (2048 samples, batch 128) with the deterministic per-sample noise
+    // transform. Prefetch stays off so the measurement isolates the
+    // shard-parallel assemble path (prefetch overlaps, it doesn't scale).
+    data::SyntheticMnistOptions mnist_opt;
+    mnist_opt.num_samples = 2048;
+    const auto dataset = data::make_synthetic_mnist(mnist_opt);
+    data::DataLoaderOptions loader_opt;
+    loader_opt.batch_size = 128;
+    loader_opt.transform = data::uniform_noise_transform(0.1F);
+    data::DataLoader loader(*dataset, loader_opt);
+    auto body = [&] {
+      loader.start_epoch();
+      data::Batch batch;
+      while (loader.next(batch)) {
+        benchmark::DoNotOptimize(batch.images.data());
+      }
+    };
+    const TimedRun serial = timed_run(1, kSpeedupReps, body);
+    const TimedRun parallel = timed_run(threads, kSpeedupReps, body);
+    emit_speedup_lines("dataload/mnist-n2048-b128", threads, serial,
+                       parallel);
   }
 
   util::set_num_threads(1);

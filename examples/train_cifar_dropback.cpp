@@ -7,94 +7,87 @@
 //   ./train_cifar_dropback --model=wrn --wrn-depth=16 --wrn-width=4
 //   ./train_cifar_dropback --model=densenet --densenet-growth=8
 //
-// Telemetry: --metrics-out=run.jsonl / --profile[=prof.jsonl] / --log-json,
-// identical to train_mnist_dropback (see examples/telemetry_flags.hpp and
-// docs/OBSERVABILITY.md); none of it changes training results.
+// All flags — training loop, data pipeline (--prefetch/--augment-noise),
+// parallelism (--threads), crash safety (--checkpoint/--resume/--anomaly),
+// telemetry (--metrics-out/--profile/--log-json) — are shared with
+// train_mnist_dropback via examples/cli_config.hpp; the two binaries differ
+// only in model construction and dataset synthesis.
 #include <cstdio>
+#include <memory>
 #include <string>
 
-#include "core/dropback_optimizer.hpp"
-#include "core/sparse_weight_store.hpp"
+#include "cli_config.hpp"
 #include "data/synthetic_cifar.hpp"
-#include "energy/energy_model.hpp"
 #include "nn/models/densenet.hpp"
 #include "nn/models/vgg_s.hpp"
 #include "nn/models/wrn.hpp"
-#include "optim/lr_schedule.hpp"
-#include "telemetry_flags.hpp"
-#include "train/trainer.hpp"
-#include "util/flags.hpp"
-#include "util/thread_pool.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace dropback;
   util::Flags flags(argc, argv);
-  util::configure_threads(flags);  // --threads N / DROPBACK_THREADS
-  const auto telemetry = examples::TelemetryFlags::parse(flags);
-
-  const std::string model_name = flags.get_string("model", "vgg");
-  const std::int64_t train_n = flags.get_int("train-n", 400);
-  const std::int64_t val_n = flags.get_int("val-n", 200);
-  const std::int64_t epochs = flags.get_int("epochs", 8);
-  const std::int64_t batch = flags.get_int("batch", 16);
-  const double budget_ratio = flags.get_double("budget-ratio", 5.0);
-  const float lr = static_cast<float>(flags.get_double("lr", 0.05));
+  examples::CliConfig::Defaults defaults;
+  defaults.model = "vgg";
+  defaults.train_n = 400;
+  defaults.val_n = 200;
+  defaults.epochs = 8;
+  defaults.batch = 16;
+  defaults.budget_ratio = 5.0;
+  defaults.lr = 0.05;
+  auto cli = examples::CliConfig::parse(flags, defaults);
 
   data::SyntheticCifarOptions data_opt;
-  data_opt.num_samples = train_n;
+  data_opt.num_samples = cli.train_n;
   auto train_set = data::make_synthetic_cifar(data_opt);
-  data_opt.num_samples = val_n;
+  data_opt.num_samples = cli.val_n;
   data_opt.seed = 9;
   auto val_set = data::make_synthetic_cifar(data_opt);
 
   std::unique_ptr<nn::Module> model;
-  if (model_name == "vgg") {
+  if (cli.model == "vgg") {
     nn::models::VggSOptions opt;
     opt.width_mult = static_cast<float>(flags.get_double("vgg-width", 0.08));
     model = nn::models::make_vgg_s(opt);
-  } else if (model_name == "densenet") {
+  } else if (cli.model == "densenet") {
     nn::models::DenseNetOptions opt;
     opt.growth_rate = flags.get_int("densenet-growth", 6);
     opt.layers_per_block = flags.get_int("densenet-layers", 3);
     model = nn::models::make_densenet(opt);
-  } else if (model_name == "wrn") {
+  } else if (cli.model == "wrn") {
     nn::models::WideResNetOptions opt;
     opt.depth = flags.get_int("wrn-depth", 10);
     opt.width = flags.get_int("wrn-width", 2);
     model = nn::models::make_wrn(opt);
   } else {
     std::printf("unknown --model '%s' (vgg | densenet | wrn)\n",
-                model_name.c_str());
+                cli.model.c_str());
     return 2;
   }
 
   const std::int64_t total = model->num_params();
-  const std::int64_t budget = std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(total / budget_ratio));
+  const std::int64_t budget = cli.effective_budget(total);
   std::printf("%s: %lld parameters, budget %lld (%.1fx target)\n",
-              model_name.c_str(), static_cast<long long>(total),
-              static_cast<long long>(budget), budget_ratio);
+              cli.model.c_str(), static_cast<long long>(total),
+              static_cast<long long>(budget),
+              static_cast<double>(total) / static_cast<double>(budget));
 
   core::DropBackConfig config;
   config.budget = budget;
-  core::DropBackOptimizer optimizer(model->collect_parameters(), lr, config);
+  const std::int64_t steps_per_epoch =
+      (cli.train_n + cli.train.batch_size - 1) / cli.train.batch_size;
+  config.freeze_after_steps =
+      cli.freeze_epoch >= 0 ? cli.freeze_epoch * steps_per_epoch : -1;
+  core::DropBackOptimizer optimizer(model->collect_parameters(), cli.lr,
+                                    config);
   energy::TrafficCounter traffic;
   optimizer.set_traffic_counter(&traffic);
 
   // CIFAR schedule shape: decay 0.5x periodically (paper: every 25 epochs).
-  optim::StepDecay schedule(lr, 0.5F, std::max<std::int64_t>(1, epochs / 3));
-  train::TrainOptions options;
-  options.epochs = epochs;
-  options.batch_size = batch;
-  options.schedule = &schedule;
-  options.checkpoint_path = flags.get_string("checkpoint", "");
-  options.checkpoint_every = flags.get_int("checkpoint-every", 0);
-  options.resume = flags.get_bool("resume", false);
-  options.anomaly_policy =
-      train::parse_anomaly_policy(flags.get_string("anomaly", "off"));
-  options.metrics_out = telemetry.metrics_out;
-  train::Trainer trainer(*model, optimizer, *train_set, *val_set, options);
+  optim::StepDecay schedule(cli.lr, 0.5F,
+                            std::max<std::int64_t>(1, cli.train.epochs / 3));
+  cli.train.schedule = &schedule;
+
+  train::Trainer trainer(*model, optimizer, *train_set, *val_set, cli.train);
   trainer.on_epoch_end = [&](const train::EpochStats& stats) {
     std::printf("epoch %3lld  loss %.4f  train acc %.4f  val acc %.4f\n",
                 static_cast<long long>(stats.epoch), stats.train_loss,
@@ -109,6 +102,14 @@ int main(int argc, char** argv) {
               optimizer.compression_ratio(),
               static_cast<long long>(optimizer.live_weights()));
   std::printf("\nmodeled training energy:\n%s\n", traffic.report().c_str());
-  telemetry.report();
+
+  if (!cli.save_path.empty()) {
+    auto store = core::SparseWeightStore::from_optimizer(optimizer);
+    store.save_file(cli.save_path);
+    std::printf("\nsaved compressed model to %s (%lld bytes vs %lld dense)\n",
+                cli.save_path.c_str(), static_cast<long long>(store.bytes()),
+                static_cast<long long>(store.dense_bytes()));
+  }
+  cli.report_telemetry();
   return 0;
 }

@@ -7,57 +7,44 @@
 //       --freeze-epoch=7 --lr=0.1 --save=model.dbsw    (one command line)
 //   ./train_mnist_dropback --model=mlp --budget=1500      # extreme budget
 //
-// Crash-safe training: --checkpoint=run.dbts snapshots the full training
-// state after every epoch (plus every --checkpoint-every=N steps), and
-// --resume continues a killed run bitwise-identically. --anomaly selects the
-// non-finite loss/gradient policy (off|throw|skip|rollback).
-//
-// Telemetry (none of it changes training results): --metrics-out=run.jsonl
-// streams one JSON record per step/epoch/checkpoint/anomaly, --profile
-// (or --profile=prof.jsonl) reports scoped kernel wall times, --log-json
-// switches diagnostics to JSON lines. See examples/telemetry_flags.hpp and
-// docs/OBSERVABILITY.md.
+// All flags — training loop, data pipeline (--prefetch/--augment-noise),
+// parallelism (--threads), crash safety (--checkpoint/--resume/--anomaly),
+// telemetry (--metrics-out/--profile/--log-json) — are shared with
+// train_cifar_dropback via examples/cli_config.hpp; the two binaries differ
+// only in model construction and dataset synthesis.
 #include <cstdio>
 #include <string>
 
-#include "core/dropback_optimizer.hpp"
-#include "core/sparse_weight_store.hpp"
+#include "cli_config.hpp"
 #include "data/synthetic_mnist.hpp"
-#include "energy/energy_model.hpp"
 #include "nn/models/lenet.hpp"
-#include "optim/lr_schedule.hpp"
-#include "telemetry_flags.hpp"
-#include "train/trainer.hpp"
-#include "util/flags.hpp"
-#include "util/thread_pool.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace dropback;
   util::Flags flags(argc, argv);
-  util::configure_threads(flags);  // --threads N / DROPBACK_THREADS
-  const auto telemetry = examples::TelemetryFlags::parse(flags);
-
-  const std::string model_name = flags.get_string("model", "mlp");
-  const std::int64_t train_n = flags.get_int("train-n", 1500);
-  const std::int64_t val_n = flags.get_int("val-n", 500);
-  const std::int64_t epochs = flags.get_int("epochs", 15);
-  const std::int64_t batch = flags.get_int("batch", 32);
-  const std::int64_t budget = flags.get_int("budget", 20000);
-  const std::int64_t freeze_epoch = flags.get_int("freeze-epoch", -1);
-  const float lr = static_cast<float>(flags.get_double("lr", 0.1));
+  examples::CliConfig::Defaults defaults;
+  defaults.model = "mlp";
+  defaults.train_n = 1500;
+  defaults.val_n = 500;
+  defaults.epochs = 15;
+  defaults.batch = 32;
+  defaults.budget = 20000;
+  defaults.lr = 0.1;
+  auto cli = examples::CliConfig::parse(flags, defaults);
 
   data::SyntheticMnistOptions data_opt;
-  data_opt.num_samples = train_n;
+  data_opt.num_samples = cli.train_n;
   auto train_set = data::make_synthetic_mnist(data_opt);
-  data_opt.num_samples = val_n;
+  data_opt.num_samples = cli.val_n;
   data_opt.seed = 2;
   auto val_set = data::make_synthetic_mnist(data_opt);
 
-  auto model = model_name == "lenet" ? nn::models::make_lenet_300_100(7)
-                                     : nn::models::make_mnist_100_100(7);
+  auto model = cli.model == "lenet" ? nn::models::make_lenet_300_100(7)
+                                    : nn::models::make_mnist_100_100(7);
+  const std::int64_t budget = cli.effective_budget(model->num_params());
   std::printf("model: %s (%lld weights), budget %lld (%.2fx target)\n",
-              model_name == "lenet" ? "LeNet-300-100" : "MNIST-100-100",
+              cli.model == "lenet" ? "LeNet-300-100" : "MNIST-100-100",
               static_cast<long long>(model->num_params()),
               static_cast<long long>(budget),
               static_cast<double>(model->num_params()) /
@@ -65,29 +52,21 @@ int main(int argc, char** argv) {
 
   core::DropBackConfig config;
   config.budget = budget;
-  const std::int64_t steps_per_epoch = (train_n + batch - 1) / batch;
+  const std::int64_t steps_per_epoch =
+      (cli.train_n + cli.train.batch_size - 1) / cli.train.batch_size;
   config.freeze_after_steps =
-      freeze_epoch >= 0 ? freeze_epoch * steps_per_epoch : -1;
-  core::DropBackOptimizer optimizer(model->collect_parameters(), lr, config);
+      cli.freeze_epoch >= 0 ? cli.freeze_epoch * steps_per_epoch : -1;
+  core::DropBackOptimizer optimizer(model->collect_parameters(), cli.lr,
+                                    config);
   energy::TrafficCounter traffic;
   optimizer.set_traffic_counter(&traffic);
 
   // The paper's MNIST schedule: lr halved four times over the run.
-  optim::StepDecay schedule(lr, 0.5F, std::max<std::int64_t>(1, epochs / 5),
-                            4);
+  optim::StepDecay schedule(
+      cli.lr, 0.5F, std::max<std::int64_t>(1, cli.train.epochs / 5), 4);
+  cli.train.schedule = &schedule;
 
-  train::TrainOptions options;
-  options.epochs = epochs;
-  options.batch_size = batch;
-  options.schedule = &schedule;
-  options.patience = flags.get_int("patience", -1);
-  options.checkpoint_path = flags.get_string("checkpoint", "");
-  options.checkpoint_every = flags.get_int("checkpoint-every", 0);
-  options.resume = flags.get_bool("resume", false);
-  options.anomaly_policy =
-      train::parse_anomaly_policy(flags.get_string("anomaly", "off"));
-  options.metrics_out = telemetry.metrics_out;
-  train::Trainer trainer(*model, optimizer, *train_set, *val_set, options);
+  train::Trainer trainer(*model, optimizer, *train_set, *val_set, cli.train);
   trainer.on_epoch_end = [&](const train::EpochStats& stats) {
     std::printf(
         "epoch %3lld  loss %.4f  train acc %.4f  val acc %.4f  lr %.4f%s\n",
@@ -105,14 +84,13 @@ int main(int argc, char** argv) {
               static_cast<long long>(optimizer.live_weights()));
   std::printf("\nmodeled training energy:\n%s\n", traffic.report().c_str());
 
-  const std::string save_path = flags.get_string("save", "");
-  if (!save_path.empty()) {
+  if (!cli.save_path.empty()) {
     auto store = core::SparseWeightStore::from_optimizer(optimizer);
-    store.save_file(save_path);
+    store.save_file(cli.save_path);
     std::printf("\nsaved compressed model to %s (%lld bytes vs %lld dense)\n",
-                save_path.c_str(), static_cast<long long>(store.bytes()),
+                cli.save_path.c_str(), static_cast<long long>(store.bytes()),
                 static_cast<long long>(store.dense_bytes()));
   }
-  telemetry.report();
+  cli.report_telemetry();
   return 0;
 }

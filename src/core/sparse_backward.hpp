@@ -12,6 +12,12 @@
 // backpropagating to earlier layers and already benefits from W's sparsity
 // pattern only in hardware; here we expose the dW saving, which dominates
 // for large layers at tight budgets.
+//
+// All three kernels shard by tracked-coordinate ranges on the global thread
+// pool; coordinates are unique, so every output element is owned by one
+// shard and results stay bitwise identical to serial for any thread count
+// (docs/PARALLELISM.md). Untracked coordinates are skipped outright — no
+// gradient is accumulated, stored, or zeroed for them.
 #pragma once
 
 #include <cstdint>

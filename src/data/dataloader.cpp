@@ -4,30 +4,93 @@
 #include <istream>
 #include <numeric>
 #include <ostream>
+#include <string>
+#include <utility>
 
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 #include "util/io_error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dropback::data {
 
-DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size,
-                       bool shuffle, std::uint64_t seed)
-    : dataset_(dataset),
-      batch_size_(batch_size),
-      shuffle_(shuffle),
-      rng_(seed) {
-  DROPBACK_CHECK(batch_size > 0, << "DataLoader: batch_size " << batch_size);
+std::uint64_t sample_stream_seed(std::uint64_t seed, std::int64_t epoch,
+                                 std::int64_t sample_index) {
+  // Mix each component through splitmix64 so that nearby (epoch, index)
+  // pairs land on unrelated streams; a plain xor of small integers would
+  // make sample i in epoch e collide with sample i^1 in epoch e^1.
+  std::uint64_t h = seed;
+  h ^= rng::splitmix64(static_cast<std::uint64_t>(epoch) +
+                       0x9E3779B97F4A7C15ULL);
+  h ^= rng::splitmix64(static_cast<std::uint64_t>(sample_index) ^
+                       0xD1B54A32D192ED03ULL);
+  return rng::splitmix64(h);
+}
+
+SampleTransform uniform_noise_transform(float amplitude) {
+  return [amplitude](float* sample, std::int64_t numel,
+                     rng::Xorshift128& rng) {
+    for (std::int64_t i = 0; i < numel; ++i) {
+      sample[i] += rng.uniform(-amplitude, amplitude);
+    }
+  };
+}
+
+DataLoader::DataLoader(const Dataset& dataset, DataLoaderOptions options)
+    : dataset_(dataset), options_(std::move(options)), rng_(options_.seed) {
+  DROPBACK_CHECK(options_.batch_size > 0,
+                 << "DataLoader: batch_size " << options_.batch_size);
+  DROPBACK_CHECK(options_.prefetch_batches >= 0,
+                 << "DataLoader: prefetch_batches "
+                 << options_.prefetch_batches);
   order_.resize(static_cast<std::size_t>(dataset.size()));
   std::iota(order_.begin(), order_.end(), 0);
+  if (options_.prefetch_batches > 0) {
+    worker_ = std::thread([this] { worker_loop(); });
+  }
   start_epoch();
 }
 
+DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size,
+                       bool shuffle, std::uint64_t seed)
+    : DataLoader(dataset, [&] {
+        DataLoaderOptions opts;
+        opts.batch_size = batch_size;
+        opts.shuffle = shuffle;
+        opts.seed = seed;
+        return opts;
+      }()) {}
+
+DataLoader::~DataLoader() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+}
+
 std::int64_t DataLoader::num_batches() const {
-  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+  return (dataset_.size() + options_.batch_size - 1) / options_.batch_size;
+}
+
+void DataLoader::drain_stage_locked(std::unique_lock<std::mutex>& lock) {
+  cv_.wait(lock, [&] {
+    return stage_ != Stage::kRequested && stage_ != Stage::kAssembling;
+  });
+  stage_ = Stage::kIdle;
+  stage_batch_ = Batch{};
+  stage_error_ = nullptr;
 }
 
 void DataLoader::start_epoch() {
-  if (shuffle_) {
+  if (worker_.joinable()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_stage_locked(lock);
+  }
+  if (options_.shuffle) {
     // Fisher-Yates with the library RNG for reproducibility.
     for (std::size_t i = order_.size(); i > 1; --i) {
       const std::size_t j = rng_.uniform_int(static_cast<std::uint32_t>(i));
@@ -35,21 +98,122 @@ void DataLoader::start_epoch() {
     }
   }
   cursor_ = 0;
+  ++epoch_;
+}
+
+Batch DataLoader::assemble(std::int64_t first, std::int64_t count,
+                           std::int64_t epoch, bool parallel) const {
+  DROPBACK_PROFILE_SCOPE("dataload_assemble");
+  const tensor::Shape sshape = dataset_.sample_shape();
+  tensor::Shape bshape;
+  bshape.push_back(count);
+  bshape.insert(bshape.end(), sshape.begin(), sshape.end());
+  Batch batch;
+  batch.images = tensor::Tensor(bshape);
+  batch.labels.resize(static_cast<std::size_t>(count));
+  const std::int64_t sample_numel = tensor::numel_of(sshape);
+  float* out = batch.images.data();
+  std::int64_t* labels = batch.labels.data();
+  const std::int64_t* order = order_.data() + first;
+  // Each sample is written by exactly one shard, and the transform RNG is
+  // seeded purely from (seed, epoch, dataset index), so the assembled bytes
+  // are identical for every thread count and for the serial prefetch path.
+  const auto fill = [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      const std::int64_t idx = order[i];
+      float* dst = out + i * sample_numel;
+      dataset_.copy_sample(idx, dst);
+      labels[i] = dataset_.label(idx);
+      if (options_.transform) {
+        rng::Xorshift128 rng(sample_stream_seed(options_.seed, epoch, idx));
+        options_.transform(dst, sample_numel, rng);
+      }
+    }
+  };
+  if (parallel) {
+    util::parallel_for(/*grain=*/1, count, fill);
+  } else {
+    fill(0, count);
+  }
+  return batch;
+}
+
+void DataLoader::schedule_locked() {
+  stage_first_ = cursor_;
+  stage_count_ = std::min(options_.batch_size, dataset_.size() - cursor_);
+  stage_epoch_ = epoch_;
+  stage_ = Stage::kRequested;
+  cv_.notify_all();
+}
+
+void DataLoader::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || stage_ == Stage::kRequested; });
+    if (stop_) return;
+    const std::int64_t first = stage_first_;
+    const std::int64_t count = stage_count_;
+    const std::int64_t epoch = stage_epoch_;
+    stage_ = Stage::kAssembling;
+    lock.unlock();
+    // Serial assembly: the kernel pool's dispatcher is the training thread,
+    // so the prefetcher must not issue a concurrent parallel_for. Serial
+    // assembly is bitwise identical to the parallel path anyway.
+    Batch batch;
+    std::exception_ptr error;
+    try {
+      batch = assemble(first, count, epoch, /*parallel=*/false);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    stage_batch_ = std::move(batch);
+    stage_error_ = error;
+    stage_ = Stage::kReady;
+    cv_.notify_all();
+  }
 }
 
 bool DataLoader::next(Batch& batch) {
-  if (cursor_ >= dataset_.size()) return false;
-  const std::int64_t count =
-      std::min(batch_size_, dataset_.size() - cursor_);
-  std::vector<std::int64_t> indices(
-      order_.begin() + cursor_, order_.begin() + cursor_ + count);
-  batch = dataset_.gather(indices);
-  cursor_ += count;
+  if (!worker_.joinable()) {
+    if (cursor_ >= dataset_.size()) return false;
+    const std::int64_t count =
+        std::min(options_.batch_size, dataset_.size() - cursor_);
+    batch = assemble(cursor_, count, epoch_, /*parallel=*/true);
+    cursor_ += count;
+    return true;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stage_ == Stage::kIdle) {
+    if (cursor_ >= dataset_.size()) return false;
+    schedule_locked();
+  }
+  cv_.wait(lock, [&] { return stage_ == Stage::kReady; });
+  if (stage_error_) {
+    const std::exception_ptr error = stage_error_;
+    stage_ = Stage::kIdle;
+    stage_batch_ = Batch{};
+    stage_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  batch = std::move(stage_batch_);
+  stage_batch_ = Batch{};
+  cursor_ = stage_first_ + stage_count_;
+  stage_ = Stage::kIdle;
+  // Kick off background assembly of the following batch before returning,
+  // overlapping it with the caller's forward/backward/step on this one.
+  if (cursor_ < dataset_.size()) schedule_locked();
   return true;
 }
 
 namespace {
-constexpr char kLoaderMagic[4] = {'D', 'B', 'D', 'L'};
+// Versioned state container. "DBD2" + version is the current layout; the
+// seed repo wrote an unversioned "DBDL" layout (no epoch counter), which
+// load_state still accepts so DBTS training snapshots from older builds
+// keep resuming.
+constexpr char kLegacyMagic[4] = {'D', 'B', 'D', 'L'};
+constexpr char kMagicV2[4] = {'D', 'B', 'D', '2'};
+constexpr std::uint32_t kStateVersion = 2;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& v) {
@@ -66,10 +230,11 @@ T read_pod(std::istream& in) {
 }  // namespace
 
 void DataLoader::save_state(std::ostream& out) const {
-  out.write(kLoaderMagic, sizeof(kLoaderMagic));
+  out.write(kMagicV2, sizeof(kMagicV2));
+  write_pod<std::uint32_t>(out, kStateVersion);
   write_pod<std::int64_t>(out, dataset_.size());
-  write_pod<std::int64_t>(out, batch_size_);
-  write_pod<std::uint8_t>(out, shuffle_ ? 1 : 0);
+  write_pod<std::int64_t>(out, options_.batch_size);
+  write_pod<std::uint8_t>(out, options_.shuffle ? 1 : 0);
   const rng::Xorshift128::State rs = rng_.state();
   write_pod<std::uint32_t>(out, rs.x);
   write_pod<std::uint32_t>(out, rs.y);
@@ -77,28 +242,42 @@ void DataLoader::save_state(std::ostream& out) const {
   write_pod<std::uint32_t>(out, rs.w);
   write_pod<std::uint8_t>(out, rs.has_cached_normal ? 1 : 0);
   write_pod<float>(out, rs.cached_normal);
+  write_pod<std::int64_t>(out, epoch_);
   write_pod<std::int64_t>(out, cursor_);
   for (const std::int64_t idx : order_) write_pod<std::int64_t>(out, idx);
   if (!out) throw util::IoError("DataLoader state: write failed");
 }
 
 void DataLoader::load_state(std::istream& in) {
+  if (worker_.joinable()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_stage_locked(lock);
+  }
   char magic[4];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kLoaderMagic, sizeof(kLoaderMagic)) != 0) {
+  if (!in) throw util::IoError("DataLoader state: truncated");
+  bool versioned = false;
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0) {
+    const auto version = read_pod<std::uint32_t>(in);
+    if (version != kStateVersion) {
+      throw util::IoError("DataLoader state: unsupported version " +
+                          std::to_string(version));
+    }
+    versioned = true;
+  } else if (std::memcmp(magic, kLegacyMagic, sizeof(kLegacyMagic)) != 0) {
     throw util::IoError("DataLoader state: bad magic");
   }
   const auto size = read_pod<std::int64_t>(in);
   const auto batch_size = read_pod<std::int64_t>(in);
-  if (size != dataset_.size() || batch_size != batch_size_) {
+  if (size != dataset_.size() || batch_size != options_.batch_size) {
     throw util::IoError("DataLoader state: dataset of " +
                         std::to_string(size) + " samples / batch " +
                         std::to_string(batch_size) + ", loader has " +
                         std::to_string(dataset_.size()) + " / batch " +
-                        std::to_string(batch_size_));
+                        std::to_string(options_.batch_size));
   }
   const bool shuffle = read_pod<std::uint8_t>(in) != 0;
-  if (shuffle != shuffle_) {
+  if (shuffle != options_.shuffle) {
     throw util::IoError("DataLoader state: shuffle flag mismatch");
   }
   rng::Xorshift128::State rs{};
@@ -108,6 +287,17 @@ void DataLoader::load_state(std::istream& in) {
   rs.w = read_pod<std::uint32_t>(in);
   rs.has_cached_normal = read_pod<std::uint8_t>(in) != 0;
   rs.cached_normal = read_pod<float>(in);
+  // The legacy layout predates the epoch counter (and the per-sample
+  // transform streams it feeds); restoring it as epoch 0 reproduces the
+  // old builds' behavior exactly.
+  std::int64_t epoch = 0;
+  if (versioned) {
+    epoch = read_pod<std::int64_t>(in);
+    if (epoch < 0) {
+      throw util::IoError("DataLoader state: negative epoch " +
+                          std::to_string(epoch));
+    }
+  }
   const auto cursor = read_pod<std::int64_t>(in);
   if (cursor < 0 || cursor > dataset_.size()) {
     throw util::IoError("DataLoader state: cursor " + std::to_string(cursor) +
@@ -125,6 +315,7 @@ void DataLoader::load_state(std::istream& in) {
   }
   rng_.set_state(rs);
   cursor_ = cursor;
+  epoch_ = epoch;
   order_ = std::move(order);
 }
 

@@ -1,0 +1,47 @@
+// dropback.hpp — the public API umbrella header.
+//
+// This is the one include downstream users need:
+//
+//   #include "dropback.hpp"
+//
+//   auto config = dropback::train::TrainConfig{}
+//                     .with_epochs(20)
+//                     .with_prefetch(1)
+//                     .with_checkpoint("run.dbts");
+//   dropback::train::DropBackSession::Options options;
+//   options.budget = 20000;
+//   options.train = config;
+//   dropback::train::DropBackSession session(model, options);
+//   session.fit(train_set, val_set);
+//   session.export_compressed("model.dbsw");
+//
+// The stable surface (docs/API.md):
+//
+//   train::TrainConfig       — one configuration object for a training run
+//   train::Trainer           — generic hook-extensible training loop
+//   train::DropBackSession   — model + DropBack optimizer + trainer facade
+//   core::DropBackOptimizer  — the paper's Algorithm 1, production form
+//   core::TrackedSet         — top-k tracked-weight selection
+//   core::SparseWeightStore  — compressed (tracked + regenerated) export
+//   data::Dataset/DataLoader — dataset interface + prefetching loader
+//   energy::TrafficCounter   — the paper's energy/traffic accounting
+//   util thread controls     — set_num_threads / configure_threads
+//
+// Headers below this surface (tensor/, autograd/, nn/ internals, obs/
+// details) may reorganize between releases; include them directly only when
+// extending the library itself. New example code should prefer this header
+// over reaching into subsystem headers one by one.
+#pragma once
+
+#include "core/dropback_optimizer.hpp"
+#include "core/sparse_backward.hpp"
+#include "core/sparse_weight_store.hpp"
+#include "core/tracked_set.hpp"
+#include "data/dataloader.hpp"
+#include "data/dataset.hpp"
+#include "energy/energy_model.hpp"
+#include "train/dropback_session.hpp"
+#include "train/train_config.hpp"
+#include "train/trainer.hpp"
+#include "util/flags.hpp"
+#include "util/thread_pool.hpp"

@@ -13,8 +13,7 @@ namespace dropback::train {
 DropBackSession::DropBackSession(nn::Module& model, Options options)
     : model_(model), options_(options) {
   DROPBACK_CHECK(options.budget > 0, << "DropBackSession: budget required");
-  DROPBACK_CHECK(options.epochs > 0 && options.batch_size > 0,
-                 << "DropBackSession: epochs/batch_size");
+  options.train.validate();
   params_ = model.collect_parameters();
   core::DropBackConfig config;
   config.budget = options.budget;
@@ -31,18 +30,9 @@ DropBackSession::DropBackSession(nn::Module& model, Options options)
 
 TrainResult DropBackSession::fit(const data::Dataset& train_set,
                                  const data::Dataset& val_set) {
-  TrainOptions train_options;
-  train_options.epochs = options_.epochs;
-  train_options.batch_size = options_.batch_size;
-  train_options.patience = options_.patience;
-  train_options.schedule = schedule_.get();
-  train_options.verbose = options_.verbose;
-  train_options.checkpoint_path = options_.checkpoint_path;
-  train_options.checkpoint_every = options_.checkpoint_every;
-  train_options.resume = options_.resume;
-  train_options.anomaly_policy = options_.anomaly_policy;
-  train_options.metrics_out = options_.metrics_out;
-  Trainer trainer(model_, *optimizer_, train_set, val_set, train_options);
+  TrainConfig train_config = options_.train;
+  if (schedule_) train_config.schedule = schedule_.get();
+  Trainer trainer(model_, *optimizer_, train_set, val_set, train_config);
   if (options_.freeze_epoch >= 0 && !optimizer_->frozen()) {
     const std::int64_t freeze_epoch = options_.freeze_epoch;
     auto* opt = optimizer_.get();
@@ -54,7 +44,7 @@ TrainResult DropBackSession::fit(const data::Dataset& train_set,
 }
 
 double DropBackSession::evaluate(const data::Dataset& dataset) const {
-  return Trainer::evaluate(model_, dataset, options_.batch_size);
+  return Trainer::evaluate(model_, dataset, options_.train.batch_size);
 }
 
 core::SparseWeightStore DropBackSession::compressed() const {

@@ -35,27 +35,18 @@ class DropBackSession {
     float lr = 0.1F;
     /// Freeze the tracked set after this epoch; -1 = never.
     std::int64_t freeze_epoch = -1;
-    std::int64_t epochs = 20;
-    std::int64_t batch_size = 32;
-    /// Early-stop patience in epochs; -1 disables.
-    std::int64_t patience = -1;
     /// lr decay factor applied every `lr_decay_epochs`; 1.0 disables.
     float lr_decay = 0.5F;
     std::int64_t lr_decay_epochs = 0;  ///< 0 = no schedule
     bool regenerate_untracked = true;
     bool track_energy = false;
-    bool verbose = false;
-    /// Crash-safe training snapshot file for fit(); empty disables.
-    std::string checkpoint_path;
-    /// Mid-epoch snapshot cadence in steps; 0 = epoch ends only.
-    std::int64_t checkpoint_every = 0;
-    /// Resume fit() from checkpoint_path if that file exists.
-    bool resume = false;
-    /// Non-finite loss/gradient handling during fit().
-    AnomalyPolicy anomaly_policy = AnomalyPolicy::kOff;
-    /// JSONL telemetry stream for fit() (see TrainOptions::metrics_out and
-    /// docs/OBSERVABILITY.md); empty disables.
-    std::string metrics_out;
+    /// The generic training pipeline configuration — epochs, batch size,
+    /// patience, data pipeline (shuffle/prefetch/transform), thread count,
+    /// crash-safe checkpointing, anomaly policy, telemetry. Everything
+    /// DropBack-agnostic lives here; the fields above are the DropBack
+    /// specifics layered on top. `train.schedule` is replaced by the
+    /// session's own StepDecay when lr_decay_epochs > 0.
+    TrainConfig train = TrainConfig{}.with_epochs(20);
   };
 
   /// The session borrows `model`; it must outlive the session.

@@ -51,6 +51,17 @@ AnomalyPolicy parse_anomaly_policy(const std::string& text) {
   return AnomalyPolicy::kOff;  // unreachable
 }
 
+void TrainConfig::validate() const {
+  DROPBACK_CHECK(epochs > 0 && batch_size > 0, << "TrainConfig invalid");
+  DROPBACK_CHECK(prefetch_batches >= 0,
+                 << "TrainConfig: prefetch_batches " << prefetch_batches);
+  DROPBACK_CHECK(threads >= 0, << "TrainConfig: threads " << threads);
+  DROPBACK_CHECK(checkpoint_every == 0 || !checkpoint_path.empty(),
+                 << "TrainConfig: checkpoint_every requires checkpoint_path");
+  DROPBACK_CHECK(!resume || !checkpoint_path.empty(),
+                 << "TrainConfig: resume requires checkpoint_path");
+}
+
 bool EarlyStopper::observe(std::int64_t epoch, double val_acc) {
   if (val_acc > best_val_acc_) {
     best_val_acc_ = val_acc;
@@ -71,19 +82,13 @@ void EarlyStopper::restore(double best_val_acc, std::int64_t best_epoch,
 
 Trainer::Trainer(nn::Module& model, optim::Optimizer& optimizer,
                  const data::Dataset& train_set, const data::Dataset& val_set,
-                 TrainOptions options)
+                 TrainConfig config)
     : model_(model),
       optimizer_(optimizer),
       train_set_(train_set),
       val_set_(val_set),
-      options_(std::move(options)) {
-  DROPBACK_CHECK(options_.epochs > 0 && options_.batch_size > 0,
-                 << "TrainOptions invalid");
-  DROPBACK_CHECK(options_.checkpoint_every == 0 ||
-                     !options_.checkpoint_path.empty(),
-                 << "TrainOptions: checkpoint_every requires checkpoint_path");
-  DROPBACK_CHECK(!options_.resume || !options_.checkpoint_path.empty(),
-                 << "TrainOptions: resume requires checkpoint_path");
+      options_(std::move(config)) {
+  options_.validate();
   params_ = model.collect_parameters();
 }
 
@@ -131,8 +136,7 @@ TrainResult Trainer::run() {
   if (options_.threads > 0) {
     util::set_num_threads(static_cast<int>(options_.threads));
   }
-  data::DataLoader loader(train_set_, options_.batch_size, options_.shuffle,
-                          options_.loader_seed);
+  data::DataLoader loader(train_set_, options_.loader_options());
   TrainResult result;
   EarlyStopper stopper(options_.patience);
   // Telemetry (ISSUE 3): one EventStream per run plus pre-registered global
@@ -205,7 +209,14 @@ TrainResult Trainer::run() {
       batches = 0;
     }
     data::Batch batch;
-    while (loader.next(batch)) {
+    // "dataload" measures what the training thread *waits* on: with prefetch
+    // enabled it shrinks toward the handoff cost while "dataload_assemble"
+    // moves to the background thread.
+    const auto fetch = [&] {
+      DROPBACK_PROFILE_SCOPE("dataload");
+      return loader.next(batch);
+    };
+    while (fetch()) {
       DROPBACK_PROFILE_SCOPE("step");
       const bool timing = events != nullptr;
       const std::uint64_t step_begin = timing ? now_ns() : 0;

@@ -16,75 +16,16 @@
 
 #include <cstdint>
 #include <functional>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "autograd/variable.hpp"
 #include "data/dataloader.hpp"
 #include "nn/module.hpp"
-#include "optim/lr_schedule.hpp"
 #include "optim/sgd.hpp"
+#include "train/train_config.hpp"
 
 namespace dropback::train {
-
-/// What to do when a non-finite loss or gradient is detected.
-enum class AnomalyPolicy {
-  kOff,       ///< No checks (the pre-existing behavior).
-  kThrow,     ///< Raise AnomalyError, aborting the run.
-  kSkipStep,  ///< Drop the batch: clear gradients, take no optimizer step.
-  kRollback,  ///< Reload the last snapshot (requires checkpoint_path) and
-              ///< return with TrainResult::rolled_back set.
-};
-
-/// Raised by AnomalyPolicy::kThrow, and by kRollback when no snapshot is
-/// available to roll back to. Deliberately not util::IoError: the bytes on
-/// disk are fine, the numbers in flight are not.
-class AnomalyError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// Parses "off" | "throw" | "skip" | "rollback" (CLI --anomaly flag).
-AnomalyPolicy parse_anomaly_policy(const std::string& text);
-
-struct TrainOptions {
-  std::int64_t epochs = 10;
-  std::int64_t batch_size = 32;
-  /// Learning-rate schedule; nullptr keeps the optimizer's current lr.
-  const optim::LrSchedule* schedule = nullptr;
-  /// Stop after this many epochs without validation improvement
-  /// (the paper uses 5 on MNIST); -1 disables early stopping.
-  std::int64_t patience = -1;
-  bool shuffle = true;
-  std::uint64_t loader_seed = 0xDA7A;
-  bool verbose = false;
-  /// Sizes the global kernel thread pool before training: 1 forces fully
-  /// serial execution, 0 leaves the pool as configured (--threads flag /
-  /// DROPBACK_THREADS env / hardware_concurrency). Training results are
-  /// bitwise identical for every setting; only wall-clock changes.
-  std::int64_t threads = 0;
-  /// Snapshot file for crash-safe training; empty disables checkpointing.
-  /// A snapshot is written after every epoch, plus mid-epoch every
-  /// `checkpoint_every` steps.
-  std::string checkpoint_path;
-  /// Extra mid-epoch snapshot cadence in optimizer steps; 0 = epoch ends
-  /// only. Requires checkpoint_path.
-  std::int64_t checkpoint_every = 0;
-  /// Resume from checkpoint_path if that file exists (a missing file starts
-  /// a fresh run, so the same command line works before and after a crash).
-  bool resume = false;
-  /// Non-finite loss/gradient handling; kOff skips the checks entirely.
-  AnomalyPolicy anomaly_policy = AnomalyPolicy::kOff;
-  /// JSONL telemetry stream destination (one flat record per training step /
-  /// epoch / checkpoint / anomaly plus a final summary — schemas in
-  /// obs/event_stream.hpp and docs/OBSERVABILITY.md), written crash-safely
-  /// at every epoch boundary and at run exit. Also feeds the global
-  /// obs::MetricsRegistry (train/* counters and gauges). Empty disables all
-  /// telemetry work; the training trajectory is bitwise identical either
-  /// way (tests/obs_equivalence_test.cpp).
-  std::string metrics_out;
-};
 
 struct EpochStats {
   std::int64_t epoch = 0;
@@ -146,7 +87,7 @@ class Trainer {
  public:
   Trainer(nn::Module& model, optim::Optimizer& optimizer,
           const data::Dataset& train_set, const data::Dataset& val_set,
-          TrainOptions options);
+          TrainConfig config);
 
   /// Maps the base cross-entropy loss to the actual optimized loss.
   std::function<autograd::Variable(const autograd::Variable&)> loss_transform;
@@ -177,7 +118,7 @@ class Trainer {
   optim::Optimizer& optimizer_;
   const data::Dataset& train_set_;
   const data::Dataset& val_set_;
-  TrainOptions options_;
+  TrainConfig options_;
   std::vector<nn::Parameter*> params_;
   std::int64_t global_step_ = 0;
 };

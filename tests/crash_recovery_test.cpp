@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "train/trainer.hpp"
 #include "train/training_checkpoint.hpp"
 #include "util/atomic_file.hpp"
+#include "util/container.hpp"
 #include "util/fault_injection.hpp"
 #include "util/io_error.hpp"
 
@@ -386,13 +388,85 @@ TEST(CrashRecovery, SnapshotRejectsLoaderMismatch) {
                util::IoError);
 }
 
+TEST(CrashRecovery, SnapshotWithLegacyV1LoaderSectionStillResumes) {
+  // Pre-prefetch builds wrote the loader section in the unversioned "DBDL"
+  // layout (no epoch counter). A snapshot carrying that layout must still
+  // load into the new loader: same position, epoch restored as 0.
+  SnapshotFixture fix;
+  const std::string path = ::testing::TempDir() + "/legacy_loader.dbts";
+  std::remove(path.c_str());
+  fix.save(path);
+
+  // Rewrite the snapshot, replacing only the loader section with
+  // hand-written v1 bytes: magic, size, batch, shuffle, RNG state, cursor,
+  // order — exactly the seed repo's format.
+  const std::string original = util::read_file(path);
+  std::istringstream in(original, std::ios::binary);
+  const auto reader = util::ContainerReader::read_from(in, "DBTS");
+  util::ContainerWriter writer("DBTS");
+  std::vector<std::int64_t> order(32);
+  for (std::int64_t i = 0; i < 32; ++i) order[static_cast<std::size_t>(i)] =
+      31 - i;  // reversed, so resume order is observable
+  for (std::size_t i = 0; i < reader.num_sections(); ++i) {
+    std::ostream& out = writer.add_section(reader.section_name(i));
+    if (reader.section_name(i) != "loader") {
+      out << reader.section_bytes(i);
+      continue;
+    }
+    const auto put = [&out](const auto& v) {
+      out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    out.write("DBDL", 4);
+    put(std::int64_t{32});  // dataset size
+    put(std::int64_t{8});   // batch size
+    put(std::uint8_t{1});   // shuffle
+    rng::Xorshift128 rng(123);
+    const rng::Xorshift128::State rs = rng.state();
+    put(rs.x);
+    put(rs.y);
+    put(rs.z);
+    put(rs.w);
+    put(std::uint8_t{0});
+    put(0.0F);
+    put(std::int64_t{16});  // cursor: two of four batches consumed
+    for (const std::int64_t idx : order) put(idx);
+  }
+  util::atomic_write_file(path,
+                          [&](std::ostream& out) { writer.write_to(out); });
+
+  // Load into a loader built with prefetch enabled — the migration target.
+  data::DataLoaderOptions loader_options;
+  loader_options.batch_size = 8;
+  loader_options.shuffle = true;
+  loader_options.seed = 42;
+  loader_options.prefetch_batches = 1;
+  data::DataLoader loader(*fix.dataset, loader_options);
+  const TrainerSnapshot snap = load_training_snapshot(
+      path, fix.model->collect_parameters(), *fix.opt, loader);
+  EXPECT_EQ(snap.global_step, 11);
+  EXPECT_EQ(snap.epoch, 2);
+  EXPECT_EQ(loader.epoch(), 0);  // v1 predates the epoch counter
+
+  // The run resumes at order[16] = 15, 14, ... — the old order and cursor.
+  data::Batch batch;
+  ASSERT_TRUE(loader.next(batch));
+  ASSERT_EQ(batch.size(), 8);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(batch.labels[static_cast<std::size_t>(i)],
+              fix.dataset->label(15 - i));
+  }
+  std::int64_t remaining = batch.size();
+  while (loader.next(batch)) remaining += batch.size();
+  EXPECT_EQ(remaining, 16);
+}
+
 TEST(CrashRecovery, SessionTrainingStateSurvivesEnospc) {
   const auto task = make_task(32, 16);
   auto model = nn::models::make_mnist_100_100(5);
   DropBackSession::Options options;
   options.budget = 2000;
-  options.epochs = 1;
-  options.batch_size = 16;
+  options.train.epochs = 1;
+  options.train.batch_size = 16;
   DropBackSession session(*model, options);
   session.fit(*task.train_set, *task.val_set);
   const std::string path = ::testing::TempDir() + "/session_state.dbss";

@@ -1,12 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <map>
 #include <set>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "data/dataloader.hpp"
 #include "data/synthetic_cifar.hpp"
 #include "data/synthetic_mnist.hpp"
+#include "rng/xorshift.hpp"
+#include "util/io_error.hpp"
 
 namespace dropback::data {
 namespace {
@@ -270,6 +276,332 @@ TEST_P(LoaderSweep, DeliversWholeDataset) {
 
 INSTANTIATE_TEST_SUITE_P(BatchSizes, LoaderSweep,
                          ::testing::Values(1, 2, 7, 16, 37, 64));
+
+// ---------------------------------------------------------------------------
+// Prefetch pipeline and deterministic per-sample transforms.
+// ---------------------------------------------------------------------------
+
+/// Collects all remaining (images-bytes, labels) pairs the loader delivers.
+std::vector<std::pair<std::vector<float>, std::vector<std::int64_t>>>
+collect_batches(DataLoader& loader) {
+  std::vector<std::pair<std::vector<float>, std::vector<std::int64_t>>> out;
+  Batch batch;
+  while (loader.next(batch)) {
+    out.emplace_back(std::vector<float>(batch.images.data(),
+                                        batch.images.data() +
+                                            batch.images.numel()),
+                     batch.labels);
+  }
+  return out;
+}
+
+TEST(DataLoaderTest, PrefetchDeliversBitwiseIdenticalBatches) {
+  SyntheticMnistOptions opt;
+  opt.num_samples = 45;  // ragged final batch
+  auto ds = make_synthetic_mnist(opt);
+  DataLoaderOptions base;
+  base.batch_size = 8;
+  base.shuffle = true;
+  base.seed = 77;
+  base.transform = uniform_noise_transform(0.25F);
+
+  DataLoaderOptions sync = base;
+  DataLoaderOptions pre = base;
+  pre.prefetch_batches = 1;
+  DataLoader a(*ds, sync);
+  DataLoader b(*ds, pre);
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    if (epoch > 0) {
+      a.start_epoch();
+      b.start_epoch();
+    }
+    const auto ba = collect_batches(a);
+    const auto bb = collect_batches(b);
+    ASSERT_EQ(ba.size(), bb.size());
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+      ASSERT_EQ(ba[i].second, bb[i].second) << "labels, batch " << i;
+      ASSERT_EQ(ba[i].first.size(), bb[i].first.size());
+      ASSERT_EQ(std::memcmp(ba[i].first.data(), bb[i].first.data(),
+                            ba[i].first.size() * sizeof(float)),
+                0)
+          << "image bytes, epoch " << epoch << " batch " << i;
+    }
+  }
+}
+
+TEST(DataLoaderTest, TransformStreamFollowsSampleNotOrderOrPrefetch) {
+  // A sample's augmentation bytes depend only on (seed, epoch, dataset
+  // index) — shuffling the epoch order or moving assembly to the prefetch
+  // thread must not change them. Identify samples by label (unique here).
+  const std::int64_t n = 12;
+  T::Tensor images({n, 4});
+  std::vector<std::int64_t> labels;
+  for (std::int64_t i = 0; i < n; ++i) {
+    labels.push_back(i);
+    for (std::int64_t p = 0; p < 4; ++p) {
+      images[i * 4 + p] = static_cast<float>(i * 4 + p);
+    }
+  }
+  InMemoryDataset ds(images, labels, n);
+
+  const auto by_sample = [](DataLoader& loader) {
+    std::map<std::int64_t, std::vector<float>> out;
+    Batch b;
+    while (loader.next(b)) {
+      for (std::int64_t i = 0; i < b.size(); ++i) {
+        const float* p = b.images.data() + i * 4;
+        out[b.labels[static_cast<std::size_t>(i)]] =
+            std::vector<float>(p, p + 4);
+      }
+    }
+    return out;
+  };
+
+  DataLoaderOptions sequential;
+  sequential.batch_size = 5;
+  sequential.seed = 123;
+  sequential.transform = uniform_noise_transform(0.5F);
+  DataLoaderOptions shuffled = sequential;
+  shuffled.shuffle = true;
+  shuffled.prefetch_batches = 1;
+
+  DataLoader a(ds, sequential);
+  DataLoader b(ds, shuffled);
+  const auto ma = by_sample(a);
+  const auto mb = by_sample(b);
+  ASSERT_EQ(ma.size(), static_cast<std::size_t>(n));
+  ASSERT_EQ(mb.size(), static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(std::memcmp(ma.at(i).data(), mb.at(i).data(),
+                          4 * sizeof(float)),
+              0)
+        << "sample " << i;
+  }
+
+  // A later epoch draws a different stream for the same sample.
+  a.start_epoch();
+  const auto ma1 = by_sample(a);
+  bool any_differs = false;
+  for (std::int64_t i = 0; i < n && !any_differs; ++i) {
+    any_differs = std::memcmp(ma.at(i).data(), ma1.at(i).data(),
+                              4 * sizeof(float)) != 0;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(DataLoaderTest, SampleStreamSeedsAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::int64_t epoch = 0; epoch < 8; ++epoch) {
+    for (std::int64_t idx = 0; idx < 64; ++idx) {
+      seen.insert(sample_stream_seed(42, epoch, idx));
+    }
+  }
+  EXPECT_EQ(seen.size(), 8U * 64U);
+}
+
+// ---------------------------------------------------------------------------
+// State serialization: v2 round trips, legacy v1 migrates, corruption throws.
+// ---------------------------------------------------------------------------
+
+TEST(DataLoaderStateTest, V2RoundTripResumesMidEpochWithPrefetch) {
+  SyntheticMnistOptions opt;
+  opt.num_samples = 40;
+  auto ds = make_synthetic_mnist(opt);
+  DataLoaderOptions options;
+  options.batch_size = 8;
+  options.shuffle = true;
+  options.seed = 31;
+  options.prefetch_batches = 1;
+  options.transform = uniform_noise_transform(0.1F);
+
+  DataLoader a(*ds, options);
+  a.start_epoch();  // epoch 1, fresh shuffle
+  Batch scratch;
+  ASSERT_TRUE(a.next(scratch));
+  ASSERT_TRUE(a.next(scratch));  // mid-epoch: 2 of 5 batches consumed
+
+  std::ostringstream out(std::ios::binary);
+  a.save_state(out);
+  const std::string bytes = out.str();
+  // "DBD2" + u32 version leads the stream.
+  ASSERT_GE(bytes.size(), 8U);
+  EXPECT_EQ(bytes.substr(0, 4), "DBD2");
+
+  DataLoader b(*ds, options);
+  std::istringstream in(bytes, std::ios::binary);
+  b.load_state(in);
+  EXPECT_EQ(b.epoch(), a.epoch());
+
+  // Both finish this epoch and run the next identically.
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    if (epoch > 0) {
+      a.start_epoch();
+      b.start_epoch();
+    }
+    const auto ba = collect_batches(a);
+    const auto bb = collect_batches(b);
+    ASSERT_EQ(ba.size(), bb.size());
+    for (std::size_t i = 0; i < ba.size(); ++i) {
+      ASSERT_EQ(ba[i].second, bb[i].second);
+      ASSERT_EQ(std::memcmp(ba[i].first.data(), bb[i].first.data(),
+                            ba[i].first.size() * sizeof(float)),
+                0);
+    }
+  }
+}
+
+TEST(DataLoaderStateTest, SnapshotIdenticalWithPrefetchOnAndOff) {
+  // The cursor counts consumed batches, never staged ones, so the staged
+  // batch inside the prefetcher must not leak into the snapshot.
+  SyntheticMnistOptions opt;
+  opt.num_samples = 32;
+  auto ds = make_synthetic_mnist(opt);
+  DataLoaderOptions sync;
+  sync.batch_size = 8;
+  sync.shuffle = true;
+  sync.seed = 5;
+  DataLoaderOptions pre = sync;
+  pre.prefetch_batches = 1;
+
+  DataLoader a(*ds, sync);
+  DataLoader b(*ds, pre);
+  Batch scratch;
+  ASSERT_TRUE(a.next(scratch));
+  ASSERT_TRUE(b.next(scratch));
+  std::ostringstream sa(std::ios::binary), sb(std::ios::binary);
+  a.save_state(sa);
+  b.save_state(sb);
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+/// Hand-writes the seed repo's unversioned "DBDL" layout: magic, size,
+/// batch, shuffle flag, RNG state, cursor, order (no version, no epoch).
+std::string legacy_v1_state_bytes(std::int64_t size, std::int64_t batch,
+                                  bool shuffle, std::int64_t cursor,
+                                  const std::vector<std::int64_t>& order) {
+  std::ostringstream out(std::ios::binary);
+  const auto put = [&out](const auto& v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  out.write("DBDL", 4);
+  put(size);
+  put(batch);
+  put(static_cast<std::uint8_t>(shuffle ? 1 : 0));
+  rng::Xorshift128 rng(99);
+  const rng::Xorshift128::State rs = rng.state();
+  put(rs.x);
+  put(rs.y);
+  put(rs.z);
+  put(rs.w);
+  put(static_cast<std::uint8_t>(0));
+  put(0.0F);
+  put(cursor);
+  for (const std::int64_t idx : order) put(idx);
+  return out.str();
+}
+
+TEST(DataLoaderStateTest, LegacyV1StateLoadsAndResumesAsEpochZero) {
+  SyntheticMnistOptions opt;
+  opt.num_samples = 20;
+  auto ds = make_synthetic_mnist(opt);
+  // Reversed order, cursor after the first of four 5-sample batches.
+  std::vector<std::int64_t> order(20);
+  for (std::int64_t i = 0; i < 20; ++i) order[static_cast<std::size_t>(i)] =
+      19 - i;
+  const std::string bytes = legacy_v1_state_bytes(20, 5, true, 5, order);
+
+  DataLoaderOptions options;
+  options.batch_size = 5;
+  options.shuffle = true;
+  options.prefetch_batches = 1;  // new loader, old snapshot
+  DataLoader loader(*ds, options);
+  std::istringstream in(bytes, std::ios::binary);
+  loader.load_state(in);
+  EXPECT_EQ(loader.epoch(), 0);  // legacy layout predates the epoch counter
+
+  Batch batch;
+  ASSERT_TRUE(loader.next(batch));
+  ASSERT_EQ(batch.size(), 5);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    // Resumes at order[5] = 14, 13, 12, ...
+    EXPECT_EQ(batch.labels[static_cast<std::size_t>(i)],
+              ds->label(14 - i));
+  }
+  std::int64_t remaining = batch.size();
+  while (loader.next(batch)) remaining += batch.size();
+  EXPECT_EQ(remaining, 15);
+
+  // Re-saving upgrades the snapshot to the versioned layout.
+  std::ostringstream out(std::ios::binary);
+  loader.save_state(out);
+  EXPECT_EQ(out.str().substr(0, 4), "DBD2");
+}
+
+TEST(DataLoaderStateTest, CorruptStateIsRejected) {
+  SyntheticMnistOptions opt;
+  opt.num_samples = 16;
+  auto ds = make_synthetic_mnist(opt);
+  DataLoaderOptions options;
+  options.batch_size = 4;
+  options.shuffle = true;
+  DataLoader loader(*ds, options);
+  std::ostringstream out(std::ios::binary);
+  loader.save_state(out);
+  const std::string good = out.str();
+
+  const auto load = [&](std::string bytes) {
+    DataLoader fresh(*ds, options);
+    std::istringstream in(bytes, std::ios::binary);
+    fresh.load_state(in);
+  };
+  load(good);  // sanity: unmodified bytes are accepted
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(load(bad_magic), util::IoError);
+
+  std::string future_version = good;
+  future_version[4] = 9;  // u32 version field little-endian low byte
+  EXPECT_THROW(load(future_version), util::IoError);
+
+  EXPECT_THROW(load(good.substr(0, good.size() / 2)), util::IoError);
+
+  // Layout after the 8-byte header: size(8) batch(8) shuffle(1) rng(21)
+  // epoch(8) cursor(8) order(...).
+  const std::size_t cursor_off = 8 + 8 + 8 + 1 + 21 + 8;
+  std::string bad_cursor = good;
+  const std::int64_t huge = 1000;
+  std::memcpy(&bad_cursor[cursor_off], &huge, sizeof(huge));
+  EXPECT_THROW(load(bad_cursor), util::IoError);
+
+  std::string bad_index = good;
+  std::memcpy(&bad_index[cursor_off + 8], &huge, sizeof(huge));
+  EXPECT_THROW(load(bad_index), util::IoError);
+
+  // Mismatched loader geometry is rejected even for well-formed bytes.
+  DataLoaderOptions other = options;
+  other.batch_size = 8;
+  DataLoader mismatched(*ds, other);
+  std::istringstream in(good, std::ios::binary);
+  EXPECT_THROW(mismatched.load_state(in), util::IoError);
+}
+
+TEST(DataLoaderStateTest, PrefetchWorkerErrorSurfacesInNext) {
+  // A throwing transform runs on the prefetch thread; the exception must be
+  // relayed to the consumer instead of terminating the process.
+  SyntheticMnistOptions opt;
+  opt.num_samples = 8;
+  auto ds = make_synthetic_mnist(opt);
+  DataLoaderOptions options;
+  options.batch_size = 4;
+  options.prefetch_batches = 1;
+  options.transform = [](float*, std::int64_t, rng::Xorshift128&) {
+    throw std::runtime_error("augmentation failed");
+  };
+  DataLoader loader(*ds, options);
+  Batch batch;
+  EXPECT_THROW(loader.next(batch), std::runtime_error);
+}
 
 }  // namespace
 }  // namespace dropback::data

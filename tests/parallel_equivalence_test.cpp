@@ -14,14 +14,20 @@
 
 #include "core/accumulated_gradients.hpp"
 #include "core/dropback_optimizer.hpp"
+#include "core/sparse_backward.hpp"
 #include "core/tracked_set.hpp"
+#include "data/dataloader.hpp"
+#include "data/synthetic_mnist.hpp"
 #include "nn/linear.hpp"
 #include "nn/models/lenet.hpp"
 #include "nn/sequential.hpp"
+#include "optim/sgd.hpp"
 #include "rng/xorshift.hpp"
 #include "tensor/conv.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
+#include "train/trainer.hpp"
+#include "util/atomic_file.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dropback {
@@ -30,6 +36,7 @@ namespace {
 namespace T = dropback::tensor;
 
 const int kThreadCounts[] = {2, 7};
+const float kZero = 0.0F;
 
 class ParallelEquivalenceTest : public ::testing::Test {
  protected:
@@ -287,6 +294,203 @@ TEST_F(ParallelEquivalenceTest, TrackedSetSelectLargeAndTieHeavy) {
         util::set_num_threads(1);
       }
     }
+  }
+}
+
+/// A scattered 10x-compression mask over a [out, in] weight matrix.
+std::vector<std::uint8_t> scattered_mask(std::int64_t out, std::int64_t in) {
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(out * in), 0);
+  const std::size_t k = mask.size() / 10;
+  for (std::size_t i = 0; i < k; ++i) {
+    mask[(i * 2654435761U) % mask.size()] = 1;
+  }
+  return mask;
+}
+
+TEST_F(ParallelEquivalenceTest, SparseBackwardKernels) {
+  // Frozen-phase sparse backward: coordinate extraction, dW gathering, and
+  // the sparse update all shard by tracked-coordinate ranges and must stay
+  // bitwise identical to serial.
+  const std::int64_t out = 300, in = 400, batch = 24;
+  const auto mask = scattered_mask(out, in);
+  const T::Tensor x = random_tensor({batch, in}, 61);
+  const T::Tensor gy = random_tensor({batch, out}, 62);
+  const T::Tensor w0 = random_tensor({out, in}, 63);
+
+  const auto ref_coords = core::tracked_coords(mask.data(), out, in);
+  ASSERT_GT(ref_coords.size(), 10000U);
+  const auto ref_grads = core::sparse_linear_grad_w(x, gy, ref_coords);
+  T::Tensor ref_w = w0;
+  core::apply_sparse_update(ref_w, ref_coords, ref_grads, 0.01F);
+
+  for (int threads : kThreadCounts) {
+    util::set_num_threads(threads);
+    const auto coords = core::tracked_coords(mask.data(), out, in);
+    ASSERT_EQ(coords.size(), ref_coords.size()) << "@" << threads;
+    EXPECT_EQ(std::memcmp(coords.data(), ref_coords.data(),
+                          coords.size() * sizeof(core::TrackedCoord)),
+              0)
+        << "tracked_coords order @" << threads;
+    const auto grads = core::sparse_linear_grad_w(x, gy, coords);
+    ASSERT_EQ(grads.size(), ref_grads.size());
+    EXPECT_EQ(std::memcmp(grads.data(), ref_grads.data(),
+                          grads.size() * sizeof(float)),
+              0)
+        << "sparse_linear_grad_w @" << threads;
+    T::Tensor w = w0;
+    core::apply_sparse_update(w, coords, grads, 0.01F);
+    EXPECT_TRUE(bitwise_equal(ref_w, w))
+        << "apply_sparse_update @" << threads;
+    util::set_num_threads(1);
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, FrozenPhaseUntrackedWeightsSeeNoTraffic) {
+  // After the freeze the sparse path must not touch untracked weights at
+  // all: across a multi-step frozen loop their bits never change, and a
+  // dense scatter of the sparse gradients is exactly 0.0f off-mask.
+  const std::int64_t out = 64, in = 96, batch = 8;
+  const auto mask = scattered_mask(out, in);
+  const auto coords = core::tracked_coords(mask.data(), out, in);
+  const T::Tensor w0 = random_tensor({out, in}, 71);
+
+  for (int threads : {1, 2, 7}) {
+    util::set_num_threads(threads);
+    T::Tensor w = w0;
+    for (int step = 0; step < 5; ++step) {
+      const T::Tensor x =
+          random_tensor({batch, in}, 80 + static_cast<unsigned>(step));
+      const T::Tensor gy =
+          random_tensor({batch, out}, 90 + static_cast<unsigned>(step));
+      const auto grads = core::sparse_linear_grad_w(x, gy, coords);
+
+      T::Tensor dense_scatter({out, in});
+      for (std::size_t c = 0; c < coords.size(); ++c) {
+        dense_scatter[coords[c].out * in + coords[c].in] = grads[c];
+      }
+      for (std::int64_t i = 0; i < out * in; ++i) {
+        if (!mask[static_cast<std::size_t>(i)]) {
+          ASSERT_EQ(std::memcmp(&dense_scatter.data()[i], &kZero,
+                                sizeof(float)),
+                    0)
+              << "gradient traffic to untracked weight " << i << " @"
+              << threads;
+        }
+      }
+      core::apply_sparse_update(w, coords, grads, 0.05F);
+    }
+    for (std::int64_t i = 0; i < out * in; ++i) {
+      if (!mask[static_cast<std::size_t>(i)]) {
+        ASSERT_EQ(std::memcmp(&w.data()[i], &w0.data()[i], sizeof(float)), 0)
+            << "untracked weight " << i << " changed @" << threads;
+      }
+    }
+    util::set_num_threads(1);
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, DataLoaderThreadsAndPrefetch) {
+  // Batch assembly shards per sample and the transform streams key on the
+  // dataset index, so batches are bitwise identical across thread counts
+  // and prefetch settings.
+  data::SyntheticMnistOptions opt;
+  opt.num_samples = 45;
+  auto ds = data::make_synthetic_mnist(opt);
+
+  const auto run = [&](std::int64_t prefetch) {
+    data::DataLoaderOptions options;
+    options.batch_size = 8;
+    options.shuffle = true;
+    options.seed = 17;
+    options.prefetch_batches = prefetch;
+    options.transform = data::uniform_noise_transform(0.2F);
+    data::DataLoader loader(*ds, options);
+    std::vector<float> pixels;
+    std::vector<std::int64_t> labels;
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      if (epoch > 0) loader.start_epoch();
+      data::Batch batch;
+      while (loader.next(batch)) {
+        pixels.insert(pixels.end(), batch.images.data(),
+                      batch.images.data() + batch.images.numel());
+        labels.insert(labels.end(), batch.labels.begin(),
+                      batch.labels.end());
+      }
+    }
+    return std::make_pair(pixels, labels);
+  };
+
+  const auto ref = run(/*prefetch=*/0);
+  for (int threads : kThreadCounts) {
+    for (std::int64_t prefetch : {std::int64_t{0}, std::int64_t{1}}) {
+      util::set_num_threads(threads);
+      const auto got = run(prefetch);
+      ASSERT_EQ(got.second, ref.second)
+          << "labels @" << threads << " prefetch " << prefetch;
+      ASSERT_EQ(got.first.size(), ref.first.size());
+      EXPECT_EQ(std::memcmp(got.first.data(), ref.first.data(),
+                            ref.first.size() * sizeof(float)),
+                0)
+          << "pixels @" << threads << " prefetch " << prefetch;
+      util::set_num_threads(1);
+    }
+  }
+}
+
+/// One full Trainer run; returns the final weights and the bytes of the
+/// training checkpoint it wrote.
+std::pair<std::vector<float>, std::string> trainer_run(
+    const data::Dataset& train_set, const data::Dataset& val_set,
+    std::int64_t prefetch, const std::string& checkpoint_path) {
+  auto model = nn::models::make_mnist_100_100(7);
+  auto params = model->collect_parameters();
+  optim::SGD optimizer(params, 0.05F);
+  train::TrainConfig config = train::TrainConfig{}
+                                  .with_epochs(2)
+                                  .with_batch_size(16)
+                                  .with_loader_seed(29)
+                                  .with_shuffle(true)
+                                  .with_prefetch(prefetch)
+                                  .with_checkpoint(checkpoint_path, 2);
+  config.transform = data::uniform_noise_transform(0.05F);
+  config.verbose = false;
+  train::Trainer trainer(*model, optimizer, train_set, val_set, config);
+  trainer.run();
+  std::vector<float> weights;
+  for (auto* p : params) {
+    const float* w = p->var.value().data();
+    weights.insert(weights.end(), w, w + p->numel());
+  }
+  return {std::move(weights), util::read_file(checkpoint_path)};
+}
+
+TEST_F(ParallelEquivalenceTest, TrainerEndToEndWithPrefetchAndThreads) {
+  // The whole pipeline — prefetching loader, parallel kernels, checkpoint
+  // writer — produces bitwise-identical final weights AND bitwise-identical
+  // checkpoint files for every thread count, with prefetch on or off.
+  data::SyntheticMnistOptions opt;
+  opt.num_samples = 48;
+  auto train_set = data::make_synthetic_mnist(opt);
+  opt.num_samples = 16;
+  opt.seed = 3;
+  auto val_set = data::make_synthetic_mnist(opt);
+
+  const std::string dir = ::testing::TempDir();
+  const auto ref = trainer_run(*train_set, *val_set, /*prefetch=*/0,
+                               dir + "/equiv_ref.dbts");
+  for (int threads : {1, 2, 7}) {
+    util::set_num_threads(threads);
+    const auto got = trainer_run(*train_set, *val_set, /*prefetch=*/1,
+                                 dir + "/equiv_t" + std::to_string(threads) +
+                                     ".dbts");
+    ASSERT_EQ(got.first.size(), ref.first.size());
+    EXPECT_EQ(std::memcmp(got.first.data(), ref.first.data(),
+                          ref.first.size() * sizeof(float)),
+              0)
+        << "final weights @" << threads << " threads, prefetch on";
+    EXPECT_EQ(got.second, ref.second)
+        << "checkpoint bytes @" << threads << " threads, prefetch on";
+    util::set_num_threads(1);
   }
 }
 

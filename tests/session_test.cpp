@@ -28,8 +28,8 @@ Task make_task(std::int64_t n_train = 400, std::int64_t n_val = 150) {
 DropBackSession::Options default_options() {
   DropBackSession::Options options;
   options.budget = 8000;
-  options.epochs = 8;
-  options.batch_size = 32;
+  options.train.epochs = 8;
+  options.train.batch_size = 32;
   return options;
 }
 
@@ -117,7 +117,7 @@ TEST(Session, EnergyTrackingAccumulates) {
   auto model = nn::models::make_mnist_100_100(3);
   auto options = default_options();
   options.track_energy = true;
-  options.epochs = 1;
+  options.train.epochs = 1;
   DropBackSession session(*model, options);
   session.fit(*task.train_set, *task.val_set);
   EXPECT_GT(session.energy().regens, 0U);
@@ -131,7 +131,7 @@ TEST(Session, LrScheduleApplied) {
   options.lr = 0.4F;
   options.lr_decay = 0.5F;
   options.lr_decay_epochs = 1;
-  options.epochs = 3;
+  options.train.epochs = 3;
   DropBackSession session(*model, options);
   const auto result = session.fit(*task.train_set, *task.val_set);
   EXPECT_FLOAT_EQ(result.history[0].lr, 0.4F);

@@ -111,12 +111,13 @@ int cmd_quantize(const std::string& in_path, const std::string& out_path,
                  int bits) {
   const auto store = core::SparseWeightStore::load_file(in_path);
   const auto q = quant::QuantizedSparseStore::quantize(store, bits);
-  std::ofstream out(out_path, std::ios::binary);
-  if (!out) {
-    std::printf("cannot open %s\n", out_path.c_str());
+  try {
+    util::atomic_write_file(out_path,
+                            [&](std::ostream& out) { q.save(out); });
+  } catch (const util::IoError& e) {
+    std::printf("cannot write %s: %s\n", out_path.c_str(), e.what());
     return 1;
   }
-  q.save(out);
   std::printf(
       "quantized to int%d: %lld -> %lld bytes (%.2fx vs dense f32), max "
       "|err| %.5f\n",

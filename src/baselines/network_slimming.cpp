@@ -46,6 +46,7 @@ NetworkSlimming::NetworkSlimming(nn::Sequential& net, float l1_lambda)
 }
 
 void NetworkSlimming::add_l1_subgradient() {
+  // dbk-lint: allow(R5): 0 disables the subgradient, an exact sentinel
   if (l1_lambda_ == 0.0F) return;
   for (auto& pair : pairs_) {
     nn::Parameter& gamma = pair.bn->gamma();
@@ -109,6 +110,7 @@ SlimmingPruneStats NetworkSlimming::prune(float channel_fraction) {
   for (nn::Parameter* p : net_->parameters()) {
     const float* w = p->var.value().data();
     for (std::int64_t i = 0; i < p->numel(); ++i) {
+      // dbk-lint: allow(R5): sparsity census counts exactly-zero weights
       if (w[i] != 0.0F) ++nonzero;
     }
   }

@@ -96,6 +96,7 @@ tensor::Tensor RegenLinear::forward(const tensor::Tensor& x,
                     } else {
                       ++regens;
                     }
+                    // dbk-lint: allow(R5): pruned weights are exactly zero
                     if (w == 0.0F) return;
                     for (std::int64_t b = 0; b < m; ++b) {
                       acc[static_cast<std::size_t>(b)] +=

@@ -31,6 +31,7 @@ void matmul_ikj(const float* pa, const float* pb, float* pc, std::int64_t m,
       float* crow = pc + i * n;
       for (std::int64_t l = 0; l < k; ++l) {
         const float aval = pa[i * k + l];
+        // dbk-lint: allow(R5): exact-zero skip is the sparse fast path
         if (aval == 0.0F) continue;  // sparse weights make this branch pay off
         const float* brow = pb + l * n;
         for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
@@ -60,6 +61,7 @@ void matmul_blocked(const float* pa, const float* pb, float* pc,
               float* crow = pc + i * n;
               for (std::int64_t l = l0; l < l1; ++l) {
                 const float aval = pa[i * k + l];
+                // dbk-lint: allow(R5): exact-zero skip is the sparse fast path
                 if (aval == 0.0F) continue;
                 const float* brow = pb + l * n;
                 for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
@@ -110,6 +112,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
       const float* brow = pb + l * n;
       for (std::int64_t i = i0; i < i1; ++i) {
         const float aval = arow[i];
+        // dbk-lint: allow(R5): exact-zero skip is the sparse fast path
         if (aval == 0.0F) continue;
         float* crow = pc + i * n;
         for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];

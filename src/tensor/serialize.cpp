@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/io_error.hpp"
 
@@ -60,9 +61,8 @@ Tensor load_tensor(std::istream& in) {
 }
 
 void save_tensor_file(const std::string& path, const Tensor& t) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw util::IoError("save_tensor_file: cannot open " + path);
-  save_tensor(out, t);
+  util::atomic_write_file(path,
+                          [&](std::ostream& out) { save_tensor(out, t); });
 }
 
 Tensor load_tensor_file(const std::string& path) {

@@ -21,6 +21,7 @@ DropBackSession::DropBackSession(nn::Module& model, Options options)
   // freeze_epoch is applied per-fit (it depends on steps per epoch).
   optimizer_ = std::make_unique<core::DropBackOptimizer>(params_, options.lr,
                                                          config);
+  // dbk-lint: allow(R5): 1.0 means "no decay", an exact config sentinel
   if (options.lr_decay_epochs > 0 && options.lr_decay != 1.0F) {
     schedule_ = std::make_unique<optim::StepDecay>(
         options.lr, options.lr_decay, options.lr_decay_epochs);

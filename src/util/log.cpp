@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "obs/json.hpp"
+#include "util/check.hpp"
 
 namespace dropback::util {
 
@@ -71,7 +72,8 @@ LogLevel parse_log_level(const std::string& name) {
   if (name == "warn") return LogLevel::kWarn;
   if (name == "error") return LogLevel::kError;
   if (name == "off") return LogLevel::kOff;
-  return LogLevel::kInfo;
+  DROPBACK_CHECK(false, << "unknown log level \"" << name
+                        << "\" (expected debug|info|warn|error|off)");
 }
 
 void set_log_format(LogFormat format) { g_format.store(format); }

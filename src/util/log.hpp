@@ -28,7 +28,8 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Parse a level name ("debug", "info", "warn", "error", "off").
-/// Unknown names map to kInfo.
+/// Throws std::invalid_argument (via DROPBACK_CHECK) on unknown names —
+/// a typoed --log-level must fail loudly, not silently mean "info".
 LogLevel parse_log_level(const std::string& name);
 
 enum class LogFormat { kText, kJson };

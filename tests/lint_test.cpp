@@ -1,0 +1,502 @@
+// Unit tests for tools/dbk_lint: every rule R1–R6 has at least one
+// true-positive fixture (the rule fires on a minimal offending snippet) and
+// at least one suppression fixture (inline directive or allowlist entry
+// silences it), plus scrubber edge cases (comments, strings, raw strings,
+// digit separators) and report-format checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dbk_lint/lint.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using dbk_lint::Allowlist;
+using dbk_lint::Finding;
+using dbk_lint::lint_source;
+
+Allowlist empty_allow() { return Allowlist{}; }
+
+Allowlist parse_allow(const std::string& text) {
+  Allowlist a;
+  std::string error;
+  EXPECT_TRUE(a.parse(text, &error)) << error;
+  return a;
+}
+
+// Findings for `rule` only (suppressed and not).
+std::vector<Finding> findings_for(const std::vector<Finding>& all,
+                                  const std::string& rule) {
+  std::vector<Finding> out;
+  for (const auto& f : all) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+int live_count(const std::vector<Finding>& all, const std::string& rule) {
+  int n = 0;
+  for (const auto& f : all) {
+    if (f.rule == rule && !f.suppressed) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// R1: raw threading primitives
+// ---------------------------------------------------------------------------
+
+TEST(LintR1, FiresOnRawThreadAndMutex) {
+  const std::string src =
+      "#include <thread>\n"
+      "void spawn() {\n"
+      "  std::thread t([] {});\n"
+      "  std::mutex mu;\n"
+      "  t.join();\n"
+      "}\n";
+  const auto all = lint_source("src/core/worker.cpp", src, empty_allow());
+  const auto r1 = findings_for(all, "R1");
+  ASSERT_EQ(r1.size(), 2U);
+  EXPECT_EQ(r1[0].line, 3);
+  EXPECT_EQ(r1[0].file, "src/core/worker.cpp");
+  EXPECT_FALSE(r1[0].suppressed);
+  EXPECT_NE(r1[0].message.find("std::thread"), std::string::npos);
+  EXPECT_EQ(r1[1].line, 4);
+}
+
+TEST(LintR1, FiresOnAsyncAndConditionVariable) {
+  const std::string src =
+      "void f() {\n"
+      "  auto fut = std::async([] { return 1; });\n"
+      "  std::condition_variable cv;\n"
+      "}\n";
+  const auto all = lint_source("bench/bench_x.cpp", src, empty_allow());
+  EXPECT_EQ(live_count(all, "R1"), 2);
+}
+
+TEST(LintR1, ThreadPoolAndDataLoaderAreBuiltInAllowed) {
+  const std::string src = "std::thread worker_;\nstd::mutex mu_;\n";
+  EXPECT_TRUE(findings_for(
+                  lint_source("src/util/thread_pool.cpp", src, empty_allow()),
+                  "R1")
+                  .empty());
+  EXPECT_TRUE(findings_for(
+                  lint_source("src/data/dataloader.hpp", src, empty_allow()),
+                  "R1")
+                  .empty());
+}
+
+TEST(LintR1, AllowlistSuppressesButKeepsAuditTrail) {
+  const auto allow =
+      parse_allow("R1 src/obs/widget.cpp  leaf lock, never in kernels\n");
+  const auto all = lint_source("src/obs/widget.cpp",
+                               "std::mutex mu_;\n", allow);
+  const auto r1 = findings_for(all, "R1");
+  ASSERT_EQ(r1.size(), 1U);
+  EXPECT_TRUE(r1[0].suppressed);
+  EXPECT_NE(r1[0].suppress_reason.find("leaf lock"), std::string::npos);
+  EXPECT_EQ(dbk_lint::unsuppressed_count(all), 0);
+}
+
+TEST(LintR1, DirectoryPrefixAllowlistEntry) {
+  const auto allow = parse_allow("R1 src/obs/  telemetry locks\n");
+  EXPECT_EQ(live_count(lint_source("src/obs/deep/nested.cpp",
+                                   "std::mutex mu;\n", allow),
+                       "R1"),
+            0);
+  // Prefix must not leak to sibling directories.
+  EXPECT_EQ(live_count(lint_source("src/optim/sgd.cpp",
+                                   "std::mutex mu;\n", allow),
+                       "R1"),
+            1);
+}
+
+// ---------------------------------------------------------------------------
+// R2: raw artifact writes
+// ---------------------------------------------------------------------------
+
+TEST(LintR2, FiresOnOfstreamAndFopen) {
+  const std::string src =
+      "void save_weights(const char* p) {\n"
+      "  std::ofstream out(p, std::ios::binary);\n"
+      "  FILE* f = fopen(p, \"wb\");\n"
+      "}\n";
+  const auto all = lint_source("src/nn/saver.cpp", src, empty_allow());
+  const auto r2 = findings_for(all, "R2");
+  ASSERT_EQ(r2.size(), 2U);
+  EXPECT_EQ(r2[0].line, 2);
+  EXPECT_EQ(r2[1].line, 3);
+  EXPECT_NE(r2[0].message.find("atomic_write_file"), std::string::npos);
+}
+
+TEST(LintR2, AtomicFileImplementationIsBuiltInAllowed) {
+  const auto all = lint_source("src/util/atomic_file.cpp",
+                               "std::ofstream out(tmp);\n", empty_allow());
+  EXPECT_TRUE(findings_for(all, "R2").empty());
+}
+
+TEST(LintR2, IfstreamReadsAreFine) {
+  const auto all = lint_source(
+      "src/nn/loader.cpp", "std::ifstream in(p, std::ios::binary);\n",
+      empty_allow());
+  EXPECT_TRUE(findings_for(all, "R2").empty());
+}
+
+TEST(LintR2, InlineAllowOnSameLine) {
+  const std::string src =
+      "std::ofstream out(p);  // dbk-lint: allow(R2): scratch file\n";
+  const auto all = lint_source("src/util/scratch.cpp", src, empty_allow());
+  const auto r2 = findings_for(all, "R2");
+  ASSERT_EQ(r2.size(), 1U);
+  EXPECT_TRUE(r2[0].suppressed);
+  EXPECT_NE(r2[0].suppress_reason.find("scratch file"), std::string::npos);
+}
+
+TEST(LintR2, AllowlistSuppression) {
+  const auto allow =
+      parse_allow("R2 src/data/export.cpp  dataset fixture writer\n");
+  const auto all = lint_source("src/data/export.cpp",
+                               "std::ofstream out(p);\n", allow);
+  const auto r2 = findings_for(all, "R2");
+  ASSERT_EQ(r2.size(), 1U);
+  EXPECT_TRUE(r2[0].suppressed);
+  EXPECT_NE(r2[0].suppress_reason.find("fixture writer"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// R3: ambient nondeterminism
+// ---------------------------------------------------------------------------
+
+TEST(LintR3, FiresOnRandTimeAndSystemClock) {
+  const std::string src =
+      "int f() {\n"
+      "  int a = std::rand();\n"
+      "  std::random_device rd;\n"
+      "  auto t = std::chrono::system_clock::now();\n"
+      "  long s = time(nullptr);\n"
+      "  return a;\n"
+      "}\n";
+  const auto all = lint_source("src/optim/jitter.cpp", src, empty_allow());
+  EXPECT_EQ(live_count(all, "R3"), 4);
+}
+
+TEST(LintR3, SteadyClockAndXorshiftAreFine) {
+  const std::string src =
+      "auto t = std::chrono::steady_clock::now();\n"
+      "rng::Xorshift gen(seed);\n"
+      "double total_time(int x);\n"  // identifier ending in "time" + call
+      "int y = total_time(3);\n";
+  const auto all = lint_source("src/core/kernel.cpp", src, empty_allow());
+  EXPECT_TRUE(findings_for(all, "R3").empty());
+}
+
+TEST(LintR3, LogAndTimerAreBuiltInWhitelisted) {
+  const std::string src = "const std::time_t now = std::time(nullptr);\n";
+  EXPECT_TRUE(
+      findings_for(lint_source("src/util/log.cpp", src, empty_allow()), "R3")
+          .empty());
+  EXPECT_EQ(live_count(lint_source("src/core/x.cpp", src, empty_allow()),
+                       "R3"),
+            1);
+}
+
+TEST(LintR3, CommentOnlyDirectiveSuppressesNextLine) {
+  const std::string src =
+      "// dbk-lint: allow(R3): seeding the demo from the wall clock is ok\n"
+      "unsigned seed = time(nullptr);\n";
+  const auto all = lint_source("examples/demo.cpp", src, empty_allow());
+  const auto r3 = findings_for(all, "R3");
+  ASSERT_EQ(r3.size(), 1U);
+  EXPECT_TRUE(r3[0].suppressed);
+}
+
+TEST(LintR3, AllowlistSuppression) {
+  const auto allow = parse_allow("R3 examples/demo.cpp  demo-only seeding\n");
+  const auto all = lint_source("examples/demo.cpp",
+                               "std::random_device rd;\n", allow);
+  const auto r3 = findings_for(all, "R3");
+  ASSERT_EQ(r3.size(), 1U);
+  EXPECT_TRUE(r3[0].suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// R4: unordered iteration in serialization functions
+// ---------------------------------------------------------------------------
+
+TEST(LintR4, FiresOnRangeForOverUnorderedInSaveFunction) {
+  const std::string src =
+      "void save_state(std::ostream& out,\n"
+      "                const std::unordered_map<std::string, int>& m) {\n"
+      "  for (const auto& kv : m) {\n"
+      "    out << kv.first;\n"
+      "  }\n"
+      "}\n";
+  const auto all = lint_source("src/train/state.cpp", src, empty_allow());
+  const auto r4 = findings_for(all, "R4");
+  ASSERT_EQ(r4.size(), 1U);
+  EXPECT_EQ(r4[0].line, 3);
+  EXPECT_FALSE(r4[0].suppressed);
+  EXPECT_NE(r4[0].message.find("save_state"), std::string::npos);
+}
+
+TEST(LintR4, FiresOnBeginIterationInCheckpointFunction) {
+  const std::string src =
+      "void write_checkpoint(std::ostream& out) {\n"
+      "  std::unordered_set<int> keys;\n"
+      "  for (auto it = keys.begin(); it != keys.end(); ++it) {\n"
+      "    out << *it;\n"
+      "  }\n"
+      "}\n";
+  const auto all = lint_source("src/train/ckpt.cpp", src, empty_allow());
+  EXPECT_EQ(live_count(all, "R4"), 1);
+}
+
+TEST(LintR4, UnorderedIterationOutsideSerializationIsFine) {
+  const std::string src =
+      "int count_visited(const std::unordered_set<int>& seen) {\n"
+      "  int n = 0;\n"
+      "  for (int v : seen) n += v;\n"
+      "  return n;\n"
+      "}\n";
+  const auto all = lint_source("src/autograd/walk.cpp", src, empty_allow());
+  EXPECT_TRUE(findings_for(all, "R4").empty());
+}
+
+TEST(LintR4, OrderedMapInSaveFunctionIsFine) {
+  const std::string src =
+      "void save_state(std::ostream& out, const std::map<int, int>& m) {\n"
+      "  for (const auto& kv : m) out << kv.first;\n"
+      "}\n";
+  const auto all = lint_source("src/train/state.cpp", src, empty_allow());
+  EXPECT_TRUE(findings_for(all, "R4").empty());
+}
+
+TEST(LintR4, AllowlistSuppression) {
+  const auto allow =
+      parse_allow("R4 src/train/state.cpp  keys sorted upstream\n");
+  const std::string src =
+      "void save_state(const std::unordered_map<int, int>& m) {\n"
+      "  for (const auto& kv : m) use(kv);\n"
+      "}\n";
+  const auto all = lint_source("src/train/state.cpp", src, allow);
+  const auto r4 = findings_for(all, "R4");
+  ASSERT_EQ(r4.size(), 1U);
+  EXPECT_TRUE(r4[0].suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// R5: floating-point equality
+// ---------------------------------------------------------------------------
+
+TEST(LintR5, FiresOnFloatLiteralComparison) {
+  const std::string src =
+      "bool f(float x, double y) {\n"
+      "  if (x == 0.5f) return true;\n"
+      "  if (1.0 != y) return true;\n"
+      "  return x == 1e-6;\n"
+      "}\n";
+  const auto all = lint_source("src/core/cmp.cpp", src, empty_allow());
+  EXPECT_EQ(live_count(all, "R5"), 3);
+}
+
+TEST(LintR5, IntegerAndRelationalComparesAreFine) {
+  const std::string src =
+      "bool f(int n, float x) {\n"
+      "  if (n == 0) return true;\n"
+      "  if (x >= 0.5f) return true;\n"
+      "  if (x <= 1.0) return false;\n"
+      "  return n != 3;\n"
+      "}\n";
+  const auto all = lint_source("src/core/cmp.cpp", src, empty_allow());
+  EXPECT_TRUE(findings_for(all, "R5").empty());
+}
+
+TEST(LintR5, TestsAreExemptBitwiseAssertionsLiveThere) {
+  const std::string src = "EXPECT_TRUE(loss == 0.25f);\n";
+  EXPECT_TRUE(
+      findings_for(lint_source("tests/foo_test.cpp", src, empty_allow()),
+                   "R5")
+          .empty());
+  EXPECT_EQ(live_count(lint_source("src/foo.cpp", src, empty_allow()), "R5"),
+            1);
+}
+
+TEST(LintR5, InlineAllowWithReason) {
+  const std::string src =
+      "// dbk-lint: allow(R5): exact sparsity sentinel\n"
+      "if (w == 0.0F) continue;\n";
+  const auto all = lint_source("src/core/sparse.cpp", src, empty_allow());
+  const auto r5 = findings_for(all, "R5");
+  ASSERT_EQ(r5.size(), 1U);
+  EXPECT_TRUE(r5[0].suppressed);
+  EXPECT_NE(r5[0].suppress_reason.find("sparsity sentinel"),
+            std::string::npos);
+}
+
+TEST(LintR5, AllowlistSuppressionAndWildcardRule) {
+  const auto allow = parse_allow("* src/legacy/  grandfathered pending port\n");
+  const auto all = lint_source("src/legacy/old.cpp",
+                               "if (x == 0.5f) { std::mutex mu; }\n", allow);
+  ASSERT_EQ(all.size(), 2U);  // R1 + R5, both wildcard-suppressed
+  EXPECT_TRUE(all[0].suppressed);
+  EXPECT_TRUE(all[1].suppressed);
+  EXPECT_EQ(dbk_lint::unsuppressed_count(all), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R6: profile-scope label uniqueness + CMake registration
+// ---------------------------------------------------------------------------
+
+TEST(LintR6, FiresOnDuplicateLabelInOneFunction) {
+  const std::string src =
+      "void step() {\n"
+      "  DROPBACK_PROFILE_SCOPE(\"fwd\");\n"
+      "  {\n"
+      "    DROPBACK_PROFILE_SCOPE(\"fwd\");\n"
+      "  }\n"
+      "}\n";
+  const auto all = lint_source("src/train/step.cpp", src, empty_allow());
+  const auto r6 = findings_for(all, "R6");
+  ASSERT_EQ(r6.size(), 1U);
+  EXPECT_EQ(r6[0].line, 4);
+  EXPECT_NE(r6[0].message.find("first at line 2"), std::string::npos);
+}
+
+TEST(LintR6, SameLabelInDifferentFunctionsIsFine) {
+  const std::string src =
+      "void forward() { DROPBACK_PROFILE_SCOPE(\"matmul\"); }\n"
+      "void backward() { DROPBACK_PROFILE_SCOPE(\"matmul\"); }\n";
+  const auto all = lint_source("src/nn/layer.cpp", src, empty_allow());
+  EXPECT_TRUE(findings_for(all, "R6").empty());
+}
+
+TEST(LintR6, InlineAllowForDeliberateDuplicate) {
+  const std::string src =
+      "void merge_test() {\n"
+      "  DROPBACK_PROFILE_SCOPE(\"inner\");\n"
+      "  // dbk-lint: allow(R6): duplicate proves same-label merge\n"
+      "  DROPBACK_PROFILE_SCOPE(\"inner\");\n"
+      "}\n";
+  const auto all = lint_source("tests/prof_test.cpp", src, empty_allow());
+  const auto r6 = findings_for(all, "R6");
+  ASSERT_EQ(r6.size(), 1U);
+  EXPECT_TRUE(r6[0].suppressed);
+}
+
+TEST(LintR6, CmakeRegistrationMissingFileFires) {
+  const std::string cmake =
+      "add_library(dropback\n  util/log.cpp\n  tensor/tensor.cpp\n)\n";
+  const auto all = dbk_lint::lint_cmake_registration(
+      cmake, {"src/util/log.cpp", "src/tensor/tensor.cpp",
+              "src/core/new_kernel.cpp"},
+      empty_allow());
+  ASSERT_EQ(all.size(), 1U);
+  EXPECT_EQ(all[0].rule, "R6");
+  EXPECT_EQ(all[0].file, "src/CMakeLists.txt");
+  EXPECT_NE(all[0].message.find("src/core/new_kernel.cpp"),
+            std::string::npos);
+  EXPECT_FALSE(all[0].suppressed);
+}
+
+TEST(LintR6, CmakeRegistrationAllowlisted) {
+  const auto allow =
+      parse_allow("R6 src/core/generated.cpp  built by codegen target\n");
+  const auto all = dbk_lint::lint_cmake_registration(
+      "add_library(dropback)\n", {"src/core/generated.cpp"}, allow);
+  ASSERT_EQ(all.size(), 1U);
+  EXPECT_TRUE(all[0].suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// Scrubber: rule tokens inside comments/strings never fire
+// ---------------------------------------------------------------------------
+
+TEST(LintScrub, TokensInCommentsAndStringsAreInvisible) {
+  const std::string src =
+      "// std::thread in a comment, fopen( too\n"
+      "/* std::mutex mu; time(nullptr); */\n"
+      "const char* s = \"std::ofstream out; std::rand()\";\n"
+      "const char* r = R\"(std::thread t; w == 0.5f)\";\n";
+  const auto all = lint_source("src/core/doc.cpp", src, empty_allow());
+  EXPECT_TRUE(all.empty());
+}
+
+TEST(LintScrub, DigitSeparatorsDoNotDerailCharLiterals) {
+  // If 1'000'000 were parsed as a char literal, the std::mutex after it
+  // would be swallowed into "string" state and missed.
+  const std::string src =
+      "constexpr int kBig = 1'000'000;\n"
+      "std::mutex mu;\n";
+  const auto all = lint_source("src/core/big.cpp", src, empty_allow());
+  EXPECT_EQ(live_count(all, "R1"), 1);
+}
+
+TEST(LintScrub, EscapedQuotesInsideStrings) {
+  const std::string src =
+      "const char* s = \"quote \\\" std::thread inside\";\n"
+      "std::thread t;\n";
+  const auto all = lint_source("src/core/esc.cpp", src, empty_allow());
+  const auto r1 = findings_for(all, "R1");
+  ASSERT_EQ(r1.size(), 1U);
+  EXPECT_EQ(r1[0].line, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist parsing & report format
+// ---------------------------------------------------------------------------
+
+TEST(LintAllowlist, RejectsMalformedLines) {
+  Allowlist a;
+  std::string error;
+  EXPECT_FALSE(a.parse("R9 src/foo.cpp bad rule id\n", &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  Allowlist b;
+  EXPECT_FALSE(b.parse("R1\n", &error));
+}
+
+TEST(LintAllowlist, CommentsAndBlanksAreIgnored) {
+  const auto a = parse_allow("# header\n\nR1 src/x.cpp reason here\n");
+  ASSERT_EQ(a.entries().size(), 1U);
+  EXPECT_EQ(a.entries()[0].rule, "R1");
+  EXPECT_EQ(a.entries()[0].path, "src/x.cpp");
+  EXPECT_EQ(a.entries()[0].reason, "reason here");
+}
+
+TEST(LintReport, JsonlFindingsAndSummaryParse) {
+  const auto all =
+      lint_source("src/core/worker.cpp",
+                  "std::thread t;\n"
+                  "std::mutex mu;  // dbk-lint: allow(R1): test fixture\n",
+                  empty_allow());
+  ASSERT_EQ(all.size(), 2U);
+  const std::string report = dbk_lint::report_jsonl(all, 1);
+  std::vector<std::string> lines;
+  std::istringstream is(report);
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3U);
+
+  const auto first = dropback::obs::parse_flat_object(lines[0]);
+  EXPECT_EQ(first.at("rule").string, "R1");
+  EXPECT_EQ(first.at("file").string, "src/core/worker.cpp");
+  EXPECT_EQ(first.at("line").number, 1.0);
+  EXPECT_FALSE(first.at("suppressed").boolean);
+
+  const auto second = dropback::obs::parse_flat_object(lines[1]);
+  EXPECT_TRUE(second.at("suppressed").boolean);
+  EXPECT_NE(second.at("reason").string.find("test fixture"),
+            std::string::npos);
+
+  const auto summary = dropback::obs::parse_flat_object(lines[2]);
+  EXPECT_EQ(summary.at("type").string, "summary");
+  EXPECT_EQ(summary.at("files").number, 1.0);
+  EXPECT_EQ(summary.at("findings").number, 2.0);
+  EXPECT_EQ(summary.at("suppressed").number, 1.0);
+  EXPECT_EQ(summary.at("unsuppressed").number, 1.0);
+  EXPECT_EQ(dbk_lint::unsuppressed_count(all), 1);
+}
+
+}  // namespace

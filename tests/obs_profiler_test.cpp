@@ -54,6 +54,7 @@ TEST_F(ProfilerTest, NestedScopesBuildPaths) {
       spin_for_us(20);
     }
     {
+      // dbk-lint: allow(R6): duplicate on purpose — proves same-label merge
       DROPBACK_PROFILE_SCOPE("inner");  // same label merges, calls add up
       spin_for_us(20);
     }

@@ -1,0 +1,32 @@
+// Compile-out smoke test: this file is built with -DDROPBACK_DISABLE_ASSERTS
+// (see tests/CMakeLists.txt), under which DROPBACK_ASSERT must vanish —
+// no throw, and crucially no evaluation of the condition or the streamed
+// detail — while DROPBACK_CHECK (the public-API guard) keeps throwing.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+#ifndef DROPBACK_DISABLE_ASSERTS
+#error "util_check_disabled_test must be compiled with -DDROPBACK_DISABLE_ASSERTS"
+#endif
+
+namespace {
+
+TEST(UtilCheckDisabled, AssertCompilesOutEntirely) {
+  EXPECT_NO_THROW(DROPBACK_ASSERT(false, << "never seen"));
+}
+
+TEST(UtilCheckDisabled, AssertConditionIsNotEvaluated) {
+  int evaluations = 0;
+  DROPBACK_ASSERT(++evaluations > 0, << "side effect must not run");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(UtilCheckDisabled, CheckStillThrows) {
+  // Disabling asserts must never disable API-boundary validation.
+  EXPECT_THROW(DROPBACK_CHECK(false, << "still on"), std::invalid_argument);
+}
+
+}  // namespace

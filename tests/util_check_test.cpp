@@ -1,0 +1,88 @@
+// util/check.hpp contract (ISSUE 5 satellite): DROPBACK_CHECK throws
+// std::invalid_argument whose message carries the failed expression, the
+// file:line of the check, and the streamed detail; passing checks evaluate
+// their condition exactly once and stream nothing. DROPBACK_ASSERT aliases
+// DROPBACK_CHECK in default builds (the compile-out build is covered by
+// util_check_disabled_test.cpp under -DDROPBACK_DISABLE_ASSERTS).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace {
+
+TEST(UtilCheck, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(DROPBACK_CHECK(1 + 1 == 2, << "never rendered"));
+}
+
+TEST(UtilCheck, FailingCheckThrowsInvalidArgument) {
+  EXPECT_THROW(DROPBACK_CHECK(false, << "boom"), std::invalid_argument);
+}
+
+TEST(UtilCheck, MessageCarriesExpressionFileLineAndDetail) {
+  try {
+    const int rows = 3;
+    const int cols = 7;
+    DROPBACK_CHECK(rows == cols,
+                   << "shape mismatch: " << rows << " vs " << cols);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    // The stringified expression...
+    EXPECT_NE(msg.find("rows == cols"), std::string::npos) << msg;
+    // ...the location of THIS file (line is brittle, file is not)...
+    EXPECT_NE(msg.find("util_check_test.cpp"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("check failed"), std::string::npos) << msg;
+    // ...and the streamed detail with values formatted in.
+    EXPECT_NE(msg.find("shape mismatch: 3 vs 7"), std::string::npos) << msg;
+  }
+}
+
+TEST(UtilCheck, DetailIsOptional) {
+  try {
+    DROPBACK_CHECK(false);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("check failed: false"), std::string::npos) << msg;
+    // No stray separator when no detail was streamed.
+    EXPECT_EQ(msg.find("—"), std::string::npos) << msg;
+  }
+}
+
+TEST(UtilCheck, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  DROPBACK_CHECK(++evaluations > 0, << "detail");
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(UtilCheck, DetailNotEvaluatedWhenCheckPasses) {
+  int renders = 0;
+  auto count = [&renders]() {
+    ++renders;
+    return "x";
+  };
+  DROPBACK_CHECK(true, << count());
+  EXPECT_EQ(renders, 0);
+}
+
+TEST(UtilCheck, AssertAliasesCheckInDefaultBuilds) {
+#ifdef DROPBACK_DISABLE_ASSERTS
+  FAIL() << "this suite must build without DROPBACK_DISABLE_ASSERTS";
+#else
+  EXPECT_THROW(DROPBACK_ASSERT(false, << "invariant"), std::invalid_argument);
+  EXPECT_NO_THROW(DROPBACK_ASSERT(true));
+  try {
+    const std::size_t idx = 9;
+    DROPBACK_ASSERT(idx < 4, << "index " << idx << " out of range");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("index 9 out of range"),
+              std::string::npos);
+  }
+#endif
+}
+
+}  // namespace

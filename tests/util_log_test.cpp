@@ -146,4 +146,29 @@ TEST_F(UtilLogTest, ConcurrentJsonLoggersStayParseable) {
   EXPECT_EQ(lines, kThreads * kLines);
 }
 
+TEST_F(UtilLogTest, ParseLogLevelAcceptsEveryDocumentedName) {
+  EXPECT_EQ(util::parse_log_level("debug"), util::LogLevel::kDebug);
+  EXPECT_EQ(util::parse_log_level("info"), util::LogLevel::kInfo);
+  EXPECT_EQ(util::parse_log_level("warn"), util::LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("error"), util::LogLevel::kError);
+  EXPECT_EQ(util::parse_log_level("off"), util::LogLevel::kOff);
+}
+
+TEST_F(UtilLogTest, ParseLogLevelRejectsUnknownNames) {
+  // A typoed --log-level must fail loudly, not silently mean "info".
+  for (const char* bad : {"", "INFO", "Debug", "verbose", "warning", "4"}) {
+    EXPECT_THROW(util::parse_log_level(bad), std::invalid_argument)
+        << "name: \"" << bad << "\"";
+  }
+  try {
+    util::parse_log_level("nonsense");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The DROPBACK_CHECK message names the offender and the valid set.
+    EXPECT_NE(std::string(e.what()).find("nonsense"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("debug|info|warn|error|off"),
+              std::string::npos);
+  }
+}
+
 }  // namespace

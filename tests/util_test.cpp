@@ -144,7 +144,9 @@ TEST(Log, LevelsParse) {
   EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
   EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
   EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
-  EXPECT_EQ(parse_log_level("nonsense"), LogLevel::kInfo);
+  // Unknown names used to silently mean kInfo; they must throw instead
+  // (full rejection coverage lives in util_log_test.cpp).
+  EXPECT_THROW(parse_log_level("nonsense"), std::invalid_argument);
 }
 
 TEST(Log, SetAndGetLevel) {

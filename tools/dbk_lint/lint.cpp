@@ -1,0 +1,697 @@
+#include "dbk_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace dbk_lint {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Scrubbing: blank out comments, string literals, and char literals so rule
+// regexes only ever see code tokens. Same length as the input (newlines are
+// preserved), so line/column positions survive. Comment text is captured
+// per line for the inline-suppression directives.
+// ---------------------------------------------------------------------------
+
+struct Scrubbed {
+  std::string text;                   // literals/comments replaced by spaces
+  std::vector<std::string> comments;  // concatenated comment text per line
+};
+
+Scrubbed scrub(const std::string& src) {
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  Scrubbed out;
+  out.text.reserve(src.size());
+  out.comments.emplace_back();
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  auto keep = [&](char c) { out.text += c; };
+  auto blank = [&](char c) { out.text += (c == '\n') ? '\n' : ' '; };
+  auto note = [&](char c) {
+    if (c != '\n') out.comments.back() += c;
+  };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = (i + 1 < src.size()) ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          blank(c);
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          blank(c);
+          blank(next);
+          ++i;
+        } else if (c == '"') {
+          // Raw string? Preceded by R (itself not part of an identifier).
+          if (i >= 1 && src[i - 1] == 'R' &&
+              (i < 2 || (!std::isalnum(static_cast<unsigned char>(src[i - 2])) &&
+                         src[i - 2] != '_'))) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < src.size() && src[j] != '(' &&
+                   raw_delim.size() < 16) {
+              raw_delim += src[j++];
+            }
+            state = State::kRaw;
+          } else {
+            state = State::kString;
+          }
+          blank(c);
+        } else if (c == '\'') {
+          // Only a char literal when not a digit separator / suffix
+          // position (1'000'000, operator'' — previous char alnum or _).
+          const char prev = (i >= 1) ? src[i - 1] : '\0';
+          if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
+            keep(c);
+          } else {
+            state = State::kChar;
+            blank(c);
+          }
+        } else {
+          keep(c);
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+          blank(c);
+        } else {
+          note(c);
+          blank(c);
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          blank(c);
+          blank(next);
+          ++i;
+        } else {
+          note(c);
+          blank(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          blank(c);
+          blank(next);
+          ++i;
+        } else {
+          if (c == '"') state = State::kCode;
+          blank(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          blank(c);
+          blank(next);
+          ++i;
+        } else {
+          if (c == '\'') state = State::kCode;
+          blank(c);
+        }
+        break;
+      case State::kRaw: {
+        // Look for )delim" at this position.
+        const std::string closer = ")" + raw_delim + "\"";
+        if (src.compare(i, closer.size(), closer) == 0) {
+          for (std::size_t k = 0; k < closer.size(); ++k) {
+            blank(src[i + k]);
+          }
+          i += closer.size() - 1;
+          state = State::kCode;
+        } else {
+          blank(c);
+        }
+        break;
+      }
+    }
+    if (c == '\n') out.comments.emplace_back();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Inline suppression directives: `dbk-lint: allow(R1,R5): reason` inside a
+// comment. A directive on a line with code suppresses that line; a directive
+// on a comment-only line suppresses the next line as well.
+// ---------------------------------------------------------------------------
+
+struct InlineAllow {
+  // line (1-based) -> rule -> reason
+  std::map<int, std::map<std::string, std::string>> by_line;
+
+  const std::string* find(int line, const std::string& rule) const {
+    auto it = by_line.find(line);
+    if (it == by_line.end()) return nullptr;
+    auto jt = it->second.find(rule);
+    if (jt == it->second.end()) jt = it->second.find("*");
+    if (jt == it->second.end()) return nullptr;
+    return &jt->second;
+  }
+};
+
+InlineAllow parse_inline_allows(const Scrubbed& s,
+                                const std::vector<std::string>& code_lines) {
+  static const std::regex kDirective(
+      R"(dbk-lint:\s*allow\(\s*([A-Za-z0-9*,\s]+?)\s*\)\s*:?\s*(.*))");
+  InlineAllow result;
+  for (std::size_t i = 0; i < s.comments.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(s.comments[i], m, kDirective)) continue;
+    const std::string reason =
+        trim(m[2].str()).empty() ? "inline allow" : trim(m[2].str());
+    std::vector<std::string> rules;
+    std::string token;
+    for (char c : m[1].str() + ",") {
+      if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+        if (!token.empty()) rules.push_back(token);
+        token.clear();
+      } else {
+        token += c;
+      }
+    }
+    const int line = static_cast<int>(i) + 1;
+    const bool comment_only =
+        i < code_lines.size() && trim(code_lines[i]).empty();
+    for (const auto& r : rules) {
+      result.by_line[line][r] = reason;
+      if (comment_only) result.by_line[line + 1][r] = reason;
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Function tracking: a brace-depth scope stack fed by scrubbed text. A `{`
+// opens a function body when we are not already inside a function and the
+// statement leading up to it ends in a parameter list (heuristic adequate
+// for clang-formatted code; lambdas and blocks inside functions keep the
+// enclosing function's identity).
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& type_ish_keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",      "while",    "switch",  "catch",   "return",
+      "sizeof", "alignof",  "decltype", "noexcept", "void",   "int",
+      "float",  "double",   "bool",     "char",    "auto",    "long",
+      "short",  "unsigned", "signed",   "const",   "static",  "inline",
+      "typename", "template", "operator", "throw", "new",     "delete",
+      "static_assert", "defined", "assert"};
+  return kw;
+}
+
+std::string function_name_from_stmt(const std::string& stmt) {
+  static const std::regex kIdentCall(R"(([A-Za-z_]\w*)\s*\()");
+  for (auto it = std::sregex_iterator(stmt.begin(), stmt.end(), kIdentCall);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    if (type_ish_keywords().count(name) == 0) return name;
+  }
+  return "<lambda>";
+}
+
+bool stmt_opens_function(const std::string& stmt) {
+  const std::size_t close = stmt.rfind(')');
+  if (close == std::string::npos) return false;
+  static const std::regex kScopeKeyword(
+      R"(^\s*(namespace|using|typedef|class|struct|enum|union|extern)\b)");
+  if (std::regex_search(stmt, kScopeKeyword)) return false;
+  // Whatever trails the parameter list must look like cv-qualifiers /
+  // noexcept / override / a trailing return type — never an initializer.
+  const std::string tail = stmt.substr(close + 1);
+  if (tail.find('=') != std::string::npos) return false;
+  if (tail.find(',') != std::string::npos) return false;
+  return true;
+}
+
+struct Scope {
+  bool is_function = false;
+  int func_id = -1;  // unique per function body
+};
+
+struct FunctionInfo {
+  std::string name;
+  std::map<std::string, int> profile_labels;    // label -> first line (R6)
+  std::vector<std::string> unordered_vars;      // declared names (R4)
+};
+
+class FunctionTracker {
+ public:
+  // Feeds one scrubbed line; returns the id of the innermost function this
+  // line belongs to (-1 at namespace/class scope). A function opening on
+  // this line claims the line.
+  int feed_line(const std::string& scrubbed_line) {
+    int line_func = current_function_id();
+    for (char c : scrubbed_line) {
+      if (c == '{') {
+        Scope s;
+        if (current_function_id() < 0 && stmt_opens_function(stmt_)) {
+          s.is_function = true;
+          s.func_id = next_id_++;
+          functions_[s.func_id].name = function_name_from_stmt(stmt_);
+        } else {
+          s.func_id = current_function_id();
+        }
+        stack_.push_back(s);
+        stmt_.clear();
+        if (s.func_id > line_func) line_func = s.func_id;
+      } else if (c == '}') {
+        if (!stack_.empty()) stack_.pop_back();
+        stmt_.clear();
+      } else if (c == ';') {
+        stmt_.clear();
+      } else {
+        stmt_ += c;
+      }
+    }
+    return line_func;
+  }
+
+  int current_function_id() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->func_id >= 0) return it->func_id;
+    }
+    return -1;
+  }
+
+  FunctionInfo& info(int id) { return functions_[id]; }
+
+ private:
+  std::vector<Scope> stack_;
+  std::string stmt_;
+  std::map<int, FunctionInfo> functions_;
+  int next_id_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Rule scoping
+// ---------------------------------------------------------------------------
+
+bool is_source_under(const std::string& relpath, const char* top) {
+  return starts_with(relpath, std::string(top) + "/");
+}
+
+bool r1_applies(const std::string& p) {
+  // util::ThreadPool owns raw threading; the DataLoader prefetch worker is
+  // the one sanctioned raw thread outside it (docs/PARALLELISM.md).
+  return !starts_with(p, "src/util/thread_pool.") &&
+         !starts_with(p, "src/data/dataloader.");
+}
+
+bool r2_applies(const std::string& p) {
+  return !starts_with(p, "src/util/atomic_file.");
+}
+
+bool r3_applies(const std::string& p) {
+  // Logging timestamps and the wall-time Timer are the sanctioned clock
+  // consumers; everything else must be input-deterministic.
+  return !starts_with(p, "src/util/log.") &&
+         !starts_with(p, "src/util/timer.");
+}
+
+bool r5_applies(const std::string& p) {
+  // Bitwise-equivalence assertions (EXPECT_EQ on floats) are the point of
+  // the test suites; R5 polices library, example, and bench code.
+  return !is_source_under(p, "tests");
+}
+
+bool serialization_function(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return starts_with(lower, "save") || starts_with(lower, "load") ||
+         lower.find("checkpoint") != std::string::npos ||
+         lower.find("serialize") != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Per-line token rules
+// ---------------------------------------------------------------------------
+
+const std::regex& r1_regex() {
+  static const std::regex re(
+      R"(std::\s*(jthread|thread|async|recursive_mutex|timed_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|mutex|condition_variable_any|condition_variable)\b)");
+  return re;
+}
+
+const std::regex& r2_regex() {
+  static const std::regex re(
+      R"((^|[^\w:])(fopen|freopen)\s*\(|std::\s*(ofstream|fstream)\b)");
+  return re;
+}
+
+const std::regex& r3_regex() {
+  static const std::regex re(
+      R"(std::\s*rand\b|(^|[^\w:])(srand|gettimeofday|localtime|gmtime|gmtime_r|localtime_r)\s*\(|random_device|system_clock|(^|[^\w:.])(std::\s*)?time\s*\()");
+  return re;
+}
+
+// Float literal on either side of ==/!= (fractional part, exponent, or a
+// trailing f/F make it unmistakably floating-point at the token level).
+const std::regex& r5_regex() {
+  static const std::regex re(
+      R"(([=!]=\s*[-+]?(\d+\.\d*|\.\d+|\d+[eE][-+]?\d+)([eE][-+]?\d+)?[fFlL]?)|((\d+\.\d*|\.\d+|\d+[eE][-+]?\d+)([eE][-+]?\d+)?[fFlL]?\s*[=!]=))");
+  return re;
+}
+
+struct RuleContext {
+  const std::string& relpath;
+  const InlineAllow& inline_allow;
+  const Allowlist& allow;
+  std::vector<Finding>& findings;
+
+  void emit(const std::string& rule, int line, const std::string& message) {
+    Finding f;
+    f.rule = rule;
+    f.file = relpath;
+    f.line = line;
+    f.message = message;
+    if (const std::string* reason = inline_allow.find(line, rule)) {
+      f.suppressed = true;
+      f.suppress_reason = "inline: " + *reason;
+    } else if (const AllowEntry* e = allow.match(rule, relpath)) {
+      f.suppressed = true;
+      f.suppress_reason =
+          "allowlist: " + (e->reason.empty() ? e->path : e->reason);
+    }
+    findings.push_back(std::move(f));
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Allowlist
+// ---------------------------------------------------------------------------
+
+bool Allowlist::parse(const std::string& text, std::string* error) {
+  static const std::set<std::string> known = {"R1", "R2", "R3",
+                                             "R4", "R5", "R6", "*"};
+  int line_no = 0;
+  for (const auto& raw : split_lines(text)) {
+    ++line_no;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    AllowEntry e;
+    is >> e.rule >> e.path;
+    if (known.count(e.rule) == 0 || e.path.empty()) {
+      if (error) {
+        *error = "allowlist line " + std::to_string(line_no) +
+                 ": expected '<rule> <path> [reason]', got: " + line;
+      }
+      return false;
+    }
+    std::getline(is, e.reason);
+    e.reason = trim(e.reason);
+    entries_.push_back(std::move(e));
+  }
+  return true;
+}
+
+const AllowEntry* Allowlist::match(const std::string& rule,
+                                   const std::string& relpath) const {
+  for (const auto& e : entries_) {
+    if (e.rule != rule && e.rule != "*") continue;
+    const bool dir = !e.path.empty() && e.path.back() == '/';
+    if (dir ? starts_with(relpath, e.path) : relpath == e.path) return &e;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// lint_source
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> lint_source(const std::string& relpath,
+                                 const std::string& content,
+                                 const Allowlist& allow) {
+  std::vector<Finding> findings;
+  const Scrubbed scrubbed = scrub(content);
+  const std::vector<std::string> code_lines = split_lines(scrubbed.text);
+  const std::vector<std::string> raw_lines = split_lines(content);
+  const InlineAllow inline_allow = parse_inline_allows(scrubbed, code_lines);
+  RuleContext ctx{relpath, inline_allow, allow, findings};
+  FunctionTracker tracker;
+
+  static const std::regex kUnorderedDecl(
+      R"(unordered_(map|set)\s*<.*>\s*&?\s*([A-Za-z_]\w*))");
+  static const std::regex kRangeForUnordered(
+      R"(for\s*\([^)]*:[^)]*unordered_(map|set))");
+  static const std::regex kProfileScope(
+      R"rx(DROPBACK_PROFILE_SCOPE\s*\(\s*"([^"]*)"\s*\))rx");
+
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& line = code_lines[i];
+    const int line_no = static_cast<int>(i) + 1;
+    const int func_id = tracker.feed_line(line);
+    std::smatch m;
+
+    if (r1_applies(relpath) && std::regex_search(line, m, r1_regex())) {
+      ctx.emit("R1", line_no,
+               "raw threading primitive std::" + m[1].str() +
+                   " — all parallelism must go through util::ThreadPool "
+                   "(docs/PARALLELISM.md)");
+    }
+
+    if (r2_applies(relpath) && std::regex_search(line, m, r2_regex())) {
+      ctx.emit("R2", line_no,
+               "raw file write (" + trim(m[0].str()) +
+                   ") — artifacts must go through util::atomic_write_file "
+                   "so crashes cannot leave partial files");
+    }
+
+    if (r3_applies(relpath) && std::regex_search(line, m, r3_regex())) {
+      ctx.emit("R3", line_no,
+               "nondeterminism source (" + trim(m[0].str()) +
+                   ") — kernels, optimizers, and serialization must be "
+                   "bitwise-reproducible; use rng::Xorshift / util::Timer");
+    }
+
+    if (func_id >= 0) {
+      FunctionInfo& fn = tracker.info(func_id);
+
+      // R4: record unordered container names, flag iteration in
+      // serialization functions.
+      if (std::regex_search(line, m, kUnorderedDecl)) {
+        fn.unordered_vars.push_back(m[2].str());
+      }
+      if (serialization_function(fn.name)) {
+        bool iterates = std::regex_search(line, kRangeForUnordered);
+        std::string via = "unordered container";
+        if (!iterates) {
+          for (const auto& var : fn.unordered_vars) {
+            const std::regex use(R"(for\s*\([^)]*:[^)]*\b)" + var +
+                                 R"(\b|\b)" + var + R"(\s*\.\s*c?r?begin\s*\()");
+            if (std::regex_search(line, use)) {
+              iterates = true;
+              via = "'" + var + "'";
+              break;
+            }
+          }
+        }
+        if (iterates) {
+          ctx.emit("R4", line_no,
+                   "iteration over " + via + " inside serialization "
+                   "function '" + fn.name +
+                   "' — unordered iteration order makes artifact bytes "
+                   "nondeterministic; sort keys or use std::map");
+        }
+      }
+
+      // R6: duplicate profile-scope labels within one function.
+      if (line.find("DROPBACK_PROFILE_SCOPE") != std::string::npos) {
+        const std::string& raw = raw_lines[i];
+        std::smatch pm;
+        if (std::regex_search(raw, pm, kProfileScope)) {
+          const std::string label = pm[1].str();
+          auto [it, inserted] = fn.profile_labels.emplace(label, line_no);
+          if (!inserted) {
+            ctx.emit("R6", line_no,
+                     "duplicate DROPBACK_PROFILE_SCOPE label \"" + label +
+                         "\" in function '" + fn.name + "' (first at line " +
+                         std::to_string(it->second) +
+                         ") — labels must be unique per function so "
+                         "profile paths merge unambiguously");
+          }
+        }
+      }
+    }
+
+    if (r5_applies(relpath) && std::regex_search(line, m, r5_regex())) {
+      ctx.emit("R5", line_no,
+               "floating-point ==/!= against literal (" + trim(m[0].str()) +
+                   ") — exact FP compares belong in tests' bitwise "
+                   "assertions; use an epsilon or suppress with a reason");
+    }
+  }
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// R6b: CMake registration
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> lint_cmake_registration(
+    const std::string& cmake_text,
+    const std::vector<std::string>& src_cpp_relpaths, const Allowlist& allow) {
+  std::vector<Finding> findings;
+  for (const auto& rel : src_cpp_relpaths) {
+    std::string in_src = rel;
+    if (starts_with(in_src, "src/")) in_src = in_src.substr(4);
+    if (cmake_text.find(in_src) != std::string::npos) continue;
+    Finding f;
+    f.rule = "R6";
+    f.file = "src/CMakeLists.txt";
+    f.line = 1;
+    f.message = rel +
+                " is not registered in add_library(dropback ...) — every "
+                ".cpp under src/ must be listed so the library, tests, and "
+                "sanitizer builds all see it";
+    if (const AllowEntry* e = allow.match("R6", rel)) {
+      f.suppressed = true;
+      f.suppress_reason =
+          "allowlist: " + (e->reason.empty() ? e->path : e->reason);
+    }
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// lint_tree
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> lint_tree(const std::string& root,
+                               const Allowlist& allow, int* files_scanned) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const char* top : {"src", "examples", "bench", "tests"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      files.push_back(
+          fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  std::vector<std::string> src_cpps;
+  for (const auto& rel : files) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("dbk_lint: cannot read " + rel);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto file_findings = lint_source(rel, buf.str(), allow);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+    if (starts_with(rel, "src/") && rel.size() > 4 &&
+        rel.compare(rel.size() - 4, 4, ".cpp") == 0) {
+      src_cpps.push_back(rel);
+    }
+  }
+
+  const fs::path cmake_path = fs::path(root) / "src" / "CMakeLists.txt";
+  if (fs::exists(cmake_path)) {
+    std::ifstream in(cmake_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto reg = lint_cmake_registration(buf.str(), src_cpps, allow);
+    findings.insert(findings.end(), reg.begin(), reg.end());
+  }
+  if (files_scanned) *files_scanned = static_cast<int>(files.size());
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+std::string finding_json(const Finding& f) {
+  dropback::obs::JsonObject o;
+  o.add("rule", f.rule)
+      .add("file", f.file)
+      .add("line", f.line)
+      .add("message", f.message)
+      .add("suppressed", f.suppressed);
+  if (f.suppressed) o.add("reason", f.suppress_reason);
+  return o.str();
+}
+
+int unsuppressed_count(const std::vector<Finding>& findings) {
+  int n = 0;
+  for (const auto& f : findings) {
+    if (!f.suppressed) ++n;
+  }
+  return n;
+}
+
+std::string report_jsonl(const std::vector<Finding>& findings, int files) {
+  std::string out;
+  int suppressed = 0;
+  for (const auto& f : findings) {
+    out += finding_json(f);
+    out += '\n';
+    if (f.suppressed) ++suppressed;
+  }
+  out += dropback::obs::JsonObject()
+             .add("type", "summary")
+             .add("files", files)
+             .add("findings", static_cast<int>(findings.size()))
+             .add("suppressed", suppressed)
+             .add("unsuppressed", unsuppressed_count(findings))
+             .str();
+  out += '\n';
+  return out;
+}
+
+}  // namespace dbk_lint

@@ -1,0 +1,109 @@
+// dbk_lint — project-specific determinism & safety static analysis.
+//
+// A from-scratch token/line-level scanner (no libclang): source text is
+// scrubbed of comments, string literals, and char literals first, then a
+// small set of DropBack-specific rules run over the scrubbed lines with a
+// lightweight brace-depth function tracker for the rules that need function
+// context (R4, R6). The rules encode the contracts that keep training
+// bitwise-reproducible (docs/PARALLELISM.md, docs/ROBUSTNESS.md):
+//
+//   R1  threading primitives (std::thread/jthread/async, mutexes,
+//       condition variables) only in util/thread_pool and the DataLoader
+//       prefetch worker — everything else must go through util::ThreadPool.
+//   R2  no raw fopen/std::ofstream/std::fstream artifact writes outside
+//       util/atomic_file — artifacts must be crash-safe (temp+fsync+rename).
+//   R3  no wall-clock / ambient-randomness sources (std::rand, srand,
+//       std::random_device, std::chrono::system_clock, time(), gettimeofday,
+//       localtime/gmtime) anywhere in library, example, or bench code;
+//       util/log (timestamps) and util/timer are whitelisted.
+//   R4  no iteration over std::unordered_map/std::unordered_set inside
+//       serialization functions (name starts with save/load or contains
+//       checkpoint/serialize) — unordered iteration order is
+//       implementation-defined and would make artifact bytes nondeterministic.
+//   R5  no floating-point ==/!= against float literals outside tests
+//       (bitwise-equivalence assertions live in tests/). Intentional exact
+//       compares (sparsity sentinels) carry an inline suppression.
+//   R6  every DROPBACK_PROFILE_SCOPE label is unique within its function,
+//       and every .cpp under src/ is registered in src/CMakeLists.txt.
+//
+// Suppression comes in two forms (docs/STATIC_ANALYSIS.md):
+//   * inline: a comment `dbk-lint: allow(R5): reason` on the offending line,
+//     or on its own line applying to the next line;
+//   * allowlist file (tools/dbk_lint.rules): `R1 path[/] reason...` lines,
+//     exact file match or directory-prefix match when the path ends in '/'.
+//
+// Suppressed findings are still produced (marked suppressed) so the JSON
+// report shows the full audit trail; only unsuppressed findings fail the run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dbk_lint {
+
+/// One diagnostic. `file` is root-relative with '/' separators.
+struct Finding {
+  std::string rule;      ///< "R1".."R6"
+  std::string file;      ///< e.g. "src/tensor/matmul.cpp"
+  int line = 0;          ///< 1-based
+  std::string message;   ///< human-readable diagnostic
+  bool suppressed = false;
+  std::string suppress_reason;  ///< why (inline directive or allowlist entry)
+};
+
+/// One `rule path reason` allowlist line.
+struct AllowEntry {
+  std::string rule;    ///< "R1".."R6" or "*" for any rule
+  std::string path;    ///< file path, or directory prefix ending in '/'
+  std::string reason;  ///< rest of the line (shown in suppressed findings)
+};
+
+class Allowlist {
+ public:
+  /// Parses the tools/dbk_lint.rules format. Lines: blank, `# comment`, or
+  /// `RULE PATH [reason...]`. Returns false and sets `error` on a malformed
+  /// line (unknown rule id, missing path).
+  bool parse(const std::string& text, std::string* error);
+
+  /// Matching entry for (rule, relpath), or nullptr.
+  const AllowEntry* match(const std::string& rule,
+                          const std::string& relpath) const;
+
+  const std::vector<AllowEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<AllowEntry> entries_;
+};
+
+/// Lints one translation unit given as text. `relpath` decides which rules
+/// apply (per-directory scoping and the built-in whitelists above).
+std::vector<Finding> lint_source(const std::string& relpath,
+                                 const std::string& content,
+                                 const Allowlist& allow);
+
+/// R6 registration check: every path in `src_cpp_relpaths` (root-relative,
+/// e.g. "src/tensor/matmul.cpp") must appear in the text of
+/// src/CMakeLists.txt.
+std::vector<Finding> lint_cmake_registration(
+    const std::string& cmake_text,
+    const std::vector<std::string>& src_cpp_relpaths, const Allowlist& allow);
+
+/// Walks {src, examples, bench, tests}/ under `root` (sorted, deterministic),
+/// lints every .cpp/.hpp/.h, and runs the CMake registration check.
+/// `files_scanned`, when non-null, receives the number of files visited.
+std::vector<Finding> lint_tree(const std::string& root, const Allowlist& allow,
+                               int* files_scanned = nullptr);
+
+/// One flat JSON object per finding (obs JSONL spirit):
+///   {"rule":...,"file":...,"line":...,"message":...,"suppressed":...}
+std::string finding_json(const Finding& f);
+
+/// Whole-run JSONL report: one line per finding plus a trailing summary
+/// record {"type":"summary","files":...,"findings":...,"suppressed":...,
+/// "unsuppressed":...}.
+std::string report_jsonl(const std::vector<Finding>& findings, int files);
+
+/// Number of findings that are not suppressed (the process exit criterion).
+int unsuppressed_count(const std::vector<Finding>& findings);
+
+}  // namespace dbk_lint

@@ -1,0 +1,135 @@
+// dbk_lint CLI — see lint.hpp for the rule catalogue and
+// docs/STATIC_ANALYSIS.md for the workflow.
+//
+//   dbk_lint --root <repo> [--rules <file>] [--json <path>] [--quiet]
+//
+// Prints file:line diagnostics for every finding (suppressed ones only with
+// --verbose), writes the JSONL report when --json is given, and exits 1 if
+// any unsuppressed finding remains, 0 otherwise, 2 on usage errors.
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "dbk_lint/lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --root <dir> [--rules <file>] [--json <path>] [--verbose]\n"
+               "  --root    repository root containing src/, examples/, "
+               "bench/, tests/\n"
+               "  --rules   allowlist file (default: <root>/tools/"
+               "dbk_lint.rules if present)\n"
+               "  --json    write the JSONL report (findings + summary) "
+               "here\n"
+               "  --verbose also print suppressed findings\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string rules_path;
+  std::string json_path;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "dbk_lint: " << flag << " needs a value\n";
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = value("--root");
+    } else if (arg == "--rules") {
+      rules_path = value("--rules");
+    } else if (arg == "--json") {
+      json_path = value("--json");
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "dbk_lint: unknown argument " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "dbk_lint: --root is required\n";
+    return usage(argv[0]);
+  }
+
+  if (rules_path.empty()) {
+    const auto default_rules =
+        std::filesystem::path(root) / "tools" / "dbk_lint.rules";
+    if (std::filesystem::exists(default_rules)) {
+      rules_path = default_rules.string();
+    }
+  }
+
+  dbk_lint::Allowlist allow;
+  if (!rules_path.empty()) {
+    std::ifstream in(rules_path);
+    if (!in) {
+      std::cerr << "dbk_lint: cannot read rules file " << rules_path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (!allow.parse(buf.str(), &error)) {
+      std::cerr << "dbk_lint: " << error << "\n";
+      return 2;
+    }
+  }
+
+  int files = 0;
+  std::vector<dbk_lint::Finding> findings;
+  try {
+    findings = dbk_lint::lint_tree(root, allow, &files);
+  } catch (const std::exception& e) {
+    std::cerr << "dbk_lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  int suppressed = 0;
+  int live = 0;
+  for (const auto& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      if (verbose) {
+        std::cout << f.file << ":" << f.line << ": [" << f.rule
+                  << "] suppressed (" << f.suppress_reason
+                  << "): " << f.message << "\n";
+      }
+      continue;
+    }
+    ++live;
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary |
+                                     std::ios::trunc);  // dbk-lint: allow(R2)
+    if (!out) {
+      std::cerr << "dbk_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << dbk_lint::report_jsonl(findings, files);
+  }
+
+  std::cout << "dbk_lint: " << files << " files, " << findings.size()
+            << " findings (" << suppressed << " suppressed, " << live
+            << " unsuppressed)\n";
+  return live == 0 ? 0 : 1;
+}

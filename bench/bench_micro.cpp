@@ -38,6 +38,7 @@
 #include "nn/sequential.hpp"
 #include "rng/init_spec.hpp"
 #include "rng/xorshift.hpp"
+#include "simd/dispatch.hpp"
 #include "tensor/conv.hpp"
 #include "tensor/matmul.hpp"
 #include "util/flags.hpp"
@@ -436,6 +437,100 @@ void run_speedup_report(int threads) {
   util::set_num_threads(1);
 }
 
+// ---------------------------------------------------------------------------
+// --speedup, part 2: scalar-vs-best-SIMD-target comparison over the four
+// vectorized kernel families (gemm, conv, regen, score), at 1/2/7 threads.
+// Records use the same kernel-timing schema with names
+// "simd/<kernel>@<target>"; the committed baselines live in BENCH_simd.json
+// and scripts/bench_compare.py flags >10% regressions against them.
+// Outputs are bitwise identical across targets (tests/simd_equivalence_test),
+// so the comparison is purely wall-clock.
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+void run_simd_case(const std::string& name, simd::Target best, Fn&& body) {
+  for (const int threads : {1, 2, 7}) {
+    TimedRun scalar_run, best_run;
+    simd::set_target(simd::Target::kScalar);
+    scalar_run = timed_run(threads, kSpeedupReps, body);
+    simd::set_target(best);
+    best_run = timed_run(threads, kSpeedupReps, body);
+    bench::print_kernel_timing(
+        name + "@" + simd::target_name(simd::Target::kScalar), kSpeedupReps,
+        scalar_run.total_us, threads);
+    bench::print_kernel_timing(name + "@" + simd::target_name(best),
+                               kSpeedupReps, best_run.total_us, threads);
+    std::printf("# %s threads=%d speedup %.2fx (%s vs scalar, best-of-%d)\n",
+                name.c_str(), threads,
+                best_run.best_ms > 0.0 ? scalar_run.best_ms / best_run.best_ms
+                                       : 0.0,
+                simd::target_name(best), kSpeedupReps);
+  }
+}
+
+void run_simd_speedup_report() {
+  const simd::Target prev = simd::active_target();
+  const simd::Target best = simd::best_target();
+  std::printf("# scalar-vs-%s SIMD speedup (%d reps; outputs are bitwise "
+              "identical across targets)\n",
+              simd::target_name(best), kSpeedupReps);
+  if (best == simd::Target::kScalar) {
+    std::printf("# simd: no vector target available on this host\n");
+    return;
+  }
+
+  {
+    // Packed-NT GEMM: the dW = dY^T·X / backward-data shape class.
+    constexpr std::int64_t n = 256;
+    rng::Xorshift128 rng(1);
+    tensor::Tensor a({n, n}), bt({n, n});
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      a[i] = rng.uniform(-1, 1);
+      bt[i] = rng.uniform(-1, 1);
+    }
+    run_simd_case("simd/gemm-nt-256", best, [&] {
+      benchmark::DoNotOptimize(tensor::matmul_nt(a, bt).data());
+    });
+  }
+
+  {
+    rng::Xorshift128 rng(1);
+    tensor::Tensor x({16, 16, 32, 32}), w({32, 16, 3, 3}), b({32});
+    for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.uniform(-1, 1);
+    for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = rng.uniform(-1, 1);
+    tensor::Conv2dSpec spec{3, 3, 1, 1};
+    run_simd_case("simd/conv2d-16x16x32x32", best, [&] {
+      benchmark::DoNotOptimize(tensor::conv2d(x, w, b, spec).data());
+    });
+  }
+
+  {
+    // Batched xorshift regeneration — the paper's per-weight regen path.
+    constexpr std::size_t n = 1 << 21;
+    std::vector<float> buf(n);
+    const auto spec = rng::InitSpec::lecun(784, 7);
+    run_simd_case("simd/regen-2m", best, [&] {
+      spec.fill(buf.data(), n);
+      benchmark::DoNotOptimize(buf.data());
+    });
+  }
+
+  {
+    // Fused score sweep (regen + |w - lr*g - w0|) over a 1000x1000 layer.
+    nn::Sequential net;
+    net.emplace<nn::Linear>(1000, 1000, 1);
+    core::ParamIndex index(net.collect_parameters());
+    std::vector<float> scores;
+    run_simd_case("simd/score-1m", best, [&] {
+      core::compute_scores(index, 0.01F, scores);
+      benchmark::DoNotOptimize(scores.data());
+    });
+  }
+
+  simd::set_target(prev);
+  util::set_num_threads(1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -443,10 +538,12 @@ int main(int argc, char** argv) {
   const int threads =
       static_cast<int>(flags.get_int("threads", 0));  // 0 = default rule
   if (threads > 0) dropback::util::set_num_threads(threads);
+  dropback::simd::configure_simd(flags);  // --simd overrides DROPBACK_SIMD
 
   if (flags.get_bool("speedup", false)) {
     run_speedup_report(threads > 0 ? threads
                                    : dropback::util::num_threads());
+    run_simd_speedup_report();
   }
 
   // Strip our flags before handing argv to google-benchmark, which rejects
@@ -455,6 +552,13 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--speedup", 0) == 0) continue;
+    if (arg.rfind("--simd", 0) == 0) {
+      if (arg.find('=') == std::string::npos && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        ++i;  // also skip the detached value
+      }
+      continue;
+    }
     if (arg.rfind("--threads", 0) == 0) {
       if (arg.find('=') == std::string::npos && i + 1 < argc &&
           std::string(argv[i + 1]).rfind("--", 0) != 0) {

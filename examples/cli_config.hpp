@@ -15,6 +15,9 @@
 //   --augment-noise=F (deterministic per-sample uniform noise, default off)
 // Parallelism:
 //   --threads=N (or DROPBACK_THREADS; sizes the global kernel pool)
+//   --simd=scalar|sse4|avx2|avx512|neon|auto (or DROPBACK_SIMD; selects
+//     the kernel dispatch target — results are bitwise identical across
+//     targets, docs/SIMD.md)
 // Crash safety:
 //   --checkpoint=run.dbts --checkpoint-every=N --resume
 //   --anomaly=off|throw|skip|rollback
@@ -31,6 +34,7 @@
 #include "dropback.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "simd/dispatch.hpp"
 #include "util/atomic_file.hpp"
 #include "util/log.hpp"
 
@@ -72,6 +76,7 @@ struct CliConfig {
   /// profiler enable, log format).
   static CliConfig parse(const util::Flags& flags, const Defaults& d) {
     util::configure_threads(flags);  // --threads N / DROPBACK_THREADS
+    simd::configure_simd(flags);     // --simd TARGET / DROPBACK_SIMD
     CliConfig c;
     c.model = flags.get_string("model", d.model);
     c.train_n = flags.get_int("train-n", d.train_n);

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare a bench_micro --speedup run against committed JSONL baselines.
+
+Usage:
+    bench_micro --speedup --benchmark_filter='^$' | grep '"simd/' \
+        | scripts/bench_compare.py BENCH_simd.json [--tolerance 0.10]
+    scripts/bench_compare.py BENCH_simd.json --current new_run.json
+
+Both inputs are kernel-timing JSONL ({"name","calls","total_us","threads"},
+the schema shared by bench_micro --speedup and the profiler dump). Records
+are joined on (name, threads); a current total_us more than --tolerance
+(default 10%) above the baseline is a regression and the script exits 1.
+Missing records (renamed/removed kernels) are reported but only warn, so
+baselines can evolve; improvements are printed for the log.
+
+Stdlib only — runs on a bare python3, no pip anything.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(stream, source_name):
+    records = {}
+    for line_no, line in enumerate(stream, 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{source_name}:{line_no}: bad JSON: {e}")
+        if "name" not in rec or "total_us" not in rec:
+            continue  # summary or foreign record
+        key = (rec["name"], rec.get("threads", 1))
+        # Keep the best (lowest) time if a key repeats.
+        if key not in records or rec["total_us"] < records[key]:
+            records[key] = rec["total_us"]
+    if not records:
+        sys.exit(f"{source_name}: no kernel-timing records found")
+    return records
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Flag benchmark regressions against committed baselines."
+    )
+    parser.add_argument("baseline", help="committed JSONL (e.g. BENCH_simd.json)")
+    parser.add_argument(
+        "--current",
+        help="JSONL from the run under test (default: stdin)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown before failing (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = load_records(f, args.baseline)
+    if args.current and args.current != "-":
+        with open(args.current, encoding="utf-8") as f:
+            current = load_records(f, args.current)
+    else:
+        current = load_records(sys.stdin, "<stdin>")
+
+    regressions = []
+    for key in sorted(baseline):
+        name, threads = key
+        if key not in current:
+            print(f"warn: {name} (threads={threads}) missing from current run")
+            continue
+        base_us, cur_us = baseline[key], current[key]
+        ratio = cur_us / base_us if base_us > 0 else float("inf")
+        tag = f"{name} (threads={threads}): {base_us} -> {cur_us} us ({ratio:.2f}x)"
+        if ratio > 1.0 + args.tolerance:
+            regressions.append(tag)
+            print(f"REGRESSION {tag}")
+        else:
+            print(f"ok {tag}")
+    for key in sorted(current):
+        if key not in baseline:
+            print(f"note: {key[0]} (threads={key[1]}) has no baseline yet")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.tolerance:.0%} tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "obs/profiler.hpp"
+#include "simd/dispatch.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -51,24 +52,18 @@ void compute_scores(const ParamIndex& index, float lr,
     const float* w = param.var.value().data();
     const float* g = param.var.has_grad() ? param.var.grad().data() : nullptr;
     const rng::InitSpec& init = param.init;
-    if (init.kind() == rng::InitSpec::Kind::kConstant) {
-      const float w0 = init.scale();
-      util::parallel_for(kScoreGrain, n, [=](std::int64_t b, std::int64_t e) {
-        for (std::int64_t i = b; i < e; ++i) {
-          const float updated = g ? w[i] - lr * g[i] : w[i];
-          out[i] = std::fabs(updated - w0);
-        }
-      });
-    } else {
-      const rng::InitSpec* spec = &init;
-      util::parallel_for(kScoreGrain, n, [=](std::int64_t b, std::int64_t e) {
-        for (std::int64_t i = b; i < e; ++i) {
-          const float updated = g ? w[i] - lr * g[i] : w[i];
-          out[i] = std::fabs(updated -
-                             spec->value_at(static_cast<std::uint64_t>(i)));
-        }
-      });
-    }
+    // Fused regen + |w - lr*g - w0| on the SIMD score kernel. The kernel is
+    // a pure per-index map (docs/SIMD.md), so sharding it keeps the output
+    // thread-count-invariant bit for bit.
+    const simd::RegenSpec spec{
+        init.kind() == rng::InitSpec::Kind::kConstant ? 0 : 1, init.scale(),
+        init.seed()};
+    const simd::Kernels& kernels = simd::kernels();
+    util::parallel_for(
+        kScoreGrain, n, [=, &kernels](std::int64_t b, std::int64_t e) {
+          kernels.score(w + b, g != nullptr ? g + b : nullptr, lr, spec,
+                        static_cast<std::uint64_t>(b), e - b, out + b);
+        });
   }
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/profiler.hpp"
+#include "simd/dispatch.hpp"
 #include "util/check.hpp"
 #include "util/io_error.hpp"
 #include "util/thread_pool.hpp"
@@ -64,29 +65,24 @@ void DropBackOptimizer::apply_update_and_mask() {
     const std::int64_t n = param.numel();
     const bool regen = config_.regenerate_untracked && param.prunable;
     // Each weight is updated or regenerated independently, so the loop
-    // shards cleanly; traffic tallies are integer sums, reduced per shard.
+    // shards cleanly onto the fused SIMD update/regenerate kernel; traffic
+    // tallies are integer sums, reduced per shard.
     std::atomic<std::uint64_t> tracked_atomic{0};
     std::atomic<std::uint64_t> regen_atomic{0};
     const float lr = lr_;
-    const rng::InitSpec* spec = &init;
+    const simd::RegenSpec spec{
+        init.kind() == rng::InitSpec::Kind::kConstant ? 0 : 1, init.scale(),
+        init.seed()};
+    const simd::Kernels& kernels = simd::kernels();
     util::parallel_for(4096, n, [&, g, w, mask, regen, lr,
                                  spec](std::int64_t b, std::int64_t e) {
-      std::uint64_t tracked_shard = 0;
-      std::uint64_t regen_shard = 0;
-      for (std::int64_t i = b; i < e; ++i) {
-        if (mask[static_cast<std::size_t>(i)]) {
-          if (g) w[i] -= lr * g[i];
-          ++tracked_shard;
-        } else if (regen) {
-          w[i] = spec->value_at(static_cast<std::uint64_t>(i));
-          ++regen_shard;
-        } else {
-          w[i] = 0.0F;
-          ++regen_shard;  // zeroing also needs no memory traffic
-        }
-      }
-      tracked_atomic.fetch_add(tracked_shard, std::memory_order_relaxed);
-      regen_atomic.fetch_add(regen_shard, std::memory_order_relaxed);
+      const std::int64_t tracked_shard = kernels.apply_masked(
+          w + b, g != nullptr ? g + b : nullptr, mask + b, lr, spec, regen,
+          static_cast<std::uint64_t>(b), e - b);
+      tracked_atomic.fetch_add(static_cast<std::uint64_t>(tracked_shard),
+                               std::memory_order_relaxed);
+      regen_atomic.fetch_add(static_cast<std::uint64_t>(e - b - tracked_shard),
+                             std::memory_order_relaxed);
     });
     const std::uint64_t tracked_here = tracked_atomic.load();
     const std::uint64_t regen_here = regen_atomic.load();

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "obs/profiler.hpp"
+#include "simd/dispatch.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -135,11 +136,27 @@ std::vector<std::int64_t> topk_heap(const std::vector<float>& scores,
 }
 
 /// Top-k selection by nth_element (Algorithm 1's sort, done in O(n)).
+/// The two threshold passes of select_with_threshold run on the SIMD
+/// compact prepass kernel: strictly-above hits first, then threshold-equal
+/// hits in ascending index order until the budget is exact — the same
+/// entries, in the same tie-break order, as the scalar scan.
 std::vector<std::int64_t> topk_fullsort(const std::vector<float>& scores,
                                         std::int64_t k) {
-  std::vector<std::int64_t> all(scores.size());
-  std::iota(all.begin(), all.end(), std::int64_t{0});
-  return select_with_threshold(scores, all, k);
+  const std::int64_t n = static_cast<std::int64_t>(scores.size());
+  std::vector<float> scratch(scores);
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   scratch.end(), std::greater<float>());
+  const float lambda = scratch[static_cast<std::size_t>(k - 1)];
+  const simd::Kernels& kernels = simd::kernels();
+  std::vector<std::int64_t> out(static_cast<std::size_t>(k));
+  const std::int64_t above = kernels.compact_cmp(
+      scores.data(), n, lambda, simd::Cmp::kGt, 0, k, out.data());
+  const std::int64_t ties = kernels.compact_cmp(
+      scores.data(), n, lambda, simd::Cmp::kEq, 0, k - above,
+      out.data() + above);
+  out.resize(static_cast<std::size_t>(above + ties));
+  return out;
 }
 
 /// Parallel two-pass variant of topk_fullsort. Pass 1 shards the scores and
@@ -154,6 +171,7 @@ std::vector<std::int64_t> topk_fullsort_parallel(
   const std::int64_t n = static_cast<std::int64_t>(scores.size());
   std::vector<std::vector<std::int64_t>> shard_cands(
       static_cast<std::size_t>(shards));
+  const simd::Kernels& kernels = simd::kernels();
   util::global_pool().run(shards, [&](int s) {
     const std::int64_t begin = n * s / shards;
     const std::int64_t end = n * (s + 1) / shards;
@@ -169,11 +187,13 @@ std::vector<std::int64_t> topk_fullsort_parallel(
                      scratch.begin() + static_cast<std::ptrdiff_t>(k - 1),
                      scratch.end(), std::greater<float>());
     const float local_lambda = scratch[static_cast<std::size_t>(k - 1)];
-    for (std::int64_t i = begin; i < end; ++i) {
-      if (scores[static_cast<std::size_t>(i)] >= local_lambda) {
-        cand.push_back(i);
-      }
-    }
+    // Count, size exactly, then compact global indices on the SIMD top-k
+    // prepass kernels — ascending index order, like the scalar scan.
+    const std::int64_t hits = kernels.count_cmp(scores.data() + begin, len,
+                                                local_lambda, simd::Cmp::kGe);
+    cand.resize(static_cast<std::size_t>(hits));
+    kernels.compact_cmp(scores.data() + begin, len, local_lambda,
+                        simd::Cmp::kGe, begin, hits, cand.data());
   });
   // Shards cover [0, n) in order, so the concatenation is index-sorted.
   std::vector<std::int64_t> candidates;

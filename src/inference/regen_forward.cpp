@@ -6,54 +6,46 @@ namespace dropback::inference {
 
 namespace {
 
-/// Streams the values of one record in flat-index order, merge-joining the
-/// sorted tracked entries with regenerated values. The callback receives
-/// (flat_index, value, was_tracked).
-template <typename F>
-void stream_values(const core::SparseParamRecord& rec, std::int64_t first,
-                   std::int64_t count, F&& emit) {
+/// Materializes one contiguous flat range [first, first+count) of a record
+/// into `buf`: regenerate the whole block on the SIMD regen kernel
+/// (InitSpec::fill_range is bitwise value_at per index), then overwrite the
+/// tracked positions from the sorted entry list with one advancing cursor.
+/// Counts one read per tracked entry and one regen per untracked slot, like
+/// the paper's regenerative traffic model.
+void materialize_range(const core::SparseParamRecord& rec, std::int64_t first,
+                       std::int64_t count, float* buf, std::uint64_t* reads,
+                       std::uint64_t* regens) {
+  rec.init.fill_range(static_cast<std::uint64_t>(first), buf,
+                      static_cast<std::size_t>(count));
   const auto& entries = rec.entries;
   // Binary search for the first tracked entry >= first.
-  std::size_t e = 0;
-  {
-    std::size_t lo = 0, hi = entries.size();
-    while (lo < hi) {
-      const std::size_t mid = (lo + hi) / 2;
-      if (static_cast<std::int64_t>(entries[mid].first) < first) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    e = lo;
-  }
-  const rng::InitSpec& init = rec.init;
-  for (std::int64_t i = first; i < first + count; ++i) {
-    if (e < entries.size() &&
-        static_cast<std::int64_t>(entries[e].first) == i) {
-      emit(i, entries[e].second, true);
-      ++e;
+  std::size_t lo = 0, hi = entries.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (static_cast<std::int64_t>(entries[mid].first) < first) {
+      lo = mid + 1;
     } else {
-      emit(i, init.value_at(static_cast<std::uint64_t>(i)), false);
+      hi = mid;
     }
   }
+  std::uint64_t tracked = 0;
+  for (std::size_t e = lo;
+       e < entries.size() &&
+       static_cast<std::int64_t>(entries[e].first) < first + count;
+       ++e) {
+    buf[static_cast<std::int64_t>(entries[e].first) - first] =
+        entries[e].second;
+    ++tracked;
+  }
+  *reads += tracked;
+  *regens += static_cast<std::uint64_t>(count) - tracked;
 }
 
 float bias_value(const core::SparseParamRecord* bias, std::int64_t o,
                  std::uint64_t* reads, std::uint64_t* regens) {
   if (!bias) return 0.0F;
-  // Bias vectors are small; a linear probe over the sorted entries per
-  // element would be fine, but reuse stream_values for consistency.
   float value = 0.0F;
-  stream_values(*bias, o, 1,
-                [&](std::int64_t, float v, bool tracked) {
-                  value = v;
-                  if (tracked) {
-                    ++*reads;
-                  } else {
-                    ++*regens;
-                  }
-                });
+  materialize_range(*bias, o, 1, &value, reads, regens);
   return value;
 }
 
@@ -82,27 +74,26 @@ tensor::Tensor RegenLinear::forward(const tensor::Tensor& x,
   const float* px = x.data();
   float* py = y.data();
   std::uint64_t reads = 0, regens = 0;
-  // Row o of W is the contiguous flat range [o*in, (o+1)*in): stream it
-  // once per output feature and apply it to every batch row. The weight
-  // value lives only in a register — this is the paper's regenerative MAC.
+  // Row o of W is the contiguous flat range [o*in, (o+1)*in): regenerate it
+  // blockwise on the SIMD regen kernel, then apply it to every batch row.
+  // Only one row buffer of weights is ever live — the paper's budget is
+  // about persistent weight storage, not transient working memory. The MAC
+  // itself stays scalar: its double accumulation is order-sensitive
+  // (docs/SIMD.md), so the i-ascending loop is the reference order.
   std::vector<double> acc(static_cast<std::size_t>(m));
+  std::vector<float> wrow(static_cast<std::size_t>(in_));
   for (std::int64_t o = 0; o < out_; ++o) {
     std::fill(acc.begin(), acc.end(), 0.0);
-    stream_values(*weight_, o * in_, in_,
-                  [&](std::int64_t flat, float w, bool tracked) {
-                    const std::int64_t i = flat - o * in_;
-                    if (tracked) {
-                      ++reads;
-                    } else {
-                      ++regens;
-                    }
-                    // dbk-lint: allow(R5): pruned weights are exactly zero
-                    if (w == 0.0F) return;
-                    for (std::int64_t b = 0; b < m; ++b) {
-                      acc[static_cast<std::size_t>(b)] +=
-                          static_cast<double>(px[b * in_ + i]) * w;
-                    }
-                  });
+    materialize_range(*weight_, o * in_, in_, wrow.data(), &reads, &regens);
+    for (std::int64_t i = 0; i < in_; ++i) {
+      const float w = wrow[static_cast<std::size_t>(i)];
+      // dbk-lint: allow(R5): pruned weights are exactly zero
+      if (w == 0.0F) continue;
+      for (std::int64_t b = 0; b < m; ++b) {
+        acc[static_cast<std::size_t>(b)] +=
+            static_cast<double>(px[b * in_ + i]) * w;
+      }
+    }
     const float bias = bias_value(bias_, o, &reads, &regens);
     for (std::int64_t b = 0; b < m; ++b) {
       py[b * out_ + o] =
@@ -157,15 +148,8 @@ tensor::Tensor RegenConv2d::forward(const tensor::Tensor& x,
   std::uint64_t reads = 0, regens = 0;
   std::vector<float> filter(static_cast<std::size_t>(patch));
   for (std::int64_t oc = 0; oc < cout; ++oc) {
-    stream_values(*weight_, oc * patch, patch,
-                  [&](std::int64_t flat, float w, bool tracked) {
-                    filter[static_cast<std::size_t>(flat - oc * patch)] = w;
-                    if (tracked) {
-                      ++reads;
-                    } else {
-                      ++regens;
-                    }
-                  });
+    materialize_range(*weight_, oc * patch, patch, filter.data(), &reads,
+                      &regens);
     const float bias = bias_value(bias_, oc, &reads, &regens);
     for (std::int64_t r = 0; r < rows; ++r) {
       const float* col = pc + r * patch;

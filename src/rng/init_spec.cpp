@@ -4,8 +4,23 @@
 #include <sstream>
 
 #include "rng/xorshift.hpp"
+#include "simd/dispatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dropback::rng {
+namespace {
+
+/// Shard size for bulk regeneration: regen is ~6 int + 1 float ops per
+/// element, so this matches the score-sweep grain (4096 elements).
+constexpr std::int64_t kFillGrain = 4096;
+
+simd::RegenSpec to_regen_spec(InitSpec::Kind kind, float scale,
+                              std::uint64_t seed) {
+  return simd::RegenSpec{kind == InitSpec::Kind::kConstant ? 0 : 1, scale,
+                         seed};
+}
+
+}  // namespace
 
 InitSpec InitSpec::scaled_normal(float sigma, std::uint64_t seed) {
   return InitSpec(Kind::kScaledNormal, sigma, seed);
@@ -37,12 +52,20 @@ float InitSpec::value_at(std::uint64_t index) const {
   return 0.0F;  // unreachable
 }
 
-void InitSpec::fill(float* data, std::size_t n) const {
-  if (kind_ == Kind::kConstant) {
-    for (std::size_t i = 0; i < n; ++i) data[i] = scale_;
-    return;
-  }
-  for (std::size_t i = 0; i < n; ++i) data[i] = value_at(i);
+void InitSpec::fill(float* data, std::size_t n) const { fill_range(0, data, n); }
+
+void InitSpec::fill_range(std::uint64_t first, float* data,
+                          std::size_t n) const {
+  const simd::RegenSpec spec = to_regen_spec(kind_, scale_, seed_);
+  const simd::Kernels& kernels = simd::kernels();
+  // Pure per-index map: shards write disjoint ranges, so parallelism and
+  // lane width are both invisible in the output bits.
+  util::parallel_for(kFillGrain, static_cast<std::int64_t>(n),
+                     [&](std::int64_t begin, std::int64_t end) {
+                       kernels.regen_fill(
+                           spec, first + static_cast<std::uint64_t>(begin),
+                           end - begin, data + begin);
+                     });
 }
 
 std::string InitSpec::describe() const {

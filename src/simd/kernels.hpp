@@ -1,0 +1,144 @@
+// The SIMD kernel table: one struct of function pointers per dispatch
+// target (scalar / SSE4.2 / AVX2 / AVX-512 / NEON), covering the five
+// kernel families the training loop spends its time in:
+//
+//   gemm   — axpy / axpy2 row updates (matmul, matmul_tn, col2im) and the
+//            packed-NT dot microkernel (matmul_nt, conv2d);
+//   conv   — contiguous copy / fill for the im2col gather and zero padding;
+//   regen  — batched counter-based xorshift regeneration (2/4/8 64-bit
+//            lanes per register, 4/8/16 values per step) behind
+//            rng::InitSpec and the sparse-store/inference regen paths;
+//   score  — fused regen + |w - lr*g - w0| scoring and the masked
+//            update/regenerate sweep of the DropBack step;
+//   top-k  — threshold count / order-preserving compact prepass used by
+//            the top-k selection.
+//
+// Determinism contract (docs/SIMD.md): every entry of every target's table
+// is BITWISE IDENTICAL to the scalar reference in `detail` below, for all
+// inputs. Vectorization is only allowed across independent output
+// elements; per-element operation order must match the scalar code
+// exactly, so order-sensitive reductions (dot_nt's running double sum)
+// stay scalar on every target. tests/simd_equivalence_test.cpp enforces
+// this per (kernel x target x thread count).
+#pragma once
+
+#include <cstdint>
+
+namespace dropback::simd {
+
+/// Regeneration recipe mirroring rng::InitSpec (kind 0 = constant, kind 1 =
+/// scaled normal). A plain POD so kernel tables need no rng dependency.
+struct RegenSpec {
+  int kind;            ///< 0 = constant, 1 = scaled normal
+  float scale;         ///< constant value, or normal sigma
+  std::uint64_t seed;  ///< xorshift seed (scaled normal only)
+};
+
+/// Comparison flavor for the top-k prepass kernels. Semantics are the C++
+/// operators (ordered; NaN compares false, +inf compares normally).
+enum class Cmp : int { kGt, kGe, kEq };
+
+/// Outputs per packed group of the NT-GEMM microkernel. Fixed across
+/// targets so the pack layout is target-independent.
+inline constexpr std::int64_t kPackWidth = 4;
+
+struct Kernels {
+  const char* name;
+
+  // --- gemm family -------------------------------------------------------
+  /// dst[i] += a * src[i] for i in [0, n).
+  void (*axpy)(float* dst, const float* src, float a, std::int64_t n);
+  /// dst[i] += a0 * s0[i]; dst[i] += a1 * s1[i]; — two fused axpys sharing
+  /// one dst load/store, accumulation order per element preserved.
+  void (*axpy2)(float* dst, const float* s0, float a0, const float* s1,
+                float a1, std::int64_t n);
+  /// C-row microkernel for matmul_nt over a B panel packed in kPackWidth-
+  /// interleaved groups (packed[group*4*k + l*4 + t] = B[group*4+t][l]):
+  /// crow[jb*4+t] = (float) sum_l (double)(arow[l] * packed[l*4+t]), the
+  /// float product and l-ascending double accumulation of the scalar code.
+  void (*gemm_nt_packed)(const float* arow, const float* packed,
+                         std::int64_t k, std::int64_t jblocks, float* crow);
+  /// Plain NT dot for tail columns. Running double sum — order-sensitive,
+  /// so every target points at the scalar reference (see header comment).
+  float (*dot_nt)(const float* a, const float* b, std::int64_t n);
+
+  // --- conv / copy family ------------------------------------------------
+  void (*copy)(float* dst, const float* src, std::int64_t n);
+  void (*fill)(float* dst, float value, std::int64_t n);
+
+  // --- regen family ------------------------------------------------------
+  /// out[i] = rng::indexed_u32(seed, first + i).
+  void (*regen_u32)(std::uint64_t seed, std::uint64_t first, std::int64_t n,
+                    std::uint32_t* out);
+  /// out[i] = InitSpec{spec}.value_at(first + i): spec.scale for constant
+  /// specs, spec.scale * indexed_normal_fast(seed, first+i) otherwise.
+  void (*regen_fill)(RegenSpec spec, std::uint64_t first, std::int64_t n,
+                     float* out);
+
+  // --- score / apply family ----------------------------------------------
+  /// out[i] = |(g ? w[i] - lr*g[i] : w[i]) - regen(first + i)| — the fused
+  /// DropBack scoring map. g may be null.
+  void (*score)(const float* w, const float* g, float lr, RegenSpec spec,
+                std::uint64_t first, std::int64_t n, float* out);
+  /// The masked update/regenerate sweep: tracked weights (mask nonzero) get
+  /// w -= lr*g, untracked are regenerated (regen) or zeroed (!regen).
+  /// Returns the number of tracked weights in the range. g may be null.
+  std::int64_t (*apply_masked)(float* w, const float* g,
+                               const std::uint8_t* mask, float lr,
+                               RegenSpec spec, bool regen, std::uint64_t first,
+                               std::int64_t n);
+
+  // --- top-k prepass family ----------------------------------------------
+  /// Number of i in [0, n) with cmp(s[i], threshold).
+  std::int64_t (*count_cmp)(const float* s, std::int64_t n, float threshold,
+                            Cmp cmp);
+  /// Order-preserving compaction: appends base+i for every i (ascending)
+  /// with cmp(s[i], threshold), stopping after max_out hits. Returns the
+  /// number written.
+  std::int64_t (*compact_cmp)(const float* s, std::int64_t n, float threshold,
+                              Cmp cmp, std::int64_t base, std::int64_t max_out,
+                              std::int64_t* out);
+};
+
+namespace detail {
+// Scalar reference implementations. These ARE the semantics: every vector
+// backend funnels its tails through them and must match them bitwise on
+// full vectors too. Addressable as plain functions so backend tables can
+// reference them without static-init-order concerns.
+void axpy(float* dst, const float* src, float a, std::int64_t n);
+void axpy2(float* dst, const float* s0, float a0, const float* s1, float a1,
+           std::int64_t n);
+void gemm_nt_packed(const float* arow, const float* packed, std::int64_t k,
+                    std::int64_t jblocks, float* crow);
+float dot_nt(const float* a, const float* b, std::int64_t n);
+void copy(float* dst, const float* src, std::int64_t n);
+void fill(float* dst, float value, std::int64_t n);
+void regen_u32(std::uint64_t seed, std::uint64_t first, std::int64_t n,
+               std::uint32_t* out);
+void regen_fill(RegenSpec spec, std::uint64_t first, std::int64_t n,
+                float* out);
+void score(const float* w, const float* g, float lr, RegenSpec spec,
+           std::uint64_t first, std::int64_t n, float* out);
+std::int64_t apply_masked(float* w, const float* g, const std::uint8_t* mask,
+                          float lr, RegenSpec spec, bool regen,
+                          std::uint64_t first, std::int64_t n);
+std::int64_t count_cmp(const float* s, std::int64_t n, float threshold,
+                       Cmp cmp);
+std::int64_t compact_cmp(const float* s, std::int64_t n, float threshold,
+                         Cmp cmp, std::int64_t base, std::int64_t max_out,
+                         std::int64_t* out);
+}  // namespace detail
+
+/// Per-target tables. Only the targets compiled for this architecture are
+/// defined; dispatch.cpp is the single consumer of these externs.
+extern const Kernels kScalarKernels;
+#if defined(__x86_64__)
+extern const Kernels kSse4Kernels;
+extern const Kernels kAvx2Kernels;
+extern const Kernels kAvx512Kernels;
+#endif
+#if defined(__aarch64__)
+extern const Kernels kNeonKernels;
+#endif
+
+}  // namespace dropback::simd

@@ -1,0 +1,34 @@
+// AVX2 backend: 8 float / 4 u64 lanes. Compiled with -mavx2
+// -ffp-contract=off (src/CMakeLists.txt) — contract=off matters here
+// because -mavx2 makes FMA contraction possible and FMA skips the
+// per-element rounding step the scalar reference performs.
+#include "simd/kernels.hpp"
+#include "simd/kernels_impl.hpp"
+
+#if defined(__x86_64__)
+
+namespace dropback::simd {
+
+namespace {
+using B = vec::Avx2;
+}
+
+const Kernels kAvx2Kernels = {
+    "avx2",
+    &impl::axpy<B>,
+    &impl::axpy2<B>,
+    &impl::gemm_nt_packed<B>,
+    &detail::dot_nt,  // order-sensitive double reduction stays scalar
+    &impl::copy<B>,
+    &impl::fill<B>,
+    &impl::regen_u32<B>,
+    &impl::regen_fill<B>,
+    &impl::score<B>,
+    &impl::apply_masked<B>,
+    &impl::count_cmp<B>,
+    &impl::compact_cmp<B>,
+};
+
+}  // namespace dropback::simd
+
+#endif  // __x86_64__

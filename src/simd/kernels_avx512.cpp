@@ -1,0 +1,33 @@
+// AVX-512 backend: 16 float / 8 u64 lanes, native 64-bit mullo (DQ).
+// Compiled with -mavx512f -mavx512dq -ffp-contract=off
+// (src/CMakeLists.txt); dispatch requires both CPUID features.
+#include "simd/kernels.hpp"
+#include "simd/kernels_impl.hpp"
+
+#if defined(__x86_64__)
+
+namespace dropback::simd {
+
+namespace {
+using B = vec::Avx512;
+}
+
+const Kernels kAvx512Kernels = {
+    "avx512",
+    &impl::axpy<B>,
+    &impl::axpy2<B>,
+    &impl::gemm_nt_packed<B>,
+    &detail::dot_nt,  // order-sensitive double reduction stays scalar
+    &impl::copy<B>,
+    &impl::fill<B>,
+    &impl::regen_u32<B>,
+    &impl::regen_fill<B>,
+    &impl::score<B>,
+    &impl::apply_masked<B>,
+    &impl::count_cmp<B>,
+    &impl::compact_cmp<B>,
+};
+
+}  // namespace dropback::simd
+
+#endif  // __x86_64__

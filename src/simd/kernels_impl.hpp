@@ -1,0 +1,250 @@
+// Kernel bodies, templated over a vec.hpp trait struct. Each backend TU
+// instantiates these once (`impl::axpy<vec::Avx2>` etc.) and lists the
+// instantiations in its Kernels table.
+//
+// Shared structure of every kernel: a vector main loop over full lanes,
+// then a tail delegated to the scalar reference in simd::detail — so the
+// tail is bitwise-correct by construction and the vector loop only has to
+// match the scalar code on full vectors (the per-lane operation sequences
+// documented in vec.hpp take care of that).
+#pragma once
+
+#include <cstdint>
+
+#include "simd/kernels.hpp"
+#include "simd/vec.hpp"
+
+namespace dropback::simd::impl {
+
+/// splitmix64 / xorshift golden constants (rng/xorshift.cpp).
+inline constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+inline constexpr std::uint64_t kMix1 = 0xBF58476D1CE4E5B9ULL;
+inline constexpr std::uint64_t kMix2 = 0x94D049BB133111EBULL;
+/// 1/stddev of the 4-byte CLT sum (rng::indexed_normal_fast).
+inline constexpr float kInvStddev = 1.0F / 147.8005413F;
+
+template <class B>
+void axpy(float* dst, const float* src, float a, std::int64_t n) {
+  const typename B::VF av = B::fset1(a);
+  std::int64_t i = 0;
+  for (; i + B::kF32 <= n; i += B::kF32) {
+    B::fstore(dst + i,
+              B::fadd(B::fload(dst + i), B::fmul(av, B::fload(src + i))));
+  }
+  if (i < n) detail::axpy(dst + i, src + i, a, n - i);
+}
+
+template <class B>
+void axpy2(float* dst, const float* s0, float a0, const float* s1, float a1,
+           std::int64_t n) {
+  const typename B::VF a0v = B::fset1(a0);
+  const typename B::VF a1v = B::fset1(a1);
+  std::int64_t i = 0;
+  for (; i + B::kF32 <= n; i += B::kF32) {
+    typename B::VF acc =
+        B::fadd(B::fload(dst + i), B::fmul(a0v, B::fload(s0 + i)));
+    acc = B::fadd(acc, B::fmul(a1v, B::fload(s1 + i)));
+    B::fstore(dst + i, acc);
+  }
+  if (i < n) detail::axpy2(dst + i, s0 + i, a0, s1 + i, a1, n - i);
+}
+
+template <class B>
+void copy(float* dst, const float* src, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + B::kF32 <= n; i += B::kF32) B::fstore(dst + i, B::fload(src + i));
+  if (i < n) detail::copy(dst + i, src + i, n - i);
+}
+
+template <class B>
+void fill(float* dst, float value, std::int64_t n) {
+  const typename B::VF v = B::fset1(value);
+  std::int64_t i = 0;
+  for (; i + B::kF32 <= n; i += B::kF32) B::fstore(dst + i, v);
+  if (i < n) detail::fill(dst + i, value, n - i);
+}
+
+/// The full indexed_u32 pipeline on u64 lanes: splitmix64(seed ^ idx*phi)
+/// folded to 32 bits, then three masked xorshift rounds. Bit-exact per lane
+/// with rng::indexed_u32 — pure integer ops, so lane packing is free.
+template <class B>
+inline typename B::VU mix_to_u32(typename B::VU idx, typename B::VU seedv) {
+  using VU = typename B::VU;
+  const VU phi = B::uset1(kGolden);
+  VU x = B::uxor(seedv, B::umul(idx, phi));
+  x = B::uadd(x, phi);
+  x = B::umul(B::uxor(x, B::template usrl<30>(x)), B::uset1(kMix1));
+  x = B::umul(B::uxor(x, B::template usrl<27>(x)), B::uset1(kMix2));
+  x = B::uxor(x, B::template usrl<31>(x));
+  const VU m32 = B::uset1(0xFFFFFFFFULL);
+  VU v = B::uand(B::uxor(x, B::template usrl<32>(x)), m32);
+  v = B::uand(B::uxor(v, B::template usll<13>(v)), m32);
+  v = B::uxor(v, B::template usrl<17>(v));
+  v = B::uand(B::uxor(v, B::template usll<5>(v)), m32);
+  return v;
+}
+
+/// Sum of the 4 bytes of each lane's low 32-bit value (CLT normal input).
+template <class B>
+inline typename B::VU byte_sum(typename B::VU v) {
+  using VU = typename B::VU;
+  const VU m = B::uset1(0xFFULL);
+  const VU s01 = B::uadd(B::uand(v, m), B::uand(B::template usrl<8>(v), m));
+  const VU s23 = B::uadd(B::uand(B::template usrl<16>(v), m),
+                         B::uand(B::template usrl<24>(v), m));
+  return B::uadd(s01, s23);
+}
+
+template <class B>
+void regen_u32(std::uint64_t seed, std::uint64_t first, std::int64_t n,
+               std::uint32_t* out) {
+  using VU = typename B::VU;
+  const VU seedv = B::uset1(seed);
+  const VU step = B::uset1(static_cast<std::uint64_t>(B::kF32));
+  VU idx_a = B::uramp(first);
+  VU idx_b = B::uramp(first + B::kU64);
+  std::int64_t i = 0;
+  for (; i + B::kF32 <= n; i += B::kF32) {
+    B::store_u32(mix_to_u32<B>(idx_a, seedv), mix_to_u32<B>(idx_b, seedv),
+                 out + i);
+    idx_a = B::uadd(idx_a, step);
+    idx_b = B::uadd(idx_b, step);
+  }
+  if (i < n) detail::regen_u32(seed, first + i, n - i, out + i);
+}
+
+template <class B>
+void regen_fill(RegenSpec spec, std::uint64_t first, std::int64_t n,
+                float* out) {
+  if (spec.kind == 0) {
+    fill<B>(out, spec.scale, n);
+    return;
+  }
+  using VU = typename B::VU;
+  const VU seedv = B::uset1(spec.seed);
+  const VU step = B::uset1(static_cast<std::uint64_t>(B::kF32));
+  const typename B::VF mean = B::fset1(510.0F);
+  const typename B::VF inv = B::fset1(kInvStddev);
+  const typename B::VF scale = B::fset1(spec.scale);
+  VU idx_a = B::uramp(first);
+  VU idx_b = B::uramp(first + B::kU64);
+  std::int64_t i = 0;
+  for (; i + B::kF32 <= n; i += B::kF32) {
+    const VU sum_a = byte_sum<B>(mix_to_u32<B>(idx_a, seedv));
+    const VU sum_b = byte_sum<B>(mix_to_u32<B>(idx_b, seedv));
+    // Exactly scale * ((sum - 510) * kInvStddev): two separate multiplies,
+    // matching InitSpec::value_at's rounding.
+    const typename B::VF t =
+        B::fmul(B::fsub(B::f32_from_sums(sum_a, sum_b), mean), inv);
+    B::fstore(out + i, B::fmul(scale, t));
+    idx_a = B::uadd(idx_a, step);
+    idx_b = B::uadd(idx_b, step);
+  }
+  if (i < n) detail::regen_fill(spec, first + i, n - i, out + i);
+}
+
+/// Regen block size for the fused score/apply kernels: large enough to
+/// amortize the regen setup, small enough to stay in L1.
+inline constexpr std::int64_t kRegenBlock = 256;
+
+template <class B>
+void score(const float* w, const float* g, float lr, RegenSpec spec,
+           std::uint64_t first, std::int64_t n, float* out) {
+  static_assert(kRegenBlock % 64 == 0, "block must cover whole vectors");
+  float rbuf[kRegenBlock];
+  const typename B::VF lrv = B::fset1(lr);
+  const typename B::VF cv = B::fset1(spec.scale);
+  std::int64_t i = 0;
+  for (; i + kRegenBlock <= n; i += kRegenBlock) {
+    const bool use_buf = spec.kind != 0;
+    if (use_buf) regen_fill<B>(spec, first + i, kRegenBlock, rbuf);
+    for (std::int64_t j = 0; j < kRegenBlock; j += B::kF32) {
+      const typename B::VF wv = B::fload(w + i + j);
+      const typename B::VF upd =
+          g != nullptr ? B::fsub(wv, B::fmul(lrv, B::fload(g + i + j))) : wv;
+      const typename B::VF ref = use_buf ? B::fload(rbuf + j) : cv;
+      B::fstore(out + i + j, B::fabs_(B::fsub(upd, ref)));
+    }
+  }
+  if (i < n) {
+    detail::score(w + i, g != nullptr ? g + i : nullptr, lr, spec, first + i,
+                  n - i, out + i);
+  }
+}
+
+template <class B>
+std::int64_t apply_masked(float* w, const float* g, const std::uint8_t* mask,
+                          float lr, RegenSpec spec, bool regen,
+                          std::uint64_t first, std::int64_t n) {
+  float rbuf[kRegenBlock];
+  const typename B::VF lrv = B::fset1(lr);
+  const typename B::VF repl_const = B::fset1(regen ? spec.scale : 0.0F);
+  const bool use_buf = regen && spec.kind != 0;
+  std::int64_t tracked = 0;
+  std::int64_t i = 0;
+  for (; i + kRegenBlock <= n; i += kRegenBlock) {
+    if (use_buf) regen_fill<B>(spec, first + i, kRegenBlock, rbuf);
+    for (std::int64_t j = 0; j < kRegenBlock; j += B::kF32) {
+      const typename B::VM tracked_m = B::mask_nonzero_bytes(mask + i + j);
+      const typename B::VF wv = B::fload(w + i + j);
+      const typename B::VF upd =
+          g != nullptr ? B::fsub(wv, B::fmul(lrv, B::fload(g + i + j))) : wv;
+      const typename B::VF repl = use_buf ? B::fload(rbuf + j) : repl_const;
+      B::fstore(w + i + j, B::select(tracked_m, upd, repl));
+      tracked += B::count(tracked_m);
+    }
+  }
+  if (i < n) {
+    tracked += detail::apply_masked(w + i, g != nullptr ? g + i : nullptr,
+                                    mask + i, lr, spec, regen, first + i,
+                                    n - i);
+  }
+  return tracked;
+}
+
+template <class B>
+std::int64_t count_cmp(const float* s, std::int64_t n, float threshold,
+                       Cmp cmp) {
+  const typename B::VF tv = B::fset1(threshold);
+  std::int64_t count = 0;
+  std::int64_t i = 0;
+  for (; i + B::kF32 <= n; i += B::kF32) {
+    count += B::count(B::cmp(B::fload(s + i), tv, cmp));
+  }
+  if (i < n) count += detail::count_cmp(s + i, n - i, threshold, cmp);
+  return count;
+}
+
+template <class B>
+std::int64_t compact_cmp(const float* s, std::int64_t n, float threshold,
+                         Cmp cmp, std::int64_t base, std::int64_t max_out,
+                         std::int64_t* out) {
+  const typename B::VF tv = B::fset1(threshold);
+  std::int64_t written = 0;
+  std::int64_t i = 0;
+  for (; i + B::kF32 <= n; i += B::kF32) {
+    unsigned hits = B::bits(B::cmp(B::fload(s + i), tv, cmp));
+    while (hits != 0U) {
+      if (written == max_out) return written;
+      const int lane = __builtin_ctz(hits);
+      out[written++] = base + i + lane;
+      hits &= hits - 1U;
+    }
+  }
+  if (i < n && written < max_out) {
+    written += detail::compact_cmp(s + i, n - i, threshold, cmp, base + i,
+                                   max_out - written, out + written);
+  }
+  return written;
+}
+
+template <class B>
+void gemm_nt_packed(const float* arow, const float* packed, std::int64_t k,
+                    std::int64_t jblocks, float* crow) {
+  for (std::int64_t jb = 0; jb < jblocks; ++jb) {
+    B::gemm_nt_group(arow, packed + jb * kPackWidth * k, k,
+                     crow + jb * kPackWidth);
+  }
+}
+
+}  // namespace dropback::simd::impl

@@ -1,0 +1,34 @@
+// NEON backend: 4 float / 2 u64 lanes, baseline on aarch64. Compiled with
+// -ffp-contract=off (src/CMakeLists.txt) — aarch64 compilers contract
+// multiply-adds into fmla by default, which would break bitwise parity
+// with the x86 scalar reference.
+#include "simd/kernels.hpp"
+#include "simd/kernels_impl.hpp"
+
+#if defined(__aarch64__)
+
+namespace dropback::simd {
+
+namespace {
+using B = vec::Neon;
+}
+
+const Kernels kNeonKernels = {
+    "neon",
+    &impl::axpy<B>,
+    &impl::axpy2<B>,
+    &impl::gemm_nt_packed<B>,
+    &detail::dot_nt,  // order-sensitive double reduction stays scalar
+    &impl::copy<B>,
+    &impl::fill<B>,
+    &impl::regen_u32<B>,
+    &impl::regen_fill<B>,
+    &impl::score<B>,
+    &impl::apply_masked<B>,
+    &impl::count_cmp<B>,
+    &impl::compact_cmp<B>,
+};
+
+}  // namespace dropback::simd
+
+#endif  // __aarch64__

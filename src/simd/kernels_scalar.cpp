@@ -1,0 +1,164 @@
+// Scalar reference backend. These functions define the bitwise semantics of
+// every kernel: they are transliterations of the loops they replaced
+// (matmul.cpp row updates, InitSpec::value_at regeneration,
+// accumulated_gradients scoring, the optimizer's masked sweep), and every
+// vector backend must reproduce them exactly — full vectors via the lane
+// rules in vec.hpp, tails by calling straight into this file.
+//
+// This TU is compiled with -ffp-contract=off like the vector backends, so
+// the compiler cannot fuse any multiply-add here either: the reference
+// itself is FMA-free.
+#include <cmath>
+#include <cstdint>
+
+#include "rng/xorshift.hpp"
+#include "simd/kernels.hpp"
+
+namespace dropback::simd {
+namespace detail {
+
+void axpy(float* dst, const float* src, float a, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] += a * src[i];
+}
+
+void axpy2(float* dst, const float* s0, float a0, const float* s1, float a1,
+           std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    float v = dst[i] + a0 * s0[i];
+    v += a1 * s1[i];
+    dst[i] = v;
+  }
+}
+
+void gemm_nt_packed(const float* arow, const float* packed, std::int64_t k,
+                    std::int64_t jblocks, float* crow) {
+  for (std::int64_t jb = 0; jb < jblocks; ++jb) {
+    const float* group = packed + jb * kPackWidth * k;
+    double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+    for (std::int64_t l = 0; l < k; ++l) {
+      const float av = arow[l];
+      const float* q = group + l * kPackWidth;
+      // Float product, double accumulation — matmul_nt's exact sequence.
+      acc0 += av * q[0];
+      acc1 += av * q[1];
+      acc2 += av * q[2];
+      acc3 += av * q[3];
+    }
+    float* c = crow + jb * kPackWidth;
+    c[0] = static_cast<float>(acc0);
+    c[1] = static_cast<float>(acc1);
+    c[2] = static_cast<float>(acc2);
+    c[3] = static_cast<float>(acc3);
+  }
+}
+
+float dot_nt(const float* a, const float* b, std::int64_t n) {
+  double acc = 0.0;
+  for (std::int64_t l = 0; l < n; ++l) acc += a[l] * b[l];
+  return static_cast<float>(acc);
+}
+
+void copy(float* dst, const float* src, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+
+void fill(float* dst, float value, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = value;
+}
+
+void regen_u32(std::uint64_t seed, std::uint64_t first, std::int64_t n,
+               std::uint32_t* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = rng::indexed_u32(seed, first + static_cast<std::uint64_t>(i));
+  }
+}
+
+/// InitSpec::value_at semantics for a RegenSpec.
+static inline float regen_value(const RegenSpec& spec, std::uint64_t index) {
+  if (spec.kind == 0) return spec.scale;
+  return spec.scale * rng::indexed_normal_fast(spec.seed, index);
+}
+
+void regen_fill(RegenSpec spec, std::uint64_t first, std::int64_t n,
+                float* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = regen_value(spec, first + static_cast<std::uint64_t>(i));
+  }
+}
+
+void score(const float* w, const float* g, float lr, RegenSpec spec,
+           std::uint64_t first, std::int64_t n, float* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float updated = g != nullptr ? w[i] - lr * g[i] : w[i];
+    const float ref = regen_value(spec, first + static_cast<std::uint64_t>(i));
+    out[i] = std::fabs(updated - ref);
+  }
+}
+
+std::int64_t apply_masked(float* w, const float* g, const std::uint8_t* mask,
+                          float lr, RegenSpec spec, bool regen,
+                          std::uint64_t first, std::int64_t n) {
+  std::int64_t tracked = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (mask[i] != 0U) {
+      if (g != nullptr) w[i] -= lr * g[i];
+      ++tracked;
+    } else if (regen) {
+      w[i] = regen_value(spec, first + static_cast<std::uint64_t>(i));
+    } else {
+      w[i] = 0.0F;
+    }
+  }
+  return tracked;
+}
+
+static inline bool cmp_ok(float v, float threshold, Cmp cmp) {
+  switch (cmp) {
+    case Cmp::kGt:
+      return v > threshold;
+    case Cmp::kGe:
+      return v >= threshold;
+    case Cmp::kEq:
+      break;
+  }
+  return v == threshold;
+}
+
+std::int64_t count_cmp(const float* s, std::int64_t n, float threshold,
+                       Cmp cmp) {
+  std::int64_t count = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (cmp_ok(s[i], threshold, cmp)) ++count;
+  }
+  return count;
+}
+
+std::int64_t compact_cmp(const float* s, std::int64_t n, float threshold,
+                         Cmp cmp, std::int64_t base, std::int64_t max_out,
+                         std::int64_t* out) {
+  std::int64_t written = 0;
+  for (std::int64_t i = 0; i < n && written < max_out; ++i) {
+    if (cmp_ok(s[i], threshold, cmp)) out[written++] = base + i;
+  }
+  return written;
+}
+
+}  // namespace detail
+
+const Kernels kScalarKernels = {
+    "scalar",
+    &detail::axpy,
+    &detail::axpy2,
+    &detail::gemm_nt_packed,
+    &detail::dot_nt,
+    &detail::copy,
+    &detail::fill,
+    &detail::regen_u32,
+    &detail::regen_fill,
+    &detail::score,
+    &detail::apply_masked,
+    &detail::count_cmp,
+    &detail::compact_cmp,
+};
+
+}  // namespace dropback::simd

@@ -1,0 +1,33 @@
+// SSE4.2 backend: 4 float / 2 u64 lanes. Compiled with -msse4.2
+// -ffp-contract=off (src/CMakeLists.txt); only entered when
+// __builtin_cpu_supports("sse4.2") holds.
+#include "simd/kernels.hpp"
+#include "simd/kernels_impl.hpp"
+
+#if defined(__x86_64__)
+
+namespace dropback::simd {
+
+namespace {
+using B = vec::Sse4;
+}
+
+const Kernels kSse4Kernels = {
+    "sse4",
+    &impl::axpy<B>,
+    &impl::axpy2<B>,
+    &impl::gemm_nt_packed<B>,
+    &detail::dot_nt,  // order-sensitive double reduction stays scalar
+    &impl::copy<B>,
+    &impl::fill<B>,
+    &impl::regen_u32<B>,
+    &impl::regen_fill<B>,
+    &impl::score<B>,
+    &impl::apply_masked<B>,
+    &impl::count_cmp<B>,
+    &impl::compact_cmp<B>,
+};
+
+}  // namespace dropback::simd
+
+#endif  // __x86_64__

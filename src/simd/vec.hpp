@@ -1,0 +1,441 @@
+// Fixed-width vector traits — the per-ISA layer under the kernel templates.
+//
+// Each struct below exposes the same tiny vocabulary (float lanes, u64
+// lanes, masked select, 64-bit xorshift arithmetic, and a 4-wide NT-GEMM
+// group microkernel) over one instruction set. simd/kernels_impl.hpp
+// instantiates the kernel bodies once per trait; a backend TU is just
+// `using B = vec::Avx2;` plus a table of those instantiations.
+//
+// Bitwise rules baked into this file:
+//   * every float op is an explicit intrinsic — together with
+//     -ffp-contract=off on the simd TUs this forbids FMA contraction, so
+//     each lane performs exactly the scalar code's multiply-then-add
+//     rounding steps;
+//   * shifts are template-immediate (`usrl<13>`) because NEON requires
+//     compile-time shift counts — generic code writes
+//     `B::template usrl<13>(x)`;
+//   * `umul` is a full 64-bit low multiply: emulated from 32x32->64
+//     halves on SSE4/AVX2, native on AVX-512DQ (_mm512_mullo_epi64) and
+//     NEON (vmull/vmlal_u32 decomposition);
+//   * `low32_pair`/`store_u32`/`f32_from_sums` interleave two u64-lane
+//     registers back into index order (values 0..k-1 from `a`, k..2k-1
+//     from `b`), which is what makes the 64-bit-laned regen pipeline
+//     produce the exact scalar stream order.
+//
+// Only simd/ TUs may include this header (lint rule R7 enforces that
+// vendor intrinsics never leak elsewhere).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "simd/kernels.hpp"
+
+#if defined(__SSE4_2__) || defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+#if defined(__ARM_NEON) && defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace dropback::simd::vec {
+
+#if defined(__SSE4_2__)
+
+struct Sse4 {
+  static constexpr int kF32 = 4;  ///< float lanes per step
+  static constexpr int kU64 = 2;  ///< u64 lanes per register
+  using VF = __m128;
+  using VU = __m128i;
+  using VM = __m128;  ///< all-ones/all-zeros float lane mask
+
+  // --- float lanes --------------------------------------------------------
+  static VF fload(const float* p) { return _mm_loadu_ps(p); }
+  static void fstore(float* p, VF v) { _mm_storeu_ps(p, v); }
+  static VF fset1(float v) { return _mm_set1_ps(v); }
+  static VF fadd(VF a, VF b) { return _mm_add_ps(a, b); }
+  static VF fsub(VF a, VF b) { return _mm_sub_ps(a, b); }
+  static VF fmul(VF a, VF b) { return _mm_mul_ps(a, b); }
+  static VF fabs_(VF a) {
+    return _mm_andnot_ps(_mm_set1_ps(-0.0F), a);
+  }
+  static VM cmp(VF a, VF b, Cmp c) {
+    switch (c) {
+      case Cmp::kGt:
+        return _mm_cmpgt_ps(a, b);
+      case Cmp::kGe:
+        return _mm_cmpge_ps(a, b);
+      case Cmp::kEq:
+        break;
+    }
+    return _mm_cmpeq_ps(a, b);
+  }
+  static unsigned bits(VM m) {
+    return static_cast<unsigned>(_mm_movemask_ps(m));
+  }
+  static int count(VM m) { return __builtin_popcount(bits(m)); }
+  /// Lane i true iff bytes[i] != 0.
+  static VM mask_nonzero_bytes(const std::uint8_t* bytes) {
+    std::uint32_t packed = 0;
+    std::memcpy(&packed, bytes, 4);
+    const __m128i b32 = _mm_cvtepu8_epi32(
+        _mm_cvtsi32_si128(static_cast<int>(packed)));
+    return _mm_castsi128_ps(_mm_cmpgt_epi32(b32, _mm_setzero_si128()));
+  }
+  static VF select(VM m, VF if_set, VF if_clear) {
+    return _mm_blendv_ps(if_clear, if_set, m);
+  }
+
+  // --- u64 lanes (xorshift pipeline) --------------------------------------
+  static VU uset1(std::uint64_t v) {
+    return _mm_set1_epi64x(static_cast<long long>(v));
+  }
+  static VU uramp(std::uint64_t first) {
+    return _mm_set_epi64x(static_cast<long long>(first + 1),
+                          static_cast<long long>(first));
+  }
+  static VU uadd(VU a, VU b) { return _mm_add_epi64(a, b); }
+  static VU uxor(VU a, VU b) { return _mm_xor_si128(a, b); }
+  static VU uand(VU a, VU b) { return _mm_and_si128(a, b); }
+  template <int S>
+  static VU usrl(VU a) {
+    return _mm_srli_epi64(a, S);
+  }
+  template <int S>
+  static VU usll(VU a) {
+    return _mm_slli_epi64(a, S);
+  }
+  /// Full 64-bit low product from 32x32->64 halves:
+  /// lo*lo + ((hi(a)*lo(b) + lo(a)*hi(b)) << 32).
+  static VU umul(VU a, VU b) {
+    const VU lo = _mm_mul_epu32(a, b);
+    const VU cross = _mm_add_epi64(_mm_mul_epu32(_mm_srli_epi64(a, 32), b),
+                                   _mm_mul_epu32(a, _mm_srli_epi64(b, 32)));
+    return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+  }
+  /// [a0.lo32, a1.lo32, b0.lo32, b1.lo32] as one u32 register.
+  static VU low32_pair(VU a, VU b) {
+    return _mm_castps_si128(
+        _mm_shuffle_ps(_mm_castsi128_ps(a), _mm_castsi128_ps(b),
+                       _MM_SHUFFLE(2, 0, 2, 0)));
+  }
+  static void store_u32(VU a, VU b, std::uint32_t* out) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), low32_pair(a, b));
+  }
+  /// i32 -> f32 conversion of the interleaved low words (byte sums < 2^31).
+  static VF f32_from_sums(VU a, VU b) {
+    return _mm_cvtepi32_ps(low32_pair(a, b));
+  }
+
+  // --- NT-GEMM group microkernel ------------------------------------------
+  /// out[t] = (float) sum_l (double)(arow[l] * group[l*4+t]), t = 0..3.
+  /// Float products (mulps), widened per element to double, l-ascending.
+  static void gemm_nt_group(const float* arow, const float* group,
+                            std::int64_t k, float* out) {
+    __m128d acc_lo = _mm_setzero_pd();
+    __m128d acc_hi = _mm_setzero_pd();
+    for (std::int64_t l = 0; l < k; ++l) {
+      const __m128 prod =
+          _mm_mul_ps(_mm_set1_ps(arow[l]), _mm_loadu_ps(group + l * 4));
+      acc_lo = _mm_add_pd(acc_lo, _mm_cvtps_pd(prod));
+      acc_hi = _mm_add_pd(
+          acc_hi, _mm_cvtps_pd(_mm_movehl_ps(prod, prod)));
+    }
+    const __m128 lo = _mm_cvtpd_ps(acc_lo);
+    const __m128 hi = _mm_cvtpd_ps(acc_hi);
+    _mm_storeu_ps(out, _mm_movelh_ps(lo, hi));
+  }
+};
+
+#endif  // __SSE4_2__
+
+#if defined(__AVX2__)
+
+struct Avx2 {
+  static constexpr int kF32 = 8;
+  static constexpr int kU64 = 4;
+  using VF = __m256;
+  using VU = __m256i;
+  using VM = __m256;
+
+  static VF fload(const float* p) { return _mm256_loadu_ps(p); }
+  static void fstore(float* p, VF v) { _mm256_storeu_ps(p, v); }
+  static VF fset1(float v) { return _mm256_set1_ps(v); }
+  static VF fadd(VF a, VF b) { return _mm256_add_ps(a, b); }
+  static VF fsub(VF a, VF b) { return _mm256_sub_ps(a, b); }
+  static VF fmul(VF a, VF b) { return _mm256_mul_ps(a, b); }
+  static VF fabs_(VF a) {
+    return _mm256_andnot_ps(_mm256_set1_ps(-0.0F), a);
+  }
+  static VM cmp(VF a, VF b, Cmp c) {
+    switch (c) {
+      case Cmp::kGt:
+        return _mm256_cmp_ps(a, b, _CMP_GT_OQ);
+      case Cmp::kGe:
+        return _mm256_cmp_ps(a, b, _CMP_GE_OQ);
+      case Cmp::kEq:
+        break;
+    }
+    return _mm256_cmp_ps(a, b, _CMP_EQ_OQ);
+  }
+  static unsigned bits(VM m) {
+    return static_cast<unsigned>(_mm256_movemask_ps(m));
+  }
+  static int count(VM m) { return __builtin_popcount(bits(m)); }
+  static VM mask_nonzero_bytes(const std::uint8_t* bytes) {
+    std::uint64_t packed = 0;
+    std::memcpy(&packed, bytes, 8);
+    const __m256i b32 = _mm256_cvtepu8_epi32(
+        _mm_set_epi64x(0, static_cast<long long>(packed)));
+    return _mm256_castsi256_ps(
+        _mm256_cmpgt_epi32(b32, _mm256_setzero_si256()));
+  }
+  static VF select(VM m, VF if_set, VF if_clear) {
+    return _mm256_blendv_ps(if_clear, if_set, m);
+  }
+
+  static VU uset1(std::uint64_t v) {
+    return _mm256_set1_epi64x(static_cast<long long>(v));
+  }
+  static VU uramp(std::uint64_t first) {
+    return _mm256_setr_epi64x(static_cast<long long>(first),
+                              static_cast<long long>(first + 1),
+                              static_cast<long long>(first + 2),
+                              static_cast<long long>(first + 3));
+  }
+  static VU uadd(VU a, VU b) { return _mm256_add_epi64(a, b); }
+  static VU uxor(VU a, VU b) { return _mm256_xor_si256(a, b); }
+  static VU uand(VU a, VU b) { return _mm256_and_si256(a, b); }
+  template <int S>
+  static VU usrl(VU a) {
+    return _mm256_srli_epi64(a, S);
+  }
+  template <int S>
+  static VU usll(VU a) {
+    return _mm256_slli_epi64(a, S);
+  }
+  static VU umul(VU a, VU b) {
+    const VU lo = _mm256_mul_epu32(a, b);
+    const VU cross =
+        _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                         _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+    return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+  }
+  /// Low 32-bit words of a then b, in u64-lane order: blend b's lows into
+  /// a's odd 32-bit slots, then permute [0,2,4,6 | 1,3,5,7] so lanes read
+  /// [a0..a3, b0..b3].
+  static VU low32_pair(VU a, VU b) {
+    const VU mixed = _mm256_blend_epi32(a, _mm256_slli_epi64(b, 32),
+                                        0b10101010);
+    return _mm256_permutevar8x32_epi32(
+        mixed, _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7));
+  }
+  static void store_u32(VU a, VU b, std::uint32_t* out) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), low32_pair(a, b));
+  }
+  static VF f32_from_sums(VU a, VU b) {
+    return _mm256_cvtepi32_ps(low32_pair(a, b));
+  }
+
+  static void gemm_nt_group(const float* arow, const float* group,
+                            std::int64_t k, float* out) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::int64_t l = 0; l < k; ++l) {
+      const __m128 prod =
+          _mm_mul_ps(_mm_set1_ps(arow[l]), _mm_loadu_ps(group + l * 4));
+      acc = _mm256_add_pd(acc, _mm256_cvtps_pd(prod));
+    }
+    _mm_storeu_ps(out, _mm256_cvtpd_ps(acc));
+  }
+};
+
+#endif  // __AVX2__
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+struct Avx512 {
+  static constexpr int kF32 = 16;
+  static constexpr int kU64 = 8;
+  using VF = __m512;
+  using VU = __m512i;
+  using VM = __mmask16;
+
+  static VF fload(const float* p) { return _mm512_loadu_ps(p); }
+  static void fstore(float* p, VF v) { _mm512_storeu_ps(p, v); }
+  static VF fset1(float v) { return _mm512_set1_ps(v); }
+  static VF fadd(VF a, VF b) { return _mm512_add_ps(a, b); }
+  static VF fsub(VF a, VF b) { return _mm512_sub_ps(a, b); }
+  static VF fmul(VF a, VF b) { return _mm512_mul_ps(a, b); }
+  static VF fabs_(VF a) { return _mm512_abs_ps(a); }
+  static VM cmp(VF a, VF b, Cmp c) {
+    switch (c) {
+      case Cmp::kGt:
+        return _mm512_cmp_ps_mask(a, b, _CMP_GT_OQ);
+      case Cmp::kGe:
+        return _mm512_cmp_ps_mask(a, b, _CMP_GE_OQ);
+      case Cmp::kEq:
+        break;
+    }
+    return _mm512_cmp_ps_mask(a, b, _CMP_EQ_OQ);
+  }
+  static unsigned bits(VM m) { return static_cast<unsigned>(m); }
+  static int count(VM m) {
+    return __builtin_popcount(static_cast<unsigned>(m));
+  }
+  static VM mask_nonzero_bytes(const std::uint8_t* bytes) {
+    const __m512i b32 = _mm512_cvtepu8_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes)));
+    return _mm512_cmpgt_epi32_mask(b32, _mm512_setzero_si512());
+  }
+  static VF select(VM m, VF if_set, VF if_clear) {
+    return _mm512_mask_blend_ps(m, if_clear, if_set);
+  }
+
+  static VU uset1(std::uint64_t v) {
+    return _mm512_set1_epi64(static_cast<long long>(v));
+  }
+  static VU uramp(std::uint64_t first) {
+    return _mm512_setr_epi64(
+        static_cast<long long>(first), static_cast<long long>(first + 1),
+        static_cast<long long>(first + 2), static_cast<long long>(first + 3),
+        static_cast<long long>(first + 4), static_cast<long long>(first + 5),
+        static_cast<long long>(first + 6), static_cast<long long>(first + 7));
+  }
+  static VU uadd(VU a, VU b) { return _mm512_add_epi64(a, b); }
+  static VU uxor(VU a, VU b) { return _mm512_xor_si512(a, b); }
+  static VU uand(VU a, VU b) { return _mm512_and_si512(a, b); }
+  template <int S>
+  static VU usrl(VU a) {
+    return _mm512_srli_epi64(a, S);
+  }
+  template <int S>
+  static VU usll(VU a) {
+    return _mm512_slli_epi64(a, S);
+  }
+  static VU umul(VU a, VU b) { return _mm512_mullo_epi64(a, b); }
+  /// Even 32-bit words of a (its u64 lows) then of b, index order.
+  static VU low32_pair(VU a, VU b) {
+    const __m512i idx =
+        _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26,
+                          28, 30);
+    return _mm512_permutex2var_epi32(a, idx, b);
+  }
+  static void store_u32(VU a, VU b, std::uint32_t* out) {
+    _mm512_storeu_si512(out, low32_pair(a, b));
+  }
+  static VF f32_from_sums(VU a, VU b) {
+    return _mm512_cvtepi32_ps(low32_pair(a, b));
+  }
+
+  static void gemm_nt_group(const float* arow, const float* group,
+                            std::int64_t k, float* out) {
+    // 4-wide groups reuse the 128/256-bit path: the pack layout is shared
+    // across targets (kPackWidth), so AVX-512's win here is the wider
+    // axpy/regen lanes, not a wider microkernel.
+    __m256d acc = _mm256_setzero_pd();
+    for (std::int64_t l = 0; l < k; ++l) {
+      const __m128 prod =
+          _mm_mul_ps(_mm_set1_ps(arow[l]), _mm_loadu_ps(group + l * 4));
+      acc = _mm256_add_pd(acc, _mm256_cvtps_pd(prod));
+    }
+    _mm_storeu_ps(out, _mm256_cvtpd_ps(acc));
+  }
+};
+
+#endif  // __AVX512F__ && __AVX512DQ__
+
+#if defined(__ARM_NEON) && defined(__aarch64__)
+
+struct Neon {
+  static constexpr int kF32 = 4;
+  static constexpr int kU64 = 2;
+  using VF = float32x4_t;
+  using VU = uint64x2_t;
+  using VM = uint32x4_t;
+
+  static VF fload(const float* p) { return vld1q_f32(p); }
+  static void fstore(float* p, VF v) { vst1q_f32(p, v); }
+  static VF fset1(float v) { return vdupq_n_f32(v); }
+  static VF fadd(VF a, VF b) { return vaddq_f32(a, b); }
+  static VF fsub(VF a, VF b) { return vsubq_f32(a, b); }
+  static VF fmul(VF a, VF b) { return vmulq_f32(a, b); }
+  static VF fabs_(VF a) { return vabsq_f32(a); }
+  static VM cmp(VF a, VF b, Cmp c) {
+    switch (c) {
+      case Cmp::kGt:
+        return vcgtq_f32(a, b);
+      case Cmp::kGe:
+        return vcgeq_f32(a, b);
+      case Cmp::kEq:
+        break;
+    }
+    return vceqq_f32(a, b);
+  }
+  static unsigned bits(VM m) {
+    const uint32x4_t weights = {1U, 2U, 4U, 8U};
+    return vaddvq_u32(vandq_u32(m, weights));
+  }
+  static int count(VM m) { return __builtin_popcount(bits(m)); }
+  static VM mask_nonzero_bytes(const std::uint8_t* bytes) {
+    std::uint32_t packed = 0;
+    std::memcpy(&packed, bytes, 4);
+    const uint8x8_t b8 = vcreate_u8(packed);
+    const uint32x4_t b32 = vmovl_u16(vget_low_u16(vmovl_u8(b8)));
+    return vtstq_u32(b32, b32);
+  }
+  static VF select(VM m, VF if_set, VF if_clear) {
+    return vbslq_f32(m, if_set, if_clear);
+  }
+
+  static VU uset1(std::uint64_t v) { return vdupq_n_u64(v); }
+  static VU uramp(std::uint64_t first) {
+    const std::uint64_t vals[2] = {first, first + 1};
+    return vld1q_u64(vals);
+  }
+  static VU uadd(VU a, VU b) { return vaddq_u64(a, b); }
+  static VU uxor(VU a, VU b) { return veorq_u64(a, b); }
+  static VU uand(VU a, VU b) { return vandq_u64(a, b); }
+  template <int S>
+  static VU usrl(VU a) {
+    return vshrq_n_u64(a, S);
+  }
+  template <int S>
+  static VU usll(VU a) {
+    return vshlq_n_u64(a, S);
+  }
+  /// 64-bit low product via 32x32->64 decomposition (no 64-bit NEON mul).
+  static VU umul(VU a, VU b) {
+    const uint32x2_t a_lo = vmovn_u64(a);
+    const uint32x2_t b_lo = vmovn_u64(b);
+    const uint32x2_t a_hi = vshrn_n_u64(a, 32);
+    const uint32x2_t b_hi = vshrn_n_u64(b, 32);
+    uint64x2_t cross = vmull_u32(a_hi, b_lo);
+    cross = vmlal_u32(cross, a_lo, b_hi);
+    return vaddq_u64(vmull_u32(a_lo, b_lo), vshlq_n_u64(cross, 32));
+  }
+  static VM low32_pair(VU a, VU b) {
+    return vcombine_u32(vmovn_u64(a), vmovn_u64(b));
+  }
+  static void store_u32(VU a, VU b, std::uint32_t* out) {
+    vst1q_u32(out, low32_pair(a, b));
+  }
+  static VF f32_from_sums(VU a, VU b) {
+    return vcvtq_f32_u32(low32_pair(a, b));
+  }
+
+  static void gemm_nt_group(const float* arow, const float* group,
+                            std::int64_t k, float* out) {
+    float64x2_t acc_lo = vdupq_n_f64(0.0);
+    float64x2_t acc_hi = vdupq_n_f64(0.0);
+    for (std::int64_t l = 0; l < k; ++l) {
+      const float32x4_t prod = vmulq_n_f32(vld1q_f32(group + l * 4), arow[l]);
+      acc_lo = vaddq_f64(acc_lo, vcvt_f64_f32(vget_low_f32(prod)));
+      acc_hi = vaddq_f64(acc_hi, vcvt_f64_f32(vget_high_f32(prod)));
+    }
+    vst1q_f32(out, vcombine_f32(vcvt_f32_f64(acc_lo), vcvt_f32_f64(acc_hi)));
+  }
+};
+
+#endif  // __ARM_NEON && __aarch64__
+
+}  // namespace dropback::simd::vec

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/profiler.hpp"
+#include "simd/dispatch.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
@@ -37,24 +38,39 @@ Tensor im2col(const Tensor& x, const Conv2dSpec& spec) {
   float* pc = cols.data();
   // Every output row (one (b, oy, ox) patch) is written by exactly one
   // shard, so the gather parallelizes over rows without ordering concerns.
+  // Within a (ch, ky) slice the kx positions map to consecutive ix, so each
+  // slice is a zero prefix + one contiguous copy + a zero suffix, all on
+  // the SIMD copy/fill kernels — a pure data movement, bitwise independent
+  // of lane width.
   const Conv2dSpec sp = spec;
+  const simd::Kernels& kernels = simd::kernels();
   util::parallel_for(
-      conv_grain(patch), n * oh * ow, [=](std::int64_t r0, std::int64_t r1) {
+      conv_grain(patch), n * oh * ow,
+      [=, &kernels](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
           const std::int64_t b = r / (oh * ow);
           const std::int64_t oy = (r / ow) % oh;
           const std::int64_t ox = r % ow;
           float* col = pc + r * patch;
-          std::int64_t k = 0;
+          const std::int64_t ix0 = ox * sp.stride - sp.padding;
+          // Valid kx range: ix0 + kx in [0, w).
+          const std::int64_t kx_lo = std::max<std::int64_t>(0, -ix0);
+          const std::int64_t kx_hi =
+              std::min<std::int64_t>(sp.kernel_w, w - ix0);
           for (std::int64_t ch = 0; ch < c; ++ch) {
             const float* plane = px + (b * c + ch) * h * w;
             for (std::int64_t ky = 0; ky < sp.kernel_h; ++ky) {
               const std::int64_t iy = oy * sp.stride + ky - sp.padding;
-              for (std::int64_t kx = 0; kx < sp.kernel_w; ++kx) {
-                const std::int64_t ix = ox * sp.stride + kx - sp.padding;
-                col[k++] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
-                               ? plane[iy * w + ix]
-                               : 0.0F;
+              float* dst = col + (ch * sp.kernel_h + ky) * sp.kernel_w;
+              if (iy < 0 || iy >= h || kx_lo >= kx_hi) {
+                kernels.fill(dst, 0.0F, sp.kernel_w);
+                continue;
+              }
+              if (kx_lo > 0) kernels.fill(dst, 0.0F, kx_lo);
+              kernels.copy(dst + kx_lo, plane + iy * w + ix0 + kx_lo,
+                           kx_hi - kx_lo);
+              if (kx_hi < sp.kernel_w) {
+                kernels.fill(dst + kx_hi, 0.0F, sp.kernel_w - kx_hi);
               }
             }
           }
@@ -80,25 +96,33 @@ Tensor col2im(const Tensor& cols, const Shape& x_shape,
   // Overlapping patches of the same image scatter-add into shared pixels,
   // so the parallel split is per batch image: shards own disjoint planes
   // and each image replays the serial (oy, ox, k) accumulation order.
+  // Each in-bounds (ch, ky) slice is one contiguous add-run (kx maps to
+  // consecutive ix), which the SIMD axpy kernel performs with a = 1.0f —
+  // v + 1.0f * u rounds exactly like v + u, and the (oy, ox, ch, ky, kx)
+  // accumulation order is untouched.
   const Conv2dSpec sp = spec;
+  const simd::Kernels& kernels = simd::kernels();
   util::parallel_for(
-      conv_grain(oh * ow * patch), n, [=](std::int64_t b0, std::int64_t b1) {
+      conv_grain(oh * ow * patch), n,
+      [=, &kernels](std::int64_t b0, std::int64_t b1) {
         for (std::int64_t b = b0; b < b1; ++b) {
           for (std::int64_t oy = 0; oy < oh; ++oy) {
             for (std::int64_t ox = 0; ox < ow; ++ox) {
               const float* col = pc + ((b * oh + oy) * ow + ox) * patch;
-              std::int64_t k = 0;
+              const std::int64_t ix0 = ox * sp.stride - sp.padding;
+              const std::int64_t kx_lo = std::max<std::int64_t>(0, -ix0);
+              const std::int64_t kx_hi =
+                  std::min<std::int64_t>(sp.kernel_w, w - ix0);
+              if (kx_lo >= kx_hi) continue;  // fully out of bounds
               for (std::int64_t ch = 0; ch < c; ++ch) {
                 float* plane = px + (b * c + ch) * h * w;
                 for (std::int64_t ky = 0; ky < sp.kernel_h; ++ky) {
                   const std::int64_t iy = oy * sp.stride + ky - sp.padding;
-                  for (std::int64_t kx = 0; kx < sp.kernel_w; ++kx) {
-                    const std::int64_t ix = ox * sp.stride + kx - sp.padding;
-                    const float v = col[k++];
-                    if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
-                      plane[iy * w + ix] += v;
-                    }
-                  }
+                  if (iy < 0 || iy >= h) continue;
+                  const float* src =
+                      col + (ch * sp.kernel_h + ky) * sp.kernel_w;
+                  kernels.axpy(plane + iy * w + ix0 + kx_lo, src + kx_lo,
+                               1.0F, kx_hi - kx_lo);
                 }
               }
             }

@@ -1,8 +1,10 @@
 #include "tensor/matmul.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "obs/profiler.hpp"
+#include "simd/dispatch.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -22,20 +24,46 @@ std::int64_t row_grain(std::int64_t flops_per_row) {
       1, kMinParallelFlops / std::max<std::int64_t>(1, flops_per_row));
 }
 
+/// One C row's accumulation over the A entries in [l0, l1), on the SIMD
+/// axpy kernels: crow += A[l] * B-row(l) for every nonzero A[l], pairing
+/// consecutive nonzero terms into axpy2 so the crow traffic halves. The
+/// per-element operation order — ascending l, multiply then add — is
+/// exactly the serial j-inner loop's, so the result is bitwise identical
+/// for every dispatch target (docs/SIMD.md).
+void accumulate_rows(const simd::Kernels& kernels, float* crow,
+                     const float* avals, std::int64_t astride,
+                     const float* pb, std::int64_t n, std::int64_t l0,
+                     std::int64_t l1) {
+  std::int64_t l = l0;
+  while (l < l1) {
+    const float a0 = avals[l * astride];
+    // dbk-lint: allow(R5): exact-zero skip is the sparse fast path
+    if (a0 == 0.0F) {
+      ++l;
+      continue;
+    }
+    std::int64_t l2 = l + 1;
+    // dbk-lint: allow(R5): exact-zero skip is the sparse fast path
+    while (l2 < l1 && avals[l2 * astride] == 0.0F) ++l2;
+    if (l2 < l1) {
+      kernels.axpy2(crow, pb + l * n, a0, pb + l2 * n, avals[l2 * astride],
+                    n);
+      l = l2 + 1;
+    } else {
+      kernels.axpy(crow, pb + l * n, a0, n);
+      break;
+    }
+  }
+}
+
 /// Small/medium kernel: i-k-j ordering, streaming contiguous B rows.
 void matmul_ikj(const float* pa, const float* pb, float* pc, std::int64_t m,
                 std::int64_t k, std::int64_t n) {
-  util::parallel_for(row_grain(k * n), m, [=](std::int64_t i0,
-                                              std::int64_t i1) {
+  const simd::Kernels& kernels = simd::kernels();
+  util::parallel_for(row_grain(k * n), m, [=, &kernels](std::int64_t i0,
+                                                        std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
-      float* crow = pc + i * n;
-      for (std::int64_t l = 0; l < k; ++l) {
-        const float aval = pa[i * k + l];
-        // dbk-lint: allow(R5): exact-zero skip is the sparse fast path
-        if (aval == 0.0F) continue;  // sparse weights make this branch pay off
-        const float* brow = pb + l * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-      }
+      accumulate_rows(kernels, pc + i * n, pa + i * k, 1, pb, n, 0, k);
     }
   });
 }
@@ -49,23 +77,18 @@ void matmul_blocked(const float* pa, const float* pb, float* pc,
   constexpr std::int64_t kBlockI = 32;
   constexpr std::int64_t kBlockL = 128;
   const std::int64_t iblocks = (m + kBlockI - 1) / kBlockI;
+  const simd::Kernels& kernels = simd::kernels();
   util::parallel_for(
       row_grain(kBlockI * k * n), iblocks,
-      [=](std::int64_t b0, std::int64_t b1) {
+      [=, &kernels](std::int64_t b0, std::int64_t b1) {
         for (std::int64_t ib = b0; ib < b1; ++ib) {
           const std::int64_t i0 = ib * kBlockI;
           const std::int64_t i1 = std::min(i0 + kBlockI, m);
           for (std::int64_t l0 = 0; l0 < k; l0 += kBlockL) {
             const std::int64_t l1 = std::min(l0 + kBlockL, k);
             for (std::int64_t i = i0; i < i1; ++i) {
-              float* crow = pc + i * n;
-              for (std::int64_t l = l0; l < l1; ++l) {
-                const float aval = pa[i * k + l];
-                // dbk-lint: allow(R5): exact-zero skip is the sparse fast path
-                if (aval == 0.0F) continue;
-                const float* brow = pb + l * n;
-                for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-              }
+              accumulate_rows(kernels, pc + i * n, pa + i * k, 1, pb, n, l0,
+                              l1);
             }
           }
         }
@@ -104,9 +127,11 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   float* pc = c.data();
   // C[i][j] = sum_l A[l][i] * B[l][j]. Shards own C row ranges; the l loop
   // stays outermost within a shard, so per-element accumulation order (l
-  // ascending) matches the serial kernel exactly.
-  util::parallel_for(row_grain(k * n), m, [=](std::int64_t i0,
-                                              std::int64_t i1) {
+  // ascending) matches the serial kernel exactly; the j loop runs on the
+  // SIMD axpy kernel.
+  const simd::Kernels& kernels = simd::kernels();
+  util::parallel_for(row_grain(k * n), m, [=, &kernels](std::int64_t i0,
+                                                        std::int64_t i1) {
     for (std::int64_t l = 0; l < k; ++l) {
       const float* arow = pa + l * m;
       const float* brow = pb + l * n;
@@ -114,8 +139,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
         const float aval = arow[i];
         // dbk-lint: allow(R5): exact-zero skip is the sparse fast path
         if (aval == 0.0F) continue;
-        float* crow = pc + i * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+        kernels.axpy(pc + i * n, brow, aval, n);
       }
     }
   });
@@ -132,17 +156,56 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  // C[i][j] = dot(A row i, B row j): both rows contiguous.
-  util::parallel_for(row_grain(k * n), m, [=](std::int64_t i0,
-                                              std::int64_t i1) {
+  // C[i][j] = dot(A row i, B row j): both rows contiguous. Per element the
+  // math is a float product accumulated into a double, l ascending — the
+  // packed path below preserves exactly that sequence per output.
+  const simd::Kernels& kernels = simd::kernels();
+  const std::int64_t jblocks = n / simd::kPackWidth;
+  if (jblocks > 0 && m >= 4) {
+    // Pack B once into kPackWidth-interleaved column groups
+    // (packed[jb*4*k + l*4 + t] = B[jb*4+t][l]) so the microkernel streams
+    // one contiguous panel per C-row group. Packing is a pure copy —
+    // shard-order invisible.
+    std::vector<float> packed(
+        static_cast<std::size_t>(jblocks * simd::kPackWidth * k));
+    float* pp = packed.data();
+    util::parallel_for(
+        row_grain(simd::kPackWidth * k), jblocks,
+        [=](std::int64_t b0, std::int64_t b1) {
+          for (std::int64_t jb = b0; jb < b1; ++jb) {
+            float* group = pp + jb * simd::kPackWidth * k;
+            const float* rows[simd::kPackWidth];
+            for (std::int64_t t = 0; t < simd::kPackWidth; ++t) {
+              rows[t] = pb + (jb * simd::kPackWidth + t) * k;
+            }
+            for (std::int64_t l = 0; l < k; ++l) {
+              for (std::int64_t t = 0; t < simd::kPackWidth; ++t) {
+                group[l * simd::kPackWidth + t] = rows[t][l];
+              }
+            }
+          }
+        });
+    util::parallel_for(
+        row_grain(k * n), m,
+        [=, &kernels](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const float* arow = pa + i * k;
+            float* crow = pc + i * n;
+            kernels.gemm_nt_packed(arow, pp, k, jblocks, crow);
+            for (std::int64_t j = jblocks * simd::kPackWidth; j < n; ++j) {
+              crow[j] = kernels.dot_nt(arow, pb + j * k, k);
+            }
+          }
+        });
+    return c;
+  }
+  util::parallel_for(row_grain(k * n), m, [=, &kernels](std::int64_t i0,
+                                                        std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
       const float* arow = pa + i * k;
       float* crow = pc + i * n;
       for (std::int64_t j = 0; j < n; ++j) {
-        const float* brow = pb + j * k;
-        double acc = 0.0;
-        for (std::int64_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
-        crow[j] = static_cast<float>(acc);
+        crow[j] = kernels.dot_nt(arow, pb + j * k, k);
       }
     }
   });

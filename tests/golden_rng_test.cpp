@@ -8,10 +8,12 @@
 // if one fails, either revert the RNG change or version the store format.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "rng/init_spec.hpp"
 #include "rng/xorshift.hpp"
+#include "simd/dispatch.hpp"
 
 namespace dropback::rng {
 namespace {
@@ -78,6 +80,70 @@ TEST(GoldenRng, LargeIndicesDoNotCollide) {
     prev = v;
   }
   EXPECT_EQ(same, 0);
+}
+
+// --- batched multi-lane stream pins (docs/SIMD.md) ------------------------
+//
+// The SIMD regen kernels compute 4/8/16 indices per vector, interleaving
+// two 64-bit lanes into one 32-bit result vector. A lane-interleave bug
+// would pass a "matches value_at" test on some indices and scramble others,
+// so pin literal values at lane-boundary indices (0/1, 7/8, 15/16, 31/32,
+// 47/48, 63) for EVERY runtime-available dispatch target. The pins are the
+// published scalar sequence: indexed_u32 / value_at captured at seed time.
+
+TEST(GoldenRng, BatchedU32StreamPinnedOnEveryTarget) {
+  constexpr std::uint64_t kSeed = 42;
+  constexpr struct {
+    std::uint64_t index;
+    std::uint32_t value;
+  } kPins[] = {
+      {0, 753679526U},   {1, 2703656119U},  {2, 2140888734U},
+      {3, 1310057932U},  {7, 3431375581U},  {8, 3896359838U},
+      {15, 1159260377U}, {16, 3410775163U}, {31, 1010425660U},
+      {32, 4089440273U}, {47, 2555010046U}, {48, 2880683505U},
+      {63, 3934107756U},
+  };
+  for (const auto& pin : kPins) {
+    ASSERT_EQ(indexed_u32(kSeed, pin.index), pin.value)
+        << "scalar reference drifted at index " << pin.index;
+  }
+  for (const simd::Target t : simd::available_targets()) {
+    const simd::Kernels& kernels = simd::kernels_for(t);
+    std::uint32_t out[64] = {};
+    kernels.regen_u32(kSeed, 0, 64, out);
+    for (const auto& pin : kPins) {
+      EXPECT_EQ(out[pin.index], pin.value)
+          << simd::target_name(t) << " lane stream at index " << pin.index;
+    }
+  }
+}
+
+TEST(GoldenRng, BatchedNormalStreamPinnedOnEveryTarget) {
+  const InitSpec spec = InitSpec::scaled_normal(1.0F, 0xFEEDULL);
+  constexpr struct {
+    std::uint64_t index;
+    float value;
+  } kPins[] = {
+      {0, 1.39377034F},    {1, 1.4749608F},    {3, -0.169146881F},
+      {4, -0.913393199F},  {7, 0.649524033F},  {8, -0.148849264F},
+      {15, -0.690119326F}, {16, -1.00811541F}, {31, -1.16373062F},
+      {32, -0.3044644F},   {63, 0.250337392F},
+  };
+  for (const auto& pin : kPins) {
+    ASSERT_FLOAT_EQ(spec.value_at(pin.index), pin.value)
+        << "scalar reference drifted at index " << pin.index;
+  }
+  const simd::RegenSpec rspec{1, spec.scale(), spec.seed()};
+  for (const simd::Target t : simd::available_targets()) {
+    const simd::Kernels& kernels = simd::kernels_for(t);
+    float out[64] = {};
+    kernels.regen_fill(rspec, 0, 64, out);
+    for (const auto& pin : kPins) {
+      // Bitwise: the regenerated stream IS the persistence format.
+      EXPECT_EQ(out[pin.index], pin.value)
+          << simd::target_name(t) << " normal stream at index " << pin.index;
+    }
+  }
 }
 
 TEST(GoldenRng, SeedZeroAndIndexZeroWellDefined) {

@@ -1,4 +1,4 @@
-// Unit tests for tools/dbk_lint: every rule R1–R6 has at least one
+// Unit tests for tools/dbk_lint: every rule R1–R7 has at least one
 // true-positive fixture (the rule fires on a minimal offending snippet) and
 // at least one suppression fixture (inline directive or allowlist entry
 // silences it), plus scrubber edge cases (comments, strings, raw strings,
@@ -409,6 +409,88 @@ TEST(LintR6, CmakeRegistrationAllowlisted) {
       "add_library(dropback)\n", {"src/core/generated.cpp"}, allow);
   ASSERT_EQ(all.size(), 1U);
   EXPECT_TRUE(all[0].suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// R7: vendor SIMD intrinsics only under src/simd/
+// ---------------------------------------------------------------------------
+
+TEST(LintR7, FiresOnIntrinsicsHeaderAndIdentifiers) {
+  const std::string src =
+      "#include <immintrin.h>\n"
+      "float hsum(const float* p) {\n"
+      "  __m256 v = _mm256_loadu_ps(p);\n"
+      "  __m128 lo = _mm256_castps256_ps128(v);\n"
+      "  return _mm_cvtss_f32(lo);\n"
+      "}\n";
+  const auto all = lint_source("src/tensor/fast_sum.cpp", src, empty_allow());
+  // Header include + one finding per intrinsic-bearing line.
+  EXPECT_GE(live_count(all, "R7"), 4);
+}
+
+TEST(LintR7, FiresOnNeonIdentifiers) {
+  const std::string src =
+      "#include <arm_neon.h>\n"
+      "void copy4(float* d, const float* s) {\n"
+      "  float32x4_t v = vld1q_f32(s);\n"
+      "  vst1q_f32(d, v);\n"
+      "}\n";
+  const auto all = lint_source("bench/bench_neon.cpp", src, empty_allow());
+  EXPECT_GE(live_count(all, "R7"), 3);
+}
+
+TEST(LintR7, SimdDirectoryIsBuiltInAllowed) {
+  const std::string src =
+      "#include <immintrin.h>\n"
+      "__m512 z = _mm512_setzero_ps();\n";
+  EXPECT_TRUE(findings_for(lint_source("src/simd/vec.hpp", src, empty_allow()),
+                           "R7")
+                  .empty());
+  EXPECT_TRUE(
+      findings_for(
+          lint_source("src/simd/kernels_avx2.cpp", src, empty_allow()), "R7")
+          .empty());
+}
+
+TEST(LintR7, PortableSimdApiUseIsFine) {
+  // Call sites use the dispatch layer, never raw intrinsics: none of these
+  // tokens may trip the rule.
+  const std::string src =
+      "#include \"simd/dispatch.hpp\"\n"
+      "void f(float* d, const float* s, std::int64_t n) {\n"
+      "  const simd::Kernels& k = simd::kernels();\n"
+      "  k.axpy(d, s, 2.0F, n);\n"
+      "  simd::set_target(simd::Target::kScalar);\n"
+      "}\n";
+  const auto all = lint_source("src/tensor/matmul.cpp", src, empty_allow());
+  EXPECT_TRUE(findings_for(all, "R7").empty());
+}
+
+TEST(LintR7, MentionsInCommentsAndStringsAreInvisible) {
+  const std::string src =
+      "// uses _mm256_fmadd_ps on AVX2, see immintrin.h\n"
+      "const char* kMsg = \"vld1q_f32 is the NEON load\";\n";
+  const auto all = lint_source("src/util/doc.cpp", src, empty_allow());
+  EXPECT_TRUE(findings_for(all, "R7").empty());
+}
+
+TEST(LintR7, InlineAllowAndAllowlistSuppress) {
+  const std::string inline_src =
+      "// dbk-lint: allow(R7): cpuid probe predates the dispatch layer\n"
+      "int has = __builtin_cpu_supports(\"avx2\") && _mm_pause();\n";
+  const auto inline_all =
+      lint_source("src/util/cpu.cpp", inline_src, empty_allow());
+  const auto inline_r7 = findings_for(inline_all, "R7");
+  ASSERT_EQ(inline_r7.size(), 1U);
+  EXPECT_TRUE(inline_r7[0].suppressed);
+
+  const auto allow = parse_allow("R7 bench/bench_intrin.cpp  raw-ISA probe\n");
+  const auto listed = lint_source("bench/bench_intrin.cpp",
+                                  "__m256 v = _mm256_setzero_ps();\n", allow);
+  for (const auto& f : findings_for(listed, "R7")) {
+    EXPECT_TRUE(f.suppressed);
+  }
+  EXPECT_EQ(live_count(listed, "R7"), 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -136,5 +136,84 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(5, 13, 7), std::make_tuple(16, 3, 32),
                       std::make_tuple(2, 64, 2), std::make_tuple(31, 17, 9)));
 
+// Edge shapes for the SIMD kernels (docs/SIMD.md): sizes below one vector
+// lane for every backend width (n in 1..3 < SSE4's 4, n in 5..7 < AVX2's 8,
+// n in 9..15 < AVX-512's 16), ragged tails just past each width, and odd
+// everything. The packed matmul_nt microkernel additionally sees n % 4
+// remainder columns handled by the scalar dot tail.
+INSTANTIATE_TEST_SUITE_P(
+    SimdEdgeShapes, MatmulSweep,
+    ::testing::Values(std::make_tuple(1, 1, 2), std::make_tuple(1, 1, 3),
+                      std::make_tuple(4, 3, 5), std::make_tuple(3, 5, 6),
+                      std::make_tuple(2, 9, 7), std::make_tuple(5, 4, 9),
+                      std::make_tuple(7, 6, 11), std::make_tuple(3, 2, 13),
+                      std::make_tuple(6, 8, 15), std::make_tuple(4, 16, 17),
+                      std::make_tuple(9, 11, 19), std::make_tuple(33, 29, 37),
+                      std::make_tuple(5, 127, 3), std::make_tuple(4, 1, 16)));
+
+TEST(Matmul, ZeroSizeOperands) {
+  // Empty dimensions must round-trip without touching any kernel lane.
+  const Tensor c1 = matmul(Tensor({0, 3}), Tensor({3, 4}));
+  EXPECT_EQ(c1.shape(), Shape({0, 4}));
+  const Tensor c2 = matmul(Tensor({2, 0}), Tensor({0, 5}));
+  ASSERT_EQ(c2.shape(), Shape({2, 5}));
+  for (std::int64_t i = 0; i < c2.numel(); ++i) EXPECT_EQ(c2[i], 0.0F);
+  const Tensor c3 = matmul(Tensor({3, 4}), Tensor({4, 0}));
+  EXPECT_EQ(c3.shape(), Shape({3, 0}));
+  EXPECT_EQ(matmul_nt(Tensor({0, 3}), Tensor({2, 3})).shape(), Shape({0, 2}));
+  EXPECT_EQ(matmul_nt(Tensor({2, 3}), Tensor({0, 3})).shape(), Shape({2, 0}));
+  EXPECT_EQ(matmul_tn(Tensor({3, 0}), Tensor({3, 2})).shape(), Shape({0, 2}));
+}
+
+/// The exact per-output semantic of matmul_nt: float product (rounded to
+/// float) accumulated into a double, l ascending, one final rounding to
+/// float. The packed 4-wide microkernel must reproduce this bit for bit —
+/// EXPECT_EQ on floats, not EXPECT_NEAR.
+float exact_nt_dot(const Tensor& a, const Tensor& b, std::int64_t i,
+                   std::int64_t j) {
+  const std::int64_t k = a.size(1);
+  double acc = 0.0;
+  for (std::int64_t l = 0; l < k; ++l) {
+    acc += static_cast<double>(a.at({i, l}) * b.at({j, l}));
+  }
+  return static_cast<float>(acc);
+}
+
+TEST(MatmulNt, PackedMicrokernelIsBitwiseExact) {
+  // m >= 4 and n >= 4 engages the packed-panel path; n = 4q + r leaves r
+  // columns on the scalar dot tail. Both halves must match the reference
+  // semantic exactly on the active dispatch target.
+  for (const auto& [m, k, n] :
+       std::vector<std::array<std::int64_t, 3>>{{4, 4, 4},
+                                                {5, 3, 6},
+                                                {7, 17, 9},
+                                                {4, 1, 5},
+                                                {9, 33, 13}}) {
+    const Tensor a = rand_tensor({m, k}, 100 + k);
+    const Tensor b = rand_tensor({n, k}, 200 + n);
+    const Tensor c = matmul_nt(a, b);
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        EXPECT_EQ(c.at({i, j}), exact_nt_dot(a, b, i, j))
+            << m << "x" << k << "x" << n << " at " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(MatmulTn, StridedColumnAccessMatchesContiguous) {
+  // matmul_tn reads A^T columns with stride m — the one non-contiguous
+  // access pattern in the matmul family. It must agree bitwise with the
+  // contiguous-operand product of the explicitly transposed matrix.
+  const Tensor at = rand_tensor({13, 7}, 300);  // A is [7, 13] conceptually
+  const Tensor b = rand_tensor({13, 5}, 301);
+  const Tensor via_strided = matmul_tn(at, b);
+  const Tensor via_copy = matmul(transpose2d(at), b);
+  ASSERT_EQ(via_strided.shape(), via_copy.shape());
+  for (std::int64_t i = 0; i < via_strided.numel(); ++i) {
+    EXPECT_EQ(via_strided[i], via_copy[i]) << "flat " << i;
+  }
+}
+
 }  // namespace
 }  // namespace dropback::tensor

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "rng/init_spec.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <set>
@@ -229,6 +231,71 @@ TEST_P(IndexedSymmetryTest, HistogramSymmetricAroundZero) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IndexedSymmetryTest,
                          ::testing::Values(0ULL, 1ULL, 42ULL, 1234567ULL,
                                            0xFFFFFFFFFFFFULL));
+
+// --- batched multi-lane regen (docs/SIMD.md) ------------------------------
+//
+// InitSpec::fill / fill_range run on the SIMD regen kernel of the active
+// dispatch target. The contract is bitwise: fill(n)[i] == value_at(i) for
+// every i, every n (sub-lane sizes, exact vector multiples, ragged tails),
+// and every window start — EXPECT_EQ on floats, never a tolerance.
+
+TEST(InitSpecBatched, FillMatchesValueAtForEverySmallSize) {
+  const InitSpec spec = InitSpec::scaled_normal(0.05F, 99);
+  for (std::size_t n = 0; n <= 67; ++n) {
+    std::vector<float> got(n, -1.0F);
+    spec.fill(got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i], spec.value_at(i)) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(InitSpecBatched, FillRangeMatchesValueAtAtArbitraryOffsets) {
+  const InitSpec spec = InitSpec::scaled_normal(1.5F, 7);
+  // Window starts straddling every lane-alignment class, plus one beyond
+  // 2^32 so the 64-bit index path is exercised end to end.
+  const std::uint64_t firsts[] = {0,  1,  3,  4,  7,   8,          15,
+                                  16, 17, 63, 64, 511, 1000000007, (1ULL << 33) + 11};
+  for (const std::uint64_t first : firsts) {
+    std::vector<float> got(37, 0.0F);
+    spec.fill_range(first, got.data(), got.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], spec.value_at(first + i))
+          << "first=" << first << " i=" << i;
+    }
+  }
+}
+
+TEST(InitSpecBatched, FillRangeIsAWindowOfFill) {
+  // Regeneration is a pure function of (spec, index): a window computed in
+  // isolation equals the same slice of a from-zero fill.
+  const InitSpec spec = InitSpec::scaled_normal(0.1F, 1234);
+  std::vector<float> whole(96);
+  spec.fill(whole.data(), whole.size());
+  for (const std::size_t first : {std::size_t{0}, std::size_t{5},
+                                  std::size_t{32}, std::size_t{65}}) {
+    std::vector<float> window(whole.size() - first);
+    spec.fill_range(first, window.data(), window.size());
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      EXPECT_EQ(window[i], whole[first + i]) << "first=" << first;
+    }
+  }
+}
+
+TEST(InitSpecBatched, ConstantSpecFillsExactValue) {
+  const InitSpec spec = InitSpec::constant(0.25F);
+  std::vector<float> got(19, 0.0F);
+  spec.fill_range(1000, got.data(), got.size());
+  for (const float v : got) EXPECT_EQ(v, 0.25F);
+}
+
+TEST(InitSpecBatched, ZeroSizeFillIsANoop) {
+  const InitSpec spec = InitSpec::scaled_normal(1.0F, 3);
+  float sentinel = 42.0F;
+  spec.fill(&sentinel, 0);
+  spec.fill_range(17, &sentinel, 0);
+  EXPECT_EQ(sentinel, 42.0F);
+}
 
 }  // namespace
 }  // namespace dropback::rng

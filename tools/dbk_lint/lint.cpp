@@ -356,6 +356,12 @@ bool r5_applies(const std::string& p) {
   return !is_source_under(p, "tests");
 }
 
+bool r7_applies(const std::string& p) {
+  // src/simd/ is the one sanctioned home for vendor intrinsics; everywhere
+  // else must call through the dispatch layer (docs/SIMD.md).
+  return !starts_with(p, "src/simd/");
+}
+
 bool serialization_function(const std::string& name) {
   std::string lower;
   lower.reserve(name.size());
@@ -386,6 +392,16 @@ const std::regex& r2_regex() {
 const std::regex& r3_regex() {
   static const std::regex re(
       R"(std::\s*rand\b|(^|[^\w:])(srand|gettimeofday|localtime|gmtime|gmtime_r|localtime_r)\s*\(|random_device|system_clock|(^|[^\w:.])(std::\s*)?time\s*\()");
+  return re;
+}
+
+// Vendor SIMD intrinsics: ISA-specific headers (angle-bracket includes
+// survive scrubbing) and the x86 _mm*/__m* and NEON vld1/vst1/float32x4_t
+// identifier families. Anything matching here is untestable on other
+// targets and belongs under src/simd/ behind the dispatch tables.
+const std::regex& r7_regex() {
+  static const std::regex re(
+      R"((immintrin\.h|x86intrin\.h|emmintrin\.h|xmmintrin\.h|smmintrin\.h|nmmintrin\.h|tmmintrin\.h|avxintrin\.h|arm_neon\.h)|(^|[^\w])(_mm_|_mm256_|_mm512_|__m128|__m256|__m512|__mmask(8|16|32|64)\b|vld1q?_|vst1q?_|(float|u?int)(8|16|32|64)x(2|4|8|16)(x[234])?_t\b)\w*)");
   return re;
 }
 
@@ -428,8 +444,8 @@ struct RuleContext {
 // ---------------------------------------------------------------------------
 
 bool Allowlist::parse(const std::string& text, std::string* error) {
-  static const std::set<std::string> known = {"R1", "R2", "R3",
-                                             "R4", "R5", "R6", "*"};
+  static const std::set<std::string> known = {"R1", "R2", "R3", "R4",
+                                              "R5", "R6", "R7", "*"};
   int line_no = 0;
   for (const auto& raw : split_lines(text)) {
     ++line_no;
@@ -566,6 +582,13 @@ std::vector<Finding> lint_source(const std::string& relpath,
                "floating-point ==/!= against literal (" + trim(m[0].str()) +
                    ") — exact FP compares belong in tests' bitwise "
                    "assertions; use an epsilon or suppress with a reason");
+    }
+
+    if (r7_applies(relpath) && std::regex_search(line, m, r7_regex())) {
+      ctx.emit("R7", line_no,
+               "vendor SIMD intrinsic (" + trim(m[0].str()) +
+                   ") outside src/simd/ — ISA-specific code must live "
+                   "behind the runtime dispatch tables (docs/SIMD.md)");
     }
   }
   return findings;

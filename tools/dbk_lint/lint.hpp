@@ -25,6 +25,10 @@
 //       compares (sparsity sentinels) carry an inline suppression.
 //   R6  every DROPBACK_PROFILE_SCOPE label is unique within its function,
 //       and every .cpp under src/ is registered in src/CMakeLists.txt.
+//   R7  vendor SIMD intrinsics (immintrin.h/arm_neon.h includes, _mm*/
+//       __m128/__m256/__m512/vld1/vst1 identifiers) only under src/simd/ —
+//       all ISA-specific code lives behind the runtime dispatch layer so
+//       every call site stays portable and scalar-verifiable (docs/SIMD.md).
 //
 // Suppression comes in two forms (docs/STATIC_ANALYSIS.md):
 //   * inline: a comment `dbk-lint: allow(R5): reason` on the offending line,
@@ -43,7 +47,7 @@ namespace dbk_lint {
 
 /// One diagnostic. `file` is root-relative with '/' separators.
 struct Finding {
-  std::string rule;      ///< "R1".."R6"
+  std::string rule;      ///< "R1".."R7"
   std::string file;      ///< e.g. "src/tensor/matmul.cpp"
   int line = 0;          ///< 1-based
   std::string message;   ///< human-readable diagnostic
@@ -53,7 +57,7 @@ struct Finding {
 
 /// One `rule path reason` allowlist line.
 struct AllowEntry {
-  std::string rule;    ///< "R1".."R6" or "*" for any rule
+  std::string rule;    ///< "R1".."R7" or "*" for any rule
   std::string path;    ///< file path, or directory prefix ending in '/'
   std::string reason;  ///< rest of the line (shown in suppressed findings)
 };

@@ -1,0 +1,155 @@
+// Serving throughput bench: pushes a fixed request count through the
+// InferenceServer at several worker-thread counts and emits one
+// kernel-timing record per configuration in the unified JSONL schema
+// ({"name","calls","total_us","threads"}), so serve-path trajectories can
+// be tracked with scripts/bench_compare.py exactly like kernel timings:
+//
+//   ./bench_serve > serve_run.json
+//   scripts/bench_compare.py BENCH_serve.json --current serve_run.json
+//
+//   --requests=N (default 512; DROPBACK_FULL=1 default 4096)
+//   --threads-list=1,2,4  --max-batch=8  --budget=2000
+//
+// The driver submits in admission-sized waves (closed loop), so the
+// pipeline stays full without tripping the queue/in-flight limits — this
+// measures serving capacity, not shed handling (serve_loadgen covers
+// overload; the chaos test covers faults).
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sparse_weight_store.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "nn/models/lenet.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "rng/xorshift.hpp"
+#include "serve/server.hpp"
+#include "util/flags.hpp"
+#include "util/steady_clock.hpp"
+
+namespace {
+
+using namespace dropback;
+
+// A realistically-sized store without a training run: perturb a sparse
+// subset of a fresh model's weights so from_params keeps ~`budget` of them.
+core::SparseWeightStore make_store(std::int64_t budget, std::uint64_t seed) {
+  auto model = nn::models::make_mnist_100_100(seed);
+  auto params = model->collect_parameters();
+  std::int64_t total = 0;
+  for (const nn::Parameter* p : params) total += p->var.value().numel();
+  rng::Xorshift128 rng(seed * 31 + 7);
+  for (nn::Parameter* p : params) {
+    tensor::Tensor& v = p->var.value();
+    const auto share = static_cast<std::int64_t>(
+        static_cast<double>(budget) * static_cast<double>(v.numel()) /
+        static_cast<double>(total));
+    for (std::int64_t k = 0; k < share; ++k) {
+      v[rng.next_u64() % static_cast<std::uint64_t>(v.numel())] +=
+          rng.uniform(0.2F, 0.9F);
+    }
+  }
+  return core::SparseWeightStore::from_params(params);
+}
+
+std::vector<int> parse_threads_list(const std::string& csv) {
+  std::vector<int> out;
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item = csv.substr(
+        start,
+        comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(std::stoi(item));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const long long requests =
+      flags.get_int("requests", util::Flags::full_scale() ? 4096 : 512);
+  const std::vector<int> thread_counts =
+      parse_threads_list(flags.get_string("threads-list", "1,2,4"));
+
+  const std::string dir = "bench_serve_variants";
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "bench_serve: cannot create %s\n", dir.c_str());
+    return 1;
+  }
+  const long long budget = flags.get_int("budget", 2000);
+  make_store(budget, 7).save_file(dir + "/primary.dbsw");
+  make_store(budget, 8).save_file(dir + "/fallback.dbsw");
+
+  data::SyntheticMnistOptions data_opt;
+  data_opt.num_samples = 256;
+  data_opt.seed = 23;
+  auto inputs = data::make_synthetic_mnist(data_opt);
+  util::ClockSource& clock = util::steady_clock_source();
+
+  for (const int threads : thread_counts) {
+    // serve.* counters are global and cumulative; reset per configuration
+    // (before the server constructor binds its counter references).
+    obs::MetricsRegistry::global().reset();
+    serve::ServerConfig config;
+    config.threads = threads;
+    config.batch.max_batch =
+        static_cast<std::size_t>(flags.get_int("max-batch", 8));
+    config.cache.dir = dir;
+    config.cache.fallback_model = "fallback";
+    config.default_deadline_us = 10'000'000;  // capacity, not shed handling
+    serve::InferenceServer server(config);
+
+    // Warm the cache so the timed region measures serving, not disk.
+    server.submit("primary", inputs->slice(0, 1).images)
+        ->wait_us(10'000'000);
+
+    const std::size_t wave =
+        config.admission.queue_capacity / 2;  // never trips admission
+    const std::int64_t start_us = clock.now_us();
+    long long done = 0;
+    std::vector<std::shared_ptr<serve::ResponseSlot>> inflight;
+    while (done < requests) {
+      inflight.clear();
+      const long long n = std::min<long long>(
+          static_cast<long long>(wave), requests - done);
+      for (long long i = 0; i < n; ++i) {
+        inflight.push_back(server.submit(
+            "primary",
+            inputs->slice((done + i) % inputs->size(), 1).images));
+      }
+      for (const auto& slot : inflight) slot->wait_us(30'000'000);
+      done += n;
+    }
+    const std::int64_t total_us = clock.now_us() - start_us;
+    server.stop();
+
+    const serve::ServerStats stats = server.stats();
+    if (stats.ok != static_cast<std::uint64_t>(requests) + 1) {
+      std::fprintf(stderr,
+                   "bench_serve: expected %lld ok responses, got %llu "
+                   "(machine overloaded?)\n",
+                   requests + 1,
+                   static_cast<unsigned long long>(stats.ok));
+      return 1;
+    }
+    std::printf("%s\n",
+                obs::kernel_timing_json("serve/e2e_mnist_100_100",
+                                        static_cast<std::uint64_t>(requests),
+                                        static_cast<std::uint64_t>(total_us),
+                                        threads)
+                    .c_str());
+  }
+  std::fprintf(stderr, "variant stores left in %s/ for reruns\n",
+               dir.c_str());
+  return 0;
+}

@@ -10,8 +10,14 @@ Both inputs are kernel-timing JSONL ({"name","calls","total_us","threads"},
 the schema shared by bench_micro --speedup and the profiler dump). Records
 are joined on (name, threads); a current total_us more than --tolerance
 (default 10%) above the baseline is a regression and the script exits 1.
-Missing records (renamed/removed kernels) are reported but only warn, so
-baselines can evolve; improvements are printed for the log.
+
+A kernel present in the baseline but missing from the current run — or
+vice versa — is a coverage break (a renamed bench silently stops being
+compared), so it is diagnosed per key and fails with exit 3 unless
+--allow-missing is given, in which case the mismatches are printed as
+warnings and the comparison proceeds over the intersection.
+
+Exit codes: 0 ok, 1 regression(s) or unusable input, 3 kernel-set mismatch.
 
 Stdlib only — runs on a bare python3, no pip anything.
 """
@@ -33,6 +39,11 @@ def load_records(stream, source_name):
             sys.exit(f"{source_name}:{line_no}: bad JSON: {e}")
         if "name" not in rec or "total_us" not in rec:
             continue  # summary or foreign record
+        if not isinstance(rec["total_us"], (int, float)):
+            sys.exit(
+                f"{source_name}:{line_no}: total_us must be a number, "
+                f"got {rec['total_us']!r}"
+            )
         key = (rec["name"], rec.get("threads", 1))
         # Keep the best (lowest) time if a key repeats.
         if key not in records or rec["total_us"] < records[key]:
@@ -40,6 +51,14 @@ def load_records(stream, source_name):
     if not records:
         sys.exit(f"{source_name}: no kernel-timing records found")
     return records
+
+
+def load_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return load_records(f, path)
+    except OSError as e:
+        sys.exit(f"cannot read {path}: {e.strerror or e}")
 
 
 def main():
@@ -57,22 +76,41 @@ def main():
         default=0.10,
         help="allowed fractional slowdown before failing (default 0.10)",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="downgrade baseline/current kernel-set mismatches from a "
+        "hard failure (exit 3) to warnings",
+    )
     args = parser.parse_args()
 
-    with open(args.baseline, encoding="utf-8") as f:
-        baseline = load_records(f, args.baseline)
+    baseline = load_file(args.baseline)
     if args.current and args.current != "-":
-        with open(args.current, encoding="utf-8") as f:
-            current = load_records(f, args.current)
+        current = load_file(args.current)
     else:
         current = load_records(sys.stdin, "<stdin>")
 
+    missing_from_current = sorted(set(baseline) - set(current))
+    missing_from_baseline = sorted(set(current) - set(baseline))
+    severity = "warn" if args.allow_missing else "error"
+    for name, threads in missing_from_current:
+        print(
+            f"{severity}: {name} (threads={threads}) is in {args.baseline} "
+            "but missing from the current run — renamed, removed, or the "
+            "bench did not execute"
+        )
+    for name, threads in missing_from_baseline:
+        print(
+            f"{severity}: {name} (threads={threads}) is in the current run "
+            f"but has no baseline in {args.baseline} — add it to the "
+            "baseline or filter it out"
+        )
+
     regressions = []
     for key in sorted(baseline):
-        name, threads = key
         if key not in current:
-            print(f"warn: {name} (threads={threads}) missing from current run")
             continue
+        name, threads = key
         base_us, cur_us = baseline[key], current[key]
         ratio = cur_us / base_us if base_us > 0 else float("inf")
         tag = f"{name} (threads={threads}): {base_us} -> {cur_us} us ({ratio:.2f}x)"
@@ -81,9 +119,6 @@ def main():
             print(f"REGRESSION {tag}")
         else:
             print(f"ok {tag}")
-    for key in sorted(current):
-        if key not in baseline:
-            print(f"note: {key[0]} (threads={key[1]}) has no baseline yet")
 
     if regressions:
         print(
@@ -92,6 +127,15 @@ def main():
             file=sys.stderr,
         )
         return 1
+    mismatches = len(missing_from_current) + len(missing_from_baseline)
+    if mismatches and not args.allow_missing:
+        print(
+            f"\n{mismatches} kernel(s) differ between baseline and current "
+            "run (see above); rerun with --allow-missing to compare the "
+            "intersection anyway",
+            file=sys.stderr,
+        )
+        return 3
     print("\nno regressions beyond tolerance")
     return 0
 

@@ -102,6 +102,33 @@ std::string SummaryEvent::to_json() const {
       .str();
 }
 
+std::string ServeIncidentEvent::to_json() const {
+  return JsonObject()
+      .add("type", "serve_incident")
+      .add("id", id)
+      .add("model", model)
+      .add("outcome", outcome)
+      .add("degraded", degraded)
+      .add("detail", detail)
+      .add("latency_ms", latency_ms)
+      .str();
+}
+
+std::string ServeSummaryEvent::to_json() const {
+  return JsonObject()
+      .add("type", "serve_summary")
+      .add("submitted", submitted)
+      .add("ok", ok)
+      .add("degraded", degraded)
+      .add("rejected", rejected)
+      .add("shed", shed)
+      .add("unavailable", unavailable)
+      .add("quarantined", quarantined)
+      .add("p50_ms", p50_ms)
+      .add("p99_ms", p99_ms)
+      .str();
+}
+
 EventStream::EventStream(const std::string& path)
     : sink_(std::make_unique<AtomicFileSink>(path)) {}
 

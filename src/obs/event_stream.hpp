@@ -126,6 +126,39 @@ struct SummaryEvent {
   std::string to_json() const;
 };
 
+/// One serving incident: a request resolved with anything other than a
+/// clean kOk (shed, rejected, degraded onto the fallback, unavailable).
+///   {"type":"serve_incident","id":N,"model":S,"outcome":S,"degraded":B,
+///    "detail":S,"latency_ms":X}
+struct ServeIncidentEvent {
+  std::uint64_t id = 0;
+  std::string model;
+  std::string outcome;  ///< serve::outcome_name() string
+  bool degraded = false;
+  std::string detail;
+  double latency_ms = 0.0;
+
+  std::string to_json() const;
+};
+
+/// End-of-run serving totals (emitted by InferenceServer::stop()).
+///   {"type":"serve_summary","submitted":N,"ok":N,"degraded":N,
+///    "rejected":N,"shed":N,"unavailable":N,"quarantined":N,
+///    "p50_ms":X,"p99_ms":X}
+struct ServeSummaryEvent {
+  std::int64_t submitted = 0;
+  std::int64_t ok = 0;
+  std::int64_t degraded = 0;
+  std::int64_t rejected = 0;
+  std::int64_t shed = 0;
+  std::int64_t unavailable = 0;
+  std::int64_t quarantined = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+
+  std::string to_json() const;
+};
+
 /// Thread-safe JSONL writer over a sink.
 class EventStream {
  public:

@@ -27,6 +27,25 @@ void Histogram::observe(double v) {
   sum_.fetch_add(v, std::memory_order_relaxed);
 }
 
+double histogram_quantile(const Histogram& h, double q) {
+  DROPBACK_CHECK(q >= 0.0 && q <= 1.0, << "quantile q=" << q
+                                       << " outside [0, 1]");
+  const std::uint64_t total = h.count();
+  if (total == 0) return 0.0;
+  // Rank of the q-th observation, 1-based; q=0 maps to the first one.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+    seen += h.bucket_count(i);
+    if (seen >= rank) {
+      // Upper bound of bucket i; the overflow bin clamps to the last bound.
+      return h.bounds()[std::min(i, h.bounds().size() - 1)];
+    }
+  }
+  return h.bounds().back();
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];

@@ -77,6 +77,15 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Conservative quantile estimate from a fixed-bucket histogram: the upper
+/// bound of the bucket containing the q-th observation (rank ceil(q*count)).
+/// The underflow bin reports bounds().front(), the overflow bin
+/// bounds().back() — i.e. a value whose true quantile exceeds every bound is
+/// clamped to the largest bound, so choose an overflow bound above any
+/// latency you intend to assert on. Returns 0 for an empty histogram.
+/// `q` must be in [0, 1]. Used for serving p50/p99 (docs/SERVING.md).
+double histogram_quantile(const Histogram& h, double q);
+
 /// Named metric store. counter()/gauge()/histogram() create on first use and
 /// return the existing metric afterwards; references remain valid until the
 /// registry is destroyed. A histogram re-registered with different bounds

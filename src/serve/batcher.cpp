@@ -1,0 +1,46 @@
+#include "serve/batcher.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace dropback::serve {
+
+std::vector<PendingRequest> MicroBatcher::form(
+    PendingRequest head, RequestQueue* queue,
+    std::vector<PendingRequest>* shed) const {
+  std::vector<PendingRequest> batch;
+  batch.reserve(config_.max_batch);
+  const std::string model_id = head.request.model_id;
+  batch.push_back(std::move(head));
+  while (batch.size() < config_.max_batch) {
+    PendingRequest next;
+    if (!queue->try_pop_matching(model_id, &next, shed)) break;
+    batch.push_back(std::move(next));
+  }
+  return batch;
+}
+
+tensor::Tensor MicroBatcher::stack_inputs(
+    const std::vector<PendingRequest>& batch) {
+  DROPBACK_CHECK(!batch.empty(), << "stack_inputs: empty batch");
+  const tensor::Tensor& first = batch.front().request.input;
+  tensor::Shape stacked_shape = first.shape();
+  stacked_shape[0] = static_cast<std::int64_t>(batch.size());
+  tensor::Tensor stacked(std::move(stacked_shape));
+  const std::int64_t row = first.numel();
+  float* dst = stacked.data();
+  for (const PendingRequest& pending : batch) {
+    const tensor::Tensor& input = pending.request.input;
+    DROPBACK_CHECK(input.numel() == row,
+                   << "stack_inputs: mismatched sample size "
+                   << input.numel() << " vs " << row);
+    std::memcpy(dst, input.data(), static_cast<std::size_t>(row) *
+                                       sizeof(float));
+    dst += row;
+  }
+  return stacked;
+}
+
+}  // namespace dropback::serve

@@ -1,0 +1,53 @@
+// Dynamic micro-batching for the inference server.
+//
+// Workers pop one request, then opportunistically pull queued requests for
+// the *same model variant* up to max_batch and run them as one RegenMlp
+// forward. Regeneration cost (recomputing untracked weights from their
+// InitSpec seeds) is paid once per weight row per batch instead of once per
+// request, so batching amortizes exactly the part of DropBack inference
+// that dominates at high sparsity.
+//
+// Batching never waits: a batch is whatever is already queued when a worker
+// is ready (requests arriving later join the next batch). That keeps the
+// p50 of a lightly loaded server at single-request latency while still
+// coalescing under load, and means batch formation adds no new deadline
+// risk beyond the clock reads used to shed already-expired requests.
+//
+// RegenLinear::forward accumulates each batch row independently, so a
+// batched forward is bitwise identical to running the rows one at a time —
+// batching is invisible to clients (tests/serve_test.cpp asserts this).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dropback::serve {
+
+struct BatchConfig {
+  std::size_t max_batch = 8;
+};
+
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(BatchConfig config) : config_(config) {}
+
+  /// Forms a micro-batch starting from `head`: pulls up to max_batch - 1
+  /// additional queued requests for the same model. Requests found past
+  /// their deadline during the pull are appended to *shed.
+  std::vector<PendingRequest> form(PendingRequest head, RequestQueue* queue,
+                                   std::vector<PendingRequest>* shed) const;
+
+  /// Stacks the [1, d...] inputs of `batch` into one [n, d...] tensor.
+  /// Called after deadline filtering so shed rows are never computed.
+  static tensor::Tensor stack_inputs(
+      const std::vector<PendingRequest>& batch);
+
+ private:
+  BatchConfig config_;
+};
+
+}  // namespace dropback::serve

@@ -1,0 +1,99 @@
+#include "serve/queue.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace dropback::serve {
+
+RequestQueue::RequestQueue(AdmissionConfig config, util::ClockSource* clock)
+    : config_(config), clock_(clock) {}
+
+Outcome RequestQueue::admit(PendingRequest pending) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Outcome::kRejectedShutdown;
+    if (inflight_ >= config_.max_inflight) return Outcome::kRejectedInflight;
+    if (queue_.size() >= config_.queue_capacity) {
+      return Outcome::kRejectedQueueFull;
+    }
+    ++inflight_;
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return Outcome::kPending;
+}
+
+bool RequestQueue::pop(std::int64_t max_wait_us, PendingRequest* out,
+                       std::vector<PendingRequest>* expired) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.empty() && !shutdown_ && max_wait_us > 0) {
+    cv_.wait_for(lock, std::chrono::microseconds(max_wait_us),
+                 [this] { return !queue_.empty() || shutdown_; });
+  }
+  const std::int64_t now = clock_->now_us();
+  while (!queue_.empty()) {
+    PendingRequest head = std::move(queue_.front());
+    queue_.pop_front();
+    if (head.request.deadline_us <= now) {
+      expired->push_back(std::move(head));
+      continue;
+    }
+    *out = std::move(head);
+    return true;
+  }
+  return false;
+}
+
+bool RequestQueue::try_pop_matching(const std::string& model_id,
+                                    PendingRequest* out,
+                                    std::vector<PendingRequest>* expired) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t now = clock_->now_us();
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->request.deadline_us <= now) {
+      expired->push_back(std::move(*it));
+      it = queue_.erase(it);
+      continue;
+    }
+    if (it->request.model_id == model_id) {
+      *out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+    ++it;
+  }
+  return false;
+}
+
+void RequestQueue::complete() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ > 0) --inflight_;
+}
+
+void RequestQueue::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::vector<PendingRequest> RequestQueue::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PendingRequest> drained(std::make_move_iterator(queue_.begin()),
+                                      std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  return drained;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t RequestQueue::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+}  // namespace dropback::serve

@@ -1,0 +1,90 @@
+// Bounded request queue with admission control — the server's first
+// robustness layer (docs/SERVING.md).
+//
+// Two independent limits shape load *at the door* rather than letting it
+// pile up inside:
+//
+//  * queue_capacity — how many admitted requests may wait for a worker.
+//    Beyond it, admit() returns kRejectedQueueFull immediately: under
+//    sustained overload the queue depth (and therefore queueing delay) is
+//    bounded, which is what keeps the p99 of *served* requests bounded.
+//  * max_inflight — total admitted-but-unresolved requests (queued plus
+//    being executed). It caps the server's working set independently of
+//    queue depth so a slow model cannot hoard unbounded memory.
+//
+// Deadline shedding happens on the consumer side: pop() and
+// try_pop_matching() skim requests whose deadline already expired into an
+// `expired` out-list instead of returning them, so a worker never spends a
+// kernel launch on a request whose client has given up. Shedding costs one
+// clock read per skimmed entry — cheap by design.
+//
+// All waits are bounded (R8): the consumer wait is a single
+// wait_for(max_wait_us), never an unbounded wait().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "util/steady_clock.hpp"
+
+namespace dropback::serve {
+
+struct AdmissionConfig {
+  std::size_t queue_capacity = 64;
+  std::size_t max_inflight = 128;
+};
+
+class RequestQueue {
+ public:
+  RequestQueue(AdmissionConfig config, util::ClockSource* clock);
+
+  /// Admission decision for one request. Returns kPending when admitted
+  /// (the in-flight count is charged immediately); otherwise the typed
+  /// rejection reason. Never blocks.
+  Outcome admit(PendingRequest pending);
+
+  /// Pops the oldest still-live request, waiting up to max_wait_us for one
+  /// to arrive. Requests found past their deadline are moved into
+  /// *expired (their in-flight charge stays until the caller resolves them
+  /// and calls complete()). Returns false on timeout or shutdown-and-empty.
+  bool pop(std::int64_t max_wait_us, PendingRequest* out,
+           std::vector<PendingRequest>* expired);
+
+  /// Non-blocking: pops the oldest live request for `model_id` (for
+  /// micro-batch formation). Expired entries encountered during the scan
+  /// are skimmed into *expired regardless of model. Returns false when no
+  /// matching live request is queued.
+  bool try_pop_matching(const std::string& model_id, PendingRequest* out,
+                        std::vector<PendingRequest>* expired);
+
+  /// Caller resolved one admitted request (served, shed, or unavailable):
+  /// releases its in-flight charge.
+  void complete();
+
+  /// Stops admission (subsequent admit() => kRejectedShutdown) and wakes
+  /// waiters. Queued requests remain poppable so shutdown can drain them.
+  void shutdown();
+
+  /// Drains every queued request (for shutdown: resolve as kShedShutdown).
+  std::vector<PendingRequest> drain();
+
+  std::size_t depth() const;
+  std::size_t inflight() const;
+
+ private:
+  const AdmissionConfig config_;
+  util::ClockSource* const clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  std::size_t inflight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dropback::serve

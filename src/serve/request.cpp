@@ -1,0 +1,105 @@
+#include "serve/request.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace dropback::serve {
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kPending:
+      return "pending";
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kRejectedQueueFull:
+      return "rejected_queue_full";
+    case Outcome::kRejectedInflight:
+      return "rejected_inflight";
+    case Outcome::kRejectedShutdown:
+      return "rejected_shutdown";
+    case Outcome::kRejectedInvalid:
+      return "rejected_invalid";
+    case Outcome::kShedQueueDeadline:
+      return "shed_queue_deadline";
+    case Outcome::kShedBatchDeadline:
+      return "shed_batch_deadline";
+    case Outcome::kShedExecDeadline:
+      return "shed_exec_deadline";
+    case Outcome::kShedShutdown:
+      return "shed_shutdown";
+    case Outcome::kModelUnavailable:
+      return "model_unavailable";
+  }
+  return "unknown";
+}
+
+bool is_rejection(Outcome o) {
+  return o == Outcome::kRejectedQueueFull || o == Outcome::kRejectedInflight ||
+         o == Outcome::kRejectedShutdown || o == Outcome::kRejectedInvalid;
+}
+
+bool is_shed(Outcome o) {
+  return o == Outcome::kShedQueueDeadline || o == Outcome::kShedBatchDeadline ||
+         o == Outcome::kShedExecDeadline || o == Outcome::kShedShutdown;
+}
+
+void ResponseSlot::deliver(Outcome outcome, tensor::Tensor output,
+                           std::string served_model, bool degraded,
+                           std::string error, std::int64_t latency_us) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (done_) return;  // first deliver wins
+    done_ = true;
+    outcome_ = outcome;
+    output_ = std::move(output);
+    served_model_ = std::move(served_model);
+    degraded_ = degraded;
+    error_ = std::move(error);
+    latency_us_ = latency_us;
+  }
+  cv_.notify_all();
+}
+
+bool ResponseSlot::wait_us(std::int64_t wait_us) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (wait_us <= 0) return done_;
+  return cv_.wait_for(lock, std::chrono::microseconds(wait_us),
+                      [this] { return done_; });
+}
+
+bool ResponseSlot::ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+Outcome ResponseSlot::outcome() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outcome_;
+}
+
+const tensor::Tensor& ResponseSlot::output() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return output_;
+}
+
+const std::string& ResponseSlot::served_model() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_model_;
+}
+
+bool ResponseSlot::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+const std::string& ResponseSlot::error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+std::int64_t ResponseSlot::latency_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latency_us_;
+}
+
+}  // namespace dropback::serve

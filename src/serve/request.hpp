@@ -1,0 +1,105 @@
+// Request/response plumbing for the DropBack inference server.
+//
+// A request is one sample (leading dim 1) for one model variant, with an
+// absolute deadline in the server's ClockSource domain. Its result comes
+// back through a ResponseSlot — a one-shot, thread-safe promise whose wait
+// is always *bounded* (R8: every blocking wait in src/serve/ carries a
+// deadline), so a client can never hang on a server that died.
+//
+// Every submitted request is guaranteed to resolve exactly once with a
+// typed Outcome: computed (kOk, possibly degraded onto the fallback
+// variant), rejected at admission (queue full / in-flight budget /
+// shutdown / invalid input), shed because its deadline expired before or
+// during service, or kModelUnavailable when the variant could not be
+// loaded and no fallback was possible. Typed outcomes are the degradation
+// ladder's contract: overload and corrupt stores degrade service
+// predictably instead of throwing across the server boundary
+// (docs/SERVING.md).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace dropback::serve {
+
+enum class Outcome : std::uint8_t {
+  kPending = 0,
+  kOk,                 ///< computed within deadline (check degraded())
+  kRejectedQueueFull,  ///< admission: request queue at capacity
+  kRejectedInflight,   ///< admission: in-flight budget exhausted
+  kRejectedShutdown,   ///< admission: server stopped or stopping
+  kRejectedInvalid,    ///< admission: malformed input tensor
+  kShedQueueDeadline,  ///< deadline expired while waiting in the queue
+  kShedBatchDeadline,  ///< deadline expired during batch formation
+  kShedExecDeadline,   ///< deadline expired before/during kernel execution
+  kShedShutdown,       ///< admitted but the server stopped before service
+  kModelUnavailable,   ///< variant unloadable/quarantined and no fallback
+};
+
+/// Stable snake_case name ("ok", "rejected_queue_full", ...) for metrics
+/// and JSONL events.
+const char* outcome_name(Outcome o);
+
+bool is_rejection(Outcome o);  ///< refused at admission (never queued)
+bool is_shed(Outcome o);       ///< admitted but not computed
+
+struct Request {
+  std::uint64_t id = 0;
+  std::string model_id;
+  /// One sample: leading dim must be 1 (e.g. [1, 784] or [1, 1, 28, 28]).
+  tensor::Tensor input;
+  std::int64_t deadline_us = 0;  ///< absolute, server ClockSource domain
+  std::int64_t submit_us = 0;    ///< admission timestamp
+};
+
+/// One-shot result holder. The server delivers exactly once; clients poll
+/// with ready() or block with wait_us (bounded). All accessors other than
+/// ready()/wait_us are valid only after the slot resolved.
+class ResponseSlot {
+ public:
+  /// Producer side: first deliver wins, later calls are ignored (a shed
+  /// racing a compute completion must not double-resolve).
+  void deliver(Outcome outcome, tensor::Tensor output,
+               std::string served_model, bool degraded, std::string error,
+               std::int64_t latency_us);
+
+  /// Blocks up to `wait_us` microseconds of real time; true if resolved.
+  bool wait_us(std::int64_t wait_us) const;
+  bool ready() const;
+
+  Outcome outcome() const;
+  /// Logits for kOk; null tensor otherwise.
+  const tensor::Tensor& output() const;
+  /// Variant that actually served the request (the fallback id when
+  /// degraded); empty unless kOk.
+  const std::string& served_model() const;
+  bool degraded() const;
+  /// Human-readable detail for non-kOk outcomes.
+  const std::string& error() const;
+  /// submit -> deliver, microseconds (server clock); -1 until resolved.
+  std::int64_t latency_us() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  Outcome outcome_ = Outcome::kPending;
+  tensor::Tensor output_;
+  std::string served_model_;
+  bool degraded_ = false;
+  std::string error_;
+  std::int64_t latency_us_ = -1;
+};
+
+/// A request riding through the queue with its result slot.
+struct PendingRequest {
+  Request request;
+  std::shared_ptr<ResponseSlot> slot;
+};
+
+}  // namespace dropback::serve

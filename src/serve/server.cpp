@@ -1,0 +1,307 @@
+#include "serve/server.hpp"
+
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace dropback::serve {
+
+namespace {
+
+obs::Counter& counter(const char* name) {
+  return obs::MetricsRegistry::global().counter(name);
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(ServerConfig config)
+    : config_(std::move(config)),
+      clock_(config_.clock != nullptr ? config_.clock
+                                      : &util::steady_clock_source()),
+      queue_(config_.admission, clock_),
+      batcher_(config_.batch),
+      cache_(config_.cache, clock_),
+      submitted_(counter("serve.submitted")),
+      admitted_(counter("serve.admitted")),
+      rejected_queue_full_(counter("serve.rejected.queue_full")),
+      rejected_inflight_(counter("serve.rejected.inflight")),
+      rejected_shutdown_(counter("serve.rejected.shutdown")),
+      rejected_invalid_(counter("serve.rejected.invalid")),
+      ok_(counter("serve.completed.ok")),
+      degraded_(counter("serve.completed.degraded")),
+      shed_queue_(counter("serve.shed.queue")),
+      shed_batch_(counter("serve.shed.batch")),
+      shed_exec_(counter("serve.shed.exec")),
+      shed_shutdown_(counter("serve.shed.shutdown")),
+      unavailable_(counter("serve.unavailable")),
+      exec_wasted_(counter("serve.exec.wasted")),
+      latency_ms_(obs::MetricsRegistry::global().histogram(
+          "serve.latency_ms",
+          {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000})) {
+  const int threads = config_.threads > 0 ? config_.threads : 1;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+std::shared_ptr<ResponseSlot> InferenceServer::submit(
+    const std::string& model_id, tensor::Tensor input,
+    std::int64_t deadline_us) {
+  auto slot = std::make_shared<ResponseSlot>();
+  submitted_.add();
+
+  if (!input.defined() || input.ndim() < 1 || input.size(0) != 1 ||
+      model_id.empty()) {
+    rejected_invalid_.add();
+    slot->deliver(Outcome::kRejectedInvalid, tensor::Tensor{}, "", false,
+                  "input must be a defined [1, ...] tensor with a model id",
+                  0);
+    return slot;
+  }
+
+  const std::int64_t now = clock_->now_us();
+  PendingRequest pending;
+  pending.request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  pending.request.model_id = model_id;
+  pending.request.input = std::move(input);
+  pending.request.submit_us = now;
+  pending.request.deadline_us =
+      now + (deadline_us > 0 ? deadline_us : config_.default_deadline_us);
+  pending.slot = slot;
+
+  const Outcome admission = queue_.admit(std::move(pending));
+  switch (admission) {
+    case Outcome::kPending:
+      admitted_.add();
+      return slot;  // a worker will resolve it
+    case Outcome::kRejectedQueueFull:
+      rejected_queue_full_.add();
+      slot->deliver(admission, tensor::Tensor{}, "", false,
+                    "request queue at capacity", 0);
+      return slot;
+    case Outcome::kRejectedInflight:
+      rejected_inflight_.add();
+      slot->deliver(admission, tensor::Tensor{}, "", false,
+                    "in-flight budget exhausted", 0);
+      return slot;
+    default:
+      rejected_shutdown_.add();
+      slot->deliver(Outcome::kRejectedShutdown, tensor::Tensor{}, "", false,
+                    "server is stopping", 0);
+      return slot;
+  }
+}
+
+void InferenceServer::worker_loop() {
+  std::vector<PendingRequest> expired;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (config_.chaos_hook) {
+      try {
+        config_.chaos_hook("pop");
+      } catch (const std::exception&) {
+        // Chaos at the pop stage models a hiccup before any request is
+        // held; nothing to resolve, keep serving.
+      }
+    }
+    expired.clear();
+    PendingRequest head;
+    const bool got = queue_.pop(config_.worker_poll_us, &head, &expired);
+    shed_all(expired, Outcome::kShedQueueDeadline);
+    if (!got) continue;
+
+    expired.clear();
+    std::vector<PendingRequest> batch =
+        batcher_.form(std::move(head), &queue_, &expired);
+    shed_all(expired, Outcome::kShedBatchDeadline);
+    run_batch(std::move(batch));
+  }
+}
+
+void InferenceServer::run_batch(std::vector<PendingRequest> batch) {
+  if (batch.empty()) return;
+  const std::string& model_id = batch.front().request.model_id;
+
+  CacheResult resolved = cache_.get(model_id);  // never throws
+  if (!resolved.variant) {
+    for (const PendingRequest& pending : batch) {
+      finish(pending, Outcome::kModelUnavailable, tensor::Tensor{}, "",
+             false, resolved.error);
+    }
+    return;
+  }
+
+  // Pre-exec deadline gate: the cache ladder may have burned retries and
+  // backoff; don't spend the kernel on rows whose client already gave up.
+  std::vector<PendingRequest> live;
+  live.reserve(batch.size());
+  {
+    const std::int64_t now = clock_->now_us();
+    for (PendingRequest& pending : batch) {
+      if (pending.request.deadline_us <= now) {
+        finish(pending, Outcome::kShedExecDeadline, tensor::Tensor{}, "",
+               false, "deadline expired before execution");
+      } else {
+        live.push_back(std::move(pending));
+      }
+    }
+  }
+  if (live.empty()) return;
+
+  tensor::Tensor logits;
+  try {
+    if (config_.chaos_hook) config_.chaos_hook("exec");
+    logits = resolved.variant->engine->forward(
+        MicroBatcher::stack_inputs(live));
+  } catch (const std::exception& e) {
+    // A model whose forward throws (bad layout, injected chaos) is as
+    // unavailable as one that failed to load — typed failure, no crash.
+    for (const PendingRequest& pending : live) {
+      finish(pending, Outcome::kModelUnavailable, tensor::Tensor{}, "",
+             false, std::string("execution failed: ") + e.what());
+    }
+    return;
+  }
+
+  const std::int64_t row = logits.numel() / static_cast<std::int64_t>(
+                                                live.size());
+  tensor::Shape row_shape = logits.shape();
+  row_shape[0] = 1;
+  const std::int64_t now = clock_->now_us();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    // Strict deadline semantics: a result computed too late is shed, so
+    // Outcome::kOk certifies on-time delivery (the chaos test's p99 bound
+    // rests on this).
+    if (live[i].request.deadline_us <= now) {
+      exec_wasted_.add();
+      finish(live[i], Outcome::kShedExecDeadline, tensor::Tensor{}, "",
+             false, "deadline expired during execution");
+      continue;
+    }
+    tensor::Tensor out(row_shape);
+    std::memcpy(out.data(),
+                logits.data() + static_cast<std::size_t>(i) *
+                                    static_cast<std::size_t>(row),
+                static_cast<std::size_t>(row) * sizeof(float));
+    finish(live[i], Outcome::kOk, std::move(out),
+           resolved.variant->model_id, resolved.degraded, resolved.error);
+  }
+}
+
+void InferenceServer::finish(const PendingRequest& pending, Outcome outcome,
+                             tensor::Tensor output,
+                             const std::string& served_model, bool degraded,
+                             const std::string& error) {
+  const std::int64_t latency =
+      clock_->now_us() - pending.request.submit_us;
+  pending.slot->deliver(outcome, std::move(output), served_model, degraded,
+                        error, latency);
+  queue_.complete();
+
+  switch (outcome) {
+    case Outcome::kOk:
+      ok_.add();
+      if (degraded) degraded_.add();
+      latency_ms_.observe(static_cast<double>(latency) / 1000.0);
+      break;
+    case Outcome::kShedQueueDeadline:
+      shed_queue_.add();
+      break;
+    case Outcome::kShedBatchDeadline:
+      shed_batch_.add();
+      break;
+    case Outcome::kShedExecDeadline:
+      shed_exec_.add();
+      break;
+    case Outcome::kShedShutdown:
+      shed_shutdown_.add();
+      break;
+    case Outcome::kModelUnavailable:
+      unavailable_.add();
+      break;
+    default:
+      break;  // rejections are counted at submit()
+  }
+
+  if (config_.events != nullptr &&
+      (outcome != Outcome::kOk || degraded)) {
+    obs::ServeIncidentEvent incident;
+    incident.id = pending.request.id;
+    incident.model = pending.request.model_id;
+    incident.outcome = outcome_name(outcome);
+    incident.degraded = degraded;
+    incident.detail = error;
+    incident.latency_ms = static_cast<double>(latency) / 1000.0;
+    config_.events->emit(incident.to_json());
+  }
+}
+
+void InferenceServer::shed_all(std::vector<PendingRequest>& expired,
+                               Outcome outcome) {
+  for (const PendingRequest& pending : expired) {
+    finish(pending, outcome, tensor::Tensor{}, "", false,
+           "deadline expired");
+  }
+  expired.clear();
+}
+
+void InferenceServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  queue_.shutdown();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // Workers are gone; whatever is still queued was admitted but will never
+  // be served. Resolve — never strand — those slots.
+  std::vector<PendingRequest> stranded = queue_.drain();
+  for (const PendingRequest& pending : stranded) {
+    finish(pending, Outcome::kShedShutdown, tensor::Tensor{}, "", false,
+           "server stopped before service");
+  }
+
+  if (config_.events != nullptr) {
+    const ServerStats s = stats();
+    obs::ServeSummaryEvent summary;
+    summary.submitted = static_cast<std::int64_t>(s.submitted);
+    summary.ok = static_cast<std::int64_t>(s.ok);
+    summary.degraded = static_cast<std::int64_t>(s.degraded);
+    summary.rejected = static_cast<std::int64_t>(s.rejected());
+    summary.shed = static_cast<std::int64_t>(s.shed());
+    summary.unavailable = static_cast<std::int64_t>(s.unavailable);
+    summary.quarantined = static_cast<std::int64_t>(
+        counter("serve.cache.quarantine").value());
+    summary.p50_ms = obs::histogram_quantile(latency_ms_, 0.5);
+    summary.p99_ms = obs::histogram_quantile(latency_ms_, 0.99);
+    config_.events->emit(summary.to_json());
+    config_.events->flush();
+  }
+}
+
+ServerStats InferenceServer::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.value();
+  s.admitted = admitted_.value();
+  s.rejected_queue_full = rejected_queue_full_.value();
+  s.rejected_inflight = rejected_inflight_.value();
+  s.rejected_shutdown = rejected_shutdown_.value();
+  s.rejected_invalid = rejected_invalid_.value();
+  s.ok = ok_.value();
+  s.degraded = degraded_.value();
+  s.shed_queue = shed_queue_.value();
+  s.shed_batch = shed_batch_.value();
+  s.shed_exec = shed_exec_.value();
+  s.shed_shutdown = shed_shutdown_.value();
+  s.unavailable = unavailable_.value();
+  return s;
+}
+
+}  // namespace dropback::serve

@@ -1,0 +1,158 @@
+// InferenceServer — multi-threaded batched serving of DropBack variants,
+// built to degrade predictably rather than fail (docs/SERVING.md).
+//
+// Pipeline per worker thread:
+//
+//   pop (bounded wait) -> shed queue-expired -> form micro-batch (shed
+//   batch-expired) -> resolve variant through the StoreCache ladder ->
+//   shed exec-expired -> RegenMlp forward -> deliver (or shed post-exec)
+//
+// Robustness invariants the tests pin down:
+//
+//  * Every submitted request resolves exactly once with a typed Outcome —
+//    under overload, injected IO faults, and shutdown. No exception
+//    crosses submit() or escapes a worker thread.
+//  * kOk implies the response was delivered within the request's deadline:
+//    a result computed too late is shed (serve.exec.wasted counts the
+//    wasted kernel), so "ok" carries a hard latency bound by construction.
+//  * Accounting identities hold at stop():
+//      submitted == admitted + rejected
+//      admitted  == ok + shed + unavailable
+//    (the chaos test asserts these after 2x overload with faults).
+//  * R8 thread discipline: workers are joined in stop(), never detached;
+//    every condition-variable wait is bounded (wait_for).
+//
+// Results at a given model state are bitwise identical to
+// inference::RegenMlp::forward on the same inputs regardless of thread
+// count or batch composition (RegenLinear accumulates each batch row
+// independently) — serving adds scheduling, never numerics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event_stream.hpp"
+#include "obs/metrics.hpp"
+#include "serve/batcher.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/store_cache.hpp"
+#include "util/steady_clock.hpp"
+
+namespace dropback::serve {
+
+struct ServerConfig {
+  int threads = 2;
+  AdmissionConfig admission;
+  BatchConfig batch;
+  CacheConfig cache;
+  /// Deadline for submits that don't specify one (microseconds, relative).
+  std::int64_t default_deadline_us = 50'000;
+  /// Worker idle-poll bound: the longest a worker sleeps in pop() before
+  /// re-checking for work or shutdown.
+  std::int64_t worker_poll_us = 2'000;
+  /// Null => util::steady_clock_source(). Tests pass a ManualClock to make
+  /// deadline expiry deterministic.
+  util::ClockSource* clock = nullptr;
+  /// Optional JSONL stream for ServeIncidentEvent / ServeSummaryEvent.
+  obs::EventStream* events = nullptr;
+  /// Test seam: runs at named pipeline stages ("pop", "batch", "exec");
+  /// may throw or stall — the chaos test injects through it.
+  std::function<void(const char* stage)> chaos_hook;
+};
+
+/// Counter snapshot for assertions and status output (values come from the
+/// global MetricsRegistry; this is a convenience view).
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_inflight = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;  ///< subset of ok served by the fallback
+  std::uint64_t shed_queue = 0;
+  std::uint64_t shed_batch = 0;
+  std::uint64_t shed_exec = 0;
+  std::uint64_t shed_shutdown = 0;
+  std::uint64_t unavailable = 0;
+
+  std::uint64_t rejected() const {
+    return rejected_queue_full + rejected_inflight + rejected_shutdown +
+           rejected_invalid;
+  }
+  std::uint64_t shed() const {
+    return shed_queue + shed_batch + shed_exec + shed_shutdown;
+  }
+};
+
+class InferenceServer {
+ public:
+  explicit InferenceServer(ServerConfig config);
+  /// Joins workers and resolves every admitted request (stop()).
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Submits one request (input leading dim must be 1). Always returns a
+  /// slot; rejections are delivered into it immediately, so the caller has
+  /// one code path. `deadline_us` is relative to now; <= 0 uses the
+  /// config default.
+  std::shared_ptr<ResponseSlot> submit(const std::string& model_id,
+                                       tensor::Tensor input,
+                                       std::int64_t deadline_us = 0);
+
+  /// Stops admission, joins the workers, then resolves everything still
+  /// queued as kShedShutdown and emits the serve_summary event. Idempotent.
+  void stop();
+
+  ServerStats stats() const;
+  StoreCache& cache() { return cache_; }
+  std::size_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  void worker_loop();
+  /// Resolves one admitted request and releases its in-flight charge.
+  void finish(const PendingRequest& pending, Outcome outcome,
+              tensor::Tensor output, const std::string& served_model,
+              bool degraded, const std::string& error);
+  void shed_all(std::vector<PendingRequest>& expired, Outcome outcome);
+  void run_batch(std::vector<PendingRequest> batch);
+
+  ServerConfig config_;
+  util::ClockSource* clock_;
+  RequestQueue queue_;
+  MicroBatcher batcher_;
+  StoreCache cache_;
+
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  // guarded by stop_mu_
+  std::mutex stop_mu_;
+  std::atomic<std::uint64_t> next_id_{1};
+
+  obs::Counter& submitted_;
+  obs::Counter& admitted_;
+  obs::Counter& rejected_queue_full_;
+  obs::Counter& rejected_inflight_;
+  obs::Counter& rejected_shutdown_;
+  obs::Counter& rejected_invalid_;
+  obs::Counter& ok_;
+  obs::Counter& degraded_;
+  obs::Counter& shed_queue_;
+  obs::Counter& shed_batch_;
+  obs::Counter& shed_exec_;
+  obs::Counter& shed_shutdown_;
+  obs::Counter& unavailable_;
+  obs::Counter& exec_wasted_;
+  obs::Histogram& latency_ms_;
+};
+
+}  // namespace dropback::serve

@@ -1,0 +1,208 @@
+#include "serve/store_cache.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "util/atomic_file.hpp"
+#include "util/io_error.hpp"
+#include "util/log.hpp"
+
+namespace dropback::serve {
+
+namespace {
+
+/// Cap on how long one worker waits for another's in-progress load before
+/// giving up (bounded even when a load hook stalls pathologically).
+constexpr std::int64_t kLoadWaitBudgetUs = 5'000'000;
+constexpr std::int64_t kLoadWaitSliceUs = 10'000;
+
+}  // namespace
+
+StoreCache::StoreCache(CacheConfig config, util::ClockSource* clock)
+    : config_(std::move(config)),
+      clock_(clock),
+      hits_(obs::MetricsRegistry::global().counter("serve.cache.hit")),
+      misses_(obs::MetricsRegistry::global().counter("serve.cache.miss")),
+      evictions_(obs::MetricsRegistry::global().counter("serve.cache.evict")),
+      retries_(obs::MetricsRegistry::global().counter("serve.cache.retry")),
+      quarantines_(
+          obs::MetricsRegistry::global().counter("serve.cache.quarantine")),
+      resident_gauge_(
+          obs::MetricsRegistry::global().gauge("serve.cache.resident")) {}
+
+CacheResult StoreCache::get(const std::string& model_id) {
+  std::string error;
+  std::shared_ptr<const Variant> variant = get_or_load(model_id, &error);
+  if (variant) return CacheResult{std::move(variant), false, ""};
+
+  if (!config_.fallback_model.empty() && config_.fallback_model != model_id) {
+    std::string fallback_error;
+    std::shared_ptr<const Variant> fallback =
+        get_or_load(config_.fallback_model, &fallback_error);
+    if (fallback) {
+      return CacheResult{std::move(fallback), true, std::move(error)};
+    }
+    error += "; fallback '" + config_.fallback_model +
+             "' also unavailable: " + fallback_error;
+  }
+  return CacheResult{nullptr, false, std::move(error)};
+}
+
+std::shared_ptr<const Variant> StoreCache::get_or_load(
+    const std::string& model_id, std::string* error) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::int64_t wait_start_us = clock_->now_us();
+  for (;;) {
+    auto hit = index_.find(model_id);
+    if (hit != index_.end()) {
+      touch_locked(model_id);
+      hits_.add();
+      return hit->second->second;
+    }
+    auto quarantine = quarantined_until_us_.find(model_id);
+    if (quarantine != quarantined_until_us_.end()) {
+      if (clock_->now_us() < quarantine->second) {
+        *error = "variant '" + model_id + "' is quarantined";
+        return nullptr;
+      }
+      quarantined_until_us_.erase(quarantine);  // cooldown over: retry disk
+    }
+    if (loading_.count(model_id) != 0) {
+      // Another worker owns the disk read; wait for its verdict in bounded
+      // slices (R8) so a stalled load cannot park us forever.
+      if (clock_->now_us() - wait_start_us > kLoadWaitBudgetUs) {
+        *error = "variant '" + model_id + "': timed out waiting for a "
+                 "concurrent load";
+        return nullptr;
+      }
+      cv_.wait_for(lock, std::chrono::microseconds(kLoadWaitSliceUs));
+      continue;
+    }
+    break;  // cold and unclaimed: this thread does the disk read
+  }
+
+  loading_.insert(model_id);
+  misses_.add();
+  lock.unlock();
+
+  std::shared_ptr<const Variant> variant;
+  std::string failure;
+  try {
+    variant = load_from_disk(model_id);
+  } catch (const std::exception& e) {
+    failure = e.what();
+  }
+
+  lock.lock();
+  loading_.erase(model_id);
+  if (variant) {
+    insert_locked(model_id, variant);
+  } else {
+    // Both corrupt bytes and exhausted retries park the variant: without
+    // negative caching, every request for a dead variant would re-run the
+    // full retry ladder and the failure mode becomes a latency amplifier.
+    quarantined_until_us_[model_id] = clock_->now_us() + config_.quarantine_us;
+    quarantines_.add();
+    *error = "variant '" + model_id + "' unavailable: " + failure;
+    util::log_warn() << "serve: quarantined '" << model_id
+                     << "': " << failure;
+  }
+  lock.unlock();
+  cv_.notify_all();
+  return variant;
+}
+
+std::shared_ptr<const Variant> StoreCache::load_from_disk(
+    const std::string& model_id) {
+  std::function<void(const std::string&)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = load_hook_;
+  }
+  const std::string path = config_.dir + "/" + model_id + ".dbsw";
+
+  std::string bytes;
+  std::int64_t backoff_us = config_.retry_backoff_us;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (hook) hook(model_id);
+      bytes = util::read_file(path);
+      break;
+    } catch (const util::IoError& e) {
+      // Transient rung of the ladder: the read itself failed (EIO, stall
+      // budget, injected rerr). Retry with doubling backoff.
+      if (attempt >= config_.max_load_attempts) {
+        throw util::IoError("read failed after " + std::to_string(attempt) +
+                            " attempts: " + e.what());
+      }
+      retries_.add();
+      clock_->sleep_us(backoff_us);
+      backoff_us *= 2;
+    }
+  }
+
+  // Parse + engine build are NOT retried: the bytes are in memory, so a
+  // failure here means the file's content is wrong (CRC mismatch,
+  // truncation, bad layout) and re-reading it cannot help — quarantine.
+  try {
+    auto variant = std::make_shared<Variant>();
+    variant->model_id = model_id;
+    std::istringstream in(bytes);
+    variant->store = core::SparseWeightStore::load(in);
+    variant->engine =
+        std::make_unique<inference::RegenMlp>(variant->store);
+    return variant;
+  } catch (const std::exception& e) {
+    throw util::IoError("corrupt store " + path + ": " + e.what());
+  }
+}
+
+void StoreCache::insert_locked(const std::string& model_id,
+                               std::shared_ptr<const Variant> variant) {
+  lru_.emplace_front(model_id, std::move(variant));
+  index_[model_id] = lru_.begin();
+  while (lru_.size() > config_.capacity) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();  // in-flight holders keep the shared_ptr alive
+    evictions_.add();
+  }
+  resident_gauge_.set(static_cast<double>(lru_.size()));
+}
+
+void StoreCache::touch_locked(const std::string& model_id) {
+  auto it = index_.find(model_id);
+  if (it == index_.end() || it->second == lru_.begin()) return;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+}
+
+void StoreCache::invalidate(const std::string& model_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(model_id);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  quarantined_until_us_.erase(model_id);
+  resident_gauge_.set(static_cast<double>(lru_.size()));
+}
+
+std::size_t StoreCache::resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+bool StoreCache::is_quarantined(const std::string& model_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = quarantined_until_us_.find(model_id);
+  return it != quarantined_until_us_.end() && clock_->now_us() < it->second;
+}
+
+void StoreCache::set_load_hook(
+    std::function<void(const std::string& model_id)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  load_hook_ = std::move(hook);
+}
+
+}  // namespace dropback::serve

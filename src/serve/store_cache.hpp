@@ -1,0 +1,130 @@
+// LRU cache of loaded model variants — the server's storage robustness
+// layer (docs/SERVING.md).
+//
+// A variant is one DBSW file (`<dir>/<model_id>.dbsw`): a SparseWeightStore
+// plus the RegenMlp engine built over it. Because a DropBack store holds
+// only the k tracked weights, dozens of variants fit in the memory one
+// dense model would need — the cache is what turns that into a serving
+// feature (per-tenant fine-tuned variants on one box).
+//
+// The load path is where disks misbehave, so it carries the full
+// degradation ladder:
+//
+//   1. retry   — util::read_file raising util::IoError is retried up to
+//                max_load_attempts with doubling backoff (transient EIO,
+//                injected via DROPBACK_FAULT=rerr:N / stall:N);
+//   2. quarantine — a file whose *bytes parse as corrupt* (container CRC
+//                mismatch, truncation — injected via flip:N / rshort:N) is
+//                not retried: the bytes are wrong, not late. The variant is
+//                quarantined for quarantine_us so a poisoned file cannot
+//                put the load path in a hot retry loop. Exhausting retries
+//                also quarantines (negative caching of a dead path).
+//   3. fallback — while a variant is unavailable, requests are served by
+//                fallback_model (result flagged `degraded`), trading
+//                accuracy for availability;
+//   4. typed failure — no fallback either => CacheResult{nullptr} and the
+//                server answers kModelUnavailable. No exception ever
+//                crosses get().
+//
+// Concurrency: one mutex guards the map; the disk read itself runs
+// *outside* the lock with a per-model "loading" claim so (a) a slow or
+// stalled load never blocks serving other models, and (b) N workers
+// racing on one cold variant do one disk read, not N. Waiters use bounded
+// cv waits only (R8).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "core/sparse_weight_store.hpp"
+#include "inference/regen_forward.hpp"
+#include "obs/metrics.hpp"
+#include "util/steady_clock.hpp"
+
+namespace dropback::serve {
+
+struct CacheConfig {
+  std::string dir;                       ///< directory of <model_id>.dbsw
+  std::size_t capacity = 4;              ///< resident variants (LRU beyond)
+  int max_load_attempts = 3;             ///< read attempts per load
+  std::int64_t retry_backoff_us = 1000;  ///< first backoff; doubles
+  std::int64_t quarantine_us = 250'000;  ///< corrupt-variant cooldown
+  std::string fallback_model;            ///< "" => no fallback ladder rung
+};
+
+/// A loaded variant. The engine borrows the store, so both live together
+/// and the pair is handed out as shared_ptr<const Variant> — eviction never
+/// invalidates a variant a worker is still executing.
+struct Variant {
+  std::string model_id;
+  core::SparseWeightStore store;
+  std::unique_ptr<inference::RegenMlp> engine;
+};
+
+struct CacheResult {
+  std::shared_ptr<const Variant> variant;  ///< null => model unavailable
+  bool degraded = false;  ///< served by the fallback variant
+  std::string error;      ///< why the primary was unavailable
+};
+
+class StoreCache {
+ public:
+  StoreCache(CacheConfig config, util::ClockSource* clock);
+
+  /// Resolves `model_id` through the degradation ladder. Never throws.
+  CacheResult get(const std::string& model_id);
+
+  /// Drops a variant (and its quarantine entry) so the next get() reloads
+  /// from disk — used by tests and by operators after replacing a file.
+  void invalidate(const std::string& model_id);
+
+  std::size_t resident() const;
+  bool is_quarantined(const std::string& model_id) const;
+
+  /// Test seam: runs at the top of every disk-load attempt (may throw or
+  /// stall) — an injectable fault point inside the server path, in addition
+  /// to the DROPBACK_FAULT byte-level hooks inside read_file itself.
+  void set_load_hook(std::function<void(const std::string& model_id)> hook);
+
+ private:
+  /// Returns the resident variant or loads it; null when the ladder's first
+  /// rung fails (caller decides on fallback). Appends the failure reason.
+  std::shared_ptr<const Variant> get_or_load(const std::string& model_id,
+                                             std::string* error);
+  /// The disk part: read (with retries) + parse + engine build. Runs with
+  /// the cache mutex *released*; throws util::IoError on failure.
+  std::shared_ptr<const Variant> load_from_disk(const std::string& model_id);
+  void insert_locked(const std::string& model_id,
+                     std::shared_ptr<const Variant> variant);
+  void touch_locked(const std::string& model_id);
+
+  const CacheConfig config_;
+  util::ClockSource* const clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// MRU-first recency list; map values point into it. std::map (not
+  /// unordered) keeps load-path iteration deterministic (lint R4).
+  std::list<std::pair<std::string, std::shared_ptr<const Variant>>> lru_;
+  std::map<std::string, decltype(lru_)::iterator> index_;
+  std::set<std::string> loading_;               ///< models mid-disk-read
+  std::map<std::string, std::int64_t> quarantined_until_us_;
+
+  std::function<void(const std::string&)> load_hook_;
+
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& evictions_;
+  obs::Counter& retries_;
+  obs::Counter& quarantines_;
+  obs::Gauge& resident_gauge_;
+};
+
+}  // namespace dropback::serve

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -121,7 +123,33 @@ std::string read_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (!in && !in.eof()) throw IoError("cannot read " + path);
-  return std::move(buffer).str();
+  std::string bytes = std::move(buffer).str();
+
+  // Injected read-side fault (util/fault_injection.hpp): applied at the
+  // byte level here, mirroring how atomic_write_file applies write faults,
+  // so every loader built on read_file is fault-testable via DROPBACK_FAULT.
+  const FaultSpec fault = consume_armed_read_fault();
+  switch (fault.kind) {
+    case FaultKind::kShortRead:
+      if (static_cast<std::size_t>(fault.at_byte) < bytes.size()) {
+        bytes.resize(static_cast<std::size_t>(fault.at_byte));
+      }
+      break;
+    case FaultKind::kReadError:
+      throw IoError("injected read error after " +
+                    std::to_string(std::min<std::size_t>(
+                        bytes.size(),
+                        static_cast<std::size_t>(fault.at_byte))) +
+                    " bytes reading " + path);
+    case FaultKind::kStall:
+      // A slow or contended device: the bytes arrive intact, late. The
+      // delay runs on the real clock — stalls model wall-time IO latency.
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault.at_byte));
+      break;
+    default:
+      break;
+  }
+  return bytes;
 }
 
 bool file_exists(const std::string& path) {

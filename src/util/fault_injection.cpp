@@ -1,9 +1,13 @@
 #include "util/fault_injection.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
+#include <thread>
 
 #include "util/check.hpp"
+#include "util/io_error.hpp"
 
 namespace dropback::util {
 
@@ -13,7 +17,32 @@ std::mutex g_fault_mutex;
 FaultSpec g_armed_fault;
 bool g_env_checked = false;
 
+/// Shared one-shot consume: hands out the armed fault only when `want_read`
+/// matches its direction, so DROPBACK_FAULT=rshort:64 survives intervening
+/// checkpoint writes and fires on the next read, and vice versa.
+FaultSpec consume_direction(bool want_read) {
+  std::lock_guard<std::mutex> lock(g_fault_mutex);
+  if (!g_env_checked) {
+    g_env_checked = true;
+    if (const char* env = std::getenv("DROPBACK_FAULT")) {
+      g_armed_fault = parse_fault_spec(env);
+    }
+  }
+  if (!g_armed_fault.active() ||
+      is_read_fault(g_armed_fault.kind) != want_read) {
+    return FaultSpec{};
+  }
+  const FaultSpec spec = g_armed_fault;
+  g_armed_fault = FaultSpec{};
+  return spec;
+}
+
 }  // namespace
+
+bool is_read_fault(FaultKind kind) {
+  return kind == FaultKind::kShortRead || kind == FaultKind::kReadError ||
+         kind == FaultKind::kStall;
+}
 
 FaultSpec parse_fault_spec(const std::string& text) {
   const std::size_t colon = text.find(':');
@@ -29,9 +58,16 @@ FaultSpec parse_fault_spec(const std::string& text) {
     spec.kind = FaultKind::kCrash;
   } else if (kind == "flip") {
     spec.kind = FaultKind::kFlipByte;
+  } else if (kind == "rshort") {
+    spec.kind = FaultKind::kShortRead;
+  } else if (kind == "rerr") {
+    spec.kind = FaultKind::kReadError;
+  } else if (kind == "stall") {
+    spec.kind = FaultKind::kStall;
   } else {
     DROPBACK_CHECK(false, << "unknown fault kind '" << kind
-                          << "' (short | enospc | crash | flip)");
+                          << "' (short | enospc | crash | flip | rshort | "
+                             "rerr | stall)");
   }
   std::size_t consumed = 0;
   const std::string digits = text.substr(colon + 1);
@@ -53,18 +89,9 @@ void disarm_fault() {
   g_env_checked = true;
 }
 
-FaultSpec consume_armed_fault() {
-  std::lock_guard<std::mutex> lock(g_fault_mutex);
-  if (!g_env_checked) {
-    g_env_checked = true;
-    if (const char* env = std::getenv("DROPBACK_FAULT")) {
-      g_armed_fault = parse_fault_spec(env);
-    }
-  }
-  const FaultSpec spec = g_armed_fault;
-  g_armed_fault = FaultSpec{};
-  return spec;
-}
+FaultSpec consume_armed_fault() { return consume_direction(false); }
+
+FaultSpec consume_armed_read_fault() { return consume_direction(true); }
 
 FaultyStreambuf::FaultyStreambuf(std::streambuf* inner, FaultSpec fault)
     : inner_(inner), fault_(fault) {}
@@ -85,7 +112,10 @@ bool FaultyStreambuf::put(char c) {
       if (written_ == fault_.at_byte) c = static_cast<char>(c ^ 0xFF);
       break;
     case FaultKind::kNone:
-      break;
+    case FaultKind::kShortRead:
+    case FaultKind::kReadError:
+    case FaultKind::kStall:
+      break;  // read-side kinds never affect writes
   }
   if (traits_type::eq_int_type(inner_->sputc(c), traits_type::eof())) {
     return false;
@@ -108,5 +138,61 @@ std::streamsize FaultyStreambuf::xsputn(const char* s, std::streamsize n) {
 }
 
 int FaultyStreambuf::sync() { return inner_->pubsync(); }
+
+bool FaultyStreambuf::read_gate() {
+  switch (fault_.kind) {
+    case FaultKind::kShortRead:
+      if (read_ >= fault_.at_byte) return false;
+      break;
+    case FaultKind::kReadError:
+      if (read_ >= fault_.at_byte) {
+        throw IoError("injected read error after " + std::to_string(read_) +
+                      " bytes");
+      }
+      break;
+    case FaultKind::kStall:
+      if (!stalled_) {
+        stalled_ = true;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault_.at_byte));
+      }
+      break;
+    case FaultKind::kNone:
+    case FaultKind::kShortWrite:
+    case FaultKind::kEnospc:
+    case FaultKind::kCrash:
+    case FaultKind::kFlipByte:
+      break;  // write-side kinds never affect reads
+  }
+  return true;
+}
+
+FaultyStreambuf::int_type FaultyStreambuf::underflow() {
+  if (!read_gate()) return traits_type::eof();
+  return inner_->sgetc();
+}
+
+FaultyStreambuf::int_type FaultyStreambuf::uflow() {
+  if (!read_gate()) return traits_type::eof();
+  const int_type c = inner_->sbumpc();
+  if (!traits_type::eq_int_type(c, traits_type::eof())) ++read_;
+  return c;
+}
+
+std::streamsize FaultyStreambuf::xsgetn(char* s, std::streamsize n) {
+  std::streamsize done = 0;
+  while (done < n) {
+    if (!read_gate()) break;
+    std::streamsize want = n - done;
+    if (fault_.kind == FaultKind::kShortRead) {
+      want = std::min<std::streamsize>(want, fault_.at_byte - read_);
+    }
+    const std::streamsize got = inner_->sgetn(s + done, want);
+    if (got <= 0) break;
+    done += got;
+    read_ += got;
+  }
+  return done;
+}
 
 }  // namespace dropback::util

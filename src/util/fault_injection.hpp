@@ -1,23 +1,34 @@
-// Fault injection for the crash-safety test harness.
+// Fault injection for the crash-safety and serving test harnesses.
 //
 // Two layers:
 //
-//  * FaultyStreambuf — wraps any std::streambuf and injects a write fault at
-//    a chosen byte offset: refuse further bytes (short write), refuse with an
-//    out-of-space flavor (ENOSPC), throw SimulatedCrash mid-write (a stand-in
-//    for SIGKILL / power loss), or silently corrupt one byte (bit rot, torn
-//    sector). Tests wrap their own streams with it directly.
+//  * FaultyStreambuf — wraps any std::streambuf and injects a fault at a
+//    chosen byte offset, on either direction of the stream:
+//      write side: refuse further bytes (short write), refuse with an
+//      out-of-space flavor (ENOSPC), throw SimulatedCrash mid-write (a
+//      stand-in for SIGKILL / power loss), or silently corrupt one byte
+//      (bit rot, torn sector);
+//      read side: stop returning bytes early (short read — a truncated or
+//      still-being-written file), throw IoError mid-read (EIO, a yanked
+//      disk), or stall for N milliseconds before the first byte (a slow or
+//      contended device). Tests wrap their own streams with it directly.
 //
-//  * A process-global one-shot fault consumed by util::atomic_write_file,
-//    armed programmatically (arm_fault) or via the DROPBACK_FAULT environment
-//    variable, so any training CLI can be crash-tested without code changes:
+//  * A process-global one-shot fault consumed by util::atomic_write_file
+//    (write kinds) or util::read_file (read kinds), armed programmatically
+//    (arm_fault) or via the DROPBACK_FAULT environment variable, so any
+//    training CLI or inference server can be crash-tested without code
+//    changes:
 //
 //        DROPBACK_FAULT=crash:96 ./train_mnist_dropback --checkpoint=c.dbts
+//        DROPBACK_FAULT=rshort:64 ./serve_loadgen --dir=variants
 //
-//    Specs: "short:N" | "enospc:N" | "crash:N" | "flip:N", where N is the
-//    byte offset at which the fault fires. The fault disarms after firing
-//    once, so the *next* write succeeds — exactly the scenario an atomic
-//    checkpoint must survive.
+//    Write specs: "short:N" | "enospc:N" | "crash:N" | "flip:N", where N is
+//    the byte offset at which the fault fires. Read specs: "rshort:N"
+//    (bytes stop at offset N) | "rerr:N" (IoError after N bytes) |
+//    "stall:N" (N *milliseconds* of delay, data intact). The fault disarms
+//    after firing once, so the *next* IO succeeds — exactly the scenario an
+//    atomic checkpoint or a retrying loader must survive. A sustained-fault
+//    harness (the serve chaos test) re-arms in a loop.
 #pragma once
 
 #include <cstdint>
@@ -38,51 +49,80 @@ class SimulatedCrash : public std::runtime_error {
 
 enum class FaultKind : std::uint8_t {
   kNone,
+  // Write-side faults (consumed by atomic_write_file).
   kShortWrite,  ///< writes stop silently at the offset; stream goes bad
   kEnospc,      ///< like kShortWrite, reported as "no space left on device"
   kCrash,       ///< throws SimulatedCrash at the offset
   kFlipByte,    ///< the byte at the offset is corrupted; the write "succeeds"
+  // Read-side faults (consumed by read_file).
+  kShortRead,  ///< reads hit EOF at the offset; earlier bytes are intact
+  kReadError,  ///< throws IoError once the offset has been read
+  kStall,      ///< delays the read by `at_byte` MILLISECONDS, data intact
 };
+
+/// True for the read-side kinds (kShortRead / kReadError / kStall).
+bool is_read_fault(FaultKind kind);
 
 struct FaultSpec {
   FaultKind kind = FaultKind::kNone;
-  std::int64_t at_byte = 0;  ///< offset at which the fault fires
+  /// Byte offset at which the fault fires; for kStall, a millisecond delay.
+  std::int64_t at_byte = 0;
 
   bool active() const { return kind != FaultKind::kNone; }
 };
 
-/// Parses "short:N" / "enospc:N" / "crash:N" / "flip:N".
+/// Parses "short:N" / "enospc:N" / "crash:N" / "flip:N" (write side) and
+/// "rshort:N" / "rerr:N" / "stall:N" (read side).
 /// Throws std::invalid_argument on a malformed spec.
 FaultSpec parse_fault_spec(const std::string& text);
 
-/// Arms a one-shot fault for the next atomic_write_file call.
+/// Arms a one-shot fault for the next atomic_write_file (write kinds) or
+/// read_file (read kinds) call.
 void arm_fault(const FaultSpec& spec);
 void disarm_fault();
 
-/// Returns the armed fault and disarms it. On the very first call, if no
-/// fault was armed programmatically, DROPBACK_FAULT is consulted (also
-/// one-shot). Returns an inactive spec when nothing is armed.
+/// Returns the armed *write-side* fault and disarms it; an armed read-side
+/// fault is left in place for consume_armed_read_fault. On the very first
+/// consume call of either direction, if no fault was armed
+/// programmatically, DROPBACK_FAULT is consulted (also one-shot). Returns
+/// an inactive spec when nothing matching is armed.
 FaultSpec consume_armed_fault();
 
+/// Read-side counterpart: returns the armed read fault and disarms it;
+/// write-side faults are left for consume_armed_fault.
+FaultSpec consume_armed_read_fault();
+
 /// std::streambuf wrapper that applies a FaultSpec to the bytes flowing
-/// through it. Counts bytes so the fault fires at an exact offset.
+/// through it, in either direction. Counts bytes so the fault fires at an
+/// exact offset.
 class FaultyStreambuf : public std::streambuf {
  public:
   FaultyStreambuf(std::streambuf* inner, FaultSpec fault);
 
   std::int64_t bytes_written() const { return written_; }
+  std::int64_t bytes_read() const { return read_; }
 
  protected:
+  // Write side.
   int_type overflow(int_type ch) override;
   std::streamsize xsputn(const char* s, std::streamsize n) override;
   int sync() override;
+  // Read side.
+  int_type underflow() override;
+  int_type uflow() override;
+  std::streamsize xsgetn(char* s, std::streamsize n) override;
 
  private:
   bool put(char c);
+  /// Applies the read fault before delivering the byte at offset `read_`.
+  /// Returns false when the stream must report EOF (short read).
+  bool read_gate();
 
   std::streambuf* inner_;
   FaultSpec fault_;
   std::int64_t written_ = 0;
+  std::int64_t read_ = 0;
+  bool stalled_ = false;
 };
 
 }  // namespace dropback::util

@@ -1,0 +1,24 @@
+#include "util/steady_clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace dropback::util {
+
+std::int64_t SteadyClockSource::now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SteadyClockSource::sleep_us(std::int64_t us) {
+  if (us <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+ClockSource& steady_clock_source() {
+  static SteadyClockSource clock;
+  return clock;
+}
+
+}  // namespace dropback::util

@@ -1,0 +1,71 @@
+// Injectable monotonic clock for deadline-driven code paths.
+//
+// The serving layer (src/serve/) enforces per-request deadlines at every
+// stage — queue wait, batch formation, kernel execution — and those
+// deadlines must be *testable*: a unit test cannot sleep 50ms to prove a
+// 50ms budget expires. ClockSource abstracts "what time is it" and "wait a
+// bit" behind a virtual interface:
+//
+//   * SteadyClockSource — the production clock, std::chrono::steady_clock.
+//     Monotonic by contract (R3 forbids system_clock in library code; a
+//     wall clock jumping backwards must never un-expire a deadline).
+//   * ManualClock — a test clock. now_us() returns a counter; sleep_us()
+//     advances it instantly. Deadline logic written against ClockSource
+//     runs identically under either, so expiry, retry backoff, and
+//     quarantine windows are all provable without real waiting.
+//
+// Time is an int64 microsecond count from an arbitrary epoch (process
+// start for the steady clock, 0 for a fresh ManualClock). Only differences
+// are meaningful.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dropback::util {
+
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+
+  /// Monotonic microseconds since an arbitrary epoch.
+  virtual std::int64_t now_us() = 0;
+
+  /// Blocks the calling thread for `us` microseconds (no-op for us <= 0).
+  /// ManualClock advances instead of blocking.
+  virtual void sleep_us(std::int64_t us) = 0;
+};
+
+/// Production clock: std::chrono::steady_clock + this_thread::sleep_for.
+class SteadyClockSource final : public ClockSource {
+ public:
+  std::int64_t now_us() override;
+  void sleep_us(std::int64_t us) override;
+};
+
+/// Deterministic test clock. Thread-safe: now_ is an atomic counter.
+/// sleep_us() advances time instead of blocking, so code that backs off
+/// (cache load retries) runs instantly under test while still recording
+/// the passage of virtual time.
+class ManualClock final : public ClockSource {
+ public:
+  explicit ManualClock(std::int64_t start_us = 0) : now_(start_us) {}
+
+  std::int64_t now_us() override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void sleep_us(std::int64_t us) override {
+    if (us > 0) advance_us(us);
+  }
+  void advance_us(std::int64_t us) {
+    now_.fetch_add(us, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> now_;
+};
+
+/// The process-wide production clock (what ServerConfig defaults to).
+ClockSource& steady_clock_source();
+
+}  // namespace dropback::util

@@ -294,7 +294,10 @@ TEST_P(FaultKindSweep, FaultedSaveLeavesLoadableStateOrTypedError) {
       return;  // rename landed, so the previous snapshot is gone by design
     }
     case util::FaultKind::kNone:
-      break;
+    case util::FaultKind::kShortRead:
+    case util::FaultKind::kReadError:
+    case util::FaultKind::kStall:
+      break;  // read-side kinds never fire on the save path
   }
   util::disarm_fault();
   const TrainerSnapshot recovered = fix.load(path);

@@ -1,4 +1,4 @@
-// Unit tests for tools/dbk_lint: every rule R1–R7 has at least one
+// Unit tests for tools/dbk_lint: every rule R1–R8 has at least one
 // true-positive fixture (the rule fires on a minimal offending snippet) and
 // at least one suppression fixture (inline directive or allowlist entry
 // silences it), plus scrubber edge cases (comments, strings, raw strings,
@@ -491,6 +491,79 @@ TEST(LintR7, InlineAllowAndAllowlistSuppress) {
     EXPECT_TRUE(f.suppressed);
   }
   EXPECT_EQ(live_count(listed, "R7"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R8: serving-layer thread discipline
+// ---------------------------------------------------------------------------
+
+TEST(LintR8, FiresOnUnboundedWaitAndDetach) {
+  const std::string src =
+      "void loop() {\n"
+      "  std::unique_lock<std::mutex> lock(mu_);\n"
+      "  cv_.wait(lock);\n"
+      "  std::thread t([] {});\n"
+      "  t.detach();\n"
+      "}\n";
+  const auto all = lint_source("src/serve/worker.cpp", src, empty_allow());
+  const auto r8 = findings_for(all, "R8");
+  ASSERT_EQ(r8.size(), 2U);
+  EXPECT_EQ(r8[0].line, 3);
+  EXPECT_NE(r8[0].message.find("wait_for"), std::string::npos);
+  EXPECT_EQ(r8[1].line, 5);
+  EXPECT_NE(r8[1].message.find("joined"), std::string::npos);
+}
+
+TEST(LintR8, FiresOnArrowAccessToo) {
+  const std::string src = "void f() { cv->wait(lock); }\n";
+  EXPECT_EQ(live_count(
+                lint_source("src/serve/queue.cpp", src, empty_allow()), "R8"),
+            1);
+}
+
+TEST(LintR8, BoundedWaitsAndJoinsAreFine) {
+  const std::string src =
+      "void loop() {\n"
+      "  cv_.wait_for(lock, std::chrono::microseconds(100), [] {\n"
+      "    return done;\n"
+      "  });\n"
+      "  cv_.wait_until(lock, deadline);\n"
+      "  worker.join();\n"
+      "}\n";
+  const auto all = lint_source("src/serve/worker.cpp", src, empty_allow());
+  EXPECT_TRUE(findings_for(all, "R8").empty());
+}
+
+TEST(LintR8, OnlyAppliesUnderServe) {
+  // Elsewhere the R1 thread-primitive rule owns the territory; a bare wait
+  // in the pool implementation is the pool's business.
+  const std::string src = "void f() { cv_.wait(lock); t.detach(); }\n";
+  EXPECT_TRUE(findings_for(
+                  lint_source("src/util/thread_pool.cpp", src, empty_allow()),
+                  "R8")
+                  .empty());
+  EXPECT_TRUE(findings_for(
+                  lint_source("tests/serve_test.cpp", src, empty_allow()),
+                  "R8")
+                  .empty());
+}
+
+TEST(LintR8, InlineAllowAndAllowlistSuppress) {
+  const std::string inline_src =
+      "// dbk-lint: allow(R8): wait is bounded by the caller's watchdog\n"
+      "void f() { cv_.wait(lock); }\n";
+  const auto inline_all =
+      lint_source("src/serve/legacy.cpp", inline_src, empty_allow());
+  const auto inline_r8 = findings_for(inline_all, "R8");
+  ASSERT_EQ(inline_r8.size(), 1U);
+  EXPECT_TRUE(inline_r8[0].suppressed);
+
+  const auto allow = parse_allow("R8 src/serve/legacy.cpp  grandfathered\n");
+  const auto listed = lint_source("src/serve/legacy.cpp",
+                                  "void f() { cv_.wait(lock); }\n", allow);
+  EXPECT_EQ(live_count(listed, "R8"), 0);
+  ASSERT_EQ(findings_for(listed, "R8").size(), 1U);
+  EXPECT_TRUE(findings_for(listed, "R8")[0].suppressed);
 }
 
 // ---------------------------------------------------------------------------

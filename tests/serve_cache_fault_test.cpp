@@ -1,0 +1,360 @@
+// Read-path fault injection and the serve cache's degradation ladder
+// (docs/SERVING.md, docs/ROBUSTNESS.md):
+//   * FaultyStreambuf read side — short read, mid-read IoError, stall;
+//   * util::read_file honoring armed read faults (rshort/rerr/stall) and
+//     the write/read direction filter of the one-shot registry;
+//   * StoreCache under corruption: mid-file truncation and byte-flip both
+//     surface as CRC/parse failures -> quarantine + fallback, never a
+//     crash or a raw exception out of get();
+//   * transient-vs-permanent: transient read errors are retried with
+//     backoff, permanent ones quarantine (negative caching), quarantine
+//     expires on the injected clock.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "nn/models/lenet.hpp"
+#include "obs/metrics.hpp"
+#include "rng/xorshift.hpp"
+#include "serve/store_cache.hpp"
+#include "util/atomic_file.hpp"
+#include "util/fault_injection.hpp"
+#include "util/io_error.hpp"
+#include "util/steady_clock.hpp"
+
+namespace dropback::serve {
+namespace {
+
+core::SparseWeightStore small_store(std::uint64_t seed) {
+  nn::models::Mlp model(12, {8}, 4, seed);
+  auto params = model.collect_parameters();
+  rng::Xorshift128 rng(seed ^ 0xFA17ULL);
+  for (nn::Parameter* p : params) {
+    tensor::Tensor& v = p->var.value();
+    for (int k = 0; k < 5 && k < v.numel(); ++k) {
+      v[rng.next_u64() % static_cast<std::uint64_t>(v.numel())] +=
+          rng.uniform(0.2F, 0.9F);
+    }
+  }
+  return core::SparseWeightStore::from_params(params);
+}
+
+std::string fault_dir() {
+  const std::string dir = ::testing::TempDir() + "serve_faults";
+  EXPECT_TRUE(::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST);
+  return dir;
+}
+
+std::string variant_path(const std::string& dir, const std::string& id) {
+  return dir + "/" + id + ".dbsw";
+}
+
+void write_variant(const std::string& dir, const std::string& id,
+                   std::uint64_t seed) {
+  small_store(seed).save_file(variant_path(dir, id));
+}
+
+/// Rewrites the variant file with `mutate` applied to its bytes — the
+/// sanctioned way (atomic_write_file) to author a corrupt fixture.
+void corrupt_variant(const std::string& dir, const std::string& id,
+                     const std::function<void(std::string&)>& mutate) {
+  std::string bytes = util::read_file(variant_path(dir, id));
+  mutate(bytes);
+  util::atomic_write_file(variant_path(dir, id),
+                          [&](std::ostream& out) { out << bytes; });
+}
+
+CacheConfig fault_cache_config(const std::string& dir) {
+  CacheConfig config;
+  config.dir = dir;
+  config.max_load_attempts = 3;
+  config.retry_backoff_us = 100;
+  config.quarantine_us = 50'000;
+  return config;
+}
+
+// --------------------------------------------------------------------------
+// FaultyStreambuf: read side
+// --------------------------------------------------------------------------
+
+TEST(FaultyStreambufRead, ShortReadStopsAtOffset) {
+  std::istringstream src("0123456789");
+  util::FaultyStreambuf faulty(src.rdbuf(),
+                               {util::FaultKind::kShortRead, 4});
+  std::istream in(&faulty);
+  std::string got(16, '\0');
+  in.read(got.data(), 16);
+  EXPECT_EQ(in.gcount(), 4);
+  EXPECT_TRUE(in.eof());
+  EXPECT_EQ(got.substr(0, 4), "0123");
+  EXPECT_EQ(faulty.bytes_read(), 4);
+}
+
+TEST(FaultyStreambufRead, ShortReadAlsoGatesCharwiseReads) {
+  std::istringstream src("abcdef");
+  util::FaultyStreambuf faulty(src.rdbuf(),
+                               {util::FaultKind::kShortRead, 2});
+  std::istream in(&faulty);
+  EXPECT_EQ(in.get(), 'a');
+  EXPECT_EQ(in.get(), 'b');
+  EXPECT_EQ(in.get(), std::istream::traits_type::eof());
+}
+
+TEST(FaultyStreambufRead, ReadErrorThrowsAtOffset) {
+  std::istringstream src("0123456789");
+  util::FaultyStreambuf faulty(src.rdbuf(),
+                               {util::FaultKind::kReadError, 3});
+  std::istream in(&faulty);
+  // istream catches streambuf exceptions and sets badbit; badbit in the
+  // exception mask makes it rethrow the original IoError (read_file reads
+  // through the streambuf directly, so it sees the throw without this).
+  in.exceptions(std::ios::badbit);
+  std::string got(3, '\0');
+  in.read(got.data(), 3);  // the first 3 bytes arrive intact
+  EXPECT_EQ(got, "012");
+  EXPECT_THROW(in.get(), util::IoError);
+}
+
+TEST(FaultyStreambufRead, StallDeliversIntactBytes) {
+  std::istringstream src("0123456789");
+  // at_byte is a *millisecond* delay for kStall; 1ms keeps the test fast.
+  util::FaultyStreambuf faulty(src.rdbuf(), {util::FaultKind::kStall, 1});
+  std::istream in(&faulty);
+  std::string got(10, '\0');
+  in.read(got.data(), 10);
+  EXPECT_EQ(in.gcount(), 10);
+  EXPECT_EQ(got, "0123456789");  // late, never wrong
+}
+
+TEST(FaultyStreambufRead, WriteFaultsDoNotAffectReads) {
+  std::istringstream src("0123456789");
+  util::FaultyStreambuf faulty(src.rdbuf(),
+                               {util::FaultKind::kShortWrite, 2});
+  std::istream in(&faulty);
+  std::string got(10, '\0');
+  in.read(got.data(), 10);
+  EXPECT_EQ(in.gcount(), 10);
+}
+
+// --------------------------------------------------------------------------
+// util::read_file: armed read faults, direction filter
+// --------------------------------------------------------------------------
+
+class ReadFileFault : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "read_fault_fixture.bin";
+    util::atomic_write_file(path_,
+                            [](std::ostream& out) { out << "0123456789"; });
+  }
+  void TearDown() override { util::disarm_fault(); }
+
+  std::string path_;
+};
+
+TEST_F(ReadFileFault, ShortReadTruncatesOnce) {
+  util::arm_fault({util::FaultKind::kShortRead, 4});
+  EXPECT_EQ(util::read_file(path_), "0123");
+  EXPECT_EQ(util::read_file(path_), "0123456789");  // one-shot
+}
+
+TEST_F(ReadFileFault, ReadErrorThrowsTypedOnce) {
+  util::arm_fault({util::FaultKind::kReadError, 0});
+  EXPECT_THROW(util::read_file(path_), util::IoError);
+  EXPECT_EQ(util::read_file(path_), "0123456789");
+}
+
+TEST_F(ReadFileFault, StallReturnsIntactBytes) {
+  util::arm_fault({util::FaultKind::kStall, 1});
+  EXPECT_EQ(util::read_file(path_), "0123456789");
+}
+
+TEST_F(ReadFileFault, ReadFaultSurvivesInterveningWrites) {
+  // DROPBACK_FAULT=rshort:N must fire on the next *read*, even when the
+  // process checkpoints (writes) in between — direction-filtered one-shot.
+  util::arm_fault({util::FaultKind::kShortRead, 2});
+  util::atomic_write_file(path_, [](std::ostream& out) { out << "abcdef"; });
+  EXPECT_EQ(util::read_file(path_), "ab");
+}
+
+TEST_F(ReadFileFault, WriteFaultNotConsumedByReads) {
+  util::arm_fault({util::FaultKind::kFlipByte, 1});
+  EXPECT_EQ(util::read_file(path_), "0123456789");  // read side unaffected
+  util::atomic_write_file(path_, [](std::ostream& out) { out << "xyz"; });
+  EXPECT_EQ(util::read_file(path_), std::string("x") + static_cast<char>(
+                                        'y' ^ 0xFF) + "z");
+}
+
+TEST(FaultSpecParse, ReadKindsRoundTrip) {
+  EXPECT_EQ(util::parse_fault_spec("rshort:64").kind,
+            util::FaultKind::kShortRead);
+  EXPECT_EQ(util::parse_fault_spec("rerr:0").kind,
+            util::FaultKind::kReadError);
+  const auto stall = util::parse_fault_spec("stall:25");
+  EXPECT_EQ(stall.kind, util::FaultKind::kStall);
+  EXPECT_EQ(stall.at_byte, 25);
+  EXPECT_TRUE(util::is_read_fault(util::FaultKind::kStall));
+  EXPECT_FALSE(util::is_read_fault(util::FaultKind::kFlipByte));
+}
+
+// --------------------------------------------------------------------------
+// StoreCache: corruption -> quarantine -> fallback
+// --------------------------------------------------------------------------
+
+TEST(ServeCacheFault, TruncatedFileQuarantinesAndFallsBack) {
+  obs::MetricsRegistry::global().reset();
+  const std::string dir = fault_dir();
+  write_variant(dir, "trunc", 21);
+  write_variant(dir, "fallback", 42);
+  corrupt_variant(dir, "trunc",
+                  [](std::string& b) { b.resize(b.size() / 2); });
+
+  util::ManualClock clock;
+  CacheConfig config = fault_cache_config(dir);
+  config.fallback_model = "fallback";
+  StoreCache cache(config, &clock);
+
+  const CacheResult r = cache.get("trunc");
+  ASSERT_NE(r.variant, nullptr);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.variant->model_id, "fallback");
+  EXPECT_NE(r.error.find("trunc"), std::string::npos);
+  EXPECT_TRUE(cache.is_quarantined("trunc"));
+  EXPECT_GE(obs::MetricsRegistry::global()
+                .counter("serve.cache.quarantine")
+                .value(),
+            1U);
+}
+
+TEST(ServeCacheFault, ByteFlipQuarantinesViaCrc) {
+  obs::MetricsRegistry::global().reset();
+  const std::string dir = fault_dir();
+  write_variant(dir, "flip", 22);
+  corrupt_variant(dir, "flip", [](std::string& b) {
+    b[b.size() / 2] = static_cast<char>(b[b.size() / 2] ^ 0xFF);
+  });
+
+  util::ManualClock clock;
+  StoreCache cache(fault_cache_config(dir), &clock);  // no fallback
+  const CacheResult r = cache.get("flip");
+  EXPECT_EQ(r.variant, nullptr);  // typed unavailability, not a throw
+  EXPECT_NE(r.error.find("flip"), std::string::npos);
+  EXPECT_TRUE(cache.is_quarantined("flip"));
+
+  // While quarantined, the disk is NOT re-read: the miss counter is frozen.
+  const auto misses =
+      obs::MetricsRegistry::global().counter("serve.cache.miss").value();
+  EXPECT_EQ(cache.get("flip").variant, nullptr);
+  EXPECT_EQ(obs::MetricsRegistry::global().counter("serve.cache.miss").value(),
+            misses);
+}
+
+TEST(ServeCacheFault, QuarantineExpiresAndRepairedFileLoads) {
+  obs::MetricsRegistry::global().reset();
+  const std::string dir = fault_dir();
+  write_variant(dir, "heal", 23);
+  corrupt_variant(dir, "heal", [](std::string& b) { b.resize(8); });
+
+  util::ManualClock clock;
+  CacheConfig config = fault_cache_config(dir);
+  StoreCache cache(config, &clock);
+  EXPECT_EQ(cache.get("heal").variant, nullptr);
+  EXPECT_TRUE(cache.is_quarantined("heal"));
+
+  write_variant(dir, "heal", 23);  // operator replaces the bad file
+  EXPECT_EQ(cache.get("heal").variant, nullptr);  // still cooling down
+  clock.advance_us(config.quarantine_us + 1);
+  EXPECT_FALSE(cache.is_quarantined("heal"));
+  EXPECT_NE(cache.get("heal").variant, nullptr);  // reloaded after expiry
+}
+
+TEST(ServeCacheFault, TransientReadErrorIsRetriedNotQuarantined) {
+  obs::MetricsRegistry::global().reset();
+  const std::string dir = fault_dir();
+  write_variant(dir, "transient", 24);
+
+  util::ManualClock clock;
+  StoreCache cache(fault_cache_config(dir), &clock);
+  // One-shot injected EIO: attempt 1 fails, attempt 2 reads clean bytes.
+  util::arm_fault({util::FaultKind::kReadError, 0});
+  const CacheResult r = cache.get("transient");
+  ASSERT_NE(r.variant, nullptr);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_FALSE(cache.is_quarantined("transient"));
+  EXPECT_GE(
+      obs::MetricsRegistry::global().counter("serve.cache.retry").value(),
+      1U);
+}
+
+TEST(ServeCacheFault, InjectedShortReadParsesAsCorruptAndQuarantines) {
+  obs::MetricsRegistry::global().reset();
+  const std::string dir = fault_dir();
+  write_variant(dir, "shortread", 25);
+
+  util::ManualClock clock;
+  CacheConfig config = fault_cache_config(dir);
+  config.fallback_model = "shortread";  // fallback == primary: no ladder loop
+  StoreCache cache(config, &clock);
+  // The bytes arrive truncated ONCE; the parse (not the read) fails, which
+  // must quarantine immediately — corrupt bytes are not retried.
+  util::arm_fault({util::FaultKind::kShortRead, 16});
+  const CacheResult r = cache.get("shortread");
+  EXPECT_EQ(r.variant, nullptr);
+  EXPECT_TRUE(cache.is_quarantined("shortread"));
+  EXPECT_EQ(
+      obs::MetricsRegistry::global().counter("serve.cache.retry").value(),
+      0U);
+  util::disarm_fault();
+}
+
+TEST(ServeCacheFault, PersistentFailureExhaustsRetriesThenQuarantines) {
+  obs::MetricsRegistry::global().reset();
+  const std::string dir = fault_dir();
+  write_variant(dir, "dead", 26);
+
+  util::ManualClock clock;
+  CacheConfig config = fault_cache_config(dir);
+  StoreCache cache(config, &clock);
+  int calls = 0;
+  cache.set_load_hook([&calls](const std::string&) {
+    ++calls;
+    throw util::IoError("injected persistent EIO");
+  });
+  const std::int64_t before = clock.now_us();
+  const CacheResult r = cache.get("dead");
+  EXPECT_EQ(r.variant, nullptr);
+  EXPECT_EQ(calls, config.max_load_attempts);
+  EXPECT_TRUE(cache.is_quarantined("dead"));
+  // Doubling backoff ran on the injected clock: 100 + 200 virtual us.
+  EXPECT_EQ(clock.now_us() - before, 300);
+  EXPECT_EQ(
+      obs::MetricsRegistry::global().counter("serve.cache.retry").value(),
+      2U);
+}
+
+TEST(ServeCacheFault, HookRecoveryBeforeExhaustionLoadsCleanly) {
+  obs::MetricsRegistry::global().reset();
+  const std::string dir = fault_dir();
+  write_variant(dir, "flaky", 27);
+
+  util::ManualClock clock;
+  StoreCache cache(fault_cache_config(dir), &clock);
+  int calls = 0;
+  cache.set_load_hook([&calls](const std::string&) {
+    if (++calls < 3) throw util::IoError("injected flaky EIO");
+  });
+  const CacheResult r = cache.get("flaky");
+  ASSERT_NE(r.variant, nullptr);
+  EXPECT_EQ(calls, 3);
+  EXPECT_FALSE(cache.is_quarantined("flaky"));
+}
+
+}  // namespace
+}  // namespace dropback::serve

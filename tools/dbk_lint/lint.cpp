@@ -362,6 +362,12 @@ bool r7_applies(const std::string& p) {
   return !starts_with(p, "src/simd/");
 }
 
+bool r8_applies(const std::string& p) {
+  // The serving layer is granted raw threads/mutexes (R1 allowlist); R8 is
+  // the price: joined threads and bounded waits only (docs/SERVING.md).
+  return starts_with(p, "src/serve/");
+}
+
 bool serialization_function(const std::string& name) {
   std::string lower;
   lower.reserve(name.size());
@@ -413,6 +419,19 @@ const std::regex& r5_regex() {
   return re;
 }
 
+// Bare `.wait(` / `->wait(` — wait_for/wait_until have a '_' after "wait"
+// and do not match. The member-access prefix keeps free functions (e.g.
+// a local helper named wait()) out of scope.
+const std::regex& r8_wait_regex() {
+  static const std::regex re(R"((\.|->)\s*wait\s*\()");
+  return re;
+}
+
+const std::regex& r8_detach_regex() {
+  static const std::regex re(R"((\.|->)\s*detach\s*\()");
+  return re;
+}
+
 struct RuleContext {
   const std::string& relpath;
   const InlineAllow& inline_allow;
@@ -444,8 +463,8 @@ struct RuleContext {
 // ---------------------------------------------------------------------------
 
 bool Allowlist::parse(const std::string& text, std::string* error) {
-  static const std::set<std::string> known = {"R1", "R2", "R3", "R4",
-                                              "R5", "R6", "R7", "*"};
+  static const std::set<std::string> known = {"R1", "R2", "R3", "R4", "R5",
+                                              "R6", "R7", "R8", "*"};
   int line_no = 0;
   for (const auto& raw : split_lines(text)) {
     ++line_no;
@@ -589,6 +608,22 @@ std::vector<Finding> lint_source(const std::string& relpath,
                "vendor SIMD intrinsic (" + trim(m[0].str()) +
                    ") outside src/simd/ — ISA-specific code must live "
                    "behind the runtime dispatch tables (docs/SIMD.md)");
+    }
+
+    if (r8_applies(relpath)) {
+      if (std::regex_search(line, m, r8_wait_regex())) {
+        ctx.emit("R8", line_no,
+                 "unbounded condition-variable wait — every blocking wait "
+                 "in src/serve/ must be wait_for/wait_until so a lost "
+                 "notify or a stalled producer cannot hang a worker "
+                 "(docs/SERVING.md)");
+      }
+      if (std::regex_search(line, m, r8_detach_regex())) {
+        ctx.emit("R8", line_no,
+                 "detached thread in the serving layer — server threads "
+                 "must be joined in stop() so shutdown resolves every "
+                 "in-flight request (docs/SERVING.md)");
+      }
     }
   }
   return findings;

@@ -29,6 +29,12 @@
 //       __m128/__m256/__m512/vld1/vst1 identifiers) only under src/simd/ —
 //       all ISA-specific code lives behind the runtime dispatch layer so
 //       every call site stays portable and scalar-verifiable (docs/SIMD.md).
+//   R8  serving-layer thread discipline (src/serve/ only): no detached
+//       threads (workers are joined in stop() so shutdown resolves every
+//       request) and no unbounded condition-variable waits — every .wait(
+//       must be wait_for/wait_until so a lost notify or stalled producer
+//       cannot hang a worker (docs/SERVING.md). R8 is the counterweight to
+//       the serve layer's R1 allowlist grant.
 //
 // Suppression comes in two forms (docs/STATIC_ANALYSIS.md):
 //   * inline: a comment `dbk-lint: allow(R5): reason` on the offending line,
@@ -47,7 +53,7 @@ namespace dbk_lint {
 
 /// One diagnostic. `file` is root-relative with '/' separators.
 struct Finding {
-  std::string rule;      ///< "R1".."R7"
+  std::string rule;      ///< "R1".."R8"
   std::string file;      ///< e.g. "src/tensor/matmul.cpp"
   int line = 0;          ///< 1-based
   std::string message;   ///< human-readable diagnostic
@@ -57,7 +63,7 @@ struct Finding {
 
 /// One `rule path reason` allowlist line.
 struct AllowEntry {
-  std::string rule;    ///< "R1".."R7" or "*" for any rule
+  std::string rule;    ///< "R1".."R8" or "*" for any rule
   std::string path;    ///< file path, or directory prefix ending in '/'
   std::string reason;  ///< rest of the line (shown in suppressed findings)
 };

@@ -9,6 +9,13 @@
 //
 //   --requests=N (default 512; DROPBACK_FULL=1 default 4096)
 //   --threads-list=1,2,4  --max-batch=8  --budget=2000
+//   --trace               enable span tracing during the timed region (for
+//                         measuring tracing overhead against a bare run)
+//   --trace-out=t.json    also export the spans as Chrome trace JSON
+//
+// Per-configuration p50/p99 request latency (from the serve.latency_ms log
+// histogram) goes to stderr so the stdout kernel-record stream stays
+// byte-compatible with bench_compare.py.
 //
 // The driver submits in admission-sized waves (closed loop), so the
 // pipeline stays full without tripping the queue/in-flight limits — this
@@ -27,8 +34,10 @@
 #include "nn/models/lenet.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rng/xorshift.hpp"
 #include "serve/server.hpp"
+#include "util/atomic_file.hpp"
 #include "util/flags.hpp"
 #include "util/steady_clock.hpp"
 
@@ -80,6 +89,14 @@ int main(int argc, char** argv) {
       flags.get_int("requests", util::Flags::full_scale() ? 4096 : 512);
   const std::vector<int> thread_counts =
       parse_threads_list(flags.get_string("threads-list", "1,2,4"));
+  const std::string trace_out = flags.get_string("trace-out", "");
+  const bool trace = flags.get_bool("trace", false) || !trace_out.empty();
+  if (trace) {
+    // Size the rings to hold a full configuration's spans (~6 per request)
+    // so an exported trace is complete rather than wrapped.
+    obs::set_trace_ring_capacity(static_cast<std::size_t>(requests) * 8);
+    obs::set_tracing_enabled(true);
+  }
 
   const std::string dir = "bench_serve_variants";
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
@@ -100,6 +117,7 @@ int main(int argc, char** argv) {
     // serve.* counters are global and cumulative; reset per configuration
     // (before the server constructor binds its counter references).
     obs::MetricsRegistry::global().reset();
+    if (trace) obs::reset_trace();
     serve::ServerConfig config;
     config.threads = threads;
     config.batch.max_batch =
@@ -148,6 +166,25 @@ int main(int argc, char** argv) {
                                         static_cast<std::uint64_t>(total_us),
                                         threads)
                     .c_str());
+    // Per-request latency distribution (log histogram, ~3% quantile error);
+    // stderr keeps the stdout record stream bench_compare-compatible.
+    obs::LogHistogram& latency = obs::MetricsRegistry::global().log_histogram(
+        "serve.latency_ms", 0.01, 600'000.0, 32);
+    std::fprintf(stderr,
+                 "threads=%d tracing=%s request latency p50=%.3f ms "
+                 "p99=%.3f ms\n",
+                 threads, trace ? "on" : "off", latency.quantile(0.5),
+                 latency.quantile(0.99));
+  }
+  if (!trace_out.empty()) {
+    obs::set_tracing_enabled(false);  // quiescence before collect()
+    const obs::TraceSnapshot snapshot = obs::TraceCollector::collect();
+    util::atomic_write_file(trace_out, [&](std::ostream& out) {
+      out << obs::TraceCollector::export_json(snapshot);
+    });
+    std::fprintf(stderr, "wrote %zu span(s) to %s (dropped %llu)\n",
+                 snapshot.spans.size(), trace_out.c_str(),
+                 static_cast<unsigned long long>(snapshot.dropped));
   }
   std::fprintf(stderr, "variant stores left in %s/ for reruns\n",
                dir.c_str());

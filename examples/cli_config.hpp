@@ -24,6 +24,8 @@
 // Telemetry (never changes training results — obs_equivalence_test):
 //   --metrics-out=run.jsonl   JSONL event stream + metrics snapshot at exit
 //   --profile[=prof.jsonl]    scoped profiler; table to stdout or JSONL dump
+//   --trace-out=run.trace.json  per-step span traces as Chrome trace JSON
+//     (open in Perfetto, or `metrics_tool trace run.trace.json`)
 //   --log-json                util::log as flat JSON records
 #pragma once
 
@@ -34,6 +36,7 @@
 #include "dropback.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "simd/dispatch.hpp"
 #include "util/atomic_file.hpp"
 #include "util/log.hpp"
@@ -68,6 +71,7 @@ struct CliConfig {
   // Telemetry switches (beyond TrainConfig::metrics_out).
   bool profile = false;
   std::string profile_path;   ///< "" = pretty table to stdout
+  std::string trace_path;     ///< Chrome trace JSON export; "" = tracing off
 
   /// Everything the training pipeline consumes, parsed in one place.
   train::TrainConfig train;
@@ -109,6 +113,11 @@ struct CliConfig {
       obs::reset_profile();
       obs::set_profiling_enabled(true);
     }
+    c.trace_path = flags.get_string("trace-out", "");
+    if (!c.trace_path.empty()) {
+      obs::reset_trace();
+      obs::set_tracing_enabled(true);
+    }
     if (flags.get_bool("log-json", false)) {
       util::set_log_format(util::LogFormat::kJson);
     }
@@ -140,6 +149,16 @@ struct CliConfig {
         std::printf("\nwrote profile to %s (%zu scopes)\n",
                     profile_path.c_str(), report.entries.size());
       }
+    }
+    if (!trace_path.empty()) {
+      obs::set_tracing_enabled(false);  // quiescence before collect()
+      const obs::TraceSnapshot snapshot = obs::TraceCollector::collect();
+      util::atomic_write_file(trace_path, [&](std::ostream& out) {
+        out << obs::TraceCollector::export_json(snapshot);
+      });
+      std::printf("\nwrote %zu span(s) to %s (dropped %llu)\n",
+                  snapshot.spans.size(), trace_path.c_str(),
+                  static_cast<unsigned long long>(snapshot.dropped));
     }
     if (!train.metrics_out.empty()) {
       std::printf("\nmetrics snapshot: %s\n",

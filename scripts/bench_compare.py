@@ -1,15 +1,21 @@
 #!/usr/bin/env python3
-"""Compare a bench_micro --speedup run against committed JSONL baselines.
+"""Compare a benchmark run against committed JSONL baselines.
 
 Usage:
     bench_micro --speedup --benchmark_filter='^$' | grep '"simd/' \
         | scripts/bench_compare.py BENCH_simd.json [--tolerance 0.10]
     scripts/bench_compare.py BENCH_simd.json --current new_run.json
+    bench_serve | scripts/bench_compare.py BENCH_serve.json
+    scripts/bench_compare.py BENCH_simd.json BENCH_serve.json \
+        --current combined_run.json
 
 Both inputs are kernel-timing JSONL ({"name","calls","total_us","threads"},
-the schema shared by bench_micro --speedup and the profiler dump). Records
-are joined on (name, threads); a current total_us more than --tolerance
-(default 10%) above the baseline is a regression and the script exits 1.
+the schema shared by bench_micro --speedup, bench_serve, and the profiler
+dump). Multiple baseline files are merged (kernel names never collide
+across suites; on a repeated key the lowest time wins, matching the
+within-file rule). Records are joined on (name, threads); a current
+total_us more than --tolerance (default 10%) above the baseline is a
+regression and the script exits 1.
 
 A kernel present in the baseline but missing from the current run — or
 vice versa — is a coverage break (a renamed bench silently stops being
@@ -65,7 +71,12 @@ def main():
     parser = argparse.ArgumentParser(
         description="Flag benchmark regressions against committed baselines."
     )
-    parser.add_argument("baseline", help="committed JSONL (e.g. BENCH_simd.json)")
+    parser.add_argument(
+        "baseline",
+        nargs="+",
+        help="committed JSONL baseline(s) (e.g. BENCH_simd.json "
+        "BENCH_serve.json); multiple files are merged",
+    )
     parser.add_argument(
         "--current",
         help="JSONL from the run under test (default: stdin)",
@@ -84,7 +95,12 @@ def main():
     )
     args = parser.parse_args()
 
-    baseline = load_file(args.baseline)
+    baseline = {}
+    for path in args.baseline:
+        for key, total_us in load_file(path).items():
+            if key not in baseline or total_us < baseline[key]:
+                baseline[key] = total_us
+    baseline_label = ", ".join(args.baseline)
     if args.current and args.current != "-":
         current = load_file(args.current)
     else:
@@ -95,14 +111,14 @@ def main():
     severity = "warn" if args.allow_missing else "error"
     for name, threads in missing_from_current:
         print(
-            f"{severity}: {name} (threads={threads}) is in {args.baseline} "
+            f"{severity}: {name} (threads={threads}) is in {baseline_label} "
             "but missing from the current run — renamed, removed, or the "
             "bench did not execute"
         )
     for name, threads in missing_from_baseline:
         print(
             f"{severity}: {name} (threads={threads}) is in the current run "
-            f"but has no baseline in {args.baseline} — add it to the "
+            f"but has no baseline in {baseline_label} — add it to the "
             "baseline or filter it out"
         )
 

@@ -10,7 +10,9 @@
 #                     allowlist (tools/dbk_lint.rules)
 #   3. tests_warn     full ctest suite on the hardened build (includes the
 #                     `lint` label: dbk_lint_tree + lint_test)
-#   4. tsan_parallel  ThreadSanitizer build, ctest labels `parallel`+`serve`
+#   4. tsan_parallel  ThreadSanitizer build, ctest labels
+#                     `parallel`+`serve`+`obs` (the span-tracer rings and
+#                     metrics registry are exercised under TSan too)
 #   5. asan_recovery  ASan+UBSan build, ctest label `recovery`
 #   6. ubsan_full     UBSan build, full ctest suite
 #
@@ -83,7 +85,7 @@ if [ "$FAST" -eq 0 ]; then
   run_stage tsan_parallel bash -c \
     "cmake -B '$ROOT/build-tsan' -S '$ROOT' -DDROPBACK_SANITIZE=thread \
      && cmake --build '$ROOT/build-tsan' -j '$JOBS' \
-     && ctest --test-dir '$ROOT/build-tsan' -L 'parallel|serve' -j '$JOBS' \
+     && ctest --test-dir '$ROOT/build-tsan' -L 'parallel|serve|obs' -j '$JOBS' \
         --output-on-failure"
   run_stage asan_recovery bash -c \
     "cmake -B '$ROOT/build-asan' -S '$ROOT' -DDROPBACK_SANITIZE=address \

@@ -81,10 +81,61 @@ class Histogram {
 /// bound of the bucket containing the q-th observation (rank ceil(q*count)).
 /// The underflow bin reports bounds().front(), the overflow bin
 /// bounds().back() — i.e. a value whose true quantile exceeds every bound is
-/// clamped to the largest bound, so choose an overflow bound above any
-/// latency you intend to assert on. Returns 0 for an empty histogram.
-/// `q` must be in [0, 1]. Used for serving p50/p99 (docs/SERVING.md).
+/// clamped to the largest bound (never extrapolated), so choose an overflow
+/// bound above any latency you intend to assert on; snapshot_json() renders
+/// that open-ended bin with an explicit "+Inf" upper bound. Returns 0 for an
+/// empty histogram. `q` must be in [0, 1]. Used for serving p50/p99
+/// (docs/SERVING.md).
 double histogram_quantile(const Histogram& h, double q);
+
+/// HDR-style log-scale histogram: base-2 octaves between min_value and
+/// max_value, each refined into `sub_buckets` linear sub-buckets, plus an
+/// underflow bin (v < min_value) and an overflow bin (v >= max_value).
+/// Quantiles are accurate to a relative error of 1/sub_buckets across the
+/// whole range — e.g. 32 sub-buckets keep p99/p999 within ~3% over 4+
+/// decades without hand-tuned bounds, where a fixed-bucket Histogram's
+/// error is whatever its nearest bound spacing happens to be. Writes are
+/// the same relaxed atomics as Histogram (pool-thread safe, snapshot-able
+/// while written); serving's `serve.latency_ms` lives here.
+class LogHistogram {
+ public:
+  LogHistogram(double min_value, double max_value, int sub_buckets = 32);
+
+  void observe(double v);
+
+  double min_value() const { return min_; }
+  double max_value() const { return max_; }
+  int sub_buckets() const { return sub_; }
+  int octaves() const { return octaves_; }
+
+  /// Total bins: octaves() * sub_buckets() + underflow + overflow.
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  /// Bin index a value lands in (0 = underflow, num_buckets()-1 = overflow).
+  std::size_t bucket_index(double v) const;
+  /// Upper bound of bin `i`; min_value() for underflow. The overflow bin
+  /// clamps to max_value() — same no-extrapolation contract as
+  /// histogram_quantile.
+  double bucket_upper(std::size_t i) const;
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Conservative quantile (upper bound of the bin holding rank
+  /// ceil(q*count)); 0 when empty, clamped to [min_value, max_value].
+  double quantile(double q) const;
+
+ private:
+  double min_;
+  double max_;
+  int sub_;
+  int octaves_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
 
 /// Named metric store. counter()/gauge()/histogram() create on first use and
 /// return the existing metric afterwards; references remain valid until the
@@ -95,11 +146,18 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
+  LogHistogram& log_histogram(const std::string& name, double min_value,
+                              double max_value, int sub_buckets = 32);
 
   /// One JSON object with every metric:
   ///   {"counters":{...},"gauges":{...},
-  ///    "histograms":{"name":{"bounds":[...],"counts":[...],
-  ///                          "count":N,"sum":X}}}
+  ///    "histograms":{"name":{"bounds":[...,"+Inf"],"counts":[...],
+  ///                          "count":N,"sum":X}},
+  ///    "log_histograms":{"name":{"min":..,"max":..,"sub_buckets":..,
+  ///                              "count":N,"sum":X,"p50":..,"p99":..,
+  ///                              "p999":..,"buckets":[[idx,count],...]}}}
+  /// Fixed-bucket bounds end with an explicit "+Inf" for the overflow bin;
+  /// log-histogram buckets are sparse [index, count] pairs.
   /// Safe to call while other threads write metrics.
   std::string snapshot_json() const;
 
@@ -114,6 +172,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> log_histograms_;
 };
 
 }  // namespace dropback::obs

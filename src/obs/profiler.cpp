@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
 
 #include "obs/json.hpp"
+#include "util/steady_clock.hpp"
 #include "util/table.hpp"
 
 namespace dropback::obs {
@@ -17,11 +17,10 @@ namespace {
 
 std::atomic<bool> g_enabled{false};
 
+// Through util::ClockSource (R9): profiler timestamps stay monotonic and
+// the clock read has exactly one implementation in the codebase.
 std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+  return static_cast<std::uint64_t>(util::steady_clock_source().now_ns());
 }
 
 /// One thread's private scope tree. Guarded by its own mutex so merge /

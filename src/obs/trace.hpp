@@ -1,0 +1,203 @@
+// End-to-end span tracing: where did one request's (or one step's) time go?
+//
+//   void worker() {
+//     DROPBACK_TRACE_SPAN("run_batch");
+//     ...
+//   }
+//
+// The metrics registry answers "how many / how fast on aggregate"; the
+// profiler answers "which scope is hot across the run". Tracing answers the
+// per-request question the serving path could not: for *this* request, how
+// much of its latency was queue wait vs batch formation vs variant regen vs
+// kernel exec. Every span carries a trace id propagated across thread
+// boundaries (client -> queue -> worker -> kernel pool), so one request's
+// spans reassemble into a tree no matter how many threads touched it.
+//
+// Design (mirrors the profiler's non-perturbation contract, PR 3):
+//
+//   * Hot path: per-thread fixed-capacity ring buffers. Recording a span is
+//     a relaxed cursor load, a slot write, and a release cursor store — no
+//     locks, no allocation, no branches on shared state. When the ring
+//     wraps, the oldest spans are overwritten and counted as dropped
+//     (TraceSnapshot::dropped), never blocking the writer.
+//   * TSan-clean: each ring has exactly one writer (its owning thread).
+//     TraceCollector::collect() acquire-loads the cursor and is meant to run
+//     at quiescence (after stop()/join, like collect_profile()); a snapshot
+//     taken mid-flight is safe but may split a trace.
+//   * All timestamps come from the injectable util::ClockSource
+//     (set_trace_clock), so tests export byte-deterministic traces under a
+//     ManualClock. Raw steady_clock reads are banned outside util/ by lint
+//     rule R9 for exactly this reason.
+//   * Runtime-gated (tracing_enabled(), default off: one relaxed load per
+//     site) and compiled out entirely with -DDROPBACK_DISABLE_TRACING.
+//     tests/obs_equivalence_test.cpp proves tracing on/off is bitwise
+//     invisible to trained weights, checkpoint bytes, and served outputs.
+//
+// Context propagation contract: a thread's current TraceContext is thread
+// local. Whoever crosses a thread boundary carries the context explicitly —
+// serve::Request ferries it from submit() through the queue and batcher to
+// the worker, and util::ThreadPool::run() hands the caller's context to its
+// pool workers — and the receiving thread adopts it with a
+// ScopedTraceContext for the duration of the borrowed work.
+//
+// Export: TraceCollector::export_json() emits Chrome trace-event JSON
+// ({"traceEvents":[{"name","cat","ph":"X","ts","dur","pid","tid","args"}]}),
+// loadable directly in Perfetto / chrome://tracing; `metrics_tool trace`
+// computes per-request critical paths from the same file
+// (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/steady_clock.hpp"
+
+namespace dropback::obs {
+
+/// Identifies the trace (request/step) a thread is currently working for.
+/// trace_id == 0 means "no active trace"; span_id is the innermost open
+/// span (0 at the root) and becomes the parent of new spans.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
+/// One completed span as seen by the collector/exporter.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root of its trace
+  std::string name;
+  int tid = 0;  ///< stable per-thread id (registration order)
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+};
+
+/// collect() output: spans across all threads plus how many were lost to
+/// ring wraparound since the last reset_trace().
+struct TraceSnapshot {
+  std::vector<SpanRecord> spans;
+  std::uint64_t dropped = 0;
+};
+
+/// Clock behind every span timestamp. Null restores the production steady
+/// clock. Affects spans started after the call; set it before enabling.
+void set_trace_clock(util::ClockSource* clock);
+util::ClockSource& trace_clock();
+
+/// Ring capacity (spans per thread) applied to rings created or reset after
+/// the call; reset_trace() re-applies it to existing rings. Default 4096.
+void set_trace_ring_capacity(std::size_t spans_per_thread);
+
+/// Drops every thread's recorded spans and dropped-span counts, and resizes
+/// the rings to the current capacity. Call at quiescence.
+void reset_trace();
+
+/// Reads spans out of every thread's ring (oldest surviving first per
+/// thread) and aggregates the dropped counts. Rings are single-writer and
+/// the collector takes no lock on them, so call at quiescence — after
+/// stop()/join established a happens-before with every writer.
+class TraceCollector {
+ public:
+  static TraceSnapshot collect();
+  /// Chrome trace-event / Perfetto JSON for a snapshot. Events are complete
+  /// ("ph":"X") spans sorted by (ts, -dur, span_id) so parents precede
+  /// children; args carry trace/span/parent ids. A trailing instant event
+  /// reports dropped spans when any were lost.
+  static std::string export_json(const TraceSnapshot& snapshot);
+  static std::string export_json();  ///< collect() + export.
+};
+
+/// Parses export_json() output (or any Chrome trace JSON whose "X" events
+/// carry our args) back into records — the `metrics_tool trace` reader.
+/// Throws std::runtime_error on malformed input. Non-"X" events are skipped.
+std::vector<SpanRecord> parse_chrome_trace(const std::string& text);
+
+#ifndef DROPBACK_DISABLE_TRACING
+
+/// Runtime master switch; default off. Off costs one relaxed atomic load
+/// per site. Toggling does not clear recorded spans.
+bool tracing_enabled();
+void set_tracing_enabled(bool enabled);
+
+/// The calling thread's current context (copy; cheap).
+TraceContext current_trace_context();
+
+/// Fresh root context for a new request/step when tracing is enabled;
+/// {0, 0} when disabled. Does not change the calling thread's context —
+/// adopt it with ScopedTraceContext or carry it in the request.
+TraceContext begin_trace();
+
+/// Adopts `ctx` as the calling thread's context for the guard's lifetime —
+/// the receiving side of every cross-thread handoff.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// Records an externally-timed span under `ctx` (e.g. a queue wait whose
+/// endpoints were stamped on different threads). `name` must be a string
+/// literal. No-op when tracing is disabled or ctx.trace_id == 0.
+void record_span(const char* name, const TraceContext& ctx,
+                 std::int64_t start_us, std::int64_t end_us);
+
+/// RAII span under the thread's current context. `name` must be a string
+/// literal (stored by pointer until collection). Inert when tracing is
+/// disabled at entry.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void* ring_ = nullptr;  // ThreadRing*, nullptr when disabled at entry
+  const char* name_ = nullptr;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::int64_t start_us_ = 0;
+};
+
+#define DROPBACK_TRACE_CONCAT2(a, b) a##b
+#define DROPBACK_TRACE_CONCAT(a, b) DROPBACK_TRACE_CONCAT2(a, b)
+#define DROPBACK_TRACE_SPAN(name)                \
+  ::dropback::obs::TraceSpan DROPBACK_TRACE_CONCAT( \
+      dropback_trace_span_, __LINE__)(name)
+
+#else  // DROPBACK_DISABLE_TRACING
+
+// Compile-out: the whole hot-path surface folds to constants/no-ops, so
+// gated call sites (serve, thread pool) dead-code-eliminate.
+constexpr bool tracing_enabled() { return false; }
+inline void set_tracing_enabled(bool) {}
+inline TraceContext current_trace_context() { return {}; }
+inline TraceContext begin_trace() { return {}; }
+
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext&) {}
+};
+
+inline void record_span(const char*, const TraceContext&, std::int64_t,
+                        std::int64_t) {}
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) {}
+};
+
+#define DROPBACK_TRACE_SPAN(name) \
+  do {                            \
+  } while (false)
+
+#endif  // DROPBACK_DISABLE_TRACING
+
+}  // namespace dropback::obs

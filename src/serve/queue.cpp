@@ -34,6 +34,9 @@ bool RequestQueue::pop(std::int64_t max_wait_us, PendingRequest* out,
   while (!queue_.empty()) {
     PendingRequest head = std::move(queue_.front());
     queue_.pop_front();
+    // Stamp the hand-off time so the worker can close the request's
+    // queue_wait trace segment (expired requests leave the queue here too).
+    head.request.popped_us = now;
     if (head.request.deadline_us <= now) {
       expired->push_back(std::move(head));
       continue;
@@ -51,11 +54,13 @@ bool RequestQueue::try_pop_matching(const std::string& model_id,
   const std::int64_t now = clock_->now_us();
   for (auto it = queue_.begin(); it != queue_.end();) {
     if (it->request.deadline_us <= now) {
+      it->request.popped_us = now;
       expired->push_back(std::move(*it));
       it = queue_.erase(it);
       continue;
     }
     if (it->request.model_id == model_id) {
+      it->request.popped_us = now;
       *out = std::move(*it);
       queue_.erase(it);
       return true;

@@ -23,6 +23,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dropback::serve {
@@ -55,6 +56,17 @@ struct Request {
   tensor::Tensor input;
   std::int64_t deadline_us = 0;  ///< absolute, server ClockSource domain
   std::int64_t submit_us = 0;    ///< admission timestamp
+
+  /// Trace propagation (obs/trace.hpp): the context minted at submit()
+  /// rides the request across the queue/batcher/worker thread boundaries.
+  /// trace.trace_id == 0 when tracing was off at admission.
+  obs::TraceContext trace;
+  /// End of the last recorded trace segment; segments are recorded
+  /// back-to-back from here so they tile [submit_us, deliver] exactly.
+  std::int64_t trace_mark_us = 0;
+  /// When the queue handed the request to a worker (0 = never popped,
+  /// e.g. drained at shutdown). Stamped by RequestQueue under its lock.
+  std::int64_t popped_us = 0;
 };
 
 /// One-shot result holder. The server delivers exactly once; clients poll
@@ -84,6 +96,12 @@ class ResponseSlot {
   /// submit -> deliver, microseconds (server clock); -1 until resolved.
   std::int64_t latency_us() const;
 
+  /// Trace id assigned at submit (0 when tracing was off) — lets a client
+  /// find this request's spans in a TraceCollector export. Written once by
+  /// submit() before the slot is shared; stable thereafter.
+  void set_trace_id(std::uint64_t id) { trace_id_ = id; }
+  std::uint64_t trace_id() const { return trace_id_; }
+
  private:
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
@@ -94,6 +112,7 @@ class ResponseSlot {
   bool degraded_ = false;
   std::string error_;
   std::int64_t latency_us_ = -1;
+  std::uint64_t trace_id_ = 0;
 };
 
 /// A request riding through the queue with its result slot.

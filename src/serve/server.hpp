@@ -120,11 +120,18 @@ class InferenceServer {
  private:
   void worker_loop();
   /// Resolves one admitted request and releases its in-flight charge.
-  void finish(const PendingRequest& pending, Outcome outcome,
+  /// Non-const: closes the request's trace with a final "deliver" segment.
+  void finish(PendingRequest& pending, Outcome outcome,
               tensor::Tensor output, const std::string& served_model,
               bool degraded, const std::string& error);
   void shed_all(std::vector<PendingRequest>& expired, Outcome outcome);
   void run_batch(std::vector<PendingRequest> batch);
+  /// Records one critical-path trace segment [trace_mark_us, end_us] for
+  /// an admitted request and advances the mark, so a request's segments
+  /// tile [submit_us, deliver] exactly (the trace accounting identity the
+  /// serve trace test asserts). No-op when the request carries no trace.
+  void trace_segment(PendingRequest& pending, const char* name,
+                     std::int64_t end_us);
 
   ServerConfig config_;
   util::ClockSource* clock_;
@@ -152,7 +159,9 @@ class InferenceServer {
   obs::Counter& shed_shutdown_;
   obs::Counter& unavailable_;
   obs::Counter& exec_wasted_;
-  obs::Histogram& latency_ms_;
+  /// Log-scale (base-2, sub-bucketed) latency histogram: accurate p50/p99/
+  /// p999 from tens of microseconds to minutes without hand-tuned bounds.
+  obs::LogHistogram& latency_ms_;
 };
 
 }  // namespace dropback::serve

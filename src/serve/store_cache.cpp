@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/atomic_file.hpp"
 #include "util/io_error.hpp"
 #include "util/log.hpp"
@@ -122,6 +123,10 @@ std::shared_ptr<const Variant> StoreCache::load_from_disk(
   }
   const std::string path = config_.dir + "/" + model_id + ".dbsw";
 
+  // Detail spans land in the trace of whichever request triggered the cold
+  // load (run_batch adopts the batch head's context before cache().get()).
+  DROPBACK_TRACE_SPAN("variant_load");
+
   std::string bytes;
   std::int64_t backoff_us = config_.retry_backoff_us;
   for (int attempt = 1;; ++attempt) {
@@ -146,6 +151,7 @@ std::shared_ptr<const Variant> StoreCache::load_from_disk(
   // failure here means the file's content is wrong (CRC mismatch,
   // truncation, bad layout) and re-reading it cannot help — quarantine.
   try {
+    DROPBACK_TRACE_SPAN("regen_build");
     auto variant = std::make_shared<Variant>();
     variant->model_id = model_id;
     std::istringstream in(bytes);

@@ -10,21 +10,22 @@
 #include "obs/event_stream.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "train/training_checkpoint.hpp"
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/steady_clock.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dropback::train {
 
 namespace {
 
+// Through util::ClockSource (R9): step timings share the injectable clock
+// with every other instrument instead of reading steady_clock directly.
 std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+  return static_cast<std::uint64_t>(util::steady_clock_source().now_ns());
 }
 
 double to_ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
@@ -217,6 +218,11 @@ TrainResult Trainer::run() {
       return loader.next(batch);
     };
     while (fetch()) {
+      // One trace per optimization step: phase spans below and any kernel
+      // pool shards dispatched from them nest under this id, so a slow
+      // step decomposes the same way a slow request does (obs/trace.hpp).
+      obs::ScopedTraceContext step_trace(obs::begin_trace());
+      DROPBACK_TRACE_SPAN("step");
       DROPBACK_PROFILE_SCOPE("step");
       const bool timing = events != nullptr;
       const std::uint64_t step_begin = timing ? now_ns() : 0;
@@ -227,6 +233,7 @@ TrainResult Trainer::run() {
       autograd::Variable logits;
       autograd::Variable loss;
       {
+        DROPBACK_TRACE_SPAN("forward");
         DROPBACK_PROFILE_SCOPE("forward");
         const std::uint64_t t0 = timing ? now_ns() : 0;
         logits = model_.forward(input);
@@ -236,6 +243,7 @@ TrainResult Trainer::run() {
       }
       optimizer_.zero_grad();
       {
+        DROPBACK_TRACE_SPAN("backward");
         DROPBACK_PROFILE_SCOPE("backward");
         const std::uint64_t t0 = timing ? now_ns() : 0;
         autograd::backward(loss);
@@ -287,6 +295,7 @@ TrainResult Trainer::run() {
         }
       }
       {
+        DROPBACK_TRACE_SPAN("optimizer_step");
         DROPBACK_PROFILE_SCOPE("optimizer_step");
         const std::uint64_t t0 = timing ? now_ns() : 0;
         optimizer_.step();

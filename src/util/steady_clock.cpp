@@ -11,6 +11,12 @@ std::int64_t SteadyClockSource::now_us() {
       .count();
 }
 
+std::int64_t SteadyClockSource::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 void SteadyClockSource::sleep_us(std::int64_t us) {
   if (us <= 0) return;
   std::this_thread::sleep_for(std::chrono::microseconds(us));

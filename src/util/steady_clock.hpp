@@ -31,6 +31,13 @@ class ClockSource {
   /// Monotonic microseconds since an arbitrary epoch.
   virtual std::int64_t now_us() = 0;
 
+  /// Monotonic nanoseconds since the same epoch. The default derives from
+  /// now_us() (so ManualClock stays consistent); SteadyClockSource overrides
+  /// with full clock resolution. lint rule R9 forbids raw
+  /// std::chrono::steady_clock reads outside util/, so every profiler/trace
+  /// timestamp flows through here and stays injectable.
+  virtual std::int64_t now_ns() { return now_us() * 1000; }
+
   /// Blocks the calling thread for `us` microseconds (no-op for us <= 0).
   /// ManualClock advances instead of blocking.
   virtual void sleep_us(std::int64_t us) = 0;
@@ -40,6 +47,7 @@ class ClockSource {
 class SteadyClockSource final : public ClockSource {
  public:
   std::int64_t now_us() override;
+  std::int64_t now_ns() override;
   void sleep_us(std::int64_t us) override;
 };
 

@@ -1,18 +1,20 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
+#include "util/steady_clock.hpp"
 
 namespace dropback::util {
 
@@ -22,10 +24,7 @@ namespace {
 thread_local bool t_in_dispatch = false;
 
 std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+  return static_cast<std::uint64_t>(steady_clock_source().now_ns());
 }
 }  // namespace
 
@@ -41,6 +40,10 @@ struct ThreadPool::Impl {
   int pending = 0;  // workers that have not finished the current dispatch
   std::exception_ptr error;
   bool stop = false;
+  // The dispatching caller's trace context, handed to workers so kernel
+  // work done on their behalf lands in the caller's trace (obs/trace.hpp
+  // propagation contract). Written in run() and read here under `mu`.
+  obs::TraceContext trace_ctx;
 
   void worker_loop(int participant) {
     std::uint64_t seen = 0;
@@ -61,8 +64,17 @@ struct ThreadPool::Impl {
       const int nshards = shards;
       const int total = static_cast<int>(workers.size()) + 1;
       const std::function<void(int)>* f = fn;
+      const obs::TraceContext ctx = trace_ctx;
       lock.unlock();
       t_in_dispatch = true;
+      // Adopt the caller's trace for the shard work: this worker's busy
+      // interval becomes a "pool_shards" span in the caller's span tree.
+      std::optional<obs::ScopedTraceContext> trace_guard;
+      std::optional<obs::TraceSpan> trace_span;
+      if (obs::tracing_enabled() && ctx.trace_id != 0) {
+        trace_guard.emplace(ctx);
+        trace_span.emplace("pool_shards");
+      }
       const bool prof_busy = obs::profiling_enabled();
       const std::uint64_t busy_begin = prof_busy ? now_ns() : 0;
       std::exception_ptr err;
@@ -74,6 +86,8 @@ struct ThreadPool::Impl {
           break;
         }
       }
+      trace_span.reset();
+      trace_guard.reset();
       if (prof_busy) {
         obs::record_timing("pool_worker_busy", now_ns() - busy_begin);
       }
@@ -120,6 +134,8 @@ void ThreadPool::run(int shards, const std::function<void(int)>& fn) {
     impl_->shards = shards;
     impl_->pending = static_cast<int>(impl_->workers.size());
     impl_->error = nullptr;
+    impl_->trace_ctx = obs::tracing_enabled() ? obs::current_trace_context()
+                                              : obs::TraceContext{};
     ++impl_->generation;
   }
   impl_->cv_start.notify_all();

@@ -1,4 +1,4 @@
-// Unit tests for tools/dbk_lint: every rule R1–R8 has at least one
+// Unit tests for tools/dbk_lint: every rule R1–R9 has at least one
 // true-positive fixture (the rule fires on a minimal offending snippet) and
 // at least one suppression fixture (inline directive or allowlist entry
 // silences it), plus scrubber edge cases (comments, strings, raw strings,
@@ -567,6 +567,77 @@ TEST(LintR8, InlineAllowAndAllowlistSuppress) {
 }
 
 // ---------------------------------------------------------------------------
+// R9: wall-time reads must go through util::ClockSource
+// ---------------------------------------------------------------------------
+
+TEST(LintR9, FiresOnRawSteadyAndHighResolutionClock) {
+  const std::string src =
+      "void f() {\n"
+      "  auto t0 = std::chrono::steady_clock::now();\n"
+      "  auto t1 = std::chrono::high_resolution_clock::now();\n"
+      "}\n";
+  const auto all = lint_source("src/serve/server.cpp", src, empty_allow());
+  const auto r9 = findings_for(all, "R9");
+  ASSERT_EQ(r9.size(), 2U);
+  EXPECT_EQ(r9[0].line, 2);
+  EXPECT_NE(r9[0].message.find("util::ClockSource"), std::string::npos);
+  EXPECT_EQ(r9[1].line, 3);
+
+  // Examples are product code too: same contract.
+  EXPECT_EQ(live_count(
+                lint_source("examples/train_mnist.cpp", src, empty_allow()),
+                "R9"),
+            2);
+}
+
+TEST(LintR9, UtilBenchAndTestsAreExempt) {
+  const std::string src = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(findings_for(lint_source("src/util/steady_clock.cpp", src,
+                                       empty_allow()),
+                           "R9")
+                  .empty());
+  EXPECT_TRUE(findings_for(
+                  lint_source("bench/bench_micro.cpp", src, empty_allow()),
+                  "R9")
+                  .empty());
+  EXPECT_TRUE(findings_for(
+                  lint_source("tests/timer_test.cpp", src, empty_allow()),
+                  "R9")
+                  .empty());
+}
+
+TEST(LintR9, InjectedClockUseIsFine) {
+  const std::string src =
+      "void f(util::ClockSource* clock) {\n"
+      "  const std::int64_t now = clock->now_us();\n"
+      "  const std::int64_t ns = util::steady_clock_source().now_ns();\n"
+      "}\n";
+  const auto all = lint_source("src/train/trainer.cpp", src, empty_allow());
+  EXPECT_TRUE(findings_for(all, "R9").empty());
+}
+
+TEST(LintR9, InlineAllowAndAllowlistSuppress) {
+  const std::string inline_src =
+      "void f() {\n"
+      "  // dbk-lint: allow(R9): one-shot startup stamp, never injected\n"
+      "  auto t = std::chrono::steady_clock::now();\n"
+      "}\n";
+  const auto inline_all =
+      lint_source("src/core/boot.cpp", inline_src, empty_allow());
+  const auto inline_r9 = findings_for(inline_all, "R9");
+  ASSERT_EQ(inline_r9.size(), 1U);
+  EXPECT_TRUE(inline_r9[0].suppressed);
+
+  const auto allow = parse_allow("R9 src/core/boot.cpp  grandfathered\n");
+  const auto listed = lint_source(
+      "src/core/boot.cpp",
+      "auto t = std::chrono::steady_clock::now();\n", allow);
+  EXPECT_EQ(live_count(listed, "R9"), 0);
+  ASSERT_EQ(findings_for(listed, "R9").size(), 1U);
+  EXPECT_TRUE(findings_for(listed, "R9")[0].suppressed);
+}
+
+// ---------------------------------------------------------------------------
 // Scrubber: rule tokens inside comments/strings never fire
 // ---------------------------------------------------------------------------
 
@@ -607,7 +678,7 @@ TEST(LintScrub, EscapedQuotesInsideStrings) {
 TEST(LintAllowlist, RejectsMalformedLines) {
   Allowlist a;
   std::string error;
-  EXPECT_FALSE(a.parse("R9 src/foo.cpp bad rule id\n", &error));
+  EXPECT_FALSE(a.parse("R10 src/foo.cpp bad rule id\n", &error));
   EXPECT_NE(error.find("line 1"), std::string::npos);
   Allowlist b;
   EXPECT_FALSE(b.parse("R1\n", &error));

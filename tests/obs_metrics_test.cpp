@@ -105,8 +105,107 @@ TEST(MetricsTest, SnapshotJsonShape) {
   EXPECT_NE(snap.find("\"counters\":{\"steps\":7}"), std::string::npos)
       << snap;
   EXPECT_NE(snap.find("\"loss\":1.5"), std::string::npos) << snap;
-  EXPECT_NE(snap.find("\"bounds\":[10]"), std::string::npos) << snap;
+  // The overflow bin's open end is explicit: bounds[i] pairs with counts[i].
+  EXPECT_NE(snap.find("\"bounds\":[10,\"+Inf\"]"), std::string::npos) << snap;
   EXPECT_NE(snap.find("\"counts\":[1,0]"), std::string::npos) << snap;
+}
+
+TEST(MetricsTest, QuantileEdgeCases) {
+  obs::Histogram empty({1.0, 10.0});
+  EXPECT_EQ(obs::histogram_quantile(empty, 0.0), 0.0);  // no data -> 0
+  EXPECT_EQ(obs::histogram_quantile(empty, 1.0), 0.0);
+
+  // All observations in the overflow bin: every quantile clamps to the top
+  // finite bound — never extrapolated past it.
+  obs::Histogram overflow({1.0, 10.0});
+  overflow.observe(50.0);
+  overflow.observe(1e9);
+  EXPECT_EQ(obs::histogram_quantile(overflow, 0.0), 10.0);
+  EXPECT_EQ(obs::histogram_quantile(overflow, 0.5), 10.0);
+  EXPECT_EQ(obs::histogram_quantile(overflow, 1.0), 10.0);
+
+  // q=0 maps to the first observation's bucket, q=1 to the last one's.
+  obs::Histogram spread({1.0, 10.0, 100.0});
+  spread.observe(0.5);   // underflow
+  spread.observe(5.0);   // [1, 10)
+  spread.observe(50.0);  // [10, 100)
+  EXPECT_EQ(obs::histogram_quantile(spread, 0.0), 1.0);
+  EXPECT_EQ(obs::histogram_quantile(spread, 1.0), 100.0);
+}
+
+TEST(LogHistogramTest, BucketingAndQuantileAccuracy) {
+  // 1 .. 16 covered by 4 octaves of 8 sub-buckets: relative quantile error
+  // is bounded by 1/sub_buckets = 12.5%.
+  obs::LogHistogram h(1.0, 16.0, 8);
+  EXPECT_EQ(h.octaves(), 4);
+  EXPECT_EQ(h.num_buckets(), 4U * 8U + 2U);
+
+  EXPECT_EQ(h.bucket_index(0.5), 0U);                     // underflow
+  EXPECT_EQ(h.bucket_index(16.0), h.num_buckets() - 1);   // overflow
+  EXPECT_EQ(h.bucket_index(1.0), 1U);                     // first finite bin
+  // First bin of the second octave is [2, 2.25).
+  EXPECT_EQ(h.bucket_index(2.0), 1U + 8U);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(1U + 8U), 2.25);
+
+  // Quantiles stay within one sub-bucket of the true value across octaves.
+  for (const double v : {1.5, 3.0, 7.7, 12.0}) {
+    obs::LogHistogram one(1.0, 16.0, 8);
+    one.observe(v);
+    const double q = one.quantile(0.5);
+    EXPECT_GE(q, v);
+    EXPECT_LE(q, v * (1.0 + 1.0 / 8.0) + 1e-12) << "v=" << v;
+  }
+}
+
+TEST(LogHistogramTest, EdgeCasesMatchFixedHistogramContract) {
+  obs::LogHistogram h(0.01, 1000.0, 16);
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty -> 0
+
+  h.observe(0.001);  // underflow reports min_value
+  EXPECT_EQ(h.quantile(0.0), 0.01);
+
+  obs::LogHistogram over(0.01, 1000.0, 16);
+  over.observe(5000.0);  // overflow clamps to max_value, no extrapolation
+  over.observe(1e12);
+  EXPECT_EQ(over.quantile(0.5), 1000.0);
+  EXPECT_EQ(over.quantile(1.0), 1000.0);
+
+  // NaN lands in the underflow bin rather than corrupting an index.
+  obs::LogHistogram nan_h(0.01, 1000.0, 16);
+  nan_h.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(nan_h.bucket_count(0), 1U);
+}
+
+TEST(LogHistogramTest, AccurateOverFourDecadesWhereFixedBucketsAreNot) {
+  // p99 of a bimodal latency mix: 98 fast (0.2ms) + 2 slow (150ms). The old
+  // serve bounds {...,100,200,...} could only answer "200"; the log
+  // histogram pins it within ~6%.
+  obs::LogHistogram h(0.01, 600000.0, 16);
+  for (int i = 0; i < 98; ++i) h.observe(0.2);
+  h.observe(150.0);
+  h.observe(150.0);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p99, 150.0);
+  EXPECT_LE(p99, 150.0 * 1.07);
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 0.2);
+  EXPECT_LE(p50, 0.2 * 1.07);
+}
+
+TEST(LogHistogramTest, RegistrySnapshotEmitsSparseBuckets) {
+  obs::MetricsRegistry reg;
+  obs::LogHistogram& h = reg.log_histogram("lat", 0.01, 1000.0, 16);
+  EXPECT_EQ(&reg.log_histogram("lat", 9.0, 99.0, 4), &h);  // first wins
+  h.observe(1.0);
+  h.observe(1.0);
+  const std::string snap = reg.snapshot_json();
+  EXPECT_NE(snap.find("\"log_histograms\":{\"lat\":{"), std::string::npos)
+      << snap;
+  EXPECT_NE(snap.find("\"count\":2"), std::string::npos) << snap;
+  const std::size_t idx = h.bucket_index(1.0);
+  EXPECT_NE(snap.find("\"buckets\":[[" + std::to_string(idx) + ",2]]"),
+            std::string::npos)
+      << snap;
 }
 
 TEST(MetricsTest, SnapshotWhileWritingFromThreads) {

@@ -368,6 +368,14 @@ bool r8_applies(const std::string& p) {
   return starts_with(p, "src/serve/");
 }
 
+bool r9_applies(const std::string& p) {
+  // util::ClockSource is the one sanctioned home for monotonic-clock reads;
+  // everything else must take an injectable clock so tests and the tracer
+  // can substitute a deterministic one (docs/OBSERVABILITY.md).
+  return (is_source_under(p, "src") && !starts_with(p, "src/util/")) ||
+         is_source_under(p, "examples");
+}
+
 bool serialization_function(const std::string& name) {
   std::string lower;
   lower.reserve(name.size());
@@ -432,6 +440,14 @@ const std::regex& r8_detach_regex() {
   return re;
 }
 
+// Direct monotonic-clock reads. system_clock is already R3's business; this
+// catches the "deterministic-looking" clocks that still defeat injection.
+const std::regex& r9_regex() {
+  static const std::regex re(
+      R"((steady_clock|high_resolution_clock)\s*::\s*now\s*\()");
+  return re;
+}
+
 struct RuleContext {
   const std::string& relpath;
   const InlineAllow& inline_allow;
@@ -463,8 +479,8 @@ struct RuleContext {
 // ---------------------------------------------------------------------------
 
 bool Allowlist::parse(const std::string& text, std::string* error) {
-  static const std::set<std::string> known = {"R1", "R2", "R3", "R4", "R5",
-                                              "R6", "R7", "R8", "*"};
+  static const std::set<std::string> known = {
+      "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "*"};
   int line_no = 0;
   for (const auto& raw : split_lines(text)) {
     ++line_no;
@@ -624,6 +640,15 @@ std::vector<Finding> lint_source(const std::string& relpath,
                  "must be joined in stop() so shutdown resolves every "
                  "in-flight request (docs/SERVING.md)");
       }
+    }
+
+    if (r9_applies(relpath) && std::regex_search(line, m, r9_regex())) {
+      ctx.emit("R9", line_no,
+               "raw " + m[1].str() +
+                   "::now() outside src/util/ — wall-time reads must go "
+                   "through util::ClockSource (util/steady_clock.hpp) so "
+                   "tests and the tracer can inject a deterministic clock "
+                   "(docs/OBSERVABILITY.md)");
     }
   }
   return findings;

@@ -35,6 +35,10 @@
 //       must be wait_for/wait_until so a lost notify or stalled producer
 //       cannot hang a worker (docs/SERVING.md). R8 is the counterweight to
 //       the serve layer's R1 allowlist grant.
+//   R9  no raw std::chrono::steady_clock::now() / high_resolution_clock
+//       reads under src/ (outside src/util/) or examples/ — wall-time must
+//       flow through util::ClockSource so tests and the tracer can inject a
+//       deterministic clock (docs/OBSERVABILITY.md).
 //
 // Suppression comes in two forms (docs/STATIC_ANALYSIS.md):
 //   * inline: a comment `dbk-lint: allow(R5): reason` on the offending line,
@@ -53,7 +57,7 @@ namespace dbk_lint {
 
 /// One diagnostic. `file` is root-relative with '/' separators.
 struct Finding {
-  std::string rule;      ///< "R1".."R8"
+  std::string rule;      ///< "R1".."R9"
   std::string file;      ///< e.g. "src/tensor/matmul.cpp"
   int line = 0;          ///< 1-based
   std::string message;   ///< human-readable diagnostic
@@ -63,7 +67,7 @@ struct Finding {
 
 /// One `rule path reason` allowlist line.
 struct AllowEntry {
-  std::string rule;    ///< "R1".."R8" or "*" for any rule
+  std::string rule;    ///< "R1".."R9" or "*" for any rule
   std::string path;    ///< file path, or directory prefix ending in '/'
   std::string reason;  ///< rest of the line (shown in suppressed findings)
 };

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     config.sparse_end_step = 2 * scale.epochs * steps_per_epoch / 3;
     baselines::DsdSchedule dsd(params, config);
     optim::SGD sgd(params, scale.lr);
-    train::TrainOptions options;
+    train::TrainConfig options;
     options.epochs = scale.epochs;
     options.batch_size = scale.batch_size;
     train::Trainer trainer(*model, sgd, *task.train_set, *task.val_set,

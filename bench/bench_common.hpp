@@ -118,7 +118,7 @@ inline MethodResult run_training(const std::string& name, nn::Module& model,
                                  const optim::LrSchedule* schedule = nullptr,
                                  std::function<void(train::Trainer&)>
                                      configure = {}) {
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = scale.epochs;
   options.batch_size = scale.batch_size;
   options.schedule = schedule;

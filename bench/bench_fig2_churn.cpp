@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   optim::SGD sgd(params, scale.lr);
   analysis::TopKMembershipTracker tracker(params, k);
 
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = scale.epochs;
   options.batch_size = scale.batch_size;
   train::Trainer trainer(*model, sgd, *task.train_set, *task.val_set,

@@ -35,7 +35,7 @@ inline MethodRun run_method_with_callback(
   MethodRun run;
   run.name = method;
 
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = scale.epochs;
   options.batch_size = scale.batch_size;
 

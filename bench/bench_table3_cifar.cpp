@@ -100,7 +100,7 @@ Row run_variational(baselines::VdNet vd, bench::MnistTask& task,
                     const optim::LrSchedule& schedule) {
   optim::SGD sgd(vd.net->collect_parameters(), scale.lr);
   const float kl_scale = 1.0F / static_cast<float>(scale.train_n);
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = scale.epochs;
   options.batch_size = scale.batch_size;
   options.schedule = &schedule;
@@ -133,7 +133,7 @@ Row run_slimming(std::unique_ptr<nn::Sequential> net, float channel_fraction,
                  const optim::LrSchedule& schedule) {
   baselines::NetworkSlimming slimming(*net, /*l1_lambda=*/1e-4F);
   optim::SGD sgd(net->collect_parameters(), scale.lr);
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = scale.epochs;
   options.batch_size = scale.batch_size;
   options.schedule = &schedule;
@@ -170,7 +170,7 @@ Row run_gamma_slimming(nn::Module& model, float channel_fraction,
     if (p->name == "beta") betas.push_back(p);
   }
   optim::SGD sgd(params, scale.lr);
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = scale.epochs;
   options.batch_size = scale.batch_size;
   options.schedule = &schedule;

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   data_opt.seed = 2;
   auto val_set = data::make_synthetic_mnist(data_opt);
 
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = epochs;
   options.batch_size = 32;
 

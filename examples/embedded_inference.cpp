@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   config.budget = budget;
   core::DropBackOptimizer optimizer(model->collect_parameters(), 0.1F,
                                     config);
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = flags.get_int("epochs", 12);
   options.batch_size = 32;
   train::Trainer trainer(*model, optimizer, *train_set, *val_set, options);

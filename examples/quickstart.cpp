@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
                                     config);
 
   // 4. Train.
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = flags.get_int("epochs", 10);
   options.batch_size = 32;
   train::Trainer trainer(*model, optimizer, *train_set, *val_set, options);

@@ -68,7 +68,7 @@ int cmd_prepare(const util::Flags& flags) {
   config.budget = flags.get_int("budget", 2000);
   core::DropBackOptimizer optimizer(model->collect_parameters(), 0.1F,
                                     config);
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = flags.get_int("epochs", 2);
   options.batch_size = 32;
   train::Trainer(*model, optimizer, *train_set, *val_set, options).run();
@@ -84,7 +84,7 @@ int cmd_prepare(const util::Flags& flags) {
   std::printf("exported variants under %s/:\n", dir.c_str());
   export_store("fallback");
   // Each additional epoch of training becomes its own serveable variant.
-  train::TrainOptions continue_opt;
+  train::TrainConfig continue_opt;
   continue_opt.epochs = 1;
   continue_opt.batch_size = 32;
   for (long long v = 0; v < variants; ++v) {

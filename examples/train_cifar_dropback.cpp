@@ -65,20 +65,16 @@ int main(int argc, char** argv) {
   }
 
   const std::int64_t total = model->num_params();
-  const std::int64_t budget = cli.effective_budget(total);
-  std::printf("%s: %lld parameters, budget %lld (%.1fx target)\n",
-              cli.model.c_str(), static_cast<long long>(total),
-              static_cast<long long>(budget),
-              static_cast<double>(total) / static_cast<double>(budget));
-
   core::DropBackConfig config;
-  config.budget = budget;
-  const std::int64_t steps_per_epoch =
-      (cli.train_n + cli.train.batch_size - 1) / cli.train.batch_size;
-  config.freeze_after_steps =
-      cli.freeze_epoch >= 0 ? cli.freeze_epoch * steps_per_epoch : -1;
+  cli.configure_dropback(total, config);
+  std::printf("%s: %lld parameters, schedule %s (%.1fx target)\n",
+              cli.model.c_str(), static_cast<long long>(total),
+              config.schedule->spec().c_str(),
+              static_cast<double>(total) /
+                  static_cast<double>(config.budget));
   core::DropBackOptimizer optimizer(model->collect_parameters(), cli.lr,
                                     config);
+  cli.train.budget_schedule = config.schedule;
   energy::TrafficCounter traffic;
   optimizer.set_traffic_counter(&traffic);
 

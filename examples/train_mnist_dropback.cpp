@@ -1,11 +1,12 @@
 // Full training CLI for the MNIST experiments: choose the model, weight
-// budget, freeze epoch, and schedule; prints per-epoch progress, the
-// compression summary, the modeled energy of the run, and (optionally)
-// saves the compressed model.
+// budget (fixed or schedule-driven), and lr schedule; prints per-epoch
+// progress, the compression summary, the modeled energy of the run, and
+// (optionally) saves the compressed model.
 //
 //   ./train_mnist_dropback --model=lenet --budget=50000 --epochs=20
-//       --freeze-epoch=7 --lr=0.1 --save=model.dbsw    (one command line)
+//       --budget-schedule=const:budget=50000,freeze_epoch=7 --lr=0.1
 //   ./train_mnist_dropback --model=mlp --budget=1500      # extreme budget
+//   ./train_mnist_dropback --budget-schedule=dsd:budget=20000,dense=2,freeze=3
 //
 // All flags — training loop, data pipeline (--prefetch/--augment-noise),
 // parallelism (--threads), crash safety (--checkpoint/--resume/--anomaly),
@@ -42,22 +43,17 @@ int main(int argc, char** argv) {
 
   auto model = cli.model == "lenet" ? nn::models::make_lenet_300_100(7)
                                     : nn::models::make_mnist_100_100(7);
-  const std::int64_t budget = cli.effective_budget(model->num_params());
-  std::printf("model: %s (%lld weights), budget %lld (%.2fx target)\n",
+  core::DropBackConfig config;
+  cli.configure_dropback(model->num_params(), config);
+  std::printf("model: %s (%lld weights), schedule %s (%.2fx target)\n",
               cli.model == "lenet" ? "LeNet-300-100" : "MNIST-100-100",
               static_cast<long long>(model->num_params()),
-              static_cast<long long>(budget),
+              config.schedule->spec().c_str(),
               static_cast<double>(model->num_params()) /
-                  static_cast<double>(budget));
-
-  core::DropBackConfig config;
-  config.budget = budget;
-  const std::int64_t steps_per_epoch =
-      (cli.train_n + cli.train.batch_size - 1) / cli.train.batch_size;
-  config.freeze_after_steps =
-      cli.freeze_epoch >= 0 ? cli.freeze_epoch * steps_per_epoch : -1;
+                  static_cast<double>(config.budget));
   core::DropBackOptimizer optimizer(model->collect_parameters(), cli.lr,
                                     config);
+  cli.train.budget_schedule = config.schedule;
   energy::TrafficCounter traffic;
   optimizer.set_traffic_counter(&traffic);
 

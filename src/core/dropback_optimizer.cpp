@@ -20,39 +20,98 @@ namespace dropback::core {
 DropBackOptimizer::DropBackOptimizer(std::vector<nn::Parameter*> params,
                                      float lr, DropBackConfig config)
     : Optimizer(std::move(params), lr),
-      config_(config),
+      config_(std::move(config)),
       index_(params_),
       tracked_(index_) {
-  DROPBACK_CHECK(config.budget > 0,
-                 << "DropBackConfig.budget must be positive, got "
-                 << config.budget);
+  if (config_.schedule) {
+    // Schedule-driven: the base budget and freeze point come from the
+    // schedule (BudgetSchedule is the only capacity authority — lint R10).
+    schedule_ = config_.schedule;
+    config_.budget = schedule_->base_budget();
+    config_.freeze_after_steps = -1;
+  } else {
+    DROPBACK_CHECK(config_.budget > 0,
+                   << "DropBackConfig.budget must be positive, got "
+                   << config_.budget);
+    schedule_ = std::make_shared<optim::ConstantSchedule>(
+        config_.budget, config_.freeze_after_steps);
+    config_.schedule = schedule_;
+  }
+  current_budget_ = std::min(decision_at(0).budget, index_.total());
+  refresh_frozen();
+}
+
+optim::BudgetDecision DropBackOptimizer::decision_at(std::int64_t step) const {
+  optim::SchedulePoint t;
+  t.step = step;
+  t.steps_per_epoch = config_.steps_per_epoch;
+  t.epoch = config_.steps_per_epoch > 0 ? step / config_.steps_per_epoch : 0;
+  return schedule_->at(t);
+}
+
+void DropBackOptimizer::refresh_frozen() {
+  frozen_ = manual_frozen_ || decision_at(steps_).frozen;
 }
 
 void DropBackOptimizer::step() {
+  DROPBACK_CHECK(!schedule_->epoch_phrased() || config_.steps_per_epoch > 0,
+                 << "DropBackOptimizer: schedule '" << schedule_->spec()
+                 << "' is epoch-phrased but steps_per_epoch is unset "
+                 << "(Trainer provides it; set DropBackConfig.steps_per_epoch "
+                 << "or call set_steps_per_epoch for custom loops)");
   if (!frozen_) {
+    const optim::BudgetDecision d = decision_at(steps_);
+    const std::int64_t k = std::min(d.budget, index_.total());
     // Score all weights by post-update accumulated gradient and reselect.
     compute_scores(index_, lr_, scores_);
     if (config_.scope == DropBackConfig::BudgetScope::kGlobal) {
-      tracked_.select(scores_, config_.budget, config_.selection);
+      tracked_.select(scores_, k, config_.selection);
     } else {
       // Per-layer quota proportional to the layer's size.
       std::vector<std::int64_t> budgets(index_.num_params());
       for (std::size_t p = 0; p < index_.num_params(); ++p) {
         budgets[p] = std::max<std::int64_t>(
-            1, config_.budget * index_.param(p).numel() / index_.total());
+            1, k * index_.param(p).numel() / index_.total());
       }
       tracked_.select_per_param(scores_, budgets);
     }
-    if (config_.freeze_after_steps >= 0 &&
-        steps_ + 1 >= config_.freeze_after_steps) {
-      frozen_ = true;
+    if (d.readmit_prob > 0.0F) {
+      // Stochastic drop-back: untracked weights re-enter from the per-step
+      // counter-based stream; the next select() re-enforces the budget.
+      tracked_.readmit(d.readmit_seed, steps_, d.readmit_prob);
     }
+    current_budget_ = k;
   }
   apply_update_and_mask();
   ++steps_;
+  // The frozen state for the *next* step is a pure function of the step
+  // counter (plus the sticky manual latch), so resume re-derives it exactly.
+  refresh_frozen();
 }
 
-void DropBackOptimizer::freeze() { frozen_ = true; }
+void DropBackOptimizer::freeze() {
+  manual_frozen_ = true;
+  frozen_ = true;
+}
+
+void DropBackOptimizer::set_schedule(
+    std::shared_ptr<const optim::BudgetSchedule> schedule,
+    std::int64_t steps_per_epoch) {
+  DROPBACK_CHECK(schedule != nullptr, << "set_schedule: null schedule");
+  schedule_ = std::move(schedule);
+  config_.schedule = schedule_;
+  config_.budget = schedule_->base_budget();
+  config_.freeze_after_steps = -1;
+  set_steps_per_epoch(steps_per_epoch);
+}
+
+void DropBackOptimizer::set_steps_per_epoch(std::int64_t steps_per_epoch) {
+  DROPBACK_CHECK(steps_per_epoch >= 0,
+                 << "set_steps_per_epoch: " << steps_per_epoch);
+  config_.steps_per_epoch = steps_per_epoch;
+  current_budget_ = std::min(decision_at(steps_).budget, index_.total());
+  refresh_frozen();
+}
 
 void DropBackOptimizer::apply_update_and_mask() {
   DROPBACK_PROFILE_SCOPE("dropback_apply");
@@ -129,6 +188,10 @@ double DropBackOptimizer::compression_ratio() const {
 
 namespace {
 constexpr char kStateMagic[4] = {'D', 'B', 'O', 'S'};
+// Schedule-state extension appended after the masks for non-constant
+// schedules; absent for ConstantSchedule so those bytes stay identical to
+// the pre-schedule DBOS format.
+constexpr char kScheduleMagic[4] = {'S', 'C', 'H', 'D'};
 
 template <typename T>
 void write_pod(std::ostream& out, const T& v) {
@@ -166,6 +229,14 @@ void DropBackOptimizer::save_state(std::ostream& out) const {
       }
     }
   }
+  if (!schedule_->is_constant()) {
+    // Dynamic schedules stamp their canonical spec so a kill/resume
+    // mid-shrink or mid-re-dense can only continue under the same schedule.
+    const std::string spec = schedule_->spec();
+    out.write(kScheduleMagic, sizeof(kScheduleMagic));
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(spec.size()));
+    out.write(spec.data(), static_cast<std::streamsize>(spec.size()));
+  }
   if (!out) throw util::IoError("DropBackOptimizer state: write failed");
 }
 
@@ -198,9 +269,44 @@ void DropBackOptimizer::load_state(std::istream& in) {
           (byte >> (i % 8)) & 1U ? 1 : 0;
     }
   }
+  if (in.peek() != std::istream::traits_type::eof()) {
+    char ext[4];
+    in.read(ext, sizeof(ext));
+    if (!in || std::memcmp(ext, kScheduleMagic, sizeof(kScheduleMagic)) != 0) {
+      throw util::IoError(
+          "DropBackOptimizer state: bad schedule-extension magic");
+    }
+    const auto len = read_pod<std::uint32_t>(in);
+    std::string spec(len, '\0');
+    in.read(spec.data(), static_cast<std::streamsize>(len));
+    if (!in) {
+      throw util::IoError("DropBackOptimizer state: truncated schedule spec");
+    }
+    if (spec != schedule_->spec()) {
+      throw util::IoError(
+          "DropBackOptimizer state: schedule mismatch (snapshot was written "
+          "under '" +
+          spec + "', optimizer runs '" + schedule_->spec() + "')");
+    }
+  } else if (!schedule_->is_constant()) {
+    throw util::IoError(
+        "DropBackOptimizer state: snapshot carries no schedule state but the "
+        "optimizer runs '" +
+        schedule_->spec() +
+        "' — it was written under a constant schedule and cannot resume a "
+        "dynamic-schedule run");
+  }
   tracked_.restore(masks, all_tracked);
   steps_ = steps;
+  // The frozen byte is the pre-kill truth. When the schedule alone would not
+  // freeze at this step, the flag must have come from a manual freeze(), so
+  // re-latch it; epoch-phrased schedules defer the inference until
+  // steps_per_epoch is known (Trainer sets it before resuming).
+  const bool can_evaluate =
+      !schedule_->epoch_phrased() || config_.steps_per_epoch > 0;
+  manual_frozen_ = frozen && can_evaluate && !decision_at(steps_).frozen;
   frozen_ = frozen;
+  current_budget_ = std::min(decision_at(steps_).budget, index_.total());
 }
 
 }  // namespace dropback::core

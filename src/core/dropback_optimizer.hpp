@@ -8,10 +8,15 @@
 //   4. Commit:  w = tracked ? w' : w0   — untracked weights are "forgotten"
 //      and snap back to their regenerated initialization.
 //
-// After `freeze_after_steps` steps the tracked set is fixed; from then on
-// only tracked weights receive updates (untracked gradients no longer
-// compete), saving the selection work and the extra traffic (paper §2.1,
-// "Freeze the set of tracked weights after a few epochs").
+// The live budget k_t, the freeze point, and any stochastic re-admission are
+// decided per step by an optim::BudgetSchedule (docs/SCHEDULES.md). The
+// default — a ConstantSchedule built from `budget` + `freeze_after_steps` —
+// reproduces the paper exactly: fixed k, tracked set frozen after
+// `freeze_after_steps` steps (paper §2.1, "Freeze the set of tracked weights
+// after a few epochs"). Dynamic schedules (DenseSparseDense,
+// StochasticDropBack) shrink *and grow* the set mid-run; growth is
+// regen-consistent because untracked weights always sit at their regenerated
+// init, so a re-admitted weight restarts its accumulated gradient from w0.
 //
 // The `regenerate_untracked=false` ablation zeroes untracked weights instead
 // of regenerating them — the configuration the paper reports as collapsing
@@ -26,15 +31,26 @@
 #include "core/accumulated_gradients.hpp"
 #include "core/tracked_set.hpp"
 #include "energy/energy_model.hpp"
+#include "optim/budget_schedule.hpp"
 #include "optim/sgd.hpp"
 
 namespace dropback::core {
 
 struct DropBackConfig {
-  /// Number of weights kept live ("DropBack 50k" = budget 50000).
+  /// Base number of weights kept live ("DropBack 50k" = budget 50000). With
+  /// a `schedule` set this is overridden by the schedule's base_budget().
   std::int64_t budget = 0;
-  /// Steps after which the tracked set freezes; -1 = never freeze.
+  /// Steps after which the tracked set freezes; -1 = never freeze. Only
+  /// consulted when `schedule` is null (it then seeds the default
+  /// ConstantSchedule).
   std::int64_t freeze_after_steps = -1;
+  /// The budget schedule driving k_t / freeze / re-admission per step; null
+  /// builds ConstantSchedule(budget, freeze_after_steps) — the paper's
+  /// fixed-k behavior, bit-for-bit.
+  std::shared_ptr<const optim::BudgetSchedule> schedule;
+  /// Steps per epoch, required (> 0) by epoch-phrased schedules. Trainer
+  /// fills it in automatically via set_steps_per_epoch().
+  std::int64_t steps_per_epoch = 0;
   /// Regenerate untracked weights to their init values (paper) or zero them
   /// (the ablation that mimics naive pruning-at-init).
   bool regenerate_untracked = true;
@@ -64,8 +80,26 @@ class DropBackOptimizer : public optim::Optimizer {
   std::int64_t steps() const { return steps_; }
 
   bool frozen() const { return frozen_; }
-  /// Force-freeze the current tracked set (e.g. at an epoch boundary).
+  /// Force-freeze the current tracked set permanently (sticky — survives a
+  /// schedule that would otherwise unfreeze, and round-trips through
+  /// save_state/load_state).
   void freeze();
+
+  /// Installs a budget schedule (replacing the config-derived one) and the
+  /// steps-per-epoch it is evaluated against. Trainer calls this when
+  /// TrainConfig.budget_schedule is set, before any resume/step.
+  void set_schedule(std::shared_ptr<const optim::BudgetSchedule> schedule,
+                    std::int64_t steps_per_epoch);
+  /// Sets only steps_per_epoch (epoch-phrased schedules need it; a pure
+  /// step-phrased schedule ignores it).
+  void set_steps_per_epoch(std::int64_t steps_per_epoch);
+
+  const optim::BudgetSchedule& schedule() const { return *schedule_; }
+
+  /// The live budget k_t of the most recent selection, clamped to the
+  /// parameter count (dense phases report the full count). Before the first
+  /// step this is the schedule's step-0 budget.
+  std::int64_t current_budget() const { return current_budget_; }
 
   const DropBackConfig& config() const { return config_; }
   const TrackedSet& tracked() const { return tracked_; }
@@ -99,19 +133,30 @@ class DropBackOptimizer : public optim::Optimizer {
   /// bit-packed tracked masks). Combined with an nn::checkpoint of the
   /// weights this resumes DropBack training exactly. The budget and total
   /// parameter count are stored and validated on load; corrupt or
-  /// mismatched input raises util::IoError.
+  /// mismatched input raises util::IoError. With a non-constant schedule
+  /// the canonical schedule spec is appended and validated on load, so a
+  /// run killed mid-shrink or mid-re-dense can only resume under the same
+  /// schedule (the byte layout for the default ConstantSchedule is
+  /// unchanged from the pre-schedule format).
   void save_state(std::ostream& out) const override;
   void load_state(std::istream& in) override;
 
  private:
   void apply_update_and_mask();
+  /// Schedule decision at `step` (epoch derived from steps_per_epoch).
+  optim::BudgetDecision decision_at(std::int64_t step) const;
+  /// Recomputes the cached frozen flag for the *next* step.
+  void refresh_frozen();
 
   DropBackConfig config_;
   ParamIndex index_;
   TrackedSet tracked_;
+  std::shared_ptr<const optim::BudgetSchedule> schedule_;
   std::vector<float> scores_;  // scratch reused across steps
   std::int64_t steps_ = 0;
-  bool frozen_ = false;
+  std::int64_t current_budget_ = 0;
+  bool frozen_ = false;         // frozen for the upcoming step
+  bool manual_frozen_ = false;  // sticky freeze() latch
   energy::TrafficCounter* traffic_ = nullptr;
 };
 

@@ -1,11 +1,13 @@
 #include "core/tracked_set.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <numeric>
 #include <queue>
 
 #include "obs/profiler.hpp"
+#include "rng/xorshift.hpp"
 #include "simd/dispatch.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -231,10 +233,16 @@ void TrackedSet::select(const std::vector<float>& scores, std::int64_t k,
                                        << " != total " << index_->total());
   DROPBACK_CHECK(k > 0, << "select: k must be positive");
   if (k >= n) {
-    // Budget covers everything; trivially all tracked.
-    for (auto& mask : masks_) std::fill(mask.begin(), mask.end(), 1);
-    last_churn_ = 0;
+    // Budget covers everything; trivially all tracked. Churn counters stay
+    // exact: everything untracked before is (re-)admitted now.
+    std::int64_t grown = 0;
+    for (auto& mask : masks_) {
+      for (std::uint8_t m : mask) grown += m == 0 ? 1 : 0;
+      std::fill(mask.begin(), mask.end(), 1);
+    }
+    last_churn_ = all_tracked_ ? 0 : grown;
     last_evictions_ = 0;
+    last_readmitted_ = 0;
     last_lambda_ = -std::numeric_limits<float>::infinity();
     all_tracked_ = true;
     return;
@@ -274,8 +282,46 @@ void TrackedSet::select(const std::vector<float>& scores, std::int64_t k,
   }
   last_churn_ = churn;
   last_evictions_ = evictions;
+  last_readmitted_ = 0;
   last_lambda_ = lambda;
   all_tracked_ = false;
+}
+
+std::int64_t TrackedSet::readmit(std::uint64_t seed, std::int64_t step,
+                                 float prob) {
+  DROPBACK_PROFILE_SCOPE("dropback_readmit");
+  DROPBACK_CHECK(prob >= 0.0F && prob <= 1.0F,
+                 << "readmit: probability " << prob << " outside [0, 1]");
+  last_readmitted_ = 0;
+  if (all_tracked_ || prob <= 0.0F) return 0;
+  // One stream per step; each weight draws at its global index, so the
+  // decision is a pure function of (seed, step, index) — no thread or shard
+  // order can change it (the same construction as InitSpec regeneration).
+  const std::uint64_t stream =
+      rng::splitmix64(seed ^ (0x5DB0000ULL + static_cast<std::uint64_t>(step)));
+  std::int64_t total = 0;
+  for (std::size_t p = 0; p < masks_.size(); ++p) {
+    std::uint8_t* mask = masks_[p].data();
+    const std::int64_t base = index_->offset(p);
+    const std::int64_t n = index_->param(p).numel();
+    std::atomic<std::int64_t> readmitted{0};
+    util::parallel_for(4096, n, [&, mask, base](std::int64_t b,
+                                                std::int64_t e) {
+      std::int64_t local = 0;
+      for (std::int64_t i = b; i < e; ++i) {
+        if (mask[static_cast<std::size_t>(i)] != 0) continue;
+        const auto g = static_cast<std::uint64_t>(base + i);
+        if (rng::indexed_uniform(stream, g) < prob) {
+          mask[static_cast<std::size_t>(i)] = 1;
+          ++local;
+        }
+      }
+      readmitted.fetch_add(local, std::memory_order_relaxed);
+    });
+    total += readmitted.load();
+  }
+  last_readmitted_ = total;
+  return total;
 }
 
 void TrackedSet::restore(const std::vector<std::vector<std::uint8_t>>& masks,
@@ -291,6 +337,7 @@ void TrackedSet::restore(const std::vector<std::vector<std::uint8_t>>& masks,
   all_tracked_ = all_tracked;
   last_churn_ = 0;
   last_evictions_ = 0;
+  last_readmitted_ = 0;
 }
 
 void TrackedSet::select_per_param(const std::vector<float>& scores,
@@ -342,6 +389,7 @@ void TrackedSet::select_per_param(const std::vector<float>& scores,
   }
   last_churn_ = churn;
   last_evictions_ = evictions;
+  last_readmitted_ = 0;
   last_lambda_ = lambda;
   all_tracked_ = everything_tracked;
 }

@@ -46,6 +46,16 @@ class TrackedSet {
   void select_per_param(const std::vector<float>& scores,
                         const std::vector<std::int64_t>& budgets);
 
+  /// Stochastic re-admission (StochasticDropBack): every currently untracked
+  /// weight independently re-enters the set with probability `prob`, drawn
+  /// from the counter-based stream mixed from (seed, step, global index) —
+  /// bitwise identical for every thread count, in any shard order. Returns
+  /// the number of weights re-admitted (also last_readmitted()). The set may
+  /// exceed the budget until the next select() re-enforces it; re-admitted
+  /// weights still hold their regenerated init value, so growth is
+  /// regen-consistent by construction.
+  std::int64_t readmit(std::uint64_t seed, std::int64_t step, float prob);
+
   bool all_tracked() const { return all_tracked_; }
   bool is_tracked(std::int64_t global_index) const;
   std::uint8_t* mask_of(std::size_t p);
@@ -67,6 +77,10 @@ class TrackedSet {
   /// The threshold lambda of the last selection (k-th largest score).
   float last_lambda() const { return last_lambda_; }
 
+  /// Number of weights stochastically re-admitted by the last readmit()
+  /// call (reset to 0 by select(), which re-enforces the budget).
+  std::int64_t last_readmitted() const { return last_readmitted_; }
+
   const ParamIndex& index() const { return *index_; }
 
   /// Overwrites the masks wholesale (checkpoint restore). Mask sizes must
@@ -80,6 +94,7 @@ class TrackedSet {
   bool all_tracked_ = true;
   std::int64_t last_churn_ = 0;
   std::int64_t last_evictions_ = 0;
+  std::int64_t last_readmitted_ = 0;
   float last_lambda_ = 0.0F;
 };
 

@@ -7,9 +7,9 @@
 //   auto config = dropback::train::TrainConfig{}
 //                     .with_epochs(20)
 //                     .with_prefetch(1)
-//                     .with_checkpoint("run.dbts");
+//                     .with_checkpoint("run.dbts")
+//                     .with_budget_schedule(dropback::optim::constant_budget(20000));
 //   dropback::train::DropBackSession::Options options;
-//   options.budget = 20000;
 //   options.train = config;
 //   dropback::train::DropBackSession session(model, options);
 //   session.fit(train_set, val_set);
@@ -18,6 +18,8 @@
 // The stable surface (docs/API.md):
 //
 //   train::TrainConfig       — one configuration object for a training run
+//   optim::BudgetSchedule    — schedule-driven weight budgets (k_t, freeze,
+//                              stochastic re-admission; docs/SCHEDULES.md)
 //   train::Trainer           — generic hook-extensible training loop
 //   train::DropBackSession   — model + DropBack optimizer + trainer facade
 //   core::DropBackOptimizer  — the paper's Algorithm 1, production form

@@ -12,13 +12,14 @@ namespace dropback::train {
 
 DropBackSession::DropBackSession(nn::Module& model, Options options)
     : model_(model), options_(options) {
-  DROPBACK_CHECK(options.budget > 0, << "DropBackSession: budget required");
+  DROPBACK_CHECK(options.train.budget_schedule != nullptr,
+                 << "DropBackSession: train.budget_schedule required (use "
+                    "optim::constant_budget(k) for the paper's fixed-k run)");
   options.train.validate();
   params_ = model.collect_parameters();
   core::DropBackConfig config;
-  config.budget = options.budget;
+  config.schedule = options.train.budget_schedule;
   config.regenerate_untracked = options.regenerate_untracked;
-  // freeze_epoch is applied per-fit (it depends on steps per epoch).
   optimizer_ = std::make_unique<core::DropBackOptimizer>(params_, options.lr,
                                                          config);
   // dbk-lint: allow(R5): 1.0 means "no decay", an exact config sentinel
@@ -34,13 +35,6 @@ TrainResult DropBackSession::fit(const data::Dataset& train_set,
   TrainConfig train_config = options_.train;
   if (schedule_) train_config.schedule = schedule_.get();
   Trainer trainer(model_, *optimizer_, train_set, val_set, train_config);
-  if (options_.freeze_epoch >= 0 && !optimizer_->frozen()) {
-    const std::int64_t freeze_epoch = options_.freeze_epoch;
-    auto* opt = optimizer_.get();
-    trainer.on_epoch_end = [opt, freeze_epoch](const EpochStats& stats) {
-      if (stats.epoch + 1 >= freeze_epoch) opt->freeze();
-    };
-  }
   return trainer.run();
 }
 

@@ -5,7 +5,7 @@
 // without touching the lower layers:
 //
 //   train::DropBackSession::Options options;
-//   options.budget = 20000;
+//   options.train.budget_schedule = optim::constant_budget(20000);
 //   train::DropBackSession session(model, options);
 //   session.fit(train_set, val_set);
 //   session.export_compressed("model.dbsw");
@@ -31,10 +31,7 @@ namespace dropback::train {
 class DropBackSession {
  public:
   struct Options {
-    std::int64_t budget = 0;          ///< live-weight budget (required)
     float lr = 0.1F;
-    /// Freeze the tracked set after this epoch; -1 = never.
-    std::int64_t freeze_epoch = -1;
     /// lr decay factor applied every `lr_decay_epochs`; 1.0 disables.
     float lr_decay = 0.5F;
     std::int64_t lr_decay_epochs = 0;  ///< 0 = no schedule
@@ -44,8 +41,12 @@ class DropBackSession {
     /// patience, data pipeline (shuffle/prefetch/transform), thread count,
     /// crash-safe checkpointing, anomaly policy, telemetry. Everything
     /// DropBack-agnostic lives here; the fields above are the DropBack
-    /// specifics layered on top. `train.schedule` is replaced by the
-    /// session's own StepDecay when lr_decay_epochs > 0.
+    /// specifics layered on top. The weight budget comes from
+    /// `train.budget_schedule` (required) — `optim::constant_budget(k)` for
+    /// the paper's fixed-k run, `optim::constant_budget_epochs(k, e)` for
+    /// the old budget+freeze_epoch pair, or any dynamic BudgetSchedule.
+    /// `train.schedule` is replaced by the session's own StepDecay when
+    /// lr_decay_epochs > 0.
     TrainConfig train = TrainConfig{}.with_epochs(20);
   };
 

@@ -19,8 +19,7 @@
 //                     .with_anomaly_policy(train::AnomalyPolicy::kSkipStep);
 //
 // Every knob is still a plain public field, so aggregate-style assignment
-// (`config.epochs = 20;`) keeps working; the old `TrainOptions` spelling is
-// a deprecated alias for source compatibility.
+// (`config.epochs = 20;`) keeps working.
 //
 // Determinism contract: none of the performance knobs (threads,
 // prefetch_batches) change training results — a run is bitwise identical
@@ -34,7 +33,10 @@
 #include <stdexcept>
 #include <string>
 
+#include <memory>
+
 #include "data/dataloader.hpp"
+#include "optim/budget_schedule.hpp"
 #include "optim/lr_schedule.hpp"
 
 namespace dropback::train {
@@ -65,6 +67,14 @@ struct TrainConfig {
   std::int64_t batch_size = 32;
   /// Learning-rate schedule; nullptr keeps the optimizer's current lr.
   const optim::LrSchedule* schedule = nullptr;
+  /// Weight-budget schedule driving the live budget k_t, the freeze point,
+  /// and stochastic re-admission per step (docs/SCHEDULES.md). Requires the
+  /// optimizer to be a core::DropBackOptimizer; Trainer installs it (along
+  /// with the derived steps-per-epoch) before any resume or step. Null keeps
+  /// whatever schedule the optimizer was constructed with — for a plain
+  /// DropBackConfig that is ConstantSchedule(budget, freeze_after_steps),
+  /// the paper's fixed-k behavior.
+  std::shared_ptr<const optim::BudgetSchedule> budget_schedule;
   /// Stop after this many epochs without validation improvement
   /// (the paper uses 5 on MNIST); -1 disables early stopping.
   std::int64_t patience = -1;
@@ -123,6 +133,11 @@ struct TrainConfig {
     schedule = s;
     return *this;
   }
+  TrainConfig& with_budget_schedule(
+      std::shared_ptr<const optim::BudgetSchedule> s) {
+    budget_schedule = std::move(s);
+    return *this;
+  }
   TrainConfig& with_patience(std::int64_t v) { patience = v; return *this; }
   TrainConfig& with_verbose(bool v = true) { verbose = v; return *this; }
   TrainConfig& with_shuffle(bool v) { shuffle = v; return *this; }
@@ -169,9 +184,5 @@ struct TrainConfig {
   /// by Trainer's constructor so bad configs fail before any work starts.
   void validate() const;
 };
-
-/// Deprecated spelling kept for source compatibility; new code should say
-/// TrainConfig.
-using TrainOptions = TrainConfig;
 
 }  // namespace dropback::train

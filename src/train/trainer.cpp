@@ -166,8 +166,20 @@ TrainResult Trainer::run() {
         "train/step_ms", {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
                           500.0, 1000.0});
   }
-  const auto* dropback =
-      dynamic_cast<const core::DropBackOptimizer*>(&optimizer_);
+  auto* dropback = dynamic_cast<core::DropBackOptimizer*>(&optimizer_);
+  // Budget-schedule wiring must precede the resume load below: DBTS restore
+  // validates the snapshot's schedule spec against the installed schedule,
+  // and epoch-phrased schedules need steps_per_epoch to infer freeze state.
+  const std::int64_t steps_per_epoch =
+      (train_set_.size() + options_.batch_size - 1) / options_.batch_size;
+  if (options_.budget_schedule) {
+    DROPBACK_CHECK(dropback != nullptr,
+                   << "TrainConfig.budget_schedule requires a "
+                      "core::DropBackOptimizer");
+    dropback->set_schedule(options_.budget_schedule, steps_per_epoch);
+  } else if (dropback != nullptr) {
+    dropback->set_steps_per_epoch(steps_per_epoch);
+  }
   std::int64_t checkpoints_written = 0;
   double total_step_ms = 0.0;
   std::int64_t start_epoch = 0;
@@ -342,7 +354,7 @@ TrainResult Trainer::run() {
           ev.churn_in = dropback->last_churn();
           ev.churn_out = dropback->last_evictions();
           ev.tracked = dropback->live_weights();
-          ev.budget = dropback->config().budget;
+          ev.budget = dropback->current_budget();
           ev.occupancy = ev.budget > 0 ? static_cast<double>(ev.tracked) /
                                              static_cast<double>(ev.budget)
                                        : 0.0;

@@ -82,9 +82,9 @@ void expect_history_bitwise_equal(const TrainResult& a, const TrainResult& b) {
   ASSERT_EQ(a.best_epoch, b.best_epoch);
 }
 
-TrainOptions base_options(const std::string& checkpoint_path,
+TrainConfig base_options(const std::string& checkpoint_path,
                           std::int64_t threads) {
-  TrainOptions options;
+  TrainConfig options;
   options.epochs = 3;
   options.batch_size = 16;
   options.checkpoint_path = checkpoint_path;
@@ -140,7 +140,7 @@ RunOutput killed_and_resumed_run(const TinyTask& task, const std::string& ckpt,
   config.budget = 4000;
   config.freeze_after_steps = 8;
   core::DropBackOptimizer opt(model->collect_parameters(), 0.1F, config);
-  TrainOptions options = base_options(ckpt, threads);
+  TrainConfig options = base_options(ckpt, threads);
   options.resume = true;
   Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
   RunOutput out;
@@ -184,7 +184,7 @@ TEST(CrashRecovery, ResumeWithMissingFileStartsFresh) {
   std::remove(ckpt.c_str());
   auto model = nn::models::make_mnist_100_100(7);
   optim::SGD opt(model->collect_parameters(), 0.1F);
-  TrainOptions options = base_options(ckpt, 1);
+  TrainConfig options = base_options(ckpt, 1);
   options.resume = true;  // nothing to resume from: same as a fresh run
   Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
   const auto result = trainer.run();
@@ -218,7 +218,7 @@ TEST(CrashRecovery, MomentumStateSurvivesKillAndResume) {
     EXPECT_THROW(trainer.run(), KillSignal);
     auto model2 = nn::models::make_mnist_100_100(999);
     optim::MomentumSGD opt2(model2->collect_parameters(), 0.05F, 0.9F);
-    TrainOptions options = base_options(ckpt, 1);
+    TrainConfig options = base_options(ckpt, 1);
     options.resume = true;
     Trainer resumed(*model2, opt2, *task.train_set, *task.val_set, options);
     out.result = resumed.run();
@@ -355,7 +355,7 @@ TEST(CrashRecovery, CrashDuringCheckpointLeavesPreviousSnapshotAndResumes) {
   config.budget = 4000;
   config.freeze_after_steps = 8;
   core::DropBackOptimizer opt(model->collect_parameters(), 0.1F, config);
-  TrainOptions options = base_options(ckpt, 1);
+  TrainConfig options = base_options(ckpt, 1);
   options.resume = true;
   Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
   const TrainResult result = trainer.run();
@@ -467,7 +467,7 @@ TEST(CrashRecovery, SessionTrainingStateSurvivesEnospc) {
   const auto task = make_task(32, 16);
   auto model = nn::models::make_mnist_100_100(5);
   DropBackSession::Options options;
-  options.budget = 2000;
+  options.train.budget_schedule = optim::constant_budget(2000);
   options.train.epochs = 1;
   options.train.batch_size = 16;
   DropBackSession session(*model, options);

@@ -195,7 +195,7 @@ TEST(DropBackInvariants, TrainingWithRealDataIsDeterministic) {
     config.budget = 4000;
     auto opt = std::make_unique<core::DropBackOptimizer>(
         model->collect_parameters(), 0.1F, config);
-    train::TrainOptions options;
+    train::TrainConfig options;
     options.epochs = 2;
     options.batch_size = 25;
     train::Trainer trainer(*model, *opt, *train_set, *val_set, options);

@@ -106,7 +106,7 @@ TEST(EdgeCases, TrainerValSetEqualsTrainSet) {
   auto ds = data::make_synthetic_mnist(opt);
   auto model = nn::models::make_mnist_100_100(3);
   optim::SGD sgd(model->collect_parameters(), 0.1F);
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = 2;
   options.batch_size = 20;
   train::Trainer trainer(*model, sgd, *ds, *ds, options);

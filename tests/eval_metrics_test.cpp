@@ -78,7 +78,7 @@ TEST(EvaluateConfusion, AgreesWithTrainerAccuracy) {
   auto val_set = data::make_synthetic_mnist(opt);
   auto model = nn::models::make_mnist_100_100(3);
   optim::SGD sgd(model->collect_parameters(), 0.1F);
-  TrainOptions options;
+  TrainConfig options;
   options.epochs = 5;
   Trainer trainer(*model, sgd, *train_set, *val_set, options);
   trainer.run();

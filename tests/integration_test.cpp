@@ -45,7 +45,7 @@ double train_dropback(Task& task, std::int64_t budget,
   opt_keeper.push_back(std::make_unique<core::DropBackOptimizer>(
       model.collect_parameters(), 0.1F, config));
   auto& opt = *opt_keeper.back();
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = 12;
   options.batch_size = 32;
   train::Trainer trainer(model, opt, *task.train_set, *task.val_set, options);
@@ -66,7 +66,7 @@ TEST(Integration, MildBudgetMatchesBaselineClosely) {
   Task task = make_task();
   auto baseline_model = nn::models::make_mnist_100_100(7);
   optim::SGD sgd(baseline_model->collect_parameters(), 0.1F);
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = 12;
   options.batch_size = 32;
   train::Trainer baseline_trainer(*baseline_model, sgd, *task.train_set,
@@ -137,7 +137,7 @@ TEST(Integration, DropBackBeatsMagnitudePruningAtEqualBudget) {
   const double fraction = 1.0 - static_cast<double>(budget) / 89610.0;
   baselines::MagnitudePruningOptimizer mag(
       mag_model->collect_parameters(), 0.1F, static_cast<float>(fraction));
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = 12;
   options.batch_size = 32;
   train::Trainer trainer(*mag_model, mag, *task.train_set, *task.val_set,

@@ -1,4 +1,4 @@
-// Unit tests for tools/dbk_lint: every rule R1–R9 has at least one
+// Unit tests for tools/dbk_lint: every rule R1–R10 has at least one
 // true-positive fixture (the rule fires on a minimal offending snippet) and
 // at least one suppression fixture (inline directive or allowlist entry
 // silences it), plus scrubber edge cases (comments, strings, raw strings,
@@ -638,6 +638,77 @@ TEST(LintR9, InlineAllowAndAllowlistSuppress) {
 }
 
 // ---------------------------------------------------------------------------
+// R10: tracked-set capacity only changes through the BudgetSchedule path
+// ---------------------------------------------------------------------------
+
+TEST(LintR10, FiresOnDirectCapacityMutationOutsideCore) {
+  const std::string src =
+      "void f(core::TrackedSet& set) {\n"
+      "  set.select(scores, 100);\n"
+      "  set.select_per_param(scores, budgets);\n"
+      "  set_ptr->readmit(seed, step, 0.01F);\n"
+      "}\n";
+  const auto all = lint_source("src/train/rogue.cpp", src, empty_allow());
+  const auto r10 = findings_for(all, "R10");
+  ASSERT_EQ(r10.size(), 3U);
+  EXPECT_EQ(r10[0].line, 2);
+  EXPECT_NE(r10[0].message.find("BudgetSchedule"), std::string::npos);
+  EXPECT_NE(r10[1].message.find("select_per_param"), std::string::npos);
+  EXPECT_NE(r10[2].message.find("readmit"), std::string::npos);
+
+  // Examples and bench are product/bench code: same contract.
+  EXPECT_EQ(live_count(
+                lint_source("examples/custom_loop.cpp", src, empty_allow()),
+                "R10"),
+            3);
+  EXPECT_EQ(live_count(
+                lint_source("bench/bench_custom.cpp", src, empty_allow()),
+                "R10"),
+            3);
+}
+
+TEST(LintR10, CoreAndTestsAreExempt) {
+  const std::string src = "tracked_.select(scores_, k);\n";
+  EXPECT_TRUE(
+      findings_for(lint_source("src/core/dropback_optimizer.cpp", src,
+                               empty_allow()),
+                   "R10")
+          .empty());
+  EXPECT_TRUE(findings_for(lint_source("tests/tracked_set_test.cpp", src,
+                                       empty_allow()),
+                           "R10")
+                  .empty());
+}
+
+TEST(LintR10, FreeFunctionSelectIsFine) {
+  const std::string src =
+      "auto winner = select(candidates);\n"
+      "auto other = my::select(candidates);\n";
+  const auto all = lint_source("src/train/picker.cpp", src, empty_allow());
+  EXPECT_TRUE(findings_for(all, "R10").empty());
+}
+
+TEST(LintR10, InlineAllowAndAllowlistSuppress) {
+  const std::string inline_src =
+      "void f() {\n"
+      "  // dbk-lint: allow(R10): baseline pruner owns this kept-set\n"
+      "  kept_.select(scores_, keep);\n"
+      "}\n";
+  const auto inline_all =
+      lint_source("src/baselines/pruner.cpp", inline_src, empty_allow());
+  const auto inline_r10 = findings_for(inline_all, "R10");
+  ASSERT_EQ(inline_r10.size(), 1U);
+  EXPECT_TRUE(inline_r10[0].suppressed);
+
+  const auto allow = parse_allow("R10 src/baselines/  baseline kept-sets\n");
+  const auto listed = lint_source("src/baselines/pruner.cpp",
+                                  "kept_.select(scores_, keep);\n", allow);
+  EXPECT_EQ(live_count(listed, "R10"), 0);
+  ASSERT_EQ(findings_for(listed, "R10").size(), 1U);
+  EXPECT_TRUE(findings_for(listed, "R10")[0].suppressed);
+}
+
+// ---------------------------------------------------------------------------
 // Scrubber: rule tokens inside comments/strings never fire
 // ---------------------------------------------------------------------------
 
@@ -678,7 +749,7 @@ TEST(LintScrub, EscapedQuotesInsideStrings) {
 TEST(LintAllowlist, RejectsMalformedLines) {
   Allowlist a;
   std::string error;
-  EXPECT_FALSE(a.parse("R10 src/foo.cpp bad rule id\n", &error));
+  EXPECT_FALSE(a.parse("R99 src/foo.cpp bad rule id\n", &error));
   EXPECT_NE(error.find("line 1"), std::string::npos);
   Allowlist b;
   EXPECT_FALSE(b.parse("R1\n", &error));

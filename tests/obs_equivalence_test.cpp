@@ -66,7 +66,7 @@ RunArtifacts run_training(int threads, bool instrument,
   config.budget = 2000;
   core::DropBackOptimizer opt(params, 0.1F, config);
 
-  train::TrainOptions options;
+  train::TrainConfig options;
   options.epochs = 2;
   options.batch_size = 16;
   options.checkpoint_path = ::testing::TempDir() + "/obs_eq_" + tag + ".dbts";

@@ -18,6 +18,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "nn/models/lenet.hpp"
@@ -148,6 +149,18 @@ TEST_F(ServeTraceTest, ShedRequestsAreFullyAccountedToo) {
   config.cache.dir = dir;
   config.clock = &clock;
   config.default_deadline_us = 100;  // everything expires in the queue
+  // The worker races the advance_us below: if it pops and executes the
+  // request while the manual clock still reads 0, the deadline has not
+  // expired and the outcome is kOk. Gate execution on the clock having
+  // moved (ManualClock is atomic) so the shed is deterministic: whichever
+  // of the queue / pre-exec / post-exec deadline gates runs first sees the
+  // expired deadline.
+  config.chaos_hook = [&clock](const char* stage) {
+    if (std::string_view(stage) == "exec") {
+      while (clock.now_us() < 1'000) {
+      }
+    }
+  };
   InferenceServer server(config);
 
   auto slot = server.submit("m0", random_input(1));

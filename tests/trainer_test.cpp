@@ -38,7 +38,7 @@ TEST(TrainerTest, LossDecreasesAndAccuracyRises) {
   auto task = make_task();
   auto model = nn::models::make_mnist_100_100(3);
   optim::SGD opt(model->collect_parameters(), 0.1F);
-  TrainOptions options;
+  TrainConfig options;
   options.epochs = 12;
   options.batch_size = 32;
   Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
@@ -73,7 +73,7 @@ TEST(TrainerTest, ScheduleDrivesLearningRate) {
   auto model = nn::models::make_mnist_100_100(4);
   optim::SGD opt(model->collect_parameters(), 1.0F);
   optim::StepDecay schedule(0.4F, 0.5F, 1);  // halve every epoch
-  TrainOptions options;
+  TrainConfig options;
   options.epochs = 3;
   options.schedule = &schedule;
   Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
@@ -88,7 +88,7 @@ TEST(TrainerTest, EarlyStoppingByPatience) {
   auto model = nn::models::make_mnist_100_100(4);
   // lr = tiny: validation accuracy will not improve, so patience triggers.
   optim::SGD opt(model->collect_parameters(), 1e-8F);
-  TrainOptions options;
+  TrainConfig options;
   options.epochs = 50;
   options.patience = 2;
   Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
@@ -100,7 +100,7 @@ TEST(TrainerTest, HooksFireInOrder) {
   auto task = make_task(32, 16);
   auto model = nn::models::make_mnist_100_100(5);
   optim::SGD opt(model->collect_parameters(), 0.05F);
-  TrainOptions options;
+  TrainConfig options;
   options.epochs = 1;
   options.batch_size = 16;
   Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
@@ -125,7 +125,7 @@ TEST(TrainerTest, LossTransformChangesOptimizedObjective) {
   auto model = nn::models::make_mnist_100_100(6);
   auto params = model->collect_parameters();
   optim::SGD opt(params, 0.1F);
-  TrainOptions options;
+  TrainConfig options;
   options.epochs = 1;
   Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
   // Scale loss to zero: no parameter should move.
@@ -181,7 +181,7 @@ TEST(TrainerTest, PatienceZeroStopsAfterSecondEpoch) {
   // lr = tiny: accuracy is flat, so epoch 1 ties epoch 0 and patience 0
   // stops immediately after it.
   optim::SGD opt(model->collect_parameters(), 1e-8F);
-  TrainOptions options;
+  TrainConfig options;
   options.epochs = 50;
   options.patience = 0;
   Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
@@ -194,7 +194,7 @@ TEST(TrainerTest, FinalEpochImprovementIsRecorded) {
   auto task = make_task(200, 100);
   auto model = nn::models::make_mnist_100_100(3);
   optim::SGD opt(model->collect_parameters(), 0.1F);
-  TrainOptions options;
+  TrainConfig options;
   options.epochs = 6;
   options.patience = 10;  // wider than the run: no early stop possible
   Trainer trainer(*model, opt, *task.train_set, *task.val_set, options);
@@ -212,7 +212,7 @@ TEST(TrainerTest, AnomalyThrowPolicyRaisesOnNanLoss) {
   auto task = make_task(32, 16);
   auto model = nn::models::make_mnist_100_100(5);
   optim::SGD opt(model->collect_parameters(), 0.05F);
-  TrainOptions options;
+  TrainConfig options;
   options.epochs = 1;
   options.batch_size = 16;
   options.anomaly_policy = AnomalyPolicy::kThrow;
@@ -227,7 +227,7 @@ TEST(TrainerTest, AnomalySkipPolicyDropsPoisonedBatches) {
   auto task = make_task(48, 16);
   auto model = nn::models::make_mnist_100_100(5);
   optim::SGD opt(model->collect_parameters(), 0.05F);
-  TrainOptions options;
+  TrainConfig options;
   options.epochs = 1;
   options.batch_size = 16;
   options.anomaly_policy = AnomalyPolicy::kSkipStep;
@@ -253,7 +253,7 @@ TEST(TrainerTest, AnomalyRollbackPolicyRestoresLastSnapshot) {
   auto task = make_task(48, 16);
   auto model = nn::models::make_mnist_100_100(5);
   optim::SGD opt(model->collect_parameters(), 0.05F);
-  TrainOptions options;
+  TrainConfig options;
   options.epochs = 1;
   options.batch_size = 16;
   options.anomaly_policy = AnomalyPolicy::kRollback;
@@ -290,7 +290,7 @@ TEST(TrainerTest, AnomalyRollbackWithoutSnapshotThrows) {
   auto task = make_task(32, 16);
   auto model = nn::models::make_mnist_100_100(5);
   optim::SGD opt(model->collect_parameters(), 0.05F);
-  TrainOptions options;
+  TrainConfig options;
   options.epochs = 1;
   options.batch_size = 16;
   options.anomaly_policy = AnomalyPolicy::kRollback;
@@ -313,7 +313,7 @@ TEST(TrainerTest, RejectsBadOptions) {
   auto task = make_task(10, 10);
   auto model = nn::models::make_mnist_100_100(3);
   optim::SGD opt(model->collect_parameters(), 0.1F);
-  TrainOptions options;
+  TrainConfig options;
   options.epochs = 0;
   EXPECT_THROW(
       Trainer(*model, opt, *task.train_set, *task.val_set, options),

@@ -376,6 +376,14 @@ bool r9_applies(const std::string& p) {
          is_source_under(p, "examples");
 }
 
+bool r10_applies(const std::string& p) {
+  // src/core/ (DropBackOptimizer driving its TrackedSet under the installed
+  // BudgetSchedule) is the one sanctioned capacity authority; tests may
+  // exercise TrackedSet directly.
+  return (is_source_under(p, "src") && !starts_with(p, "src/core/")) ||
+         is_source_under(p, "examples") || is_source_under(p, "bench");
+}
+
 bool serialization_function(const std::string& name) {
   std::string lower;
   lower.reserve(name.size());
@@ -448,6 +456,15 @@ const std::regex& r9_regex() {
   return re;
 }
 
+// Tracked-set capacity mutators. The member-access prefix keeps free
+// functions named select() out of scope; select_per_param is listed before
+// select so the longer token wins the alternation.
+const std::regex& r10_regex() {
+  static const std::regex re(
+      R"((\.|->)\s*(select_per_param|select|readmit)\s*\()");
+  return re;
+}
+
 struct RuleContext {
   const std::string& relpath;
   const InlineAllow& inline_allow;
@@ -480,7 +497,7 @@ struct RuleContext {
 
 bool Allowlist::parse(const std::string& text, std::string* error) {
   static const std::set<std::string> known = {
-      "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "*"};
+      "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "*"};
   int line_no = 0;
   for (const auto& raw : split_lines(text)) {
     ++line_no;
@@ -640,6 +657,14 @@ std::vector<Finding> lint_source(const std::string& relpath,
                  "must be joined in stop() so shutdown resolves every "
                  "in-flight request (docs/SERVING.md)");
       }
+    }
+
+    if (r10_applies(relpath) && std::regex_search(line, m, r10_regex())) {
+      ctx.emit("R10", line_no,
+               "tracked-set capacity mutation (" + m[2].str() +
+                   ") outside src/core/ — the live budget k_t may only "
+                   "change through the optim::BudgetSchedule installed on "
+                   "the DropBackOptimizer (docs/SCHEDULES.md)");
     }
 
     if (r9_applies(relpath) && std::regex_search(line, m, r9_regex())) {

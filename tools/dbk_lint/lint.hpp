@@ -39,6 +39,13 @@
 //       reads under src/ (outside src/util/) or examples/ — wall-time must
 //       flow through util::ClockSource so tests and the tracer can inject a
 //       deterministic clock (docs/OBSERVABILITY.md).
+//   R10 tracked-set capacity changes (TrackedSet::select / select_per_param
+//       / readmit) only under src/core/ — everywhere else the live budget
+//       k_t must flow through the optim::BudgetSchedule installed on the
+//       DropBackOptimizer, so one authority decides capacity and
+//       checkpoint/resume stays bitwise-consistent (docs/SCHEDULES.md).
+//       Baselines and micro-benchmarks that legitimately drive their own
+//       TrackedSet instances are allowlisted; tests are exempt.
 //
 // Suppression comes in two forms (docs/STATIC_ANALYSIS.md):
 //   * inline: a comment `dbk-lint: allow(R5): reason` on the offending line,
@@ -57,7 +64,7 @@ namespace dbk_lint {
 
 /// One diagnostic. `file` is root-relative with '/' separators.
 struct Finding {
-  std::string rule;      ///< "R1".."R9"
+  std::string rule;      ///< "R1".."R10"
   std::string file;      ///< e.g. "src/tensor/matmul.cpp"
   int line = 0;          ///< 1-based
   std::string message;   ///< human-readable diagnostic
@@ -67,7 +74,7 @@ struct Finding {
 
 /// One `rule path reason` allowlist line.
 struct AllowEntry {
-  std::string rule;    ///< "R1".."R9" or "*" for any rule
+  std::string rule;    ///< "R1".."R10" or "*" for any rule
   std::string path;    ///< file path, or directory prefix ending in '/'
   std::string reason;  ///< rest of the line (shown in suppressed findings)
 };

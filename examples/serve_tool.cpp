@@ -152,7 +152,7 @@ int cmd_query(const util::Flags& flags) {
         reference->forward(queries->slice(i, 1).images);
     const tensor::Tensor& got = slot.output();
     for (std::int64_t k = 0; k < expect.numel(); ++k) {
-      if (got[k] != expect[k]) {  // dbk-lint: allow(R5): bitwise contract
+      if (got[k] != expect[k]) {
         ++mismatches;
         break;
       }

@@ -7,14 +7,19 @@
 #   1. build_warn     warning-hardened build (-Wall -Wextra -Werror via
 #                     -DDROPBACK_WERROR=ON)
 #   2. lint           dbk_lint over the whole tree with the checked-in
-#                     allowlist (tools/dbk_lint.rules)
-#   3. tests_warn     full ctest suite on the hardened build (includes the
+#                     allowlist (tools/dbk_lint.rules); whole-program rules
+#                     R11/R12 included, stale suppressions are errors
+#                     (--strict-suppressions)
+#   3. lint_sarif     dbk_lint SARIF 2.1.0 export to build-check/lint.sarif;
+#                     the emitter self-verifies by re-parsing its own output
+#                     and exits 3 with per-rule counts on any mismatch
+#   4. tests_warn     full ctest suite on the hardened build (includes the
 #                     `lint` label: dbk_lint_tree + lint_test)
-#   4. tsan_parallel  ThreadSanitizer build, ctest labels
+#   5. tsan_parallel  ThreadSanitizer build, ctest labels
 #                     `parallel`+`serve`+`obs` (the span-tracer rings and
 #                     metrics registry are exercised under TSan too)
-#   5. asan_recovery  ASan+UBSan build, ctest label `recovery`
-#   6. ubsan_full     UBSan build, full ctest suite
+#   6. asan_recovery  ASan+UBSan build, ctest label `recovery`
+#   7. ubsan_full     UBSan build, full ctest suite
 #
 # Sanitizer runtime options (halt_on_error=1, tools/sanitizers/*.supp) are
 # exported per-test by tests/CMakeLists.txt when DROPBACK_SANITIZE is set.
@@ -76,11 +81,14 @@ run_stage build_warn bash -c \
   "cmake -B '$ROOT/build-warn' -S '$ROOT' -DDROPBACK_WERROR=ON \
    && cmake --build '$ROOT/build-warn' -j '$JOBS'"
 run_stage lint "$ROOT/build-warn/tools/dbk_lint" --root "$ROOT" \
-  --rules "$ROOT/tools/dbk_lint.rules" --json "$OUT/lint_report.jsonl"
+  --rules "$ROOT/tools/dbk_lint.rules" --json "$OUT/lint_report.jsonl" \
+  --strict-suppressions
+run_stage lint_sarif "$ROOT/build-warn/tools/dbk_lint" --root "$ROOT" \
+  --rules "$ROOT/tools/dbk_lint.rules" --sarif "$OUT/lint.sarif"
 run_stage tests_warn ctest --test-dir "$ROOT/build-warn" -j "$JOBS" \
   --output-on-failure
 
-# --- 4/5/6: sanitizer matrix ----------------------------------------------
+# --- 5/6/7: sanitizer matrix ----------------------------------------------
 if [ "$FAST" -eq 0 ]; then
   run_stage tsan_parallel bash -c \
     "cmake -B '$ROOT/build-tsan' -S '$ROOT' -DDROPBACK_SANITIZE=thread \

@@ -1,11 +1,11 @@
-#include "obs/json.hpp"
+#include "util/json.hpp"
 
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
-namespace dropback::obs {
+namespace dropback::util {
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -279,4 +279,4 @@ std::map<std::string, JsonValue> parse_flat_object(const std::string& text) {
   return FlatParser(text).parse();
 }
 
-}  // namespace dropback::obs
+}  // namespace dropback::util

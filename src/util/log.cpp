@@ -6,7 +6,7 @@
 #include <iostream>
 #include <mutex>
 
-#include "obs/json.hpp"
+#include "util/json.hpp"
 #include "util/check.hpp"
 
 namespace dropback::util {
@@ -86,7 +86,7 @@ bool log_timestamps() { return g_timestamps.load(); }
 
 std::string format_log_line(LogLevel level, const std::string& message) {
   if (g_format.load() == LogFormat::kJson) {
-    return obs::JsonObject()
+    return JsonObject()
         .add("ts", utc_timestamp())
         .add("level", level_name(level))
         .add("msg", message)

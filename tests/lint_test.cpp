@@ -1,16 +1,23 @@
-// Unit tests for tools/dbk_lint: every rule R1–R10 has at least one
+// Unit tests for tools/dbk_lint: every rule R1–R12 has at least one
 // true-positive fixture (the rule fires on a minimal offending snippet) and
 // at least one suppression fixture (inline directive or allowlist entry
-// silences it), plus scrubber edge cases (comments, strings, raw strings,
-// digit separators) and report-format checks.
+// silences it), plus scrubber and include-extractor edge cases (comments,
+// strings, raw strings, digit separators, #ifdef branches, same-basename
+// headers), whole-program fixtures (layering, taint chains, neighborhood
+// scoping, staleness audit, baselines), SARIF golden bytes + round-trip
+// checks, and report-format checks.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "dbk_lint/graph.hpp"
 #include "dbk_lint/lint.hpp"
+#include "dbk_lint/sarif.hpp"
 #include "obs/json.hpp"
 
 namespace {
@@ -794,6 +801,568 @@ TEST(LintReport, JsonlFindingsAndSummaryParse) {
   EXPECT_EQ(summary.at("suppressed").number, 1.0);
   EXPECT_EQ(summary.at("unsuppressed").number, 1.0);
   EXPECT_EQ(dbk_lint::unsuppressed_count(all), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Include extraction edge cases (phase one feeding the R11 graph)
+// ---------------------------------------------------------------------------
+
+TEST(LintIncludeExtract, ConditionalBranchesBothMakeEdges) {
+  const std::string src =
+      "#ifdef DROPBACK_USE_A\n"
+      "#include \"core/a.hpp\"\n"
+      "#else\n"
+      "#include \"core/b.hpp\"\n"
+      "#endif\n";
+  const auto model = dbk_lint::analyze_source("src/train/cfg.cpp", src);
+  ASSERT_EQ(model.includes.size(), 2U);
+  EXPECT_EQ(model.includes[0].target, "core/a.hpp");
+  EXPECT_EQ(model.includes[0].line, 2);
+  EXPECT_EQ(model.includes[1].target, "core/b.hpp");
+  EXPECT_EQ(model.includes[1].line, 4);
+}
+
+TEST(LintIncludeExtract, DirectivesInStringsAndCommentsAreInvisible) {
+  const std::string src =
+      "const char* doc = R\"(#include \"fake/x.hpp\")\";\n"
+      "// #include \"fake/y.hpp\"\n"
+      "/* #include \"fake/z.hpp\" */\n"
+      "#include \"core/real.hpp\"\n";
+  const auto model = dbk_lint::analyze_source("src/train/gen.cpp", src);
+  ASSERT_EQ(model.includes.size(), 1U);
+  EXPECT_EQ(model.includes[0].target, "core/real.hpp");
+  EXPECT_EQ(model.includes[0].line, 4);
+}
+
+TEST(LintIncludeExtract, AngleIncludesMakeNoEdges) {
+  const auto model = dbk_lint::analyze_source(
+      "src/core/sys.cpp", "#include <vector>\n#include <unordered_map>\n");
+  EXPECT_TRUE(model.includes.empty());
+}
+
+TEST(LintIncludeExtract, SameBasenameResolvesNearestDirectoryFirst) {
+  // Two config.hpp headers in different subsystems plus one at the src/
+  // root: the bare-name include from serve/ must land on serve's own.
+  std::vector<dbk_lint::SourceFile> files = {
+      {"src/config.hpp", "#pragma once\n"},
+      {"src/serve/config.hpp", "#pragma once\n"},
+      {"src/tensor/config.hpp", "#pragma once\n"},
+      {"src/serve/server.cpp", "#include \"config.hpp\"\n"},
+      {"src/train/loop.cpp", "#include \"config.hpp\"\n"},
+  };
+  std::vector<dbk_lint::FileModel> models;
+  for (const auto& f : files) {
+    models.push_back(dbk_lint::analyze_source(f.relpath, f.content));
+  }
+  const auto graph = dbk_lint::IncludeGraph::build(models);
+  EXPECT_EQ(graph.targets_of("src/serve/server.cpp"),
+            std::set<std::string>{"src/serve/config.hpp"});
+  // train/ has no local config.hpp, so the src/ include root wins.
+  EXPECT_EQ(graph.targets_of("src/train/loop.cpp"),
+            std::set<std::string>{"src/config.hpp"});
+}
+
+// ---------------------------------------------------------------------------
+// R11: include-graph layering contract
+// ---------------------------------------------------------------------------
+
+dbk_lint::LintResult run_tree(const std::vector<dbk_lint::SourceFile>& files,
+                              const Allowlist& allow,
+                              dbk_lint::LintOptions opts = {}) {
+  return dbk_lint::lint_files(files, allow, opts);
+}
+
+TEST(LintR11, UpwardEdgeFires) {
+  const auto result = run_tree(
+      {{"src/core/thing.hpp", "#pragma once\n"},
+       {"src/util/helper.cpp", "#include \"core/thing.hpp\"\n"}},
+      empty_allow());
+  const auto r11 = findings_for(result.findings, "R11");
+  ASSERT_EQ(r11.size(), 1U);
+  EXPECT_EQ(r11[0].file, "src/util/helper.cpp");
+  EXPECT_EQ(r11[0].line, 1);
+  EXPECT_FALSE(r11[0].suppressed);
+  EXPECT_NE(r11[0].message.find("upward include edge"), std::string::npos);
+  EXPECT_NE(r11[0].message.find("'util' (layer 0)"), std::string::npos);
+  EXPECT_NE(r11[0].message.find("'core' (layer 2)"), std::string::npos);
+}
+
+TEST(LintR11, DownwardAndSameLayerEdgesAreLegal) {
+  const auto result = run_tree(
+      {{"src/util/base.hpp", "#pragma once\n"},
+       {"src/core/opt.hpp", "#include \"util/base.hpp\"\n"},
+       {"src/optim/sched.hpp", "#include \"core/opt.hpp\"\n"},
+       {"src/train/loop.cpp",
+        "#include \"core/opt.hpp\"\n#include \"optim/sched.hpp\"\n"}},
+      empty_allow());
+  EXPECT_TRUE(findings_for(result.findings, "R11").empty());
+}
+
+TEST(LintR11, FileLevelIncludeCycleDetected) {
+  const auto result = run_tree(
+      {{"src/core/a.hpp", "#include \"core/b.hpp\"\n"},
+       {"src/core/b.hpp", "#include \"core/a.hpp\"\n"}},
+      empty_allow());
+  const auto r11 = findings_for(result.findings, "R11");
+  ASSERT_EQ(r11.size(), 1U);
+  EXPECT_NE(r11[0].message.find("#include cycle"), std::string::npos);
+  EXPECT_NE(r11[0].message.find("src/core/a.hpp"), std::string::npos);
+  EXPECT_NE(r11[0].message.find("src/core/b.hpp"), std::string::npos);
+}
+
+TEST(LintR11, SubsystemCycleReportsShortestPath) {
+  const auto result = run_tree(
+      {{"src/data/loader.hpp", "#include \"train/hooks.hpp\"\n"},
+       {"src/train/hooks.hpp", "#pragma once\n"},
+       {"src/train/loop.cpp", "#include \"data/loader.hpp\"\n"}},
+      empty_allow());
+  const auto r11 = findings_for(result.findings, "R11");
+  ASSERT_EQ(r11.size(), 1U);
+  EXPECT_NE(r11[0].message.find("subsystem include cycle"),
+            std::string::npos);
+  EXPECT_NE(r11[0].message.find("data"), std::string::npos);
+  EXPECT_NE(r11[0].message.find("train"), std::string::npos);
+}
+
+TEST(LintR11, SimdReachableOnlyThroughFacade) {
+  const auto result = run_tree(
+      {{"src/simd/vec.hpp", "#pragma once\n"},
+       {"src/simd/kernels.hpp", "#pragma once\n"},
+       {"src/nn/conv.cpp",
+        "#include \"simd/kernels.hpp\"\n#include \"simd/vec.hpp\"\n"}},
+      empty_allow());
+  const auto r11 = findings_for(result.findings, "R11");
+  ASSERT_EQ(r11.size(), 1U);
+  EXPECT_EQ(r11[0].file, "src/nn/conv.cpp");
+  EXPECT_EQ(r11[0].line, 2);
+  EXPECT_NE(r11[0].message.find("simd backend internal"), std::string::npos);
+}
+
+TEST(LintR11, ObsIncludableFromAnywhereButIncludesOnlyUtil) {
+  const auto result = run_tree(
+      {{"src/obs/metrics.hpp", "#include \"train/loop.hpp\"\n"},
+       {"src/train/loop.hpp", "#pragma once\n"},
+       {"src/train/loop.cpp", "#include \"obs/metrics.hpp\"\n"}},
+      empty_allow());
+  const auto r11 = findings_for(result.findings, "R11");
+  ASSERT_EQ(r11.size(), 1U);
+  EXPECT_EQ(r11[0].file, "src/obs/metrics.hpp");
+  EXPECT_NE(r11[0].message.find("obs may include nothing above util"),
+            std::string::npos);
+}
+
+TEST(LintR11, UndeclaredSubsystemIsAFinding) {
+  const auto result = run_tree(
+      {{"src/widgets/w.hpp", "#pragma once\n"},
+       {"src/widgets/w.cpp", "#include \"widgets/w.hpp\"\n"}},
+      empty_allow());
+  const auto r11 = findings_for(result.findings, "R11");
+  ASSERT_EQ(r11.size(), 1U);
+  EXPECT_NE(r11[0].message.find("not in the declared layering contract"),
+            std::string::npos);
+}
+
+TEST(LintR11, InlineAndAllowlistSuppress) {
+  const std::vector<dbk_lint::SourceFile> files = {
+      {"src/core/thing.hpp", "#pragma once\n"},
+      {"src/util/inline_case.cpp",
+       "#include \"core/thing.hpp\"  // dbk-lint: allow(R11): migration\n"},
+      {"src/util/listed_case.cpp", "#include \"core/thing.hpp\"\n"}};
+  const auto allow =
+      parse_allow("R11 src/util/listed_case.cpp inversion tracked\n");
+  const auto result = run_tree(files, allow);
+  const auto r11 = findings_for(result.findings, "R11");
+  ASSERT_EQ(r11.size(), 2U);
+  EXPECT_TRUE(r11[0].suppressed);
+  EXPECT_TRUE(r11[1].suppressed);
+  EXPECT_EQ(dbk_lint::unsuppressed_count(result.findings), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R12: interprocedural determinism reachability
+// ---------------------------------------------------------------------------
+
+TEST(LintR12, MultiHopChainIsPrinted) {
+  const auto result = run_tree(
+      {{"src/train/ckpt.cpp", "void save_model() {\n  write_meta();\n}\n"},
+       {"src/train/meta.cpp",
+        "void write_meta() {\n  stamp_time();\n}\n"
+        "void stamp_time() {\n  long t = time(nullptr);\n}\n"}},
+      empty_allow());
+  const auto r12 = findings_for(result.findings, "R12");
+  ASSERT_EQ(r12.size(), 1U);
+  EXPECT_EQ(r12[0].file, "src/train/ckpt.cpp");
+  EXPECT_EQ(r12[0].line, 1);
+  EXPECT_FALSE(r12[0].suppressed);
+  // The full shortest chain, every hop located, down to the tainted token.
+  EXPECT_NE(r12[0].message.find("serialization function 'save_model'"),
+            std::string::npos);
+  EXPECT_NE(r12[0].message.find("save_model (src/train/ckpt.cpp:1) -> "
+                                "write_meta (src/train/meta.cpp:1) -> "
+                                "stamp_time (src/train/meta.cpp:4)"),
+            std::string::npos);
+  EXPECT_NE(r12[0].message.find("'time(' at src/train/meta.cpp:5"),
+            std::string::npos);
+}
+
+TEST(LintR12, KernelEntryPointsAreRoots) {
+  const auto result = run_tree(
+      {{"src/simd/kern.cpp", "void dot_product() {\n  seed_state();\n}\n"},
+       {"src/core/seed.cpp",
+        "void seed_state() {\n  int x = std::rand();\n}\n"}},
+      empty_allow());
+  const auto r12 = findings_for(result.findings, "R12");
+  ASSERT_EQ(r12.size(), 1U);
+  EXPECT_EQ(r12[0].file, "src/simd/kern.cpp");
+  EXPECT_NE(r12[0].message.find("kernel entry point 'dot_product'"),
+            std::string::npos);
+}
+
+TEST(LintR12, UnorderedIterationTaintPropagates) {
+  const auto result = run_tree(
+      {{"src/train/state.cpp", "void save_state() {\n  dump_keys();\n}\n"},
+       {"src/core/dump.cpp",
+        "void dump_keys(const std::unordered_map<int, int>& table) {\n"
+        "  for (const auto& kv : table) {\n  }\n}\n"}},
+      empty_allow());
+  const auto r12 = findings_for(result.findings, "R12");
+  ASSERT_EQ(r12.size(), 1U);
+  EXPECT_NE(r12[0].message.find("unordered-container iteration"),
+            std::string::npos);
+  EXPECT_NE(r12[0].message.find("'table' at src/core/dump.cpp:2"),
+            std::string::npos);
+  // dump_keys is not serialization-named, so the lexical R4 stays silent —
+  // only the whole-program pass can see this one.
+  EXPECT_TRUE(findings_for(result.findings, "R4").empty());
+}
+
+TEST(LintR12, ReviewedSourceDoesNotPropagate) {
+  const auto result = run_tree(
+      {{"src/train/ckpt.cpp", "void save_model() {\n  stamp_time();\n}\n"},
+       {"src/core/meta.cpp",
+        "void stamp_time() {\n"
+        "  long t = time(nullptr);  // dbk-lint: allow(R3): epoch stamp is "
+        "metadata, not artifact bytes\n"
+        "}\n"}},
+      empty_allow());
+  EXPECT_TRUE(findings_for(result.findings, "R12").empty());
+  const auto r3 = findings_for(result.findings, "R3");
+  ASSERT_EQ(r3.size(), 1U);
+  EXPECT_TRUE(r3[0].suppressed);
+}
+
+TEST(LintR12, RootAllowlistSuppresses) {
+  const auto allow = parse_allow(
+      "R12 src/train/ckpt.cpp chain audited; rand feeds a debug counter\n");
+  const auto result = run_tree(
+      {{"src/train/ckpt.cpp", "void save_model() {\n  jitter();\n}\n"},
+       {"src/core/jit.cpp", "void jitter() {\n  int x = std::rand();\n}\n"}},
+      allow);
+  const auto r12 = findings_for(result.findings, "R12");
+  ASSERT_EQ(r12.size(), 1U);
+  EXPECT_TRUE(r12[0].suppressed);
+  EXPECT_NE(r12[0].suppress_reason.find("chain audited"), std::string::npos);
+}
+
+TEST(LintR12, RootsOwnLexicalTaintIsR3sBusiness) {
+  const auto result = run_tree(
+      {{"src/train/ckpt.cpp",
+        "void save_model() {\n  int x = std::rand();\n}\n"}},
+      empty_allow());
+  EXPECT_TRUE(findings_for(result.findings, "R12").empty());
+  EXPECT_EQ(findings_for(result.findings, "R3").size(), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// S1: stale-suppression audit
+// ---------------------------------------------------------------------------
+
+TEST(LintS1, StaleInlineDirectiveWarns) {
+  dbk_lint::LintOptions opts;
+  opts.audit_suppressions = true;
+  const auto result = run_tree(
+      {{"src/core/x.cpp",
+        "// dbk-lint: allow(R1): grant that matches nothing\n"
+        "int answer() { return 42; }\n"}},
+      empty_allow(), opts);
+  const auto s1 = findings_for(result.findings, "S1");
+  ASSERT_EQ(s1.size(), 1U);
+  EXPECT_EQ(s1[0].file, "src/core/x.cpp");
+  EXPECT_EQ(s1[0].line, 1);
+  EXPECT_TRUE(s1[0].warning);
+  EXPECT_NE(s1[0].message.find("stale inline suppression allow(R1)"),
+            std::string::npos);
+  // Warnings never fail the run.
+  EXPECT_EQ(dbk_lint::unsuppressed_count(result.findings), 0);
+}
+
+TEST(LintS1, StaleAllowlistEntryWarnsAtItsOwnLine) {
+  dbk_lint::LintOptions opts;
+  opts.audit_suppressions = true;
+  const auto allow = parse_allow(
+      "# header comment\n"
+      "R1 src/core/gone.cpp mutex grant for a deleted file\n");
+  const auto result =
+      run_tree({{"src/core/x.cpp", "int answer() { return 42; }\n"}}, allow,
+               opts);
+  const auto s1 = findings_for(result.findings, "S1");
+  ASSERT_EQ(s1.size(), 1U);
+  EXPECT_EQ(s1[0].file, "tools/dbk_lint.rules");
+  EXPECT_EQ(s1[0].line, 2);
+  EXPECT_NE(s1[0].message.find("R1 src/core/gone.cpp"), std::string::npos);
+}
+
+TEST(LintS1, StrictModeUpgradesToError) {
+  dbk_lint::LintOptions opts;
+  opts.audit_suppressions = true;
+  opts.strict_suppressions = true;
+  const auto result = run_tree(
+      {{"src/core/x.cpp",
+        "// dbk-lint: allow(R1): grant that matches nothing\n"
+        "int answer() { return 42; }\n"}},
+      empty_allow(), opts);
+  const auto s1 = findings_for(result.findings, "S1");
+  ASSERT_EQ(s1.size(), 1U);
+  EXPECT_FALSE(s1[0].warning);
+  EXPECT_EQ(dbk_lint::unsuppressed_count(result.findings), 1);
+}
+
+TEST(LintS1, UsedGrantsAreNotFlagged) {
+  dbk_lint::LintOptions opts;
+  opts.audit_suppressions = true;
+  const auto allow = parse_allow("R1 src/core/pool.cpp private registry\n");
+  const auto result = run_tree(
+      {{"src/core/pool.cpp", "void f() {\n  std::mutex mu;\n}\n"},
+       {"src/core/y.cpp",
+        "void g() {\n"
+        "  std::thread t;  // dbk-lint: allow(R1): attack fixture\n"
+        "}\n"}},
+      allow, opts);
+  EXPECT_TRUE(findings_for(result.findings, "S1").empty());
+  EXPECT_EQ(dbk_lint::unsuppressed_count(result.findings), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline mode
+// ---------------------------------------------------------------------------
+
+TEST(LintBaseline, DemotesByRuleFileMessageLineInsensitive) {
+  const std::string before = "void f() {\n  std::thread t;\n}\n";
+  const auto allow = empty_allow();
+  const auto first = run_tree({{"src/core/w.cpp", before}}, allow);
+  ASSERT_EQ(dbk_lint::unsuppressed_count(first.findings), 1);
+  const std::string baseline =
+      dbk_lint::report_jsonl(first.findings, first.files_linted);
+
+  // Same violation, shifted two lines — the baseline still matches.
+  const std::string after = "\n\nvoid f() {\n  std::thread t;\n}\n";
+  auto second = run_tree({{"src/core/w.cpp", after}}, allow);
+  const int demoted =
+      dbk_lint::apply_baseline(second.findings, baseline, "seed.jsonl");
+  EXPECT_EQ(demoted, 1);
+  EXPECT_EQ(dbk_lint::unsuppressed_count(second.findings), 0);
+  const auto r1 = findings_for(second.findings, "R1");
+  ASSERT_EQ(r1.size(), 1U);
+  EXPECT_TRUE(r1[0].suppressed);
+  EXPECT_EQ(r1[0].suppress_reason, "baseline: seed.jsonl");
+}
+
+TEST(LintBaseline, NewFindingsSurvive) {
+  const auto first =
+      run_tree({{"src/core/w.cpp", "void f() {\n  std::thread t;\n}\n"}},
+               empty_allow());
+  const std::string baseline =
+      dbk_lint::report_jsonl(first.findings, first.files_linted);
+  auto second = run_tree(
+      {{"src/core/w.cpp",
+        "void f() {\n  std::thread t;\n  std::mutex mu;\n}\n"}},
+      empty_allow());
+  dbk_lint::apply_baseline(second.findings, baseline, "seed.jsonl");
+  // The thread finding is old, the mutex finding is new.
+  EXPECT_EQ(dbk_lint::unsuppressed_count(second.findings), 1);
+}
+
+// ---------------------------------------------------------------------------
+// --changed: neighborhood scoping
+// ---------------------------------------------------------------------------
+
+TEST(LintChanged, HeaderDiffScansDependentsNotStrangers) {
+  dbk_lint::LintOptions opts;
+  opts.changed_files = {"src/core/a.hpp"};
+  const auto result = run_tree(
+      {{"src/core/a.hpp", "#pragma once\nvoid core_helper();\n"},
+       {"src/core/a.cpp",
+        "#include \"core/a.hpp\"\nvoid core_helper() {}\n"},
+       {"src/train/user.cpp",
+        "#include \"core/a.hpp\"\nvoid run() {\n  std::thread t;\n}\n"},
+       {"src/nn/far.cpp", "void far() {\n  std::thread t;\n}\n"}},
+      empty_allow(), opts);
+  // The dependent's finding is reported; the unrelated file's is not.
+  ASSERT_EQ(findings_for(result.findings, "R1").size(), 1U);
+  EXPECT_EQ(findings_for(result.findings, "R1")[0].file,
+            "src/train/user.cpp");
+  EXPECT_EQ(result.files_scanned, 4);
+  EXPECT_EQ(result.files_linted, 3);
+}
+
+TEST(LintChanged, CallEdgePartnersJoinTheNeighborhood) {
+  dbk_lint::LintOptions opts;
+  opts.changed_files = {"src/core/a.cpp"};
+  const auto result = run_tree(
+      {{"src/core/a.cpp", "void core_helper() {}\n"},
+       {"src/optim/caller.cpp",
+        "void step_opt() {\n  core_helper();\n  std::mutex mu;\n}\n"},
+       {"src/nn/far.cpp", "void far() {\n  std::thread t;\n}\n"}},
+      empty_allow(), opts);
+  const auto r1 = findings_for(result.findings, "R1");
+  ASSERT_EQ(r1.size(), 1U);
+  EXPECT_EQ(r1[0].file, "src/optim/caller.cpp");
+  EXPECT_EQ(result.files_linted, 2);
+}
+
+TEST(LintChanged, StalenessAuditIsDisabledWhenScoped) {
+  dbk_lint::LintOptions opts;
+  opts.audit_suppressions = true;
+  opts.changed_files = {"src/core/x.cpp"};
+  const auto allow = parse_allow("R1 src/serve/elsewhere.cpp queue lock\n");
+  const auto result =
+      run_tree({{"src/core/x.cpp", "int answer() { return 42; }\n"}}, allow,
+               opts);
+  EXPECT_TRUE(findings_for(result.findings, "S1").empty());
+}
+
+// ---------------------------------------------------------------------------
+// SARIF output
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> sarif_fixture_findings() {
+  std::vector<Finding> fs;
+  Finding a;
+  a.rule = "R3";
+  a.file = "src/core/x.cpp";
+  a.line = 3;
+  a.message = "nondeterminism source (std::rand)";
+  fs.push_back(a);
+  Finding b;
+  b.rule = "R1";
+  b.file = "src/serve/y.cpp";
+  b.line = 7;
+  b.message = "raw threading primitive std::mutex";
+  b.suppressed = true;
+  b.suppress_reason = "inline: slot registry lock";
+  fs.push_back(b);
+  Finding c;
+  c.rule = "S1";
+  c.file = "tools/dbk_lint.rules";
+  c.line = 12;
+  c.message = "stale allowlist entry";
+  c.warning = true;
+  fs.push_back(c);
+  return fs;
+}
+
+TEST(LintSarif, GoldenBytes) {
+  const std::string golden = R"gold({
+  "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "dbk_lint",
+          "informationUri": "docs/STATIC_ANALYSIS.md",
+          "rules": [
+            {"id": "R1", "shortDescription": {"text": "raw threading primitives outside util::ThreadPool"}},
+            {"id": "R2", "shortDescription": {"text": "raw file writes bypassing util::atomic_write_file"}},
+            {"id": "R3", "shortDescription": {"text": "ambient nondeterminism (wall clock / random_device / rand)"}},
+            {"id": "R4", "shortDescription": {"text": "unordered-container iteration in serialization functions"}},
+            {"id": "R5", "shortDescription": {"text": "floating-point ==/!= against literals outside tests"}},
+            {"id": "R6", "shortDescription": {"text": "duplicate profile-scope labels / unregistered src .cpp"}},
+            {"id": "R7", "shortDescription": {"text": "vendor SIMD intrinsics outside src/simd/"}},
+            {"id": "R8", "shortDescription": {"text": "serving-layer thread discipline (detach / unbounded wait)"}},
+            {"id": "R9", "shortDescription": {"text": "raw monotonic-clock reads outside util::ClockSource"}},
+            {"id": "R10", "shortDescription": {"text": "tracked-set capacity mutation outside src/core/"}},
+            {"id": "R11", "shortDescription": {"text": "include-graph layering contract violation"}},
+            {"id": "R12", "shortDescription": {"text": "determinism taint reachable from serialization/kernel root"}},
+            {"id": "S1", "shortDescription": {"text": "stale suppression (matched no finding)"}}
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "R3",
+          "level": "error",
+          "message": {"text": "nondeterminism source (std::rand)"},
+          "locations": [{"physicalLocation": {"artifactLocation": {"uri": "src/core/x.cpp"}, "region": {"startLine": 3}}}]
+        },
+        {
+          "ruleId": "R1",
+          "level": "error",
+          "message": {"text": "raw threading primitive std::mutex"},
+          "locations": [{"physicalLocation": {"artifactLocation": {"uri": "src/serve/y.cpp"}, "region": {"startLine": 7}}}],
+          "suppressions": [{"kind": "inSource", "justification": "inline: slot registry lock"}]
+        },
+        {
+          "ruleId": "S1",
+          "level": "warning",
+          "message": {"text": "stale allowlist entry"},
+          "locations": [{"physicalLocation": {"artifactLocation": {"uri": "tools/dbk_lint.rules"}, "region": {"startLine": 12}}}]
+        }
+      ]
+    }
+  ]
+}
+)gold";
+  EXPECT_EQ(dbk_lint::sarif_report(sarif_fixture_findings()), golden);
+}
+
+TEST(LintSarif, RoundTripVerifies) {
+  const auto findings = sarif_fixture_findings();
+  const std::string sarif = dbk_lint::sarif_report(findings);
+  const auto v = dbk_lint::verify_sarif(sarif, findings);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.expected, v.emitted);
+  EXPECT_EQ(v.emitted.at("R3"), 1);
+}
+
+TEST(LintSarif, EmptyFindingsStillValidate) {
+  const std::vector<Finding> none;
+  const auto v = dbk_lint::verify_sarif(dbk_lint::sarif_report(none), none);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(LintSarif, TamperedCountsFailVerificationWithPerRuleCounts) {
+  const auto findings = sarif_fixture_findings();
+  std::string sarif = dbk_lint::sarif_report(findings);
+  // A serializer bug that swaps a rule id: counts no longer match.
+  const std::string from = "\"ruleId\": \"R3\"";
+  const std::string to = "\"ruleId\": \"R4\"";
+  sarif.replace(sarif.find(from), from.size(), to);
+  const auto v = dbk_lint::verify_sarif(sarif, findings);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.expected.at("R3"), 1);
+  EXPECT_EQ(v.emitted.count("R3"), 0U);
+  EXPECT_EQ(v.emitted.at("R4"), 1);
+}
+
+TEST(LintSarif, TruncatedDocumentFailsVerification) {
+  const auto findings = sarif_fixture_findings();
+  const std::string sarif = dbk_lint::sarif_report(findings);
+  const auto v =
+      dbk_lint::verify_sarif(sarif.substr(0, sarif.size() / 2), findings);
+  EXPECT_FALSE(v.ok);
+  EXPECT_FALSE(v.error.empty());
+}
+
+TEST(LintSarif, WrongToolNameFailsVerification) {
+  const auto findings = sarif_fixture_findings();
+  std::string sarif = dbk_lint::sarif_report(findings);
+  const std::string from = "\"name\": \"dbk_lint\"";
+  const std::string to = "\"name\": \"other_tool\"";
+  sarif.replace(sarif.find(from), from.size(), to);
+  const auto v = dbk_lint::verify_sarif(sarif, findings);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("dbk_lint"), std::string::npos);
 }
 
 }  // namespace

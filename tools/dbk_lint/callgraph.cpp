@@ -1,0 +1,238 @@
+#include "dbk_lint/callgraph.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace dbk_lint {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool serialization_name(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return starts_with(lower, "save") || starts_with(lower, "load") ||
+         lower.find("checkpoint") != std::string::npos ||
+         lower.find("serialize") != std::string::npos;
+}
+
+bool kernel_file(const std::string& relpath) {
+  return starts_with(relpath, "src/simd/") ||
+         starts_with(relpath, "src/tensor/");
+}
+
+std::string loc(const CallGraphNode& n) {
+  return n.file + ":" + std::to_string(n.line);
+}
+
+}  // namespace
+
+CallGraph CallGraph::build(const std::vector<FileModel>& models) {
+  CallGraph g;
+  for (const auto& m : models) {
+    if (!starts_with(m.relpath, "src/")) continue;
+    for (const auto& fn : m.functions) {
+      CallGraphNode n;
+      n.file = m.relpath;
+      n.name = fn.name;
+      n.line = fn.line;
+      n.calls = fn.calls;
+      n.nondet_line = fn.nondet_line;
+      n.nondet_token = fn.nondet_token;
+      n.unordered_line = fn.unordered_line;
+      n.unordered_via = fn.unordered_via;
+      g.nodes_.push_back(std::move(n));
+    }
+  }
+  std::sort(g.nodes_.begin(), g.nodes_.end(),
+            [](const CallGraphNode& a, const CallGraphNode& b) {
+              return a.file != b.file ? a.file < b.file : a.line < b.line;
+            });
+
+  std::map<std::string, std::vector<int>> index;
+  for (std::size_t i = 0; i < g.nodes_.size(); ++i) {
+    index[g.nodes_[i].name].push_back(static_cast<int>(i));
+  }
+  g.name_index_.assign(index.begin(), index.end());
+
+  g.by_name_edges_.resize(g.nodes_.size());
+  for (std::size_t i = 0; i < g.nodes_.size(); ++i) {
+    std::set<int> seen;
+    for (const auto& call : g.nodes_[i].calls) {
+      for (int callee : g.resolve(call.name)) {
+        // Self-edges carry no reachability information (a tainted recursive
+        // function is already its own lexical finding).
+        if (callee == static_cast<int>(i)) continue;
+        if (seen.insert(callee).second) {
+          g.by_name_edges_[i].push_back(callee);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<int> CallGraph::resolve(const std::string& name) const {
+  auto it = std::lower_bound(
+      name_index_.begin(), name_index_.end(), name,
+      [](const std::pair<std::string, std::vector<int>>& entry,
+         const std::string& key) { return entry.first < key; });
+  if (it == name_index_.end() || it->first != name) return {};
+  return it->second;
+}
+
+std::vector<std::string> CallGraph::call_neighbors(
+    const std::vector<std::string>& files) const {
+  const std::set<std::string> seeds(files.begin(), files.end());
+  std::set<std::string> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const std::string& from = nodes_[i].file;
+    for (int callee : by_name_edges_[i]) {
+      const std::string& to = nodes_[static_cast<std::size_t>(callee)].file;
+      if (seeds.count(from)) out.insert(to);
+      if (seeds.count(to)) out.insert(from);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<Finding> check_reachability(const CallGraph& graph) {
+  const auto& nodes = graph.nodes_;
+  const auto& edges = graph.by_name_edges_;
+  const int n = static_cast<int>(nodes.size());
+
+  // Reverse adjacency, shared by both taint kinds.
+  std::vector<std::vector<int>> rev(static_cast<std::size_t>(n));
+  for (int u = 0; u < n; ++u) {
+    for (int v : edges[static_cast<std::size_t>(u)]) {
+      rev[static_cast<std::size_t>(v)].push_back(u);
+    }
+  }
+
+  struct Kind {
+    const char* label;     // what the chain reaches
+    const char* contract;  // the rule the root inherits + the fix
+  };
+  const Kind kinds[2] = {
+      {"ambient-nondeterminism source",
+       "inherits R3 (bitwise reproducibility); plumb rng::Xorshift or an "
+       "injected clock through the chain instead"},
+      {"unordered-container iteration",
+       "inherits R4 (stable iteration order); sort the keys or use std::map "
+       "anywhere on this chain"},
+  };
+
+  std::vector<Finding> findings;
+  for (int kind = 0; kind < 2; ++kind) {
+    auto tainted = [&](int i) {
+      const CallGraphNode& nd = nodes[static_cast<std::size_t>(i)];
+      return kind == 0 ? nd.nondet_line != 0 : nd.unordered_line != 0;
+    };
+
+    // Reverse BFS from every source: can_reach[u] ⇔ some tainted node is
+    // forward-reachable from u. Roots then pay a forward BFS only when
+    // actually flagged, so the common all-clean tree stays O(V+E).
+    std::vector<char> can_reach(static_cast<std::size_t>(n), 0);
+    std::deque<int> queue;
+    for (int i = 0; i < n; ++i) {
+      if (tainted(i)) {
+        can_reach[static_cast<std::size_t>(i)] = 1;
+        queue.push_back(i);
+      }
+    }
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop_front();
+      for (int u : rev[static_cast<std::size_t>(v)]) {
+        if (!can_reach[static_cast<std::size_t>(u)]) {
+          can_reach[static_cast<std::size_t>(u)] = 1;
+          queue.push_back(u);
+        }
+      }
+    }
+
+    for (int root = 0; root < n; ++root) {
+      const CallGraphNode& r = nodes[static_cast<std::size_t>(root)];
+      const bool is_ser = serialization_name(r.name);
+      const bool is_kernel = kernel_file(r.file);
+      if (!is_ser && !is_kernel) continue;
+      if (!can_reach[static_cast<std::size_t>(root)]) continue;
+
+      // Shortest chain root -> ... -> source. The root's own lexical taint
+      // is R3/R4's business — R12 exists for what the per-line rules cannot
+      // see, so the chain must leave the root.
+      std::vector<int> parent(static_cast<std::size_t>(n), -1);
+      std::vector<char> visited(static_cast<std::size_t>(n), 0);
+      visited[static_cast<std::size_t>(root)] = 1;
+      std::deque<int> bfs{root};
+      int hit = -1;
+      while (!bfs.empty() && hit < 0) {
+        const int u = bfs.front();
+        bfs.pop_front();
+        if (u != root && tainted(u)) {
+          hit = u;
+          break;
+        }
+        for (int v : edges[static_cast<std::size_t>(u)]) {
+          if (!visited[static_cast<std::size_t>(v)]) {
+            visited[static_cast<std::size_t>(v)] = 1;
+            parent[static_cast<std::size_t>(v)] = u;
+            bfs.push_back(v);
+          }
+        }
+      }
+      if (hit < 0) continue;  // only its own lexical taint was reachable
+
+      std::vector<int> chain;
+      for (int v = hit; v != -1; v = parent[static_cast<std::size_t>(v)]) {
+        chain.push_back(v);
+      }
+      std::reverse(chain.begin(), chain.end());
+      std::string chain_text;
+      for (int v : chain) {
+        const CallGraphNode& nd = nodes[static_cast<std::size_t>(v)];
+        if (!chain_text.empty()) chain_text += " -> ";
+        chain_text += nd.name + " (" + loc(nd) + ")";
+      }
+      const CallGraphNode& src = nodes[static_cast<std::size_t>(hit)];
+      const std::string at =
+          kind == 0 ? "'" + src.nondet_token + "' at " + src.file + ":" +
+                          std::to_string(src.nondet_line)
+                    : "iterates " + src.unordered_via + " at " + src.file +
+                          ":" + std::to_string(src.unordered_line);
+
+      Finding f;
+      f.rule = "R12";
+      f.file = r.file;
+      f.line = r.line;
+      f.message = std::string(is_ser ? "serialization function '"
+                                     : "kernel entry point '") +
+                  r.name + "' reaches " + kinds[kind].label +
+                  " — call chain: " + chain_text + "; " + at +
+                  ". Everything reachable from a save/load/checkpoint root "
+                  "or kernel entry point " +
+                  kinds[kind].contract;
+      findings.push_back(std::move(f));
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.message < b.message;
+            });
+  return findings;
+}
+
+}  // namespace dbk_lint

@@ -1,0 +1,85 @@
+// dbk_lint phase two, part two: the approximate whole-program call graph
+// and the R12 interprocedural determinism-reachability pass.
+//
+// Phase one's brace-depth tracker gives every file a list of function
+// definitions with their `ident(` call sites (comments/strings scrubbed,
+// keywords filtered). Calls resolve by name against every function defined
+// under src/ — deliberately over-approximate: a name with several
+// definitions links to all of them, so the pass can miss nothing it claims
+// to check (the cost is triage of the occasional false chain, which the
+// printed call chain makes cheap).
+//
+// Taints (recorded lexically per function in phase one):
+//   * nondet    — an R3-class token (std::rand, random_device, system_clock,
+//                 time(), ...) in the body. Functions in R3-whitelisted
+//                 files (util/log, util/timer) are not sources, and a source
+//                 whose line carries an inline R3/R12 suppression is
+//                 reviewed-and-deliberate and does not propagate.
+//   * unordered — iteration over an unordered container in the body (R4
+//                 generalized: ANY function, not just serialization-named
+//                 ones; the line-level R4 still owns the lexical case).
+//
+// Roots that must not reach a taint:
+//   * serialization roots: functions whose name starts with save/load or
+//     contains checkpoint/serialize, defined under src/;
+//   * kernel entry points: functions defined under src/simd/ or src/tensor/
+//     (the compute kernels every training step replays — a nondeterministic
+//     kernel breaks bitwise reproducibility the same way a nondeterministic
+//     serializer breaks artifact bytes).
+//
+// One finding per (root, taint kind), anchored at the root's definition
+// line, printing the shortest call chain root -> ... -> source with the
+// tainted file:line and token.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dbk_lint/lint.hpp"
+
+namespace dbk_lint {
+
+/// A function definition in the whole-program index.
+struct CallGraphNode {
+  std::string file;   ///< root-relative path
+  std::string name;
+  int line = 0;       ///< definition anchor
+  std::vector<CallSite> calls;
+  // Taint sources (0 = clean). Only set for propagating sources — phase
+  // two drops sources that are whitelisted or inline-suppressed.
+  int nondet_line = 0;
+  std::string nondet_token;
+  int unordered_line = 0;
+  std::string unordered_via;
+};
+
+class CallGraph {
+ public:
+  /// Indexes every function defined under src/ by name. Files outside src/
+  /// (tests, examples, bench) are consumers, not part of the reachability
+  /// domain.
+  static CallGraph build(const std::vector<FileModel>& models);
+
+  const std::vector<CallGraphNode>& nodes() const { return nodes_; }
+
+  /// Indices of the functions named `name`, in deterministic (file, line)
+  /// order. Empty if nothing under src/ defines it.
+  std::vector<int> resolve(const std::string& name) const;
+
+  /// Files containing a function that directly calls into — or is directly
+  /// called from — a function defined in one of `files`. Used to extend the
+  /// --changed neighborhood across call edges.
+  std::vector<std::string> call_neighbors(
+      const std::vector<std::string>& files) const;
+
+ private:
+  std::vector<CallGraphNode> nodes_;
+  std::vector<std::vector<int>> by_name_edges_;  // node -> callee node ids
+  std::vector<std::pair<std::string, std::vector<int>>> name_index_;
+  friend std::vector<Finding> check_reachability(const CallGraph&);
+};
+
+/// The R12 pass. Suppressions are not applied here (lint_files owns that).
+std::vector<Finding> check_reachability(const CallGraph& graph);
+
+}  // namespace dbk_lint

@@ -1,0 +1,386 @@
+#include "dbk_lint/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+namespace dbk_lint {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string dirname_of(const std::string& relpath) {
+  const std::size_t slash = relpath.find_last_of('/');
+  return slash == std::string::npos ? std::string() : relpath.substr(0, slash);
+}
+
+// The one declared home of the layering table. Adding a subsystem means
+// adding a row here AND to the diagram in docs/STATIC_ANALYSIS.md.
+const std::map<std::string, int>& layer_table() {
+  static const std::map<std::string, int> layers = {
+      {"util", 0},
+      {"obs", 1},  // includable from anywhere; may include only util
+      {"rng", 1},
+      {"tensor", 1},
+      {"energy", 1},
+      {"simd", 1},  // facade: reachable only via dispatch.hpp/kernels.hpp
+      {"core", 2},
+      {"optim", 2},
+      {"nn", 2},
+      {"autograd", 2},
+      {"data", 3},
+      {"train", 3},
+      {"inference", 3},
+      {"serve", 3},
+      {"quant", 3},
+      {"baselines", 3},
+      {"analysis", 3},
+  };
+  return layers;
+}
+
+// The simd dispatch facade: the only simd/ headers a non-simd file may
+// include (docs/SIMD.md — call sites use simd::kernels(), never backends).
+bool is_simd_facade(const std::string& target) {
+  return target == "src/simd/dispatch.hpp" || target == "src/simd/kernels.hpp";
+}
+
+std::string edge_str(const IncludeEdge& e) {
+  return e.from + ":" + std::to_string(e.line) + " -> " + e.to;
+}
+
+Finding make_finding(const IncludeEdge& e, const std::string& message) {
+  Finding f;
+  f.rule = "R11";
+  f.file = e.from;
+  f.line = e.line;
+  f.message = message;
+  return f;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IncludeGraph
+// ---------------------------------------------------------------------------
+
+IncludeGraph IncludeGraph::build(const std::vector<FileModel>& models) {
+  std::set<std::string> known;
+  for (const auto& m : models) known.insert(m.relpath);
+
+  IncludeGraph g;
+  for (const auto& m : models) {
+    const std::string dir = dirname_of(m.relpath);
+    for (const auto& inc : m.includes) {
+      // Resolve like the compiler resolves quoted includes: the including
+      // file's own directory first (so same-basename headers in different
+      // subsystems land on the nearest one), then the project include root
+      // (src/), then tools/ (dbk_lint's own headers in its unit tests).
+      std::string resolved;
+      for (const std::string& cand :
+           {dir.empty() ? inc.target : dir + "/" + inc.target,
+            "src/" + inc.target, "tools/" + inc.target}) {
+        if (known.count(cand)) {
+          resolved = cand;
+          break;
+        }
+      }
+      if (resolved.empty() || resolved == m.relpath) continue;
+      g.edges_.push_back(IncludeEdge{m.relpath, inc.line, resolved});
+      g.fwd_[m.relpath].insert(resolved);
+      g.rev_[resolved].insert(m.relpath);
+    }
+  }
+  return g;
+}
+
+const std::set<std::string>& IncludeGraph::targets_of(
+    const std::string& file) const {
+  static const std::set<std::string> empty;
+  auto it = fwd_.find(file);
+  return it == fwd_.end() ? empty : it->second;
+}
+
+std::string IncludeGraph::subsystem_of(const std::string& relpath) {
+  if (!starts_with(relpath, "src/")) return "";
+  const std::string rest = relpath.substr(4);
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string::npos) return "<umbrella>";
+  return rest.substr(0, slash);
+}
+
+int IncludeGraph::layer_of(const std::string& subsystem) {
+  if (subsystem == "<umbrella>") return 99;
+  auto it = layer_table().find(subsystem);
+  return it == layer_table().end() ? -1 : it->second;
+}
+
+std::set<std::string> IncludeGraph::neighborhood(
+    const std::set<std::string>& seeds) const {
+  std::set<std::string> out = seeds;
+  // Directed closure both ways: everything a seed transitively includes
+  // (its meaning depends on them) and everything transitively including a
+  // seed (they depend on its meaning).
+  for (const auto* dir : {&fwd_, &rev_}) {
+    std::deque<std::string> queue(seeds.begin(), seeds.end());
+    std::set<std::string> seen = seeds;
+    while (!queue.empty()) {
+      const std::string cur = queue.front();
+      queue.pop_front();
+      auto it = dir->find(cur);
+      if (it == dir->end()) continue;
+      for (const auto& next : it->second) {
+        if (seen.insert(next).second) {
+          out.insert(next);
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// R11
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Shortest file-level include path from `from` to `to` (inclusive), BFS.
+std::vector<std::string> shortest_path(
+    const std::map<std::string, std::set<std::string>>& fwd,
+    const std::string& from, const std::string& to) {
+  std::map<std::string, std::string> parent;
+  std::deque<std::string> queue{from};
+  parent[from] = from;
+  while (!queue.empty()) {
+    const std::string cur = queue.front();
+    queue.pop_front();
+    if (cur == to) break;
+    auto it = fwd.find(cur);
+    if (it == fwd.end()) continue;
+    for (const auto& next : it->second) {
+      if (parent.emplace(next, cur).second) queue.push_back(next);
+    }
+  }
+  std::vector<std::string> path;
+  if (!parent.count(to)) return path;
+  for (std::string cur = to;; cur = parent[cur]) {
+    path.push_back(cur);
+    if (cur == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string join_path(const std::vector<std::string>& path) {
+  std::string out;
+  for (const auto& p : path) {
+    if (!out.empty()) out += " -> ";
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> check_layering(const IncludeGraph& graph) {
+  std::vector<Finding> findings;
+
+  // Per-edge contract checks over src-internal edges. Edges that pass — and
+  // only those — feed the subsystem cycle detector, so an upward edge is
+  // reported exactly once (as an upward edge, not again as a cycle).
+  std::map<std::string, std::set<std::string>> sub_fwd;
+  std::map<std::pair<std::string, std::string>, const IncludeEdge*> witness;
+  std::map<std::string, std::set<std::string>> file_fwd;
+  std::set<std::string> unknown_reported;
+
+  for (const auto& e : graph.edges()) {
+    const std::string from_sub = IncludeGraph::subsystem_of(e.from);
+    const std::string to_sub = IncludeGraph::subsystem_of(e.to);
+    if (from_sub.empty() || to_sub.empty()) continue;  // src-internal only
+    file_fwd[e.from].insert(e.to);
+
+    for (const auto& sub : {from_sub, to_sub}) {
+      if (IncludeGraph::layer_of(sub) < 0 && unknown_reported.insert(sub).second) {
+        findings.push_back(make_finding(
+            e, "subsystem 'src/" + sub +
+                   "/' is not in the declared layering contract — add it to "
+                   "the layer table in tools/dbk_lint/graph.cpp and to the "
+                   "DAG in docs/STATIC_ANALYSIS.md (witness edge " +
+                   edge_str(e) + ")"));
+      }
+    }
+    const int from_layer = IncludeGraph::layer_of(from_sub);
+    const int to_layer = IncludeGraph::layer_of(to_sub);
+    if (from_layer < 0 || to_layer < 0) continue;
+
+    if (from_sub == to_sub) continue;
+
+    // simd facade: callers see dispatch.hpp/kernels.hpp only; simd itself
+    // stays at the bottom of the kernel stack (util + rng).
+    if (to_sub == "simd") {
+      if (!is_simd_facade(e.to)) {
+        findings.push_back(make_finding(
+            e, "include of simd backend internal '" + e.to +
+                   "' — src/simd/ is reachable only through its dispatch "
+                   "facade (simd/dispatch.hpp, simd/kernels.hpp); call sites "
+                   "use simd::kernels() (docs/SIMD.md)"));
+      }
+      continue;
+    }
+    if (from_sub == "simd") {
+      if (to_sub != "util" && to_sub != "rng") {
+        findings.push_back(make_finding(
+            e, "simd includes '" + e.to +
+                   "' — the kernel layer may include only util/ and rng/ so "
+                   "every backend stays portable and scalar-verifiable"));
+      }
+      continue;
+    }
+
+    // obs: cross-cutting telemetry — includable from any higher layer, but
+    // it may itself include nothing above util.
+    if (from_sub == "obs") {
+      if (to_sub != "util") {
+        findings.push_back(make_finding(
+            e, "obs includes '" + e.to +
+                   "' — telemetry must stay includable from every layer, so "
+                   "obs may include nothing above util "
+                   "(docs/STATIC_ANALYSIS.md)"));
+      }
+      continue;
+    }
+    if (to_sub == "obs" && from_layer >= 1) {
+      sub_fwd[from_sub].insert(to_sub);
+      witness.emplace(std::make_pair(from_sub, to_sub), &e);
+      continue;
+    }
+
+    if (from_layer < to_layer) {
+      findings.push_back(make_finding(
+          e, "upward include edge " + edge_str(e) + " — '" + from_sub +
+                 "' (layer " + std::to_string(from_layer) +
+                 ") must not include '" + to_sub + "' (layer " +
+                 std::to_string(to_layer) +
+                 "); the layering DAG is declared in tools/dbk_lint/graph.cpp "
+                 "(docs/STATIC_ANALYSIS.md)"));
+      continue;
+    }
+    sub_fwd[from_sub].insert(to_sub);
+    witness.emplace(std::make_pair(from_sub, to_sub), &e);
+  }
+
+  // File-level include cycles: DFS with colors; report each cycle once, at
+  // the lexicographically-smallest participating file for determinism.
+  {
+    std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+    std::vector<std::string> stack;
+    std::set<std::string> reported;
+    std::function<void(const std::string&)> dfs = [&](const std::string& f) {
+      color[f] = 1;
+      stack.push_back(f);
+      auto it = file_fwd.find(f);
+      if (it != file_fwd.end()) {
+        for (const auto& next : it->second) {
+          if (color[next] == 1) {
+            // Found a back edge: the cycle is stack[pos(next)..] + next.
+            auto pos = std::find(stack.begin(), stack.end(), next);
+            std::vector<std::string> cycle(pos, stack.end());
+            cycle.push_back(next);
+            const std::string anchor =
+                *std::min_element(cycle.begin(), cycle.end() - 1);
+            if (reported.insert(anchor).second) {
+              Finding fnd;
+              fnd.rule = "R11";
+              fnd.file = anchor;
+              fnd.line = 1;
+              fnd.message =
+                  "#include cycle: " + join_path(cycle) +
+                  " — header cycles make the layering unenforceable and "
+                  "break single-pass compilation; split the shared piece "
+                  "into a lower layer";
+              findings.push_back(std::move(fnd));
+            }
+          } else if (color[next] == 0) {
+            dfs(next);
+          }
+        }
+      }
+      stack.pop_back();
+      color[f] = 2;
+    };
+    for (const auto& [f, _] : file_fwd) {
+      if (color[f] == 0) dfs(f);
+    }
+  }
+
+  // Subsystem-level cycles among individually-legal edges (same-layer
+  // sideways edges are where these can arise). Report once per cycle with
+  // the shortest violating file path through the witness edges.
+  {
+    std::map<std::string, int> color;
+    std::vector<std::string> stack;
+    std::set<std::string> reported;
+    std::function<void(const std::string&)> dfs = [&](const std::string& s) {
+      color[s] = 1;
+      stack.push_back(s);
+      auto it = sub_fwd.find(s);
+      if (it != sub_fwd.end()) {
+        for (const auto& next : it->second) {
+          if (color[next] == 1) {
+            auto pos = std::find(stack.begin(), stack.end(), next);
+            std::vector<std::string> cycle(pos, stack.end());
+            cycle.push_back(next);
+            const std::string anchor =
+                *std::min_element(cycle.begin(), cycle.end() - 1);
+            if (reported.insert(anchor).second) {
+              // The edge closing the cycle, for the anchor diagnostic.
+              const IncludeEdge* e =
+                  witness.at(std::make_pair(cycle[cycle.size() - 2],
+                                            cycle.back()));
+              // Shortest file-level path realizing the subsystem cycle:
+              // from the witness edge's target back around to its source.
+              std::map<std::string, std::set<std::string>> fwd;
+              for (const auto& [k, v] : witness) {
+                fwd[v->from].insert(v->to);
+              }
+              const auto path = shortest_path(fwd, e->to, e->from);
+              std::string msg =
+                  "subsystem include cycle " + join_path(cycle) +
+                  " (closing edge " + edge_str(*e) + ")";
+              if (!path.empty()) {
+                msg += "; shortest violating path: " + join_path(path) +
+                       " -> " + e->to;
+              }
+              msg +=
+                  " — same-layer subsystems may include each other only "
+                  "acyclically (docs/STATIC_ANALYSIS.md)";
+              findings.push_back(make_finding(*e, msg));
+            }
+          } else if (color[next] == 0) {
+            dfs(next);
+          }
+        }
+      }
+      stack.pop_back();
+      color[s] = 2;
+    };
+    for (const auto& [s, _] : sub_fwd) {
+      if (color[s] == 0) dfs(s);
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.message) <
+                     std::tie(b.file, b.line, b.message);
+            });
+  return findings;
+}
+
+}  // namespace dbk_lint

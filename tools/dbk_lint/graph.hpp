@@ -1,0 +1,91 @@
+// dbk_lint phase two, part one: the repo-wide #include graph and the R11
+// layering contract.
+//
+// The graph is built from the IncludeRefs phase one extracted (one pass over
+// scrubbed tokens — a directive inside a comment or raw string never makes
+// an edge). Quoted includes resolve like the build does: against src/ first
+// (the project include root), then against the including file's directory.
+// Unresolved targets (system headers spelled with quotes, generated files)
+// simply make no edge.
+//
+// The layering contract (docs/STATIC_ANALYSIS.md has the diagram):
+//
+//   layer 3   data  train  inference  serve  quant  baselines  analysis
+//   layer 2   core  optim  nn  autograd
+//   layer 1   obs   rng   tensor   energy        [simd: facade, see below]
+//   layer 0   util
+//
+//   * an include edge may point downward (higher layer -> lower layer) or
+//     sideways (same layer), never upward;
+//   * sideways edges are legal only while the subsystem graph stays acyclic
+//     — a cycle among same-layer subsystems is reported with the shortest
+//     violating path (one witness file:line per hop);
+//   * obs is includable from every subsystem (telemetry is cross-cutting)
+//     but may itself include nothing above util;
+//   * simd is reachable only through its dispatch facade — non-simd files
+//     may include simd/dispatch.hpp and simd/kernels.hpp, never the backend
+//     internals (vec.hpp, kernels_impl.hpp, per-target TUs); simd itself
+//     may include only util and rng;
+//   * src/dropback.hpp (the umbrella header) sits above every layer;
+//   * a subsystem directory not declared in the table is itself a finding —
+//     new subsystems must declare a layer here and in the docs;
+//   * file-level #include cycles are always findings, reported once per
+//     cycle with the full path.
+//
+// R11 applies to src/ only: tests, examples, and bench are consumers and may
+// include anything.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dbk_lint/lint.hpp"
+
+namespace dbk_lint {
+
+/// A resolved file-level include edge.
+struct IncludeEdge {
+  std::string from;  ///< root-relative path of the including file
+  int line = 0;      ///< line of the #include directive
+  std::string to;    ///< root-relative path of the resolved target
+};
+
+class IncludeGraph {
+ public:
+  /// Builds the resolved edge list from phase-one models. Only files present
+  /// in `models` can be edge targets.
+  static IncludeGraph build(const std::vector<FileModel>& models);
+
+  const std::vector<IncludeEdge>& edges() const { return edges_; }
+
+  /// Outgoing resolved targets of `file` (empty set if none).
+  const std::set<std::string>& targets_of(const std::string& file) const;
+
+  /// The subsystem of a root-relative path: "util" for src/util/...,
+  /// "<umbrella>" for files directly under src/, "" for non-src files.
+  static std::string subsystem_of(const std::string& relpath);
+
+  /// Declared layer of a subsystem, or -1 if the subsystem is not in the
+  /// contract ("<umbrella>" maps to a layer above everything).
+  static int layer_of(const std::string& subsystem);
+
+  /// Files in the strongly-connected include neighborhood of `seeds`:
+  /// the seeds plus every transitive includer (dependents) and every
+  /// transitive includee (dependencies). Used by --changed.
+  std::set<std::string> neighborhood(
+      const std::set<std::string>& seeds) const;
+
+ private:
+  std::vector<IncludeEdge> edges_;
+  std::map<std::string, std::set<std::string>> fwd_;  // from -> targets
+  std::map<std::string, std::set<std::string>> rev_;  // to -> includers
+};
+
+/// The R11 pass: checks every src-internal edge against the layering
+/// contract and runs file-level + subsystem-level cycle detection.
+/// Suppressions are not applied here (lint_files owns that).
+std::vector<Finding> check_layering(const IncludeGraph& graph);
+
+}  // namespace dbk_lint

@@ -10,7 +10,9 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "obs/json.hpp"
+#include "dbk_lint/callgraph.hpp"
+#include "dbk_lint/graph.hpp"
+#include "util/json.hpp"
 
 namespace dbk_lint {
 
@@ -47,7 +49,9 @@ std::vector<std::string> split_lines(const std::string& text) {
 // Scrubbing: blank out comments, string literals, and char literals so rule
 // regexes only ever see code tokens. Same length as the input (newlines are
 // preserved), so line/column positions survive. Comment text is captured
-// per line for the inline-suppression directives.
+// per line for the inline-suppression directives. This is THE one pass over
+// raw bytes — everything downstream (line rules, include graph, call graph)
+// works off the scrubbed lines it produces.
 // ---------------------------------------------------------------------------
 
 struct Scrubbed {
@@ -174,52 +178,38 @@ Scrubbed scrub(const std::string& src) {
 // ---------------------------------------------------------------------------
 // Inline suppression directives: `dbk-lint: allow(R1,R5): reason` inside a
 // comment. A directive on a line with code suppresses that line; a directive
-// on a comment-only line suppresses the next line as well.
+// on a comment-only line suppresses the next line as well. Directives in
+// raw strings never register (raw-string content is scrubbed, not noted as
+// comment text).
 // ---------------------------------------------------------------------------
 
-struct InlineAllow {
-  // line (1-based) -> rule -> reason
-  std::map<int, std::map<std::string, std::string>> by_line;
-
-  const std::string* find(int line, const std::string& rule) const {
-    auto it = by_line.find(line);
-    if (it == by_line.end()) return nullptr;
-    auto jt = it->second.find(rule);
-    if (jt == it->second.end()) jt = it->second.find("*");
-    if (jt == it->second.end()) return nullptr;
-    return &jt->second;
-  }
-};
-
-InlineAllow parse_inline_allows(const Scrubbed& s,
-                                const std::vector<std::string>& code_lines) {
+void parse_inline_allows(const Scrubbed& s,
+                         const std::vector<std::string>& code_lines,
+                         FileModel* model) {
   static const std::regex kDirective(
       R"(dbk-lint:\s*allow\(\s*([A-Za-z0-9*,\s]+?)\s*\)\s*:?\s*(.*))");
-  InlineAllow result;
   for (std::size_t i = 0; i < s.comments.size(); ++i) {
     std::smatch m;
     if (!std::regex_search(s.comments[i], m, kDirective)) continue;
-    const std::string reason =
-        trim(m[2].str()).empty() ? "inline allow" : trim(m[2].str());
-    std::vector<std::string> rules;
+    InlineDirective d;
+    d.line = static_cast<int>(i) + 1;
+    d.reason = trim(m[2].str()).empty() ? "inline allow" : trim(m[2].str());
     std::string token;
     for (char c : m[1].str() + ",") {
       if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
-        if (!token.empty()) rules.push_back(token);
+        if (!token.empty()) d.rules.push_back(token);
         token.clear();
       } else {
         token += c;
       }
     }
-    const int line = static_cast<int>(i) + 1;
     const bool comment_only =
         i < code_lines.size() && trim(code_lines[i]).empty();
-    for (const auto& r : rules) {
-      result.by_line[line][r] = reason;
-      if (comment_only) result.by_line[line + 1][r] = reason;
-    }
+    const int index = static_cast<int>(model->directives.size());
+    model->allow_by_line[d.line].push_back(index);
+    if (comment_only) model->allow_by_line[d.line + 1].push_back(index);
+    model->directives.push_back(std::move(d));
   }
-  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -272,8 +262,14 @@ struct Scope {
 
 struct FunctionInfo {
   std::string name;
+  int line = 0;                                 // definition anchor
   std::map<std::string, int> profile_labels;    // label -> first line (R6)
-  std::vector<std::string> unordered_vars;      // declared names (R4)
+  std::vector<std::string> unordered_vars;      // declared names (R4/R12)
+  std::vector<CallSite> calls;                  // for the call graph
+  int nondet_line = 0;                          // R12 taints
+  std::string nondet_token;
+  int unordered_line = 0;
+  std::string unordered_via;
 };
 
 class FunctionTracker {
@@ -281,7 +277,7 @@ class FunctionTracker {
   // Feeds one scrubbed line; returns the id of the innermost function this
   // line belongs to (-1 at namespace/class scope). A function opening on
   // this line claims the line.
-  int feed_line(const std::string& scrubbed_line) {
+  int feed_line(const std::string& scrubbed_line, int line_no) {
     int line_func = current_function_id();
     for (char c : scrubbed_line) {
       if (c == '{') {
@@ -289,7 +285,9 @@ class FunctionTracker {
         if (current_function_id() < 0 && stmt_opens_function(stmt_)) {
           s.is_function = true;
           s.func_id = next_id_++;
+          order_.push_back(s.func_id);
           functions_[s.func_id].name = function_name_from_stmt(stmt_);
+          functions_[s.func_id].line = line_no;
         } else {
           s.func_id = current_function_id();
         }
@@ -317,10 +315,14 @@ class FunctionTracker {
 
   FunctionInfo& info(int id) { return functions_[id]; }
 
+  // Definition order, for the deterministic FileModel function list.
+  const std::vector<int>& order() const { return order_; }
+
  private:
   std::vector<Scope> stack_;
   std::string stmt_;
   std::map<int, FunctionInfo> functions_;
+  std::vector<int> order_;
   int next_id_ = 0;
 };
 
@@ -465,29 +467,37 @@ const std::regex& r10_regex() {
   return re;
 }
 
-struct RuleContext {
-  const std::string& relpath;
-  const InlineAllow& inline_allow;
-  const Allowlist& allow;
-  std::vector<Finding>& findings;
+// Quoted #include on a scrubbed line. The directive shape must survive
+// scrubbing (so `#include` spelled inside a raw string never counts); the
+// target itself is blanked with the string literal, so it is re-read from
+// the raw line's quotes.
+const std::regex& include_regex() {
+  static const std::regex re(R"(^\s*#\s*include\s)");
+  return re;
+}
 
-  void emit(const std::string& rule, int line, const std::string& message) {
-    Finding f;
-    f.rule = rule;
-    f.file = relpath;
-    f.line = line;
-    f.message = message;
-    if (const std::string* reason = inline_allow.find(line, rule)) {
-      f.suppressed = true;
-      f.suppress_reason = "inline: " + *reason;
-    } else if (const AllowEntry* e = allow.match(rule, relpath)) {
-      f.suppressed = true;
-      f.suppress_reason =
-          "allowlist: " + (e->reason.empty() ? e->path : e->reason);
-    }
-    findings.push_back(std::move(f));
+// Call sites for the approximate call graph: `ident(` with keywords
+// filtered. ALL_CAPS identifiers are macro conventions (DROPBACK_CHECK,
+// EXPECT_EQ) — they are not functions the tree defines, so they are
+// filtered here instead of polluting every node's edge list.
+bool looks_like_macro(const std::string& name) {
+  bool has_alpha = false;
+  for (char c : name) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isupper(static_cast<unsigned char>(c))) has_alpha = true;
   }
-};
+  return has_alpha;
+}
+
+void emit_line(std::vector<Finding>* findings, const std::string& relpath,
+               const std::string& rule, int line, const std::string& message) {
+  Finding f;
+  f.rule = rule;
+  f.file = relpath;
+  f.line = line;
+  f.message = message;
+  findings->push_back(std::move(f));
+}
 
 }  // namespace
 
@@ -497,7 +507,8 @@ struct RuleContext {
 
 bool Allowlist::parse(const std::string& text, std::string* error) {
   static const std::set<std::string> known = {
-      "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "*"};
+      "R1", "R2", "R3", "R4",  "R5",  "R6",  "R7",
+      "R8", "R9", "R10", "R11", "R12", "*"};
   int line_no = 0;
   for (const auto& raw : split_lines(text)) {
     ++line_no;
@@ -515,6 +526,7 @@ bool Allowlist::parse(const std::string& text, std::string* error) {
     }
     std::getline(is, e.reason);
     e.reason = trim(e.reason);
+    e.line = line_no;
     entries_.push_back(std::move(e));
   }
   return true;
@@ -531,18 +543,33 @@ const AllowEntry* Allowlist::match(const std::string& rule,
 }
 
 // ---------------------------------------------------------------------------
-// lint_source
+// FileModel
 // ---------------------------------------------------------------------------
 
-std::vector<Finding> lint_source(const std::string& relpath,
-                                 const std::string& content,
-                                 const Allowlist& allow) {
-  std::vector<Finding> findings;
+int FileModel::find_inline(int line, const std::string& rule) const {
+  auto it = allow_by_line.find(line);
+  if (it == allow_by_line.end()) return -1;
+  for (int idx : it->second) {
+    for (const auto& r : directives[static_cast<std::size_t>(idx)].rules) {
+      if (r == rule || r == "*") return idx;
+    }
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// analyze_source — the single pass
+// ---------------------------------------------------------------------------
+
+FileModel analyze_source(const std::string& relpath,
+                         const std::string& content) {
+  FileModel model;
+  model.relpath = relpath;
   const Scrubbed scrubbed = scrub(content);
   const std::vector<std::string> code_lines = split_lines(scrubbed.text);
   const std::vector<std::string> raw_lines = split_lines(content);
-  const InlineAllow inline_allow = parse_inline_allows(scrubbed, code_lines);
-  RuleContext ctx{relpath, inline_allow, allow, findings};
+  parse_inline_allows(scrubbed, code_lines, &model);
+  std::vector<Finding>& findings = model.line_findings;
   FunctionTracker tracker;
 
   static const std::regex kUnorderedDecl(
@@ -551,62 +578,100 @@ std::vector<Finding> lint_source(const std::string& relpath,
       R"(for\s*\([^)]*:[^)]*unordered_(map|set))");
   static const std::regex kProfileScope(
       R"rx(DROPBACK_PROFILE_SCOPE\s*\(\s*"([^"]*)"\s*\))rx");
+  static const std::regex kQuotedTarget(R"rx(#\s*include\s*"([^"]+)")rx");
+  static const std::regex kIdentCall(R"(([A-Za-z_]\w*)\s*\()");
 
   for (std::size_t i = 0; i < code_lines.size(); ++i) {
     const std::string& line = code_lines[i];
     const int line_no = static_cast<int>(i) + 1;
-    const int func_id = tracker.feed_line(line);
+    const int func_id = tracker.feed_line(line, line_no);
     std::smatch m;
 
+    // Include extraction: directive shape from the scrubbed line, target
+    // from the raw line (the literal was blanked by the scrubber).
+    if (std::regex_search(line, include_regex())) {
+      const std::string& raw = raw_lines[i];
+      std::smatch im;
+      if (std::regex_search(raw, im, kQuotedTarget)) {
+        model.includes.push_back(IncludeRef{line_no, im[1].str()});
+      }
+    }
+
     if (r1_applies(relpath) && std::regex_search(line, m, r1_regex())) {
-      ctx.emit("R1", line_no,
-               "raw threading primitive std::" + m[1].str() +
-                   " — all parallelism must go through util::ThreadPool "
-                   "(docs/PARALLELISM.md)");
+      emit_line(&findings, relpath, "R1", line_no,
+                "raw threading primitive std::" + m[1].str() +
+                    " — all parallelism must go through util::ThreadPool "
+                    "(docs/PARALLELISM.md)");
     }
 
     if (r2_applies(relpath) && std::regex_search(line, m, r2_regex())) {
-      ctx.emit("R2", line_no,
-               "raw file write (" + trim(m[0].str()) +
-                   ") — artifacts must go through util::atomic_write_file "
-                   "so crashes cannot leave partial files");
+      emit_line(&findings, relpath, "R2", line_no,
+                "raw file write (" + trim(m[0].str()) +
+                    ") — artifacts must go through util::atomic_write_file "
+                    "so crashes cannot leave partial files");
     }
 
-    if (r3_applies(relpath) && std::regex_search(line, m, r3_regex())) {
-      ctx.emit("R3", line_no,
-               "nondeterminism source (" + trim(m[0].str()) +
-                   ") — kernels, optimizers, and serialization must be "
-                   "bitwise-reproducible; use rng::Xorshift / util::Timer");
+    const bool r3_hit =
+        r3_applies(relpath) && std::regex_search(line, m, r3_regex());
+    if (r3_hit) {
+      emit_line(&findings, relpath, "R3", line_no,
+                "nondeterminism source (" + trim(m[0].str()) +
+                    ") — kernels, optimizers, and serialization must be "
+                    "bitwise-reproducible; use rng::Xorshift / util::Timer");
     }
 
     if (func_id >= 0) {
       FunctionInfo& fn = tracker.info(func_id);
 
-      // R4: record unordered container names, flag iteration in
-      // serialization functions.
+      // R12 nondet taint: first R3-class token in the body (whitelisted
+      // files never match above, so they cannot become sources).
+      if (r3_hit && fn.nondet_line == 0) {
+        fn.nondet_line = line_no;
+        fn.nondet_token = trim(m[0].str());
+      }
+
+      // Call sites for the call graph (skip the line's own definition
+      // opener — `void foo(int) {` is not a call of foo).
+      for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                          kIdentCall);
+           it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[1].str();
+        if (type_ish_keywords().count(name) != 0) continue;
+        if (looks_like_macro(name)) continue;
+        if (fn.line == line_no && name == fn.name) continue;
+        fn.calls.push_back(CallSite{line_no, name});
+      }
+
+      // R4 (+ the generalized R12 unordered taint): record unordered
+      // container names; detect iteration in any function, but the
+      // line-level finding stays scoped to serialization functions.
       if (std::regex_search(line, m, kUnorderedDecl)) {
         fn.unordered_vars.push_back(m[2].str());
       }
-      if (serialization_function(fn.name)) {
-        bool iterates = std::regex_search(line, kRangeForUnordered);
-        std::string via = "unordered container";
-        if (!iterates) {
-          for (const auto& var : fn.unordered_vars) {
-            const std::regex use(R"(for\s*\([^)]*:[^)]*\b)" + var +
-                                 R"(\b|\b)" + var + R"(\s*\.\s*c?r?begin\s*\()");
-            if (std::regex_search(line, use)) {
-              iterates = true;
-              via = "'" + var + "'";
-              break;
-            }
+      bool iterates = std::regex_search(line, kRangeForUnordered);
+      std::string via = "unordered container";
+      if (!iterates) {
+        for (const auto& var : fn.unordered_vars) {
+          const std::regex use(R"(for\s*\([^)]*:[^)]*\b)" + var +
+                               R"(\b|\b)" + var + R"(\s*\.\s*c?r?begin\s*\()");
+          if (std::regex_search(line, use)) {
+            iterates = true;
+            via = "'" + var + "'";
+            break;
           }
         }
-        if (iterates) {
-          ctx.emit("R4", line_no,
-                   "iteration over " + via + " inside serialization "
-                   "function '" + fn.name +
-                   "' — unordered iteration order makes artifact bytes "
-                   "nondeterministic; sort keys or use std::map");
+      }
+      if (iterates) {
+        if (fn.unordered_line == 0) {
+          fn.unordered_line = line_no;
+          fn.unordered_via = via;
+        }
+        if (serialization_function(fn.name)) {
+          emit_line(&findings, relpath, "R4", line_no,
+                    "iteration over " + via + " inside serialization "
+                    "function '" + fn.name +
+                    "' — unordered iteration order makes artifact bytes "
+                    "nondeterministic; sort keys or use std::map");
         }
       }
 
@@ -618,69 +683,321 @@ std::vector<Finding> lint_source(const std::string& relpath,
           const std::string label = pm[1].str();
           auto [it, inserted] = fn.profile_labels.emplace(label, line_no);
           if (!inserted) {
-            ctx.emit("R6", line_no,
-                     "duplicate DROPBACK_PROFILE_SCOPE label \"" + label +
-                         "\" in function '" + fn.name + "' (first at line " +
-                         std::to_string(it->second) +
-                         ") — labels must be unique per function so "
-                         "profile paths merge unambiguously");
+            emit_line(&findings, relpath, "R6", line_no,
+                      "duplicate DROPBACK_PROFILE_SCOPE label \"" + label +
+                          "\" in function '" + fn.name + "' (first at line " +
+                          std::to_string(it->second) +
+                          ") — labels must be unique per function so "
+                          "profile paths merge unambiguously");
           }
         }
       }
     }
 
     if (r5_applies(relpath) && std::regex_search(line, m, r5_regex())) {
-      ctx.emit("R5", line_no,
-               "floating-point ==/!= against literal (" + trim(m[0].str()) +
-                   ") — exact FP compares belong in tests' bitwise "
-                   "assertions; use an epsilon or suppress with a reason");
+      emit_line(&findings, relpath, "R5", line_no,
+                "floating-point ==/!= against literal (" + trim(m[0].str()) +
+                    ") — exact FP compares belong in tests' bitwise "
+                    "assertions; use an epsilon or suppress with a reason");
     }
 
     if (r7_applies(relpath) && std::regex_search(line, m, r7_regex())) {
-      ctx.emit("R7", line_no,
-               "vendor SIMD intrinsic (" + trim(m[0].str()) +
-                   ") outside src/simd/ — ISA-specific code must live "
-                   "behind the runtime dispatch tables (docs/SIMD.md)");
+      emit_line(&findings, relpath, "R7", line_no,
+                "vendor SIMD intrinsic (" + trim(m[0].str()) +
+                    ") outside src/simd/ — ISA-specific code must live "
+                    "behind the runtime dispatch tables (docs/SIMD.md)");
     }
 
     if (r8_applies(relpath)) {
       if (std::regex_search(line, m, r8_wait_regex())) {
-        ctx.emit("R8", line_no,
-                 "unbounded condition-variable wait — every blocking wait "
-                 "in src/serve/ must be wait_for/wait_until so a lost "
-                 "notify or a stalled producer cannot hang a worker "
-                 "(docs/SERVING.md)");
+        emit_line(&findings, relpath, "R8", line_no,
+                  "unbounded condition-variable wait — every blocking wait "
+                  "in src/serve/ must be wait_for/wait_until so a lost "
+                  "notify or a stalled producer cannot hang a worker "
+                  "(docs/SERVING.md)");
       }
       if (std::regex_search(line, m, r8_detach_regex())) {
-        ctx.emit("R8", line_no,
-                 "detached thread in the serving layer — server threads "
-                 "must be joined in stop() so shutdown resolves every "
-                 "in-flight request (docs/SERVING.md)");
+        emit_line(&findings, relpath, "R8", line_no,
+                  "detached thread in the serving layer — server threads "
+                  "must be joined in stop() so shutdown resolves every "
+                  "in-flight request (docs/SERVING.md)");
       }
     }
 
     if (r10_applies(relpath) && std::regex_search(line, m, r10_regex())) {
-      ctx.emit("R10", line_no,
-               "tracked-set capacity mutation (" + m[2].str() +
-                   ") outside src/core/ — the live budget k_t may only "
-                   "change through the optim::BudgetSchedule installed on "
-                   "the DropBackOptimizer (docs/SCHEDULES.md)");
+      emit_line(&findings, relpath, "R10", line_no,
+                "tracked-set capacity mutation (" + m[2].str() +
+                    ") outside src/core/ — the live budget k_t may only "
+                    "change through the optim::BudgetSchedule installed on "
+                    "the DropBackOptimizer (docs/SCHEDULES.md)");
     }
 
     if (r9_applies(relpath) && std::regex_search(line, m, r9_regex())) {
-      ctx.emit("R9", line_no,
-               "raw " + m[1].str() +
-                   "::now() outside src/util/ — wall-time reads must go "
-                   "through util::ClockSource (util/steady_clock.hpp) so "
-                   "tests and the tracer can inject a deterministic clock "
-                   "(docs/OBSERVABILITY.md)");
+      emit_line(&findings, relpath, "R9", line_no,
+                "raw " + m[1].str() +
+                    "::now() outside src/util/ — wall-time reads must go "
+                    "through util::ClockSource (util/steady_clock.hpp) so "
+                    "tests and the tracer can inject a deterministic clock "
+                    "(docs/OBSERVABILITY.md)");
     }
   }
-  return findings;
+
+  // Lift the tracker's function records into the model.
+  for (int id : tracker.order()) {
+    FunctionInfo& fn = tracker.info(id);
+    FunctionDef def;
+    def.name = fn.name;
+    def.line = fn.line;
+    def.calls = std::move(fn.calls);
+    def.nondet_line = fn.nondet_line;
+    def.nondet_token = fn.nondet_token;
+    def.unordered_line = fn.unordered_line;
+    def.unordered_via = fn.unordered_via;
+    model.functions.push_back(std::move(def));
+  }
+  return model;
 }
 
 // ---------------------------------------------------------------------------
-// R6b: CMake registration
+// Suppression application (centralized so the S1 staleness audit can see
+// which grants actually did work)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SuppressionState {
+  std::map<std::string, FileModel*> by_path;
+  const Allowlist* allow = nullptr;
+  std::vector<bool> entry_used;  // parallel to allow->entries()
+
+  void init(std::vector<FileModel>& models, const Allowlist& a) {
+    for (auto& m : models) by_path[m.relpath] = &m;
+    allow = &a;
+    entry_used.assign(a.entries().size(), false);
+  }
+
+  void mark_entry(const AllowEntry* e) {
+    const std::size_t idx =
+        static_cast<std::size_t>(e - allow->entries().data());
+    if (idx < entry_used.size()) entry_used[idx] = true;
+  }
+
+  // Applies inline-then-allowlist suppression to one finding.
+  void apply(Finding& f) {
+    auto it = by_path.find(f.file);
+    if (it != by_path.end()) {
+      const int idx = it->second->find_inline(f.line, f.rule);
+      if (idx >= 0) {
+        InlineDirective& d =
+            it->second->directives[static_cast<std::size_t>(idx)];
+        d.used = true;
+        f.suppressed = true;
+        f.suppress_reason = "inline: " + d.reason;
+        return;
+      }
+    }
+    if (const AllowEntry* e = allow->match(f.rule, f.file)) {
+      mark_entry(e);
+      f.suppressed = true;
+      f.suppress_reason =
+          "allowlist: " + (e->reason.empty() ? e->path : e->reason);
+    }
+  }
+
+  // A taint source is "reviewed" (and must not propagate through R12) when
+  // its line carries an inline R3/R4/R12 grant or its file holds a matching
+  // allowlist grant. Consuming a grant this way counts as usage.
+  bool source_reviewed(FileModel& m, int line, const char* line_rule) {
+    for (const char* rule : {line_rule, "R12"}) {
+      const int idx = m.find_inline(line, rule);
+      if (idx >= 0) {
+        m.directives[static_cast<std::size_t>(idx)].used = true;
+        return true;
+      }
+      if (const AllowEntry* e = allow->match(rule, m.relpath)) {
+        mark_entry(e);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// lint_files — the two-phase orchestration
+// ---------------------------------------------------------------------------
+
+LintResult lint_files(const std::vector<SourceFile>& files,
+                      const Allowlist& allow, const LintOptions& opts) {
+  LintResult result;
+
+  // Phase one: one pass per file.
+  std::vector<FileModel> models;
+  models.reserve(files.size());
+  for (const auto& f : files) {
+    models.push_back(analyze_source(f.relpath, f.content));
+  }
+  std::sort(models.begin(), models.end(),
+            [](const FileModel& a, const FileModel& b) {
+              return a.relpath < b.relpath;
+            });
+  result.files_scanned = static_cast<int>(models.size());
+
+  SuppressionState supp;
+  supp.init(models, allow);
+
+  std::vector<Finding> findings;
+
+  // Phase two: whole-program passes over the stitched models.
+  IncludeGraph igraph;
+  if (opts.whole_program) {
+    // Reviewed taint sources do not propagate (docs/STATIC_ANALYSIS.md).
+    for (auto& m : models) {
+      for (auto& fn : m.functions) {
+        if (fn.nondet_line != 0 &&
+            supp.source_reviewed(m, fn.nondet_line, "R3")) {
+          fn.nondet_line = 0;
+        }
+        if (fn.unordered_line != 0 &&
+            supp.source_reviewed(m, fn.unordered_line, "R4")) {
+          fn.unordered_line = 0;
+        }
+      }
+    }
+    igraph = IncludeGraph::build(models);
+  }
+
+  // Scope: everything, or the changed files' strongly-connected
+  // include/call neighborhood.
+  std::set<std::string> scope;
+  const bool scoped = !opts.changed_files.empty();
+  if (scoped) {
+    std::set<std::string> seeds;
+    for (const auto& c : opts.changed_files) {
+      if (supp.by_path.count(c)) seeds.insert(c);
+    }
+    scope = igraph.neighborhood(seeds);
+    if (opts.whole_program) {
+      CallGraph cg = CallGraph::build(models);
+      std::vector<std::string> seed_list(seeds.begin(), seeds.end());
+      for (const auto& f : cg.call_neighbors(seed_list)) scope.insert(f);
+    }
+  }
+  auto in_scope = [&](const std::string& relpath) {
+    return !scoped || scope.count(relpath) > 0;
+  };
+
+  for (const auto& m : models) {
+    if (!in_scope(m.relpath)) continue;
+    ++result.files_linted;
+    findings.insert(findings.end(), m.line_findings.begin(),
+                    m.line_findings.end());
+  }
+
+  if (opts.whole_program) {
+    for (auto& f : check_layering(igraph)) {
+      if (in_scope(f.file)) findings.push_back(std::move(f));
+    }
+    CallGraph cg = CallGraph::build(models);
+    for (auto& f : check_reachability(cg)) {
+      if (in_scope(f.file)) findings.push_back(std::move(f));
+    }
+    // R6 registration check (full scans only — a scoped scan may not see
+    // every registered file).
+    if (!scoped && !opts.cmake_text.empty()) {
+      std::vector<std::string> src_cpps;
+      for (const auto& m : models) {
+        if (starts_with(m.relpath, "src/") && m.relpath.size() > 4 &&
+            m.relpath.compare(m.relpath.size() - 4, 4, ".cpp") == 0) {
+          src_cpps.push_back(m.relpath);
+        }
+      }
+      for (const auto& rel : src_cpps) {
+        std::string in_src = rel.substr(4);
+        if (opts.cmake_text.find(in_src) != std::string::npos) continue;
+        Finding f;
+        f.rule = "R6";
+        f.file = "src/CMakeLists.txt";
+        f.line = 1;
+        f.message = rel +
+                    " is not registered in add_library(dropback ...) — every "
+                    ".cpp under src/ must be listed so the library, tests, "
+                    "and sanitizer builds all see it";
+        // The registration grant is keyed on the unregistered file, not on
+        // src/CMakeLists.txt (one grant per exempted file).
+        if (const AllowEntry* e = allow.match("R6", rel)) {
+          supp.mark_entry(e);
+          f.suppressed = true;
+          f.suppress_reason =
+              "allowlist: " + (e->reason.empty() ? e->path : e->reason);
+        }
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+
+  for (auto& f : findings) {
+    if (!f.suppressed) supp.apply(f);
+  }
+
+  // S1: stale suppressions. Only meaningful when the whole tree was both
+  // scanned and reported — a scoped run leaves most grants legitimately
+  // idle.
+  if (opts.audit_suppressions && !scoped) {
+    for (const auto& m : models) {
+      for (const auto& d : m.directives) {
+        if (d.used) continue;
+        Finding f;
+        f.rule = "S1";
+        f.file = m.relpath;
+        f.line = d.line;
+        f.warning = !opts.strict_suppressions;
+        std::string rules;
+        for (const auto& r : d.rules) {
+          if (!rules.empty()) rules += ",";
+          rules += r;
+        }
+        f.message = "stale inline suppression allow(" + rules +
+                    ") — it matched no finding in this scan; delete the "
+                    "directive (or fix the rule id) so dead grants cannot "
+                    "mask future regressions";
+        findings.push_back(std::move(f));
+      }
+    }
+    for (std::size_t i = 0; i < allow.entries().size(); ++i) {
+      if (supp.entry_used[i]) continue;
+      const AllowEntry& e = allow.entries()[i];
+      Finding f;
+      f.rule = "S1";
+      f.file = opts.rules_relpath;
+      f.line = e.line;
+      f.warning = !opts.strict_suppressions;
+      f.message = "stale allowlist entry '" + e.rule + " " + e.path +
+                  "' — it suppressed no finding in this scan; prune it so "
+                  "dead grants cannot mask future regressions";
+      findings.push_back(std::move(f));
+    }
+  }
+
+  result.findings = std::move(findings);
+  return result;
+}
+
+std::vector<Finding> lint_source(const std::string& relpath,
+                                 const std::string& content,
+                                 const Allowlist& allow) {
+  std::vector<SourceFile> files{{relpath, content}};
+  LintOptions opts;
+  opts.whole_program = false;
+  opts.audit_suppressions = false;
+  return lint_files(files, allow, opts).findings;
+}
+
+// ---------------------------------------------------------------------------
+// R6b: CMake registration (single-shot public helper, kept for unit tests
+// and ad-hoc tooling; lint_files owns the in-run check)
 // ---------------------------------------------------------------------------
 
 std::vector<Finding> lint_cmake_registration(
@@ -713,10 +1030,10 @@ std::vector<Finding> lint_cmake_registration(
 // lint_tree
 // ---------------------------------------------------------------------------
 
-std::vector<Finding> lint_tree(const std::string& root,
-                               const Allowlist& allow, int* files_scanned) {
+LintResult lint_tree(const std::string& root, const Allowlist& allow,
+                     LintOptions opts) {
   namespace fs = std::filesystem;
-  std::vector<std::string> files;
+  std::vector<std::string> relpaths;
   for (const char* top : {"src", "examples", "bench", "tests"}) {
     const fs::path dir = fs::path(root) / top;
     if (!fs::exists(dir)) continue;
@@ -724,40 +1041,70 @@ std::vector<Finding> lint_tree(const std::string& root,
       if (!entry.is_regular_file()) continue;
       const std::string ext = entry.path().extension().string();
       if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
-      files.push_back(
-          fs::relative(entry.path(), root).generic_string());
+      relpaths.push_back(fs::relative(entry.path(), root).generic_string());
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(relpaths.begin(), relpaths.end());
 
-  std::vector<Finding> findings;
-  std::vector<std::string> src_cpps;
-  for (const auto& rel : files) {
+  std::vector<SourceFile> files;
+  files.reserve(relpaths.size());
+  for (const auto& rel : relpaths) {
     std::ifstream in(fs::path(root) / rel, std::ios::binary);
     if (!in) {
       throw std::runtime_error("dbk_lint: cannot read " + rel);
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    auto file_findings = lint_source(rel, buf.str(), allow);
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
-    if (starts_with(rel, "src/") && rel.size() > 4 &&
-        rel.compare(rel.size() - 4, 4, ".cpp") == 0) {
-      src_cpps.push_back(rel);
-    }
+    files.push_back(SourceFile{rel, buf.str()});
   }
 
-  const fs::path cmake_path = fs::path(root) / "src" / "CMakeLists.txt";
-  if (fs::exists(cmake_path)) {
-    std::ifstream in(cmake_path);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    auto reg = lint_cmake_registration(buf.str(), src_cpps, allow);
-    findings.insert(findings.end(), reg.begin(), reg.end());
+  if (opts.whole_program && opts.cmake_text.empty()) {
+    const fs::path cmake_path = fs::path(root) / "src" / "CMakeLists.txt";
+    if (fs::exists(cmake_path)) {
+      std::ifstream in(cmake_path);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      opts.cmake_text = buf.str();
+    }
   }
-  if (files_scanned) *files_scanned = static_cast<int>(files.size());
-  return findings;
+  return lint_files(files, allow, opts);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+int apply_baseline(std::vector<Finding>& findings,
+                   const std::string& baseline_jsonl,
+                   const std::string& label) {
+  std::set<std::string> keys;
+  for (const auto& line : split_lines(baseline_jsonl)) {
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    try {
+      const auto obj = dropback::util::parse_flat_object(t);
+      auto rule = obj.find("rule");
+      auto file = obj.find("file");
+      auto message = obj.find("message");
+      if (rule == obj.end() || file == obj.end() || message == obj.end()) {
+        continue;  // summary record or foreign line
+      }
+      keys.insert(rule->second.string + '\x1f' + file->second.string +
+                  '\x1f' + message->second.string);
+    } catch (const std::exception&) {
+      continue;  // tolerate trailing garbage; the matcher is best-effort
+    }
+  }
+  int demoted = 0;
+  for (auto& f : findings) {
+    if (f.suppressed || f.warning) continue;
+    if (keys.count(f.rule + '\x1f' + f.file + '\x1f' + f.message)) {
+      f.suppressed = true;
+      f.suppress_reason = "baseline: " + label;
+      ++demoted;
+    }
+  }
+  return demoted;
 }
 
 // ---------------------------------------------------------------------------
@@ -765,10 +1112,11 @@ std::vector<Finding> lint_tree(const std::string& root,
 // ---------------------------------------------------------------------------
 
 std::string finding_json(const Finding& f) {
-  dropback::obs::JsonObject o;
+  dropback::util::JsonObject o;
   o.add("rule", f.rule)
       .add("file", f.file)
       .add("line", f.line)
+      .add("severity", f.warning ? "warning" : "error")
       .add("message", f.message)
       .add("suppressed", f.suppressed);
   if (f.suppressed) o.add("reason", f.suppress_reason);
@@ -778,7 +1126,7 @@ std::string finding_json(const Finding& f) {
 int unsuppressed_count(const std::vector<Finding>& findings) {
   int n = 0;
   for (const auto& f : findings) {
-    if (!f.suppressed) ++n;
+    if (!f.suppressed && !f.warning) ++n;
   }
   return n;
 }
@@ -786,16 +1134,19 @@ int unsuppressed_count(const std::vector<Finding>& findings) {
 std::string report_jsonl(const std::vector<Finding>& findings, int files) {
   std::string out;
   int suppressed = 0;
+  int warnings = 0;
   for (const auto& f : findings) {
     out += finding_json(f);
     out += '\n';
     if (f.suppressed) ++suppressed;
+    if (f.warning && !f.suppressed) ++warnings;
   }
-  out += dropback::obs::JsonObject()
+  out += dropback::util::JsonObject()
              .add("type", "summary")
              .add("files", files)
              .add("findings", static_cast<int>(findings.size()))
              .add("suppressed", suppressed)
+             .add("warnings", warnings)
              .add("unsuppressed", unsuppressed_count(findings))
              .str();
   out += '\n';

@@ -1,33 +1,102 @@
 // dbk_lint CLI — see lint.hpp for the rule catalogue and
 // docs/STATIC_ANALYSIS.md for the workflow.
 //
-//   dbk_lint --root <repo> [--rules <file>] [--json <path>] [--quiet]
+//   dbk_lint --root <repo> [--rules <file>] [--json <path>] [--sarif <path>]
+//            [--baseline <report.jsonl>] [--changed] [--strict-suppressions]
+//            [--verbose]
 //
 // Prints file:line diagnostics for every finding (suppressed ones only with
-// --verbose), writes the JSONL report when --json is given, and exits 1 if
-// any unsuppressed finding remains, 0 otherwise, 2 on usage errors.
-#include <cstring>
+// --verbose), writes the JSONL / SARIF reports when asked (both atomically:
+// temp + fsync + rename, the same discipline R2 enforces on the library),
+// and exits 0 when clean, 1 on unsuppressed findings, 2 on usage/IO errors,
+// 3 when the SARIF round-trip self-check fails.
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "dbk_lint/lint.hpp"
+#include "dbk_lint/sarif.hpp"
+#include "util/atomic_file.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " --root <dir> [--rules <file>] [--json <path>] [--verbose]\n"
-               "  --root    repository root containing src/, examples/, "
-               "bench/, tests/\n"
-               "  --rules   allowlist file (default: <root>/tools/"
-               "dbk_lint.rules if present)\n"
-               "  --json    write the JSONL report (findings + summary) "
-               "here\n"
-               "  --verbose also print suppressed findings\n";
+  std::cerr
+      << "usage: " << argv0
+      << " --root <dir> [--rules <file>] [--json <path>] [--sarif <path>]\n"
+         "       [--baseline <report.jsonl>] [--changed]"
+         " [--strict-suppressions] [--verbose]\n"
+         "  --root                 repository root containing src/, "
+         "examples/, bench/, tests/\n"
+         "  --rules                allowlist file (default: <root>/tools/"
+         "dbk_lint.rules if present)\n"
+         "  --json                 write the JSONL report (findings + "
+         "summary) here, atomically\n"
+         "  --sarif                write a SARIF 2.1.0 report here, "
+         "atomically, after a round-trip\n"
+         "                         self-check (exit 3 with per-rule counts "
+         "on mismatch)\n"
+         "  --baseline             demote findings present in this previous "
+         "--json report\n"
+         "  --changed              lint only the include/call neighborhood "
+         "of files reported\n"
+         "                         changed by git (diff vs HEAD + untracked)\n"
+         "  --strict-suppressions  stale suppressions (S1) become errors "
+         "instead of warnings\n"
+         "  --verbose              also print suppressed findings\n";
   return 2;
+}
+
+std::string read_file_or_exit(const std::string& path, const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "dbk_lint: cannot read " << what << " " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Files git considers changed vs HEAD (staged or not) plus untracked ones,
+// filtered to the linted trees and extensions.
+std::vector<std::string> git_changed_files(const std::string& root) {
+  std::vector<std::string> changed;
+  const std::string cmds[] = {
+      "git -C '" + root + "' diff --name-only HEAD 2>/dev/null",
+      "git -C '" + root + "' ls-files --others --exclude-standard "
+      "2>/dev/null",
+  };
+  for (const auto& cmd : cmds) {
+    FILE* pipe = popen(cmd.c_str(), "r");
+    if (!pipe) continue;
+    char buf[4096];
+    std::string out;
+    while (fgets(buf, sizeof buf, pipe)) out += buf;
+    pclose(pipe);
+    std::istringstream lines(out);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const bool tree = line.rfind("src/", 0) == 0 ||
+                        line.rfind("examples/", 0) == 0 ||
+                        line.rfind("bench/", 0) == 0 ||
+                        line.rfind("tests/", 0) == 0;
+      const bool ext = line.size() > 4 &&
+                       (line.compare(line.size() - 4, 4, ".cpp") == 0 ||
+                        line.compare(line.size() - 4, 4, ".hpp") == 0 ||
+                        (line.size() > 2 &&
+                         line.compare(line.size() - 2, 2, ".h") == 0));
+      if (tree && ext) changed.push_back(line);
+    }
+  }
+  return changed;
 }
 
 }  // namespace
@@ -36,6 +105,10 @@ int main(int argc, char** argv) {
   std::string root;
   std::string rules_path;
   std::string json_path;
+  std::string sarif_path;
+  std::string baseline_path;
+  bool changed_mode = false;
+  bool strict_suppressions = false;
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -53,6 +126,14 @@ int main(int argc, char** argv) {
       rules_path = value("--rules");
     } else if (arg == "--json") {
       json_path = value("--json");
+    } else if (arg == "--sarif") {
+      sarif_path = value("--sarif");
+    } else if (arg == "--baseline") {
+      baseline_path = value("--baseline");
+    } else if (arg == "--changed") {
+      changed_mode = true;
+    } else if (arg == "--strict-suppressions") {
+      strict_suppressions = true;
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -78,32 +159,53 @@ int main(int argc, char** argv) {
 
   dbk_lint::Allowlist allow;
   if (!rules_path.empty()) {
-    std::ifstream in(rules_path);
-    if (!in) {
-      std::cerr << "dbk_lint: cannot read rules file " << rules_path << "\n";
-      return 2;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
     std::string error;
-    if (!allow.parse(buf.str(), &error)) {
+    if (!allow.parse(read_file_or_exit(rules_path, "rules file"), &error)) {
       std::cerr << "dbk_lint: " << error << "\n";
       return 2;
     }
   }
 
-  int files = 0;
-  std::vector<dbk_lint::Finding> findings;
+  dbk_lint::LintOptions opts;
+  opts.audit_suppressions = true;  // no-op under --changed (scoped run)
+  opts.strict_suppressions = strict_suppressions;
+  if (changed_mode) {
+    opts.changed_files = git_changed_files(root);
+    if (opts.changed_files.empty()) {
+      std::cout << "dbk_lint: --changed: no modified source files, nothing "
+                   "to lint\n";
+      return 0;
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  dbk_lint::LintResult result;
   try {
-    findings = dbk_lint::lint_tree(root, allow, &files);
+    result = dbk_lint::lint_tree(root, allow, opts);
   } catch (const std::exception& e) {
     std::cerr << "dbk_lint: " << e.what() << "\n";
     return 2;
   }
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (!baseline_path.empty()) {
+    const std::string baseline = read_file_or_exit(baseline_path, "baseline");
+    const int demoted = dbk_lint::apply_baseline(
+        result.findings, baseline,
+        std::filesystem::path(baseline_path).filename().string());
+    if (verbose) {
+      std::cout << "dbk_lint: baseline demoted " << demoted << " finding"
+                << (demoted == 1 ? "" : "s") << "\n";
+    }
+  }
 
   int suppressed = 0;
+  int warnings = 0;
   int live = 0;
-  for (const auto& f : findings) {
+  for (const auto& f : result.findings) {
     if (f.suppressed) {
       ++suppressed;
       if (verbose) {
@@ -113,23 +215,56 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (f.warning) {
+      ++warnings;
+      std::cout << f.file << ":" << f.line << ": [" << f.rule
+                << "] warning: " << f.message << "\n";
+      continue;
+    }
     ++live;
     std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
               << f.message << "\n";
   }
 
-  if (!json_path.empty()) {
-    std::ofstream out(json_path, std::ios::binary |
-                                     std::ios::trunc);  // dbk-lint: allow(R2)
-    if (!out) {
-      std::cerr << "dbk_lint: cannot write " << json_path << "\n";
-      return 2;
+  try {
+    if (!json_path.empty()) {
+      const std::string report =
+          dbk_lint::report_jsonl(result.findings, result.files_linted);
+      dropback::util::atomic_write_file(
+          json_path, [&](std::ostream& out) { out << report; });
     }
-    out << dbk_lint::report_jsonl(findings, files);
+    if (!sarif_path.empty()) {
+      const std::string sarif = dbk_lint::sarif_report(result.findings);
+      dropback::util::atomic_write_file(
+          sarif_path, [&](std::ostream& out) { out << sarif; });
+      const auto v = dbk_lint::verify_sarif(sarif, result.findings);
+      if (!v.ok) {
+        std::cerr << "dbk_lint: SARIF round-trip self-check FAILED: "
+                  << v.error << "\n";
+        for (const auto& [rule, count] : v.expected) {
+          const auto it = v.emitted.find(rule);
+          const int got = it == v.emitted.end() ? 0 : it->second;
+          std::cerr << "  " << rule << ": expected " << count << ", emitted "
+                    << got << "\n";
+        }
+        for (const auto& [rule, count] : v.emitted) {
+          if (!v.expected.count(rule)) {
+            std::cerr << "  " << rule << ": expected 0, emitted " << count
+                      << "\n";
+          }
+        }
+        return 3;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "dbk_lint: " << e.what() << "\n";
+    return 2;
   }
 
-  std::cout << "dbk_lint: " << files << " files, " << findings.size()
-            << " findings (" << suppressed << " suppressed, " << live
-            << " unsuppressed)\n";
+  std::cout << "dbk_lint: " << result.files_scanned << " files scanned, "
+            << result.files_linted << " linted, " << result.findings.size()
+            << " findings (" << suppressed << " suppressed, " << warnings
+            << " warnings, " << live << " unsuppressed) in " << elapsed_ms
+            << " ms\n";
   return live == 0 ? 0 : 1;
 }
